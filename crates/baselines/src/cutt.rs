@@ -1,0 +1,426 @@
+//! A structurally faithful cuTT (CUDA Tensor Transpose, Hynninen & Lyakh
+//! 2017) on the simulated device.
+//!
+//! Kernel menu (cuTT's terminology):
+//! * **Trivial** — identity permutation, plain copy.
+//! * **TiledCopy** — matching FVI with extent >= 32: direct coalesced copy.
+//! * **Tiled** — 32x32 shared-memory tiles over the single pair
+//!   `(input dim 0, output dim 0)`; no multi-dimension combining (that is
+//!   TTLG's advantage on small extents).
+//! * **Packed / PackedSplit** — a full set of leading input+output ranks
+//!   staged through shared memory, the largest rank split when the slice
+//!   exceeds shared memory.
+//!
+//! Plan selection: **heuristic** mode picks by cheap rules (the spirit of
+//! cuTT's MWP-CWP-based heuristic); **measure** mode builds every
+//! candidate plan, times each on the device, and keeps the best — paying
+//! the measured time as plan overhead, and enjoying the slight cache-warm
+//! advantage on subsequent runs that the paper observed.
+//!
+//! cuTT computes indices in-kernel (no texture-resident offset arrays);
+//! see [`crate`] docs for how the statistics are transformed accordingly.
+
+use crate::BaselineReport;
+use ttlg::kernels::{
+    CopyKernel, FviMatchLargeKernel, OaChoice, OdChoice, OrthogonalArbitraryKernel,
+    OrthogonalDistinctKernel,
+};
+use ttlg::Problem;
+use ttlg_gpu_sim::{
+    timing, Accounting, BlockIo, BlockKernel, DeviceConfig, ExecMode, Executor, Launch,
+    TimingModel, TransactionStats,
+};
+use ttlg_tensor::{DenseTensor, Element, Permutation, Shape, WARP_SIZE};
+
+/// Plan-selection mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CuttMode {
+    /// Cheap rule-based choice.
+    Heuristic,
+    /// Build and time every candidate, keep the best.
+    Measure,
+}
+
+/// Heuristic plan-construction overhead, ns: one analytic-model pass plus
+/// the buffer allocations the paper says are part of plan overhead.
+const HEURISTIC_PLAN_NS: f64 = 240_000.0;
+/// Per-candidate plan-build overhead in measure mode (allocation, kernel
+/// setup), ns.
+const MEASURE_BUILD_NS: f64 = 60_000.0;
+/// Cache-warm advantage of measure mode once the winning kernel was
+/// already executed during planning (the paper: "cuTT measure timings had
+/// a very slight advantage ... even if the same kernel is chosen").
+const MEASURE_WARM_SCALE: f64 = 0.998;
+
+/// The concrete kernel behind a plan.
+enum CuttKernel<E: Element> {
+    Copy(CopyKernel<E>),
+    Direct(FviMatchLargeKernel<E>),
+    Tiled(OrthogonalDistinctKernel<E>),
+    /// Full-rank packing (the slice holds whole dimensions).
+    Packed(OrthogonalArbitraryKernel<E>),
+    /// Packing with the largest rank split to fit shared memory.
+    PackedSplit(OrthogonalArbitraryKernel<E>),
+}
+
+impl<E: Element> CuttKernel<E> {
+    fn is_packed(&self) -> bool {
+        matches!(self, CuttKernel::Packed(_) | CuttKernel::PackedSplit(_))
+    }
+}
+
+impl<E: Element> BlockKernel<E> for CuttKernel<E> {
+    fn name(&self) -> &str {
+        match self {
+            CuttKernel::Copy(_) => "cutt-Trivial",
+            CuttKernel::Direct(_) => "cutt-TiledCopy",
+            CuttKernel::Tiled(_) => "cutt-Tiled",
+            CuttKernel::Packed(_) => "cutt-Packed",
+            CuttKernel::PackedSplit(_) => "cutt-PackedSplit",
+        }
+    }
+
+    fn launch(&self) -> Launch {
+        match self {
+            CuttKernel::Copy(k) => k.launch(),
+            CuttKernel::Direct(k) => k.launch(),
+            CuttKernel::Tiled(k) => k.launch(),
+            CuttKernel::Packed(k) => k.launch(),
+            CuttKernel::PackedSplit(k) => k.launch(),
+        }
+    }
+
+    fn run_block(&self, block: usize, io: &BlockIo<'_, E>, acct: &mut Accounting) {
+        match self {
+            CuttKernel::Copy(k) => k.run_block(block, io, acct),
+            CuttKernel::Direct(k) => k.run_block(block, io, acct),
+            CuttKernel::Tiled(k) => k.run_block(block, io, acct),
+            CuttKernel::Packed(k) => k.run_block(block, io, acct),
+            CuttKernel::PackedSplit(k) => k.run_block(block, io, acct),
+        }
+    }
+
+    fn block_class(&self, block: usize) -> u32 {
+        match self {
+            CuttKernel::Copy(k) => k.block_class(block),
+            CuttKernel::Direct(k) => k.block_class(block),
+            CuttKernel::Tiled(k) => k.block_class(block),
+            CuttKernel::Packed(k) => k.block_class(block),
+            CuttKernel::PackedSplit(k) => k.block_class(block),
+        }
+    }
+}
+
+/// Replace texture traffic by cuTT's in-kernel index arithmetic: per
+/// element, roughly `4 * rank` integer mul/shift operations of address
+/// math, and on the packed kernels one real mod/div pair per dimension
+/// for the scatter position (TTLG's offset arrays exist precisely to
+/// avoid this cost).
+fn de_texture(mut stats: TransactionStats, rank: usize, packed: bool) -> TransactionStats {
+    stats.tex_load_tx = 0;
+    stats.index_instr += 4 * rank as u64 * stats.elements_moved;
+    if packed {
+        stats.special_instr += rank as u64 * stats.elements_moved;
+    }
+    stats
+}
+
+/// A built cuTT plan.
+pub struct CuttPlan<E: Element> {
+    problem: Problem,
+    kernel: CuttKernel<E>,
+    label: String,
+    plan_time_ns: f64,
+    exec_scale: f64,
+}
+
+impl<E: Element> CuttPlan<E> {
+    /// Human-readable kernel label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Plan-construction overhead, ns.
+    pub fn plan_time_ns(&self) -> f64 {
+        self.plan_time_ns
+    }
+}
+
+/// The cuTT library object.
+pub struct CuttLibrary {
+    executor: Executor,
+    timing: TimingModel,
+}
+
+impl CuttLibrary {
+    /// Build for a device.
+    pub fn new(device: DeviceConfig) -> Self {
+        CuttLibrary { executor: Executor::new(device.clone()), timing: TimingModel::new(device) }
+    }
+
+    /// Build a plan.
+    pub fn plan<E: Element>(
+        &self,
+        shape: &Shape,
+        perm: &Permutation,
+        mode: CuttMode,
+    ) -> CuttPlan<E> {
+        let p = Problem::new(shape, perm).expect("valid problem");
+        let smem = self.executor.device().smem_per_sm;
+        let mut cands: Vec<CuttKernel<E>> = Vec::new();
+
+        let mk_packed = |c: OaChoice| {
+            let kernel = OrthogonalArbitraryKernel::new(&p, c, smem);
+            if is_split(&p, &c) {
+                CuttKernel::PackedSplit(kernel)
+            } else {
+                CuttKernel::Packed(kernel)
+            }
+        };
+        if p.is_copy() {
+            cands.push(CuttKernel::Copy(CopyKernel::new(p.volume())));
+        } else if p.perm.fvi_matches() {
+            if p.extent(0) >= WARP_SIZE {
+                cands.push(CuttKernel::Direct(FviMatchLargeKernel::new(&p)));
+            }
+            for c in packed_choices::<E>(&p, smem) {
+                cands.push(mk_packed(c));
+            }
+        } else {
+            let n0 = p.extent(0);
+            let j0 = p.perm.output_dim_source(0);
+            let tiled_choice = OdChoice {
+                in_dims: 1,
+                block_a: n0.min(WARP_SIZE),
+                out_dims: 1,
+                block_b: p.extent(j0).min(WARP_SIZE),
+            };
+            // cuTT's heuristic reaches for the Tiled kernel once both
+            // tile axes are at least half a tile wide.
+            let tiled_first = n0 >= WARP_SIZE / 2 && p.extent(j0) >= WARP_SIZE / 2;
+            if tiled_first && tiled_choice.is_valid(&p) {
+                cands.push(CuttKernel::Tiled(OrthogonalDistinctKernel::new(&p, tiled_choice)));
+            }
+            for c in packed_choices::<E>(&p, smem) {
+                cands.push(mk_packed(c));
+            }
+            if !tiled_first && tiled_choice.is_valid(&p) {
+                cands.push(CuttKernel::Tiled(OrthogonalDistinctKernel::new(&p, tiled_choice)));
+            }
+        }
+        assert!(!cands.is_empty(), "cuTT always has a Packed fallback");
+
+        match mode {
+            CuttMode::Heuristic => {
+                let kernel = cands.remove(0);
+                CuttPlan {
+                    label: kernel.name().to_string(),
+                    kernel,
+                    problem: p,
+                    plan_time_ns: HEURISTIC_PLAN_NS,
+                    exec_scale: 1.0,
+                }
+            }
+            CuttMode::Measure => {
+                let mut best: Option<(f64, CuttKernel<E>)> = None;
+                let mut plan_time = self.timing.plan_overhead_ns();
+                for kernel in cands {
+                    let outcome = self.executor.analyze(&kernel).expect("plan launches");
+                    let stats = de_texture(outcome.stats, p.rank(), kernel.is_packed());
+                    let t = self.timing.time(&stats, &outcome.launch).time_ns;
+                    plan_time += t + MEASURE_BUILD_NS;
+                    if best.as_ref().map(|(bt, _)| t < *bt).unwrap_or(true) {
+                        best = Some((t, kernel));
+                    }
+                }
+                let (_, kernel) = best.expect("at least one candidate");
+                CuttPlan {
+                    label: kernel.name().to_string(),
+                    kernel,
+                    problem: p,
+                    plan_time_ns: plan_time,
+                    exec_scale: MEASURE_WARM_SCALE,
+                }
+            }
+        }
+    }
+
+    /// Time a plan without moving data.
+    pub fn time_plan<E: Element>(&self, plan: &CuttPlan<E>) -> BaselineReport {
+        let outcome = self.executor.analyze(&plan.kernel).expect("kernel launches");
+        self.report(plan, outcome.stats)
+    }
+
+    /// Execute a plan with data.
+    pub fn execute<E: Element>(
+        &self,
+        plan: &CuttPlan<E>,
+        input: &DenseTensor<E>,
+    ) -> (DenseTensor<E>, BaselineReport) {
+        let out_shape =
+            plan.problem.orig_perm.apply_to_shape(&plan.problem.orig_shape).expect("valid");
+        let mut out = DenseTensor::zeros(out_shape);
+        let outcome = self
+            .executor
+            .run(&plan.kernel, input.data(), out.data_mut(), ExecMode::Execute {
+                check_disjoint_writes: false,
+            })
+            .expect("kernel launches");
+        let report = self.report(plan, outcome.stats);
+        (out, report)
+    }
+
+    fn report<E: Element>(&self, plan: &CuttPlan<E>, stats: TransactionStats) -> BaselineReport {
+        let stats = de_texture(stats, plan.problem.rank(), plan.kernel.is_packed());
+        let mut t = self.timing.time(&stats, &plan.kernel.launch());
+        t.time_ns *= plan.exec_scale;
+        BaselineReport {
+            kind: plan.label.clone(),
+            kernel_time_ns: t.time_ns,
+            bandwidth_gbps: timing::bandwidth_gbps(plan.problem.volume(), E::BYTES, t.time_ns),
+            plan_time_ns: plan.plan_time_ns,
+            stats,
+            timing: t,
+        }
+    }
+}
+
+/// Whether a packed choice had to split a rank (blocking below the full
+/// extent) to fit shared memory — cuTT's PackedSplit case.
+fn is_split(p: &Problem, c: &OaChoice) -> bool {
+    let xa = c.in_dims - 1;
+    if c.block_a < p.extent(xa) {
+        return true;
+    }
+    let jb = p.perm.output_dim_source(c.out_dims - 1);
+    jb >= c.in_dims && c.block_b < p.extent(jb)
+}
+
+/// cuTT's packed-slice choices: full leading input ranks to reach the warp
+/// size, full leading output ranks to reach the warp size, largest staged
+/// rank split (halved) until the slice fits shared memory. Returns one
+/// primary choice plus (for measure mode) a deeper-staging variant.
+fn packed_choices<E: Element>(p: &Problem, smem_limit: usize) -> Vec<OaChoice> {
+    let mut out = Vec::new();
+    let base = OaChoice::default_for::<E>(p, smem_limit);
+    if let Some(mut c) = base {
+        // cuTT packs whole ranks: prefer the unblocked-input variant when
+        // it fits.
+        let full_a = OaChoice { block_a: p.extent(c.in_dims - 1), ..c };
+        if full_a.is_valid(p) && full_a.fits_smem(p, E::BYTES, smem_limit) {
+            c = full_a;
+        }
+        out.push(c);
+        // Deeper output staging as a measured alternative.
+        if c.out_dims < p.rank() {
+            let deeper = OaChoice {
+                out_dims: c.out_dims + 1,
+                block_b: p.extent(p.perm.output_dim_source(c.out_dims)),
+                ..c
+            };
+            if deeper.is_valid(p) && deeper.fits_smem(p, E::BYTES, smem_limit) {
+                out.push(deeper);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttlg_tensor::reference;
+
+    fn check(extents: &[usize], perm: &[usize], mode: CuttMode) -> BaselineReport {
+        let shape = Shape::new(extents).unwrap();
+        let perm = Permutation::new(perm).unwrap();
+        let lib = CuttLibrary::new(DeviceConfig::k40c());
+        let plan = lib.plan::<u64>(&shape, &perm, mode);
+        let input: DenseTensor<u64> = DenseTensor::iota(shape);
+        let (out, report) = lib.execute(&plan, &input);
+        let expect = reference::transpose_reference(&input, &perm).unwrap();
+        assert_eq!(out.data(), expect.data(), "case {extents:?}");
+        report
+    }
+
+    #[test]
+    fn correct_across_kernel_kinds() {
+        // Trivial
+        check(&[16, 16, 16], &[0, 1, 2], CuttMode::Heuristic);
+        // TiledCopy
+        check(&[64, 8, 8], &[0, 2, 1], CuttMode::Heuristic);
+        // Tiled
+        check(&[64, 48], &[1, 0], CuttMode::Heuristic);
+        // Packed (small extents)
+        check(&[8, 8, 8, 8], &[3, 1, 2, 0], CuttMode::Heuristic);
+        // FVI match small -> Packed
+        check(&[8, 8, 8, 8], &[0, 3, 2, 1], CuttMode::Heuristic);
+    }
+
+    #[test]
+    fn measure_mode_correct_and_at_least_as_fast() {
+        for (e, q) in [
+            (vec![16usize, 16, 16, 16], vec![3usize, 1, 2, 0]),
+            (vec![64, 48], vec![1, 0]),
+            (vec![8, 8, 8, 8], vec![0, 3, 2, 1]),
+        ] {
+            let h = check(&e, &q, CuttMode::Heuristic);
+            let m = check(&e, &q, CuttMode::Measure);
+            assert!(
+                m.kernel_time_ns <= h.kernel_time_ns + 1e-6,
+                "measure should not lose: {} vs {}",
+                m.kernel_time_ns,
+                h.kernel_time_ns
+            );
+            assert!(m.plan_time_ns > h.plan_time_ns, "measure planning is expensive");
+        }
+    }
+
+    #[test]
+    fn packed_split_engages_when_ranks_do_not_fit() {
+        // Big ranks: full packing would blow 48 KiB, forcing a split.
+        let shape = Shape::new(&[128, 128, 64]).unwrap();
+        let perm = Permutation::new(&[2, 0, 1]).unwrap();
+        let lib = CuttLibrary::new(DeviceConfig::k40c());
+        let plan = lib.plan::<f64>(&shape, &perm, CuttMode::Measure);
+        // whichever wins, a PackedSplit candidate must exist and run
+        // correctly when selected; verify correctness either way.
+        let input: DenseTensor<u64> = DenseTensor::iota(shape.clone());
+        let plan_u: CuttPlan<u64> = lib.plan::<u64>(&shape, &perm, CuttMode::Measure);
+        let (out, _) = lib.execute(&plan_u, &input);
+        let expect = ttlg_tensor::reference::transpose_reference(
+            &input,
+            &perm,
+        )
+        .unwrap();
+        assert_eq!(out.data(), expect.data());
+        assert!(!plan.label().is_empty());
+    }
+
+    #[test]
+    fn plan_time_structure() {
+        let shape = Shape::new(&[32, 32, 32]).unwrap();
+        let perm = Permutation::new(&[2, 1, 0]).unwrap();
+        let lib = CuttLibrary::new(DeviceConfig::k40c());
+        let h = lib.plan::<f64>(&shape, &perm, CuttMode::Heuristic);
+        let m = lib.plan::<f64>(&shape, &perm, CuttMode::Measure);
+        assert!(h.plan_time_ns() < 500_000.0);
+        assert!(m.plan_time_ns() > h.plan_time_ns());
+        assert!(!m.label().is_empty());
+    }
+
+    #[test]
+    fn de_texture_moves_traffic() {
+        let stats = TransactionStats {
+            tex_load_tx: 100,
+            elements_moved: 1000,
+            ..Default::default()
+        };
+        let s = de_texture(stats, 4, true);
+        assert_eq!(s.tex_load_tx, 0);
+        assert_eq!(s.index_instr, 16_000);
+        assert_eq!(s.special_instr, 4000);
+        let s2 = de_texture(stats, 4, false);
+        assert_eq!(s2.special_instr, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # ttlg-baselines
+//!
+//! Reimplementations of the systems the TTLG paper compares against,
+//! running on the same transaction-level GPU model so the comparisons are
+//! apples-to-apples:
+//!
+//! * [`cutt`] — a structurally faithful cuTT (Hynninen & Lyakh 2017):
+//!   Trivial / TiledCopy / Tiled / Packed / PackedSplit kernels, with the
+//!   **heuristic** plan mode (cheap analytic choice) and the **measure**
+//!   plan mode (build and run all candidate plans, keep the best —
+//!   expensive plan time, slightly better kernels, plus the small
+//!   cache-warm advantage the paper observed).
+//! * [`ttc`] — a TTC-style ahead-of-time code generator (Springer et al.
+//!   2016): exhaustive candidate measurement offline (the paper quotes
+//!   ~8 s of codegen per input), no index fusion, unpadded tiles.
+//! * [`naive`] — the d-nested-loop kernel of the paper's introduction.
+//!
+//! Fidelity notes (see DESIGN.md): cuTT computes element indices in-kernel
+//! (warp-parallel integer arithmetic) instead of TTLG's texture-resident
+//! offset arrays. We reuse TTLG's kernel bodies for data movement (they
+//! are the same loads/stores) and post-transform the transaction
+//! statistics: texture traffic is replaced by the equivalent in-kernel
+//! index arithmetic. That keeps correctness exact and shifts the cost to
+//! the pipe cuTT actually burdens.
+
+pub mod cutt;
+pub mod naive;
+pub mod ttc;
+
+use ttlg_gpu_sim::{KernelTiming, TransactionStats};
+
+/// A timed baseline run, in the paper's reporting units.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Which kernel/plan the baseline chose (for logs).
+    pub kind: String,
+    /// Kernel execution time, ns.
+    pub kernel_time_ns: f64,
+    /// The paper's bandwidth metric, GB/s.
+    pub bandwidth_gbps: f64,
+    /// Plan-construction time, ns (0 for precompiled generators).
+    pub plan_time_ns: f64,
+    /// Measured transaction statistics.
+    pub stats: TransactionStats,
+    /// Timing decomposition.
+    pub timing: KernelTiming,
+}

@@ -1,0 +1,106 @@
+//! The naive d-nested-loop GPU transposition, wrapped as a baseline
+//! library with the same run/report interface as the others.
+
+use crate::BaselineReport;
+use ttlg::kernels::NaiveKernel;
+use ttlg::Problem;
+use ttlg_gpu_sim::{timing, DeviceConfig, ExecMode, Executor, TimingModel};
+use ttlg_tensor::{DenseTensor, Element, Permutation, Shape};
+
+/// Naive transposition "library".
+pub struct NaiveTranspose {
+    executor: Executor,
+    timing: TimingModel,
+}
+
+impl NaiveTranspose {
+    /// Build for a device.
+    pub fn new(device: DeviceConfig) -> Self {
+        NaiveTranspose { executor: Executor::new(device.clone()), timing: TimingModel::new(device) }
+    }
+
+    /// Time a transposition without moving data.
+    pub fn time<E: Element>(&self, shape: &Shape, perm: &Permutation) -> BaselineReport {
+        let p = Problem::new(shape, perm).expect("valid problem");
+        let k = NaiveKernel::<E>::new(&p);
+        let outcome = self.executor.analyze(&k).expect("naive kernel launches");
+        let t = self.timing.time(&outcome.stats, &outcome.launch);
+        BaselineReport {
+            kind: "naive".into(),
+            kernel_time_ns: t.time_ns,
+            bandwidth_gbps: timing::bandwidth_gbps(p.volume(), E::BYTES, t.time_ns),
+            plan_time_ns: 0.0,
+            stats: outcome.stats,
+            timing: t,
+        }
+    }
+
+    /// Execute (with data) and report.
+    pub fn execute<E: Element>(
+        &self,
+        input: &DenseTensor<E>,
+        perm: &Permutation,
+    ) -> (DenseTensor<E>, BaselineReport) {
+        let p = Problem::new(input.shape(), perm).expect("valid problem");
+        let k = NaiveKernel::<E>::new(&p);
+        let out_shape = perm.apply_to_shape(input.shape()).expect("valid perm");
+        let mut out = DenseTensor::zeros(out_shape);
+        let outcome = self
+            .executor
+            .run(&k, input.data(), out.data_mut(), ExecMode::Execute {
+                check_disjoint_writes: false,
+            })
+            .expect("naive kernel launches");
+        let t = self.timing.time(&outcome.stats, &outcome.launch);
+        let report = BaselineReport {
+            kind: "naive".into(),
+            kernel_time_ns: t.time_ns,
+            bandwidth_gbps: timing::bandwidth_gbps(p.volume(), E::BYTES, t.time_ns),
+            plan_time_ns: 0.0,
+            stats: outcome.stats,
+            timing: t,
+        };
+        (out, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttlg_tensor::reference;
+
+    #[test]
+    fn executes_correctly_and_slowly() {
+        let shape = Shape::new(&[32, 32, 32]).unwrap();
+        let perm = Permutation::new(&[2, 1, 0]).unwrap();
+        let input: DenseTensor<u64> = DenseTensor::iota(shape.clone());
+        let nv = NaiveTranspose::new(DeviceConfig::k40c());
+        let (out, report) = nv.execute(&input, &perm);
+        let expect = reference::transpose_reference(&input, &perm).unwrap();
+        assert_eq!(out.data(), expect.data());
+
+        // And it is slower than TTLG on the same problem.
+        let t = ttlg::Transposer::new_k40c();
+        let plan = t
+            .plan::<u64>(&shape, &perm, &ttlg::TransposeOptions::default())
+            .unwrap();
+        let ttlg_report = t.time_plan(&plan).unwrap();
+        assert!(
+            report.kernel_time_ns > 1.5 * ttlg_report.kernel_time_ns,
+            "naive {} vs ttlg {}",
+            report.kernel_time_ns,
+            ttlg_report.kernel_time_ns
+        );
+    }
+
+    #[test]
+    fn time_matches_execute() {
+        let shape = Shape::new(&[16, 16, 16]).unwrap();
+        let perm = Permutation::new(&[1, 2, 0]).unwrap();
+        let nv = NaiveTranspose::new(DeviceConfig::k40c());
+        let r1 = nv.time::<u64>(&shape, &perm);
+        let input: DenseTensor<u64> = DenseTensor::iota(shape);
+        let (_, r2) = nv.execute(&input, &perm);
+        assert_eq!(r1.stats.dram_load_tx, r2.stats.dram_load_tx);
+    }
+}

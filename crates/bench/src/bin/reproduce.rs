@@ -1,0 +1,223 @@
+//! Reproduce the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p ttlg-bench --release --bin reproduce -- all --quick
+//! cargo run -p ttlg-bench --release --bin reproduce -- fig6 fig7 table2
+//! cargo run -p ttlg-bench --release --bin reproduce -- summary ablations extensions
+//! ```
+//!
+//! Targets: `table1 table2 table3 fig5 fig6..fig14 ablations extensions
+//! summary all`.
+//!
+//! Flags:
+//! * `--quick`   — subsample the 720-permutation suites and shrink the
+//!                 training set / TTC-suite volumes (minutes -> seconds).
+//! * `--full`    — full fidelity (all 720 permutations, paper-size
+//!                 volumes).
+//! * `--csv DIR` — write CSVs under DIR (default `results/`).
+//!
+//! Default fidelity sits between the two (stride 4 on the permutation
+//! suites).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use ttlg::TimePredictor;
+use ttlg_bench::figures::{ablations, extensions, fig12, fig13, fig14, fig5, fig_perms, table1, table2, table3};
+use ttlg_bench::report::Table;
+use ttlg_bench::runner::Harness;
+use ttlg_gpu_sim::DeviceConfig;
+use ttlg_perfmodel::predictor::TrainedPredictor;
+use ttlg_perfmodel::train::TrainConfig;
+use ttlg_tensor::generator::DatasetConfig;
+
+struct Options {
+    targets: Vec<String>,
+    stride: usize,
+    fig14_volume: usize,
+    fig12_extent: usize,
+    train_cfg: TrainConfig,
+    csv_dir: PathBuf,
+}
+
+fn parse_args() -> Options {
+    let mut targets = Vec::new();
+    let mut stride = 4;
+    let mut fig14_volume = 4 << 20;
+    let mut fig12_extent = 16;
+    let mut train_cfg = TrainConfig {
+        dataset: DatasetConfig {
+            ranks: vec![3, 4, 5],
+            volumes: vec![1 << 18, 1 << 20],
+            max_perms_per_config: 6,
+            seed: 0x77C0_FFEE,
+        },
+        max_configs_per_case: 10,
+        split_seed: 0x5EED,
+    };
+    let mut csv_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => {
+                stride = 24;
+                fig14_volume = 1 << 20;
+                fig12_extent = 8;
+                train_cfg = TrainConfig::quick();
+            }
+            "--full" => {
+                stride = 1;
+                fig14_volume = fig14::PAPER_VOLUME;
+                fig12_extent = 16;
+                train_cfg = TrainConfig::default();
+            }
+            "--csv" => {
+                csv_dir = PathBuf::from(args.next().expect("--csv needs a directory"));
+            }
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        targets = [
+            "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "ablations", "extensions",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    Options { targets, stride, fig14_volume, fig12_extent, train_cfg, csv_dir }
+}
+
+fn emit(opts: &Options, file: &str, table: &Table) {
+    println!("{}", table.render());
+    let path = opts.csv_dir.join(file);
+    if let Err(e) = table.write_csv(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[csv written to {}]\n", path.display());
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let device = DeviceConfig::k40c();
+
+    // Train the Table II models once; TTLG's planner uses them (the
+    // paper's configuration), and Fig. 5 plots their predictions.
+    let needs_model = opts.targets.iter().any(|t| {
+        matches!(t.as_str(), "table2" | "fig5")
+    }) || opts
+        .targets
+        .iter()
+        .any(|t| t.starts_with("fig"));
+    let (models, table2_render) = if needs_model {
+        eprintln!("[training Table II models...]");
+        let (models, t2) = table2::run(&device, &opts.train_cfg);
+        (Some(models), Some(t2))
+    } else {
+        (None, None)
+    };
+    let predictor: Arc<dyn TimePredictor> = match &models {
+        Some(m) => Arc::new(TrainedPredictor::new(m, device.clone())),
+        None => Arc::new(ttlg::AnalyticPredictor::new(device.clone())),
+    };
+    let harness = Harness::with_predictor(device.clone(), Arc::clone(&predictor));
+
+    let mut perm_cache: std::collections::HashMap<usize, (Table, Table)> =
+        std::collections::HashMap::new();
+    let mut perm_suite = |extent: usize, harness: &Harness, stride: usize| {
+        perm_cache
+            .entry(extent)
+            .or_insert_with(|| {
+                eprintln!("[running 6D all-{extent} suite (stride {stride})...]");
+                fig_perms::run(harness, extent, stride)
+            })
+            .clone()
+    };
+
+    for target in opts.targets.clone() {
+        match target.as_str() {
+            "table1" => emit(&opts, "table1.csv", &table1::run(&device)),
+            "table2" => {
+                if let Some(t2) = &table2_render {
+                    emit(&opts, "table2.csv", t2);
+                }
+            }
+            "table3" => emit(&opts, "table3.csv", &table3::run(&device)),
+            "fig5" => {
+                let (shape, perm) = fig5::paper_case();
+                let t = fig5::run(&device, &predictor, &shape, &perm);
+                emit(&opts, "fig5.csv", &t);
+                let q = fig5::choice_quality(&device, &predictor, &shape, &perm);
+                println!("model slice choice achieves {:.1}% of optimal\n", q * 100.0);
+            }
+            "fig6" | "fig7" => {
+                let (rep, single) = perm_suite(16, &harness, opts.stride);
+                if target == "fig6" {
+                    emit(&opts, "fig6.csv", &rep);
+                } else {
+                    emit(&opts, "fig7.csv", &single);
+                }
+            }
+            "fig8" | "fig9" => {
+                let (rep, single) = perm_suite(15, &harness, opts.stride);
+                if target == "fig8" {
+                    emit(&opts, "fig8.csv", &rep);
+                } else {
+                    emit(&opts, "fig9.csv", &single);
+                }
+            }
+            "fig10" | "fig11" => {
+                let (rep, single) = perm_suite(17, &harness, opts.stride);
+                if target == "fig10" {
+                    emit(&opts, "fig10.csv", &rep);
+                } else {
+                    emit(&opts, "fig11.csv", &single);
+                }
+            }
+            "fig12" => {
+                let (a, b) = fig12::run(&harness, opts.fig12_extent);
+                emit(&opts, "fig12a.csv", &a);
+                emit(&opts, "fig12b.csv", &b);
+            }
+            "fig13" => emit(&opts, "fig13.csv", &fig13::run(&harness, &fig13::SIZES)),
+            "summary" => {
+                let mut t = Table::new(
+                    "Summary: mean repeated-use bandwidth (GB/s) per suite",
+                    &["suite", "TTLG", "cuTT-heur", "cuTT-meas", "TTC", "TTLG>=cuTT-m"],
+                );
+                for extent in [16usize, 15, 17] {
+                    eprintln!("[summarizing all-{extent} suite...]");
+                    let s = fig_perms::summarize(&harness, extent, opts.stride);
+                    t.push_row(vec![
+                        format!("6D all-{extent}"),
+                        format!("{:.1}", s.mean_ttlg),
+                        format!("{:.1}", s.mean_cutt_h),
+                        format!("{:.1}", s.mean_cutt_m),
+                        format!("{:.1}", s.mean_ttc),
+                        format!("{:.0}%", s.ttlg_win_rate * 100.0),
+                    ]);
+                }
+                emit(&opts, "summary.csv", &t);
+            }
+            "extensions" => {
+                emit(&opts, "ext_devices.csv", &extensions::device_generations());
+                emit(&opts, "ext_element_width.csv", &extensions::element_width());
+                emit(&opts, "ext_sm_scaling.csv", &extensions::sm_scaling());
+            }
+            "ablations" => {
+                emit(&opts, "ablation_padding.csv", &ablations::padding(&device));
+                emit(&opts, "ablation_fusion.csv", &ablations::fusion(&device));
+                emit(&opts, "ablation_slice_choice.csv", &ablations::slice_choice(&device));
+                emit(&opts, "ablation_taxonomy.csv", &ablations::taxonomy(&device));
+                emit(&opts, "ablation_model_quality.csv", &ablations::model_vs_measured(&device));
+            }
+            "fig14" => emit(
+                &opts,
+                "fig14.csv",
+                &fig14::run(&harness, fig14::PAPER_COUNT, opts.fig14_volume),
+            ),
+            other => eprintln!("unknown target: {other}"),
+        }
+    }
+}

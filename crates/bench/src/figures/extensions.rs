@@ -1,0 +1,156 @@
+//! Extension experiments beyond the paper's evaluation:
+//!
+//! * **Device generations** — the same workloads on Kepler (the paper's
+//!   K40c), Maxwell and Pascal models; TTLG's planner re-tunes per device
+//!   (related work targeted exactly these generations).
+//! * **Element width** — `f32` vs `f64`: a 128-byte transaction carries
+//!   32 floats but only 16 doubles (Sec. IV), so float transpositions
+//!   sustain a higher element rate at the same byte bandwidth.
+
+use crate::report::{bw, Table};
+use ttlg::{Transposer, TransposeOptions};
+use ttlg_gpu_sim::{timing, DeviceConfig};
+use ttlg_tensor::{Permutation, Shape};
+
+/// Cases used by both extension studies.
+fn cases() -> Vec<(Vec<usize>, Vec<usize>)> {
+    vec![
+        (vec![16, 16, 16, 16, 16, 16], vec![4, 1, 2, 5, 3, 0]),
+        (vec![16, 16, 16, 16, 16, 16], vec![0, 2, 5, 1, 4, 3]),
+        (vec![64, 64, 64], vec![2, 1, 0]),
+        (vec![27, 27, 27, 27, 27], vec![4, 1, 2, 0, 3]),
+    ]
+}
+
+/// TTLG bandwidth across device generations.
+pub fn device_generations() -> Table {
+    let devices =
+        [DeviceConfig::k40c(), DeviceConfig::titan_x_maxwell(), DeviceConfig::p100_pascal()];
+    let mut t = Table::new(
+        "Extension: TTLG across device generations (repeated use, GB/s)",
+        &["case", "K40c (Kepler)", "Titan X (Maxwell)", "P100 (Pascal)"],
+    );
+    for (extents, perm) in cases() {
+        let shape = Shape::new(&extents).unwrap();
+        let perm = Permutation::new(&perm).unwrap();
+        let mut row = vec![format!("{extents:?} {perm}")];
+        for device in &devices {
+            let tr = Transposer::new(device.clone());
+            let plan = tr
+                .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+                .expect("plannable");
+            let r = tr.time_plan(&plan).expect("timeable");
+            row.push(bw(r.bandwidth_gbps));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Element-width study: f32 vs f64 on the K40c.
+pub fn element_width() -> Table {
+    let tr = Transposer::new_k40c();
+    let mut t = Table::new(
+        "Extension: element width (K40c; GB/s uses the element's own size)",
+        &["case", "f64 GB/s", "f32 GB/s", "f32 Gelem/s / f64 Gelem/s"],
+    );
+    for (extents, perm) in cases() {
+        let shape = Shape::new(&extents).unwrap();
+        let perm = Permutation::new(&perm).unwrap();
+        let vol = shape.volume();
+        let opts = TransposeOptions::default();
+        let p64 = tr.plan::<f64>(&shape, &perm, &opts).expect("plannable");
+        let r64 = tr.time_plan(&p64).expect("timeable");
+        let p32 = tr.plan::<f32>(&shape, &perm, &opts).expect("plannable");
+        let r32 = tr.time_plan(&p32).expect("timeable");
+        let bw64 = timing::bandwidth_gbps(vol, 8, r64.kernel_time_ns);
+        let bw32 = timing::bandwidth_gbps(vol, 4, r32.kernel_time_ns);
+        // element rate ratio = (vol/t32) / (vol/t64)
+        let ratio = r64.kernel_time_ns / r32.kernel_time_ns;
+        t.push_row(vec![
+            format!("{extents:?} {perm}"),
+            bw(bw64),
+            bw(bw32),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    t
+}
+
+/// Strong-scaling study: the same problem on devices with 4..60 SMs (all
+/// other K40c parameters fixed, bandwidth scaled with SM count the way
+/// GPU product lines do). Shows where the planner's occupancy reasoning
+/// kicks in: small tensors stop scaling once the grid cannot fill the
+/// machine.
+pub fn sm_scaling() -> Table {
+    let mut t = Table::new(
+        "Extension: strong scaling with SM count (GB/s)",
+        &["SMs", "16^6 rank-6", "32^3 small"],
+    );
+    for sms in [4usize, 8, 15, 30, 60] {
+        let mut device = DeviceConfig::k40c();
+        device.num_sms = sms;
+        // memory system scales with the SM count relative to the K40c
+        device.dram_peak_gbps = 288.0 * sms as f64 / 15.0;
+        device.warps_to_saturate = 420.0 * sms as f64 / 15.0;
+        let tr = Transposer::new(device);
+        let mut row = vec![sms.to_string()];
+        for (extents, perm) in [
+            (vec![16usize, 16, 16, 16, 16, 16], vec![4usize, 1, 2, 5, 3, 0]),
+            (vec![32, 32, 32], vec![2, 1, 0]),
+        ] {
+            let shape = Shape::new(&extents).unwrap();
+            let perm = Permutation::new(&perm).unwrap();
+            let plan = tr
+                .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+                .expect("plannable");
+            let r = tr.time_plan(&plan).expect("timeable");
+            row.push(bw(r.bandwidth_gbps));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newer_devices_are_faster() {
+        let t = device_generations();
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let kepler: f64 = row[1].parse().unwrap();
+            let maxwell: f64 = row[2].parse().unwrap();
+            let pascal: f64 = row[3].parse().unwrap();
+            assert!(maxwell > kepler, "{row:?}");
+            assert!(pascal > maxwell, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn big_tensors_scale_with_sms_and_small_ones_saturate() {
+        let t = sm_scaling();
+        let big: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        // the 16^6 tensor keeps scaling across the whole range
+        assert!(big.windows(2).all(|w| w[1] > w[0]), "{big:?}");
+        assert!(big[4] > 2.5 * big[1], "{big:?}");
+        let small: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        // the 32^3 tensor gains much less at the top end (can't fill SMs)
+        let small_gain = small[4] / small[2];
+        let big_gain = big[4] / big[2];
+        assert!(small_gain < big_gain, "small {small:?} big {big:?}");
+    }
+
+    #[test]
+    fn floats_move_more_elements_per_second() {
+        let t = element_width();
+        for row in &t.rows {
+            let ratio: f64 = row[3].trim_end_matches('x').parse().unwrap();
+            // Half the bytes per element: expect a 1.2x-2.2x element-rate
+            // advantage (launch overheads keep it below the ideal 2x).
+            assert!((1.05..2.5).contains(&ratio), "{row:?}");
+        }
+    }
+}

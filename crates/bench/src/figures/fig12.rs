@@ -1,0 +1,57 @@
+//! Fig. 12: bandwidth as a function of the number of repeated calls
+//! (plan cost amortisation), for the paper's two 16^6 permutations:
+//! (a) `0 2 5 1 4 3` (matching FVI) and (b) `4 1 2 5 3 0` (non-matching).
+
+use crate::report::{bw, Table};
+use crate::runner::{Harness, SystemSet};
+use ttlg_tensor::generator::repeated_use_cases;
+
+/// Call counts plotted by the paper.
+pub const CALL_COUNTS: [usize; 13] =
+    [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Run both sub-figures; returns `(fig12a, fig12b)`.
+pub fn run(harness: &Harness, extent: usize) -> (Table, Table) {
+    let [a, b] = repeated_use_cases(extent);
+    let mut out = Vec::new();
+    for (sub, case) in [("a", &a), ("b", &b)] {
+        let r = harness.run_case(case, SystemSet { ttc: false, naive: false });
+        let vol = r.volume;
+        let mut t = Table::new(
+            format!("Fig. 12{sub}: {} ({}^6), bandwidth vs #calls (GB/s)", case.name, extent),
+            &["calls", "TTLG", "cuTT-heur", "cuTT-meas"],
+        );
+        for &n in &CALL_COUNTS {
+            t.push_row(vec![
+                n.to_string(),
+                bw(r.ttlg.amortized_bw(vol, 8, n)),
+                bw(r.cutt_heuristic.amortized_bw(vol, 8, n)),
+                bw(r.cutt_measure.amortized_bw(vol, 8, n)),
+            ]);
+        }
+        out.push(t);
+    }
+    let b_t = out.pop().expect("two tables");
+    let a_t = out.pop().expect("two tables");
+    (a_t, b_t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amortization_curves_rise_and_saturate() {
+        let h = Harness::k40c();
+        // extent 8 keeps the test fast; the amortisation *shape* is what
+        // matters here.
+        let (a, _b) = run(&h, 8);
+        assert_eq!(a.rows.len(), CALL_COUNTS.len());
+        let ttlg: Vec<f64> = a.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        // monotone non-decreasing in call count
+        assert!(ttlg.windows(2).all(|w| w[1] >= w[0] - 1e-6), "{ttlg:?}");
+        // cuTT-measure starts far below its plateau (expensive planning)
+        let cm: Vec<f64> = a.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        assert!(cm[0] < 0.7 * cm[cm.len() - 1], "{cm:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Fig. 13: bandwidth vs dimension sizes for permutation `0 2 1 3` over
+//! 4D tensors `s^4`, `s` from 15 to 128 — small volumes droop, large
+//! volumes saturate, TTLG ahead of cuTT once the volume is reasonable.
+
+use crate::report::{bw, Table};
+use crate::runner::{Harness, SystemSet};
+use ttlg_tensor::generator::volume_sweep;
+
+/// The paper's size list.
+pub const SIZES: [usize; 8] = [15, 16, 31, 32, 63, 64, 127, 128];
+
+/// Run the sweep.
+pub fn run(harness: &Harness, sizes: &[usize]) -> Table {
+    let mut t = Table::new(
+        "Fig. 13: perm 0 2 1 3, varying dimension sizes (repeated use, GB/s)",
+        &["dims", "volume", "TTLG", "cuTT-heur", "cuTT-meas"],
+    );
+    for case in volume_sweep(sizes) {
+        let r = harness.run_case(&case, SystemSet { ttc: false, naive: false });
+        let vol = r.volume;
+        t.push_row(vec![
+            case.name.clone(),
+            vol.to_string(),
+            bw(r.ttlg.repeated_bw(vol, 8)),
+            bw(r.cutt_heuristic.repeated_bw(vol, 8)),
+            bw(r.cutt_measure.repeated_bw(vol, 8)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_grows_with_volume() {
+        let h = Harness::k40c();
+        let t = run(&h, &[15, 32, 64]);
+        assert_eq!(t.rows.len(), 3);
+        let ttlg: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(ttlg[0] < ttlg[1] && ttlg[1] < ttlg[2], "{ttlg:?}");
+        // Small volume is far from the plateau (the paper's droop).
+        assert!(ttlg[0] < 0.6 * ttlg[2], "{ttlg:?}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Fig. 14: the TTC benchmark suite — 57 tensors, ranks 2-6, ~200 MB
+//! each, permutations that admit no index fusion. All four systems,
+//! repeated use.
+//!
+//! The original benchmark list (Springer 2016) is not redistributable;
+//! [`ttlg_tensor::generator::ttc_benchmark_suite`] synthesises a
+//! structurally equivalent suite (see DESIGN.md).
+
+use crate::report::{bw, Table};
+use crate::runner::{Harness, SystemSet};
+use ttlg_tensor::generator::ttc_benchmark_suite;
+
+/// ~200 MB of doubles.
+pub const PAPER_VOLUME: usize = 25 << 20;
+/// The paper's case count.
+pub const PAPER_COUNT: usize = 57;
+/// Deterministic suite seed.
+pub const SUITE_SEED: u64 = 0x77C2016;
+
+/// Run the suite at a given volume (use [`PAPER_VOLUME`] for fidelity,
+/// smaller for quick runs).
+pub fn run(harness: &Harness, count: usize, volume: usize) -> Table {
+    let mut t = Table::new(
+        "Fig. 14: TTC benchmark suite (repeated use, GB/s)",
+        &["case", "rank", "volume", "TTLG", "cuTT-heur", "cuTT-meas", "TTC"],
+    );
+    for case in ttc_benchmark_suite(count, volume, SUITE_SEED) {
+        let r = harness.run_case(&case, SystemSet { ttc: true, naive: false });
+        let vol = r.volume;
+        t.push_row(vec![
+            case.name.clone(),
+            case.shape.rank().to_string(),
+            vol.to_string(),
+            bw(r.ttlg.repeated_bw(vol, 8)),
+            bw(r.cutt_heuristic.repeated_bw(vol, 8)),
+            bw(r.cutt_measure.repeated_bw(vol, 8)),
+            bw(r.ttc.repeated_bw(vol, 8)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shape_and_ordering() {
+        let h = Harness::k40c();
+        let t = run(&h, 10, 1 << 20);
+        assert_eq!(t.rows.len(), 10);
+        let mut ttlg_wins = 0;
+        let mut ttc_best_count = 0;
+        for row in &t.rows {
+            let ttlg: f64 = row[3].parse().unwrap();
+            let cm: f64 = row[5].parse().unwrap();
+            let ttc: f64 = row[6].parse().unwrap();
+            if ttlg >= cm * 0.999 {
+                ttlg_wins += 1;
+            }
+            if ttc > ttlg && ttc > cm {
+                ttc_best_count += 1;
+            }
+        }
+        // "For most cases, TTLG outperforms cuTT-measure"; TTC stays below
+        // the libraries.
+        assert!(ttlg_wins >= 5, "TTLG won only {ttlg_wins}/10");
+        assert!(ttc_best_count <= 2, "TTC unexpectedly won {ttc_best_count}");
+    }
+}

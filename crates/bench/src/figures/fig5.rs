@@ -1,0 +1,134 @@
+//! Fig. 5: predicted vs actual execution time over the Orthogonal-Distinct
+//! slice variants for dims `27 27 27 27 27`, permutation `4 1 2 0 3`,
+//! highlighting the model's choice.
+
+use crate::report::{us, Table};
+use std::sync::Arc;
+use ttlg::{features, slice, Problem, TimePredictor, Transposer};
+use ttlg_gpu_sim::DeviceConfig;
+use ttlg_tensor::{Permutation, Shape};
+
+/// The paper's example problem.
+pub fn paper_case() -> (Shape, Permutation) {
+    (Shape::new(&[27, 27, 27, 27, 27]).unwrap(), Permutation::new(&[4, 1, 2, 0, 3]).unwrap())
+}
+
+/// Run the slice sweep: for every candidate slice, the actual (simulated)
+/// time and the predicted time; the `chosen` column marks the predictor's
+/// pick. `predictor` is typically the trained regression model.
+pub fn run(
+    device: &DeviceConfig,
+    predictor: &Arc<dyn TimePredictor>,
+    shape: &Shape,
+    perm: &Permutation,
+) -> Table {
+    let t = Transposer::with_predictor(device.clone(), Arc::clone(predictor));
+    let p = Problem::new(shape, perm).expect("valid problem");
+    let choices = slice::od_candidates::<f64>(&p, device, slice::DEFAULT_OVERBOOKING);
+
+    struct Row {
+        slice_vol: usize,
+        a: usize,
+        b: usize,
+        actual_ns: f64,
+        predicted_ns: f64,
+    }
+    let mut rows = Vec::new();
+    for c in choices {
+        let cand = features::od_candidate::<f64>(&p, c);
+        let predicted_ns = predictor.predict_ns(&cand);
+        let m = t.measure_candidate::<f64>(&p, &cand).expect("candidate measures");
+        rows.push(Row {
+            slice_vol: cand.input_slice * cand.output_slice,
+            a: cand.input_slice,
+            b: cand.output_slice,
+            actual_ns: m.timing.time_ns,
+            predicted_ns,
+        });
+    }
+    rows.sort_by_key(|r| r.slice_vol);
+    let best_pred = rows
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.predicted_ns.partial_cmp(&b.predicted_ns).expect("finite"))
+        .map(|(i, _)| i);
+
+    let mut table = Table::new(
+        "Fig. 5: dims 27^5, perm 4 1 2 0 3 — predicted vs actual per slice variant (us)",
+        &["slice_vol", "A", "B", "ATIME", "PTIME", "chosen"],
+    );
+    for (i, r) in rows.iter().enumerate() {
+        table.push_row(vec![
+            r.slice_vol.to_string(),
+            r.a.to_string(),
+            r.b.to_string(),
+            us(r.actual_ns),
+            us(r.predicted_ns),
+            if Some(i) == best_pred { "*".into() } else { "".into() },
+        ]);
+    }
+    table
+}
+
+/// Prediction-quality summary of the sweep: Spearman-style trend check —
+/// the predicted-best variant's actual time relative to the true optimum
+/// (1.0 = the model picked the fastest slice).
+pub fn choice_quality(
+    device: &DeviceConfig,
+    predictor: &Arc<dyn TimePredictor>,
+    shape: &Shape,
+    perm: &Permutation,
+) -> f64 {
+    let t = Transposer::with_predictor(device.clone(), Arc::clone(predictor));
+    let p = Problem::new(shape, perm).expect("valid problem");
+    let choices = slice::od_candidates::<f64>(&p, device, slice::DEFAULT_OVERBOOKING);
+    let mut best_actual = f64::INFINITY;
+    let mut chosen_actual = f64::INFINITY;
+    let mut best_pred = f64::INFINITY;
+    for c in choices {
+        let cand = features::od_candidate::<f64>(&p, c);
+        let pred = predictor.predict_ns(&cand);
+        let actual = t
+            .measure_candidate::<f64>(&p, &cand)
+            .expect("candidate measures")
+            .timing
+            .time_ns;
+        best_actual = best_actual.min(actual);
+        if pred < best_pred {
+            best_pred = pred;
+            chosen_actual = actual;
+        }
+    }
+    best_actual / chosen_actual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttlg::AnalyticPredictor;
+
+    #[test]
+    fn sweep_has_variants_and_marks_choice() {
+        let device = DeviceConfig::k40c();
+        let pred: Arc<dyn TimePredictor> = Arc::new(AnalyticPredictor::new(device.clone()));
+        // smaller sibling of the paper case to keep the test quick
+        let shape = Shape::new(&[9, 9, 9, 9, 9]).unwrap();
+        let perm = Permutation::new(&[4, 1, 2, 0, 3]).unwrap();
+        let t = run(&device, &pred, &shape, &perm);
+        assert!(t.rows.len() >= 4, "want several slice variants, got {}", t.rows.len());
+        assert_eq!(t.rows.iter().filter(|r| r[5] == "*").count(), 1);
+        // slice volumes ascend
+        let vols: Vec<usize> = t.rows.iter().map(|r| r[0].parse().unwrap()).collect();
+        assert!(vols.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn analytic_choice_is_near_optimal() {
+        let device = DeviceConfig::k40c();
+        let pred: Arc<dyn TimePredictor> = Arc::new(AnalyticPredictor::new(device.clone()));
+        let shape = Shape::new(&[9, 9, 9, 9, 9]).unwrap();
+        let perm = Permutation::new(&[4, 1, 2, 0, 3]).unwrap();
+        let q = choice_quality(&device, &pred, &shape, &perm);
+        assert!(q > 0.6, "model choice was {q} of optimal");
+    }
+}

@@ -1,0 +1,143 @@
+//! Figs. 6-11: all 720 permutations of a 6D tensor (extents all 16, 15 or
+//! 17), repeated-use and single-use bandwidth for TTLG, cuTT-heuristic,
+//! cuTT-measure and (repeated-use only) TTC, grouped by scaled rank (the
+//! staircase line in the paper's charts).
+
+use crate::report::{bw, Table};
+use crate::runner::{Harness, SystemSet};
+use ttlg_tensor::generator::all_permutations_suite;
+
+/// Run one permutation suite. `stride` subsamples the 720 cases (1 =
+/// full fidelity; larger for quick runs). Returns
+/// `(repeated_use, single_use)` tables.
+pub fn run(harness: &Harness, extent: usize, stride: usize) -> (Table, Table) {
+    let suite = all_permutations_suite(6, extent);
+    let fig_rep = match extent {
+        16 => "Fig. 6",
+        15 => "Fig. 8",
+        17 => "Fig. 10",
+        _ => "Fig. 6-like",
+    };
+    let fig_single = match extent {
+        16 => "Fig. 7",
+        15 => "Fig. 9",
+        17 => "Fig. 11",
+        _ => "Fig. 7-like",
+    };
+    let mut rep = Table::new(
+        format!("{fig_rep}: 6D all-{extent}, repeated use (GB/s)"),
+        &["case", "perm", "rank", "TTLG", "cuTT-heur", "cuTT-meas", "TTC"],
+    );
+    let mut single = Table::new(
+        format!("{fig_single}: 6D all-{extent}, single use (GB/s)"),
+        &["case", "perm", "rank", "TTLG", "cuTT-heur", "cuTT-meas"],
+    );
+    for (i, case) in suite.iter().enumerate().step_by(stride.max(1)) {
+        let r = harness.run_case(case, SystemSet { ttc: true, naive: false });
+        let vol = r.volume;
+        rep.push_row(vec![
+            i.to_string(),
+            case.perm.to_string(),
+            r.scaled_rank.to_string(),
+            bw(r.ttlg.repeated_bw(vol, 8)),
+            bw(r.cutt_heuristic.repeated_bw(vol, 8)),
+            bw(r.cutt_measure.repeated_bw(vol, 8)),
+            bw(r.ttc.repeated_bw(vol, 8)),
+        ]);
+        single.push_row(vec![
+            i.to_string(),
+            case.perm.to_string(),
+            r.scaled_rank.to_string(),
+            bw(r.ttlg.single_bw(vol, 8)),
+            bw(r.cutt_heuristic.single_bw(vol, 8)),
+            bw(r.cutt_measure.single_bw(vol, 8)),
+        ]);
+    }
+    (rep, single)
+}
+
+/// Aggregate statistics of a permutation-suite run (used by tests and by
+/// the EXPERIMENTS.md summary): mean bandwidth per system and the
+/// win-rate of TTLG over cuTT-measure.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteSummary {
+    /// Mean repeated-use bandwidth of TTLG.
+    pub mean_ttlg: f64,
+    /// Mean repeated-use bandwidth of cuTT-heuristic.
+    pub mean_cutt_h: f64,
+    /// Mean repeated-use bandwidth of cuTT-measure.
+    pub mean_cutt_m: f64,
+    /// Mean repeated-use bandwidth of TTC.
+    pub mean_ttc: f64,
+    /// Fraction of cases where TTLG >= cuTT-measure.
+    pub ttlg_win_rate: f64,
+    /// Cases evaluated.
+    pub cases: usize,
+}
+
+/// Run the suite and summarize (repeated use).
+pub fn summarize(harness: &Harness, extent: usize, stride: usize) -> SuiteSummary {
+    let suite = all_permutations_suite(6, extent);
+    let mut s = SuiteSummary {
+        mean_ttlg: 0.0,
+        mean_cutt_h: 0.0,
+        mean_cutt_m: 0.0,
+        mean_ttc: 0.0,
+        ttlg_win_rate: 0.0,
+        cases: 0,
+    };
+    for case in suite.iter().step_by(stride.max(1)) {
+        let r = harness.run_case(case, SystemSet { ttc: true, naive: false });
+        let vol = r.volume;
+        s.mean_ttlg += r.ttlg.repeated_bw(vol, 8);
+        s.mean_cutt_h += r.cutt_heuristic.repeated_bw(vol, 8);
+        s.mean_cutt_m += r.cutt_measure.repeated_bw(vol, 8);
+        s.mean_ttc += r.ttc.repeated_bw(vol, 8);
+        if r.ttlg.kernel_ns <= r.cutt_measure.kernel_ns * 1.001 {
+            s.ttlg_win_rate += 1.0;
+        }
+        s.cases += 1;
+    }
+    let n = s.cases.max(1) as f64;
+    s.mean_ttlg /= n;
+    s.mean_cutt_h /= n;
+    s.mean_cutt_m /= n;
+    s.mean_ttc /= n;
+    s.ttlg_win_rate /= n;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_has_expected_shape() {
+        let h = Harness::k40c();
+        // stride 60 -> 12 of the 720 cases, cheap enough for a unit test
+        let (rep, single) = run(&h, 16, 60);
+        assert_eq!(rep.rows.len(), 12);
+        assert_eq!(single.rows.len(), 12);
+        // staircase: rank column non-decreasing
+        let ranks: Vec<usize> =
+            rep.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(ranks.windows(2).all(|w| w[0] <= w[1]));
+        // single-use bandwidth never exceeds repeated-use for TTLG
+        for (r, s) in rep.rows.iter().zip(single.rows.iter()) {
+            let rb: f64 = r[3].parse().unwrap();
+            let sb: f64 = s[3].parse().unwrap();
+            assert!(sb <= rb + 1e-9, "single {sb} > repeated {rb}");
+        }
+    }
+
+    #[test]
+    fn summary_orders_systems_like_the_paper() {
+        let h = Harness::k40c();
+        let s = summarize(&h, 16, 48); // 15 cases
+        // Paper shape: TTLG >= cuTT-measure >= cuTT-heuristic > TTC.
+        assert!(s.mean_ttlg >= s.mean_cutt_m * 0.95, "{s:?}");
+        assert!(s.mean_cutt_m >= s.mean_cutt_h * 0.999, "{s:?}");
+        assert!(s.mean_cutt_h > s.mean_ttc * 0.9, "{s:?}");
+        assert!(s.ttlg_win_rate > 0.5, "{s:?}");
+    }
+}

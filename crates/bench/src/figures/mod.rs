@@ -1,0 +1,12 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig5;
+pub mod fig_perms;
+pub mod table1;
+pub mod table2;
+pub mod table3;

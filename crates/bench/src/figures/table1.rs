@@ -1,0 +1,114 @@
+//! Table I: the closed-form transaction analysis of the four kernels,
+//! cross-checked against counts *measured* by the simulator.
+
+use crate::report::Table;
+use ttlg::kernels::{
+    FviMatchLargeKernel, FviMatchSmallKernel, OaChoice, OdChoice, OrthogonalArbitraryKernel,
+    OrthogonalDistinctKernel,
+};
+use ttlg::{analysis, Problem};
+use ttlg_gpu_sim::{BlockKernel, DeviceConfig, Executor};
+use ttlg_tensor::{Permutation, Shape};
+
+/// Run the analysis/measurement comparison on representative cases.
+pub fn run(device: &DeviceConfig) -> Table {
+    let ex = Executor::new(device.clone());
+    let mut t = Table::new(
+        "Table I: transaction analysis (formula vs measured, f64)",
+        &["kernel", "case", "quantity", "formula", "measured"],
+    );
+    let mut push = |kernel: &str, case: &str, what: &str, formula: f64, measured: u64| {
+        t.push_row(vec![
+            kernel.into(),
+            case.into(),
+            what.into(),
+            format!("{formula:.0}"),
+            measured.to_string(),
+        ]);
+    };
+
+    // FVI-Match-Small: [8,8,8,8] => [a,d,c,b], b = 4.
+    {
+        let p = Problem::new(
+            &Shape::new(&[8, 8, 8, 8]).unwrap(),
+            &Permutation::new(&[0, 3, 2, 1]).unwrap(),
+        )
+        .unwrap();
+        let c1 = analysis::c1_fvi_match_small::<f64>(&p, 4);
+        let k = FviMatchSmallKernel::<f64>::with_b(&p, 4);
+        let got = ex.analyze(&k).expect("launches");
+        push("FVI-Match-Small", "8^4 adcb", "DRAM load (C1)", c1, got.stats.dram_load_tx);
+        push("FVI-Match-Small", "8^4 adcb", "DRAM store (C1)", c1, got.stats.dram_store_tx);
+    }
+
+    // FVI-Match-Large: [64,5,7] => [a,c,b].
+    {
+        let p = Problem::new(
+            &Shape::new(&[64, 5, 7]).unwrap(),
+            &Permutation::new(&[0, 2, 1]).unwrap(),
+        )
+        .unwrap();
+        let c2 = analysis::c2_fvi_match_large::<f64>(&p);
+        let k = FviMatchLargeKernel::<f64>::new(&p);
+        let got = ex.analyze(&k).expect("launches");
+        push("FVI-Match-Large", "64x5x7 acb", "DRAM load (C2)", c2, got.stats.dram_load_tx);
+        push("FVI-Match-Large", "64x5x7 acb", "DRAM store (C2)", c2, got.stats.dram_store_tx);
+        push("FVI-Match-Large", "64x5x7 acb", "smem accesses", 0.0, got.stats.smem_total_acc());
+    }
+
+    // Orthogonal-Distinct: [16,2,32,32] => reversal.
+    {
+        let p = Problem::new(
+            &Shape::new(&[16, 2, 32, 32]).unwrap(),
+            &Permutation::new(&[3, 2, 1, 0]).unwrap(),
+        )
+        .unwrap();
+        let c = OdChoice::default_for(&p).unwrap();
+        let a = analysis::analyze_orthogonal_distinct::<f64>(&p, &c);
+        let k = OrthogonalDistinctKernel::<f64>::new(&p, c);
+        let got = ex.analyze(&k).expect("launches");
+        push("Orth-Distinct", "16x2x32x32 rev", "DRAM load (C3)", a.input.dram, got.stats.dram_load_tx);
+        push("Orth-Distinct", "16x2x32x32 rev", "DRAM store (C3')", a.output.dram, got.stats.dram_store_tx);
+    }
+
+    // Orthogonal-Arbitrary: [8,2,8,8] => [c,b,d,a] with full combining.
+    {
+        let p = Problem::new(
+            &Shape::new(&[8, 2, 8, 8]).unwrap(),
+            &Permutation::new(&[2, 1, 3, 0]).unwrap(),
+        )
+        .unwrap();
+        let c = OaChoice { in_dims: 3, block_a: 8, out_dims: 3, block_b: 8 };
+        let a = analysis::analyze_orthogonal_arbitrary::<f64>(&p, &c);
+        let k = OrthogonalArbitraryKernel::<f64>::new(&p, c, device.smem_per_sm);
+        let got = ex.analyze(&k).expect("launches");
+        push("Orth-Arbitrary", "8x2x8x8 cbda", "DRAM load (C3)", a.input.dram, got.stats.dram_load_tx);
+        push("Orth-Arbitrary", "8x2x8x8 cbda", "DRAM store (C3')", a.output.dram, got.stats.dram_store_tx);
+        let _ = k.launch();
+    }
+
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_match_measurements() {
+        let t = run(&DeviceConfig::k40c());
+        assert!(t.rows.len() >= 8);
+        for row in &t.rows {
+            if row[2].contains("DRAM") {
+                assert_eq!(row[3], row[4], "mismatch in {row:?}");
+            }
+        }
+        // FVI-Match-Large uses no shared memory at all (Table I row 2).
+        let fml_smem = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "FVI-Match-Large" && r[2] == "smem accesses")
+            .unwrap();
+        assert_eq!(fml_smem[4], "0");
+    }
+}

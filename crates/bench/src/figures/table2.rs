@@ -1,0 +1,56 @@
+//! Table II: train the two regression models offline and report
+//! estimates, standard errors, t-values, p-values and the precision
+//! metric, exactly in the paper's format.
+
+use crate::report::Table;
+use ttlg_gpu_sim::DeviceConfig;
+use ttlg_perfmodel::train::{train_models, TrainConfig, TrainedModels};
+
+/// Train with the given configuration and return the trained models plus
+/// the rendered table.
+pub fn run(device: &DeviceConfig, cfg: &TrainConfig) -> (TrainedModels, Table) {
+    let models = train_models::<f64>(device, cfg).expect("training succeeds");
+    let mut t = Table::new(
+        "Table II: linear-regression fits (per-kernel models)",
+        &["model", "feature", "estimate", "std.error", "t", "p"],
+    );
+    for m in [&models.od, &models.oa] {
+        for c in &m.fit.stats {
+            t.push_row(vec![
+                m.schema.to_string(),
+                c.name.clone(),
+                format!("{:.4e}", c.estimate),
+                format!("{:.4e}", c.std_error),
+                format!("{:.2}", c.t_value),
+                if c.p_value < 2e-16 { "<2e-16".into() } else { format!("{:.2e}", c.p_value) },
+            ]);
+        }
+        t.push_row(vec![
+            m.schema.to_string(),
+            "precision(train/test)".into(),
+            format!("{:.3}%", m.train_precision),
+            format!("{:.3}%", m.test_precision),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    (models, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_both_models_and_precisions() {
+        let device = DeviceConfig::k40c();
+        let (models, t) = run(&device, &TrainConfig::quick());
+        // 6 rows (intercept + 5 features) + precision for OD,
+        // 8 rows + precision for OA.
+        assert_eq!(t.rows.len(), 6 + 1 + 8 + 1);
+        assert!(models.od.n_train > 0 && models.oa.n_train > 0);
+        let rendered = t.render();
+        assert!(rendered.contains("Cycles"));
+        assert!(rendered.contains("precision"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Tabular reporting: aligned text tables plus CSV export.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-labelled table of f64/text cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (figure/table id + description).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut s = format!("== {} ==\n", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        s.push_str(&header.join("  "));
+        s.push('\n');
+        s.push_str(&"-".repeat(header.join("  ").len()));
+        s.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> =
+                row.iter().zip(widths.iter()).map(|(c, w)| format!("{c:>w$}")).collect();
+            s.push_str(&line.join("  "));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Write as CSV.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            writeln!(f, "{}", escaped.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a bandwidth cell.
+pub fn bw(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a time-in-ns cell as microseconds.
+pub fn us(v_ns: f64) -> String {
+    format!("{:.2}", v_ns / 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1.0".into()]);
+        t.push_row(vec!["longer-name".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + rule + 2 rows + title
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_basics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("ttlg-bench-test");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a,b\n"));
+        assert!(content.contains("\"x,y\",2"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(bw(123.456), "123.5");
+        assert_eq!(us(1500.0), "1.50");
+    }
+}

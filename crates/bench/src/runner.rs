@@ -1,0 +1,206 @@
+//! The measurement harness: runs one transposition case through every
+//! system (TTLG, cuTT-heuristic, cuTT-measure, TTC, naive) in timing mode
+//! and reports the paper's two scenarios — repeated use (kernel time only)
+//! and single use (plan time included).
+
+use std::sync::Arc;
+use ttlg::{TimePredictor, Transposer, TransposeOptions};
+use ttlg_baselines::cutt::{CuttLibrary, CuttMode};
+use ttlg_baselines::naive::NaiveTranspose;
+use ttlg_baselines::ttc::TtcGenerator;
+use ttlg_gpu_sim::{timing, DeviceConfig};
+use ttlg_tensor::generator::Case;
+
+/// Kernel and plan time of one system on one case.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemTimes {
+    /// Kernel execution time, ns.
+    pub kernel_ns: f64,
+    /// Plan-construction time, ns (0 where not applicable).
+    pub plan_ns: f64,
+}
+
+impl SystemTimes {
+    /// The paper's bandwidth metric for the repeated-use scenario.
+    pub fn repeated_bw(&self, volume: usize, elem_bytes: usize) -> f64 {
+        timing::bandwidth_gbps(volume, elem_bytes, self.kernel_ns)
+    }
+
+    /// Bandwidth for the single-use scenario (plan + one kernel run).
+    pub fn single_bw(&self, volume: usize, elem_bytes: usize) -> f64 {
+        timing::bandwidth_gbps(volume, elem_bytes, self.kernel_ns + self.plan_ns)
+    }
+
+    /// Bandwidth when the plan is amortised over `n` kernel calls
+    /// (Fig. 12).
+    pub fn amortized_bw(&self, volume: usize, elem_bytes: usize, n: usize) -> f64 {
+        let total = self.plan_ns + n as f64 * self.kernel_ns;
+        timing::bandwidth_gbps(volume * n, elem_bytes, total)
+    }
+}
+
+/// All systems on one case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The case label.
+    pub name: String,
+    /// Elements.
+    pub volume: usize,
+    /// Scaled rank after fusion.
+    pub scaled_rank: usize,
+    /// TTLG with the model-driven planner.
+    pub ttlg: SystemTimes,
+    /// cuTT heuristic mode.
+    pub cutt_heuristic: SystemTimes,
+    /// cuTT measure mode.
+    pub cutt_measure: SystemTimes,
+    /// TTC generated code (no online plan time; codegen is offline).
+    pub ttc: SystemTimes,
+    /// Naive d-loop kernel.
+    pub naive: SystemTimes,
+}
+
+/// Which systems to run (the naive kernel and TTC are skipped in some
+/// figures).
+#[derive(Debug, Clone, Copy)]
+pub struct SystemSet {
+    /// Include TTC (repeated-use figures only in the paper).
+    pub ttc: bool,
+    /// Include the naive kernel (not in the paper's charts; used by the
+    /// ablation studies).
+    pub naive: bool,
+}
+
+impl Default for SystemSet {
+    fn default() -> Self {
+        SystemSet { ttc: true, naive: false }
+    }
+}
+
+/// The harness owns one instance of every system.
+pub struct Harness {
+    device: DeviceConfig,
+    ttlg: Transposer,
+    cutt: CuttLibrary,
+    ttc: TtcGenerator,
+    naive: NaiveTranspose,
+}
+
+impl Harness {
+    /// Build with TTLG's default (analytic) predictor.
+    pub fn new(device: DeviceConfig) -> Self {
+        Harness {
+            ttlg: Transposer::new(device.clone()),
+            cutt: CuttLibrary::new(device.clone()),
+            ttc: TtcGenerator::new(device.clone()),
+            naive: NaiveTranspose::new(device.clone()),
+            device,
+        }
+    }
+
+    /// Build with a custom TTLG predictor (e.g. the trained regressions).
+    pub fn with_predictor(device: DeviceConfig, predictor: Arc<dyn TimePredictor>) -> Self {
+        Harness {
+            ttlg: Transposer::with_predictor(device.clone(), predictor),
+            cutt: CuttLibrary::new(device.clone()),
+            ttc: TtcGenerator::new(device.clone()),
+            naive: NaiveTranspose::new(device.clone()),
+            device,
+        }
+    }
+
+    /// The paper's machine.
+    pub fn k40c() -> Self {
+        Self::new(DeviceConfig::k40c())
+    }
+
+    /// Access the TTLG instance.
+    pub fn ttlg(&self) -> &Transposer {
+        &self.ttlg
+    }
+
+    /// The device under test.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// Run every requested system on a case (f64 elements, as in the
+    /// paper's bandwidth accounting).
+    pub fn run_case(&self, case: &Case, systems: SystemSet) -> CaseResult {
+        let ttlg = {
+            let plan = self
+                .ttlg
+                .plan::<f64>(&case.shape, &case.perm, &TransposeOptions::default())
+                .expect("TTLG plans every case");
+            let r = self.ttlg.time_plan(&plan).expect("TTLG times every case");
+            SystemTimes { kernel_ns: r.kernel_time_ns, plan_ns: r.plan_time_ns }
+        };
+        let cutt_heuristic = {
+            let plan = self.cutt.plan::<f64>(&case.shape, &case.perm, CuttMode::Heuristic);
+            let r = self.cutt.time_plan(&plan);
+            SystemTimes { kernel_ns: r.kernel_time_ns, plan_ns: r.plan_time_ns }
+        };
+        let cutt_measure = {
+            let plan = self.cutt.plan::<f64>(&case.shape, &case.perm, CuttMode::Measure);
+            let r = self.cutt.time_plan(&plan);
+            SystemTimes { kernel_ns: r.kernel_time_ns, plan_ns: r.plan_time_ns }
+        };
+        let ttc = if systems.ttc {
+            let exe = self.ttc.generate::<f64>(&case.shape, &case.perm);
+            let r = self.ttc.time(&exe);
+            SystemTimes { kernel_ns: r.kernel_time_ns, plan_ns: 0.0 }
+        } else {
+            SystemTimes::default()
+        };
+        let naive = if systems.naive {
+            let r = self.naive.time::<f64>(&case.shape, &case.perm);
+            SystemTimes { kernel_ns: r.kernel_time_ns, plan_ns: 0.0 }
+        } else {
+            SystemTimes::default()
+        };
+        CaseResult {
+            name: case.name.clone(),
+            volume: case.volume(),
+            scaled_rank: case.scaled_rank(),
+            ttlg,
+            cutt_heuristic,
+            cutt_measure,
+            ttc,
+            naive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttlg_tensor::generator::Case;
+
+    #[test]
+    fn runs_all_systems_on_a_case() {
+        let h = Harness::k40c();
+        let case = Case::new("t", &[16, 16, 16, 16], &[3, 1, 2, 0]);
+        let r = h.run_case(&case, SystemSet { ttc: true, naive: true });
+        assert!(r.ttlg.kernel_ns > 0.0);
+        assert!(r.cutt_heuristic.kernel_ns > 0.0);
+        assert!(r.cutt_measure.kernel_ns > 0.0);
+        assert!(r.ttc.kernel_ns > 0.0);
+        assert!(r.naive.kernel_ns > r.ttlg.kernel_ns, "naive must lose");
+        // measure-mode planning is the most expensive
+        assert!(r.cutt_measure.plan_ns > r.cutt_heuristic.plan_ns);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let s = SystemTimes { kernel_ns: 1000.0, plan_ns: 1000.0 };
+        let vol = 1000;
+        let rep = s.repeated_bw(vol, 8);
+        let single = s.single_bw(vol, 8);
+        assert!((rep - 16.0).abs() < 1e-9); // 2*1000*8/1000
+        assert!((single - 8.0).abs() < 1e-9);
+        // amortization approaches repeated-use bandwidth
+        let amort = s.amortized_bw(vol, 8, 1_000_000);
+        assert!((amort - rep).abs() / rep < 1e-3);
+        assert!((s.amortized_bw(vol, 8, 1) - single).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,363 @@
+//! Implementation of the `ttlg` command-line tool. The logic lives here
+//! (testable); `main.rs` is a thin shell.
+//!
+//! ```text
+//! ttlg plan    16,16,16,16,16,16 4,1,2,5,3,0
+//! ttlg run     32,32,32 2,1,0 --verify
+//! ttlg predict 27,27,27,27,27 4,1,2,0,3
+//! ttlg compare 16,16,16,16,16,16 4,1,2,5,3,0
+//! ttlg contract "kil,ljk->ij" 8,24,12 12,20,8
+//! ttlg devices
+//! ```
+
+use std::fmt::Write as _;
+use ttlg::{Transposer, TransposeOptions};
+use ttlg_baselines::cutt::{CuttLibrary, CuttMode};
+use ttlg_baselines::naive::NaiveTranspose;
+use ttlg_baselines::ttc::TtcGenerator;
+use ttlg_contract::{ContractionEngine, ContractionSpec};
+use ttlg_gpu_sim::DeviceConfig;
+use ttlg_tensor::{reference, DenseTensor, Permutation, Shape};
+
+/// CLI errors (also carry usage problems).
+#[derive(Debug)]
+pub enum CliError {
+    /// Malformed arguments, with an explanation.
+    Usage(String),
+    /// Anything the libraries rejected.
+    Failed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}\n\n{USAGE}"),
+            CliError::Failed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+ttlg — tensor transposition on the simulated K40c
+
+USAGE:
+  ttlg plan     <extents> <perm> [--no-sweep]   show the planner's choice
+  ttlg run      <extents> <perm> [--verify]     execute and report bandwidth
+  ttlg predict  <extents> <perm>                queryable-model estimate
+  ttlg compare  <extents> <perm>                TTLG vs cuTT vs TTC vs naive
+  ttlg profile  <extents> <perm>                nvprof-style kernel counters
+  ttlg contract <spec> <extentsA> <extentsB>    TTGT contraction (f64)
+  ttlg devices                                  list device presets
+
+  <extents>  comma-separated, dim 0 fastest-varying (e.g. 16,16,16)
+  <perm>     comma-separated, out dim i = in dim perm[i] (e.g. 2,1,0)";
+
+fn parse_usize_list(s: &str, what: &str) -> Result<Vec<usize>, CliError> {
+    s.split(',')
+        .map(|x| x.trim().parse::<usize>())
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|_| CliError::Usage(format!("could not parse {what}: {s:?}")))
+}
+
+fn parse_problem(extents: &str, perm: &str) -> Result<(Shape, Permutation), CliError> {
+    let shape = Shape::new(&parse_usize_list(extents, "extents")?)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let perm = Permutation::new(&parse_usize_list(perm, "permutation")?)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    if perm.rank() != shape.rank() {
+        return Err(CliError::Usage(format!(
+            "rank mismatch: {} extents vs {} permutation entries",
+            shape.rank(),
+            perm.rank()
+        )));
+    }
+    Ok((shape, perm))
+}
+
+/// Dispatch a full argument vector (without the program name). Returns
+/// the text to print.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(|| CliError::Usage("missing command".into()))?;
+    let rest: Vec<&String> = it.collect();
+    match cmd.as_str() {
+        "plan" => cmd_plan(&rest),
+        "run" => cmd_run(&rest),
+        "predict" => cmd_predict(&rest),
+        "compare" => cmd_compare(&rest),
+        "profile" => cmd_profile(&rest),
+        "contract" => cmd_contract(&rest),
+        "devices" => Ok(cmd_devices()),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn two_positional<'a>(rest: &'a [&String], cmd: &str) -> Result<(&'a str, &'a str), CliError> {
+    let pos: Vec<&&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
+    if pos.len() != 2 {
+        return Err(CliError::Usage(format!("{cmd} needs <extents> <perm>")));
+    }
+    Ok((pos[0].as_str(), pos[1].as_str()))
+}
+
+fn cmd_plan(rest: &[&String]) -> Result<String, CliError> {
+    let (e, p) = two_positional(rest, "plan")?;
+    let (shape, perm) = parse_problem(e, p)?;
+    let sweep = !rest.iter().any(|a| a.as_str() == "--no-sweep");
+    let t = Transposer::new_k40c();
+    let opts = TransposeOptions { model_sweep: sweep, ..Default::default() };
+    let plan = t.plan::<f64>(&shape, &perm, &opts).map_err(|e| CliError::Failed(e.to_string()))?;
+    let launch = plan.launch();
+    let mut s = String::new();
+    writeln!(s, "problem    : {shape} perm {perm}").unwrap();
+    writeln!(s, "fused rank : {}", plan.problem().rank()).unwrap();
+    writeln!(s, "schema     : {}", plan.schema()).unwrap();
+    writeln!(
+        s,
+        "launch     : {} blocks x {} threads, {} B smem",
+        launch.grid_blocks, launch.threads_per_block, launch.smem_bytes_per_block
+    )
+    .unwrap();
+    writeln!(s, "candidates : {}", plan.candidates_evaluated()).unwrap();
+    writeln!(s, "predicted  : {:.2} us kernel, {:.2} us plan", plan.predicted_ns() / 1e3, plan.plan_time_ns() / 1e3)
+        .unwrap();
+    Ok(s)
+}
+
+fn cmd_run(rest: &[&String]) -> Result<String, CliError> {
+    let (e, p) = two_positional(rest, "run")?;
+    let (shape, perm) = parse_problem(e, p)?;
+    let verify = rest.iter().any(|a| a.as_str() == "--verify");
+    let t = Transposer::new_k40c();
+    let input: DenseTensor<f64> = DenseTensor::iota(shape.clone());
+    let (out, report) =
+        t.transpose(&input, &perm).map_err(|e| CliError::Failed(e.to_string()))?;
+    let mut s = String::new();
+    writeln!(s, "schema    : {}", report.schema).unwrap();
+    writeln!(s, "kernel    : {:.2} us", report.kernel_time_ns / 1e3).unwrap();
+    writeln!(s, "bandwidth : {:.1} GB/s (paper metric 2*V*8/t)", report.bandwidth_gbps).unwrap();
+    writeln!(
+        s,
+        "DRAM tx   : {} loads, {} stores ({} B)",
+        report.stats.dram_load_tx,
+        report.stats.dram_store_tx,
+        report.stats.dram_bytes()
+    )
+    .unwrap();
+    if verify {
+        let expect = reference::transpose_reference(&input, &perm)
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        if out.data() == expect.data() {
+            writeln!(s, "verify    : OK ({} elements)", out.volume()).unwrap();
+        } else {
+            return Err(CliError::Failed("verification FAILED".into()));
+        }
+    }
+    Ok(s)
+}
+
+fn cmd_predict(rest: &[&String]) -> Result<String, CliError> {
+    let (e, p) = two_positional(rest, "predict")?;
+    let (shape, perm) = parse_problem(e, p)?;
+    let t = Transposer::new_k40c();
+    let ns = t
+        .predict_transpose_ns::<f64>(&shape, &perm)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let bw = 2.0 * shape.volume() as f64 * 8.0 / ns;
+    Ok(format!("predicted: {:.2} us (~{:.1} GB/s) for {shape} perm {perm}\n", ns / 1e3, bw))
+}
+
+fn cmd_compare(rest: &[&String]) -> Result<String, CliError> {
+    let (e, p) = two_positional(rest, "compare")?;
+    let (shape, perm) = parse_problem(e, p)?;
+    let vol = shape.volume();
+    let bw = |ns: f64| 2.0 * vol as f64 * 8.0 / ns;
+    let device = DeviceConfig::k40c();
+    let mut s = String::new();
+    writeln!(s, "{:<16} {:>12} {:>12} {:>14}", "system", "kernel us", "GB/s", "plan us").unwrap();
+
+    let t = Transposer::new_k40c();
+    let plan = t
+        .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let r = t.time_plan(&plan).map_err(|e| CliError::Failed(e.to_string()))?;
+    writeln!(
+        s,
+        "{:<16} {:>12.2} {:>12.1} {:>14.2}",
+        format!("TTLG ({})", r.schema),
+        r.kernel_time_ns / 1e3,
+        bw(r.kernel_time_ns),
+        r.plan_time_ns / 1e3
+    )
+    .unwrap();
+
+    let cutt = CuttLibrary::new(device.clone());
+    for (label, mode) in [("cuTT-heuristic", CuttMode::Heuristic), ("cuTT-measure", CuttMode::Measure)] {
+        let plan = cutt.plan::<f64>(&shape, &perm, mode);
+        let r = cutt.time_plan(&plan);
+        writeln!(
+            s,
+            "{:<16} {:>12.2} {:>12.1} {:>14.2}",
+            label,
+            r.kernel_time_ns / 1e3,
+            bw(r.kernel_time_ns),
+            r.plan_time_ns / 1e3
+        )
+        .unwrap();
+    }
+    let ttc = TtcGenerator::new(device.clone());
+    let exe = ttc.generate::<f64>(&shape, &perm);
+    let r = ttc.time(&exe);
+    writeln!(
+        s,
+        "{:<16} {:>12.2} {:>12.1} {:>14}",
+        "TTC (offline)",
+        r.kernel_time_ns / 1e3,
+        bw(r.kernel_time_ns),
+        "8s codegen"
+    )
+    .unwrap();
+    let nv = NaiveTranspose::new(device);
+    let r = nv.time::<f64>(&shape, &perm);
+    writeln!(s, "{:<16} {:>12.2} {:>12.1} {:>14.2}", "naive", r.kernel_time_ns / 1e3, bw(r.kernel_time_ns), 0.0)
+        .unwrap();
+    Ok(s)
+}
+
+fn cmd_profile(rest: &[&String]) -> Result<String, CliError> {
+    let (e, p) = two_positional(rest, "profile")?;
+    let (shape, perm) = parse_problem(e, p)?;
+    let t = Transposer::new_k40c();
+    let plan = t
+        .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let prof = t.profile_plan(&plan).map_err(|e| CliError::Failed(e.to_string()))?;
+    Ok(prof.render())
+}
+
+fn cmd_contract(rest: &[&String]) -> Result<String, CliError> {
+    let pos: Vec<&&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
+    if pos.len() != 3 {
+        return Err(CliError::Usage("contract needs <spec> <extentsA> <extentsB>".into()));
+    }
+    let spec = ContractionSpec::parse(pos[0]).map_err(|e| CliError::Usage(e.to_string()))?;
+    let sa = Shape::new(&parse_usize_list(pos[1], "extentsA")?)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let sb = Shape::new(&parse_usize_list(pos[2], "extentsB")?)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let engine = ContractionEngine::new_k40c();
+    let plan = engine.plan(&spec, &sa, &sb).map_err(|e| CliError::Failed(e.to_string()))?;
+    let a: DenseTensor<f64> = DenseTensor::iota(sa);
+    let b: DenseTensor<f64> = DenseTensor::iota(sb);
+    let (c, report) = engine.execute(&plan, &a, &b).map_err(|e| CliError::Failed(e.to_string()))?;
+    let mut s = String::new();
+    writeln!(s, "spec       : {}", pos[0]).unwrap();
+    writeln!(s, "GEMM       : m={} n={} k={}", report.gemm.0, report.gemm.1, report.gemm.2).unwrap();
+    writeln!(
+        s,
+        "layout     : k-order {:?}{}",
+        plan.layout.k_order,
+        if plan.layout.swapped { " (swapped)" } else { "" }
+    )
+    .unwrap();
+    writeln!(s, "candidates : {}", report.candidates_priced).unwrap();
+    for (label, r) in &report.transposes {
+        writeln!(s, "transpose {label}: {} at {:.1} GB/s", r.schema, r.bandwidth_gbps).unwrap();
+    }
+    writeln!(s, "output     : {}", c.shape()).unwrap();
+    Ok(s)
+}
+
+fn cmd_devices() -> String {
+    let mut s = String::new();
+    for d in [DeviceConfig::k40c(), DeviceConfig::test_tiny()] {
+        writeln!(
+            s,
+            "{:<24} {:>3} SMs  {:>6.0} MHz  {:>6.0} GB/s peak  {:>3} KiB smem/SM",
+            d.name,
+            d.num_sms,
+            d.clock_ghz * 1000.0,
+            d.dram_peak_gbps,
+            d.smem_per_sm / 1024
+        )
+        .unwrap();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        run_cli(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn plan_command() {
+        let out = run(&["plan", "16,16,16", "2,1,0"]).unwrap();
+        assert!(out.contains("schema"));
+        assert!(out.contains("Orthogonal"));
+    }
+
+    #[test]
+    fn run_command_with_verify() {
+        let out = run(&["run", "16,8,4", "2,0,1", "--verify"]).unwrap();
+        assert!(out.contains("verify    : OK"));
+    }
+
+    #[test]
+    fn predict_command() {
+        let out = run(&["predict", "32,32", "1,0"]).unwrap();
+        assert!(out.contains("predicted:"));
+    }
+
+    #[test]
+    fn compare_command_lists_all_systems() {
+        let out = run(&["compare", "16,16,16", "2,1,0"]).unwrap();
+        assert!(out.contains("TTLG"));
+        assert!(out.contains("cuTT-heuristic"));
+        assert!(out.contains("cuTT-measure"));
+        assert!(out.contains("TTC"));
+        assert!(out.contains("naive"));
+    }
+
+    #[test]
+    fn profile_command() {
+        let out = run(&["profile", "32,32,32", "2,1,0"]).unwrap();
+        assert!(out.contains("bottleneck"));
+        assert!(out.contains("dram"));
+    }
+
+    #[test]
+    fn contract_command() {
+        let out = run(&["contract", "kil,ljk->ij", "4,6,5", "5,7,4"]).unwrap();
+        assert!(out.contains("GEMM"));
+        assert!(out.contains("output"));
+    }
+
+    #[test]
+    fn devices_command() {
+        let out = run(&["devices"]).unwrap();
+        assert!(out.contains("K40c"));
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["bogus"]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["plan", "16,16"]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["plan", "16,x", "1,0"]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["plan", "16,16", "0,1,2"]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["contract", "bad", "1", "2"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(&["help"]).unwrap().contains("USAGE"));
+    }
+}

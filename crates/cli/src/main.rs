@@ -1,0 +1,12 @@
+//! The `ttlg` command-line tool (thin shell over `ttlg_cli::run_cli`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ttlg_cli::run_cli(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Executing a planned TTGT contraction: TTLG transposes, host GEMM,
+//! final TTLG transpose.
+
+use crate::gemm::gemm_f64;
+use crate::planner::{plan_contraction, ContractError, ContractionPlan};
+use crate::spec::ContractionSpec;
+use ttlg::{Transposer, TransposeOptions, TransposeReport};
+use ttlg_gpu_sim::DeviceConfig;
+use ttlg_tensor::{DenseTensor, Shape};
+
+/// What happened during one contraction.
+#[derive(Debug)]
+pub struct ContractionReport {
+    /// Reports for each transposition actually executed, labelled
+    /// "A", "B", "C".
+    pub transposes: Vec<(&'static str, TransposeReport)>,
+    /// GEMM dimensions used.
+    pub gemm: (usize, usize, usize),
+    /// Predicted transposition cost from planning, ns.
+    pub predicted_transpose_ns: f64,
+    /// Modeled transposition cost of the executed plan, ns.
+    pub actual_transpose_ns: f64,
+    /// Layout candidates priced during planning.
+    pub candidates_priced: usize,
+}
+
+/// A TTGT contraction engine bound to one device/model.
+pub struct ContractionEngine {
+    transposer: Transposer,
+}
+
+impl ContractionEngine {
+    /// Build on a device with TTLG's default predictor.
+    pub fn new(device: DeviceConfig) -> Self {
+        ContractionEngine { transposer: Transposer::new(device) }
+    }
+
+    /// The paper's machine.
+    pub fn new_k40c() -> Self {
+        Self::new(DeviceConfig::k40c())
+    }
+
+    /// Access the underlying transposer (e.g. for predictions).
+    pub fn transposer(&self) -> &Transposer {
+        &self.transposer
+    }
+
+    /// Plan a contraction (layout search via the prediction API).
+    pub fn plan(
+        &self,
+        spec: &ContractionSpec,
+        shape_a: &Shape,
+        shape_b: &Shape,
+    ) -> Result<ContractionPlan, ContractError> {
+        plan_contraction(&self.transposer, spec, shape_a, shape_b)
+    }
+
+    /// Execute a planned contraction.
+    pub fn execute(
+        &self,
+        plan: &ContractionPlan,
+        a: &DenseTensor<f64>,
+        b: &DenseTensor<f64>,
+    ) -> Result<(DenseTensor<f64>, ContractionReport), ContractError> {
+        assert_eq!(a.shape(), &plan.shape_a, "A shape does not match the plan");
+        assert_eq!(b.shape(), &plan.shape_b, "B shape does not match the plan");
+        let opts = TransposeOptions::default();
+        let mut transposes = Vec::new();
+        let mut actual_ns = 0.0;
+
+        // Bring A and B to their GEMM layouts.
+        let a_mat;
+        let a_ref: &DenseTensor<f64> = match &plan.perm_a {
+            Some(p) => {
+                let tp = self.transposer.plan::<f64>(a.shape(), p, &opts)?;
+                let (out, rep) = self.transposer.execute(&tp, a)?;
+                actual_ns += rep.kernel_time_ns;
+                transposes.push(("A", rep));
+                a_mat = out;
+                &a_mat
+            }
+            None => a,
+        };
+        let b_mat;
+        let b_ref: &DenseTensor<f64> = match &plan.perm_b {
+            Some(p) => {
+                let tp = self.transposer.plan::<f64>(b.shape(), p, &opts)?;
+                let (out, rep) = self.transposer.execute(&tp, b)?;
+                actual_ns += rep.kernel_time_ns;
+                transposes.push(("B", rep));
+                b_mat = out;
+                &b_mat
+            }
+            None => b,
+        };
+
+        // GEMM in the chosen orientation.
+        let (m, n, k) = plan.gemm;
+        let (rows, cols) = if plan.layout.swapped { (n, m) } else { (m, n) };
+        let mut c_lin = vec![0.0f64; rows * cols];
+        if plan.layout.swapped {
+            // D[n x m] = B'[n x k] * A'[k x m]
+            gemm_f64(n, m, k, b_ref.data(), a_ref.data(), &mut c_lin);
+        } else {
+            // C[m x n] = A'[m x k] * B'[k x n]
+            gemm_f64(m, n, k, a_ref.data(), b_ref.data(), &mut c_lin);
+        }
+
+        // Reshape the GEMM output to its native tensor form and finish
+        // with the output transposition if the requested order differs.
+        let lookup = {
+            let spec = &plan.spec;
+            let mut ext = std::collections::HashMap::new();
+            for (i, &l) in spec.a.iter().enumerate() {
+                ext.insert(l, plan.shape_a.extent(i));
+            }
+            for (i, &l) in spec.b.iter().enumerate() {
+                ext.insert(l, plan.shape_b.extent(i));
+            }
+            ext
+        };
+        let native_labels: Vec<char> = if plan.layout.swapped {
+            plan.spec.n_labels.iter().chain(plan.spec.m_labels.iter()).copied().collect()
+        } else {
+            plan.spec.m_labels.iter().chain(plan.spec.n_labels.iter()).copied().collect()
+        };
+        let native_shape = Shape::new(
+            &native_labels.iter().map(|l| lookup[l]).collect::<Vec<_>>(),
+        )
+        .expect("valid native shape");
+        let c_native = DenseTensor::from_data(native_shape, c_lin).expect("sized buffer");
+
+        let c_final = match &plan.perm_c {
+            Some(p) => {
+                let tp = self.transposer.plan::<f64>(c_native.shape(), p, &opts)?;
+                let (out, rep) = self.transposer.execute(&tp, &c_native)?;
+                actual_ns += rep.kernel_time_ns;
+                transposes.push(("C", rep));
+                out
+            }
+            None => c_native,
+        };
+
+        Ok((
+            c_final,
+            ContractionReport {
+                transposes,
+                gemm: plan.gemm,
+                predicted_transpose_ns: plan.predicted_transpose_ns,
+                actual_transpose_ns: actual_ns,
+                candidates_priced: plan.candidates_priced,
+            },
+        ))
+    }
+}
+
+/// One-shot convenience: parse, plan, execute.
+pub fn contract(
+    spec_str: &str,
+    a: &DenseTensor<f64>,
+    b: &DenseTensor<f64>,
+) -> Result<(DenseTensor<f64>, ContractionReport), Box<dyn std::error::Error>> {
+    let spec = ContractionSpec::parse(spec_str)?;
+    let engine = ContractionEngine::new_k40c();
+    let plan = engine.plan(&spec, a.shape(), b.shape())?;
+    Ok(engine.execute(&plan, a, b)?)
+}
+
+/// Reference contraction straight from the definition (exponential-ish;
+/// tests only).
+pub fn contract_reference(
+    spec: &ContractionSpec,
+    a: &DenseTensor<f64>,
+    b: &DenseTensor<f64>,
+) -> DenseTensor<f64> {
+    let mut ext = std::collections::HashMap::new();
+    for (i, &l) in spec.a.iter().enumerate() {
+        ext.insert(l, a.shape().extent(i));
+    }
+    for (i, &l) in spec.b.iter().enumerate() {
+        ext.insert(l, b.shape().extent(i));
+    }
+    let out_shape =
+        Shape::new(&spec.c.iter().map(|l| ext[l]).collect::<Vec<_>>()).expect("valid");
+    let mut out = DenseTensor::zeros(out_shape.clone());
+
+    // Odometer over output labels x contracted labels.
+    let all_labels: Vec<char> = spec.c.iter().chain(spec.k_labels.iter()).copied().collect();
+    let extents: Vec<usize> = all_labels.iter().map(|l| ext[l]).collect();
+    let total: usize = extents.iter().product();
+    let mut idx = vec![0usize; all_labels.len()];
+    let mut a_idx = vec![0usize; spec.a.len()];
+    let mut b_idx = vec![0usize; spec.b.len()];
+    let mut c_idx = vec![0usize; spec.c.len()];
+    for _ in 0..total {
+        for (j, &l) in spec.a.iter().enumerate() {
+            a_idx[j] = idx[all_labels.iter().position(|&x| x == l).expect("label")];
+        }
+        for (j, &l) in spec.b.iter().enumerate() {
+            b_idx[j] = idx[all_labels.iter().position(|&x| x == l).expect("label")];
+        }
+        for (j, _) in spec.c.iter().enumerate() {
+            c_idx[j] = idx[j];
+        }
+        let v = out.get(&c_idx) + a.get(&a_idx) * b.get(&b_idx);
+        out.set(&c_idx, v);
+        // increment odometer
+        for (slot, &e) in idx.iter_mut().zip(extents.iter()) {
+            *slot += 1;
+            if *slot < e {
+                break;
+            }
+            *slot = 0;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_tensor(extents: &[usize], seed: u64) -> DenseTensor<f64> {
+        let shape = Shape::new(extents).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..shape.volume()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        DenseTensor::from_data(shape, data).unwrap()
+    }
+
+    fn check(spec_str: &str, ea: &[usize], eb: &[usize]) {
+        let a = rand_tensor(ea, 1);
+        let b = rand_tensor(eb, 2);
+        let (c, report) = contract(spec_str, &a, &b).unwrap();
+        let spec = ContractionSpec::parse(spec_str).unwrap();
+        let expect = contract_reference(&spec, &a, &b);
+        assert_eq!(c.shape(), expect.shape(), "{spec_str}");
+        for (x, y) in c.data().iter().zip(expect.data().iter()) {
+            assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()), "{spec_str}");
+        }
+        assert!(report.candidates_priced >= 2);
+    }
+
+    #[test]
+    fn matrix_multiply() {
+        check("mk,kn->mn", &[12, 9], &[9, 14]);
+    }
+
+    #[test]
+    fn paper_style_contraction() {
+        check("kil,ljk->ij", &[6, 10, 5], &[5, 8, 6]);
+    }
+
+    #[test]
+    fn multi_mode_contraction() {
+        check("abk,kcd->acbd", &[4, 5, 6], &[6, 3, 7]);
+    }
+
+    #[test]
+    fn transposed_output() {
+        check("mk,kn->nm", &[10, 7], &[7, 11]);
+    }
+
+    #[test]
+    fn interleaved_output_modes() {
+        check("akb,kc->cab", &[5, 8, 4], &[8, 6]);
+    }
+
+    #[test]
+    fn two_contracted_modes() {
+        check("klm,mlkn->n", &[4, 5, 6], &[6, 5, 4, 9]);
+    }
+
+    #[test]
+    fn report_contents() {
+        let a = rand_tensor(&[8, 12, 6], 3);
+        let b = rand_tensor(&[6, 10, 8], 4);
+        let (_, report) = contract("kil,ljk->ij", &a, &b).unwrap();
+        assert_eq!(report.gemm, (12, 10, 48));
+        // Both inputs need repacking for this spec.
+        assert!(report.transposes.iter().any(|(l, _)| *l == "A"));
+        assert!(report.transposes.iter().any(|(l, _)| *l == "B"));
+        assert!(report.actual_transpose_ns > 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_loud() {
+        let spec = ContractionSpec::parse("mk,kn->mn").unwrap();
+        let engine = ContractionEngine::new_k40c();
+        let plan = engine
+            .plan(&spec, &Shape::new(&[4, 4]).unwrap(), &Shape::new(&[4, 4]).unwrap())
+            .unwrap();
+        let wrong = rand_tensor(&[5, 4], 9);
+        let b = rand_tensor(&[4, 4], 10);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = engine.execute(&plan, &wrong, &b);
+        }));
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! A small cache-blocked, thread-parallel host GEMM — the matrix
+//! multiplication substrate of the TTGT pipeline. Matrices follow the
+//! workspace layout convention: dimension 0 fastest, i.e. column-major
+//! with `A` being `m x k` stored as `a[i + p*m]`.
+
+use ttlg_tensor::parallel;
+
+/// Block size for the k/n blocking (fits comfortably in L1/L2).
+const BLOCK: usize = 64;
+
+/// `C[m x n] += A[m x k] * B[k x n]`, all column-major (dim 0 fastest).
+pub fn gemm_f64(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Parallelise over column panels of C (disjoint writes; panels are
+    // whole columns because the chunk length is a multiple of m).
+    parallel::parallel_chunks_mut(c, m * BLOCK, |panel, chunk| {
+        let n0 = panel * BLOCK;
+        let cols = chunk.len() / m;
+        for kb in (0..k).step_by(BLOCK) {
+            let kend = (kb + BLOCK).min(k);
+            for j in 0..cols {
+                let bcol = &b[(n0 + j) * k..(n0 + j) * k + k];
+                let ccol = &mut chunk[j * m..(j + 1) * m];
+                for p in kb..kend {
+                    let bv = bcol[p];
+                    if bv == 0.0 {
+                        continue;
+                    }
+                    let acol = &a[p * m..(p + 1) * m];
+                    for (cv, &av) in ccol.iter_mut().zip(acol.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Naive triple loop, for testing the blocked kernel.
+pub fn gemm_reference(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    for j in 0..n {
+        for p in 0..k {
+            let bv = b[p + j * k];
+            for i in 0..m {
+                c[i + j * m] += a[i + p * m] * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(n: usize, rng: &mut StdRng) -> Vec<f64> {
+        (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    #[test]
+    fn blocked_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(m, n, k) in &[(1usize, 1usize, 1usize), (7, 5, 3), (64, 64, 64), (65, 33, 129), (128, 1, 17)] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let mut c1 = vec![0.0; m * n];
+            let mut c2 = vec![0.0; m * n];
+            gemm_f64(m, n, k, &a, &b, &mut c1);
+            gemm_reference(m, n, k, &a, &b, &mut c2);
+            for (x, y) in c1.iter().zip(c2.iter()) {
+                assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()), "(m,n,k)=({m},{n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = vec![1.0, 2.0]; // 2x1
+        let b = vec![3.0];      // 1x1
+        let mut c = vec![10.0, 20.0];
+        gemm_f64(2, 1, 1, &a, &b, &mut c);
+        assert_eq!(c, vec![13.0, 26.0]);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let m = 16;
+        let a: Vec<f64> = (0..m * m).map(|i| i as f64).collect();
+        // B = I (m x m)
+        let mut b = vec![0.0; m * m];
+        for i in 0..m {
+            b[i + i * m] = 1.0;
+        }
+        let mut c = vec![0.0; m * m];
+        gemm_f64(m, m, m, &a, &b, &mut c);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn zero_dims_are_noops() {
+        let mut c: Vec<f64> = vec![];
+        gemm_f64(0, 0, 0, &[], &[], &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "A size")]
+    fn size_mismatch_panics() {
+        let mut c = vec![0.0; 4];
+        gemm_f64(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut c);
+    }
+}

@@ -1,0 +1,43 @@
+//! # ttlg-contract
+//!
+//! Tensor contractions via **TTGT**
+//! (Transpose-Transpose-GEMM-Transpose) — the use case the TTLG paper
+//! builds its queryable performance model for:
+//!
+//! > "tensor contractions are often implemented by using the TTGT
+//! > approach — transpose input tensors to a suitable layout and then use
+//! > high-performance matrix multiplication followed by transposition of
+//! > the result."
+//!
+//! The pipeline:
+//!
+//! 1. parse an einsum-style [`spec::ContractionSpec`] (e.g. `"kil,ljk->ij"`),
+//! 2. enumerate the matrix layouts GEMM could run in
+//!    ([`planner`]) and price each layout's transpositions with TTLG's
+//!    prediction API,
+//! 3. execute the cheapest plan: TTLG transposes, a parallel host GEMM
+//!    ([`gemm`]), and a final TTLG transpose when the requested output
+//!    order differs from the GEMM-native one.
+
+pub mod engine;
+pub mod gemm;
+pub mod planner;
+pub mod spec;
+
+pub use engine::{contract, ContractionEngine, ContractionReport};
+
+/// ```
+/// use ttlg_contract::contract;
+/// use ttlg_tensor::{DenseTensor, Shape};
+///
+/// // C[i,j] = sum_k A[k,i] * B[j,k]
+/// let a: DenseTensor<f64> = DenseTensor::iota(Shape::new(&[4, 6]).unwrap());
+/// let b: DenseTensor<f64> = DenseTensor::iota(Shape::new(&[5, 4]).unwrap());
+/// let (c, report) = contract("ki,jk->ij", &a, &b).unwrap();
+/// assert_eq!(c.shape().extents(), &[6, 5]);
+/// assert_eq!(report.gemm, (6, 5, 4));
+/// ```
+#[doc(hidden)]
+pub struct _DoctestAnchor;
+pub use planner::{ContractionPlan, LayoutChoice};
+pub use spec::{ContractionSpec, SpecError};

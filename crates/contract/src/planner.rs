@@ -1,0 +1,360 @@
+//! TTGT layout planning: enumerate the matrix layouts GEMM could run in
+//! and price each one's transpositions with TTLG's queryable prediction
+//! API (the paper's headline use case for that interface).
+
+use crate::spec::ContractionSpec;
+use ttlg::{PlanError, Transposer};
+use ttlg_tensor::{Permutation, Shape};
+
+/// One candidate GEMM layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutChoice {
+    /// Order of the contracted labels in the packed K mode.
+    pub k_order: Vec<char>,
+    /// Whether GEMM computes `C^T = B' * A'` (output arrives N-fastest)
+    /// instead of `C = A' * B'` (M-fastest).
+    pub swapped: bool,
+}
+
+/// A fully priced contraction plan.
+#[derive(Debug, Clone)]
+pub struct ContractionPlan {
+    /// The parsed spec.
+    pub spec: ContractionSpec,
+    /// The chosen layout.
+    pub layout: LayoutChoice,
+    /// Input A shape (validated).
+    pub shape_a: Shape,
+    /// Input B shape (validated).
+    pub shape_b: Shape,
+    /// Permutation bringing A to its GEMM layout (`None` = already there).
+    pub perm_a: Option<Permutation>,
+    /// Permutation bringing B to its GEMM layout.
+    pub perm_b: Option<Permutation>,
+    /// Final permutation from the GEMM-native output to the requested
+    /// order (`None` = already there).
+    pub perm_c: Option<Permutation>,
+    /// GEMM sizes `(m, n, k)`.
+    pub gemm: (usize, usize, usize),
+    /// Predicted cost of all transpositions, ns.
+    pub predicted_transpose_ns: f64,
+    /// Estimated GEMM time, ns (identical across layouts; reported for
+    /// context).
+    pub predicted_gemm_ns: f64,
+    /// How many layout candidates were priced.
+    pub candidates_priced: usize,
+}
+
+impl ContractionPlan {
+    /// Total predicted pipeline time, ns.
+    pub fn predicted_total_ns(&self) -> f64 {
+        self.predicted_transpose_ns + self.predicted_gemm_ns
+    }
+}
+
+/// Planning errors.
+#[derive(Debug)]
+pub enum ContractError {
+    /// A tensor's rank does not match its label count.
+    RankMismatch {
+        /// Which tensor ("A" or "B").
+        tensor: &'static str,
+        /// Labels in the spec.
+        labels: usize,
+        /// Rank of the supplied shape.
+        rank: usize,
+    },
+    /// A shared label has different extents in A and B.
+    ExtentMismatch {
+        /// The offending label.
+        label: char,
+        /// Extent in A.
+        a: usize,
+        /// Extent in B.
+        b: usize,
+    },
+    /// The underlying transposition could not be planned.
+    Plan(PlanError),
+}
+
+impl std::fmt::Display for ContractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContractError::RankMismatch { tensor, labels, rank } => {
+                write!(f, "tensor {tensor}: {labels} labels but rank {rank}")
+            }
+            ContractError::ExtentMismatch { label, a, b } => {
+                write!(f, "label '{label}': extent {a} in A but {b} in B")
+            }
+            ContractError::Plan(e) => write!(f, "transposition planning failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ContractError {}
+
+impl From<PlanError> for ContractError {
+    fn from(e: PlanError) -> Self {
+        ContractError::Plan(e)
+    }
+}
+
+/// K40c double-precision throughput assumed for the GEMM estimate
+/// (1.43 TFLOP/s peak at ~65% efficiency).
+const GEMM_FLOPS_PER_NS: f64 = 930.0;
+
+/// All permutations of up to `cap` contracted labels (identity order only
+/// beyond the cap, to bound planning cost).
+fn k_orders(k_labels: &[char], cap: usize) -> Vec<Vec<char>> {
+    if k_labels.len() > cap {
+        return vec![k_labels.to_vec()];
+    }
+    let mut orders = Vec::new();
+    let mut v = k_labels.to_vec();
+    permute_into(&mut v, 0, &mut orders);
+    orders
+}
+
+fn permute_into(v: &mut Vec<char>, start: usize, out: &mut Vec<Vec<char>>) {
+    if start + 1 >= v.len() {
+        out.push(v.clone());
+        return;
+    }
+    for i in start..v.len() {
+        v.swap(start, i);
+        permute_into(v, start + 1, out);
+        v.swap(start, i);
+    }
+}
+
+/// Build the permutation taking `src` label order to `dst` label order
+/// (`None` when they already agree).
+fn perm_between(src: &[char], dst: &[char]) -> Option<Permutation> {
+    assert_eq!(src.len(), dst.len());
+    let map: Vec<usize> = dst
+        .iter()
+        .map(|l| src.iter().position(|s| s == l).expect("label present"))
+        .collect();
+    let p = Permutation::new(&map).expect("valid by construction");
+    (!p.is_identity()).then_some(p)
+}
+
+/// Validate shapes against the spec and return an extent lookup.
+fn validate(
+    spec: &ContractionSpec,
+    shape_a: &Shape,
+    shape_b: &Shape,
+) -> Result<std::collections::HashMap<char, usize>, ContractError> {
+    if shape_a.rank() != spec.a.len() {
+        return Err(ContractError::RankMismatch {
+            tensor: "A",
+            labels: spec.a.len(),
+            rank: shape_a.rank(),
+        });
+    }
+    if shape_b.rank() != spec.b.len() {
+        return Err(ContractError::RankMismatch {
+            tensor: "B",
+            labels: spec.b.len(),
+            rank: shape_b.rank(),
+        });
+    }
+    let mut ext = std::collections::HashMap::new();
+    for (i, &l) in spec.a.iter().enumerate() {
+        ext.insert(l, shape_a.extent(i));
+    }
+    for (i, &l) in spec.b.iter().enumerate() {
+        let e = shape_b.extent(i);
+        if let Some(&prev) = ext.get(&l) {
+            if prev != e {
+                return Err(ContractError::ExtentMismatch { label: l, a: prev, b: e });
+            }
+        }
+        ext.insert(l, e);
+    }
+    Ok(ext)
+}
+
+/// Price every layout candidate with TTLG's prediction API and return the
+/// cheapest plan. `t` supplies the device + performance model.
+pub fn plan_contraction(
+    t: &Transposer,
+    spec: &ContractionSpec,
+    shape_a: &Shape,
+    shape_b: &Shape,
+) -> Result<ContractionPlan, ContractError> {
+    let ext = validate(spec, shape_a, shape_b)?;
+    let lookup = |l: char| ext[&l];
+    let (m, n, k) = spec.gemm_sizes(&lookup);
+    let gemm_ns = 2.0 * m as f64 * n as f64 * k as f64 / GEMM_FLOPS_PER_NS;
+
+    let mut best: Option<(f64, ContractionPlan)> = None;
+    let mut priced = 0usize;
+    for k_order in k_orders(&spec.k_labels, 4) {
+        for swapped in [false, true] {
+            // Target label orders for the three transpositions.
+            let (a_target, b_target, c_native): (Vec<char>, Vec<char>, Vec<char>) = if !swapped {
+                (
+                    spec.m_labels.iter().chain(k_order.iter()).copied().collect(),
+                    k_order.iter().chain(spec.n_labels.iter()).copied().collect(),
+                    spec.m_labels.iter().chain(spec.n_labels.iter()).copied().collect(),
+                )
+            } else {
+                (
+                    k_order.iter().chain(spec.m_labels.iter()).copied().collect(),
+                    spec.n_labels.iter().chain(k_order.iter()).copied().collect(),
+                    spec.n_labels.iter().chain(spec.m_labels.iter()).copied().collect(),
+                )
+            };
+            let perm_a = perm_between(&spec.a, &a_target);
+            let perm_b = perm_between(&spec.b, &b_target);
+            let perm_c = perm_between(&c_native, &spec.c);
+
+            let mut cost = 0.0;
+            if let Some(p) = &perm_a {
+                cost += t.predict_transpose_ns::<f64>(shape_a, p)?;
+            }
+            if let Some(p) = &perm_b {
+                cost += t.predict_transpose_ns::<f64>(shape_b, p)?;
+            }
+            if let Some(p) = &perm_c {
+                let c_shape = Shape::new(
+                    &c_native.iter().map(|&l| lookup(l)).collect::<Vec<_>>(),
+                )
+                .expect("valid output shape");
+                cost += t.predict_transpose_ns::<f64>(&c_shape, p)?;
+            }
+            priced += 1;
+            if best.as_ref().map(|(bc, _)| cost < *bc).unwrap_or(true) {
+                best = Some((
+                    cost,
+                    ContractionPlan {
+                        spec: spec.clone(),
+                        layout: LayoutChoice { k_order: k_order.clone(), swapped },
+                        shape_a: shape_a.clone(),
+                        shape_b: shape_b.clone(),
+                        perm_a,
+                        perm_b,
+                        perm_c,
+                        gemm: (m, n, k),
+                        predicted_transpose_ns: cost,
+                        predicted_gemm_ns: gemm_ns,
+                        candidates_priced: 0,
+                    },
+                ));
+            }
+        }
+    }
+    let (_, mut plan) = best.expect("at least one layout");
+    plan.candidates_priced = priced;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Transposer {
+        Transposer::new_k40c()
+    }
+
+    #[test]
+    fn plans_matrix_multiply_with_no_transposes() {
+        // "mk,kn->mn" with layouts already GEMM-native.
+        let spec = ContractionSpec::parse("mk,kn->mn").unwrap();
+        let plan = plan_contraction(
+            &t(),
+            &spec,
+            &Shape::new(&[32, 16]).unwrap(),
+            &Shape::new(&[16, 24]).unwrap(),
+        )
+        .unwrap();
+        assert!(plan.perm_a.is_none());
+        assert!(plan.perm_b.is_none());
+        assert!(plan.perm_c.is_none());
+        assert_eq!(plan.gemm, (32, 24, 16));
+        assert!(!plan.layout.swapped);
+    }
+
+    #[test]
+    fn transposed_output_needs_exactly_one_transpose() {
+        // "mk,kn->nm": either the swapped GEMM (two input repacks, no
+        // final transpose) or the plain GEMM with one output transpose;
+        // the model must pick the single-transpose variant.
+        let spec = ContractionSpec::parse("mk,kn->nm").unwrap();
+        let plan = plan_contraction(
+            &t(),
+            &spec,
+            &Shape::new(&[64, 32]).unwrap(),
+            &Shape::new(&[32, 48]).unwrap(),
+        )
+        .unwrap();
+        let transposes = usize::from(plan.perm_a.is_some())
+            + usize::from(plan.perm_b.is_some())
+            + usize::from(plan.perm_c.is_some());
+        assert_eq!(transposes, 1, "{plan:?}");
+    }
+
+    #[test]
+    fn swapped_layout_wins_when_it_saves_a_transpose() {
+        // A and B both already in swapped-GEMM layout, output N-fastest:
+        // "km,nk->nm": swapped needs zero transposes.
+        let spec = ContractionSpec::parse("km,nk->nm").unwrap();
+        let plan = plan_contraction(
+            &t(),
+            &spec,
+            &Shape::new(&[32, 64]).unwrap(),
+            &Shape::new(&[48, 32]).unwrap(),
+        )
+        .unwrap();
+        assert!(plan.layout.swapped, "{plan:?}");
+        assert!(plan.perm_a.is_none());
+        assert!(plan.perm_b.is_none());
+        assert!(plan.perm_c.is_none());
+    }
+
+    #[test]
+    fn k_order_enumeration_is_bounded() {
+        assert_eq!(k_orders(&['a'], 4).len(), 1);
+        assert_eq!(k_orders(&['a', 'b'], 4).len(), 2);
+        assert_eq!(k_orders(&['a', 'b', 'c'], 4).len(), 6);
+        assert_eq!(k_orders(&['a', 'b', 'c', 'd', 'e'], 4).len(), 1);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let spec = ContractionSpec::parse("mk,kn->mn").unwrap();
+        let e = plan_contraction(
+            &t(),
+            &spec,
+            &Shape::new(&[32]).unwrap(),
+            &Shape::new(&[16, 24]).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, ContractError::RankMismatch { tensor: "A", .. }));
+        let e = plan_contraction(
+            &t(),
+            &spec,
+            &Shape::new(&[32, 16]).unwrap(),
+            &Shape::new(&[17, 24]).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, ContractError::ExtentMismatch { label: 'k', .. }));
+    }
+
+    #[test]
+    fn multi_k_contraction_prices_all_orders() {
+        let spec = ContractionSpec::parse("kil,ljk->ij").unwrap();
+        let plan = plan_contraction(
+            &t(),
+            &spec,
+            &Shape::new(&[8, 24, 12]).unwrap(),
+            &Shape::new(&[12, 20, 8]).unwrap(),
+        )
+        .unwrap();
+        // 2 k-orders x 2 swap variants.
+        assert_eq!(plan.candidates_priced, 4);
+        assert_eq!(plan.gemm, (24, 20, 96));
+        assert!(plan.predicted_total_ns() > 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Einsum-style contraction specifications.
+//!
+//! A spec is a string `"<A indices>,<B indices>-><C indices>"` with
+//! single-character index labels, e.g. `"kil,ljk->ij"`. Index positions
+//! follow this workspace's layout convention: the **first** label is the
+//! fastest-varying dimension.
+//!
+//! Semantics: `C[out...] = sum over contracted labels of A[...] * B[...]`
+//! where the contracted labels are exactly those appearing in both inputs
+//! and not in the output. Labels may not repeat within one tensor (no
+//! traces), and every output label must come from at least one input —
+//! the classic binary-einsum subset TTGT handles.
+
+use std::collections::BTreeSet;
+
+/// A parsed, validated contraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractionSpec {
+    /// Index labels of `A`, fastest-varying first.
+    pub a: Vec<char>,
+    /// Index labels of `B`.
+    pub b: Vec<char>,
+    /// Index labels of `C` (the requested output order).
+    pub c: Vec<char>,
+    /// Labels free in `A` (appear in A and C).
+    pub m_labels: Vec<char>,
+    /// Labels free in `B` (appear in B and C).
+    pub n_labels: Vec<char>,
+    /// Contracted labels (appear in A and B, not in C).
+    pub k_labels: Vec<char>,
+}
+
+/// Spec parsing/validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The string is not of the form `x,y->z`.
+    Syntax,
+    /// A label repeats within one tensor.
+    RepeatedLabel(char),
+    /// An output label appears in no input.
+    UnknownOutput(char),
+    /// An output label appears in both inputs (would be a batch index;
+    /// not supported by this TTGT subset).
+    BatchLabel(char),
+    /// A label appears in exactly one input and not in the output
+    /// (an implicit sum over a free index; not supported).
+    DanglingLabel(char),
+    /// A tensor has no indices.
+    Empty,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Syntax => write!(f, "expected \"<a>,<b>-><c>\""),
+            SpecError::RepeatedLabel(c) => write!(f, "label '{c}' repeats within one tensor"),
+            SpecError::UnknownOutput(c) => write!(f, "output label '{c}' not found in inputs"),
+            SpecError::BatchLabel(c) => {
+                write!(f, "label '{c}' appears in both inputs and the output (batch indices unsupported)")
+            }
+            SpecError::DanglingLabel(c) => {
+                write!(f, "label '{c}' appears in one input only and not in the output")
+            }
+            SpecError::Empty => write!(f, "each tensor needs at least one index"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn unique(labels: &[char]) -> Result<(), SpecError> {
+    let mut seen = BTreeSet::new();
+    for &c in labels {
+        if !seen.insert(c) {
+            return Err(SpecError::RepeatedLabel(c));
+        }
+    }
+    Ok(())
+}
+
+impl ContractionSpec {
+    /// Parse `"kil,ljk->ij"`.
+    pub fn parse(s: &str) -> Result<ContractionSpec, SpecError> {
+        let (inputs, out) = s.split_once("->").ok_or(SpecError::Syntax)?;
+        let (a, b) = inputs.split_once(',').ok_or(SpecError::Syntax)?;
+        let a: Vec<char> = a.trim().chars().collect();
+        let b: Vec<char> = b.trim().chars().collect();
+        let c: Vec<char> = out.trim().chars().collect();
+        if a.is_empty() || b.is_empty() || c.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        unique(&a)?;
+        unique(&b)?;
+        unique(&c)?;
+
+        let in_a: BTreeSet<char> = a.iter().copied().collect();
+        let in_b: BTreeSet<char> = b.iter().copied().collect();
+        let in_c: BTreeSet<char> = c.iter().copied().collect();
+
+        for &l in &c {
+            if !in_a.contains(&l) && !in_b.contains(&l) {
+                return Err(SpecError::UnknownOutput(l));
+            }
+            if in_a.contains(&l) && in_b.contains(&l) {
+                return Err(SpecError::BatchLabel(l));
+            }
+        }
+        for &l in in_a.union(&in_b) {
+            let shared = in_a.contains(&l) && in_b.contains(&l);
+            if !shared && !in_c.contains(&l) {
+                return Err(SpecError::DanglingLabel(l));
+            }
+        }
+
+        // Keep output order for the free labels; A-order for contracted.
+        let m_labels: Vec<char> = c.iter().copied().filter(|l| in_a.contains(l)).collect();
+        let n_labels: Vec<char> = c.iter().copied().filter(|l| in_b.contains(l)).collect();
+        let k_labels: Vec<char> =
+            a.iter().copied().filter(|l| in_b.contains(l) && !in_c.contains(l)).collect();
+
+        Ok(ContractionSpec { a, b, c, m_labels, n_labels, k_labels })
+    }
+
+    /// Position of label `l` in tensor-A order.
+    pub fn a_pos(&self, l: char) -> usize {
+        self.a.iter().position(|&x| x == l).expect("label in A")
+    }
+
+    /// Position of label `l` in tensor-B order.
+    pub fn b_pos(&self, l: char) -> usize {
+        self.b.iter().position(|&x| x == l).expect("label in B")
+    }
+
+    /// GEMM sizes (M, N, K) for given per-label extents.
+    pub fn gemm_sizes(&self, extent_of: &dyn Fn(char) -> usize) -> (usize, usize, usize) {
+        let m = self.m_labels.iter().map(|&l| extent_of(l)).product();
+        let n = self.n_labels.iter().map(|&l| extent_of(l)).product();
+        let k = self.k_labels.iter().map(|&l| extent_of(l)).product();
+        (m, n, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_style_spec() {
+        let s = ContractionSpec::parse("kil,ljk->ij").unwrap();
+        assert_eq!(s.a, vec!['k', 'i', 'l']);
+        assert_eq!(s.b, vec!['l', 'j', 'k']);
+        assert_eq!(s.m_labels, vec!['i']);
+        assert_eq!(s.n_labels, vec!['j']);
+        assert_eq!(s.k_labels, vec!['k', 'l']);
+    }
+
+    #[test]
+    fn matrix_multiply() {
+        let s = ContractionSpec::parse("mk,kn->mn").unwrap();
+        assert_eq!(s.m_labels, vec!['m']);
+        assert_eq!(s.n_labels, vec!['n']);
+        assert_eq!(s.k_labels, vec!['k']);
+    }
+
+    #[test]
+    fn multi_index_free_modes() {
+        let s = ContractionSpec::parse("abk,kcd->acbd").unwrap();
+        assert_eq!(s.m_labels, vec!['a', 'b']); // output order among A-free
+        assert_eq!(s.n_labels, vec!['c', 'd']);
+        assert_eq!(s.k_labels, vec!['k']);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert_eq!(ContractionSpec::parse("abc").unwrap_err(), SpecError::Syntax);
+        assert_eq!(ContractionSpec::parse("aa,ab->b").unwrap_err(), SpecError::RepeatedLabel('a'));
+        assert_eq!(ContractionSpec::parse("ab,bc->ax").unwrap_err(), SpecError::UnknownOutput('x'));
+        assert_eq!(ContractionSpec::parse("ab,bc->abc").unwrap_err(), SpecError::BatchLabel('b'));
+        assert_eq!(ContractionSpec::parse("ab,bc->c").unwrap_err(), SpecError::DanglingLabel('a'));
+        assert_eq!(ContractionSpec::parse(",b->b").unwrap_err(), SpecError::Empty);
+    }
+
+    #[test]
+    fn gemm_sizes_multiply_extents() {
+        let s = ContractionSpec::parse("abk,kcd->acbd").unwrap();
+        let ext = |l: char| match l {
+            'a' => 2,
+            'b' => 3,
+            'c' => 5,
+            'd' => 7,
+            'k' => 11,
+            _ => unreachable!(),
+        };
+        assert_eq!(s.gemm_sizes(&ext), (6, 35, 11));
+    }
+
+    #[test]
+    fn positions() {
+        let s = ContractionSpec::parse("kil,ljk->ij").unwrap();
+        assert_eq!(s.a_pos('i'), 1);
+        assert_eq!(s.b_pos('j'), 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! Plan caching for the repeated-use scenario.
+//!
+//! The paper's evaluation distinguishes single-use (plan + one run) from
+//! repeated-use (plan once, run many times — Fig. 12). [`PlanCache`] makes
+//! the repeated-use pattern a one-liner: plans are keyed by
+//! `(extents, permutation, options fingerprint)` and built at most once,
+//! concurrently safe behind a `parking_lot` mutex.
+
+use crate::plan::{Plan, PlanError, Transposer, TransposeOptions, TransposeReport};
+use crate::schema::Schema;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use ttlg_tensor::{DenseTensor, Element, Permutation, Shape};
+
+/// Cache key: extents + permutation + the options that affect planning.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    extents: Vec<usize>,
+    perm: Vec<usize>,
+    forced: Option<Schema>,
+    fusion: bool,
+    sweep: bool,
+    overbooking: usize,
+}
+
+impl Key {
+    fn new(shape: &Shape, perm: &Permutation, opts: &TransposeOptions) -> Key {
+        Key {
+            extents: shape.extents().to_vec(),
+            perm: perm.as_slice().to_vec(),
+            forced: opts.forced_schema,
+            fusion: opts.enable_fusion,
+            sweep: opts.model_sweep,
+            overbooking: opts.overbooking,
+        }
+    }
+}
+
+/// Cache usage counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plans served from the cache.
+    pub hits: u64,
+    /// Plans built on demand.
+    pub misses: u64,
+}
+
+/// A concurrent cache of transposition plans for one element type.
+///
+/// ```
+/// use ttlg::{PlanCache, Transposer};
+/// use ttlg_tensor::{DenseTensor, Permutation, Shape};
+///
+/// let t = Transposer::new_k40c();
+/// let cache: PlanCache<f64> = PlanCache::new();
+/// let input: DenseTensor<f64> = DenseTensor::iota(Shape::new(&[16, 16]).unwrap());
+/// let perm = Permutation::new(&[1, 0]).unwrap();
+/// for _ in 0..3 {
+///     cache.transpose(&t, &input, &perm).unwrap();
+/// }
+/// assert_eq!(cache.stats().misses, 1); // planned once, reused twice
+/// ```
+pub struct PlanCache<E: Element> {
+    plans: Mutex<HashMap<Key, Arc<Plan<E>>>>,
+    stats: Mutex<CacheStats>,
+}
+
+impl<E: Element> Default for PlanCache<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Element> PlanCache<E> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache { plans: Mutex::new(HashMap::new()), stats: Mutex::new(CacheStats::default()) }
+    }
+
+    /// Fetch the plan for `(shape, perm, opts)`, building it on first use.
+    pub fn get_or_plan(
+        &self,
+        t: &Transposer,
+        shape: &Shape,
+        perm: &Permutation,
+        opts: &TransposeOptions,
+    ) -> Result<Arc<Plan<E>>, PlanError> {
+        let key = Key::new(shape, perm, opts);
+        if let Some(plan) = self.plans.lock().get(&key) {
+            self.stats.lock().hits += 1;
+            return Ok(Arc::clone(plan));
+        }
+        // Plan outside the lock (planning can be slow); racing builders
+        // are harmless — last insert wins, both plans are equivalent.
+        let plan = Arc::new(t.plan::<E>(shape, perm, opts)?);
+        self.plans.lock().insert(key, Arc::clone(&plan));
+        self.stats.lock().misses += 1;
+        Ok(plan)
+    }
+
+    /// Transpose with plan reuse: plans are built once per distinct
+    /// problem and reused on every subsequent call.
+    pub fn transpose(
+        &self,
+        t: &Transposer,
+        input: &DenseTensor<E>,
+        perm: &Permutation,
+    ) -> Result<(DenseTensor<E>, TransposeReport), PlanError> {
+        let plan =
+            self.get_or_plan(t, input.shape(), perm, &TransposeOptions::default())?;
+        t.execute(&plan, input)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// Drop every cached plan.
+    pub fn clear(&self) {
+        self.plans.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttlg_tensor::reference;
+
+    #[test]
+    fn second_call_hits_the_cache() {
+        let t = Transposer::new_k40c();
+        let cache: PlanCache<u64> = PlanCache::new();
+        let shape = Shape::new(&[16, 8, 4]).unwrap();
+        let perm = Permutation::new(&[2, 0, 1]).unwrap();
+        let input: DenseTensor<u64> = DenseTensor::iota(shape);
+        let (out1, _) = cache.transpose(&t, &input, &perm).unwrap();
+        let (out2, _) = cache.transpose(&t, &input, &perm).unwrap();
+        assert_eq!(out1.data(), out2.data());
+        let expect = reference::transpose_reference(&input, &perm).unwrap();
+        assert_eq!(out1.data(), expect.data());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_problems_get_distinct_plans() {
+        let t = Transposer::new_k40c();
+        let cache: PlanCache<f64> = PlanCache::new();
+        let opts = TransposeOptions::default();
+        let s1 = Shape::new(&[8, 8]).unwrap();
+        let s2 = Shape::new(&[16, 8]).unwrap();
+        let p = Permutation::new(&[1, 0]).unwrap();
+        cache.get_or_plan(&t, &s1, &p, &opts).unwrap();
+        cache.get_or_plan(&t, &s2, &p, &opts).unwrap();
+        // Different options are different cache entries too.
+        let opts2 = TransposeOptions { model_sweep: false, ..Default::default() };
+        cache.get_or_plan(&t, &s1, &p, &opts2).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn clear_resets_plans_but_not_stats() {
+        let t = Transposer::new_k40c();
+        let cache: PlanCache<f64> = PlanCache::new();
+        let s = Shape::new(&[8, 8]).unwrap();
+        let p = Permutation::new(&[1, 0]).unwrap();
+        cache.get_or_plan(&t, &s, &p, &TransposeOptions::default()).unwrap();
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let t = Transposer::new_k40c();
+        let cache: PlanCache<u32> = PlanCache::new();
+        let shape = Shape::new(&[16, 16]).unwrap();
+        let perm = Permutation::new(&[1, 0]).unwrap();
+        crossbeam_scope(&t, &cache, &shape, &perm);
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8);
+        assert_eq!(cache.len(), 1);
+    }
+
+    fn crossbeam_scope(
+        t: &Transposer,
+        cache: &PlanCache<u32>,
+        shape: &Shape,
+        perm: &Permutation,
+    ) {
+        ttlg_tensor::parallel::parallel_for_threads(8, 1, 4, |_| {
+            let plan = cache
+                .get_or_plan(t, shape, perm, &TransposeOptions::default())
+                .expect("plannable");
+            assert!(plan.predicted_ns() > 0.0);
+        });
+    }
+}

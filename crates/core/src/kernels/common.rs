@@ -1,0 +1,271 @@
+//! Grid geometry shared by all TTLG kernels: the outer-dimension iteration
+//! space, block decode (the paper's `decode` / `compute_base`), blocking
+//! factors and thread-coarsening bookkeeping.
+
+/// One dimension of the outer (per-block) iteration space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridDim {
+    /// Fused input-dim id this grid dimension walks (for reports).
+    pub dim: usize,
+    /// Original extent of the dimension.
+    pub extent: usize,
+    /// Indices covered per grid step (the blocking factor; `extent` when
+    /// the whole dimension belongs to one block).
+    pub chunk: usize,
+    /// Input stride (elements) of one index of this dimension.
+    pub in_stride: usize,
+    /// Output stride (elements) of one index of this dimension.
+    pub out_stride: usize,
+}
+
+impl GridDim {
+    /// Number of grid steps along this dimension.
+    #[inline]
+    pub fn steps(&self) -> usize {
+        self.extent.div_ceil(self.chunk)
+    }
+
+    /// Number of valid indices in grid step `step` (smaller for the last,
+    /// partial step).
+    #[inline]
+    pub fn chunk_extent(&self, step: usize) -> usize {
+        if (step + 1) * self.chunk <= self.extent {
+            self.chunk
+        } else {
+            self.extent - step * self.chunk
+        }
+    }
+
+    /// Whether any step of this dimension is partial.
+    #[inline]
+    pub fn has_partial(&self) -> bool {
+        !self.extent.is_multiple_of(self.chunk)
+    }
+}
+
+/// The decoded state of one block: base offsets plus the per-dimension
+/// chunk extents valid for this block.
+#[derive(Debug, Clone)]
+pub struct DecodedBlock {
+    /// Base element offset into the input tensor.
+    pub in_base: usize,
+    /// Base element offset into the output tensor.
+    pub out_base: usize,
+    /// For each grid dimension (in [`OuterGrid`] order): the number of
+    /// valid indices this block covers along it.
+    pub chunk_extents: Vec<usize>,
+    /// Number of mod/div pairs spent decoding (for instruction accounting).
+    pub decode_divmods: u32,
+}
+
+/// The outer iteration space: one grid step combination per thread block.
+#[derive(Debug, Clone, Default)]
+pub struct OuterGrid {
+    dims: Vec<GridDim>,
+}
+
+impl OuterGrid {
+    /// Empty grid (a single block with no outer indices).
+    pub fn new() -> Self {
+        OuterGrid { dims: Vec::new() }
+    }
+
+    /// Append a dimension (fastest-decoded first).
+    pub fn push(&mut self, dim: GridDim) {
+        assert!(dim.extent >= 1 && dim.chunk >= 1);
+        self.dims.push(dim);
+    }
+
+    /// The grid dimensions, in decode order.
+    pub fn dims(&self) -> &[GridDim] {
+        &self.dims
+    }
+
+    /// Total number of thread blocks.
+    pub fn blocks(&self) -> usize {
+        self.dims.iter().map(|d| d.steps()).product::<usize>().max(1)
+    }
+
+    /// Decode a block id into base offsets and chunk extents — the paper's
+    /// `decode(blockid)` + `compute_base` (mod/div chain).
+    pub fn decode(&self, block: usize) -> DecodedBlock {
+        let mut rem = block;
+        let mut in_base = 0usize;
+        let mut out_base = 0usize;
+        let mut chunk_extents = Vec::with_capacity(self.dims.len());
+        for d in &self.dims {
+            let steps = d.steps();
+            let step = rem % steps;
+            rem /= steps;
+            in_base += step * d.chunk * d.in_stride;
+            out_base += step * d.chunk * d.out_stride;
+            chunk_extents.push(d.chunk_extent(step));
+        }
+        debug_assert_eq!(rem, 0, "block id out of range");
+        DecodedBlock {
+            in_base,
+            out_base,
+            chunk_extents,
+            decode_divmods: self.dims.len() as u32,
+        }
+    }
+
+    /// A compact class id for sampled analysis: the partial/full pattern of
+    /// every dimension plus the base-address alignments modulo
+    /// `align_elems` (transactions only depend on addresses modulo the
+    /// 128-byte segment).
+    pub fn block_class(&self, block: usize, align_elems: usize) -> u32 {
+        let mut rem = block;
+        let mut partial_bits = 0u32;
+        let mut in_base = 0usize;
+        let mut out_base = 0usize;
+        for (i, d) in self.dims.iter().enumerate() {
+            let steps = d.steps();
+            let step = rem % steps;
+            rem /= steps;
+            if d.chunk_extent(step) != d.chunk {
+                partial_bits |= 1 << (i % 8);
+            }
+            in_base += step * d.chunk * d.in_stride;
+            out_base += step * d.chunk * d.out_stride;
+        }
+        let a = (in_base % align_elems.max(1)) as u32;
+        let b = (out_base % align_elems.max(1)) as u32;
+        partial_bits | (a << 8) | (b << 16)
+    }
+}
+
+/// Round `n` up to a multiple of `m`.
+#[inline]
+pub fn round_up(n: usize, m: usize) -> usize {
+    n.div_ceil(m) * m
+}
+
+/// Pick a thread-block size for a kernel that streams `work_per_block`
+/// elements: a multiple of the warp size, at least one warp, at most
+/// `max_threads`.
+pub fn pick_threads(work_per_block: usize, max_threads: usize) -> usize {
+    let ws = ttlg_tensor::WARP_SIZE;
+    round_up(work_per_block.clamp(ws, max_threads), ws).min(round_up(max_threads, ws))
+}
+
+/// The coarsening heuristic of Sec. IV-A: the first dimension (in input
+/// order, starting after the slice dims) with extent between 4 and 32,
+/// considered only for tensors larger than 2 MB.
+pub fn pick_coarsening_dim(
+    extents: &[usize],
+    excluded: &[usize],
+    tensor_bytes: usize,
+) -> Option<usize> {
+    const MIN_TENSOR_BYTES: usize = 2 << 20;
+    if tensor_bytes <= MIN_TENSOR_BYTES {
+        return None;
+    }
+    (0..extents.len())
+        .find(|d| !excluded.contains(d) && (4..=32).contains(&extents[*d]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid3() -> OuterGrid {
+        let mut g = OuterGrid::new();
+        g.push(GridDim { dim: 1, extent: 10, chunk: 4, in_stride: 16, out_stride: 100 });
+        g.push(GridDim { dim: 2, extent: 3, chunk: 1, in_stride: 160, out_stride: 10 });
+        g
+    }
+
+    #[test]
+    fn steps_and_partials() {
+        let d = GridDim { dim: 0, extent: 10, chunk: 4, in_stride: 1, out_stride: 1 };
+        assert_eq!(d.steps(), 3);
+        assert_eq!(d.chunk_extent(0), 4);
+        assert_eq!(d.chunk_extent(2), 2);
+        assert!(d.has_partial());
+        let e = GridDim { dim: 0, extent: 8, chunk: 4, in_stride: 1, out_stride: 1 };
+        assert!(!e.has_partial());
+    }
+
+    #[test]
+    fn blocks_product() {
+        assert_eq!(grid3().blocks(), 3 * 3);
+        assert_eq!(OuterGrid::new().blocks(), 1);
+    }
+
+    #[test]
+    fn decode_bases() {
+        let g = grid3();
+        // block 0: step (0,0)
+        let b = g.decode(0);
+        assert_eq!((b.in_base, b.out_base), (0, 0));
+        assert_eq!(b.chunk_extents, vec![4, 1]);
+        // block 2: dim0 step 2 (partial), dim1 step 0
+        let b = g.decode(2);
+        assert_eq!(b.in_base, 2 * 4 * 16);
+        assert_eq!(b.out_base, 2 * 4 * 100);
+        assert_eq!(b.chunk_extents, vec![2, 1]);
+        // block 5: dim0 step 2, dim1 step 1
+        let b = g.decode(5);
+        assert_eq!(b.in_base, 2 * 4 * 16 + 160);
+        assert_eq!(b.out_base, 2 * 4 * 100 + 10);
+        assert_eq!(b.decode_divmods, 2);
+    }
+
+    #[test]
+    fn decode_covers_all_blocks_uniquely() {
+        let g = grid3();
+        let mut seen = std::collections::HashSet::new();
+        for blk in 0..g.blocks() {
+            let d = g.decode(blk);
+            assert!(seen.insert((d.in_base, d.out_base)));
+        }
+    }
+
+    #[test]
+    fn class_distinguishes_partial_blocks() {
+        let g = grid3();
+        let full = g.block_class(0, 16);
+        let partial = g.block_class(2, 16);
+        assert_ne!(full, partial);
+        // blocks 0 and 3 differ only in dim1 step, same alignment? dim1
+        // stride 160 ≡ 0 mod 16 in, 10 mod 16 out -> class differs via
+        // out_base alignment.
+        let c3 = g.block_class(3, 16);
+        assert_ne!(full, c3);
+    }
+
+    #[test]
+    fn class_equal_for_equivalent_blocks() {
+        let mut g = OuterGrid::new();
+        // stride multiple of 16: all blocks alignment-equivalent
+        g.push(GridDim { dim: 1, extent: 8, chunk: 1, in_stride: 32, out_stride: 64 });
+        let c: Vec<u32> = (0..8).map(|b| g.block_class(b, 16)).collect();
+        assert!(c.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn pick_threads_bounds() {
+        assert_eq!(pick_threads(1, 256), 32);
+        assert_eq!(pick_threads(100, 256), 128);
+        assert_eq!(pick_threads(10_000, 256), 256);
+        assert_eq!(pick_threads(40, 64), 64);
+    }
+
+    #[test]
+    fn coarsening_heuristic() {
+        // tensor too small: no coarsening
+        assert_eq!(pick_coarsening_dim(&[16, 8, 100], &[0], 1 << 20), None);
+        // big tensor: first non-excluded dim with extent in 4..=32
+        assert_eq!(pick_coarsening_dim(&[16, 8, 100], &[0], 4 << 20), Some(1));
+        assert_eq!(pick_coarsening_dim(&[16, 3, 100], &[0], 4 << 20), None);
+        assert_eq!(pick_coarsening_dim(&[16, 8, 100], &[0, 1], 4 << 20), None);
+    }
+
+    #[test]
+    fn round_up_works() {
+        assert_eq!(round_up(1, 32), 32);
+        assert_eq!(round_up(32, 32), 32);
+        assert_eq!(round_up(33, 32), 64);
+    }
+}

@@ -1,0 +1,17 @@
+//! The TTLG kernel zoo: one module per schema of the paper's taxonomy,
+//! plus the degenerate copy and the naive ablation baseline.
+
+pub mod common;
+pub mod copy;
+pub mod fvi_match_large;
+pub mod fvi_match_small;
+pub mod naive;
+pub mod orthogonal_arbitrary;
+pub mod orthogonal_distinct;
+
+pub use copy::CopyKernel;
+pub use fvi_match_large::FviMatchLargeKernel;
+pub use fvi_match_small::FviMatchSmallKernel;
+pub use naive::NaiveKernel;
+pub use orthogonal_arbitrary::{OaChoice, OrthogonalArbitraryKernel};
+pub use orthogonal_distinct::{OdChoice, OrthogonalDistinctKernel};

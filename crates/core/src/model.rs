@@ -1,0 +1,104 @@
+//! The performance-prediction interface (the paper's queryable model).
+//!
+//! TTLG exposes prediction both *internally* (Alg. 3 uses it to rank slice
+//! candidates) and *externally* (higher-level libraries — e.g. a TTGT
+//! tensor-contraction planner — query expected transposition cost before
+//! choosing a layout). The trait is implemented here by a closed-form
+//! [`AnalyticPredictor`] built on Table I analysis + the device timing
+//! model, and by the offline-trained linear-regression models of the
+//! `ttlg-perfmodel` crate (Table II).
+
+pub use crate::features::Candidate;
+use ttlg_gpu_sim::{DeviceConfig, TimingModel};
+
+/// Predicts the execution time of a transposition candidate.
+pub trait TimePredictor: Send + Sync {
+    /// Predicted kernel time in nanoseconds.
+    fn predict_ns(&self, c: &Candidate) -> f64;
+
+    /// Name for reports.
+    fn name(&self) -> &str {
+        "predictor"
+    }
+}
+
+/// Closed-form predictor: Table I transaction estimates through the device
+/// timing model. Used as the default when no trained regression model is
+/// supplied, and as the baseline the regression models are compared to.
+#[derive(Debug, Clone)]
+pub struct AnalyticPredictor {
+    timing: TimingModel,
+}
+
+impl AnalyticPredictor {
+    /// Build for a device.
+    pub fn new(device: DeviceConfig) -> Self {
+        AnalyticPredictor { timing: TimingModel::new(device) }
+    }
+
+    /// The underlying timing model.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+}
+
+impl TimePredictor for AnalyticPredictor {
+    fn predict_ns(&self, c: &Candidate) -> f64 {
+        self.timing.time(&c.est_stats, &c.launch()).time_ns
+    }
+
+    fn name(&self) -> &str {
+        "analytic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{copy_candidate, naive_candidate, od_candidate};
+    use crate::kernels::OdChoice;
+    use crate::problem::Problem;
+    use ttlg_tensor::{Permutation, Shape};
+
+    fn prob(extents: &[usize], perm: &[usize]) -> Problem {
+        Problem::new(&Shape::new(extents).unwrap(), &Permutation::new(perm).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn analytic_orders_naive_after_od() {
+        let p = prob(&[64, 64, 64], &[2, 1, 0]);
+        let pred = AnalyticPredictor::new(DeviceConfig::k40c());
+        let od = od_candidate::<f64>(&p, OdChoice::default_for(&p).unwrap());
+        let naive = naive_candidate::<f64>(&p);
+        assert!(
+            pred.predict_ns(&od) < pred.predict_ns(&naive),
+            "the tiled kernel must beat the naive kernel"
+        );
+    }
+
+    #[test]
+    fn copy_is_fastest() {
+        let p = prob(&[64, 64, 64], &[2, 1, 0]);
+        let pc = prob(&[64, 64, 64], &[0, 1, 2]);
+        let pred = AnalyticPredictor::new(DeviceConfig::k40c());
+        let od = od_candidate::<f64>(&p, OdChoice::default_for(&p).unwrap());
+        let copy = copy_candidate::<f64>(&pc);
+        assert!(pred.predict_ns(&copy) <= pred.predict_ns(&od));
+    }
+
+    #[test]
+    fn prediction_scales_with_volume() {
+        let small = prob(&[32, 32, 32], &[2, 1, 0]);
+        let large = prob(&[64, 64, 64], &[2, 1, 0]);
+        let pred = AnalyticPredictor::new(DeviceConfig::k40c());
+        let cs = od_candidate::<f64>(&small, OdChoice::default_for(&small).unwrap());
+        let cl = od_candidate::<f64>(&large, OdChoice::default_for(&large).unwrap());
+        assert!(pred.predict_ns(&cl) > pred.predict_ns(&cs));
+    }
+
+    #[test]
+    fn predictor_name() {
+        let pred = AnalyticPredictor::new(DeviceConfig::k40c());
+        assert_eq!(pred.name(), "analytic");
+    }
+}

@@ -1,0 +1,151 @@
+//! A fused transposition problem: the canonical form every kernel works on.
+
+use ttlg_tensor::{fuse, Element, Permutation, Result, Shape};
+
+/// A transposition problem after index fusion, with all the derived layout
+/// data the kernels need.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// Original (pre-fusion) input shape.
+    pub orig_shape: Shape,
+    /// Original (pre-fusion) permutation.
+    pub orig_perm: Permutation,
+    /// Fused input shape (dim 0 fastest).
+    pub shape: Shape,
+    /// Fused permutation (`perm[i] = j`: output dim `i` is input dim `j`).
+    pub perm: Permutation,
+    /// Fused output shape.
+    pub out_shape: Shape,
+    /// Strides of the fused input tensor.
+    pub in_strides: Vec<usize>,
+    /// Strides of the fused output tensor (indexed by output dim).
+    pub out_strides: Vec<usize>,
+    /// For input dim `j`: its position in the output (`inv_perm[j]`).
+    pub out_pos_of_in: Vec<usize>,
+}
+
+impl Problem {
+    /// Build (and fuse) a problem from an input shape and a permutation.
+    pub fn new(shape: &Shape, perm: &Permutation) -> Result<Problem> {
+        let fused = fuse(shape, perm)?;
+        let out_shape = fused.perm.apply_to_shape(&fused.shape)?;
+        let in_strides = fused.shape.strides();
+        let out_strides = out_shape.strides();
+        let out_pos_of_in = fused.perm.inverse().as_slice().to_vec();
+        Ok(Problem {
+            orig_shape: shape.clone(),
+            orig_perm: perm.clone(),
+            shape: fused.shape,
+            perm: fused.perm,
+            out_shape,
+            in_strides,
+            out_strides,
+            out_pos_of_in,
+        })
+    }
+
+    /// Build a problem *without* index fusion (ablation use only — fusion
+    /// is always beneficial, and the paper applies it unconditionally).
+    pub fn new_unfused(shape: &Shape, perm: &Permutation) -> Result<Problem> {
+        let out_shape = perm.apply_to_shape(shape)?;
+        let in_strides = shape.strides();
+        let out_strides = out_shape.strides();
+        let out_pos_of_in = perm.inverse().as_slice().to_vec();
+        Ok(Problem {
+            orig_shape: shape.clone(),
+            orig_perm: perm.clone(),
+            shape: shape.clone(),
+            perm: perm.clone(),
+            out_shape,
+            in_strides,
+            out_strides,
+            out_pos_of_in,
+        })
+    }
+
+    /// Rank of the fused problem (the paper's *scaled rank*).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total elements.
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.shape.volume()
+    }
+
+    /// Payload bytes for element type `E`.
+    #[inline]
+    pub fn bytes<E: Element>(&self) -> usize {
+        self.volume() * E::BYTES
+    }
+
+    /// Whether the fused permutation is the identity (a pure memcpy).
+    #[inline]
+    pub fn is_copy(&self) -> bool {
+        self.perm.is_identity()
+    }
+
+    /// Extent of fused input dim `j`.
+    #[inline]
+    pub fn extent(&self, j: usize) -> usize {
+        self.shape.extent(j)
+    }
+
+    /// Stride *in the output tensor* of fused input dim `j`.
+    #[inline]
+    pub fn out_stride_of_in_dim(&self, j: usize) -> usize {
+        self.out_strides[self.out_pos_of_in[j]]
+    }
+
+    /// The input dim serving as the output's fastest-varying index.
+    #[inline]
+    pub fn out_fvi_in_dim(&self) -> usize {
+        self.perm.output_dim_source(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(extents: &[usize], perm: &[usize]) -> Problem {
+        Problem::new(&Shape::new(extents).unwrap(), &Permutation::new(perm).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fuses_on_construction() {
+        let p = mk(&[4, 5, 6, 7], &[3, 1, 2, 0]);
+        assert_eq!(p.rank(), 3);
+        assert_eq!(p.shape.extents(), &[4, 30, 7]);
+        assert_eq!(p.perm.as_slice(), &[2, 1, 0]);
+        assert_eq!(p.volume(), 840);
+    }
+
+    #[test]
+    fn output_strides_and_positions() {
+        let p = mk(&[4, 5, 6], &[2, 0, 1]); // fuses dims 0,1 -> rank 2 [20,6] perm [1,0]
+        assert_eq!(p.rank(), 2);
+        assert_eq!(p.out_shape.extents(), &[6, 20]);
+        // input dim 0 (the fused {0,1}) sits at output position 1.
+        assert_eq!(p.out_pos_of_in, vec![1, 0]);
+        assert_eq!(p.out_stride_of_in_dim(0), 6);
+        assert_eq!(p.out_stride_of_in_dim(1), 1);
+        assert_eq!(p.out_fvi_in_dim(), 1);
+    }
+
+    #[test]
+    fn identity_is_copy() {
+        let p = mk(&[3, 3, 3], &[0, 1, 2]);
+        assert!(p.is_copy());
+        assert_eq!(p.rank(), 1);
+    }
+
+    #[test]
+    fn bytes_by_element() {
+        let p = mk(&[10, 10], &[1, 0]);
+        assert_eq!(p.bytes::<f64>(), 800);
+        assert_eq!(p.bytes::<f32>(), 400);
+    }
+}

@@ -1,0 +1,479 @@
+//! Slice-size candidate enumeration (paper Alg. 3).
+//!
+//! For a given schema the planner enumerates admissible slice/blocking
+//! configurations — bounded so that the grid keeps enough thread blocks to
+//! occupy the machine (the `overbooking_factor`) — and ranks them with the
+//! performance model. This module produces the candidate lists; the
+//! predictor choice lives in [`crate::model`].
+
+use crate::features::{
+    self, fml_candidate, fms_candidate, naive_candidate, oa_candidate, od_candidate, Candidate,
+};
+use crate::kernels::{FviMatchSmallKernel, OaChoice, OdChoice};
+use crate::problem::Problem;
+use crate::schema::Schema;
+use ttlg_gpu_sim::DeviceConfig;
+use ttlg_tensor::{Element, WARP_SIZE};
+
+/// Default overbooking factor (empirical in the paper).
+pub const DEFAULT_OVERBOOKING: usize = 4;
+
+/// Hard cap on candidates per schema, to bound plan time.
+const MAX_CANDIDATES: usize = 96;
+
+/// The input-side cut implied by a combined-length target: the smallest
+/// leading dim set whose full prefix reaches `limit`, with the terminal
+/// blocking factor that makes the combined length the least value `>=
+/// limit` (Alg. 3 lines 8-12). Returns `(in_dims, block_a)`; `None` when
+/// even the whole tensor is shorter than `limit`.
+fn input_cut(p: &Problem, limit: usize) -> Option<(usize, usize)> {
+    let mut prod = 1usize;
+    for k in 0..p.rank() {
+        let next = prod * p.extent(k);
+        if next >= limit {
+            let block_a = limit.div_ceil(prod).min(p.extent(k));
+            return Some((k + 1, block_a));
+        }
+        prod = next;
+    }
+    None
+}
+
+/// Output-side cut: same walk over *output* dims, truncating before any
+/// dim already inside the input slice (the Fig. 5 behaviour). Returns
+/// `(out_dims, block_b, truncated)`.
+fn output_cut(p: &Problem, limit: usize, in_dims: usize) -> Option<(usize, usize, bool)> {
+    let mut prod = 1usize;
+    for k in 0..p.rank() {
+        let j = p.perm.output_dim_source(k);
+        if j < in_dims {
+            // Would overlap the input slice: truncate here.
+            if k == 0 {
+                return None;
+            }
+            return Some((k, p.extent(p.perm.output_dim_source(k - 1)), true));
+        }
+        let next = prod * p.extent(j);
+        if next >= limit {
+            let block_b = limit.div_ceil(prod).min(p.extent(j));
+            return Some((k + 1, block_b, false));
+        }
+        prod = next;
+    }
+    None
+}
+
+/// Alg. 3: enumerate Orthogonal-Distinct slice choices for a problem.
+///
+/// Sweeps the input-side and output-side combined-length limits in steps
+/// of the warp size up to the overbooking bound, deduplicating the
+/// resulting `(dims, blocking)` configurations.
+pub fn od_candidates<E: Element>(
+    p: &Problem,
+    device: &DeviceConfig,
+    overbooking: usize,
+) -> Vec<OdChoice> {
+    let ws = WARP_SIZE;
+    let smem_per_block = ws * (ws + 1) * E::BYTES;
+    let min_blocks = device.max_resident_blocks(256, smem_per_block).max(1);
+    let maxlimit = (p.volume() / (overbooking.max(1) * min_blocks)).max(ws);
+
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    fn push(
+        p: &Problem,
+        out: &mut Vec<OdChoice>,
+        seen: &mut std::collections::HashSet<(usize, usize, usize, usize)>,
+        c: OdChoice,
+    ) {
+        if c.is_valid(p) && seen.insert((c.in_dims, c.block_a, c.out_dims, c.block_b)) {
+            out.push(c);
+        }
+    }
+
+    // Always include the flow-chart default.
+    if let Some(c) = OdChoice::default_for(p) {
+        push(p, &mut out, &mut seen, c);
+    }
+
+    let mut limit_ir = ws;
+    while limit_ir <= maxlimit && out.len() < MAX_CANDIDATES {
+        if let Some((in_dims, block_a)) = input_cut(p, limit_ir) {
+            // The output FVI source must stay outside the input slice.
+            let in_dims_eff = {
+                let j0 = p.perm.output_dim_source(0);
+                if j0 < in_dims {
+                    j0
+                } else {
+                    in_dims
+                }
+            };
+            if in_dims_eff >= 1 {
+                let (in_dims, block_a) = if in_dims_eff == in_dims {
+                    (in_dims, block_a)
+                } else {
+                    (in_dims_eff, p.extent(in_dims_eff - 1))
+                };
+                // Probe the cut blocking and its +1 neighbour: slice
+                // lengths like the paper's 189 = 27*7 fall between two
+                // 32-step limits and are only reachable this way.
+                let a_ext = p.extent(in_dims - 1);
+                let mut blocks_a = vec![block_a, (block_a + 1).min(a_ext)];
+                blocks_a.dedup();
+                for &block_a in &blocks_a {
+                    let mut limit_or = ws;
+                    let or_cap = (maxlimit / limit_ir).max(ws);
+                    while limit_or <= or_cap && out.len() < MAX_CANDIDATES {
+                        if let Some((out_dims, block_b, truncated)) =
+                            output_cut(p, limit_or, in_dims)
+                        {
+                            let b_ext = p.extent(p.perm.output_dim_source(out_dims - 1));
+                            let mut blocks_b = vec![block_b, (block_b + 1).min(b_ext)];
+                            blocks_b.dedup();
+                            for &block_b in &blocks_b {
+                                push(
+                                    p,
+                                    &mut out,
+                                    &mut seen,
+                                    OdChoice { in_dims, block_a, out_dims, block_b },
+                                );
+                            }
+                            if truncated {
+                                break; // larger limits truncate identically
+                            }
+                        } else {
+                            break;
+                        }
+                        limit_or += ws;
+                    }
+                }
+            }
+        } else {
+            break;
+        }
+        limit_ir += ws;
+    }
+    out
+}
+
+/// Whether an OA choice leaves the device enough thread blocks for good
+/// occupancy — Alg. 3's overbooking bound applied to the
+/// Orthogonal-Arbitrary kernel (whose shared-memory footprint *is* the
+/// slice, so oversized slices crater residency).
+pub fn oa_occupancy_ok<E: Element>(
+    p: &Problem,
+    c: &OaChoice,
+    device: &DeviceConfig,
+    overbooking: usize,
+) -> bool {
+    let slice_vol = c.slice_vol(p);
+    if slice_vol == 0 {
+        return false;
+    }
+    // Tiny problems cannot occupy the machine whatever the slice; let
+    // them through (launch overhead dominates anyway).
+    if p.volume() <= 4 * slice_vol {
+        return true;
+    }
+    let threads = crate::kernels::common::pick_threads(slice_vol, 256);
+    let resident = device.max_resident_blocks(threads, slice_vol * E::BYTES);
+    // The slice *is* the kernel's shared-memory footprint: keep enough
+    // warps resident to stay near DRAM saturation...
+    let resident_warps = (resident * threads.div_ceil(32)) as f64;
+    let warps_ok = resident_warps >= 0.75 * device.warps_to_saturate;
+    // ...and enough blocks in the grid to overbook the SMs (Alg. 3).
+    let blocks_ok = p.volume() / slice_vol >= overbooking.max(1) * device.num_sms;
+    warps_ok && blocks_ok
+}
+
+/// Enumerate Orthogonal-Arbitrary slice choices: a bounded set of
+/// `(in_dims, block_a, out_dims, block_b)` combinations that fit shared
+/// memory and keep enough blocks in flight (the overbooking bound).
+pub fn oa_candidates<E: Element>(
+    p: &Problem,
+    device: &DeviceConfig,
+    overbooking: usize,
+) -> Vec<OaChoice> {
+    let ws = WARP_SIZE;
+    let smem_limit = device.smem_per_sm;
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    fn push<E2: Element>(
+        p: &Problem,
+        device: &DeviceConfig,
+        overbooking: usize,
+        out: &mut Vec<OaChoice>,
+        seen: &mut std::collections::HashSet<(usize, usize, usize, usize)>,
+        c: OaChoice,
+    ) {
+        if c.is_valid(p)
+            && c.fits_smem(p, E2::BYTES, device.smem_per_sm)
+            && oa_occupancy_ok::<E2>(p, &c, device, overbooking)
+            && seen.insert((c.in_dims, c.block_a, c.out_dims, c.block_b))
+        {
+            out.push(c);
+        }
+    }
+    if let Some(c) = OaChoice::default_for::<E>(p, smem_limit) {
+        push::<E>(p, device, overbooking, &mut out, &mut seen, c);
+    }
+    // Minimal in_dims reaching the warp size.
+    let min_in = input_cut(p, ws).map(|(d, _)| d).unwrap_or(p.rank());
+    for in_dims in min_in..=(min_in + 1).min(p.rank()) {
+        let xa = in_dims - 1;
+        let prefix = p.shape.prefix_volume(xa);
+        let ext = p.extent(xa);
+        // block_a variants: least reaching WS, double it, or the full dim.
+        let base_block = ws.div_ceil(prefix).min(ext).max(1);
+        let mut blocks_a = vec![base_block, (2 * base_block).min(ext), ext];
+        blocks_a.dedup();
+        for &block_a in &blocks_a {
+            // Output dims: smallest covering >= ws, plus one wider.
+            for extra in 0..2usize {
+                let mut ovol = 1usize;
+                let mut out_dims = 0usize;
+                let mut ok = true;
+                while (ovol < ws || out_dims == 0) && out_dims < p.rank() {
+                    let j = p.perm.output_dim_source(out_dims);
+                    out_dims += 1;
+                    if j == xa && block_a != ext {
+                        ok = false;
+                        break;
+                    }
+                    ovol *= p.extent(j);
+                }
+                if !ok {
+                    continue;
+                }
+                out_dims = (out_dims + extra).min(p.rank());
+                let jb = p.perm.output_dim_source(out_dims - 1);
+                if (0..out_dims).any(|od| {
+                    let j = p.perm.output_dim_source(od);
+                    j == xa && block_a != ext && !(od + 1 == out_dims && j >= in_dims)
+                }) {
+                    continue;
+                }
+                let before: usize = (0..out_dims - 1)
+                    .map(|od| {
+                        let j = p.perm.output_dim_source(od);
+                        if j == xa {
+                            block_a
+                        } else {
+                            p.extent(j)
+                        }
+                    })
+                    .product();
+                let blocks_b: Vec<usize> = if jb >= in_dims {
+                    let minimal = p.extent(jb).min(ws.div_ceil(before.max(1))).max(1);
+                    let mut v = vec![minimal, (2 * minimal).min(p.extent(jb)), p.extent(jb)];
+                    v.dedup();
+                    v
+                } else {
+                    vec![p.extent(jb)]
+                };
+                for &block_b in &blocks_b {
+                    push::<E>(
+                        p,
+                        device,
+                        overbooking,
+                        &mut out,
+                        &mut seen,
+                        OaChoice { in_dims, block_a, out_dims, block_b },
+                    );
+                    if out.len() >= MAX_CANDIDATES {
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enumerate FVI-Match-Small blocking factors (bounded around the
+/// default).
+pub fn fms_candidates<E: Element>(p: &Problem, smem_limit: usize) -> Vec<usize> {
+    let n0 = p.extent(0);
+    let default = FviMatchSmallKernel::<E>::default_b(n0, smem_limit);
+    FviMatchSmallKernel::<E>::candidate_bs(n0, smem_limit)
+        .into_iter()
+        .filter(|&b| b >= default.saturating_sub(2) && b <= default.saturating_mul(4))
+        .take(12)
+        .collect()
+}
+
+/// All candidates for one schema, as feature-described [`Candidate`]s.
+pub fn enumerate_candidates<E: Element>(
+    p: &Problem,
+    schema: Schema,
+    device: &DeviceConfig,
+    overbooking: usize,
+    sweep: bool,
+) -> Vec<Candidate> {
+    let smem_limit = device.smem_per_sm;
+    match schema {
+        Schema::Copy => {
+            if p.is_copy() {
+                vec![features::copy_candidate::<E>(p)]
+            } else {
+                Vec::new()
+            }
+        }
+        Schema::FviMatchLarge => {
+            if p.perm.fvi_matches() && !p.perm.is_identity() && p.extent(0) >= WARP_SIZE {
+                vec![fml_candidate::<E>(p)]
+            } else {
+                Vec::new()
+            }
+        }
+        Schema::FviMatchSmall => {
+            if p.rank() < 3
+                || !p.perm.fvi_matches()
+                || p.extent(0) >= WARP_SIZE
+                || p.perm.output_dim_source(1) < 2
+            {
+                return Vec::new();
+            }
+            let bs = if sweep {
+                fms_candidates::<E>(p, smem_limit)
+            } else {
+                vec![FviMatchSmallKernel::<E>::default_b(p.extent(0), smem_limit)]
+            };
+            bs.into_iter().map(|b| fms_candidate::<E>(p, b)).collect()
+        }
+        Schema::OrthogonalDistinct => {
+            let cs = if sweep {
+                od_candidates::<E>(p, device, overbooking)
+            } else {
+                OdChoice::default_for(p).into_iter().collect()
+            };
+            cs.into_iter().map(|c| od_candidate::<E>(p, c)).collect()
+        }
+        Schema::OrthogonalArbitrary => {
+            let mut cs = if sweep {
+                oa_candidates::<E>(p, device, overbooking)
+            } else {
+                OaChoice::default_for::<E>(p, smem_limit)
+                    .into_iter()
+                    .filter(|c| oa_occupancy_ok::<E>(p, c, device, overbooking))
+                    .collect()
+            };
+            if cs.is_empty() {
+                // Never leave the schema without a candidate: the default
+                // (occupancy-poor as it may be) is still executable.
+                cs = OaChoice::default_for::<E>(p, smem_limit).into_iter().collect();
+            }
+            cs.into_iter().map(|c| oa_candidate::<E>(p, c)).collect()
+        }
+        Schema::Naive => vec![naive_candidate::<E>(p)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttlg_tensor::{Permutation, Shape};
+
+    fn prob(extents: &[usize], perm: &[usize]) -> Problem {
+        Problem::new(&Shape::new(extents).unwrap(), &Permutation::new(perm).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn input_cut_basic() {
+        let p = prob(&[16, 2, 32, 32], &[3, 2, 1, 0]);
+        assert_eq!(input_cut(&p, 32), Some((2, 2)));
+        assert_eq!(input_cut(&p, 64), Some((3, 2)));
+        assert_eq!(input_cut(&p, 16), Some((1, 16)));
+        assert!(input_cut(&p, 1 << 30).is_none());
+    }
+
+    #[test]
+    fn output_cut_truncates_at_input_slice() {
+        // 27^5 perm 4 1 2 0 3: the Fig. 5 shape — output truncates at 27.
+        let p = prob(&[27, 27, 27, 27, 27], &[4, 1, 2, 0, 3]);
+        let (od, bb, trunc) = output_cut(&p, 32, 2).unwrap();
+        assert_eq!(od, 1);
+        assert_eq!(bb, 27);
+        assert!(trunc);
+    }
+
+    #[test]
+    fn od_sweep_contains_default_and_many_variants() {
+        let p = prob(&[27, 27, 27, 27, 27], &[4, 1, 2, 0, 3]);
+        let cs = od_candidates::<f64>(&p, &DeviceConfig::k40c(), DEFAULT_OVERBOOKING);
+        assert!(cs.len() >= 5, "got {} candidates", cs.len());
+        assert!(cs.iter().all(|c| c.is_valid(&p)));
+        let default = OdChoice::default_for(&p).unwrap();
+        assert!(cs.contains(&default));
+        // Fig. 5's winner (A = 189 = 27*7, B = 27) must be in the sweep:
+        assert!(
+            cs.iter().any(|c| c.a_vol(&p) == 189 && c.b_vol(&p) == 27),
+            "sweep must contain the 189x27 slice; has {:?}",
+            cs.iter().map(|c| (c.a_vol(&p), c.b_vol(&p))).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn oa_candidates_fit_smem() {
+        let p = prob(&[8, 2, 8, 8], &[2, 1, 3, 0]);
+        let cs = oa_candidates::<f64>(&p, &DeviceConfig::k40c(), DEFAULT_OVERBOOKING);
+        assert!(!cs.is_empty());
+        for c in &cs {
+            assert!(c.is_valid(&p));
+            assert!(c.fits_smem(&p, 8, 48 * 1024));
+        }
+    }
+
+    #[test]
+    fn oa_occupancy_bound_rejects_giant_slices_on_big_tensors() {
+        // 16^6 tensor: a 32 KiB slice leaves 1 resident block per SM.
+        let p = prob(&[16, 16, 16, 16, 16, 16], &[1, 0, 2, 4, 5, 3]);
+        let giant = OaChoice { in_dims: 2, block_a: 16, out_dims: 3, block_b: 16 };
+        if giant.is_valid(&p) {
+            assert!(!oa_occupancy_ok::<f64>(&p, &giant, &DeviceConfig::k40c(), 4));
+        }
+        let cs = oa_candidates::<f64>(&p, &DeviceConfig::k40c(), DEFAULT_OVERBOOKING);
+        for c in &cs {
+            assert!(oa_occupancy_ok::<f64>(&p, c, &DeviceConfig::k40c(), 4));
+        }
+    }
+
+    #[test]
+    fn fms_candidates_near_default() {
+        let p = prob(&[8, 8, 8, 8], &[0, 3, 2, 1]);
+        let bs = fms_candidates::<f64>(&p, 48 * 1024);
+        assert!(bs.contains(&4));
+        assert!(bs.len() <= 12);
+    }
+
+    #[test]
+    fn enumerate_all_schemas() {
+        let dev = DeviceConfig::k40c();
+        let p = prob(&[8, 8, 8, 8], &[0, 3, 2, 1]);
+        assert!(!enumerate_candidates::<f64>(&p, Schema::FviMatchSmall, &dev, 4, true).is_empty());
+        assert!(
+            !enumerate_candidates::<f64>(&p, Schema::OrthogonalArbitrary, &dev, 4, true)
+                .is_empty()
+        );
+        let pr = prob(&[64, 64], &[1, 0]);
+        assert!(
+            !enumerate_candidates::<f64>(&pr, Schema::OrthogonalDistinct, &dev, 4, true)
+                .is_empty()
+        );
+        let pl = prob(&[64, 8, 8], &[0, 2, 1]);
+        assert_eq!(
+            enumerate_candidates::<f64>(&pl, Schema::FviMatchLarge, &dev, 4, true).len(),
+            1
+        );
+        // FMS enumeration guards against inapplicable problems.
+        assert!(enumerate_candidates::<f64>(&pl, Schema::FviMatchSmall, &dev, 4, true).is_empty());
+    }
+
+    #[test]
+    fn od_sweep_bounded() {
+        let p = prob(&[16, 16, 16, 16, 16, 16], &[5, 4, 3, 2, 1, 0]);
+        let cs = od_candidates::<f64>(&p, &DeviceConfig::k40c(), DEFAULT_OVERBOOKING);
+        assert!(cs.len() <= super::MAX_CANDIDATES);
+        assert!(!cs.is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! Shared-memory bank-conflict model.
+//!
+//! Shared memory is divided into 32 banks of 4-byte words; successive words
+//! map to successive banks. A warp access in which `d` lanes hit *different
+//! words in the same bank* is serialized `d`-fold ("conflict degree `d`").
+//! Lanes reading the *same* word broadcast with no penalty. The 32x33
+//! padded buffer of the paper exists precisely to keep the write-out column
+//! accesses conflict-free; this model lets tests demonstrate that.
+
+use crate::{SMEM_BANKS, SMEM_WORD_BYTES};
+
+/// Conflict degree of a warp access given each active lane's shared-memory
+/// *byte* address: the maximum, over banks, of the number of distinct words
+/// accessed in that bank. Degree 1 means conflict-free.
+pub fn conflict_degree(byte_addrs: &[usize]) -> u64 {
+    if byte_addrs.is_empty() {
+        return 0;
+    }
+    // words per bank for a warp: tiny arrays on the stack.
+    let mut words: [[usize; 32]; SMEM_BANKS] = [[0; 32]; SMEM_BANKS];
+    let mut counts = [0usize; SMEM_BANKS];
+    for &a in byte_addrs {
+        let word = a / SMEM_WORD_BYTES;
+        let bank = word % SMEM_BANKS;
+        let c = counts[bank];
+        if !words[bank][..c].contains(&word) {
+            words[bank][c] = word;
+            counts[bank] = c + 1;
+        }
+    }
+    counts.iter().copied().max().unwrap_or(0).max(1) as u64
+}
+
+/// Conflict degree of a warp access under a configurable bank word size
+/// (Kepler exposes `cudaSharedMemBankSizeEightByte`, which TTLG relies on
+/// for conflict-free double-precision column accesses through the 32x33
+/// buffer). `bank_word_bytes` is 4 or 8.
+pub fn conflict_degree_with_banks(byte_addrs: &[usize], bank_word_bytes: usize) -> u64 {
+    if byte_addrs.is_empty() {
+        return 0;
+    }
+    let mut words: [[usize; 32]; SMEM_BANKS] = [[0; 32]; SMEM_BANKS];
+    let mut counts = [0usize; SMEM_BANKS];
+    for &a in byte_addrs {
+        let word = a / bank_word_bytes;
+        let bank = word % SMEM_BANKS;
+        let c = counts[bank];
+        if !words[bank][..c].contains(&word) {
+            words[bank][c] = word;
+            counts[bank] = c + 1;
+        }
+    }
+    counts.iter().copied().max().unwrap_or(0).max(1) as u64
+}
+
+/// Conflict degree for a strided warp access over *element* indices into a
+/// shared buffer: lane `l` touches element `start + l * stride`, each
+/// element `elem_bytes` wide. The bank word size follows the element size
+/// (8-byte bank mode for doubles, 4-byte otherwise), matching how TTLG
+/// configures the hardware.
+pub fn conflict_degree_strided(
+    start_elem: usize,
+    lanes: usize,
+    stride_elems: usize,
+    elem_bytes: usize,
+) -> u64 {
+    if lanes == 0 {
+        return 0;
+    }
+    let mut addrs = [0usize; 32];
+    let lanes = lanes.min(32);
+    for (l, slot) in addrs[..lanes].iter_mut().enumerate() {
+        *slot = (start_elem + l * stride_elems) * elem_bytes;
+    }
+    conflict_degree_with_banks(&addrs[..lanes], bank_word_for_elem(elem_bytes))
+}
+
+/// Bank word size used for an element width: 8-byte banks for 8-byte
+/// elements, 4-byte banks otherwise.
+#[inline]
+pub fn bank_word_for_elem(elem_bytes: usize) -> usize {
+    if elem_bytes >= 8 {
+        8
+    } else {
+        SMEM_WORD_BYTES
+    }
+}
+
+/// A simulated shared-memory buffer for one thread block: flat storage of
+/// `E` plus the conflict accounting hooks. Kernels index it in *elements*.
+#[derive(Debug)]
+pub struct SmemSim<E> {
+    data: Vec<E>,
+}
+
+impl<E: ttlg_tensor::Element> SmemSim<E> {
+    /// Allocate a buffer of `elems` elements (the executor checks the byte
+    /// footprint against the device's per-SM capacity at launch).
+    pub fn new(elems: usize) -> Self {
+        SmemSim { data: vec![E::zero(); elems] }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read element `i`.
+    #[inline]
+    pub fn read(&self, i: usize) -> E {
+        self.data[i]
+    }
+
+    /// Write element `i`.
+    #[inline]
+    pub fn write(&mut self, i: usize, v: E) {
+        self.data[i] = v;
+    }
+
+    /// Reset contents to zero (reused across phases within a block).
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|e| *e = E::zero());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_access_is_conflict_free() {
+        // 32 consecutive 4-byte words: each lane its own bank.
+        let addrs: Vec<usize> = (0..32).map(|l| l * 4).collect();
+        assert_eq!(conflict_degree(&addrs), 1);
+    }
+
+    #[test]
+    fn unpadded_column_access_is_32_way_conflict() {
+        // Column of a 32x32 float buffer: lane l touches word l*32 -> all
+        // in bank 0. This is the paper's "severe slowdown" case.
+        assert_eq!(conflict_degree_strided(0, 32, 32, 4), 32);
+    }
+
+    #[test]
+    fn padded_column_access_is_conflict_free() {
+        // Column of a 32x33 float buffer: lane l touches word l*33 ->
+        // staggered over all banks. The padding trick.
+        assert_eq!(conflict_degree_strided(0, 32, 33, 4), 1);
+    }
+
+    #[test]
+    fn broadcast_is_free() {
+        let addrs = vec![64usize; 32];
+        assert_eq!(conflict_degree(&addrs), 1);
+    }
+
+    #[test]
+    fn partial_warp() {
+        assert_eq!(conflict_degree_strided(0, 16, 32, 4), 16);
+        assert_eq!(conflict_degree_strided(5, 1, 32, 4), 1);
+        assert_eq!(conflict_degree_strided(0, 0, 32, 4), 0);
+    }
+
+    #[test]
+    fn two_way_conflict() {
+        // stride 16 words: lanes 0 and 16 share bank 0 on different words...
+        // lane l -> word 16l, bank (16l) % 32: degree 2.
+        assert_eq!(conflict_degree_strided(0, 32, 16, 4), 16);
+        // stride 2 words: lanes l and l+16 share a bank -> degree 2.
+        assert_eq!(conflict_degree_strided(0, 32, 2, 4), 2);
+    }
+
+    #[test]
+    fn fvi_match_small_padding_example() {
+        // Paper Fig. 4: N0 = 8 pencils; pad chosen so "element 0 in row 1
+        // of the 2D view maps to memory bank N0": row length must be
+        // congruent to N0 mod 32. With b = 4, N0 = 8: bN0 + pad = 40 words
+        // (pad = 8). Write-out gathers lane l -> word (l % 8) + (l / 8)*40,
+        // so row r covers banks 8r..8r+7 — disjoint, conflict-free.
+        let addrs: Vec<usize> = (0..32).map(|l| ((l % 8) + (l / 8) * 40) * 4).collect();
+        assert_eq!(conflict_degree(&addrs), 1);
+        // Without padding (row length 32), degree is 4 (4 rows collide).
+        let bad: Vec<usize> = (0..32).map(|l| ((l % 8) + (l / 8) * 32) * 4).collect();
+        assert_eq!(conflict_degree(&bad), 4);
+    }
+
+    #[test]
+    fn padded_column_access_is_conflict_free_for_doubles() {
+        // 32x33 doubles, column access, 8-byte bank mode: stride 33
+        // elements -> bank l*33 % 32 = l: conflict-free.
+        assert_eq!(conflict_degree_strided(0, 32, 33, 8), 1);
+        // unpadded doubles column: all one bank.
+        assert_eq!(conflict_degree_strided(0, 32, 32, 8), 32);
+    }
+
+    #[test]
+    fn bank_word_selection() {
+        assert_eq!(bank_word_for_elem(4), 4);
+        assert_eq!(bank_word_for_elem(8), 8);
+    }
+
+    #[test]
+    fn smem_sim_read_write_clear() {
+        let mut s: SmemSim<u32> = SmemSim::new(16);
+        assert_eq!(s.len(), 16);
+        assert!(!s.is_empty());
+        s.write(3, 77);
+        assert_eq!(s.read(3), 77);
+        s.clear();
+        assert_eq!(s.read(3), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Aggregated transaction statistics — the quantities the paper's Table I
+//! reasons about, plus instruction-level counters used by the performance
+//! model (Table II's "special instructions").
+
+/// Counters accumulated while running a kernel. All counts are machine-wide
+/// totals (summed over every block).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransactionStats {
+    /// 128-byte DRAM load transactions (global memory reads).
+    pub dram_load_tx: u64,
+    /// 128-byte DRAM store transactions (global memory writes).
+    pub dram_store_tx: u64,
+    /// Warp-level shared-memory load accesses, *excluding* replays.
+    pub smem_load_acc: u64,
+    /// Warp-level shared-memory store accesses, *excluding* replays.
+    pub smem_store_acc: u64,
+    /// Extra warp-level shared-memory replays caused by bank conflicts
+    /// (an access with conflict degree `d` adds `d - 1` replays).
+    pub smem_conflict_replays: u64,
+    /// Texture-memory load transactions (offset-array reads).
+    pub tex_load_tx: u64,
+    /// Special (mod/div -> MUFU) instructions executed.
+    pub special_instr: u64,
+    /// Other integer/address instructions (cheap, tracked for completeness).
+    pub index_instr: u64,
+    /// Number of `__syncthreads()` barriers executed (block-level count).
+    pub barriers: u64,
+    /// Total elements moved (for sanity checks / bandwidth accounting).
+    pub elements_moved: u64,
+}
+
+impl TransactionStats {
+    /// Elementwise sum of two counters (used when merging per-worker or
+    /// per-block partials).
+    pub fn merge(&mut self, other: &TransactionStats) {
+        self.dram_load_tx += other.dram_load_tx;
+        self.dram_store_tx += other.dram_store_tx;
+        self.smem_load_acc += other.smem_load_acc;
+        self.smem_store_acc += other.smem_store_acc;
+        self.smem_conflict_replays += other.smem_conflict_replays;
+        self.tex_load_tx += other.tex_load_tx;
+        self.special_instr += other.special_instr;
+        self.index_instr += other.index_instr;
+        self.barriers += other.barriers;
+        self.elements_moved += other.elements_moved;
+    }
+
+    /// Scale every counter by an integer factor (used when extrapolating a
+    /// sampled representative block to its whole class).
+    pub fn scaled(&self, factor: u64) -> TransactionStats {
+        TransactionStats {
+            dram_load_tx: self.dram_load_tx * factor,
+            dram_store_tx: self.dram_store_tx * factor,
+            smem_load_acc: self.smem_load_acc * factor,
+            smem_store_acc: self.smem_store_acc * factor,
+            smem_conflict_replays: self.smem_conflict_replays * factor,
+            tex_load_tx: self.tex_load_tx * factor,
+            special_instr: self.special_instr * factor,
+            index_instr: self.index_instr * factor,
+            barriers: self.barriers * factor,
+            elements_moved: self.elements_moved * factor,
+        }
+    }
+
+    /// Total DRAM transactions in both directions.
+    #[inline]
+    pub fn dram_total_tx(&self) -> u64 {
+        self.dram_load_tx + self.dram_store_tx
+    }
+
+    /// Total warp-level shared-memory accesses including conflict replays.
+    #[inline]
+    pub fn smem_total_acc(&self) -> u64 {
+        self.smem_load_acc + self.smem_store_acc + self.smem_conflict_replays
+    }
+
+    /// Bytes moved through DRAM (128 B per transaction).
+    #[inline]
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_total_tx() * crate::TRANSACTION_BYTES as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = TransactionStats { dram_load_tx: 3, smem_conflict_replays: 2, ..Default::default() };
+        let b = TransactionStats { dram_load_tx: 4, dram_store_tx: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.dram_load_tx, 7);
+        assert_eq!(a.dram_store_tx, 7);
+        assert_eq!(a.smem_conflict_replays, 2);
+        assert_eq!(a.dram_total_tx(), 14);
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let a = TransactionStats {
+            dram_load_tx: 2,
+            dram_store_tx: 3,
+            smem_load_acc: 4,
+            smem_store_acc: 5,
+            smem_conflict_replays: 6,
+            tex_load_tx: 7,
+            special_instr: 8,
+            index_instr: 9,
+            barriers: 10,
+            elements_moved: 11,
+        };
+        let s = a.scaled(3);
+        assert_eq!(s.dram_load_tx, 6);
+        assert_eq!(s.elements_moved, 33);
+        assert_eq!(s.smem_total_acc(), (4 + 5 + 6) * 3);
+    }
+
+    #[test]
+    fn dram_bytes_uses_128b_transactions() {
+        let a = TransactionStats { dram_load_tx: 1, dram_store_tx: 1, ..Default::default() };
+        assert_eq!(a.dram_bytes(), 256);
+    }
+}

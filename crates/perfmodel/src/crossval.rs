@@ -1,0 +1,157 @@
+//! K-fold cross-validation for the Table II models — a robustness check
+//! beyond the paper's single 4/5-1/5 split, plus per-feature ablation
+//! (drop one feature, measure the precision hit) to substantiate the
+//! paper's claim that "all these features are significant".
+
+use crate::dataset::{split_xy, DataPoint};
+use crate::linreg::{self, FitError};
+use ttlg::Schema;
+
+/// Result of one cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CrossValidation {
+    /// Which kernel's model was validated.
+    pub schema: Schema,
+    /// Number of folds.
+    pub folds: usize,
+    /// Per-fold held-out precision (percent error).
+    pub fold_precisions: Vec<f64>,
+    /// Mean held-out precision.
+    pub mean_precision: f64,
+    /// Standard deviation across folds.
+    pub std_precision: f64,
+}
+
+/// K-fold cross-validation over points of one schema. Points are taken in
+/// their given order (shuffle beforehand for a random split).
+pub fn k_fold(
+    points: &[DataPoint],
+    schema: Schema,
+    feature_names: &[&str],
+    folds: usize,
+) -> Result<CrossValidation, FitError> {
+    assert!(folds >= 2, "need at least two folds");
+    let (x, y) = split_xy(points, schema);
+    let n = y.len();
+    if n < folds * (feature_names.len() + 2) {
+        return Err(FitError::TooFewObservations { n, k: folds * (feature_names.len() + 2) });
+    }
+    let mut fold_precisions = Vec::with_capacity(folds);
+    for f in 0..folds {
+        let lo = n * f / folds;
+        let hi = n * (f + 1) / folds;
+        let mut x_train = Vec::with_capacity(n - (hi - lo));
+        let mut y_train = Vec::with_capacity(n - (hi - lo));
+        for i in (0..n).filter(|i| *i < lo || *i >= hi) {
+            x_train.push(x[i].clone());
+            y_train.push(y[i]);
+        }
+        let fit = linreg::fit(feature_names, &x_train, &y_train)?;
+        let x_test = x[lo..hi].to_vec();
+        let y_test = y[lo..hi].to_vec();
+        fold_precisions.push(linreg::precision_percent(&fit.model, &x_test, &y_test));
+    }
+    let mean = fold_precisions.iter().sum::<f64>() / folds as f64;
+    let var = fold_precisions.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
+        / folds as f64;
+    Ok(CrossValidation {
+        schema,
+        folds,
+        fold_precisions,
+        mean_precision: mean,
+        std_precision: var.sqrt(),
+    })
+}
+
+/// Leave-one-feature-out ablation: for each feature, refit without it and
+/// report the precision change on the full dataset. A positive delta
+/// means removing the feature hurts (the feature carries signal).
+#[derive(Debug, Clone)]
+pub struct FeatureAblation {
+    /// Feature name removed.
+    pub feature: String,
+    /// Precision with all features, percent.
+    pub full_precision: f64,
+    /// Precision without this feature, percent.
+    pub without_precision: f64,
+}
+
+impl FeatureAblation {
+    /// How much precision degrades when the feature is dropped.
+    pub fn delta(&self) -> f64 {
+        self.without_precision - self.full_precision
+    }
+}
+
+/// Run the leave-one-out feature ablation for one schema.
+pub fn feature_ablation(
+    points: &[DataPoint],
+    schema: Schema,
+    feature_names: &[&str],
+) -> Result<Vec<FeatureAblation>, FitError> {
+    let (x, y) = split_xy(points, schema);
+    let full = linreg::fit(feature_names, &x, &y)?;
+    let full_precision = linreg::precision_percent(&full.model, &x, &y);
+    let mut out = Vec::with_capacity(feature_names.len());
+    for drop in 0..feature_names.len() {
+        let names: Vec<&str> = feature_names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop)
+            .map(|(_, n)| *n)
+            .collect();
+        let xs: Vec<Vec<f64>> = x
+            .iter()
+            .map(|row| {
+                row.iter().enumerate().filter(|(i, _)| *i != drop).map(|(_, v)| *v).collect()
+            })
+            .collect();
+        let fit = linreg::fit(&names, &xs, &y)?;
+        out.push(FeatureAblation {
+            feature: feature_names[drop].to_string(),
+            full_precision,
+            without_precision: linreg::precision_percent(&fit.model, &xs, &y),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate, OD_FEATURES};
+    use ttlg_gpu_sim::DeviceConfig;
+    use ttlg_tensor::generator::{model_dataset, DatasetConfig};
+
+    fn points() -> Vec<DataPoint> {
+        let cases = model_dataset(&DatasetConfig::small());
+        generate::<f64>(&DeviceConfig::k40c(), &cases, 6)
+    }
+
+    #[test]
+    fn k_fold_produces_stable_od_precision() {
+        let pts = points();
+        let cv = k_fold(&pts, Schema::OrthogonalDistinct, &OD_FEATURES, 4).unwrap();
+        assert_eq!(cv.fold_precisions.len(), 4);
+        assert!(cv.mean_precision < 60.0, "{cv:?}");
+        assert!(cv.std_precision.is_finite());
+    }
+
+    #[test]
+    fn k_fold_rejects_starved_input() {
+        let pts = points();
+        let err = k_fold(&pts[..3.min(pts.len())], Schema::OrthogonalDistinct, &OD_FEATURES, 4);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn dropping_cycles_hurts_od_model() {
+        // Cycles is the paper's key engineered feature; removing it should
+        // not make the fit better.
+        let pts = points();
+        let abl = feature_ablation(&pts, Schema::OrthogonalDistinct, &OD_FEATURES).unwrap();
+        let cycles = abl.iter().find(|a| a.feature == "Cycles").unwrap();
+        assert!(cycles.delta() > -1.0, "{cycles:?}");
+        assert_eq!(abl.len(), OD_FEATURES.len());
+    }
+}

@@ -1,0 +1,179 @@
+//! Labelled dataset generation (paper Sec. V "DataSet").
+//!
+//! For every transposition case, every admissible slice configuration of
+//! the Orthogonal-Distinct and Orthogonal-Arbitrary kernels is built and
+//! timed on the simulated device; the configuration's Table II features
+//! plus the measured time form one data point. The paper trained on
+//! 77,502 (OD) and 8,042 (OA) such points; the generator here scales to
+//! any budget through [`ttlg_tensor::generator::DatasetConfig`].
+
+use ttlg::{Candidate, Problem, Schema, Transposer};
+use ttlg_gpu_sim::DeviceConfig;
+use ttlg_tensor::generator::Case;
+use ttlg_tensor::Element;
+
+/// Feature names of the Orthogonal-Distinct model (Table II, upper half).
+pub const OD_FEATURES: [&str; 5] =
+    ["Volume", "NumBlocks", "Input slice", "Output slice", "Cycles"];
+
+/// Feature names of the Orthogonal-Arbitrary model (Table II, lower
+/// half).
+pub const OA_FEATURES: [&str; 7] = [
+    "Volume",
+    "NumThreads",
+    "Total Slice",
+    "Input Stride",
+    "Output Stride",
+    "Special Instr",
+    "Cycles",
+];
+
+/// Extract the Table II feature vector for a candidate of the given
+/// schema; `None` for schemas the paper does not model with regression.
+pub fn feature_vector(c: &Candidate) -> Option<(Schema, Vec<f64>)> {
+    match c.schema() {
+        Schema::OrthogonalDistinct => Some((
+            Schema::OrthogonalDistinct,
+            vec![
+                c.volume as f64,
+                c.grid_blocks as f64,
+                c.input_slice as f64,
+                c.output_slice as f64,
+                c.cycles,
+            ],
+        )),
+        Schema::OrthogonalArbitrary => Some((
+            Schema::OrthogonalArbitrary,
+            vec![
+                c.volume as f64,
+                c.num_threads() as f64,
+                c.total_slice as f64,
+                c.input_stride as f64,
+                c.output_stride as f64,
+                c.special_instr,
+                c.cycles,
+            ],
+        )),
+        _ => None,
+    }
+}
+
+/// One labelled observation.
+#[derive(Debug, Clone)]
+pub struct DataPoint {
+    /// Kernel schema the point belongs to.
+    pub schema: Schema,
+    /// Table II feature vector.
+    pub features: Vec<f64>,
+    /// Ground-truth time from the simulated device, ns.
+    pub time_ns: f64,
+    /// Case label (for debugging).
+    pub case: String,
+}
+
+/// Generate labelled points for a list of cases. At most
+/// `max_configs_per_case` slice configurations are timed per (case,
+/// schema).
+pub fn generate<E: Element>(
+    device: &DeviceConfig,
+    cases: &[Case],
+    max_configs_per_case: usize,
+) -> Vec<DataPoint> {
+    let t = Transposer::new(device.clone());
+    let mut points = Vec::new();
+    for case in cases {
+        let problem = match Problem::new(&case.shape, &case.perm) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        for schema in [Schema::OrthogonalDistinct, Schema::OrthogonalArbitrary] {
+            let candidates = ttlg::slice::enumerate_candidates::<E>(
+                &problem,
+                schema,
+                device,
+                ttlg::slice::DEFAULT_OVERBOOKING,
+                true,
+            );
+            for cand in candidates.into_iter().take(max_configs_per_case) {
+                let Some((schema, features)) = feature_vector(&cand) else { continue };
+                let Ok(m) = t.measure_candidate::<E>(&problem, &cand) else { continue };
+                points.push(DataPoint {
+                    schema,
+                    features,
+                    time_ns: m.timing.time_ns,
+                    case: case.name.clone(),
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Split points by schema into `(x, y)` matrices for fitting.
+pub fn split_xy(points: &[DataPoint], schema: Schema) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for p in points.iter().filter(|p| p.schema == schema) {
+        x.push(p.features.clone());
+        y.push(p.time_ns);
+    }
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttlg_tensor::generator::{model_dataset, DatasetConfig};
+
+    #[test]
+    fn generates_points_for_both_schemas() {
+        let cfg = DatasetConfig::small();
+        let cases = model_dataset(&cfg);
+        let device = DeviceConfig::k40c();
+        let points = generate::<f64>(&device, &cases[..cases.len().min(30)], 4);
+        assert!(!points.is_empty());
+        let od = points.iter().filter(|p| p.schema == Schema::OrthogonalDistinct).count();
+        let oa = points.iter().filter(|p| p.schema == Schema::OrthogonalArbitrary).count();
+        assert!(od > 0, "need OD points");
+        assert!(oa > 0, "need OA points");
+        for p in &points {
+            assert!(p.time_ns > 0.0);
+            let want = match p.schema {
+                Schema::OrthogonalDistinct => 5,
+                Schema::OrthogonalArbitrary => 7,
+                _ => unreachable!(),
+            };
+            assert_eq!(p.features.len(), want);
+        }
+    }
+
+    #[test]
+    fn split_by_schema() {
+        let points = vec![
+            DataPoint {
+                schema: Schema::OrthogonalDistinct,
+                features: vec![1.0; 5],
+                time_ns: 10.0,
+                case: "a".into(),
+            },
+            DataPoint {
+                schema: Schema::OrthogonalArbitrary,
+                features: vec![2.0; 7],
+                time_ns: 20.0,
+                case: "b".into(),
+            },
+        ];
+        let (x, y) = split_xy(&points, Schema::OrthogonalDistinct);
+        assert_eq!(x.len(), 1);
+        assert_eq!(y, vec![10.0]);
+    }
+
+    #[test]
+    fn feature_vector_schema_filter() {
+        let shape = ttlg_tensor::Shape::new(&[64, 8, 8]).unwrap();
+        let perm = ttlg_tensor::Permutation::new(&[0, 2, 1]).unwrap();
+        let p = Problem::new(&shape, &perm).unwrap();
+        let c = ttlg::features::fml_candidate::<f64>(&p);
+        assert!(feature_vector(&c).is_none());
+    }
+}

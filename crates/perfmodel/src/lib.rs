@@ -1,0 +1,32 @@
+//! # ttlg-perfmodel
+//!
+//! The offline performance-modeling pipeline of the paper's Sec. V:
+//!
+//! 1. [`dataset`] — generate labelled `(features, time)` points by running
+//!    slice-configuration candidates on the simulated device (ranks 3-6,
+//!    five extent-ordering classes, a spread of volumes; 4/5-1/5
+//!    train/test split).
+//! 2. [`linreg`] — ordinary least squares with full inference statistics
+//!    (estimates, standard errors, t-values, p-values) implemented from
+//!    scratch, reproducing the columns of Table II.
+//! 3. [`train`] — fit one model per kernel (Orthogonal-Distinct with the
+//!    5 features of Table II, Orthogonal-Arbitrary with 7) and report the
+//!    paper's precision metric
+//!    `mean(|actual - predicted| / actual) * 100`.
+//! 4. [`predictor`] — a [`ttlg::TimePredictor`] backed by the trained
+//!    models, used by Alg. 3's slice-size choice and by callers of the
+//!    queryable prediction API.
+//! 5. [`persist`] — plain-text save/load of trained models.
+
+pub mod crossval;
+pub mod dataset;
+pub mod linreg;
+pub mod persist;
+pub mod predictor;
+pub mod pretrained;
+pub mod train;
+
+pub use linreg::{FitSummary, LinearModel};
+pub use predictor::TrainedPredictor;
+pub use pretrained::predictor_k40c;
+pub use train::{train_models, TrainConfig, TrainedModels};

@@ -1,0 +1,442 @@
+//! Ordinary least squares with inference statistics, from scratch.
+//!
+//! Solves `y = X beta + eps` by the normal equations with Gaussian
+//! elimination (partial pivoting), and reports per-coefficient standard
+//! errors, t-values and (normal-approximation) p-values — the columns of
+//! the paper's Table II — plus R^2 and the paper's precision metric.
+
+/// A fitted linear model: `predict(x) = intercept + sum(coef[i] * x[i])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    /// Feature names (for reports), excluding the intercept.
+    pub feature_names: Vec<String>,
+    /// Intercept term.
+    pub intercept: f64,
+    /// Coefficients, one per feature.
+    pub coefficients: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Predict the response for a feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coefficients.len(), "feature dimension mismatch");
+        self.intercept + self.coefficients.iter().zip(x.iter()).map(|(c, v)| c * v).sum::<f64>()
+    }
+}
+
+/// One row of the Table II summary.
+#[derive(Debug, Clone)]
+pub struct CoefficientStat {
+    /// Feature name ("(Intercept)" for the constant term).
+    pub name: String,
+    /// OLS estimate.
+    pub estimate: f64,
+    /// Standard error.
+    pub std_error: f64,
+    /// t-value (`estimate / std_error`).
+    pub t_value: f64,
+    /// Two-sided p-value (normal approximation — exact enough at the
+    /// paper's sample sizes of thousands of points).
+    pub p_value: f64,
+}
+
+/// Full fit summary.
+#[derive(Debug, Clone)]
+pub struct FitSummary {
+    /// The fitted model.
+    pub model: LinearModel,
+    /// Per-coefficient statistics (intercept first).
+    pub stats: Vec<CoefficientStat>,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Residual standard error.
+    pub residual_se: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl FitSummary {
+    /// Render as a Table II-style text table.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<16} {:>13} {:>13} {:>9} {:>12}\n",
+            "Feature", "Estimate", "Std. Error", "t value", "Pr(>|t|)"
+        ));
+        for c in &self.stats {
+            s.push_str(&format!(
+                "{:<16} {:>13.4e} {:>13.4e} {:>9.2} {:>12}\n",
+                c.name,
+                c.estimate,
+                c.std_error,
+                c.t_value,
+                format_p(c.p_value),
+            ));
+        }
+        s.push_str(&format!("R-squared: {:.4}, n = {}\n", self.r_squared, self.n));
+        s
+    }
+}
+
+/// Format a p-value the way R's `lm` summary does.
+fn format_p(p: f64) -> String {
+    if p < 2e-16 {
+        "<2e-16".to_string()
+    } else {
+        format!("{p:.3e}")
+    }
+}
+
+/// Errors from fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer observations than parameters.
+    TooFewObservations {
+        /// Number of observations supplied.
+        n: usize,
+        /// Number of parameters (features + intercept).
+        k: usize,
+    },
+    /// The normal-equation system is singular (collinear features).
+    Singular,
+    /// Rows of `x` have inconsistent lengths.
+    RaggedInput,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewObservations { n, k } => {
+                write!(f, "need more observations ({n}) than parameters ({k})")
+            }
+            FitError::Singular => write!(f, "singular design matrix (collinear features)"),
+            FitError::RaggedInput => write!(f, "inconsistent feature-vector lengths"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Fit `y ~ 1 + x` by OLS. `x` is row-major: one feature vector per
+/// observation.
+pub fn fit(
+    feature_names: &[&str],
+    x: &[Vec<f64>],
+    y: &[f64],
+) -> Result<FitSummary, FitError> {
+    fit_weighted(feature_names, x, y, None)
+}
+
+/// Weighted least squares: minimises `sum w_i (y_i - x_i beta)^2`.
+///
+/// With `w_i = 1 / y_i^2` this approximates *relative*-error regression —
+/// the metric the paper reports (`mean(|actual - predicted| / actual)`).
+/// Plain OLS over-weights the slowest configurations and can invert the
+/// ranking among the fast ones, which is what the planner actually needs.
+pub fn fit_weighted(
+    feature_names: &[&str],
+    x: &[Vec<f64>],
+    y: &[f64],
+    weights: Option<&[f64]>,
+) -> Result<FitSummary, FitError> {
+    let n = y.len();
+    let d = feature_names.len();
+    let k = d + 1; // + intercept
+    if x.len() != n || x.iter().any(|r| r.len() != d) {
+        return Err(FitError::RaggedInput);
+    }
+    if n <= k {
+        return Err(FitError::TooFewObservations { n, k });
+    }
+
+    if let Some(w) = weights {
+        if w.len() != n {
+            return Err(FitError::RaggedInput);
+        }
+    }
+
+    // Normal equations: A = X'WX (k x k), b = X'Wy, with X = [1 | x].
+    let mut a = vec![vec![0.0f64; k]; k];
+    let mut b = vec![0.0f64; k];
+    for (idx, (row, &yi)) in x.iter().zip(y.iter()).enumerate() {
+        let w = weights.map(|w| w[idx]).unwrap_or(1.0);
+        // design row: [1, row...]
+        for i in 0..k {
+            let xi = if i == 0 { 1.0 } else { row[i - 1] };
+            b[i] += w * xi * yi;
+            for j in i..k {
+                let xj = if j == 0 { 1.0 } else { row[j - 1] };
+                a[i][j] += w * xi * xj;
+            }
+        }
+    }
+    for i in 0..k {
+        for j in 0..i {
+            a[i][j] = a[j][i];
+        }
+    }
+
+    // Solve A * [beta | inv] with Gauss-Jordan to get both the solution
+    // and A^{-1} (needed for standard errors).
+    let mut aug = vec![vec![0.0f64; 2 * k + 1]; k];
+    for i in 0..k {
+        aug[i][..k].copy_from_slice(&a[i]);
+        aug[i][k] = b[i];
+        aug[i][k + 1 + i] = 1.0;
+    }
+    for col in 0..k {
+        // partial pivot
+        let piv = (col..k)
+            .max_by(|&r1, &r2| {
+                aug[r1][col].abs().partial_cmp(&aug[r2][col].abs()).expect("finite")
+            })
+            .expect("non-empty");
+        if aug[piv][col].abs() < 1e-12 * (1.0 + a[col][col].abs()) {
+            return Err(FitError::Singular);
+        }
+        aug.swap(col, piv);
+        let p = aug[col][col];
+        for v in aug[col].iter_mut() {
+            *v /= p;
+        }
+        for r in 0..k {
+            if r != col {
+                let f = aug[r][col];
+                if f != 0.0 {
+                    for c2 in 0..2 * k + 1 {
+                        let v = aug[col][c2];
+                        aug[r][c2] -= f * v;
+                    }
+                }
+            }
+        }
+    }
+    let beta: Vec<f64> = (0..k).map(|i| aug[i][k]).collect();
+    let inv: Vec<Vec<f64>> =
+        (0..k).map(|i| (0..k).map(|j| aug[i][k + 1 + j]).collect()).collect();
+
+    // Residuals, R^2, sigma^2 (in the weighted metric when weights given).
+    let wsum: f64 = (0..n).map(|i| weights.map(|w| w[i]).unwrap_or(1.0)).sum();
+    let mean_y = (0..n)
+        .map(|i| weights.map(|w| w[i]).unwrap_or(1.0) * y[i])
+        .sum::<f64>()
+        / wsum;
+    let mut rss = 0.0;
+    let mut tss = 0.0;
+    for (idx, (row, &yi)) in x.iter().zip(y.iter()).enumerate() {
+        let w = weights.map(|w| w[idx]).unwrap_or(1.0);
+        let pred = beta[0] + row.iter().zip(beta[1..].iter()).map(|(v, c)| v * c).sum::<f64>();
+        rss += w * (yi - pred) * (yi - pred);
+        tss += w * (yi - mean_y) * (yi - mean_y);
+    }
+    let dof = (n - k) as f64;
+    let sigma2 = rss / dof;
+    let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
+
+    let mut stats = Vec::with_capacity(k);
+    for i in 0..k {
+        let se = (sigma2 * inv[i][i]).max(0.0).sqrt();
+        let t = if se > 0.0 { beta[i] / se } else { f64::INFINITY };
+        let name = if i == 0 { "(Intercept)".to_string() } else { feature_names[i - 1].to_string() };
+        stats.push(CoefficientStat {
+            name,
+            estimate: beta[i],
+            std_error: se,
+            t_value: t,
+            p_value: two_sided_p(t),
+        });
+    }
+
+    Ok(FitSummary {
+        model: LinearModel {
+            feature_names: feature_names.iter().map(|s| s.to_string()).collect(),
+            intercept: beta[0],
+            coefficients: beta[1..].to_vec(),
+        },
+        stats,
+        r_squared,
+        residual_se: sigma2.sqrt(),
+        n,
+    })
+}
+
+/// Two-sided p-value under the standard normal (adequate for the large
+/// degrees of freedom of the paper's datasets).
+fn two_sided_p(t: f64) -> f64 {
+    2.0 * (1.0 - phi(t.abs()))
+}
+
+/// Standard normal CDF via the Abramowitz & Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7).
+fn phi(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// The paper's precision metric:
+/// `mean(|actual - predicted| / actual) * 100` (a percentage error).
+pub fn precision_percent(model: &LinearModel, x: &[Vec<f64>], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    assert!(!y.is_empty());
+    let mut acc = 0.0;
+    for (row, &yi) in x.iter().zip(y.iter()) {
+        let pred = model.predict(row);
+        acc += ((yi - pred).abs() / yi.abs().max(1e-30)) * 100.0;
+    }
+    acc / y.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 3 + 2a - 5b, no noise.
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, ((i * 7) % 13) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 + 2.0 * r[0] - 5.0 * r[1]).collect();
+        let fit = fit(&["a", "b"], &x, &y).unwrap();
+        assert!((fit.model.intercept - 3.0).abs() < 1e-8);
+        assert!((fit.model.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((fit.model.coefficients[1] + 5.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn noisy_fit_reports_significance() {
+        // deterministic pseudo-noise
+        let x: Vec<Vec<f64>> = (0..500).map(|i| vec![(i % 97) as f64]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 10.0 + 4.0 * r[0] + (((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5))
+            .collect();
+        let fit = fit(&["a"], &x, &y).unwrap();
+        assert!((fit.model.coefficients[0] - 4.0).abs() < 0.01);
+        // slope is wildly significant
+        let slope = &fit.stats[1];
+        assert!(slope.t_value > 100.0);
+        assert!(slope.p_value < 2e-16);
+        assert!(fit.to_table().contains("<2e-16"));
+    }
+
+    #[test]
+    fn singular_design_rejected() {
+        // b = 2a exactly: collinear.
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        assert_eq!(fit(&["a", "b"], &x, &y).unwrap_err(), FitError::Singular);
+    }
+
+    #[test]
+    fn too_few_observations_rejected() {
+        let x = vec![vec![1.0], vec![2.0]];
+        let y = vec![1.0, 2.0];
+        assert!(matches!(
+            fit(&["a"], &x, &y).unwrap_err(),
+            FitError::TooFewObservations { .. }
+        ));
+    }
+
+    #[test]
+    fn ragged_input_rejected() {
+        let x = vec![vec![1.0], vec![2.0, 3.0], vec![1.0], vec![4.0]];
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(fit(&["a"], &x, &y).unwrap_err(), FitError::RaggedInput);
+    }
+
+    #[test]
+    fn predict_matches_manual() {
+        let m = LinearModel {
+            feature_names: vec!["a".into(), "b".into()],
+            intercept: 1.0,
+            coefficients: vec![2.0, 3.0],
+        };
+        assert_eq!(m.predict(&[10.0, 100.0]), 1.0 + 20.0 + 300.0);
+    }
+
+    #[test]
+    fn precision_metric() {
+        let m = LinearModel {
+            feature_names: vec!["a".into()],
+            intercept: 0.0,
+            coefficients: vec![1.0],
+        };
+        // predictions 10% off on each point
+        let x = vec![vec![90.0], vec![180.0]];
+        let y = vec![100.0, 200.0];
+        let p = precision_percent(&m, &x, &y);
+        assert!((p - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_sane() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-7);
+        assert!((phi(1.96) - 0.975).abs() < 1e-3);
+        assert!(phi(8.0) > 1.0 - 1e-14);
+    }
+
+    #[test]
+    fn weighted_fit_prioritises_low_magnitude_points() {
+        // Two clusters: small-y points following y = x, large-y points
+        // following y = 2x. Relative weighting must fit the small cluster
+        // far better than plain OLS does.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 1..=20 {
+            x.push(vec![i as f64]);
+            y.push(i as f64); // small cluster: slope 1
+        }
+        for i in 1..=20 {
+            x.push(vec![1000.0 * i as f64]);
+            y.push(2000.0 * i as f64); // large cluster: slope 2
+        }
+        let w: Vec<f64> = y.iter().map(|v| 1.0 / (v * v)).collect();
+        let ols = fit(&["a"], &x, &y).unwrap();
+        let wls = fit_weighted(&["a"], &x, &y, Some(&w)).unwrap();
+        let small_err_ols = precision_percent(&ols.model, &x[..20], &y[..20]);
+        let small_err_wls = precision_percent(&wls.model, &x[..20], &y[..20]);
+        assert!(
+            small_err_wls < small_err_ols / 2.0,
+            "wls {small_err_wls}% vs ols {small_err_ols}%"
+        );
+    }
+
+    #[test]
+    fn weighted_fit_rejects_ragged_weights() {
+        let x = vec![vec![1.0]; 10];
+        let y = vec![1.0; 10];
+        let w = vec![1.0; 9];
+        assert_eq!(
+            fit_weighted(&["a"], &x, &y, Some(&w)).unwrap_err(),
+            FitError::RaggedInput
+        );
+    }
+
+    #[test]
+    fn std_errors_shrink_with_more_data() {
+        let make = |n: usize| {
+            let x: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % 11) as f64]).collect();
+            let y: Vec<f64> = x
+                .iter()
+                .enumerate()
+                .map(|(i, r)| 2.0 * r[0] + (((i * 37) % 7) as f64 - 3.0) * 0.1)
+                .collect();
+            fit(&["a"], &x, &y).unwrap().stats[1].std_error
+        };
+        assert!(make(2000) < make(50));
+    }
+}

@@ -1,0 +1,197 @@
+//! Plain-text persistence for trained models (`key value` lines — no
+//! external serialization dependency needed).
+//!
+//! Format:
+//!
+//! ```text
+//! ttlg-perfmodel v1
+//! model od
+//! intercept 1.234e-5
+//! coef Volume 1.278e-11
+//! ...
+//! model oa
+//! ...
+//! ```
+
+use crate::linreg::LinearModel;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A pair of serializable models (OD + OA).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelPair {
+    /// Orthogonal-Distinct model.
+    pub od: LinearModel,
+    /// Orthogonal-Arbitrary model.
+    pub oa: LinearModel,
+}
+
+/// Serialize a model pair to the text format.
+pub fn to_text(pair: &ModelPair) -> String {
+    let mut s = String::from("ttlg-perfmodel v1\n");
+    for (name, m) in [("od", &pair.od), ("oa", &pair.oa)] {
+        writeln!(s, "model {name}").unwrap();
+        writeln!(s, "intercept {:e}", m.intercept).unwrap();
+        for (fname, c) in m.feature_names.iter().zip(m.coefficients.iter()) {
+            writeln!(s, "coef {} {:e}", fname.replace(' ', "_"), c).unwrap();
+        }
+    }
+    s
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// Malformed line.
+    BadLine(String),
+    /// A model section is missing.
+    MissingModel(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "bad or missing header"),
+            ParseError::BadLine(l) => write!(f, "malformed line: {l}"),
+            ParseError::MissingModel(m) => write!(f, "missing model section: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Deserialize a model pair from the text format.
+pub fn from_text(text: &str) -> Result<ModelPair, ParseError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some("ttlg-perfmodel v1") {
+        return Err(ParseError::BadHeader);
+    }
+    let mut od: Option<LinearModel> = None;
+    let mut oa: Option<LinearModel> = None;
+    let mut current: Option<(String, LinearModel)> = None;
+    let commit =
+        |cur: &mut Option<(String, LinearModel)>, od: &mut Option<LinearModel>, oa: &mut Option<LinearModel>| {
+            if let Some((name, m)) = cur.take() {
+                match name.as_str() {
+                    "od" => *od = Some(m),
+                    "oa" => *oa = Some(m),
+                    _ => {}
+                }
+            }
+        };
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("model") => {
+                commit(&mut current, &mut od, &mut oa);
+                let name = parts.next().ok_or_else(|| ParseError::BadLine(line.into()))?;
+                current = Some((
+                    name.to_string(),
+                    LinearModel {
+                        feature_names: Vec::new(),
+                        intercept: 0.0,
+                        coefficients: Vec::new(),
+                    },
+                ));
+            }
+            Some("intercept") => {
+                let v: f64 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ParseError::BadLine(line.into()))?;
+                current.as_mut().ok_or_else(|| ParseError::BadLine(line.into()))?.1.intercept = v;
+            }
+            Some("coef") => {
+                let name = parts.next().ok_or_else(|| ParseError::BadLine(line.into()))?;
+                let v: f64 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ParseError::BadLine(line.into()))?;
+                let m = &mut current.as_mut().ok_or_else(|| ParseError::BadLine(line.into()))?.1;
+                m.feature_names.push(name.replace('_', " "));
+                m.coefficients.push(v);
+            }
+            _ => return Err(ParseError::BadLine(line.into())),
+        }
+    }
+    commit(&mut current, &mut od, &mut oa);
+    Ok(ModelPair {
+        od: od.ok_or(ParseError::MissingModel("od"))?,
+        oa: oa.ok_or(ParseError::MissingModel("oa"))?,
+    })
+}
+
+/// Save to a file.
+pub fn save(pair: &ModelPair, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_text(pair))
+}
+
+/// Load from a file.
+pub fn load(path: &Path) -> std::io::Result<Result<ModelPair, ParseError>> {
+    Ok(from_text(&std::fs::read_to_string(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ModelPair {
+        ModelPair {
+            od: LinearModel {
+                feature_names: vec!["Volume".into(), "Input slice".into()],
+                intercept: 1.5e-3,
+                coefficients: vec![1.278e-11, 7.835e-7],
+            },
+            oa: LinearModel {
+                feature_names: vec!["Volume".into(), "Cycles".into()],
+                intercept: -3.0e-4,
+                coefficients: vec![-3.018e-11, 5.112e-10],
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let pair = sample();
+        let text = to_text(&pair);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back, pair);
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let pair = sample();
+        let dir = std::env::temp_dir().join("ttlg-perfmodel-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("models.txt");
+        save(&pair, &path).unwrap();
+        let back = load(&path).unwrap().unwrap();
+        assert_eq!(back, pair);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(from_text("nope"), Err(ParseError::BadHeader));
+        assert!(matches!(
+            from_text("ttlg-perfmodel v1\nbogus line"),
+            Err(ParseError::BadLine(_))
+        ));
+        assert_eq!(
+            from_text("ttlg-perfmodel v1\nmodel od\nintercept 1.0"),
+            Err(ParseError::MissingModel("oa"))
+        );
+    }
+
+    #[test]
+    fn spaces_in_feature_names_survive() {
+        let pair = sample();
+        let back = from_text(&to_text(&pair)).unwrap();
+        assert_eq!(back.od.feature_names[1], "Input slice");
+    }
+}

@@ -1,0 +1,118 @@
+//! A [`TimePredictor`] backed by the trained Table II regression models.
+//!
+//! Orthogonal-Distinct and Orthogonal-Arbitrary candidates go through the
+//! regressions; the remaining schemas (which the paper models separately
+//! and does not detail) fall back to the closed-form analytic predictor.
+
+use crate::dataset::feature_vector;
+use crate::linreg::LinearModel;
+use crate::train::TrainedModels;
+use ttlg::{AnalyticPredictor, Candidate, Schema, TimePredictor};
+use ttlg_gpu_sim::DeviceConfig;
+
+/// Trained-regression predictor with analytic fallback.
+pub struct TrainedPredictor {
+    od: LinearModel,
+    oa: LinearModel,
+    fallback: AnalyticPredictor,
+}
+
+impl TrainedPredictor {
+    /// Build from trained models.
+    pub fn new(models: &TrainedModels, device: DeviceConfig) -> Self {
+        TrainedPredictor {
+            od: models.od.fit.model.clone(),
+            oa: models.oa.fit.model.clone(),
+            fallback: AnalyticPredictor::new(device),
+        }
+    }
+
+    /// Build directly from two linear models.
+    pub fn from_models(od: LinearModel, oa: LinearModel, device: DeviceConfig) -> Self {
+        TrainedPredictor { od, oa, fallback: AnalyticPredictor::new(device) }
+    }
+
+    /// Access the OD model.
+    pub fn od_model(&self) -> &LinearModel {
+        &self.od
+    }
+
+    /// Access the OA model.
+    pub fn oa_model(&self) -> &LinearModel {
+        &self.oa
+    }
+}
+
+impl TimePredictor for TrainedPredictor {
+    fn predict_ns(&self, c: &Candidate) -> f64 {
+        match feature_vector(c) {
+            Some((Schema::OrthogonalDistinct, x)) => self.od.predict(&x).max(1.0),
+            Some((Schema::OrthogonalArbitrary, x)) => self.oa.predict(&x).max(1.0),
+            _ => self.fallback.predict_ns(c),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "trained-regression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train_models, TrainConfig};
+    use std::sync::Arc;
+    use ttlg::{Transposer, TransposeOptions};
+    use ttlg_tensor::{reference, DenseTensor, Permutation, Shape};
+
+    #[test]
+    fn trained_predictor_plans_correctly() {
+        let device = DeviceConfig::k40c();
+        let models = train_models::<f64>(&device, &TrainConfig::quick()).unwrap();
+        let pred = Arc::new(TrainedPredictor::new(&models, device.clone()));
+        assert_eq!(pred.name(), "trained-regression");
+        let t = Transposer::with_predictor(device, pred);
+        let shape = Shape::new(&[16, 12, 10, 8]).unwrap();
+        let perm = Permutation::new(&[3, 1, 0, 2]).unwrap();
+        let input: DenseTensor<f64> = DenseTensor::iota(shape.clone());
+        let plan = t
+            .plan::<f64>(
+                &shape,
+                &perm,
+                &TransposeOptions { check_disjoint_writes: true, ..Default::default() },
+            )
+            .unwrap();
+        let (out, report) = t.execute(&plan, &input).unwrap();
+        let expect = reference::transpose_reference(&input, &perm).unwrap();
+        assert_eq!(out.data(), expect.data());
+        assert!(report.kernel_time_ns > 0.0);
+        assert!(plan.predicted_ns() > 0.0);
+    }
+
+    #[test]
+    fn predictions_positive_even_extrapolating(// regression can go negative; the clamp keeps it sane
+    ) {
+        let od = LinearModel {
+            feature_names: crate::dataset::OD_FEATURES.iter().map(|s| s.to_string()).collect(),
+            intercept: -1e9,
+            coefficients: vec![0.0; 5],
+        };
+        let oa = LinearModel {
+            feature_names: crate::dataset::OA_FEATURES.iter().map(|s| s.to_string()).collect(),
+            intercept: -1e9,
+            coefficients: vec![0.0; 7],
+        };
+        let device = DeviceConfig::k40c();
+        let pred = TrainedPredictor::from_models(od, oa, device);
+        let p = ttlg::Problem::new(
+            &Shape::new(&[64, 64]).unwrap(),
+            &Permutation::new(&[1, 0]).unwrap(),
+        )
+        .unwrap();
+        let c = ttlg::features::od_candidate::<f64>(
+            &p,
+            ttlg::kernels::OdChoice::default_for(&p).unwrap(),
+        );
+        assert_eq!(pred.predict_ns(&c), 1.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Offline training: fit the Table II models and report the paper's
+//! precision metric on the train/test split.
+
+use crate::dataset::{self, DataPoint, OA_FEATURES, OD_FEATURES};
+use crate::linreg::{self, FitSummary};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use ttlg::Schema;
+use ttlg_gpu_sim::DeviceConfig;
+use ttlg_tensor::generator::{model_dataset, DatasetConfig};
+use ttlg_tensor::Element;
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Case-generation configuration (Sec. V dataset).
+    pub dataset: DatasetConfig,
+    /// Max slice configurations timed per (case, schema).
+    pub max_configs_per_case: usize,
+    /// RNG seed for the 4/5-1/5 split.
+    pub split_seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            dataset: DatasetConfig::default(),
+            max_configs_per_case: 16,
+            split_seed: 0x5EED,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A quick configuration for tests and CI.
+    pub fn quick() -> Self {
+        TrainConfig {
+            dataset: DatasetConfig::small(),
+            max_configs_per_case: 6,
+            split_seed: 7,
+        }
+    }
+}
+
+/// Per-schema fit + evaluation.
+#[derive(Debug, Clone)]
+pub struct SchemaModel {
+    /// Which kernel this model predicts.
+    pub schema: Schema,
+    /// The fit (coefficients + Table II statistics).
+    pub fit: FitSummary,
+    /// Precision on training data, percent error.
+    pub train_precision: f64,
+    /// Precision on held-out test data, percent error.
+    pub test_precision: f64,
+    /// Number of training points.
+    pub n_train: usize,
+    /// Number of test points.
+    pub n_test: usize,
+}
+
+/// The trained model pair of Table II.
+#[derive(Debug, Clone)]
+pub struct TrainedModels {
+    /// Orthogonal-Distinct model (5 features).
+    pub od: SchemaModel,
+    /// Orthogonal-Arbitrary model (7 features).
+    pub oa: SchemaModel,
+}
+
+impl TrainedModels {
+    /// Render both fits as a Table II-style report.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        for m in [&self.od, &self.oa] {
+            s.push_str(&format!(
+                "== {} (n_train = {}, n_test = {}) ==\n",
+                m.schema, m.n_train, m.n_test
+            ));
+            s.push_str(&m.fit.to_table());
+            s.push_str(&format!(
+                "precision: train {:.3}% / test {:.3}%\n\n",
+                m.train_precision, m.test_precision
+            ));
+        }
+        s
+    }
+}
+
+/// Errors from training.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Too few points were generated for a schema.
+    NotEnoughData {
+        /// The starved schema.
+        schema: Schema,
+        /// Points available.
+        points: usize,
+    },
+    /// The regression itself failed.
+    Fit(linreg::FitError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NotEnoughData { schema, points } => {
+                write!(f, "not enough data for {schema}: {points} points")
+            }
+            TrainError::Fit(e) => write!(f, "regression failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Train both Table II models on a freshly generated dataset.
+pub fn train_models<E: Element>(
+    device: &DeviceConfig,
+    cfg: &TrainConfig,
+) -> Result<TrainedModels, TrainError> {
+    let cases = model_dataset(&cfg.dataset);
+    let points = dataset::generate::<E>(device, &cases, cfg.max_configs_per_case);
+    train_from_points(points, cfg.split_seed)
+}
+
+/// Train from pre-generated points (the 4/5-1/5 split happens here).
+pub fn train_from_points(
+    mut points: Vec<DataPoint>,
+    split_seed: u64,
+) -> Result<TrainedModels, TrainError> {
+    let mut rng = StdRng::seed_from_u64(split_seed);
+    points.shuffle(&mut rng);
+
+    let fit_schema = |schema: Schema, names: &[&str]| -> Result<SchemaModel, TrainError> {
+        let (x, y) = dataset::split_xy(&points, schema);
+        let n = y.len();
+        if n < names.len() + 2 {
+            return Err(TrainError::NotEnoughData { schema, points: n });
+        }
+        let n_test = n / 5;
+        let n_train = n - n_test;
+        let (x_train, x_test) = (x[..n_train].to_vec(), x[n_train..].to_vec());
+        let (y_train, y_test) = (y[..n_train].to_vec(), y[n_train..].to_vec());
+        // Relative-error weighting (1/y^2): the paper's precision metric
+        // is relative, and the planner needs correct ranking among the
+        // *fast* configurations.
+        let w: Vec<f64> = y_train.iter().map(|v| 1.0 / (v * v).max(1e-12)).collect();
+        let fit =
+            linreg::fit_weighted(names, &x_train, &y_train, Some(&w)).map_err(TrainError::Fit)?;
+        let train_precision = linreg::precision_percent(&fit.model, &x_train, &y_train);
+        let test_precision = if n_test > 0 {
+            linreg::precision_percent(&fit.model, &x_test, &y_test)
+        } else {
+            train_precision
+        };
+        Ok(SchemaModel { schema, fit, train_precision, test_precision, n_train, n_test })
+    };
+
+    Ok(TrainedModels {
+        od: fit_schema(Schema::OrthogonalDistinct, &OD_FEATURES)?,
+        oa: fit_schema(Schema::OrthogonalArbitrary, &OA_FEATURES)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_training_produces_usable_models() {
+        let device = DeviceConfig::k40c();
+        let models = train_models::<f64>(&device, &TrainConfig::quick()).unwrap();
+        // The simulator's time is a near-deterministic function of the
+        // features, so even a quick fit should predict reasonably.
+        assert!(models.od.train_precision < 60.0, "OD precision {}", models.od.train_precision);
+        assert!(models.oa.train_precision < 60.0, "OA precision {}", models.oa.train_precision);
+        assert_eq!(models.od.fit.model.coefficients.len(), 5);
+        assert_eq!(models.oa.fit.model.coefficients.len(), 7);
+        let table = models.to_table();
+        assert!(table.contains("Orthogonal-Distinct"));
+        assert!(table.contains("Cycles"));
+    }
+
+    #[test]
+    fn not_enough_data_error() {
+        let err = train_from_points(Vec::new(), 1).unwrap_err();
+        assert!(matches!(err, TrainError::NotEnoughData { .. }));
+    }
+}

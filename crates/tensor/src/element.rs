@@ -1,0 +1,133 @@
+//! Element trait: the scalar types a tensor can hold.
+//!
+//! The paper evaluates `float` (4 B) and `double` (8 B); its reported
+//! bandwidth formula `2 * volume * 8 / time` uses 8-byte elements, so the
+//! default element type across the benchmarks is `f64`.
+
+/// A scalar element that can live in a [`crate::DenseTensor`].
+///
+/// The trait is deliberately tiny: TTLG only ever *moves* elements, never
+/// computes with them, so all we need is `Copy`, a zero value, a way to
+/// fabricate distinct test values, and the byte width (which drives the
+/// GPU-transaction accounting: a 128-byte transaction holds `128 / BYTES`
+/// elements).
+pub trait Element: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Size of the element in bytes, as seen by the memory system.
+    const BYTES: usize;
+
+    /// The additive-identity element (used for zero-initialised outputs).
+    fn zero() -> Self;
+
+    /// A deterministic value derived from a linear index; used to fill
+    /// tensors so that every element is distinguishable in correctness
+    /// checks.
+    fn from_index(idx: usize) -> Self;
+}
+
+impl Element for f32 {
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+
+    #[inline]
+    fn from_index(idx: usize) -> Self {
+        // f32 mantissa holds 24 bits exactly; wrap so equality stays exact.
+        (idx % (1 << 24)) as f32
+    }
+}
+
+impl Element for f64 {
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+
+    #[inline]
+    fn from_index(idx: usize) -> Self {
+        // f64 mantissa holds 53 bits exactly; tensors here are far smaller.
+        idx as f64
+    }
+}
+
+impl Element for u32 {
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+
+    #[inline]
+    fn from_index(idx: usize) -> Self {
+        idx as u32
+    }
+}
+
+impl Element for u64 {
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+
+    #[inline]
+    fn from_index(idx: usize) -> Self {
+        idx as u64
+    }
+}
+
+/// Number of elements of type `E` that fit in one 128-byte GPU transaction.
+#[inline]
+pub fn elems_per_transaction<E: Element>() -> usize {
+    128 / E::BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f64::BYTES, 8);
+        assert_eq!(u32::BYTES, 4);
+        assert_eq!(u64::BYTES, 8);
+    }
+
+    #[test]
+    fn elems_per_transaction_matches_paper() {
+        // "the transaction size is 128 bytes, all the 32 elements can be
+        // moved in a single transaction in case of float (two transactions
+        // in case of double)"
+        assert_eq!(elems_per_transaction::<f32>(), 32);
+        assert_eq!(elems_per_transaction::<f64>(), 16);
+    }
+
+    #[test]
+    fn from_index_is_injective_on_small_ranges() {
+        for i in 0..10_000usize {
+            assert_eq!(f64::from_index(i), i as f64);
+            assert_eq!(u32::from_index(i), i as u32);
+        }
+    }
+
+    #[test]
+    fn f32_from_index_wraps_at_mantissa_limit() {
+        assert_eq!(f32::from_index(1 << 24), 0.0);
+        assert_eq!(f32::from_index((1 << 24) + 5), 5.0);
+    }
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(f32::zero(), 0.0f32);
+        assert_eq!(f64::zero(), 0.0f64);
+        assert_eq!(u32::zero(), 0u32);
+        assert_eq!(u64::zero(), 0u64);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type shared across the TTLG-rs workspace foundation.
+
+use std::fmt;
+
+/// Errors produced by shape/permutation/tensor construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A permutation was not a bijection over `0..rank`.
+    InvalidPermutation {
+        /// The offending permutation, as given.
+        perm: Vec<usize>,
+    },
+    /// Permutation rank and shape rank disagree.
+    RankMismatch {
+        /// Rank implied by the shape.
+        shape_rank: usize,
+        /// Rank implied by the permutation.
+        perm_rank: usize,
+    },
+    /// A shape had a zero extent or no dimensions where one was required.
+    EmptyShape,
+    /// Tensor data length does not match the shape volume.
+    DataLengthMismatch {
+        /// Expected number of elements (shape volume).
+        expected: usize,
+        /// Actual buffer length.
+        actual: usize,
+    },
+    /// A tensor volume would overflow `usize`.
+    VolumeOverflow,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidPermutation { perm } => {
+                write!(f, "invalid permutation {perm:?}: not a bijection over 0..rank")
+            }
+            Error::RankMismatch { shape_rank, perm_rank } => write!(
+                f,
+                "rank mismatch: shape has rank {shape_rank}, permutation has rank {perm_rank}"
+            ),
+            Error::EmptyShape => write!(f, "shape must have at least one dimension of extent >= 1"),
+            Error::DataLengthMismatch { expected, actual } => write!(
+                f,
+                "data length mismatch: shape volume is {expected}, buffer has {actual} elements"
+            ),
+            Error::VolumeOverflow => write!(f, "tensor volume overflows usize"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::InvalidPermutation { perm: vec![0, 0, 1] };
+        assert!(e.to_string().contains("[0, 0, 1]"));
+        let e = Error::RankMismatch { shape_rank: 3, perm_rank: 4 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('4'));
+        let e = Error::DataLengthMismatch { expected: 10, actual: 9 };
+        assert!(e.to_string().contains("10") && e.to_string().contains('9'));
+        assert!(!Error::EmptyShape.to_string().is_empty());
+        assert!(!Error::VolumeOverflow.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_error<E: std::error::Error>(_e: E) {}
+        takes_std_error(Error::EmptyShape);
+    }
+}

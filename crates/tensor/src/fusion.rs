@@ -1,0 +1,210 @@
+//! Index fusion ("scaled rank").
+//!
+//! The paper (Sec. III, Fig. 3): *"index fusion refers to fusing the indices
+//! that occur consecutively both in the input and in the output tensors"*.
+//! E.g. for `[i0,i1,i2,i3] => [i3,i1,i2,i0]`, dims 1 and 2 appear adjacent
+//! and in the same order in both tensors, so they fuse into one virtual
+//! dimension of extent `n1*n2`; the problem becomes the rank-3 transposition
+//! `[i0',i1',i2'] => [i2',i1',i0']`. The rank after fusion is the *scaled
+//! rank* used to group the 720-permutation charts (Figs. 6-11).
+
+use crate::error::Result;
+use crate::permutation::Permutation;
+use crate::shape::Shape;
+
+/// The result of fusing a transposition problem.
+#[derive(Debug, Clone)]
+pub struct FusedProblem {
+    /// Shape of the fused input tensor.
+    pub shape: Shape,
+    /// Permutation on the fused dimensions.
+    pub perm: Permutation,
+    /// For each fused input dimension, the contiguous run of original input
+    /// dimensions it covers (in input order, fastest-varying first).
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl FusedProblem {
+    /// Rank after fusion — the paper's *scaled rank*.
+    #[inline]
+    pub fn scaled_rank(&self) -> usize {
+        self.shape.rank()
+    }
+}
+
+/// Fuse consecutive indices of `(shape, perm)`.
+///
+/// ```
+/// use ttlg_tensor::{fuse, Permutation, Shape};
+/// // [i0,i1,i2,i3] => [i3,i1,i2,i0]: dims 1,2 fuse -> scaled rank 3.
+/// let s = Shape::new(&[5, 6, 7, 8]).unwrap();
+/// let p = Permutation::new(&[3, 1, 2, 0]).unwrap();
+/// let f = fuse(&s, &p).unwrap();
+/// assert_eq!(f.scaled_rank(), 3);
+/// assert_eq!(f.shape.extents(), &[5, 42, 8]);
+/// ```
+///
+/// Two input dimensions `j` and `j+1` fuse when they are also adjacent and
+/// in the same order in the output, i.e. there is an output position `i`
+/// with `perm[i] == j` and `perm[i+1] == j+1`. Fusion is applied
+/// transitively to maximal runs. An identity permutation fuses to rank 1.
+pub fn fuse(shape: &Shape, perm: &Permutation) -> Result<FusedProblem> {
+    let n = shape.rank();
+    assert_eq!(perm.rank(), n, "shape and permutation rank must agree");
+
+    // Find maximal runs in output order where the source input dims are
+    // consecutive ascending.
+    let mut runs: Vec<Vec<usize>> = Vec::new();
+    let p = perm.as_slice();
+    let mut i = 0;
+    while i < n {
+        let mut run = vec![p[i]];
+        while i + 1 < n && p[i + 1] == p[i] + 1 {
+            i += 1;
+            run.push(p[i]);
+        }
+        runs.push(run);
+        i += 1;
+    }
+
+    // Order the runs by their first input dimension: that is the fused
+    // input order. Each run is contiguous in the input by construction.
+    let mut groups = runs.clone();
+    groups.sort_by_key(|r| r[0]);
+
+    // Fused input shape: product of extents in each group.
+    let fused_extents: Vec<usize> =
+        groups.iter().map(|g| g.iter().map(|&d| shape.extent(d)).product()).collect();
+    let fused_shape = Shape::new(&fused_extents)?;
+
+    // Fused permutation: output run k corresponds to the group with the
+    // same leading input dim.
+    let mut group_of_leading = std::collections::HashMap::new();
+    for (gi, g) in groups.iter().enumerate() {
+        group_of_leading.insert(g[0], gi);
+    }
+    let fused_map: Vec<usize> = runs.iter().map(|r| group_of_leading[&r[0]]).collect();
+    let fused_perm = Permutation::new(&fused_map)?;
+
+    Ok(FusedProblem { shape: fused_shape, perm: fused_perm, groups })
+}
+
+/// Scaled rank without materialising the fused problem.
+pub fn scaled_rank(perm: &Permutation) -> usize {
+    let p = perm.as_slice();
+    let n = p.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut rank = 1;
+    for i in 1..n {
+        if p[i] != p[i - 1] + 1 {
+            rank += 1;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(extents: &[usize], perm: &[usize]) -> (Shape, Permutation) {
+        (Shape::new(extents).unwrap(), Permutation::new(perm).unwrap())
+    }
+
+    #[test]
+    fn paper_example_rank4_to_rank3() {
+        // [i0,i1,i2,i3] => [i3,i1,i2,i0]; i1,i2 fuse.
+        let (s, p) = mk(&[5, 6, 7, 8], &[3, 1, 2, 0]);
+        let f = fuse(&s, &p).unwrap();
+        assert_eq!(f.scaled_rank(), 3);
+        assert_eq!(f.shape.extents(), &[5, 42, 8]);
+        assert_eq!(f.perm.as_slice(), &[2, 1, 0]);
+        assert_eq!(f.groups, vec![vec![0], vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn identity_fuses_to_rank1() {
+        let (s, p) = mk(&[4, 5, 6], &[0, 1, 2]);
+        let f = fuse(&s, &p).unwrap();
+        assert_eq!(f.scaled_rank(), 1);
+        assert_eq!(f.shape.extents(), &[120]);
+        assert!(f.perm.is_identity());
+    }
+
+    #[test]
+    fn reversal_never_fuses() {
+        let (s, p) = mk(&[2, 3, 4, 5], &[3, 2, 1, 0]);
+        let f = fuse(&s, &p).unwrap();
+        assert_eq!(f.scaled_rank(), 4);
+        assert_eq!(f.shape.extents(), s.extents());
+        assert_eq!(f.perm.as_slice(), &[3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn paper_scaled_rank_example() {
+        // Permutation (0 2 1 3 4 6 5) of rank 7: dims 3,4 contiguous in both
+        // => scaled rank 6 (stated in Sec. VI for a similar 6D case).
+        let p = Permutation::new(&[0, 2, 1, 3, 4, 6, 5]).unwrap();
+        assert_eq!(scaled_rank(&p), 6);
+    }
+
+    #[test]
+    fn scaled_rank_agrees_with_fuse() {
+        let s = Shape::new(&[3, 4, 5, 6, 7]).unwrap();
+        for p in Permutation::all(5) {
+            let f = fuse(&s, &p).unwrap();
+            assert_eq!(f.scaled_rank(), scaled_rank(&p), "perm {p}");
+        }
+    }
+
+    #[test]
+    fn fusion_preserves_volume() {
+        let s = Shape::new(&[3, 4, 5, 6]).unwrap();
+        for p in Permutation::all(4) {
+            let f = fuse(&s, &p).unwrap();
+            assert_eq!(f.shape.volume(), s.volume());
+        }
+    }
+
+    #[test]
+    fn fused_perm_is_valid_and_consistent() {
+        let s = Shape::new(&[2, 3, 4, 5, 6, 7]).unwrap();
+        for p in Permutation::all(6) {
+            let f = fuse(&s, &p).unwrap();
+            // applying fused perm to fused shape must equal fusing the
+            // output shape's grouped extents
+            let fused_out = f.perm.apply_to_shape(&f.shape).unwrap();
+            let orig_out = p.apply_to_shape(&s).unwrap();
+            assert_eq!(fused_out.volume(), orig_out.volume());
+        }
+    }
+
+    #[test]
+    fn groups_cover_all_dims_exactly_once() {
+        let s = Shape::new(&[2, 3, 4, 5, 6]).unwrap();
+        for p in Permutation::all(5) {
+            let f = fuse(&s, &p).unwrap();
+            let mut all: Vec<usize> = f.groups.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..5).collect::<Vec<_>>());
+            // each group is a contiguous ascending run
+            for g in &f.groups {
+                for w in g.windows(2) {
+                    assert_eq!(w[1], w[0] + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_fusion() {
+        // [a,b,c] => [c,a,b]: a,b adjacent in both => fuse.
+        let (s, p) = mk(&[4, 5, 6], &[2, 0, 1]);
+        let f = fuse(&s, &p).unwrap();
+        assert_eq!(f.scaled_rank(), 2);
+        assert_eq!(f.shape.extents(), &[20, 6]);
+        assert_eq!(f.perm.as_slice(), &[1, 0]);
+    }
+}

@@ -1,0 +1,431 @@
+//! Workload generators for the paper's experiments.
+//!
+//! Covers: the all-720-permutations 6D suites (extents all 15/16/17,
+//! Figs. 6-11), the model-training dataset of Sec. V (ranks 3-6, five
+//! extent-ordering classes, volumes spanning MBs..GBs), the varying-volume
+//! sweep (Fig. 13), and a 57-case TTC-style benchmark suite (Fig. 14).
+//!
+//! The original TTC benchmark list (Springer 2016, `benchmark.py`) is not
+//! redistributable here, so [`ttc_benchmark_suite`] deterministically
+//! synthesises an equivalent suite: 57 cases, ranks 2-6, ~`target_volume`
+//! elements each, with permutations that admit **no index fusion** (the
+//! property the paper states for those benchmarks). See DESIGN.md.
+
+use crate::fusion::scaled_rank;
+use crate::permutation::Permutation;
+use crate::shape::Shape;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A single transposition problem instance.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Human-readable label (used in benchmark report rows).
+    pub name: String,
+    /// Input shape.
+    pub shape: Shape,
+    /// Permutation to apply.
+    pub perm: Permutation,
+}
+
+impl Case {
+    /// Build a case, panicking on invalid shape/permutation (generator
+    /// internals guarantee validity).
+    pub fn new(name: impl Into<String>, extents: &[usize], perm: &[usize]) -> Case {
+        Case {
+            name: name.into(),
+            shape: Shape::new(extents).expect("generator produced invalid shape"),
+            perm: Permutation::new(perm).expect("generator produced invalid permutation"),
+        }
+    }
+
+    /// Volume (elements) of the case.
+    pub fn volume(&self) -> usize {
+        self.shape.volume()
+    }
+
+    /// Scaled rank after index fusion.
+    pub fn scaled_rank(&self) -> usize {
+        scaled_rank(&self.perm)
+    }
+}
+
+/// All permutations of a rank-`rank` tensor with every extent equal to
+/// `extent` — the Figs. 6-11 workload when `rank == 6` and
+/// `extent ∈ {15, 16, 17}`. Cases are ordered by (scaled rank, permutation)
+/// like the paper's charts (grouped by the scaled-rank "staircase").
+pub fn all_permutations_suite(rank: usize, extent: usize) -> Vec<Case> {
+    let extents = vec![extent; rank];
+    let mut cases: Vec<Case> = Permutation::all(rank)
+        .map(|p| {
+            let name = format!("perm {} ext {}", p, extent);
+            Case { name, shape: Shape::new(&extents).unwrap(), perm: p }
+        })
+        .collect();
+    cases.sort_by_key(|c| (c.scaled_rank(), c.perm.as_slice().to_vec()));
+    cases
+}
+
+/// Extent-ordering classes from the model-training dataset of Sec. V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingClass {
+    /// All extents equal.
+    AllSame,
+    /// Monotonically increasing from the fastest dimension.
+    Increasing,
+    /// Monotonically decreasing from the fastest dimension.
+    Decreasing,
+    /// Increasing to the middle dimension, then decreasing.
+    IncreaseDecrease,
+    /// Decreasing to the middle dimension, then increasing.
+    DecreaseIncrease,
+}
+
+impl OrderingClass {
+    /// All five classes, in the paper's order.
+    pub const ALL: [OrderingClass; 5] = [
+        OrderingClass::AllSame,
+        OrderingClass::Increasing,
+        OrderingClass::Decreasing,
+        OrderingClass::IncreaseDecrease,
+        OrderingClass::DecreaseIncrease,
+    ];
+
+    /// Generate `rank` extents with total volume close to `target_volume`
+    /// following this ordering class. Extents are >= 2.
+    pub fn extents(self, rank: usize, target_volume: usize, rng: &mut StdRng) -> Vec<usize> {
+        assert!(rank >= 1);
+        let base = (target_volume as f64).powf(1.0 / rank as f64);
+        // Per-dimension multiplicative skew in [1/s, s].
+        let skew = 1.6f64;
+        let factors: Vec<f64> = match self {
+            OrderingClass::AllSame => vec![1.0; rank],
+            OrderingClass::Increasing => {
+                (0..rank).map(|i| skew.powf(lin(i, rank))).collect()
+            }
+            OrderingClass::Decreasing => {
+                (0..rank).map(|i| skew.powf(-lin(i, rank))).collect()
+            }
+            OrderingClass::IncreaseDecrease => {
+                (0..rank).map(|i| skew.powf(tri(i, rank))).collect()
+            }
+            OrderingClass::DecreaseIncrease => {
+                (0..rank).map(|i| skew.powf(-tri(i, rank))).collect()
+            }
+        };
+        let jitter: Vec<f64> = (0..rank).map(|_| rng.gen_range(0.92..1.08)).collect();
+        let mut extents: Vec<usize> = factors
+            .iter()
+            .zip(jitter.iter())
+            .map(|(&f, &j)| ((base * f * j).round() as usize).max(2))
+            .collect();
+        enforce_ordering(self, &mut extents);
+        extents
+    }
+}
+
+/// Map `i in 0..rank` to [-1, 1] linearly.
+fn lin(i: usize, rank: usize) -> f64 {
+    if rank <= 1 {
+        0.0
+    } else {
+        2.0 * i as f64 / (rank - 1) as f64 - 1.0
+    }
+}
+
+/// Triangle profile peaking at the centre dimension, in [-1, 1].
+fn tri(i: usize, rank: usize) -> f64 {
+    if rank <= 1 {
+        0.0
+    } else {
+        1.0 - 2.0 * (lin(i, rank)).abs()
+    }
+}
+
+/// Nudge extents so the requested ordering strictly holds (ties broken by
+/// +1 adjustments); keeps the class property the model dataset relies on.
+fn enforce_ordering(class: OrderingClass, extents: &mut [usize]) {
+    let n = extents.len();
+    if n < 2 {
+        return;
+    }
+    match class {
+        OrderingClass::AllSame => {
+            let v = extents[0];
+            extents.iter_mut().for_each(|e| *e = v);
+        }
+        OrderingClass::Increasing => {
+            for i in 1..n {
+                if extents[i] <= extents[i - 1] {
+                    extents[i] = extents[i - 1] + 1;
+                }
+            }
+        }
+        OrderingClass::Decreasing => {
+            for i in 1..n {
+                if extents[i] >= extents[i - 1] {
+                    extents[i] = extents[i - 1].saturating_sub(1).max(2);
+                }
+            }
+        }
+        OrderingClass::IncreaseDecrease => {
+            let mid = n / 2;
+            for i in 1..=mid {
+                if extents[i] <= extents[i - 1] {
+                    extents[i] = extents[i - 1] + 1;
+                }
+            }
+            for i in mid + 1..n {
+                if extents[i] >= extents[i - 1] {
+                    extents[i] = extents[i - 1].saturating_sub(1).max(2);
+                }
+            }
+        }
+        OrderingClass::DecreaseIncrease => {
+            let mid = n / 2;
+            for i in 1..=mid {
+                if extents[i] >= extents[i - 1] {
+                    extents[i] = extents[i - 1].saturating_sub(1).max(2);
+                }
+            }
+            for i in mid + 1..n {
+                if extents[i] <= extents[i - 1] {
+                    extents[i] = extents[i - 1] + 1;
+                }
+            }
+        }
+    }
+}
+
+/// Configuration for the Sec. V model-training dataset generator.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Tensor ranks to include (paper: 3..=6).
+    pub ranks: Vec<usize>,
+    /// Target volumes in elements (paper: 16 MB .. 2 GB of doubles; scale
+    /// down for quick runs).
+    pub volumes: Vec<usize>,
+    /// Maximum number of permutations sampled per (rank, volume, class);
+    /// `usize::MAX` means all.
+    pub max_perms_per_config: usize,
+    /// RNG seed so datasets are reproducible.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            ranks: vec![3, 4, 5, 6],
+            // elements; with f64 these are 16 MB, 64 MB, 256 MB
+            volumes: vec![2 << 20, 8 << 20, 32 << 20],
+            max_perms_per_config: 8,
+            seed: 0x77C0_FFEE,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// A small configuration for unit tests and quick model retraining.
+    pub fn small() -> Self {
+        DatasetConfig {
+            ranks: vec![3, 4],
+            volumes: vec![1 << 16, 1 << 18],
+            max_perms_per_config: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate the training/evaluation case list of Sec. V: every combination
+/// of rank x volume x ordering class, with (a sample of) all permutations
+/// of that rank.
+pub fn model_dataset(cfg: &DatasetConfig) -> Vec<Case> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut cases = Vec::new();
+    for &rank in &cfg.ranks {
+        // Materialise all perms once per rank, skipping the identity (it
+        // fuses to a pure copy and the paper's kernels never see it).
+        let perms: Vec<Permutation> =
+            Permutation::all(rank).filter(|p| !p.is_identity()).collect();
+        for &vol in &cfg.volumes {
+            for class in OrderingClass::ALL {
+                let extents = class.extents(rank, vol, &mut rng);
+                let chosen: Vec<&Permutation> = if perms.len() <= cfg.max_perms_per_config {
+                    perms.iter().collect()
+                } else {
+                    perms.choose_multiple(&mut rng, cfg.max_perms_per_config).collect()
+                };
+                for p in chosen {
+                    cases.push(Case {
+                        name: format!("r{rank} v{vol} {class:?} perm {p}"),
+                        shape: Shape::new(&extents).unwrap(),
+                        perm: p.clone(),
+                    });
+                }
+            }
+        }
+    }
+    cases
+}
+
+/// Split cases into (train, test) with the paper's 4/5 : 1/5 random split.
+pub fn train_test_split(cases: Vec<Case>, seed: u64) -> (Vec<Case>, Vec<Case>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shuffled = cases;
+    shuffled.shuffle(&mut rng);
+    let n_test = shuffled.len() / 5;
+    let test = shuffled.split_off(shuffled.len() - n_test);
+    (shuffled, test)
+}
+
+/// The Fig. 13 volume sweep: permutation `0 2 1 3` over cubic-ish 4D shapes
+/// `s^4` for `s` in the given list (paper: 15..128).
+pub fn volume_sweep(sizes: &[usize]) -> Vec<Case> {
+    sizes
+        .iter()
+        .map(|&s| Case::new(format!("{s} {s} {s} {s}"), &[s, s, s, s], &[0, 2, 1, 3]))
+        .collect()
+}
+
+/// The two Fig. 12 repeated-use permutations on a 16^6 tensor:
+/// `(a)` matching FVI `0 2 5 1 4 3`, `(b)` non-matching `4 1 2 5 3 0`.
+pub fn repeated_use_cases(extent: usize) -> [Case; 2] {
+    let e = vec![extent; 6];
+    [
+        Case::new("matching-FVI 0 2 5 1 4 3", &e, &[0, 2, 5, 1, 4, 3]),
+        Case::new("non-matching-FVI 4 1 2 5 3 0", &e, &[4, 1, 2, 5, 3, 0]),
+    ]
+}
+
+/// Deterministic TTC-style benchmark suite: `count` cases (paper: 57),
+/// ranks cycling 2..=6, each with ~`target_volume` elements, permutations
+/// chosen so **no index fusion is possible** (scaled rank == rank), as the
+/// paper states for the TTC benchmark set.
+pub fn ttc_benchmark_suite(count: usize, target_volume: usize, seed: u64) -> Vec<Case> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cases = Vec::with_capacity(count);
+    let ranks = [2usize, 3, 4, 5, 6];
+    let mut k = 0usize;
+    while cases.len() < count {
+        let rank = ranks[k % ranks.len()];
+        k += 1;
+        // Random non-fusible, non-identity permutation.
+        let perm = loop {
+            let mut m: Vec<usize> = (0..rank).collect();
+            m.shuffle(&mut rng);
+            let p = Permutation::new(&m).unwrap();
+            if !p.is_identity() && scaled_rank(&p) == rank {
+                break p;
+            }
+        };
+        let class = OrderingClass::ALL[rng.gen_range(0..OrderingClass::ALL.len())];
+        let extents = class.extents(rank, target_volume, &mut rng);
+        cases.push(Case {
+            name: format!("ttc-{:02} r{rank} perm {perm}", cases.len()),
+            shape: Shape::new(&extents).unwrap(),
+            perm,
+        });
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_permutations_suite_has_720_cases_for_rank6() {
+        let suite = all_permutations_suite(6, 16);
+        assert_eq!(suite.len(), 720);
+        assert!(suite.iter().all(|c| c.volume() == 16usize.pow(6)));
+        // Sorted by scaled rank (the staircase).
+        let ranks: Vec<usize> = suite.iter().map(|c| c.scaled_rank()).collect();
+        assert!(ranks.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ranks[0], 1); // identity fuses fully
+        assert_eq!(*ranks.last().unwrap(), 6);
+    }
+
+    #[test]
+    fn ordering_classes_produce_requested_shapes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for rank in [3usize, 4, 5, 6] {
+            let inc = OrderingClass::Increasing.extents(rank, 1 << 20, &mut rng);
+            assert!(inc.windows(2).all(|w| w[0] < w[1]), "{inc:?}");
+            let dec = OrderingClass::Decreasing.extents(rank, 1 << 20, &mut rng);
+            assert!(dec.windows(2).all(|w| w[0] > w[1]), "{dec:?}");
+            let same = OrderingClass::AllSame.extents(rank, 1 << 20, &mut rng);
+            assert!(same.windows(2).all(|w| w[0] == w[1]), "{same:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_classes_hit_target_volume_roughly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let target = 1 << 20;
+        for class in OrderingClass::ALL {
+            let e = class.extents(5, target, &mut rng);
+            let vol: usize = e.iter().product();
+            let ratio = vol as f64 / target as f64;
+            assert!((0.2..5.0).contains(&ratio), "{class:?}: {e:?} vol {vol}");
+        }
+    }
+
+    #[test]
+    fn model_dataset_is_deterministic_and_nonempty() {
+        let cfg = DatasetConfig::small();
+        let a = model_dataset(&cfg);
+        let b = model_dataset(&cfg);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.shape.extents(), y.shape.extents());
+        }
+        // identity never included
+        assert!(a.iter().all(|c| !c.perm.is_identity()));
+    }
+
+    #[test]
+    fn train_test_split_is_four_fifths() {
+        let cfg = DatasetConfig::small();
+        let cases = model_dataset(&cfg);
+        let n = cases.len();
+        let (train, test) = train_test_split(cases, 1);
+        assert_eq!(test.len(), n / 5);
+        assert_eq!(train.len(), n - n / 5);
+    }
+
+    #[test]
+    fn volume_sweep_builds_cubes() {
+        let sweep = volume_sweep(&[15, 16, 31, 32]);
+        assert_eq!(sweep.len(), 4);
+        assert_eq!(sweep[2].shape.extents(), &[31, 31, 31, 31]);
+        assert_eq!(sweep[0].perm.as_slice(), &[0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn repeated_use_cases_match_paper_perms() {
+        let [a, b] = repeated_use_cases(16);
+        assert!(a.perm.fvi_matches());
+        assert!(!b.perm.fvi_matches());
+        assert_eq!(a.volume(), 16usize.pow(6));
+    }
+
+    #[test]
+    fn ttc_suite_properties() {
+        let suite = ttc_benchmark_suite(57, 1 << 20, 99);
+        assert_eq!(suite.len(), 57);
+        for c in &suite {
+            assert_eq!(c.scaled_rank(), c.shape.rank(), "{}", c.name);
+            assert!(!c.perm.is_identity());
+            assert!((2..=6).contains(&c.shape.rank()));
+        }
+        // deterministic
+        let again = ttc_benchmark_suite(57, 1 << 20, 99);
+        for (x, y) in suite.iter().zip(again.iter()) {
+            assert_eq!(x.shape.extents(), y.shape.extents());
+            assert_eq!(x.perm.as_slice(), y.perm.as_slice());
+        }
+    }
+}

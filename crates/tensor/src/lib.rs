@@ -1,0 +1,43 @@
+//! # ttlg-tensor
+//!
+//! Foundation crate for TTLG-rs: dense tensors, shapes and strides,
+//! index permutations, index fusion ("scaled rank"), a parallel naive
+//! reference transpose, and the workload generators used throughout the
+//! paper's evaluation (IPDPS 2018).
+//!
+//! ## Layout convention
+//!
+//! Following the paper (which uses the MATLAB/Fortran abstract notation),
+//! **dimension 0 is the fastest-varying dimension**: element
+//! `(i0, i1, ..., i_{d-1})` of a tensor with extents `(n0, n1, ...)` lives at
+//! linear offset `i0 + i1*n0 + i2*n0*n1 + ...`.
+//!
+//! ## Permutation convention
+//!
+//! A transposition is described by a [`Permutation`] `p` with
+//! `p[i] = j` meaning *the i-th dimension of the output corresponds to the
+//! j-th dimension of the input* — exactly the paper's convention for its
+//! figures (e.g. permutation `0 2 1 3`). So
+//! `out[k0, k1, ..] = in[k_{p^{-1}(0)}, ..]`, equivalently
+//! `out[i_{p[0]}, i_{p[1]}, ...] = in[i_0, i_1, ...]`.
+
+pub mod element;
+pub mod error;
+pub mod fusion;
+pub mod generator;
+pub mod parallel;
+pub mod permutation;
+pub mod reference;
+pub mod shape;
+pub mod tensor;
+
+pub use element::Element;
+pub use error::{Error, Result};
+pub use fusion::{fuse, FusedProblem};
+pub use permutation::Permutation;
+pub use shape::Shape;
+pub use tensor::DenseTensor;
+
+/// Warp size on every GPU generation the paper considers (and the constant
+/// `WS` in all of the paper's pseudocode).
+pub const WARP_SIZE: usize = 32;

@@ -1,0 +1,261 @@
+//! Index permutations.
+//!
+//! `perm[i] = j` means *output dimension `i` is input dimension `j`* — the
+//! paper's convention ("P\[i\] = j means the i-th dimension in the output
+//! corresponds to the j-th dimension in the input").
+
+use crate::error::{Error, Result};
+use crate::shape::Shape;
+
+/// A permutation of `0..rank`.
+///
+/// ```
+/// use ttlg_tensor::{Permutation, Shape};
+/// // out dim i = in dim perm[i]: [a,b,c] => [c,a,b]
+/// let p = Permutation::new(&[2, 0, 1]).unwrap();
+/// let s = Shape::new(&[4, 5, 6]).unwrap();
+/// assert_eq!(p.apply_to_shape(&s).unwrap().extents(), &[6, 4, 5]);
+/// assert!(p.compose(&p.inverse()).unwrap().is_identity());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    map: Vec<usize>,
+}
+
+impl std::fmt::Debug for Permutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Perm{:?}", self.map)
+    }
+}
+
+impl std::fmt::Display for Permutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let strs: Vec<String> = self.map.iter().map(|e| e.to_string()).collect();
+        write!(f, "{}", strs.join(" "))
+    }
+}
+
+impl Permutation {
+    /// Validate and build a permutation from `perm[i] = j` entries.
+    pub fn new(map: &[usize]) -> Result<Self> {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for &j in map {
+            if j >= n || seen[j] {
+                return Err(Error::InvalidPermutation { perm: map.to_vec() });
+            }
+            seen[j] = true;
+        }
+        Ok(Permutation { map: map.to_vec() })
+    }
+
+    /// The identity permutation of the given rank.
+    pub fn identity(rank: usize) -> Self {
+        Permutation { map: (0..rank).collect() }
+    }
+
+    /// Full reversal `[d-1, d-2, ..., 0]` (the classic transpose).
+    pub fn reversal(rank: usize) -> Self {
+        Permutation { map: (0..rank).rev().collect() }
+    }
+
+    /// Number of dimensions permuted.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `perm[i]`: which input dimension feeds output dimension `i`.
+    #[inline]
+    pub fn output_dim_source(&self, i: usize) -> usize {
+        self.map[i]
+    }
+
+    /// Raw mapping slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.map
+    }
+
+    /// Whether this is the identity (no data movement needed beyond a copy).
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &j)| i == j)
+    }
+
+    /// The inverse permutation: if `self[i] = j`, then `inv[j] = i`.
+    /// Output dim of input dim `j` is `inverse()[j]`.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0usize; self.map.len()];
+        for (i, &j) in self.map.iter().enumerate() {
+            inv[j] = i;
+        }
+        Permutation { map: inv }
+    }
+
+    /// Compose: apply `self` after `other` (`(self∘other)[i] = other[self[i]]`).
+    ///
+    /// If `other` maps tensor A to tensor B and `self` maps B to C, the
+    /// composition maps A to C.
+    pub fn compose(&self, other: &Permutation) -> Result<Permutation> {
+        if self.rank() != other.rank() {
+            return Err(Error::RankMismatch { shape_rank: other.rank(), perm_rank: self.rank() });
+        }
+        let map: Vec<usize> = self.map.iter().map(|&i| other.map[i]).collect();
+        Ok(Permutation { map })
+    }
+
+    /// Shape of the output tensor for an input of shape `shape`:
+    /// `out_extent[i] = in_extent[perm[i]]`.
+    pub fn apply_to_shape(&self, shape: &Shape) -> Result<Shape> {
+        if self.rank() != shape.rank() {
+            return Err(Error::RankMismatch { shape_rank: shape.rank(), perm_rank: self.rank() });
+        }
+        let ext: Vec<usize> = self.map.iter().map(|&j| shape.extent(j)).collect();
+        Shape::new(&ext)
+    }
+
+    /// Permute a multi-index from input order to output order:
+    /// `out_idx[i] = in_idx[perm[i]]`.
+    pub fn apply_to_index(&self, in_idx: &[usize], out_idx: &mut [usize]) {
+        debug_assert_eq!(in_idx.len(), self.rank());
+        debug_assert_eq!(out_idx.len(), self.rank());
+        for (o, &j) in out_idx.iter_mut().zip(self.map.iter()) {
+            *o = in_idx[j];
+        }
+    }
+
+    /// Whether the fastest-varying index matches between input and output
+    /// (the paper's *FVI Match* family: `i0 == rho(i0)`).
+    #[inline]
+    pub fn fvi_matches(&self) -> bool {
+        self.map[0] == 0
+    }
+
+    /// Iterate over all permutations of `0..rank` in lexicographic order.
+    /// Used by the all-720-permutations experiments (rank 6).
+    pub fn all(rank: usize) -> AllPermutations {
+        AllPermutations { next: Some((0..rank).collect()) }
+    }
+}
+
+/// Iterator over all permutations of a given rank, lexicographic order.
+pub struct AllPermutations {
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for AllPermutations {
+    type Item = Permutation;
+
+    fn next(&mut self) -> Option<Permutation> {
+        let cur = self.next.take()?;
+        let result = Permutation { map: cur.clone() };
+        // Classic next-permutation step.
+        let mut v = cur;
+        let n = v.len();
+        if n > 1 {
+            let mut i = n - 1;
+            while i > 0 && v[i - 1] >= v[i] {
+                i -= 1;
+            }
+            if i == 0 {
+                self.next = None;
+            } else {
+                let mut j = n - 1;
+                while v[j] <= v[i - 1] {
+                    j -= 1;
+                }
+                v.swap(i - 1, j);
+                v[i..].reverse();
+                self.next = Some(v);
+            }
+        } else {
+            self.next = None;
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates() {
+        assert!(Permutation::new(&[0, 2, 1]).is_ok());
+        assert!(Permutation::new(&[0, 0, 1]).is_err());
+        assert!(Permutation::new(&[0, 3, 1]).is_err());
+        assert!(Permutation::new(&[]).is_ok()); // degenerate but harmless
+    }
+
+    #[test]
+    fn identity_and_reversal() {
+        assert!(Permutation::identity(4).is_identity());
+        let r = Permutation::reversal(4);
+        assert_eq!(r.as_slice(), &[3, 2, 1, 0]);
+        assert!(!r.is_identity());
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::new(&[2, 0, 3, 1]).unwrap();
+        let inv = p.inverse();
+        assert!(p.compose(&inv).unwrap().is_identity());
+        assert!(inv.compose(&p).unwrap().is_identity());
+    }
+
+    #[test]
+    fn apply_to_shape_permutes_extents() {
+        let s = Shape::new(&[8, 2, 8, 4]).unwrap();
+        // [a b c d] => [c b d a]
+        let p = Permutation::new(&[2, 1, 3, 0]).unwrap();
+        let out = p.apply_to_shape(&s).unwrap();
+        assert_eq!(out.extents(), &[8, 2, 4, 8]);
+    }
+
+    #[test]
+    fn apply_to_index_matches_shape_rule() {
+        let p = Permutation::new(&[2, 0, 1]).unwrap();
+        let mut out = [0usize; 3];
+        p.apply_to_index(&[10, 20, 30], &mut out);
+        assert_eq!(out, [30, 10, 20]);
+    }
+
+    #[test]
+    fn fvi_match_detection() {
+        assert!(Permutation::new(&[0, 3, 2, 1]).unwrap().fvi_matches());
+        assert!(!Permutation::new(&[3, 1, 2, 0]).unwrap().fvi_matches());
+    }
+
+    #[test]
+    fn all_permutations_count_and_uniqueness() {
+        let perms: Vec<Permutation> = Permutation::all(4).collect();
+        assert_eq!(perms.len(), 24);
+        let set: std::collections::HashSet<Vec<usize>> =
+            perms.iter().map(|p| p.as_slice().to_vec()).collect();
+        assert_eq!(set.len(), 24);
+        // first is identity, last is reversal (lexicographic order)
+        assert!(perms[0].is_identity());
+        assert_eq!(perms[23].as_slice(), &[3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn all_permutations_rank6_is_720() {
+        assert_eq!(Permutation::all(6).count(), 720);
+    }
+
+    #[test]
+    fn rank_mismatch_errors() {
+        let s = Shape::new(&[2, 3]).unwrap();
+        let p = Permutation::new(&[0, 2, 1]).unwrap();
+        assert!(matches!(p.apply_to_shape(&s), Err(Error::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_semantics_2d() {
+        // out[i, j] = in[j, i] under reversal: out extent swaps.
+        let s = Shape::new(&[4, 3]).unwrap();
+        let p = Permutation::reversal(2);
+        let out = p.apply_to_shape(&s).unwrap();
+        assert_eq!(out.extents(), &[3, 4]);
+    }
+}

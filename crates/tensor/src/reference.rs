@@ -1,0 +1,195 @@
+//! Naive reference transposition — the ground truth every kernel is checked
+//! against, and the "d-nested loop" baseline the paper's introduction
+//! describes.
+
+use crate::element::Element;
+use crate::error::{Error, Result};
+use crate::parallel;
+use crate::permutation::Permutation;
+use crate::tensor::DenseTensor;
+#[cfg(test)]
+use crate::shape::Shape;
+
+/// Transpose `input` by `perm` into a freshly allocated tensor:
+/// `out[i_{p[0]}, i_{p[1]}, ...] = in[i_0, i_1, ...]`.
+pub fn transpose_reference<E: Element>(
+    input: &DenseTensor<E>,
+    perm: &Permutation,
+) -> Result<DenseTensor<E>> {
+    let out_shape = perm.apply_to_shape(input.shape())?;
+    let mut out = DenseTensor::zeros(out_shape);
+    transpose_reference_into(input, perm, &mut out)?;
+    Ok(out)
+}
+
+/// Transpose into a pre-allocated output tensor (its shape must equal
+/// `perm.apply_to_shape(input.shape())`).
+pub fn transpose_reference_into<E: Element>(
+    input: &DenseTensor<E>,
+    perm: &Permutation,
+    out: &mut DenseTensor<E>,
+) -> Result<()> {
+    let expected = perm.apply_to_shape(input.shape())?;
+    if out.shape() != &expected {
+        return Err(Error::DataLengthMismatch {
+            expected: expected.volume(),
+            actual: out.volume(),
+        });
+    }
+    let in_shape = input.shape().clone();
+    let out_shape = out.shape().clone();
+    let rank = in_shape.rank();
+
+    // Strides of the *input* reordered to output-dimension order: walking
+    // output dim i moves the input offset by in_stride[perm[i]].
+    let in_strides = in_shape.strides();
+    let perm_strides: Vec<usize> =
+        perm.as_slice().iter().map(|&j| in_strides[j]).collect();
+
+    let src = input.data();
+    let dst = out.data_mut();
+    let vol = out_shape.volume();
+
+    // Parallelise over contiguous stretches of the output so stores are
+    // sequential; each worker walks the output index space with an odometer
+    // and accumulates the matching input offset incrementally.
+    let parts = if vol >= 1 << 16 { parallel::default_threads() } else { 1 };
+    parallel::parallel_fill(dst, parts, |_, start, chunk| {
+        let mut out_idx = vec![0usize; rank];
+        out_shape.delinearize_into(start, &mut out_idx);
+        let mut in_off: usize =
+            out_idx.iter().zip(perm_strides.iter()).map(|(&i, &s)| i * s).sum();
+        for slot in chunk.iter_mut() {
+            *slot = src[in_off];
+            // Odometer increment over the output index space, updating the
+            // input offset in O(1) amortised.
+            for d in 0..rank {
+                out_idx[d] += 1;
+                in_off += perm_strides[d];
+                if out_idx[d] < out_shape.extent(d) {
+                    break;
+                }
+                in_off -= perm_strides[d] * out_shape.extent(d);
+                out_idx[d] = 0;
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Fully sequential elementary implementation used to validate the
+/// odometer-based one (tests only — O(rank) mod/div per element).
+pub fn transpose_elementary<E: Element>(
+    input: &DenseTensor<E>,
+    perm: &Permutation,
+) -> Result<DenseTensor<E>> {
+    let out_shape = perm.apply_to_shape(input.shape())?;
+    let mut out = DenseTensor::zeros(out_shape.clone());
+    let rank = input.rank();
+    let mut in_idx = vec![0usize; rank];
+    let mut out_idx = vec![0usize; rank];
+    for off in 0..input.volume() {
+        input.shape().delinearize_into(off, &mut in_idx);
+        perm.apply_to_index(&in_idx, &mut out_idx);
+        let o = out_shape.linearize(&out_idx);
+        out.data_mut()[o] = input.data()[off];
+    }
+    Ok(out)
+}
+
+/// Check two tensors are element-wise identical, returning the first
+/// mismatching linear offset if any.
+pub fn first_mismatch<E: Element>(a: &DenseTensor<E>, b: &DenseTensor<E>) -> Option<usize> {
+    if a.shape() != b.shape() {
+        return Some(0);
+    }
+    a.data().iter().zip(b.data().iter()).position(|(x, y)| x != y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(extents: &[usize]) -> DenseTensor<u32> {
+        DenseTensor::iota(Shape::new(extents).unwrap())
+    }
+
+    #[test]
+    fn matrix_transpose_2d() {
+        let t = mk(&[3, 2]); // 3 fast, 2 slow: [[0,1,2],[3,4,5]] conceptually
+        let p = Permutation::reversal(2);
+        let out = transpose_reference(&t, &p).unwrap();
+        assert_eq!(out.shape().extents(), &[2, 3]);
+        // out[j, i] = in[i, j]
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(out.get(&[j, i]), t.get(&[i, j]));
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_copy() {
+        let t = mk(&[4, 5, 6]);
+        let out = transpose_reference(&t, &Permutation::identity(3)).unwrap();
+        assert_eq!(out.data(), t.data());
+    }
+
+    #[test]
+    fn agrees_with_elementary_all_rank3_perms() {
+        let t = mk(&[4, 3, 5]);
+        for p in Permutation::all(3) {
+            let fast = transpose_reference(&t, &p).unwrap();
+            let slow = transpose_elementary(&t, &p).unwrap();
+            assert_eq!(first_mismatch(&fast, &slow), None, "perm {p}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_elementary_all_rank4_perms_awkward_extents() {
+        let t = mk(&[7, 1, 5, 3]);
+        for p in Permutation::all(4) {
+            let fast = transpose_reference(&t, &p).unwrap();
+            let slow = transpose_elementary(&t, &p).unwrap();
+            assert_eq!(first_mismatch(&fast, &slow), None, "perm {p}");
+        }
+    }
+
+    #[test]
+    fn large_tensor_parallel_path() {
+        // Big enough to trigger the parallel path (vol >= 1<<16).
+        let t = mk(&[64, 32, 64]);
+        let p = Permutation::new(&[2, 0, 1]).unwrap();
+        let fast = transpose_reference(&t, &p).unwrap();
+        let slow = transpose_elementary(&t, &p).unwrap();
+        assert_eq!(first_mismatch(&fast, &slow), None);
+    }
+
+    #[test]
+    fn into_rejects_wrong_shape() {
+        let t = mk(&[3, 4]);
+        let p = Permutation::reversal(2);
+        let mut bad = DenseTensor::zeros(Shape::new(&[3, 4]).unwrap());
+        assert!(transpose_reference_into(&t, &p, &mut bad).is_err());
+    }
+
+    #[test]
+    fn transpose_twice_with_inverse_is_identity() {
+        let t = mk(&[5, 6, 7]);
+        let p = Permutation::new(&[1, 2, 0]).unwrap();
+        let once = transpose_reference(&t, &p).unwrap();
+        let back = transpose_reference(&once, &p.inverse()).unwrap();
+        assert_eq!(first_mismatch(&back, &t), None);
+    }
+
+    #[test]
+    fn first_mismatch_detects_difference() {
+        let a = mk(&[4, 4]);
+        let mut b = a.clone();
+        assert_eq!(first_mismatch(&a, &b), None);
+        b.data_mut()[7] = 999;
+        assert_eq!(first_mismatch(&a, &b), Some(7));
+        let c = mk(&[2, 8]);
+        assert_eq!(first_mismatch(&a, &c), Some(0)); // shape mismatch
+    }
+}

@@ -1,0 +1,222 @@
+//! Tensor shapes and row-of-strides math.
+//!
+//! Dimension 0 is the **fastest-varying** dimension (Fortran/MATLAB order,
+//! matching the paper's abstract notation): `strides[0] == 1` and
+//! `strides[k] == product(extent[0..k])`.
+
+use crate::error::{Error, Result};
+
+/// The extents of a dense tensor. Immutable after construction.
+///
+/// ```
+/// use ttlg_tensor::Shape;
+/// let s = Shape::new(&[4, 3, 5]).unwrap(); // dim 0 fastest-varying
+/// assert_eq!(s.volume(), 60);
+/// assert_eq!(s.strides(), vec![1, 4, 12]);
+/// assert_eq!(s.linearize(&[1, 2, 3]), 1 + 2 * 4 + 3 * 12);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    extents: Vec<usize>,
+}
+
+impl std::fmt::Debug for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shape{:?}", self.extents)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let strs: Vec<String> = self.extents.iter().map(|e| e.to_string()).collect();
+        write!(f, "[{}]", strs.join(" "))
+    }
+}
+
+impl Shape {
+    /// Build a shape from extents (dimension 0 fastest-varying).
+    ///
+    /// Every extent must be >= 1, there must be at least one dimension and
+    /// the volume must not overflow `usize`.
+    pub fn new(extents: &[usize]) -> Result<Self> {
+        if extents.is_empty() || extents.contains(&0) {
+            return Err(Error::EmptyShape);
+        }
+        let mut vol: usize = 1;
+        for &e in extents {
+            vol = vol.checked_mul(e).ok_or(Error::VolumeOverflow)?;
+        }
+        Ok(Shape { extents: extents.to_vec() })
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Extent of dimension `d` (0 = fastest varying).
+    #[inline]
+    pub fn extent(&self, d: usize) -> usize {
+        self.extents[d]
+    }
+
+    /// All extents, fastest-varying first.
+    #[inline]
+    pub fn extents(&self) -> &[usize] {
+        &self.extents
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.extents.iter().product()
+    }
+
+    /// Strides for this shape (fastest-varying first): `strides[0] == 1`,
+    /// `strides[k] == extent[0] * ... * extent[k-1]`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = Vec::with_capacity(self.rank());
+        let mut acc = 1usize;
+        for &e in &self.extents {
+            s.push(acc);
+            acc *= e;
+        }
+        s
+    }
+
+    /// Stride of a single dimension without materialising the whole vector.
+    #[inline]
+    pub fn stride(&self, d: usize) -> usize {
+        self.extents[..d].iter().product()
+    }
+
+    /// Linear offset of a multi-index (must have `rank()` entries, each in
+    /// range).
+    #[inline]
+    pub fn linearize(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.rank());
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for (i, &e) in self.extents.iter().enumerate() {
+            debug_assert!(idx[i] < e, "index {} out of range for dim {i} (extent {e})", idx[i]);
+            off += idx[i] * stride;
+            stride *= e;
+        }
+        off
+    }
+
+    /// Inverse of [`Shape::linearize`]: decompose a linear offset into a
+    /// multi-index (fastest-varying first). This is the `decode` of the
+    /// paper's pseudocode — the expensive mod/div chain the kernels try to
+    /// avoid in inner loops.
+    pub fn delinearize(&self, mut off: usize) -> Vec<usize> {
+        debug_assert!(off < self.volume());
+        let mut idx = Vec::with_capacity(self.rank());
+        for &e in &self.extents {
+            idx.push(off % e);
+            off /= e;
+        }
+        idx
+    }
+
+    /// In-place variant of [`Shape::delinearize`], for hot loops that reuse
+    /// a scratch buffer.
+    pub fn delinearize_into(&self, mut off: usize, out: &mut [usize]) {
+        debug_assert_eq!(out.len(), self.rank());
+        for (slot, &e) in out.iter_mut().zip(self.extents.iter()) {
+            *slot = off % e;
+            off /= e;
+        }
+    }
+
+    /// Volume of the leading (fastest-varying) `k` dimensions.
+    #[inline]
+    pub fn prefix_volume(&self, k: usize) -> usize {
+        self.extents[..k].iter().product()
+    }
+
+    /// Shape in bytes for elements of width `elem_bytes`.
+    #[inline]
+    pub fn bytes(&self, elem_bytes: usize) -> usize {
+        self.volume() * elem_bytes
+    }
+}
+
+impl From<Shape> for Vec<usize> {
+    fn from(s: Shape) -> Self {
+        s.extents
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_bad_shapes() {
+        assert_eq!(Shape::new(&[]), Err(Error::EmptyShape));
+        assert_eq!(Shape::new(&[4, 0, 2]), Err(Error::EmptyShape));
+        assert_eq!(Shape::new(&[usize::MAX, 2]), Err(Error::VolumeOverflow));
+    }
+
+    #[test]
+    fn strides_fastest_first() {
+        let s = Shape::new(&[4, 3, 5]).unwrap();
+        assert_eq!(s.strides(), vec![1, 4, 12]);
+        assert_eq!(s.stride(0), 1);
+        assert_eq!(s.stride(1), 4);
+        assert_eq!(s.stride(2), 12);
+        assert_eq!(s.volume(), 60);
+    }
+
+    #[test]
+    fn linearize_roundtrip() {
+        let s = Shape::new(&[3, 4, 5]).unwrap();
+        for off in 0..s.volume() {
+            let idx = s.delinearize(off);
+            assert_eq!(s.linearize(&idx), off);
+        }
+    }
+
+    #[test]
+    fn delinearize_into_matches_delinearize() {
+        let s = Shape::new(&[7, 2, 9]).unwrap();
+        let mut buf = vec![0usize; 3];
+        for off in 0..s.volume() {
+            s.delinearize_into(off, &mut buf);
+            assert_eq!(buf, s.delinearize(off));
+        }
+    }
+
+    #[test]
+    fn linearize_is_row0_fastest() {
+        let s = Shape::new(&[4, 3]).unwrap();
+        // (1, 0) is adjacent to (0, 0); (0, 1) is 4 apart.
+        assert_eq!(s.linearize(&[1, 0]), 1);
+        assert_eq!(s.linearize(&[0, 1]), 4);
+    }
+
+    #[test]
+    fn prefix_volume() {
+        let s = Shape::new(&[16, 2, 32, 32]).unwrap();
+        assert_eq!(s.prefix_volume(0), 1);
+        assert_eq!(s.prefix_volume(1), 16);
+        assert_eq!(s.prefix_volume(2), 32);
+        assert_eq!(s.prefix_volume(4), 32768);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Shape::new(&[16, 16, 16]).unwrap();
+        assert_eq!(s.to_string(), "[16 16 16]");
+        assert_eq!(format!("{s:?}"), "Shape[16, 16, 16]");
+    }
+
+    #[test]
+    fn bytes_accounts_element_width() {
+        let s = Shape::new(&[10, 10]).unwrap();
+        assert_eq!(s.bytes(8), 800);
+        assert_eq!(s.bytes(4), 400);
+    }
+}

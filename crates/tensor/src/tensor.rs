@@ -1,0 +1,172 @@
+//! Dense tensors backed by a contiguous buffer (dimension 0 fastest).
+
+use crate::element::Element;
+use crate::error::{Error, Result};
+use crate::parallel;
+use crate::shape::Shape;
+
+/// A dense, row-0-fastest tensor owning its storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseTensor<E: Element> {
+    shape: Shape,
+    data: Vec<E>,
+}
+
+impl<E: Element> DenseTensor<E> {
+    /// Allocate a zero-filled tensor.
+    pub fn zeros(shape: Shape) -> Self {
+        let vol = shape.volume();
+        DenseTensor { shape, data: vec![E::zero(); vol] }
+    }
+
+    /// Build from existing data; the buffer length must equal the shape
+    /// volume.
+    pub fn from_data(shape: Shape, data: Vec<E>) -> Result<Self> {
+        if data.len() != shape.volume() {
+            return Err(Error::DataLengthMismatch { expected: shape.volume(), actual: data.len() });
+        }
+        Ok(DenseTensor { shape, data })
+    }
+
+    /// A tensor whose element at linear offset `k` is `E::from_index(k)` —
+    /// every element distinct (up to the element type's range), which makes
+    /// transposition bugs loud in tests. Filled in parallel for large
+    /// volumes.
+    pub fn iota(shape: Shape) -> Self {
+        let vol = shape.volume();
+        let mut data = vec![E::zero(); vol];
+        if vol >= 1 << 20 {
+            parallel::parallel_fill(&mut data, parallel::default_threads(), |_, off, chunk| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = E::from_index(off + k);
+                }
+            });
+        } else {
+            for (k, slot) in data.iter_mut().enumerate() {
+                *slot = E::from_index(k);
+            }
+        }
+        DenseTensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Rank (number of dimensions).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Size of the payload in bytes.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * E::BYTES
+    }
+
+    /// Read-only view of the linearized storage.
+    #[inline]
+    pub fn data(&self) -> &[E] {
+        &self.data
+    }
+
+    /// Mutable view of the linearized storage.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [E] {
+        &mut self.data
+    }
+
+    /// Element at a multi-index.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> E {
+        self.data[self.shape.linearize(idx)]
+    }
+
+    /// Write an element at a multi-index.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], v: E) {
+        let off = self.shape.linearize(idx);
+        self.data[off] = v;
+    }
+
+    /// Consume the tensor, returning its storage.
+    pub fn into_data(self) -> Vec<E> {
+        self.data
+    }
+
+    /// Reinterpret the tensor with a different shape of identical volume
+    /// (a free operation on a dense row-0-fastest layout).
+    pub fn reshape(self, shape: Shape) -> Result<Self> {
+        if shape.volume() != self.data.len() {
+            return Err(Error::DataLengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(DenseTensor { shape, data: self.data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_volume() {
+        let t: DenseTensor<f64> = DenseTensor::zeros(Shape::new(&[3, 4]).unwrap());
+        assert_eq!(t.volume(), 12);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+        assert_eq!(t.bytes(), 96);
+    }
+
+    #[test]
+    fn iota_is_linear_index() {
+        let t: DenseTensor<u32> = DenseTensor::iota(Shape::new(&[4, 5]).unwrap());
+        for k in 0..20 {
+            assert_eq!(t.data()[k], k as u32);
+        }
+    }
+
+    #[test]
+    fn iota_parallel_path_matches_sequential() {
+        // Cross the 1<<20 threshold to exercise parallel_fill.
+        let shape = Shape::new(&[1 << 11, 1 << 10]).unwrap();
+        let t: DenseTensor<u32> = DenseTensor::iota(shape);
+        for (k, &v) in t.data().iter().step_by(4097).enumerate() {
+            assert_eq!(v, (k * 4097) as u32);
+        }
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t: DenseTensor<f64> = DenseTensor::zeros(Shape::new(&[3, 4, 5]).unwrap());
+        t.set(&[2, 3, 4], 99.0);
+        assert_eq!(t.get(&[2, 3, 4]), 99.0);
+        // linear position: 2 + 3*3 + 4*12 = 59
+        assert_eq!(t.data()[59], 99.0);
+    }
+
+    #[test]
+    fn from_data_validates_length() {
+        let s = Shape::new(&[2, 2]).unwrap();
+        assert!(DenseTensor::from_data(s.clone(), vec![1.0f64; 3]).is_err());
+        assert!(DenseTensor::from_data(s, vec![1.0f64; 4]).is_ok());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t: DenseTensor<u32> = DenseTensor::iota(Shape::new(&[6, 4]).unwrap());
+        let r = t.clone().reshape(Shape::new(&[3, 8]).unwrap()).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(Shape::new(&[5, 5]).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! The offline performance-modeling workflow (paper Sec. V) end to end:
+//! generate a dataset on the simulated device, fit the Table II
+//! regressions, inspect the summary, persist the models, and plug them
+//! into the planner.
+//!
+//! ```text
+//! cargo run -p ttlg-examples --release --example model_workflow
+//! ```
+
+use std::sync::Arc;
+use ttlg::{Transposer, TransposeOptions};
+use ttlg_gpu_sim::DeviceConfig;
+use ttlg_perfmodel::persist;
+use ttlg_perfmodel::predictor::TrainedPredictor;
+use ttlg_perfmodel::train::{train_models, TrainConfig};
+use ttlg_tensor::generator::DatasetConfig;
+use ttlg_tensor::{DenseTensor, Permutation, Shape};
+
+fn main() {
+    let device = DeviceConfig::k40c();
+
+    // 1. Train on a small dataset (bump these numbers for fidelity).
+    let cfg = TrainConfig {
+        dataset: DatasetConfig {
+            ranks: vec![3, 4],
+            volumes: vec![1 << 16, 1 << 18],
+            max_perms_per_config: 4,
+            seed: 7,
+        },
+        max_configs_per_case: 8,
+        split_seed: 11,
+    };
+    println!("training Table II models...");
+    let models = train_models::<f64>(&device, &cfg).expect("training succeeds");
+    println!("{}", models.to_table());
+
+    // 2. Persist and reload (plain-text format, no dependencies).
+    let pair = persist::ModelPair {
+        od: models.od.fit.model.clone(),
+        oa: models.oa.fit.model.clone(),
+    };
+    let path = std::env::temp_dir().join("ttlg-models.txt");
+    persist::save(&pair, &path).expect("writable temp dir");
+    let reloaded = persist::load(&path).expect("readable").expect("parseable");
+    println!("models persisted to {} and reloaded", path.display());
+
+    // 3. Drive the planner with the trained predictor.
+    let predictor = Arc::new(TrainedPredictor::from_models(
+        reloaded.od,
+        reloaded.oa,
+        device.clone(),
+    ));
+    let t = Transposer::with_predictor(device, predictor);
+    let shape = Shape::new(&[24, 18, 20, 12]).unwrap();
+    let perm = Permutation::new(&[3, 1, 0, 2]).unwrap();
+    let plan = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+    println!(
+        "trained planner picked {} over {} candidates (predicted {:.1} us)",
+        plan.schema(),
+        plan.candidates_evaluated(),
+        plan.predicted_ns() / 1e3
+    );
+    let input: DenseTensor<f64> = DenseTensor::iota(shape);
+    let (_, report) = t.execute(&plan, &input).unwrap();
+    println!(
+        "executed at {:.1} GB/s (model was off by {:+.1}%)",
+        report.bandwidth_gbps,
+        (report.predicted_ns - report.kernel_time_ns) / report.kernel_time_ns * 100.0
+    );
+
+    // 4. The zero-training alternative: pretrained K40c coefficients.
+    let pre = ttlg_perfmodel::predictor_k40c();
+    println!("pretrained predictor available: {}", ttlg::TimePredictor::name(&pre));
+}

@@ -1,0 +1,45 @@
+//! Quickstart: transpose a 5D tensor with the model-driven planner and
+//! print the paper-style report.
+//!
+//! ```text
+//! cargo run -p ttlg-examples --release --example quickstart
+//! ```
+
+use ttlg::{Transposer, TransposeOptions};
+use ttlg_examples::describe_report;
+use ttlg_tensor::{reference, DenseTensor, Permutation, Shape};
+
+fn main() {
+    // A 5D tensor (dims 0 fastest-varying) and the permutation
+    // [i0,i1,i2,i3,i4] => [i4,i1,i2,i0,i3] — the paper's Fig. 5 family.
+    let shape = Shape::new(&[27, 27, 27, 27, 27]).expect("valid shape");
+    let perm = Permutation::new(&[4, 1, 2, 0, 3]).expect("valid permutation");
+    let input: DenseTensor<f64> = DenseTensor::iota(shape.clone());
+
+    // Plan once (taxonomy -> slice-size search -> kernel build), reuse as
+    // often as needed.
+    let transposer = Transposer::new_k40c();
+    let plan = transposer
+        .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+        .expect("plannable");
+    println!(
+        "planned schema {} over {} candidates (predicted {:.2} us)",
+        plan.schema(),
+        plan.candidates_evaluated(),
+        plan.predicted_ns() / 1e3
+    );
+
+    let (output, report) = transposer.execute(&plan, &input).expect("executes");
+    println!("{}", describe_report("quickstart transpose", &report));
+
+    // Verify against the naive reference.
+    let expect = reference::transpose_reference(&input, &perm).expect("reference");
+    assert_eq!(output.data(), expect.data(), "kernel output must match the reference");
+    println!("verified against the naive reference: OK");
+
+    // The queryable prediction interface (for higher-level libraries).
+    let predicted = transposer
+        .predict_transpose_ns::<f64>(&shape, &perm)
+        .expect("predictable");
+    println!("queryable API predicts {:.2} us for this transposition", predicted / 1e3);
+}

@@ -1,0 +1,76 @@
+//! A tour of the four TTLG kernels plus the baselines on one problem
+//! family: force each schema, run it, and compare against cuTT and the
+//! naive kernel.
+//!
+//! ```text
+//! cargo run -p ttlg-examples --release --example schema_tour
+//! ```
+
+use ttlg::{Schema, Transposer, TransposeOptions};
+use ttlg_baselines::cutt::{CuttLibrary, CuttMode};
+use ttlg_baselines::naive::NaiveTranspose;
+use ttlg_gpu_sim::DeviceConfig;
+use ttlg_tensor::{reference, DenseTensor, Permutation, Shape};
+
+fn run_forced(
+    t: &Transposer,
+    input: &DenseTensor<f64>,
+    perm: &Permutation,
+    schema: Schema,
+) -> Option<f64> {
+    let opts = TransposeOptions { forced_schema: Some(schema), ..Default::default() };
+    let plan = t.plan::<f64>(input.shape(), perm, &opts).ok()?;
+    let (out, report) = t.execute(&plan, input).ok()?;
+    let expect = reference::transpose_reference(input, perm).expect("reference");
+    assert_eq!(out.data(), expect.data(), "{schema} must be correct");
+    Some(report.bandwidth_gbps)
+}
+
+fn tour(title: &str, extents: &[usize], perm: &[usize]) {
+    println!("--- {title}: {extents:?} perm {perm:?} ---");
+    let shape = Shape::new(extents).unwrap();
+    let perm = Permutation::new(perm).unwrap();
+    let input: DenseTensor<f64> = DenseTensor::iota(shape.clone());
+    let t = Transposer::new_k40c();
+
+    // The planner's own pick.
+    let plan = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+    let (_, auto) = t.execute(&plan, &input).unwrap();
+    println!("  planner pick : {:<22} {:>7.1} GB/s", format!("{}", auto.schema), auto.bandwidth_gbps);
+
+    // Every schema that can run this problem.
+    for schema in [
+        Schema::FviMatchLarge,
+        Schema::FviMatchSmall,
+        Schema::OrthogonalDistinct,
+        Schema::OrthogonalArbitrary,
+        Schema::Naive,
+    ] {
+        if let Some(bw) = run_forced(&t, &input, &perm, schema) {
+            println!("  forced       : {:<22} {bw:>7.1} GB/s", format!("{schema}"));
+        }
+    }
+
+    // Baselines.
+    let cutt = CuttLibrary::new(DeviceConfig::k40c());
+    let cplan = cutt.plan::<f64>(&shape, &perm, CuttMode::Measure);
+    let (cout, crep) = cutt.execute(&cplan, &input);
+    let expect = reference::transpose_reference(&input, &perm).unwrap();
+    assert_eq!(cout.data(), expect.data());
+    println!("  cuTT measure : {:<22} {:>7.1} GB/s", cplan.label(), crep.bandwidth_gbps);
+    let naive = NaiveTranspose::new(DeviceConfig::k40c());
+    let (_, nrep) = naive.execute(&input, &perm);
+    println!("  naive        : {:<22} {:>7.1} GB/s", "d-nested-loop", nrep.bandwidth_gbps);
+    println!();
+}
+
+fn main() {
+    // Matching large FVI: direct copy territory.
+    tour("FVI-Match-Large case", &[64, 16, 16, 4], &[0, 3, 2, 1]);
+    // Matching small FVI: the b x b x N0 staging kernel.
+    tour("FVI-Match-Small case", &[8, 16, 16, 16], &[0, 3, 2, 1]);
+    // Non-matching, disjoint combined sets: the padded-tile kernel.
+    tour("Orthogonal-Distinct case", &[16, 2, 32, 32], &[3, 2, 1, 0]);
+    // Overlapping combined sets: the indirection-array kernel.
+    tour("Orthogonal-Arbitrary case", &[8, 2, 8, 8, 8], &[2, 1, 3, 0, 4]);
+}

@@ -1,0 +1,44 @@
+//! Shared helpers for the TTLG-rs examples (pretty-printing and small
+//! demo utilities). The runnable examples live in this package's
+//! `examples/` directory:
+//!
+//! * `quickstart` — plan + execute one transposition, print the report.
+//! * `ttgt_contraction` — a TTGT tensor contraction (Transpose-Transpose-
+//!   GEMM-Transpose) built on the queryable prediction API.
+//! * `ml_layout` — NCHW <-> NHWC activation-layout conversion.
+//! * `schema_tour` — drive every kernel schema and compare them.
+
+use ttlg::TransposeReport;
+
+/// Render a transpose report as a short human-readable block.
+pub fn describe_report(label: &str, r: &TransposeReport) -> String {
+    format!(
+        "{label}\n  schema     : {}\n  kernel time: {:.2} us\n  bandwidth  : {:.1} GB/s\n  plan time  : {:.2} us\n  DRAM tx    : {} loads / {} stores\n",
+        r.schema,
+        r.kernel_time_ns / 1e3,
+        r.bandwidth_gbps,
+        r.plan_time_ns / 1e3,
+        r.stats.dram_load_tx,
+        r.stats.dram_store_tx,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttlg::{Transposer, TransposeOptions};
+    use ttlg_tensor::{DenseTensor, Permutation, Shape};
+
+    #[test]
+    fn describe_report_formats() {
+        let t = Transposer::new_k40c();
+        let shape = Shape::new(&[16, 16]).unwrap();
+        let perm = Permutation::new(&[1, 0]).unwrap();
+        let plan = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+        let input: DenseTensor<f64> = DenseTensor::iota(shape);
+        let (_, report) = t.execute(&plan, &input).unwrap();
+        let s = describe_report("demo", &report);
+        assert!(s.contains("schema"));
+        assert!(s.contains("GB/s"));
+    }
+}

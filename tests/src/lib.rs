@@ -1,0 +1,2 @@
+//! Placeholder lib target for the integration-test package; the actual
+//! tests live in `tests/tests/`.

@@ -1,0 +1,149 @@
+//! Golden transaction-count regression tests: exact counter values for a
+//! matrix of (case, schema) pairs. These pin the simulator's accounting —
+//! any change to coalescing, bank, texture, or kernel structure that
+//! shifts a counter shows up here, the way the paper's Table I pins its
+//! formulas.
+
+use ttlg::{Schema, Transposer, TransposeOptions};
+use ttlg_tensor::{Permutation, Shape};
+
+struct Golden {
+    extents: &'static [usize],
+    perm: &'static [usize],
+    schema: Schema,
+    dram_load: u64,
+    dram_store: u64,
+    smem_acc: u64,
+    replays: u64,
+    tex: u64,
+}
+
+fn check(g: &Golden) {
+    let t = Transposer::new_k40c();
+    let shape = Shape::new(g.extents).unwrap();
+    let perm = Permutation::new(g.perm).unwrap();
+    let opts = TransposeOptions { forced_schema: Some(g.schema), ..Default::default() };
+    let plan = t.plan::<f64>(&shape, &perm, &opts).unwrap();
+    let r = t.time_plan(&plan).unwrap();
+    assert_eq!(r.stats.dram_load_tx, g.dram_load, "dram loads {:?} {}", g.extents, g.schema);
+    assert_eq!(r.stats.dram_store_tx, g.dram_store, "dram stores {:?} {}", g.extents, g.schema);
+    assert_eq!(
+        r.stats.smem_load_acc + r.stats.smem_store_acc,
+        g.smem_acc,
+        "smem accesses {:?} {}",
+        g.extents,
+        g.schema
+    );
+    assert_eq!(r.stats.smem_conflict_replays, g.replays, "replays {:?} {}", g.extents, g.schema);
+    assert_eq!(r.stats.tex_load_tx, g.tex, "tex {:?} {}", g.extents, g.schema);
+}
+
+#[test]
+fn golden_copy() {
+    // Identity on 32^3 doubles: vol*8/128 = 2048 tx each way, no smem/tex.
+    check(&Golden {
+        extents: &[32, 32, 32],
+        perm: &[0, 1, 2],
+        schema: Schema::Copy,
+        dram_load: 2048,
+        dram_store: 2048,
+        smem_acc: 0,
+        replays: 0,
+        tex: 0,
+    });
+}
+
+#[test]
+fn golden_fvi_match_large() {
+    // [64, 8, 8] => [a, c, b]: 64 rows of 64 doubles = 4 tx per row per
+    // direction.
+    check(&Golden {
+        extents: &[64, 8, 8],
+        perm: &[0, 2, 1],
+        schema: Schema::FviMatchLarge,
+        dram_load: 256,
+        dram_store: 256,
+        smem_acc: 0,
+        replays: 0,
+        tex: 0,
+    });
+}
+
+#[test]
+fn golden_fvi_match_small() {
+    // [8, 8, 8, 8] => [a, d, c, b], b = 4: C1 = 256 each way (Table I).
+    check(&Golden {
+        extents: &[8, 8, 8, 8],
+        perm: &[0, 3, 2, 1],
+        schema: Schema::FviMatchSmall,
+        dram_load: 256,
+        dram_store: 256,
+        smem_acc: 512, // 256 staged in + 256 gathered out
+        replays: 0, // padding keeps the gather conflict-free
+        tex: 0,
+    });
+}
+
+#[test]
+fn golden_orthogonal_distinct_matrix() {
+    // 128x128 matrix transpose through 32x33 tiles: 1024 tx each way;
+    // 16 blocks x (32 row + 32 column) warp accesses = 1024, no
+    // conflicts, one broadcast texture read per row/column access.
+    check(&Golden {
+        extents: &[128, 128],
+        perm: &[1, 0],
+        schema: Schema::OrthogonalDistinct,
+        dram_load: 1024,
+        dram_store: 1024,
+        smem_acc: 1024,
+        replays: 0,
+        tex: 1024,
+    });
+}
+
+#[test]
+fn golden_orthogonal_arbitrary_paper_case() {
+    // [8,2,8,8] => [c,b,d,a] with the planner's swept choice.
+    let t = Transposer::new_k40c();
+    let shape = Shape::new(&[8, 2, 8, 8]).unwrap();
+    let perm = Permutation::new(&[2, 1, 3, 0]).unwrap();
+    let opts = TransposeOptions {
+        forced_schema: Some(Schema::OrthogonalArbitrary),
+        ..Default::default()
+    };
+    let plan = t.plan::<f64>(&shape, &perm, &opts).unwrap();
+    let r = t.time_plan(&plan).unwrap();
+    // Both directions move the whole tensor with 128-element input runs
+    // and 128-element output runs: 64 tx each (Table I's C3 = C3' = 64).
+    assert_eq!(r.stats.dram_load_tx, 64);
+    assert_eq!(r.stats.dram_store_tx, 64);
+    assert_eq!(r.stats.elements_moved, 1024);
+}
+
+#[test]
+fn golden_naive_matrix() {
+    // 64x64 naive transpose: stores coalesced (256 tx), loads one segment
+    // per lane (4096 tx), 2 divmods per element.
+    check(&Golden {
+        extents: &[64, 64],
+        perm: &[1, 0],
+        schema: Schema::Naive,
+        dram_load: 4096,
+        dram_store: 256,
+        smem_acc: 0,
+        replays: 0,
+        tex: 0,
+    });
+}
+
+#[test]
+fn golden_counts_stable_across_runs() {
+    // The same plan analyzed twice yields byte-identical statistics.
+    let t = Transposer::new_k40c();
+    let shape = Shape::new(&[24, 10, 36]).unwrap();
+    let perm = Permutation::new(&[2, 1, 0]).unwrap();
+    let plan = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+    let a = t.time_plan(&plan).unwrap().stats;
+    let b = t.time_plan(&plan).unwrap().stats;
+    assert_eq!(a, b);
+}

@@ -1,0 +1,66 @@
+//! High-rank coverage: the paper's implementation handles tensors up to
+//! rank 15 (via macro-generated constant indexing); the Rust planner is
+//! rank-agnostic and must stay correct and sane well beyond rank 6.
+
+use ttlg::{Transposer, TransposeOptions};
+use ttlg_tensor::{reference, DenseTensor, Permutation, Shape};
+
+fn roundtrip(extents: &[usize], perm: &[usize]) {
+    let shape = Shape::new(extents).unwrap();
+    let perm = Permutation::new(perm).unwrap();
+    let t = Transposer::new_k40c();
+    let opts = TransposeOptions { check_disjoint_writes: true, ..Default::default() };
+    let plan = t.plan::<u32>(&shape, &perm, &opts).unwrap();
+    let input: DenseTensor<u32> = DenseTensor::iota(shape);
+    let (out, _) = t.execute(&plan, &input).unwrap();
+    let expect = reference::transpose_reference(&input, &perm).unwrap();
+    assert_eq!(out.data(), expect.data(), "rank {} perm {perm}", extents.len());
+}
+
+#[test]
+fn rank7_reversal() {
+    roundtrip(&[3, 4, 2, 5, 2, 3, 4], &[6, 5, 4, 3, 2, 1, 0]);
+}
+
+#[test]
+fn rank8_mixed() {
+    roundtrip(&[2, 3, 2, 4, 2, 3, 2, 5], &[5, 0, 7, 2, 4, 1, 3, 6]);
+}
+
+#[test]
+fn rank10_small_extents() {
+    roundtrip(&[2, 2, 2, 2, 2, 2, 2, 2, 2, 2], &[9, 1, 3, 5, 7, 0, 2, 4, 6, 8]);
+}
+
+#[test]
+fn rank12_with_fusable_runs() {
+    // Several adjacent runs fuse, so the planner sees a lower scaled rank.
+    roundtrip(
+        &[2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2],
+        &[6, 7, 8, 0, 1, 2, 9, 10, 11, 3, 4, 5],
+    );
+}
+
+#[test]
+fn rank15_paper_limit() {
+    // The paper's macro table stops at rank 15; we go there too.
+    let extents = [2usize; 15];
+    let perm: Vec<usize> = (0..15).rev().collect();
+    roundtrip(&extents, &perm);
+}
+
+#[test]
+fn rank9_matching_fvi_small() {
+    roundtrip(&[4, 3, 2, 2, 3, 2, 2, 2, 3], &[0, 4, 2, 3, 1, 8, 6, 7, 5]);
+}
+
+#[test]
+fn high_rank_prediction_api_works() {
+    let t = Transposer::new_k40c();
+    let extents = [2usize; 12];
+    let shape = Shape::new(&extents).unwrap();
+    let perm: Vec<usize> = (0..12).rev().collect();
+    let perm = Permutation::new(&perm).unwrap();
+    let ns = t.predict_transpose_ns::<f64>(&shape, &perm).unwrap();
+    assert!(ns.is_finite() && ns > 0.0);
+}

@@ -1,0 +1,115 @@
+//! End-to-end quality checks on the performance-modeling pipeline: the
+//! trained regressions must hit paper-like precision on held-out data,
+//! their slice choices must be near-optimal, and plugging them into the
+//! planner must keep everything correct.
+
+use std::sync::Arc;
+use ttlg::{TimePredictor, Transposer, TransposeOptions};
+use ttlg_bench::figures::fig5;
+use ttlg_gpu_sim::DeviceConfig;
+use ttlg_perfmodel::persist;
+use ttlg_perfmodel::predictor::TrainedPredictor;
+use ttlg_perfmodel::train::{train_models, TrainConfig};
+use ttlg_tensor::generator::DatasetConfig;
+use ttlg_tensor::{reference, DenseTensor, Permutation, Shape};
+
+fn medium_cfg() -> TrainConfig {
+    TrainConfig {
+        dataset: DatasetConfig {
+            ranks: vec![3, 4, 5],
+            volumes: vec![1 << 16, 1 << 18, 1 << 20],
+            max_perms_per_config: 5,
+            seed: 1234,
+        },
+        max_configs_per_case: 8,
+        split_seed: 77,
+    }
+}
+
+#[test]
+fn trained_models_reach_paper_like_precision() {
+    let device = DeviceConfig::k40c();
+    let models = train_models::<f64>(&device, &medium_cfg()).unwrap();
+    // Paper: ~4.2% (OD) and ~11% (OA). The simulator is less noisy than
+    // hardware, so we accept anything comfortably under 25%.
+    assert!(
+        models.od.test_precision < 25.0,
+        "OD test precision {:.2}%",
+        models.od.test_precision
+    );
+    assert!(
+        models.oa.test_precision < 25.0,
+        "OA test precision {:.2}%",
+        models.oa.test_precision
+    );
+    // Train/test gap small: no overfitting with 5-7 features.
+    assert!((models.od.train_precision - models.od.test_precision).abs() < 15.0);
+    // All the paper's features stay in the model.
+    assert_eq!(models.od.fit.model.feature_names.len(), 5);
+    assert_eq!(models.oa.fit.model.feature_names.len(), 7);
+}
+
+#[test]
+fn trained_predictor_roundtrips_through_persistence() {
+    let device = DeviceConfig::k40c();
+    let models = train_models::<f64>(&device, &TrainConfig::quick()).unwrap();
+    let pair = persist::ModelPair {
+        od: models.od.fit.model.clone(),
+        oa: models.oa.fit.model.clone(),
+    };
+    let dir = std::env::temp_dir().join("ttlg-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("models.txt");
+    persist::save(&pair, &path).unwrap();
+    let loaded = persist::load(&path).unwrap().unwrap();
+    assert_eq!(loaded, pair);
+
+    // The reloaded models drive a correct planner.
+    let pred = Arc::new(TrainedPredictor::from_models(loaded.od, loaded.oa, device.clone()));
+    let t = Transposer::with_predictor(device, pred);
+    let shape = Shape::new(&[12, 10, 14, 6]).unwrap();
+    let perm = Permutation::new(&[2, 0, 3, 1]).unwrap();
+    let input: DenseTensor<u64> = DenseTensor::iota(shape.clone());
+    let plan = t
+        .plan::<u64>(
+            &shape,
+            &perm,
+            &TransposeOptions { check_disjoint_writes: true, ..Default::default() },
+        )
+        .unwrap();
+    let (out, _) = t.execute(&plan, &input).unwrap();
+    let expect = reference::transpose_reference(&input, &perm).unwrap();
+    assert_eq!(out.data(), expect.data());
+}
+
+#[test]
+fn fig5_choice_quality_with_trained_model() {
+    let device = DeviceConfig::k40c();
+    let models = train_models::<f64>(&device, &medium_cfg()).unwrap();
+    let pred: Arc<dyn TimePredictor> =
+        Arc::new(TrainedPredictor::new(&models, device.clone()));
+    // A mid-size sibling of the paper's Fig. 5 case (27^5 is slow in CI).
+    let shape = Shape::new(&[17, 17, 17, 17, 17]).unwrap();
+    let perm = Permutation::new(&[4, 1, 2, 0, 3]).unwrap();
+    let q = fig5::choice_quality(&device, &pred, &shape, &perm);
+    // "Using this model, we can choose the potential best slice variant":
+    // the pick must land within 25% of the true optimum.
+    assert!(q > 0.75, "trained model picked a slice at {:.2} of optimal", q);
+}
+
+#[test]
+fn queryable_api_ranks_programs_sensibly() {
+    let t = Transposer::new_k40c();
+    // Same volume, increasingly hostile permutations.
+    let easy = Shape::new(&[4096, 64]).unwrap(); // large matching FVI
+    let easy_ns =
+        t.predict_transpose_ns::<f64>(&easy, &Permutation::new(&[0, 1]).unwrap()).unwrap();
+    let hard = Shape::new(&[2, 2, 65536, 2, 2, 2, 2]).unwrap(); // tiny FVI both sides
+    let hard_ns = t
+        .predict_transpose_ns::<f64>(&hard, &Permutation::new(&[3, 1, 0, 4, 2, 6, 5]).unwrap())
+        .unwrap();
+    assert!(
+        hard_ns > easy_ns,
+        "awkward permutation must predict slower: {hard_ns} vs {easy_ns}"
+    );
+}

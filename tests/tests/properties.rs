@@ -1,0 +1,101 @@
+//! Property-based tests (proptest) over the whole stack: random shapes
+//! and permutations through the planner must always match the reference,
+//! satisfy conservation invariants, and round-trip under inversion.
+
+use proptest::prelude::*;
+use ttlg::{Transposer, TransposeOptions};
+use ttlg_tensor::{fuse, reference, DenseTensor, Permutation, Shape};
+
+/// Strategy: a shape of rank 2..=6 with extents 1..=12 and volume capped,
+/// plus a random permutation of that rank.
+fn shape_and_perm() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (2usize..=6)
+        .prop_flat_map(|rank| {
+            (
+                proptest::collection::vec(1usize..=12, rank),
+                Just(rank).prop_perturb(|rank, mut rng| {
+                    let mut p: Vec<usize> = (0..rank).collect();
+                    // Fisher-Yates with the proptest RNG.
+                    for i in (1..rank).rev() {
+                        let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+                        p.swap(i, j);
+                    }
+                    p
+                }),
+            )
+        })
+        .prop_filter("volume cap", |(extents, _)| {
+            extents.iter().product::<usize>() <= 40_000
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn planner_matches_reference((extents, perm) in shape_and_perm()) {
+        let shape = Shape::new(&extents).unwrap();
+        let perm = Permutation::new(&perm).unwrap();
+        let input: DenseTensor<u64> = DenseTensor::iota(shape.clone());
+        let t = Transposer::new_k40c();
+        let opts = TransposeOptions { check_disjoint_writes: true, ..Default::default() };
+        let plan = t.plan::<u64>(&shape, &perm, &opts).unwrap();
+        let (out, report) = t.execute(&plan, &input).unwrap();
+        let expect = reference::transpose_reference(&input, &perm).unwrap();
+        prop_assert_eq!(out.data(), expect.data());
+        // Conservation: every element moved exactly once.
+        prop_assert_eq!(report.stats.elements_moved as usize, shape.volume());
+        prop_assert!(report.kernel_time_ns > 0.0);
+    }
+
+    #[test]
+    fn transpose_then_inverse_is_identity((extents, perm) in shape_and_perm()) {
+        let shape = Shape::new(&extents).unwrap();
+        let perm = Permutation::new(&perm).unwrap();
+        let input: DenseTensor<u32> = DenseTensor::iota(shape.clone());
+        let t = Transposer::new_k40c();
+        let (mid, _) = t.transpose(&input, &perm).unwrap();
+        let (back, _) = t.transpose(&mid, &perm.inverse()).unwrap();
+        prop_assert_eq!(back.data(), input.data());
+    }
+
+    #[test]
+    fn fusion_preserves_linear_placement((extents, perm) in shape_and_perm()) {
+        // Transposing the fused problem must place elements identically to
+        // transposing the original problem.
+        let shape = Shape::new(&extents).unwrap();
+        let perm = Permutation::new(&perm).unwrap();
+        let fused = fuse(&shape, &perm).unwrap();
+        let input: DenseTensor<u32> = DenseTensor::iota(shape.clone());
+        let fused_input: DenseTensor<u32> =
+            DenseTensor::from_data(fused.shape.clone(), input.data().to_vec()).unwrap();
+        let a = reference::transpose_reference(&input, &perm).unwrap();
+        let b = reference::transpose_reference(&fused_input, &fused.perm).unwrap();
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn dram_traffic_bounded_below((extents, perm) in shape_and_perm()) {
+        // No kernel can move fewer bytes than the tensor in + out.
+        let shape = Shape::new(&extents).unwrap();
+        let perm = Permutation::new(&perm).unwrap();
+        let t = Transposer::new_k40c();
+        let plan = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+        let r = t.time_plan(&plan).unwrap();
+        let min_tx = (shape.volume() * 8).div_ceil(128) as u64;
+        prop_assert!(r.stats.dram_load_tx >= min_tx,
+            "loads {} below lower bound {}", r.stats.dram_load_tx, min_tx);
+        prop_assert!(r.stats.dram_store_tx >= min_tx);
+        // ... and a sane kernel stays within 64x of it.
+        prop_assert!(r.stats.dram_total_tx() <= 64 * 2 * min_tx);
+    }
+
+    #[test]
+    fn prediction_is_finite_and_positive((extents, perm) in shape_and_perm()) {
+        let shape = Shape::new(&extents).unwrap();
+        let perm = Permutation::new(&perm).unwrap();
+        let t = Transposer::new_k40c();
+        let ns = t.predict_transpose_ns::<f64>(&shape, &perm).unwrap();
+        prop_assert!(ns.is_finite() && ns > 0.0);
+    }
+}
