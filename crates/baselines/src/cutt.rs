@@ -155,7 +155,10 @@ pub struct CuttLibrary {
 impl CuttLibrary {
     /// Build for a device.
     pub fn new(device: DeviceConfig) -> Self {
-        CuttLibrary { executor: Executor::new(device.clone()), timing: TimingModel::new(device) }
+        CuttLibrary {
+            executor: Executor::new(device.clone()),
+            timing: TimingModel::new(device),
+        }
     }
 
     /// Build a plan.
@@ -199,13 +202,19 @@ impl CuttLibrary {
             // tile axes are at least half a tile wide.
             let tiled_first = n0 >= WARP_SIZE / 2 && p.extent(j0) >= WARP_SIZE / 2;
             if tiled_first && tiled_choice.is_valid(&p) {
-                cands.push(CuttKernel::Tiled(OrthogonalDistinctKernel::new(&p, tiled_choice)));
+                cands.push(CuttKernel::Tiled(OrthogonalDistinctKernel::new(
+                    &p,
+                    tiled_choice,
+                )));
             }
             for c in packed_choices::<E>(&p, smem) {
                 cands.push(mk_packed(c));
             }
             if !tiled_first && tiled_choice.is_valid(&p) {
-                cands.push(CuttKernel::Tiled(OrthogonalDistinctKernel::new(&p, tiled_choice)));
+                cands.push(CuttKernel::Tiled(OrthogonalDistinctKernel::new(
+                    &p,
+                    tiled_choice,
+                )));
             }
         }
         assert!(!cands.is_empty(), "cuTT always has a Packed fallback");
@@ -247,7 +256,10 @@ impl CuttLibrary {
 
     /// Time a plan without moving data.
     pub fn time_plan<E: Element>(&self, plan: &CuttPlan<E>) -> BaselineReport {
-        let outcome = self.executor.analyze(&plan.kernel).expect("kernel launches");
+        let outcome = self
+            .executor
+            .analyze(&plan.kernel)
+            .expect("kernel launches");
         self.report(plan, outcome.stats)
     }
 
@@ -257,14 +269,22 @@ impl CuttLibrary {
         plan: &CuttPlan<E>,
         input: &DenseTensor<E>,
     ) -> (DenseTensor<E>, BaselineReport) {
-        let out_shape =
-            plan.problem.orig_perm.apply_to_shape(&plan.problem.orig_shape).expect("valid");
+        let out_shape = plan
+            .problem
+            .orig_perm
+            .apply_to_shape(&plan.problem.orig_shape)
+            .expect("valid");
         let mut out = DenseTensor::zeros(out_shape);
         let outcome = self
             .executor
-            .run(&plan.kernel, input.data(), out.data_mut(), ExecMode::Execute {
-                check_disjoint_writes: false,
-            })
+            .run(
+                &plan.kernel,
+                input.data(),
+                out.data_mut(),
+                ExecMode::Execute {
+                    check_disjoint_writes: false,
+                },
+            )
             .expect("kernel launches");
         let report = self.report(plan, outcome.stats);
         (out, report)
@@ -306,7 +326,10 @@ fn packed_choices<E: Element>(p: &Problem, smem_limit: usize) -> Vec<OaChoice> {
     if let Some(mut c) = base {
         // cuTT packs whole ranks: prefer the unblocked-input variant when
         // it fits.
-        let full_a = OaChoice { block_a: p.extent(c.in_dims - 1), ..c };
+        let full_a = OaChoice {
+            block_a: p.extent(c.in_dims - 1),
+            ..c
+        };
         if full_a.is_valid(p) && full_a.fits_smem(p, E::BYTES, smem_limit) {
             c = full_a;
         }
@@ -372,7 +395,10 @@ mod tests {
                 m.kernel_time_ns,
                 h.kernel_time_ns
             );
-            assert!(m.plan_time_ns > h.plan_time_ns, "measure planning is expensive");
+            assert!(
+                m.plan_time_ns > h.plan_time_ns,
+                "measure planning is expensive"
+            );
         }
     }
 
@@ -388,11 +414,7 @@ mod tests {
         let input: DenseTensor<u64> = DenseTensor::iota(shape.clone());
         let plan_u: CuttPlan<u64> = lib.plan::<u64>(&shape, &perm, CuttMode::Measure);
         let (out, _) = lib.execute(&plan_u, &input);
-        let expect = ttlg_tensor::reference::transpose_reference(
-            &input,
-            &perm,
-        )
-        .unwrap();
+        let expect = ttlg_tensor::reference::transpose_reference(&input, &perm).unwrap();
         assert_eq!(out.data(), expect.data());
         assert!(!plan.label().is_empty());
     }

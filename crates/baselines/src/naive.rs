@@ -16,7 +16,10 @@ pub struct NaiveTranspose {
 impl NaiveTranspose {
     /// Build for a device.
     pub fn new(device: DeviceConfig) -> Self {
-        NaiveTranspose { executor: Executor::new(device.clone()), timing: TimingModel::new(device) }
+        NaiveTranspose {
+            executor: Executor::new(device.clone()),
+            timing: TimingModel::new(device),
+        }
     }
 
     /// Time a transposition without moving data.
@@ -47,9 +50,14 @@ impl NaiveTranspose {
         let mut out = DenseTensor::zeros(out_shape);
         let outcome = self
             .executor
-            .run(&k, input.data(), out.data_mut(), ExecMode::Execute {
-                check_disjoint_writes: false,
-            })
+            .run(
+                &k,
+                input.data(),
+                out.data_mut(),
+                ExecMode::Execute {
+                    check_disjoint_writes: false,
+                },
+            )
             .expect("naive kernel launches");
         let t = self.timing.time(&outcome.stats, &outcome.launch);
         let report = BaselineReport {

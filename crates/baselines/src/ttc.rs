@@ -16,7 +16,9 @@
 //!   element than cuTT's dynamic arithmetic).
 
 use crate::BaselineReport;
-use ttlg::kernels::{CopyKernel, FviMatchLargeKernel, NaiveKernel, OdChoice, OrthogonalDistinctKernel};
+use ttlg::kernels::{
+    CopyKernel, FviMatchLargeKernel, NaiveKernel, OdChoice, OrthogonalDistinctKernel,
+};
 use ttlg::Problem;
 use ttlg_gpu_sim::{
     timing, Accounting, BlockIo, BlockKernel, DeviceConfig, ExecMode, Executor, Launch,
@@ -107,7 +109,10 @@ pub struct TtcGenerator {
 impl TtcGenerator {
     /// Build for a device.
     pub fn new(device: DeviceConfig) -> Self {
-        TtcGenerator { executor: Executor::new(device.clone()), timing: TimingModel::new(device) }
+        TtcGenerator {
+            executor: Executor::new(device.clone()),
+            timing: TimingModel::new(device),
+        }
     }
 
     /// Offline code generation: enumerate candidates, measure all, keep
@@ -139,9 +144,9 @@ impl TtcGenerator {
                 };
                 if c.is_valid(&p) {
                     // unpadded tile: the generated code skips the +1 column
-                    cands.push(TtcKernel::Tiled(OrthogonalDistinctKernel::new_with_padding(
-                        &p, c, false,
-                    )));
+                    cands.push(TtcKernel::Tiled(
+                        OrthogonalDistinctKernel::new_with_padding(&p, c, false),
+                    ));
                 }
             }
             cands.push(TtcKernel::Loop(NaiveKernel::new(&p)));
@@ -179,20 +184,32 @@ impl TtcGenerator {
         exe: &TtcExecutable<E>,
         input: &DenseTensor<E>,
     ) -> (DenseTensor<E>, BaselineReport) {
-        let out_shape =
-            exe.problem.orig_perm.apply_to_shape(&exe.problem.orig_shape).expect("valid");
+        let out_shape = exe
+            .problem
+            .orig_perm
+            .apply_to_shape(&exe.problem.orig_shape)
+            .expect("valid");
         let mut out = DenseTensor::zeros(out_shape);
         let outcome = self
             .executor
-            .run(&exe.kernel, input.data(), out.data_mut(), ExecMode::Execute {
-                check_disjoint_writes: false,
-            })
+            .run(
+                &exe.kernel,
+                input.data(),
+                out.data_mut(),
+                ExecMode::Execute {
+                    check_disjoint_writes: false,
+                },
+            )
             .expect("kernel launches");
         let report = self.report(exe, outcome.stats);
         (out, report)
     }
 
-    fn report<E: Element>(&self, exe: &TtcExecutable<E>, stats: TransactionStats) -> BaselineReport {
+    fn report<E: Element>(
+        &self,
+        exe: &TtcExecutable<E>,
+        stats: TransactionStats,
+    ) -> BaselineReport {
         let stats = de_texture(stats, exe.problem.rank());
         let t = self.timing.time(&stats, &exe.kernel.launch());
         BaselineReport {

@@ -1,32 +1,25 @@
-//! Criterion: the ablation harnesses (padding, fusion, slice choice,
-//! taxonomy). The scientific outputs (simulated-time deltas) come from
+//! The ablation harnesses (padding, fusion, slice choice, taxonomy).
+//! The scientific outputs (simulated-time deltas) come from
 //! `reproduce -- ablations`; these benches keep the harness code hot and
 //! track its host cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::time::Duration;
 use ttlg_bench::figures::ablations;
+use ttlg_bench::microbench::{bench, black_box, group};
 use ttlg_gpu_sim::DeviceConfig;
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     let device = DeviceConfig::k40c();
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(300));
-    g.bench_function("padding", |b| {
-        b.iter(|| black_box(ablations::padding(&device).rows.len()))
+    group("ablations");
+    bench("padding", || {
+        black_box(ablations::padding(&device).rows.len())
     });
-    g.bench_function("fusion", |b| b.iter(|| black_box(ablations::fusion(&device).rows.len())));
-    g.bench_function("slice_choice", |b| {
-        b.iter(|| black_box(ablations::slice_choice(&device).rows.len()))
+    bench("fusion", || {
+        black_box(ablations::fusion(&device).rows.len())
     });
-    g.bench_function("taxonomy", |b| {
-        b.iter(|| black_box(ablations::taxonomy(&device).rows.len()))
+    bench("slice_choice", || {
+        black_box(ablations::slice_choice(&device).rows.len())
     });
-    g.finish();
+    bench("taxonomy", || {
+        black_box(ablations::taxonomy(&device).rows.len())
+    });
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

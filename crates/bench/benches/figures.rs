@@ -1,53 +1,48 @@
-//! Criterion: one benchmark per paper table/figure, timing the harness
-//! that regenerates it (at reduced fidelity — the full-fidelity runs are
-//! the `reproduce` binary's job; see EXPERIMENTS.md for the scientific
+//! One benchmark per paper table/figure, timing the harness that
+//! regenerates it (at reduced fidelity — the full-fidelity runs are the
+//! `reproduce` binary's job; see EXPERIMENTS.md for the scientific
 //! outputs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use std::sync::Arc;
-use std::time::Duration;
 use ttlg_bench::figures::{fig12, fig13, fig14, fig5, fig_perms, table1, table3};
+use ttlg_bench::microbench::{bench, black_box, group};
 use ttlg_bench::runner::Harness;
 use ttlg_gpu_sim::DeviceConfig;
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
     let device = DeviceConfig::k40c();
     let harness = Harness::k40c();
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(300));
 
-    g.bench_function("table1", |b| b.iter(|| black_box(table1::run(&device).rows.len())));
-    g.bench_function("table3", |b| b.iter(|| black_box(table3::run(&device).rows.len())));
+    group("figures");
+    bench("table1", || black_box(table1::run(&device).rows.len()));
+    bench("table3", || black_box(table3::run(&device).rows.len()));
 
-    g.bench_function("fig5_sweep_9e5", |b| {
+    {
         let pred: Arc<dyn ttlg::TimePredictor> =
             Arc::new(ttlg::AnalyticPredictor::new(device.clone()));
         let shape = ttlg_tensor::Shape::new(&[9, 9, 9, 9, 9]).unwrap();
         let perm = ttlg_tensor::Permutation::new(&[4, 1, 2, 0, 3]).unwrap();
-        b.iter(|| black_box(fig5::run(&device, &pred, &shape, &perm).rows.len()))
-    });
+        bench("fig5_sweep_9e5", || {
+            black_box(fig5::run(&device, &pred, &shape, &perm).rows.len())
+        });
+    }
 
-    g.bench_function("fig6_7_stride120", |b| {
-        b.iter(|| black_box(fig_perms::run(&harness, 16, 120).0.rows.len()))
+    bench("fig6_7_stride120", || {
+        black_box(fig_perms::run(&harness, 16, 120).0.rows.len())
     });
-    g.bench_function("fig8_9_stride120", |b| {
-        b.iter(|| black_box(fig_perms::run(&harness, 15, 120).0.rows.len()))
+    bench("fig8_9_stride120", || {
+        black_box(fig_perms::run(&harness, 15, 120).0.rows.len())
     });
-    g.bench_function("fig10_11_stride120", |b| {
-        b.iter(|| black_box(fig_perms::run(&harness, 17, 120).0.rows.len()))
+    bench("fig10_11_stride120", || {
+        black_box(fig_perms::run(&harness, 17, 120).0.rows.len())
     });
-    g.bench_function("fig12_8e6", |b| b.iter(|| black_box(fig12::run(&harness, 8).0.rows.len())));
-    g.bench_function("fig13_small", |b| {
-        b.iter(|| black_box(fig13::run(&harness, &[15, 16, 32]).rows.len()))
+    bench("fig12_8e6", || {
+        black_box(fig12::run(&harness, 8).0.rows.len())
     });
-    g.bench_function("fig14_10cases_1M", |b| {
-        b.iter(|| black_box(fig14::run(&harness, 10, 1 << 20).rows.len()))
+    bench("fig13_small", || {
+        black_box(fig13::run(&harness, &[15, 16, 32]).rows.len())
     });
-    g.finish();
+    bench("fig14_10cases_1M", || {
+        black_box(fig14::run(&harness, 10, 1 << 20).rows.len())
+    });
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -1,16 +1,21 @@
-//! Criterion: Execute-mode throughput of each kernel schema (host
-//! wall-clock for moving real elements through the simulated device), and
-//! the sampled-analysis fast path the figure sweeps rely on.
+//! Execute-mode throughput of each kernel schema (host wall-clock for
+//! moving real elements through the simulated device), and the sampled
+//! analysis fast path the figure sweeps rely on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-use std::time::Duration;
-use ttlg::{Schema, Transposer, TransposeOptions};
+use ttlg::{Schema, TransposeOptions, Transposer};
+use ttlg_bench::microbench::{bench, black_box, group};
 use ttlg_tensor::{DenseTensor, Permutation, Shape};
 
-fn bench_kernels(c: &mut Criterion) {
+type Case = (
+    &'static str,
+    &'static [usize],
+    &'static [usize],
+    Option<Schema>,
+);
+
+fn main() {
     let t = Transposer::new_k40c();
-    let cases: &[(&str, &[usize], &[usize], Option<Schema>)] = &[
+    let cases: &[Case] = &[
         ("copy", &[32, 32, 32], &[0, 1, 2], None),
         ("fvi-large", &[64, 16, 16], &[0, 2, 1], None),
         ("fvi-small", &[8, 16, 16, 16], &[0, 3, 2, 1], None),
@@ -19,54 +24,44 @@ fn bench_kernels(c: &mut Criterion) {
         ("naive", &[32, 32, 32], &[2, 1, 0], Some(Schema::Naive)),
     ];
 
-    let mut g = c.benchmark_group("execute");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group("execute");
     for (name, extents, perm, forced) in cases {
         let shape = Shape::new(extents).unwrap();
         let perm = Permutation::new(perm).unwrap();
-        let opts = TransposeOptions { forced_schema: *forced, ..Default::default() };
+        let opts = TransposeOptions {
+            forced_schema: *forced,
+            ..Default::default()
+        };
         let plan = t.plan::<f64>(&shape, &perm, &opts).unwrap();
         let input: DenseTensor<f64> = DenseTensor::iota(shape.clone());
         let mut out = DenseTensor::zeros(plan.out_shape());
-        g.throughput(Throughput::Elements(shape.volume() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
-            b.iter(|| {
-                t.execute_into(black_box(&plan), black_box(&input), &mut out).unwrap();
-                black_box(out.data()[0])
-            })
+        bench(name, || {
+            t.execute_into(black_box(&plan), black_box(&input), &mut out)
+                .unwrap();
+            black_box(out.data()[0])
         });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("analyze");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group("analyze");
     for (name, extents, perm, forced) in cases {
         let shape = Shape::new(extents).unwrap();
         let perm = Permutation::new(perm).unwrap();
-        let opts = TransposeOptions { forced_schema: *forced, ..Default::default() };
+        let opts = TransposeOptions {
+            forced_schema: *forced,
+            ..Default::default()
+        };
         let plan = t.plan::<f64>(&shape, &perm, &opts).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
-            b.iter(|| black_box(t.time_plan(black_box(&plan)).unwrap().kernel_time_ns))
+        bench(name, || {
+            black_box(t.time_plan(black_box(&plan)).unwrap().kernel_time_ns)
         });
     }
-    g.finish();
 
     // The CPU reference transpose, for scale.
-    let mut g = c.benchmark_group("reference");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group("reference");
     let shape = Shape::new(&[32, 32, 32]).unwrap();
     let perm = Permutation::new(&[2, 1, 0]).unwrap();
     let input: DenseTensor<f64> = DenseTensor::iota(shape);
-    g.throughput(Throughput::Elements(input.volume() as u64));
-    g.bench_function("naive-cpu-32x32x32", |b| {
-        b.iter(|| {
-            black_box(
-                ttlg_tensor::reference::transpose_reference(black_box(&input), &perm).unwrap(),
-            )
-        })
+    bench("naive-cpu-32x32x32", || {
+        black_box(ttlg_tensor::reference::transpose_reference(black_box(&input), &perm).unwrap())
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

@@ -1,17 +1,13 @@
-//! Criterion: host-side planning cost — taxonomy dispatch, Alg. 3 slice
-//! sweeps, offset-array construction — the real-time analogue of the
-//! paper's plan-overhead discussion (Figs. 7/9/11).
+//! Host-side planning cost — taxonomy dispatch, Alg. 3 slice sweeps,
+//! offset-array construction — the real-time analogue of the paper's
+//! plan-overhead discussion (Figs. 7/9/11).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-use std::time::Duration;
-use ttlg::{Transposer, TransposeOptions};
+use ttlg::{TransposeOptions, Transposer};
+use ttlg_bench::microbench::{bench, black_box, group};
 use ttlg_tensor::{Permutation, Shape};
 
-fn bench_planning(c: &mut Criterion) {
+fn main() {
     let t = Transposer::new_k40c();
-    let mut g = c.benchmark_group("plan");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
     let cases: &[(&str, &[usize], &[usize])] = &[
         ("copy", &[16, 16, 16, 16], &[0, 1, 2, 3]),
         ("fvi-large", &[64, 16, 16], &[0, 2, 1]),
@@ -20,36 +16,44 @@ fn bench_planning(c: &mut Criterion) {
         ("orth-arbitrary", &[8, 2, 8, 8], &[2, 1, 3, 0]),
         ("rank6-16s", &[16, 16, 16, 16, 16, 16], &[4, 1, 2, 5, 3, 0]),
     ];
+
+    group("plan/sweep");
     for (name, extents, perm) in cases {
         let shape = Shape::new(extents).unwrap();
         let perm = Permutation::new(perm).unwrap();
-        g.bench_with_input(BenchmarkId::new("sweep", name), &(), |b, ()| {
-            b.iter(|| {
-                let plan = t
-                    .plan::<f64>(black_box(&shape), black_box(&perm), &TransposeOptions::default())
-                    .unwrap();
-                black_box(plan.predicted_ns())
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("default-choice", name), &(), |b, ()| {
-            let opts = TransposeOptions { model_sweep: false, ..Default::default() };
-            b.iter(|| {
-                let plan = t.plan::<f64>(black_box(&shape), black_box(&perm), &opts).unwrap();
-                black_box(plan.predicted_ns())
-            })
+        bench(name, || {
+            let plan = t
+                .plan::<f64>(
+                    black_box(&shape),
+                    black_box(&perm),
+                    &TransposeOptions::default(),
+                )
+                .unwrap();
+            black_box(plan.predicted_ns())
         });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("predict");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group("plan/default-choice");
+    for (name, extents, perm) in cases {
+        let shape = Shape::new(extents).unwrap();
+        let perm = Permutation::new(perm).unwrap();
+        let opts = TransposeOptions {
+            model_sweep: false,
+            ..Default::default()
+        };
+        bench(name, || {
+            let plan = t
+                .plan::<f64>(black_box(&shape), black_box(&perm), &opts)
+                .unwrap();
+            black_box(plan.predicted_ns())
+        });
+    }
+
+    group("predict");
     let shape = Shape::new(&[16; 6]).unwrap();
     let perm = Permutation::new(&[4, 1, 2, 5, 3, 0]).unwrap();
-    g.bench_function("queryable-api-rank6", |b| {
-        b.iter(|| t.predict_transpose_ns::<f64>(black_box(&shape), black_box(&perm)).unwrap())
+    bench("queryable-api-rank6", || {
+        t.predict_transpose_ns::<f64>(black_box(&shape), black_box(&perm))
+            .unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_planning);
-criterion_main!(benches);

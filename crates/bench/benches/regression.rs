@@ -1,40 +1,45 @@
-//! Criterion: the offline modeling pipeline (Table II) — dataset
-//! generation, OLS fitting, and prediction latency.
+//! The offline modeling pipeline (Table II) — dataset generation, OLS
+//! fitting, and prediction latency.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::time::Duration;
+use ttlg_bench::microbench::{bench, black_box, group};
 use ttlg_gpu_sim::DeviceConfig;
 use ttlg_perfmodel::dataset;
 use ttlg_perfmodel::linreg;
 use ttlg_perfmodel::train::{train_from_points, train_models, TrainConfig};
 use ttlg_tensor::generator::{model_dataset, DatasetConfig};
 
-fn bench_modeling(c: &mut Criterion) {
+fn main() {
     let device = DeviceConfig::k40c();
-    let mut g = c.benchmark_group("table2");
-    g.sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(300));
 
-    g.bench_function("dataset_generation_small", |b| {
+    group("table2");
+    {
         let cases = model_dataset(&DatasetConfig::small());
-        b.iter(|| black_box(dataset::generate::<f64>(&device, &cases[..20], 4).len()))
-    });
+        bench("dataset_generation_small", || {
+            black_box(dataset::generate::<f64>(&device, &cases[..20], 4).len())
+        });
+    }
 
     // Pre-generate once, then benchmark the pure fitting step.
     let points = {
         let cases = model_dataset(&DatasetConfig::small());
         dataset::generate::<f64>(&device, &cases, 6)
     };
-    g.bench_function("ols_fit_both_models", |b| {
-        b.iter(|| black_box(train_from_points(points.clone(), 7).unwrap().od.train_precision))
+    bench("ols_fit_both_models", || {
+        black_box(
+            train_from_points(points.clone(), 7)
+                .unwrap()
+                .od
+                .train_precision,
+        )
     });
 
-    g.bench_function("end_to_end_quick_training", |b| {
-        b.iter(|| {
-            black_box(train_models::<f64>(&device, &TrainConfig::quick()).unwrap().oa.n_train)
-        })
+    bench("end_to_end_quick_training", || {
+        black_box(
+            train_models::<f64>(&device, &TrainConfig::quick())
+                .unwrap()
+                .oa
+                .n_train,
+        )
     });
 
     // Raw OLS throughput on a synthetic 5-feature problem.
@@ -42,11 +47,11 @@ fn bench_modeling(c: &mut Criterion) {
         .map(|i| (0..5).map(|k| ((i * (k + 3)) % 101) as f64).collect())
         .collect();
     let y: Vec<f64> = x.iter().map(|r| 1.0 + r.iter().sum::<f64>()).collect();
-    g.bench_function("ols_4000x5", |b| {
-        b.iter(|| black_box(linreg::fit(&["a", "b", "c", "d", "e"], &x, &y).unwrap().r_squared))
+    bench("ols_4000x5", || {
+        black_box(
+            linreg::fit(&["a", "b", "c", "d", "e"], &x, &y)
+                .unwrap()
+                .r_squared,
+        )
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_modeling);
-criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Throughput study: the batched ttlg-runtime service vs a naive
+//! plan-per-call loop (see `ttlg_bench::serve_study`). Prints the
+//! comparison table and the runtime's metrics report.
+
+use ttlg_bench::serve_study;
+
+fn main() {
+    let study = serve_study::run(24, 8);
+    print!("{}", study.render());
+    println!();
+    print!("{}", study.metrics_report);
+}

@@ -10,10 +10,9 @@
 //! summary all`.
 //!
 //! Flags:
-//! * `--quick`   — subsample the 720-permutation suites and shrink the
-//!                 training set / TTC-suite volumes (minutes -> seconds).
-//! * `--full`    — full fidelity (all 720 permutations, paper-size
-//!                 volumes).
+//! * `--quick` — subsample the 720-permutation suites and shrink the
+//!   training set / TTC-suite volumes (minutes -> seconds).
+//! * `--full` — full fidelity (all 720 permutations, paper-size volumes).
 //! * `--csv DIR` — write CSVs under DIR (default `results/`).
 //!
 //! Default fidelity sits between the two (stride 4 on the permutation
@@ -22,7 +21,9 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 use ttlg::TimePredictor;
-use ttlg_bench::figures::{ablations, extensions, fig12, fig13, fig14, fig5, fig_perms, table1, table2, table3};
+use ttlg_bench::figures::{
+    ablations, extensions, fig12, fig13, fig14, fig5, fig_perms, table1, table2, table3,
+};
 use ttlg_bench::report::Table;
 use ttlg_bench::runner::Harness;
 use ttlg_gpu_sim::DeviceConfig;
@@ -78,14 +79,34 @@ fn parse_args() -> Options {
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = [
-            "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "fig11", "fig12", "fig13", "fig14", "ablations", "extensions",
+            "table1",
+            "table2",
+            "table3",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "ablations",
+            "extensions",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
-    Options { targets, stride, fig14_volume, fig12_extent, train_cfg, csv_dir }
+    Options {
+        targets,
+        stride,
+        fig14_volume,
+        fig12_extent,
+        train_cfg,
+        csv_dir,
+    }
 }
 
 fn emit(opts: &Options, file: &str, table: &Table) {
@@ -104,12 +125,11 @@ fn main() {
 
     // Train the Table II models once; TTLG's planner uses them (the
     // paper's configuration), and Fig. 5 plots their predictions.
-    let needs_model = opts.targets.iter().any(|t| {
-        matches!(t.as_str(), "table2" | "fig5")
-    }) || opts
+    let needs_model = opts
         .targets
         .iter()
-        .any(|t| t.starts_with("fig"));
+        .any(|t| matches!(t.as_str(), "table2" | "fig5"))
+        || opts.targets.iter().any(|t| t.starts_with("fig"));
     let (models, table2_render) = if needs_model {
         eprintln!("[training Table II models...]");
         let (models, t2) = table2::run(&device, &opts.train_cfg);
@@ -184,7 +204,14 @@ fn main() {
             "summary" => {
                 let mut t = Table::new(
                     "Summary: mean repeated-use bandwidth (GB/s) per suite",
-                    &["suite", "TTLG", "cuTT-heur", "cuTT-meas", "TTC", "TTLG>=cuTT-m"],
+                    &[
+                        "suite",
+                        "TTLG",
+                        "cuTT-heur",
+                        "cuTT-meas",
+                        "TTC",
+                        "TTLG>=cuTT-m",
+                    ],
                 );
                 for extent in [16usize, 15, 17] {
                     eprintln!("[summarizing all-{extent} suite...]");
@@ -208,9 +235,21 @@ fn main() {
             "ablations" => {
                 emit(&opts, "ablation_padding.csv", &ablations::padding(&device));
                 emit(&opts, "ablation_fusion.csv", &ablations::fusion(&device));
-                emit(&opts, "ablation_slice_choice.csv", &ablations::slice_choice(&device));
-                emit(&opts, "ablation_taxonomy.csv", &ablations::taxonomy(&device));
-                emit(&opts, "ablation_model_quality.csv", &ablations::model_vs_measured(&device));
+                emit(
+                    &opts,
+                    "ablation_slice_choice.csv",
+                    &ablations::slice_choice(&device),
+                );
+                emit(
+                    &opts,
+                    "ablation_taxonomy.csv",
+                    &ablations::taxonomy(&device),
+                );
+                emit(
+                    &opts,
+                    "ablation_model_quality.csv",
+                    &ablations::model_vs_measured(&device),
+                );
             }
             "fig14" => emit(
                 &opts,

@@ -5,7 +5,7 @@
 
 use crate::report::{bw, us, Table};
 use ttlg::kernels::{OdChoice, OrthogonalDistinctKernel};
-use ttlg::{Problem, Schema, Transposer, TransposeOptions};
+use ttlg::{Problem, Schema, TransposeOptions, Transposer};
 use ttlg_gpu_sim::{timing, DeviceConfig, Executor, TimingModel};
 use ttlg_tensor::{Permutation, Shape};
 
@@ -60,7 +60,12 @@ fn option_ablation(
     let t = Transposer::new(device.clone());
     let mut table = Table::new(
         title,
-        &["case", &format!("{on_label} GB/s"), &format!("{off_label} GB/s"), "gain"],
+        &[
+            "case",
+            &format!("{on_label} GB/s"),
+            &format!("{off_label} GB/s"),
+            "gain",
+        ],
     );
     for (extents, perm) in cases {
         let shape = Shape::new(extents).unwrap();
@@ -99,7 +104,10 @@ pub fn fusion(device: &DeviceConfig) -> Table {
         ],
         device,
         TransposeOptions::default(),
-        TransposeOptions { enable_fusion: false, ..Default::default() },
+        TransposeOptions {
+            enable_fusion: false,
+            ..Default::default()
+        },
         "fused",
         "unfused",
     )
@@ -116,7 +124,10 @@ pub fn slice_choice(device: &DeviceConfig) -> Table {
         ],
         device,
         TransposeOptions::default(),
-        TransposeOptions { model_sweep: false, ..Default::default() },
+        TransposeOptions {
+            model_sweep: false,
+            ..Default::default()
+        },
         "swept",
         "default",
     )
@@ -139,7 +150,10 @@ pub fn taxonomy(device: &DeviceConfig) -> Table {
         let perm = Permutation::new(&perm).unwrap();
         let vol = shape.volume();
         let run = |schema: Option<Schema>| {
-            let opts = TransposeOptions { forced_schema: schema, ..Default::default() };
+            let opts = TransposeOptions {
+                forced_schema: schema,
+                ..Default::default()
+            };
             t.plan::<f64>(&shape, &perm, &opts)
                 .ok()
                 .and_then(|p| t.time_plan(&p).ok())
@@ -168,7 +182,10 @@ pub fn model_vs_measured(device: &DeviceConfig) -> Table {
         &["case", "model GB/s", "measured-best GB/s", "model/best"],
     );
     for (extents, perm) in [
-        (vec![16usize, 16, 16, 16, 16, 16], vec![4usize, 1, 2, 5, 3, 0]),
+        (
+            vec![16usize, 16, 16, 16, 16, 16],
+            vec![4usize, 1, 2, 5, 3, 0],
+        ),
         (vec![27, 27, 27, 27, 27], vec![4, 1, 2, 0, 3]),
         (vec![15, 15, 15, 15, 15, 15], vec![3, 1, 4, 0, 2, 5]),
         (vec![64, 64, 64], vec![2, 1, 0]),
@@ -179,8 +196,13 @@ pub fn model_vs_measured(device: &DeviceConfig) -> Table {
         let opts = TransposeOptions::default();
         let model_plan = t.plan::<f64>(&shape, &perm, &opts).expect("plannable");
         let model_ns = t.time_plan(&model_plan).expect("timeable").kernel_time_ns;
-        let measured_plan = t.plan_measured::<f64>(&shape, &perm, &opts).expect("measurable");
-        let best_ns = t.time_plan(&measured_plan).expect("timeable").kernel_time_ns;
+        let measured_plan = t
+            .plan_measured::<f64>(&shape, &perm, &opts)
+            .expect("measurable");
+        let best_ns = t
+            .time_plan(&measured_plan)
+            .expect("timeable")
+            .kernel_time_ns;
         table.push_row(vec![
             format!("{extents:?} {perm}"),
             bw(timing::bandwidth_gbps(vol, 8, model_ns)),

@@ -8,7 +8,7 @@
 //!   sustain a higher element rate at the same byte bandwidth.
 
 use crate::report::{bw, Table};
-use ttlg::{Transposer, TransposeOptions};
+use ttlg::{TransposeOptions, Transposer};
 use ttlg_gpu_sim::{timing, DeviceConfig};
 use ttlg_tensor::{Permutation, Shape};
 
@@ -24,11 +24,19 @@ fn cases() -> Vec<(Vec<usize>, Vec<usize>)> {
 
 /// TTLG bandwidth across device generations.
 pub fn device_generations() -> Table {
-    let devices =
-        [DeviceConfig::k40c(), DeviceConfig::titan_x_maxwell(), DeviceConfig::p100_pascal()];
+    let devices = [
+        DeviceConfig::k40c(),
+        DeviceConfig::titan_x_maxwell(),
+        DeviceConfig::p100_pascal(),
+    ];
     let mut t = Table::new(
         "Extension: TTLG across device generations (repeated use, GB/s)",
-        &["case", "K40c (Kepler)", "Titan X (Maxwell)", "P100 (Pascal)"],
+        &[
+            "case",
+            "K40c (Kepler)",
+            "Titan X (Maxwell)",
+            "P100 (Pascal)",
+        ],
     );
     for (extents, perm) in cases() {
         let shape = Shape::new(&extents).unwrap();
@@ -96,7 +104,10 @@ pub fn sm_scaling() -> Table {
         let tr = Transposer::new(device);
         let mut row = vec![sms.to_string()];
         for (extents, perm) in [
-            (vec![16usize, 16, 16, 16, 16, 16], vec![4usize, 1, 2, 5, 3, 0]),
+            (
+                vec![16usize, 16, 16, 16, 16, 16],
+                vec![4usize, 1, 2, 5, 3, 0],
+            ),
             (vec![32, 32, 32], vec![2, 1, 0]),
         ] {
             let shape = Shape::new(&extents).unwrap();

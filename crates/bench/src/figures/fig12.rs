@@ -7,18 +7,26 @@ use crate::runner::{Harness, SystemSet};
 use ttlg_tensor::generator::repeated_use_cases;
 
 /// Call counts plotted by the paper.
-pub const CALL_COUNTS: [usize; 13] =
-    [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+pub const CALL_COUNTS: [usize; 13] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
 
 /// Run both sub-figures; returns `(fig12a, fig12b)`.
 pub fn run(harness: &Harness, extent: usize) -> (Table, Table) {
     let [a, b] = repeated_use_cases(extent);
     let mut out = Vec::new();
     for (sub, case) in [("a", &a), ("b", &b)] {
-        let r = harness.run_case(case, SystemSet { ttc: false, naive: false });
+        let r = harness.run_case(
+            case,
+            SystemSet {
+                ttc: false,
+                naive: false,
+            },
+        );
         let vol = r.volume;
         let mut t = Table::new(
-            format!("Fig. 12{sub}: {} ({}^6), bandwidth vs #calls (GB/s)", case.name, extent),
+            format!(
+                "Fig. 12{sub}: {} ({}^6), bandwidth vs #calls (GB/s)",
+                case.name, extent
+            ),
             &["calls", "TTLG", "cuTT-heur", "cuTT-meas"],
         );
         for &n in &CALL_COUNTS {

@@ -16,7 +16,13 @@ pub fn run(harness: &Harness, sizes: &[usize]) -> Table {
         &["dims", "volume", "TTLG", "cuTT-heur", "cuTT-meas"],
     );
     for case in volume_sweep(sizes) {
-        let r = harness.run_case(&case, SystemSet { ttc: false, naive: false });
+        let r = harness.run_case(
+            &case,
+            SystemSet {
+                ttc: false,
+                naive: false,
+            },
+        );
         let vol = r.volume;
         t.push_row(vec![
             case.name.clone(),

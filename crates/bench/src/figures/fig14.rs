@@ -22,10 +22,24 @@ pub const SUITE_SEED: u64 = 0x77C2016;
 pub fn run(harness: &Harness, count: usize, volume: usize) -> Table {
     let mut t = Table::new(
         "Fig. 14: TTC benchmark suite (repeated use, GB/s)",
-        &["case", "rank", "volume", "TTLG", "cuTT-heur", "cuTT-meas", "TTC"],
+        &[
+            "case",
+            "rank",
+            "volume",
+            "TTLG",
+            "cuTT-heur",
+            "cuTT-meas",
+            "TTC",
+        ],
     );
     for case in ttc_benchmark_suite(count, volume, SUITE_SEED) {
-        let r = harness.run_case(&case, SystemSet { ttc: true, naive: false });
+        let r = harness.run_case(
+            &case,
+            SystemSet {
+                ttc: true,
+                naive: false,
+            },
+        );
         let vol = r.volume;
         t.push_row(vec![
             case.name.clone(),

@@ -10,7 +10,10 @@ use ttlg_tensor::{Permutation, Shape};
 
 /// The paper's example problem.
 pub fn paper_case() -> (Shape, Permutation) {
-    (Shape::new(&[27, 27, 27, 27, 27]).unwrap(), Permutation::new(&[4, 1, 2, 0, 3]).unwrap())
+    (
+        Shape::new(&[27, 27, 27, 27, 27]).unwrap(),
+        Permutation::new(&[4, 1, 2, 0, 3]).unwrap(),
+    )
 }
 
 /// Run the slice sweep: for every candidate slice, the actual (simulated)
@@ -37,7 +40,9 @@ pub fn run(
     for c in choices {
         let cand = features::od_candidate::<f64>(&p, c);
         let predicted_ns = predictor.predict_ns(&cand);
-        let m = t.measure_candidate::<f64>(&p, &cand).expect("candidate measures");
+        let m = t
+            .measure_candidate::<f64>(&p, &cand)
+            .expect("candidate measures");
         rows.push(Row {
             slice_vol: cand.input_slice * cand.output_slice,
             a: cand.input_slice,
@@ -64,7 +69,11 @@ pub fn run(
             r.b.to_string(),
             us(r.actual_ns),
             us(r.predicted_ns),
-            if Some(i) == best_pred { "*".into() } else { "".into() },
+            if Some(i) == best_pred {
+                "*".into()
+            } else {
+                "".into()
+            },
         ]);
     }
     table
@@ -115,7 +124,11 @@ mod tests {
         let shape = Shape::new(&[9, 9, 9, 9, 9]).unwrap();
         let perm = Permutation::new(&[4, 1, 2, 0, 3]).unwrap();
         let t = run(&device, &pred, &shape, &perm);
-        assert!(t.rows.len() >= 4, "want several slice variants, got {}", t.rows.len());
+        assert!(
+            t.rows.len() >= 4,
+            "want several slice variants, got {}",
+            t.rows.len()
+        );
         assert_eq!(t.rows.iter().filter(|r| r[5] == "*").count(), 1);
         // slice volumes ascend
         let vols: Vec<usize> = t.rows.iter().map(|r| r[0].parse().unwrap()).collect();

@@ -26,14 +26,28 @@ pub fn run(harness: &Harness, extent: usize, stride: usize) -> (Table, Table) {
     };
     let mut rep = Table::new(
         format!("{fig_rep}: 6D all-{extent}, repeated use (GB/s)"),
-        &["case", "perm", "rank", "TTLG", "cuTT-heur", "cuTT-meas", "TTC"],
+        &[
+            "case",
+            "perm",
+            "rank",
+            "TTLG",
+            "cuTT-heur",
+            "cuTT-meas",
+            "TTC",
+        ],
     );
     let mut single = Table::new(
         format!("{fig_single}: 6D all-{extent}, single use (GB/s)"),
         &["case", "perm", "rank", "TTLG", "cuTT-heur", "cuTT-meas"],
     );
     for (i, case) in suite.iter().enumerate().step_by(stride.max(1)) {
-        let r = harness.run_case(case, SystemSet { ttc: true, naive: false });
+        let r = harness.run_case(
+            case,
+            SystemSet {
+                ttc: true,
+                naive: false,
+            },
+        );
         let vol = r.volume;
         rep.push_row(vec![
             i.to_string(),
@@ -87,7 +101,13 @@ pub fn summarize(harness: &Harness, extent: usize, stride: usize) -> SuiteSummar
         cases: 0,
     };
     for case in suite.iter().step_by(stride.max(1)) {
-        let r = harness.run_case(case, SystemSet { ttc: true, naive: false });
+        let r = harness.run_case(
+            case,
+            SystemSet {
+                ttc: true,
+                naive: false,
+            },
+        );
         let vol = r.volume;
         s.mean_ttlg += r.ttlg.repeated_bw(vol, 8);
         s.mean_cutt_h += r.cutt_heuristic.repeated_bw(vol, 8);
@@ -119,8 +139,7 @@ mod tests {
         assert_eq!(rep.rows.len(), 12);
         assert_eq!(single.rows.len(), 12);
         // staircase: rank column non-decreasing
-        let ranks: Vec<usize> =
-            rep.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        let ranks: Vec<usize> = rep.rows.iter().map(|r| r[2].parse().unwrap()).collect();
         assert!(ranks.windows(2).all(|w| w[0] <= w[1]));
         // single-use bandwidth never exceeds repeated-use for TTLG
         for (r, s) in rep.rows.iter().zip(single.rows.iter()) {
@@ -134,7 +153,7 @@ mod tests {
     fn summary_orders_systems_like_the_paper() {
         let h = Harness::k40c();
         let s = summarize(&h, 16, 48); // 15 cases
-        // Paper shape: TTLG >= cuTT-measure >= cuTT-heuristic > TTC.
+                                       // Paper shape: TTLG >= cuTT-measure >= cuTT-heuristic > TTC.
         assert!(s.mean_ttlg >= s.mean_cutt_m * 0.95, "{s:?}");
         assert!(s.mean_cutt_m >= s.mean_cutt_h * 0.999, "{s:?}");
         assert!(s.mean_cutt_h > s.mean_ttc * 0.9, "{s:?}");

@@ -37,8 +37,20 @@ pub fn run(device: &DeviceConfig) -> Table {
         let c1 = analysis::c1_fvi_match_small::<f64>(&p, 4);
         let k = FviMatchSmallKernel::<f64>::with_b(&p, 4);
         let got = ex.analyze(&k).expect("launches");
-        push("FVI-Match-Small", "8^4 adcb", "DRAM load (C1)", c1, got.stats.dram_load_tx);
-        push("FVI-Match-Small", "8^4 adcb", "DRAM store (C1)", c1, got.stats.dram_store_tx);
+        push(
+            "FVI-Match-Small",
+            "8^4 adcb",
+            "DRAM load (C1)",
+            c1,
+            got.stats.dram_load_tx,
+        );
+        push(
+            "FVI-Match-Small",
+            "8^4 adcb",
+            "DRAM store (C1)",
+            c1,
+            got.stats.dram_store_tx,
+        );
     }
 
     // FVI-Match-Large: [64,5,7] => [a,c,b].
@@ -51,9 +63,27 @@ pub fn run(device: &DeviceConfig) -> Table {
         let c2 = analysis::c2_fvi_match_large::<f64>(&p);
         let k = FviMatchLargeKernel::<f64>::new(&p);
         let got = ex.analyze(&k).expect("launches");
-        push("FVI-Match-Large", "64x5x7 acb", "DRAM load (C2)", c2, got.stats.dram_load_tx);
-        push("FVI-Match-Large", "64x5x7 acb", "DRAM store (C2)", c2, got.stats.dram_store_tx);
-        push("FVI-Match-Large", "64x5x7 acb", "smem accesses", 0.0, got.stats.smem_total_acc());
+        push(
+            "FVI-Match-Large",
+            "64x5x7 acb",
+            "DRAM load (C2)",
+            c2,
+            got.stats.dram_load_tx,
+        );
+        push(
+            "FVI-Match-Large",
+            "64x5x7 acb",
+            "DRAM store (C2)",
+            c2,
+            got.stats.dram_store_tx,
+        );
+        push(
+            "FVI-Match-Large",
+            "64x5x7 acb",
+            "smem accesses",
+            0.0,
+            got.stats.smem_total_acc(),
+        );
     }
 
     // Orthogonal-Distinct: [16,2,32,32] => reversal.
@@ -67,8 +97,20 @@ pub fn run(device: &DeviceConfig) -> Table {
         let a = analysis::analyze_orthogonal_distinct::<f64>(&p, &c);
         let k = OrthogonalDistinctKernel::<f64>::new(&p, c);
         let got = ex.analyze(&k).expect("launches");
-        push("Orth-Distinct", "16x2x32x32 rev", "DRAM load (C3)", a.input.dram, got.stats.dram_load_tx);
-        push("Orth-Distinct", "16x2x32x32 rev", "DRAM store (C3')", a.output.dram, got.stats.dram_store_tx);
+        push(
+            "Orth-Distinct",
+            "16x2x32x32 rev",
+            "DRAM load (C3)",
+            a.input.dram,
+            got.stats.dram_load_tx,
+        );
+        push(
+            "Orth-Distinct",
+            "16x2x32x32 rev",
+            "DRAM store (C3')",
+            a.output.dram,
+            got.stats.dram_store_tx,
+        );
     }
 
     // Orthogonal-Arbitrary: [8,2,8,8] => [c,b,d,a] with full combining.
@@ -78,12 +120,29 @@ pub fn run(device: &DeviceConfig) -> Table {
             &Permutation::new(&[2, 1, 3, 0]).unwrap(),
         )
         .unwrap();
-        let c = OaChoice { in_dims: 3, block_a: 8, out_dims: 3, block_b: 8 };
+        let c = OaChoice {
+            in_dims: 3,
+            block_a: 8,
+            out_dims: 3,
+            block_b: 8,
+        };
         let a = analysis::analyze_orthogonal_arbitrary::<f64>(&p, &c);
         let k = OrthogonalArbitraryKernel::<f64>::new(&p, c, device.smem_per_sm);
         let got = ex.analyze(&k).expect("launches");
-        push("Orth-Arbitrary", "8x2x8x8 cbda", "DRAM load (C3)", a.input.dram, got.stats.dram_load_tx);
-        push("Orth-Arbitrary", "8x2x8x8 cbda", "DRAM store (C3')", a.output.dram, got.stats.dram_store_tx);
+        push(
+            "Orth-Arbitrary",
+            "8x2x8x8 cbda",
+            "DRAM load (C3)",
+            a.input.dram,
+            got.stats.dram_load_tx,
+        );
+        push(
+            "Orth-Arbitrary",
+            "8x2x8x8 cbda",
+            "DRAM store (C3')",
+            a.output.dram,
+            got.stats.dram_store_tx,
+        );
         let _ = k.launch();
     }
 

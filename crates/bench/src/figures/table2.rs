@@ -22,7 +22,11 @@ pub fn run(device: &DeviceConfig, cfg: &TrainConfig) -> (TrainedModels, Table) {
                 format!("{:.4e}", c.estimate),
                 format!("{:.4e}", c.std_error),
                 format!("{:.2}", c.t_value),
-                if c.p_value < 2e-16 { "<2e-16".into() } else { format!("{:.2e}", c.p_value) },
+                if c.p_value < 2e-16 {
+                    "<2e-16".into()
+                } else {
+                    format!("{:.2e}", c.p_value)
+                },
             ]);
         }
         t.push_row(vec![

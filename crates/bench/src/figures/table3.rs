@@ -5,18 +5,39 @@ use ttlg_gpu_sim::DeviceConfig;
 
 /// Render the device configuration.
 pub fn run(device: &DeviceConfig) -> Table {
-    let mut t = Table::new("Table III: machine configuration (simulated)", &["key", "value"]);
+    let mut t = Table::new(
+        "Table III: machine configuration (simulated)",
+        &["key", "value"],
+    );
     let mut kv = |k: &str, v: String| t.push_row(vec![k.into(), v]);
     kv("device", device.name.to_string());
     kv("SMs", device.num_sms.to_string());
     kv("warp size", device.warp_size.to_string());
-    kv("shared memory / SM", format!("{} KiB", device.smem_per_sm / 1024));
+    kv(
+        "shared memory / SM",
+        format!("{} KiB", device.smem_per_sm / 1024),
+    );
     kv("max threads / SM", device.max_threads_per_sm.to_string());
-    kv("clock", format!("{} MHz", (device.clock_ghz * 1000.0).round()));
-    kv("peak DRAM bandwidth", format!("{} GB/s", device.dram_peak_gbps));
-    kv("sustained DRAM efficiency", format!("{:.2}", device.dram_efficiency));
-    kv("kernel launch overhead", format!("{:.1} us", device.launch_overhead_ns / 1e3));
-    kv("plan allocation overhead", format!("{:.1} us", device.plan_alloc_overhead_ns / 1e3));
+    kv(
+        "clock",
+        format!("{} MHz", (device.clock_ghz * 1000.0).round()),
+    );
+    kv(
+        "peak DRAM bandwidth",
+        format!("{} GB/s", device.dram_peak_gbps),
+    );
+    kv(
+        "sustained DRAM efficiency",
+        format!("{:.2}", device.dram_efficiency),
+    );
+    kv(
+        "kernel launch overhead",
+        format!("{:.1} us", device.launch_overhead_ns / 1e3),
+    );
+    kv(
+        "plan allocation overhead",
+        format!("{:.1} us", device.plan_alloc_overhead_ns / 1e3),
+    );
     kv("texture hit rate", format!("{:.3}", device.tex_hit_rate));
     t
 }

@@ -19,8 +19,10 @@
 //! * Fig. 14 — the TTC benchmark suite
 
 pub mod figures;
+pub mod microbench;
 pub mod report;
 pub mod runner;
+pub mod serve_study;
 
 pub use report::Table;
 pub use runner::{CaseResult, Harness, SystemTimes};

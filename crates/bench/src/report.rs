@@ -50,8 +50,11 @@ impl Table {
         s.push_str(&"-".repeat(header.join("  ").len()));
         s.push('\n');
         for row in &self.rows {
-            let line: Vec<String> =
-                row.iter().zip(widths.iter()).map(|(c, w)| format!("{c:>w$}")).collect();
+            let line: Vec<String> = row
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
             s.push_str(&line.join("  "));
             s.push('\n');
         }

@@ -4,7 +4,7 @@
 //! and single use (plan time included).
 
 use std::sync::Arc;
-use ttlg::{TimePredictor, Transposer, TransposeOptions};
+use ttlg::{TimePredictor, TransposeOptions, Transposer};
 use ttlg_baselines::cutt::{CuttLibrary, CuttMode};
 use ttlg_baselines::naive::NaiveTranspose;
 use ttlg_baselines::ttc::TtcGenerator;
@@ -73,7 +73,10 @@ pub struct SystemSet {
 
 impl Default for SystemSet {
     fn default() -> Self {
-        SystemSet { ttc: true, naive: false }
+        SystemSet {
+            ttc: true,
+            naive: false,
+        }
     }
 }
 
@@ -133,28 +136,47 @@ impl Harness {
                 .plan::<f64>(&case.shape, &case.perm, &TransposeOptions::default())
                 .expect("TTLG plans every case");
             let r = self.ttlg.time_plan(&plan).expect("TTLG times every case");
-            SystemTimes { kernel_ns: r.kernel_time_ns, plan_ns: r.plan_time_ns }
+            SystemTimes {
+                kernel_ns: r.kernel_time_ns,
+                plan_ns: r.plan_time_ns,
+            }
         };
         let cutt_heuristic = {
-            let plan = self.cutt.plan::<f64>(&case.shape, &case.perm, CuttMode::Heuristic);
+            let plan = self
+                .cutt
+                .plan::<f64>(&case.shape, &case.perm, CuttMode::Heuristic);
             let r = self.cutt.time_plan(&plan);
-            SystemTimes { kernel_ns: r.kernel_time_ns, plan_ns: r.plan_time_ns }
+            SystemTimes {
+                kernel_ns: r.kernel_time_ns,
+                plan_ns: r.plan_time_ns,
+            }
         };
         let cutt_measure = {
-            let plan = self.cutt.plan::<f64>(&case.shape, &case.perm, CuttMode::Measure);
+            let plan = self
+                .cutt
+                .plan::<f64>(&case.shape, &case.perm, CuttMode::Measure);
             let r = self.cutt.time_plan(&plan);
-            SystemTimes { kernel_ns: r.kernel_time_ns, plan_ns: r.plan_time_ns }
+            SystemTimes {
+                kernel_ns: r.kernel_time_ns,
+                plan_ns: r.plan_time_ns,
+            }
         };
         let ttc = if systems.ttc {
             let exe = self.ttc.generate::<f64>(&case.shape, &case.perm);
             let r = self.ttc.time(&exe);
-            SystemTimes { kernel_ns: r.kernel_time_ns, plan_ns: 0.0 }
+            SystemTimes {
+                kernel_ns: r.kernel_time_ns,
+                plan_ns: 0.0,
+            }
         } else {
             SystemTimes::default()
         };
         let naive = if systems.naive {
             let r = self.naive.time::<f64>(&case.shape, &case.perm);
-            SystemTimes { kernel_ns: r.kernel_time_ns, plan_ns: 0.0 }
+            SystemTimes {
+                kernel_ns: r.kernel_time_ns,
+                plan_ns: 0.0,
+            }
         } else {
             SystemTimes::default()
         };
@@ -180,7 +202,13 @@ mod tests {
     fn runs_all_systems_on_a_case() {
         let h = Harness::k40c();
         let case = Case::new("t", &[16, 16, 16, 16], &[3, 1, 2, 0]);
-        let r = h.run_case(&case, SystemSet { ttc: true, naive: true });
+        let r = h.run_case(
+            &case,
+            SystemSet {
+                ttc: true,
+                naive: true,
+            },
+        );
         assert!(r.ttlg.kernel_ns > 0.0);
         assert!(r.cutt_heuristic.kernel_ns > 0.0);
         assert!(r.cutt_measure.kernel_ns > 0.0);
@@ -192,7 +220,10 @@ mod tests {
 
     #[test]
     fn bandwidth_math() {
-        let s = SystemTimes { kernel_ns: 1000.0, plan_ns: 1000.0 };
+        let s = SystemTimes {
+            kernel_ns: 1000.0,
+            plan_ns: 1000.0,
+        };
         let vol = 1000;
         let rep = s.repeated_bw(vol, 8);
         let single = s.single_bw(vol, 8);

@@ -11,12 +11,15 @@
 //! ```
 
 use std::fmt::Write as _;
-use ttlg::{Transposer, TransposeOptions};
+use std::sync::Arc;
+use std::time::Instant;
+use ttlg::{TransposeOptions, Transposer};
 use ttlg_baselines::cutt::{CuttLibrary, CuttMode};
 use ttlg_baselines::naive::NaiveTranspose;
 use ttlg_baselines::ttc::TtcGenerator;
 use ttlg_contract::{ContractionEngine, ContractionSpec};
 use ttlg_gpu_sim::DeviceConfig;
+use ttlg_runtime::{TransposeRequest, TransposeService};
 use ttlg_tensor::{reference, DenseTensor, Permutation, Shape};
 
 /// CLI errors (also carry usage problems).
@@ -50,6 +53,9 @@ USAGE:
   ttlg compare  <extents> <perm>                TTLG vs cuTT vs TTC vs naive
   ttlg profile  <extents> <perm>                nvprof-style kernel counters
   ttlg contract <spec> <extentsA> <extentsB>    TTGT contraction (f64)
+  ttlg bench-serve [--perms=N] [--rounds=N] [--extents=E]
+                                                replay a mixed-permutation
+                                                workload through ttlg-runtime
   ttlg devices                                  list device presets
 
   <extents>  comma-separated, dim 0 fastest-varying (e.g. 16,16,16)
@@ -81,7 +87,9 @@ fn parse_problem(extents: &str, perm: &str) -> Result<(Shape, Permutation), CliE
 /// the text to print.
 pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     let mut it = args.iter();
-    let cmd = it.next().ok_or_else(|| CliError::Usage("missing command".into()))?;
+    let cmd = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing command".into()))?;
     let rest: Vec<&String> = it.collect();
     match cmd.as_str() {
         "plan" => cmd_plan(&rest),
@@ -90,6 +98,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "compare" => cmd_compare(&rest),
         "profile" => cmd_profile(&rest),
         "contract" => cmd_contract(&rest),
+        "bench-serve" => cmd_bench_serve(&rest),
         "devices" => Ok(cmd_devices()),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -109,8 +118,13 @@ fn cmd_plan(rest: &[&String]) -> Result<String, CliError> {
     let (shape, perm) = parse_problem(e, p)?;
     let sweep = !rest.iter().any(|a| a.as_str() == "--no-sweep");
     let t = Transposer::new_k40c();
-    let opts = TransposeOptions { model_sweep: sweep, ..Default::default() };
-    let plan = t.plan::<f64>(&shape, &perm, &opts).map_err(|e| CliError::Failed(e.to_string()))?;
+    let opts = TransposeOptions {
+        model_sweep: sweep,
+        ..Default::default()
+    };
+    let plan = t
+        .plan::<f64>(&shape, &perm, &opts)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
     let launch = plan.launch();
     let mut s = String::new();
     writeln!(s, "problem    : {shape} perm {perm}").unwrap();
@@ -123,8 +137,13 @@ fn cmd_plan(rest: &[&String]) -> Result<String, CliError> {
     )
     .unwrap();
     writeln!(s, "candidates : {}", plan.candidates_evaluated()).unwrap();
-    writeln!(s, "predicted  : {:.2} us kernel, {:.2} us plan", plan.predicted_ns() / 1e3, plan.plan_time_ns() / 1e3)
-        .unwrap();
+    writeln!(
+        s,
+        "predicted  : {:.2} us kernel, {:.2} us plan",
+        plan.predicted_ns() / 1e3,
+        plan.plan_time_ns() / 1e3
+    )
+    .unwrap();
     Ok(s)
 }
 
@@ -134,12 +153,18 @@ fn cmd_run(rest: &[&String]) -> Result<String, CliError> {
     let verify = rest.iter().any(|a| a.as_str() == "--verify");
     let t = Transposer::new_k40c();
     let input: DenseTensor<f64> = DenseTensor::iota(shape.clone());
-    let (out, report) =
-        t.transpose(&input, &perm).map_err(|e| CliError::Failed(e.to_string()))?;
+    let (out, report) = t
+        .transpose(&input, &perm)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
     let mut s = String::new();
     writeln!(s, "schema    : {}", report.schema).unwrap();
     writeln!(s, "kernel    : {:.2} us", report.kernel_time_ns / 1e3).unwrap();
-    writeln!(s, "bandwidth : {:.1} GB/s (paper metric 2*V*8/t)", report.bandwidth_gbps).unwrap();
+    writeln!(
+        s,
+        "bandwidth : {:.1} GB/s (paper metric 2*V*8/t)",
+        report.bandwidth_gbps
+    )
+    .unwrap();
     writeln!(
         s,
         "DRAM tx   : {} loads, {} stores ({} B)",
@@ -168,7 +193,11 @@ fn cmd_predict(rest: &[&String]) -> Result<String, CliError> {
         .predict_transpose_ns::<f64>(&shape, &perm)
         .map_err(|e| CliError::Failed(e.to_string()))?;
     let bw = 2.0 * shape.volume() as f64 * 8.0 / ns;
-    Ok(format!("predicted: {:.2} us (~{:.1} GB/s) for {shape} perm {perm}\n", ns / 1e3, bw))
+    Ok(format!(
+        "predicted: {:.2} us (~{:.1} GB/s) for {shape} perm {perm}\n",
+        ns / 1e3,
+        bw
+    ))
 }
 
 fn cmd_compare(rest: &[&String]) -> Result<String, CliError> {
@@ -178,13 +207,20 @@ fn cmd_compare(rest: &[&String]) -> Result<String, CliError> {
     let bw = |ns: f64| 2.0 * vol as f64 * 8.0 / ns;
     let device = DeviceConfig::k40c();
     let mut s = String::new();
-    writeln!(s, "{:<16} {:>12} {:>12} {:>14}", "system", "kernel us", "GB/s", "plan us").unwrap();
+    writeln!(
+        s,
+        "{:<16} {:>12} {:>12} {:>14}",
+        "system", "kernel us", "GB/s", "plan us"
+    )
+    .unwrap();
 
     let t = Transposer::new_k40c();
     let plan = t
         .plan::<f64>(&shape, &perm, &TransposeOptions::default())
         .map_err(|e| CliError::Failed(e.to_string()))?;
-    let r = t.time_plan(&plan).map_err(|e| CliError::Failed(e.to_string()))?;
+    let r = t
+        .time_plan(&plan)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
     writeln!(
         s,
         "{:<16} {:>12.2} {:>12.1} {:>14.2}",
@@ -196,7 +232,10 @@ fn cmd_compare(rest: &[&String]) -> Result<String, CliError> {
     .unwrap();
 
     let cutt = CuttLibrary::new(device.clone());
-    for (label, mode) in [("cuTT-heuristic", CuttMode::Heuristic), ("cuTT-measure", CuttMode::Measure)] {
+    for (label, mode) in [
+        ("cuTT-heuristic", CuttMode::Heuristic),
+        ("cuTT-measure", CuttMode::Measure),
+    ] {
         let plan = cutt.plan::<f64>(&shape, &perm, mode);
         let r = cutt.time_plan(&plan);
         writeln!(
@@ -223,8 +262,15 @@ fn cmd_compare(rest: &[&String]) -> Result<String, CliError> {
     .unwrap();
     let nv = NaiveTranspose::new(device);
     let r = nv.time::<f64>(&shape, &perm);
-    writeln!(s, "{:<16} {:>12.2} {:>12.1} {:>14.2}", "naive", r.kernel_time_ns / 1e3, bw(r.kernel_time_ns), 0.0)
-        .unwrap();
+    writeln!(
+        s,
+        "{:<16} {:>12.2} {:>12.1} {:>14.2}",
+        "naive",
+        r.kernel_time_ns / 1e3,
+        bw(r.kernel_time_ns),
+        0.0
+    )
+    .unwrap();
     Ok(s)
 }
 
@@ -235,14 +281,18 @@ fn cmd_profile(rest: &[&String]) -> Result<String, CliError> {
     let plan = t
         .plan::<f64>(&shape, &perm, &TransposeOptions::default())
         .map_err(|e| CliError::Failed(e.to_string()))?;
-    let prof = t.profile_plan(&plan).map_err(|e| CliError::Failed(e.to_string()))?;
+    let prof = t
+        .profile_plan(&plan)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
     Ok(prof.render())
 }
 
 fn cmd_contract(rest: &[&String]) -> Result<String, CliError> {
     let pos: Vec<&&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
     if pos.len() != 3 {
-        return Err(CliError::Usage("contract needs <spec> <extentsA> <extentsB>".into()));
+        return Err(CliError::Usage(
+            "contract needs <spec> <extentsA> <extentsB>".into(),
+        ));
     }
     let spec = ContractionSpec::parse(pos[0]).map_err(|e| CliError::Usage(e.to_string()))?;
     let sa = Shape::new(&parse_usize_list(pos[1], "extentsA")?)
@@ -250,25 +300,162 @@ fn cmd_contract(rest: &[&String]) -> Result<String, CliError> {
     let sb = Shape::new(&parse_usize_list(pos[2], "extentsB")?)
         .map_err(|e| CliError::Usage(e.to_string()))?;
     let engine = ContractionEngine::new_k40c();
-    let plan = engine.plan(&spec, &sa, &sb).map_err(|e| CliError::Failed(e.to_string()))?;
+    let plan = engine
+        .plan(&spec, &sa, &sb)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
     let a: DenseTensor<f64> = DenseTensor::iota(sa);
     let b: DenseTensor<f64> = DenseTensor::iota(sb);
-    let (c, report) = engine.execute(&plan, &a, &b).map_err(|e| CliError::Failed(e.to_string()))?;
+    let (c, report) = engine
+        .execute(&plan, &a, &b)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
     let mut s = String::new();
     writeln!(s, "spec       : {}", pos[0]).unwrap();
-    writeln!(s, "GEMM       : m={} n={} k={}", report.gemm.0, report.gemm.1, report.gemm.2).unwrap();
+    writeln!(
+        s,
+        "GEMM       : m={} n={} k={}",
+        report.gemm.0, report.gemm.1, report.gemm.2
+    )
+    .unwrap();
     writeln!(
         s,
         "layout     : k-order {:?}{}",
         plan.layout.k_order,
-        if plan.layout.swapped { " (swapped)" } else { "" }
+        if plan.layout.swapped {
+            " (swapped)"
+        } else {
+            ""
+        }
     )
     .unwrap();
     writeln!(s, "candidates : {}", report.candidates_priced).unwrap();
     for (label, r) in &report.transposes {
-        writeln!(s, "transpose {label}: {} at {:.1} GB/s", r.schema, r.bandwidth_gbps).unwrap();
+        writeln!(
+            s,
+            "transpose {label}: {} at {:.1} GB/s",
+            r.schema, r.bandwidth_gbps
+        )
+        .unwrap();
     }
     writeln!(s, "output     : {}", c.shape()).unwrap();
+    Ok(s)
+}
+
+/// The first `take` permutations of `0..rank` in lexicographic order.
+fn perms_lex(rank: usize, take: usize) -> Vec<Permutation> {
+    fn rec(
+        rank: usize,
+        take: usize,
+        cur: &mut Vec<usize>,
+        used: &mut [bool],
+        out: &mut Vec<Permutation>,
+    ) {
+        if out.len() == take {
+            return;
+        }
+        if cur.len() == rank {
+            out.push(Permutation::new(cur).expect("valid by construction"));
+            return;
+        }
+        for i in 0..rank {
+            if !used[i] {
+                used[i] = true;
+                cur.push(i);
+                rec(rank, take, cur, used, out);
+                cur.pop();
+                used[i] = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(
+        rank,
+        take,
+        &mut Vec::new(),
+        &mut vec![false; rank],
+        &mut out,
+    );
+    out
+}
+
+fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
+    let mut distinct = 16usize;
+    let mut rounds = 4usize;
+    let mut extents = vec![8usize, 6, 5, 4];
+    for a in rest {
+        if let Some(v) = a.strip_prefix("--perms=") {
+            distinct = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --perms value {v:?}")))?;
+        } else if let Some(v) = a.strip_prefix("--rounds=") {
+            rounds = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --rounds value {v:?}")))?;
+        } else if let Some(v) = a.strip_prefix("--extents=") {
+            extents = parse_usize_list(v, "extents")?;
+        } else {
+            return Err(CliError::Usage(format!(
+                "bench-serve does not understand {a:?}"
+            )));
+        }
+    }
+    if distinct == 0 || rounds == 0 {
+        return Err(CliError::Usage(
+            "--perms and --rounds must be positive".into(),
+        ));
+    }
+    let shape = Shape::new(&extents).map_err(|e| CliError::Usage(e.to_string()))?;
+    let perms = perms_lex(shape.rank(), distinct);
+    if perms.len() < distinct {
+        return Err(CliError::Usage(format!(
+            "rank {} has only {} permutations, --perms={distinct} asked for more",
+            shape.rank(),
+            perms.len()
+        )));
+    }
+
+    // One batch per round: the first round populates the plan cache,
+    // later rounds replay the same keys and should be pure hits.
+    let input = Arc::new(DenseTensor::<f64>::iota(shape.clone()));
+    let reqs: Vec<TransposeRequest<f64>> = perms
+        .iter()
+        .map(|p| TransposeRequest::new(Arc::clone(&input), p.clone()))
+        .collect();
+    let service = TransposeService::<f64>::new_k40c();
+    let t0 = Instant::now();
+    let mut failures = 0usize;
+    for _ in 0..rounds {
+        failures += service
+            .submit_batch(&reqs)
+            .iter()
+            .filter(|r| r.is_err())
+            .count();
+    }
+    let elapsed = t0.elapsed();
+
+    let total = distinct * rounds;
+    let stats = service.cache_stats();
+    let mut s = String::new();
+    writeln!(
+        s,
+        "workload  : {total} requests = {rounds} rounds x {distinct} permutations of {shape}"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "wall-clock: {:.2} ms ({:.0} requests/s)",
+        elapsed.as_secs_f64() * 1e3,
+        total as f64 / elapsed.as_secs_f64()
+    )
+    .unwrap();
+    writeln!(s, "failures  : {failures}").unwrap();
+    writeln!(
+        s,
+        "plan cache: {} hits, {} misses, {} evictions",
+        stats.hits, stats.misses, stats.evictions
+    )
+    .unwrap();
+    s.push('\n');
+    s.push_str(&service.metrics_report());
     Ok(s)
 }
 
@@ -341,6 +528,27 @@ mod tests {
     }
 
     #[test]
+    fn bench_serve_command() {
+        let out = run(&["bench-serve", "--perms=4", "--rounds=2", "--extents=6,5,4"]).unwrap();
+        assert!(out.contains("8 requests = 2 rounds x 4 permutations"));
+        assert!(out.contains("plan cache: 4 hits, 4 misses"));
+        assert!(out.contains("ttlg-runtime metrics"));
+        assert!(out.contains("failures  : 0"));
+    }
+
+    #[test]
+    fn bench_serve_rejects_impossible_perm_count() {
+        assert!(matches!(
+            run(&["bench-serve", "--perms=9", "--extents=4,4"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--bogus"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn devices_command() {
         let out = run(&["devices"]).unwrap();
         assert!(out.contains("K40c"));
@@ -351,9 +559,18 @@ mod tests {
         assert!(matches!(run(&[]), Err(CliError::Usage(_))));
         assert!(matches!(run(&["bogus"]), Err(CliError::Usage(_))));
         assert!(matches!(run(&["plan", "16,16"]), Err(CliError::Usage(_))));
-        assert!(matches!(run(&["plan", "16,x", "1,0"]), Err(CliError::Usage(_))));
-        assert!(matches!(run(&["plan", "16,16", "0,1,2"]), Err(CliError::Usage(_))));
-        assert!(matches!(run(&["contract", "bad", "1", "2"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["plan", "16,x", "1,0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["plan", "16,16", "0,1,2"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["contract", "bad", "1", "2"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::gemm::gemm_f64;
 use crate::planner::{plan_contraction, ContractError, ContractionPlan};
 use crate::spec::ContractionSpec;
-use ttlg::{Transposer, TransposeOptions, TransposeReport};
+use ttlg::{TransposeOptions, TransposeReport, Transposer};
 use ttlg_gpu_sim::DeviceConfig;
 use ttlg_tensor::{DenseTensor, Shape};
 
@@ -32,7 +32,9 @@ pub struct ContractionEngine {
 impl ContractionEngine {
     /// Build on a device with TTLG's default predictor.
     pub fn new(device: DeviceConfig) -> Self {
-        ContractionEngine { transposer: Transposer::new(device) }
+        ContractionEngine {
+            transposer: Transposer::new(device),
+        }
     }
 
     /// The paper's machine.
@@ -120,14 +122,22 @@ impl ContractionEngine {
             ext
         };
         let native_labels: Vec<char> = if plan.layout.swapped {
-            plan.spec.n_labels.iter().chain(plan.spec.m_labels.iter()).copied().collect()
+            plan.spec
+                .n_labels
+                .iter()
+                .chain(plan.spec.m_labels.iter())
+                .copied()
+                .collect()
         } else {
-            plan.spec.m_labels.iter().chain(plan.spec.n_labels.iter()).copied().collect()
+            plan.spec
+                .m_labels
+                .iter()
+                .chain(plan.spec.n_labels.iter())
+                .copied()
+                .collect()
         };
-        let native_shape = Shape::new(
-            &native_labels.iter().map(|l| lookup[l]).collect::<Vec<_>>(),
-        )
-        .expect("valid native shape");
+        let native_shape = Shape::new(&native_labels.iter().map(|l| lookup[l]).collect::<Vec<_>>())
+            .expect("valid native shape");
         let c_native = DenseTensor::from_data(native_shape, c_lin).expect("sized buffer");
 
         let c_final = match &plan.perm_c {
@@ -180,8 +190,7 @@ pub fn contract_reference(
     for (i, &l) in spec.b.iter().enumerate() {
         ext.insert(l, b.shape().extent(i));
     }
-    let out_shape =
-        Shape::new(&spec.c.iter().map(|l| ext[l]).collect::<Vec<_>>()).expect("valid");
+    let out_shape = Shape::new(&spec.c.iter().map(|l| ext[l]).collect::<Vec<_>>()).expect("valid");
     let mut out = DenseTensor::zeros(out_shape.clone());
 
     // Odometer over output labels x contracted labels.
@@ -219,13 +228,14 @@ pub fn contract_reference(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ttlg_tensor::rng::StdRng;
 
     fn rand_tensor(extents: &[usize], seed: u64) -> DenseTensor<f64> {
         let shape = Shape::new(extents).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
-        let data: Vec<f64> = (0..shape.volume()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let data: Vec<f64> = (0..shape.volume())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         DenseTensor::from_data(shape, data).unwrap()
     }
 
@@ -289,7 +299,11 @@ mod tests {
         let spec = ContractionSpec::parse("mk,kn->mn").unwrap();
         let engine = ContractionEngine::new_k40c();
         let plan = engine
-            .plan(&spec, &Shape::new(&[4, 4]).unwrap(), &Shape::new(&[4, 4]).unwrap())
+            .plan(
+                &spec,
+                &Shape::new(&[4, 4]).unwrap(),
+                &Shape::new(&[4, 4]).unwrap(),
+            )
             .unwrap();
         let wrong = rand_tensor(&[5, 4], 9);
         let b = rand_tensor(&[4, 4], 10);

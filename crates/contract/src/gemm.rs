@@ -56,8 +56,7 @@ pub fn gemm_reference(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], c: &mu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ttlg_tensor::rng::StdRng;
 
     fn rand_vec(n: usize, rng: &mut StdRng) -> Vec<f64> {
         (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect()
@@ -66,7 +65,13 @@ mod tests {
     #[test]
     fn blocked_matches_reference() {
         let mut rng = StdRng::seed_from_u64(42);
-        for &(m, n, k) in &[(1usize, 1usize, 1usize), (7, 5, 3), (64, 64, 64), (65, 33, 129), (128, 1, 17)] {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (7, 5, 3),
+            (64, 64, 64),
+            (65, 33, 129),
+            (128, 1, 17),
+        ] {
             let a = rand_vec(m * k, &mut rng);
             let b = rand_vec(k * n, &mut rng);
             let mut c1 = vec![0.0; m * n];
@@ -74,7 +79,10 @@ mod tests {
             gemm_f64(m, n, k, &a, &b, &mut c1);
             gemm_reference(m, n, k, &a, &b, &mut c2);
             for (x, y) in c1.iter().zip(c2.iter()) {
-                assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()), "(m,n,k)=({m},{n},{k})");
+                assert!(
+                    (x - y).abs() < 1e-9 * (1.0 + y.abs()),
+                    "(m,n,k)=({m},{n},{k})"
+                );
             }
         }
     }
@@ -82,7 +90,7 @@ mod tests {
     #[test]
     fn accumulates_into_c() {
         let a = vec![1.0, 2.0]; // 2x1
-        let b = vec![3.0];      // 1x1
+        let b = vec![3.0]; // 1x1
         let mut c = vec![10.0, 20.0];
         gemm_f64(2, 1, 1, &a, &b, &mut c);
         assert_eq!(c, vec![13.0, 26.0]);

@@ -80,7 +80,11 @@ pub enum ContractError {
 impl std::fmt::Display for ContractError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ContractError::RankMismatch { tensor, labels, rank } => {
+            ContractError::RankMismatch {
+                tensor,
+                labels,
+                rank,
+            } => {
                 write!(f, "tensor {tensor}: {labels} labels but rank {rank}")
             }
             ContractError::ExtentMismatch { label, a, b } => {
@@ -167,7 +171,11 @@ fn validate(
         let e = shape_b.extent(i);
         if let Some(&prev) = ext.get(&l) {
             if prev != e {
-                return Err(ContractError::ExtentMismatch { label: l, a: prev, b: e });
+                return Err(ContractError::ExtentMismatch {
+                    label: l,
+                    a: prev,
+                    b: e,
+                });
             }
         }
         ext.insert(l, e);
@@ -195,15 +203,39 @@ pub fn plan_contraction(
             // Target label orders for the three transpositions.
             let (a_target, b_target, c_native): (Vec<char>, Vec<char>, Vec<char>) = if !swapped {
                 (
-                    spec.m_labels.iter().chain(k_order.iter()).copied().collect(),
-                    k_order.iter().chain(spec.n_labels.iter()).copied().collect(),
-                    spec.m_labels.iter().chain(spec.n_labels.iter()).copied().collect(),
+                    spec.m_labels
+                        .iter()
+                        .chain(k_order.iter())
+                        .copied()
+                        .collect(),
+                    k_order
+                        .iter()
+                        .chain(spec.n_labels.iter())
+                        .copied()
+                        .collect(),
+                    spec.m_labels
+                        .iter()
+                        .chain(spec.n_labels.iter())
+                        .copied()
+                        .collect(),
                 )
             } else {
                 (
-                    k_order.iter().chain(spec.m_labels.iter()).copied().collect(),
-                    spec.n_labels.iter().chain(k_order.iter()).copied().collect(),
-                    spec.n_labels.iter().chain(spec.m_labels.iter()).copied().collect(),
+                    k_order
+                        .iter()
+                        .chain(spec.m_labels.iter())
+                        .copied()
+                        .collect(),
+                    spec.n_labels
+                        .iter()
+                        .chain(k_order.iter())
+                        .copied()
+                        .collect(),
+                    spec.n_labels
+                        .iter()
+                        .chain(spec.m_labels.iter())
+                        .copied()
+                        .collect(),
                 )
             };
             let perm_a = perm_between(&spec.a, &a_target);
@@ -218,10 +250,8 @@ pub fn plan_contraction(
                 cost += t.predict_transpose_ns::<f64>(shape_b, p)?;
             }
             if let Some(p) = &perm_c {
-                let c_shape = Shape::new(
-                    &c_native.iter().map(|&l| lookup(l)).collect::<Vec<_>>(),
-                )
-                .expect("valid output shape");
+                let c_shape = Shape::new(&c_native.iter().map(|&l| lookup(l)).collect::<Vec<_>>())
+                    .expect("valid output shape");
                 cost += t.predict_transpose_ns::<f64>(&c_shape, p)?;
             }
             priced += 1;
@@ -230,7 +260,10 @@ pub fn plan_contraction(
                     cost,
                     ContractionPlan {
                         spec: spec.clone(),
-                        layout: LayoutChoice { k_order: k_order.clone(), swapped },
+                        layout: LayoutChoice {
+                            k_order: k_order.clone(),
+                            swapped,
+                        },
                         shape_a: shape_a.clone(),
                         shape_b: shape_b.clone(),
                         perm_a,
@@ -339,7 +372,10 @@ mod tests {
             &Shape::new(&[17, 24]).unwrap(),
         )
         .unwrap_err();
-        assert!(matches!(e, ContractError::ExtentMismatch { label: 'k', .. }));
+        assert!(matches!(
+            e,
+            ContractError::ExtentMismatch { label: 'k', .. }
+        ));
     }
 
     #[test]

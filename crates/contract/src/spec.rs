@@ -56,10 +56,16 @@ impl std::fmt::Display for SpecError {
             SpecError::RepeatedLabel(c) => write!(f, "label '{c}' repeats within one tensor"),
             SpecError::UnknownOutput(c) => write!(f, "output label '{c}' not found in inputs"),
             SpecError::BatchLabel(c) => {
-                write!(f, "label '{c}' appears in both inputs and the output (batch indices unsupported)")
+                write!(
+                    f,
+                    "label '{c}' appears in both inputs and the output (batch indices unsupported)"
+                )
             }
             SpecError::DanglingLabel(c) => {
-                write!(f, "label '{c}' appears in one input only and not in the output")
+                write!(
+                    f,
+                    "label '{c}' appears in one input only and not in the output"
+                )
             }
             SpecError::Empty => write!(f, "each tensor needs at least one index"),
         }
@@ -115,10 +121,20 @@ impl ContractionSpec {
         // Keep output order for the free labels; A-order for contracted.
         let m_labels: Vec<char> = c.iter().copied().filter(|l| in_a.contains(l)).collect();
         let n_labels: Vec<char> = c.iter().copied().filter(|l| in_b.contains(l)).collect();
-        let k_labels: Vec<char> =
-            a.iter().copied().filter(|l| in_b.contains(l) && !in_c.contains(l)).collect();
+        let k_labels: Vec<char> = a
+            .iter()
+            .copied()
+            .filter(|l| in_b.contains(l) && !in_c.contains(l))
+            .collect();
 
-        Ok(ContractionSpec { a, b, c, m_labels, n_labels, k_labels })
+        Ok(ContractionSpec {
+            a,
+            b,
+            c,
+            m_labels,
+            n_labels,
+            k_labels,
+        })
     }
 
     /// Position of label `l` in tensor-A order.
@@ -172,12 +188,30 @@ mod tests {
 
     #[test]
     fn rejects_bad_specs() {
-        assert_eq!(ContractionSpec::parse("abc").unwrap_err(), SpecError::Syntax);
-        assert_eq!(ContractionSpec::parse("aa,ab->b").unwrap_err(), SpecError::RepeatedLabel('a'));
-        assert_eq!(ContractionSpec::parse("ab,bc->ax").unwrap_err(), SpecError::UnknownOutput('x'));
-        assert_eq!(ContractionSpec::parse("ab,bc->abc").unwrap_err(), SpecError::BatchLabel('b'));
-        assert_eq!(ContractionSpec::parse("ab,bc->c").unwrap_err(), SpecError::DanglingLabel('a'));
-        assert_eq!(ContractionSpec::parse(",b->b").unwrap_err(), SpecError::Empty);
+        assert_eq!(
+            ContractionSpec::parse("abc").unwrap_err(),
+            SpecError::Syntax
+        );
+        assert_eq!(
+            ContractionSpec::parse("aa,ab->b").unwrap_err(),
+            SpecError::RepeatedLabel('a')
+        );
+        assert_eq!(
+            ContractionSpec::parse("ab,bc->ax").unwrap_err(),
+            SpecError::UnknownOutput('x')
+        );
+        assert_eq!(
+            ContractionSpec::parse("ab,bc->abc").unwrap_err(),
+            SpecError::BatchLabel('b')
+        );
+        assert_eq!(
+            ContractionSpec::parse("ab,bc->c").unwrap_err(),
+            SpecError::DanglingLabel('a')
+        );
+        assert_eq!(
+            ContractionSpec::parse(",b->b").unwrap_err(),
+            SpecError::Empty
+        );
     }
 
     #[test]

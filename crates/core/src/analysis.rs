@@ -62,8 +62,16 @@ pub fn c1_fvi_match_small<E: Element>(p: &Problem, b: usize) -> f64 {
 pub fn analyze_fvi_match_small<E: Element>(p: &Problem, b: usize) -> TransactionAnalysis {
     let c1 = c1_fvi_match_small::<E>(p, b);
     TransactionAnalysis {
-        input: MemCounts { dram: c1, smem: c1, tex: 0.0 },
-        output: MemCounts { dram: c1, smem: c1, tex: 0.0 },
+        input: MemCounts {
+            dram: c1,
+            smem: c1,
+            tex: 0.0,
+        },
+        output: MemCounts {
+            dram: c1,
+            smem: c1,
+            tex: 0.0,
+        },
     }
 }
 
@@ -81,8 +89,16 @@ pub fn c2_fvi_match_large<E: Element>(p: &Problem) -> f64 {
 pub fn analyze_fvi_match_large<E: Element>(p: &Problem) -> TransactionAnalysis {
     let c2 = c2_fvi_match_large::<E>(p);
     TransactionAnalysis {
-        input: MemCounts { dram: c2, smem: 0.0, tex: 0.0 },
-        output: MemCounts { dram: c2, smem: 0.0, tex: 0.0 },
+        input: MemCounts {
+            dram: c2,
+            smem: 0.0,
+            tex: 0.0,
+        },
+        output: MemCounts {
+            dram: c2,
+            smem: 0.0,
+            tex: 0.0,
+        },
     }
 }
 
@@ -110,8 +126,16 @@ pub fn analyze_orthogonal_distinct<E: Element>(p: &Problem, c: &OdChoice) -> Tra
     let c3 = c3_input::<E>(p, c.a_vol(p));
     let c3p = c3_output::<E>(p, c.b_vol(p));
     TransactionAnalysis {
-        input: MemCounts { dram: c3, smem: c3, tex: c3 },
-        output: MemCounts { dram: c3p, smem: c3p, tex: c3p },
+        input: MemCounts {
+            dram: c3,
+            smem: c3,
+            tex: c3,
+        },
+        output: MemCounts {
+            dram: c3p,
+            smem: c3p,
+            tex: c3p,
+        },
     }
 }
 
@@ -124,8 +148,16 @@ pub fn analyze_orthogonal_arbitrary<E: Element>(p: &Problem, c: &OaChoice) -> Tr
     let out_run = output_contiguous_run(p, c);
     let c3p = c3_output::<E>(p, out_run);
     TransactionAnalysis {
-        input: MemCounts { dram: c3, smem: c3, tex: c3 },
-        output: MemCounts { dram: c3p, smem: c3p, tex: 2.0 * c3p },
+        input: MemCounts {
+            dram: c3,
+            smem: c3,
+            tex: c3,
+        },
+        output: MemCounts {
+            dram: c3p,
+            smem: c3p,
+            tex: 2.0 * c3p,
+        },
     }
 }
 
@@ -162,7 +194,11 @@ mod tests {
     use ttlg_tensor::{Permutation, Shape};
 
     fn prob(extents: &[usize], perm: &[usize]) -> Problem {
-        Problem::new(&Shape::new(extents).unwrap(), &Permutation::new(perm).unwrap()).unwrap()
+        Problem::new(
+            &Shape::new(extents).unwrap(),
+            &Permutation::new(perm).unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -214,7 +250,12 @@ mod tests {
         // [8,2,8,8] => [c,b,d,a] with the full paper combining: clean
         // division everywhere.
         let p = prob(&[8, 2, 8, 8], &[2, 1, 3, 0]);
-        let c = OaChoice { in_dims: 3, block_a: 8, out_dims: 3, block_b: 8 };
+        let c = OaChoice {
+            in_dims: 3,
+            block_a: 8,
+            out_dims: 3,
+            block_b: 8,
+        };
         let a = analyze_orthogonal_arbitrary::<f64>(&p, &c);
         let k = OrthogonalArbitraryKernel::<f64>::new(&p, c, 48 * 1024);
         let ex = Executor::new(DeviceConfig::k40c());
@@ -226,10 +267,20 @@ mod tests {
     #[test]
     fn output_run_detection() {
         let p = prob(&[8, 2, 8, 8], &[2, 1, 3, 0]);
-        let c = OaChoice { in_dims: 3, block_a: 8, out_dims: 3, block_b: 8 };
+        let c = OaChoice {
+            in_dims: 3,
+            block_a: 8,
+            out_dims: 3,
+            block_b: 8,
+        };
         // output dims c(8), b(2), d(8) all fully covered -> run 128.
         assert_eq!(output_contiguous_run(&p, &c), 128);
-        let c2 = OaChoice { in_dims: 3, block_a: 8, out_dims: 3, block_b: 4 };
+        let c2 = OaChoice {
+            in_dims: 3,
+            block_a: 8,
+            out_dims: 3,
+            block_b: 4,
+        };
         // d only half covered -> run still contiguous across the block: 64.
         assert_eq!(output_contiguous_run(&p, &c2), 64);
     }
@@ -238,7 +289,10 @@ mod tests {
     fn float_vs_double_transaction_ratio() {
         let p = prob(&[64, 8, 8], &[0, 2, 1]);
         // floats pack twice as many elements per transaction.
-        assert_eq!(c2_fvi_match_large::<f64>(&p), 2.0 * c2_fvi_match_large::<f32>(&p));
+        assert_eq!(
+            c2_fvi_match_large::<f64>(&p),
+            2.0 * c2_fvi_match_large::<f32>(&p)
+        );
     }
 
     #[test]

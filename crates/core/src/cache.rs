@@ -1,21 +1,34 @@
 //! Plan caching for the repeated-use scenario.
 //!
 //! The paper's evaluation distinguishes single-use (plan + one run) from
-//! repeated-use (plan once, run many times — Fig. 12). [`PlanCache`] makes
-//! the repeated-use pattern a one-liner: plans are keyed by
-//! `(extents, permutation, options fingerprint)` and built at most once,
-//! concurrently safe behind a `parking_lot` mutex.
+//! repeated-use (plan once, run many times — Fig. 12). This module makes
+//! the repeated-use pattern a one-liner and scales it to many concurrent
+//! clients:
+//!
+//! * [`ShardedPlanCache`] — the concurrent engine: plans keyed by
+//!   `(extents, permutation, options fingerprint)` across N mutex shards,
+//!   **single-flight** planning (concurrent misses on one key block on a
+//!   single builder instead of racing), per-shard LRU eviction under a
+//!   configurable capacity, and lock-free atomic hit/miss/eviction
+//!   counters. `ttlg-runtime` builds its multi-tenant service on this
+//!   type.
+//! * [`PlanCache`] — the original single-tenant API, kept as a thin
+//!   compatibility wrapper over one unbounded shard.
 
-use crate::plan::{Plan, PlanError, Transposer, TransposeOptions, TransposeReport};
+use crate::plan::{Plan, PlanError, TransposeOptions, TransposeReport, Transposer};
 use crate::schema::Schema;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use ttlg_tensor::{DenseTensor, Element, Permutation, Shape};
 
 /// Cache key: extents + permutation + the options that affect planning.
+///
+/// Public so higher layers (the runtime's batcher) can group requests by
+/// the plan they will share without re-deriving the fingerprint rules.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct Key {
+pub struct PlanKey {
     extents: Vec<usize>,
     perm: Vec<usize>,
     forced: Option<Schema>,
@@ -24,9 +37,10 @@ struct Key {
     overbooking: usize,
 }
 
-impl Key {
-    fn new(shape: &Shape, perm: &Permutation, opts: &TransposeOptions) -> Key {
-        Key {
+impl PlanKey {
+    /// Fingerprint of `(shape, perm, opts)` — equal keys share a plan.
+    pub fn new(shape: &Shape, perm: &Permutation, opts: &TransposeOptions) -> PlanKey {
+        PlanKey {
             extents: shape.extents().to_vec(),
             perm: perm.as_slice().to_vec(),
             forced: opts.forced_schema,
@@ -34,6 +48,13 @@ impl Key {
             sweep: opts.model_sweep,
             overbooking: opts.overbooking,
         }
+    }
+
+    /// Stable hash used for shard selection.
+    fn shard_hash(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
     }
 }
 
@@ -44,9 +65,290 @@ pub struct CacheStats {
     pub hits: u64,
     /// Plans built on demand.
     pub misses: u64,
+    /// Plans dropped by LRU eviction.
+    pub evictions: u64,
+}
+
+/// Configuration for a [`ShardedPlanCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Number of mutex shards (keys are hash-distributed across them).
+    pub shards: usize,
+    /// Max resident plans per shard; `0` means unbounded.
+    pub capacity_per_shard: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 8,
+            capacity_per_shard: 64,
+        }
+    }
+}
+
+/// Slot state within a shard: either a resident plan (with its LRU stamp)
+/// or a build in flight that waiters block on.
+enum Entry<E: Element> {
+    Ready { plan: Arc<Plan<E>>, last_used: u64 },
+    Building,
+}
+
+struct ShardState<E: Element> {
+    map: HashMap<PlanKey, Entry<E>>,
+    /// Monotonic use counter; higher = more recently used.
+    tick: u64,
+}
+
+struct Shard<E: Element> {
+    state: Mutex<ShardState<E>>,
+    /// Signalled when an in-flight build completes (or fails).
+    built: Condvar,
+}
+
+impl<E: Element> Shard<E> {
+    fn new() -> Self {
+        Shard {
+            state: Mutex::new(ShardState {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            built: Condvar::new(),
+        }
+    }
+}
+
+/// A sharded, bounded, single-flight cache of transposition plans for one
+/// element type.
+///
+/// Concurrency contract:
+/// * a hit touches only its shard's mutex (briefly) and one atomic;
+/// * concurrent misses on the *same* key build the plan exactly once —
+///   one caller plans while the rest wait on the shard condvar;
+/// * concurrent misses on *different* keys in different shards proceed
+///   fully in parallel;
+/// * planning happens outside the shard lock, so a slow build never
+///   blocks hits on other keys in the same shard.
+pub struct ShardedPlanCache<E: Element> {
+    shards: Vec<Shard<E>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<E: Element> ShardedPlanCache<E> {
+    /// An empty cache with the given shard count and per-shard capacity.
+    pub fn with_config(cfg: CacheConfig) -> Self {
+        let n = cfg.shards.max(1);
+        ShardedPlanCache {
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            capacity_per_shard: cfg.capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty cache with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(CacheConfig::default())
+    }
+
+    fn shard(&self, key: &PlanKey) -> &Shard<E> {
+        let n = self.shards.len();
+        &self.shards[(key.shard_hash() % n as u64) as usize]
+    }
+
+    /// Fetch the plan for `key`, building it with `t` on first use.
+    ///
+    /// This is the single-flight core: the first caller to miss becomes
+    /// the builder; concurrent callers for the same key block until the
+    /// build completes and then share the result. If the build fails, the
+    /// slot is released, the error is returned to the builder, and one
+    /// waiter takes over as the next builder (so a transient failure does
+    /// not wedge the key).
+    pub fn get_or_plan_keyed(
+        &self,
+        t: &Transposer,
+        key: &PlanKey,
+        shape: &Shape,
+        perm: &Permutation,
+        opts: &TransposeOptions,
+    ) -> Result<Arc<Plan<E>>, PlanError> {
+        enum Slot {
+            Ready,
+            Building,
+            Vacant,
+        }
+        let shard = self.shard(key);
+        let mut state = shard.state.lock().expect("cache shard poisoned");
+        loop {
+            let slot = match state.map.get(key) {
+                Some(Entry::Ready { .. }) => Slot::Ready,
+                Some(Entry::Building) => Slot::Building,
+                None => Slot::Vacant,
+            };
+            match slot {
+                Slot::Ready => {
+                    state.tick += 1;
+                    let tick = state.tick;
+                    let Some(Entry::Ready { plan, last_used }) = state.map.get_mut(key) else {
+                        unreachable!("entry changed while the shard lock was held");
+                    };
+                    *last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(plan));
+                }
+                Slot::Building => {
+                    state = shard.built.wait(state).expect("cache shard poisoned");
+                }
+                Slot::Vacant => break,
+            }
+        }
+        // We are the builder for this key.
+        state.map.insert(key.clone(), Entry::Building);
+        drop(state);
+        let built = t.plan::<E>(shape, perm, opts);
+        let mut state = shard.state.lock().expect("cache shard poisoned");
+        match built {
+            Ok(plan) => {
+                let plan = Arc::new(plan);
+                state.tick += 1;
+                let stamp = state.tick;
+                state.map.insert(
+                    key.clone(),
+                    Entry::Ready {
+                        plan: Arc::clone(&plan),
+                        last_used: stamp,
+                    },
+                );
+                self.evict_locked(&mut state);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.built.notify_all();
+                Ok(plan)
+            }
+            Err(e) => {
+                state.map.remove(key);
+                shard.built.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Fetch the plan for `(shape, perm, opts)`, building it on first use.
+    pub fn get_or_plan(
+        &self,
+        t: &Transposer,
+        shape: &Shape,
+        perm: &Permutation,
+        opts: &TransposeOptions,
+    ) -> Result<Arc<Plan<E>>, PlanError> {
+        let key = PlanKey::new(shape, perm, opts);
+        self.get_or_plan_keyed(t, &key, shape, perm, opts)
+    }
+
+    /// Evict least-recently-used resident plans beyond the capacity.
+    /// In-flight builds never count against (nor fall to) eviction.
+    fn evict_locked(&self, state: &mut ShardState<E>) {
+        if self.capacity_per_shard == 0 {
+            return;
+        }
+        loop {
+            let resident = state
+                .map
+                .values()
+                .filter(|e| matches!(e, Entry::Ready { .. }))
+                .count();
+            if resident <= self.capacity_per_shard {
+                return;
+            }
+            let oldest = state
+                .map
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Ready { last_used, .. } => Some((*last_used, k.clone())),
+                    Entry::Building => None,
+                })
+                .min_by_key(|(stamp, _)| *stamp)
+                .map(|(_, k)| k)
+                .expect("resident > capacity >= 1 implies a Ready entry");
+            state.map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Transpose with plan reuse.
+    pub fn transpose(
+        &self,
+        t: &Transposer,
+        input: &DenseTensor<E>,
+        perm: &Permutation,
+    ) -> Result<(DenseTensor<E>, TransposeReport), PlanError> {
+        let plan = self.get_or_plan(t, input.shape(), perm, &TransposeOptions::default())?;
+        t.execute(&plan, input)
+    }
+
+    /// Number of resident plans (in-flight builds excluded).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.state
+                    .lock()
+                    .expect("cache shard poisoned")
+                    .map
+                    .values()
+                    .filter(|e| matches!(e, Entry::Ready { .. }))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether the cache holds no resident plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Hit/miss/eviction counters (atomic snapshot of each).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop every resident plan (counters are kept; in-flight builds
+    /// complete and re-insert themselves).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.state
+                .lock()
+                .expect("cache shard poisoned")
+                .map
+                .retain(|_, e| matches!(e, Entry::Building));
+        }
+    }
+}
+
+impl<E: Element> Default for ShardedPlanCache<E> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// A concurrent cache of transposition plans for one element type.
+///
+/// Compatibility wrapper over a single unbounded [`ShardedPlanCache`]
+/// shard: same API as the original `PlanCache`, now with single-flight
+/// planning (racing callers no longer build duplicate plans) and atomic
+/// counters (stats can no longer drift from the plan map).
 ///
 /// ```
 /// use ttlg::{PlanCache, Transposer};
@@ -62,8 +364,7 @@ pub struct CacheStats {
 /// assert_eq!(cache.stats().misses, 1); // planned once, reused twice
 /// ```
 pub struct PlanCache<E: Element> {
-    plans: Mutex<HashMap<Key, Arc<Plan<E>>>>,
-    stats: Mutex<CacheStats>,
+    inner: ShardedPlanCache<E>,
 }
 
 impl<E: Element> Default for PlanCache<E> {
@@ -75,7 +376,12 @@ impl<E: Element> Default for PlanCache<E> {
 impl<E: Element> PlanCache<E> {
     /// An empty cache.
     pub fn new() -> Self {
-        PlanCache { plans: Mutex::new(HashMap::new()), stats: Mutex::new(CacheStats::default()) }
+        PlanCache {
+            inner: ShardedPlanCache::with_config(CacheConfig {
+                shards: 1,
+                capacity_per_shard: 0,
+            }),
+        }
     }
 
     /// Fetch the plan for `(shape, perm, opts)`, building it on first use.
@@ -86,17 +392,7 @@ impl<E: Element> PlanCache<E> {
         perm: &Permutation,
         opts: &TransposeOptions,
     ) -> Result<Arc<Plan<E>>, PlanError> {
-        let key = Key::new(shape, perm, opts);
-        if let Some(plan) = self.plans.lock().get(&key) {
-            self.stats.lock().hits += 1;
-            return Ok(Arc::clone(plan));
-        }
-        // Plan outside the lock (planning can be slow); racing builders
-        // are harmless — last insert wins, both plans are equivalent.
-        let plan = Arc::new(t.plan::<E>(shape, perm, opts)?);
-        self.plans.lock().insert(key, Arc::clone(&plan));
-        self.stats.lock().misses += 1;
-        Ok(plan)
+        self.inner.get_or_plan(t, shape, perm, opts)
     }
 
     /// Transpose with plan reuse: plans are built once per distinct
@@ -107,29 +403,27 @@ impl<E: Element> PlanCache<E> {
         input: &DenseTensor<E>,
         perm: &Permutation,
     ) -> Result<(DenseTensor<E>, TransposeReport), PlanError> {
-        let plan =
-            self.get_or_plan(t, input.shape(), perm, &TransposeOptions::default())?;
-        t.execute(&plan, input)
+        self.inner.transpose(t, input, perm)
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.plans.lock().len()
+        self.inner.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.is_empty()
     }
 
     /// Hit/miss counters.
     pub fn stats(&self) -> CacheStats {
-        *self.stats.lock()
+        self.inner.stats()
     }
 
     /// Drop every cached plan.
     pub fn clear(&self) {
-        self.plans.lock().clear();
+        self.inner.clear()
     }
 }
 
@@ -150,7 +444,14 @@ mod tests {
         assert_eq!(out1.data(), out2.data());
         let expect = reference::transpose_reference(&input, &perm).unwrap();
         assert_eq!(out1.data(), expect.data());
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
         assert_eq!(cache.len(), 1);
     }
 
@@ -165,7 +466,10 @@ mod tests {
         cache.get_or_plan(&t, &s1, &p, &opts).unwrap();
         cache.get_or_plan(&t, &s2, &p, &opts).unwrap();
         // Different options are different cache entries too.
-        let opts2 = TransposeOptions { model_sweep: false, ..Default::default() };
+        let opts2 = TransposeOptions {
+            model_sweep: false,
+            ..Default::default()
+        };
         cache.get_or_plan(&t, &s1, &p, &opts2).unwrap();
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.stats().misses, 3);
@@ -177,7 +481,9 @@ mod tests {
         let cache: PlanCache<f64> = PlanCache::new();
         let s = Shape::new(&[8, 8]).unwrap();
         let p = Permutation::new(&[1, 0]).unwrap();
-        cache.get_or_plan(&t, &s, &p, &TransposeOptions::default()).unwrap();
+        cache
+            .get_or_plan(&t, &s, &p, &TransposeOptions::default())
+            .unwrap();
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());
@@ -190,23 +496,64 @@ mod tests {
         let cache: PlanCache<u32> = PlanCache::new();
         let shape = Shape::new(&[16, 16]).unwrap();
         let perm = Permutation::new(&[1, 0]).unwrap();
-        crossbeam_scope(&t, &cache, &shape, &perm);
-        let s = cache.stats();
-        assert_eq!(s.hits + s.misses, 8);
-        assert_eq!(cache.len(), 1);
-    }
-
-    fn crossbeam_scope(
-        t: &Transposer,
-        cache: &PlanCache<u32>,
-        shape: &Shape,
-        perm: &Permutation,
-    ) {
         ttlg_tensor::parallel::parallel_for_threads(8, 1, 4, |_| {
             let plan = cache
-                .get_or_plan(t, shape, perm, &TransposeOptions::default())
+                .get_or_plan(&t, &shape, &perm, &TransposeOptions::default())
                 .expect("plannable");
             assert!(plan.predicted_ns() > 0.0);
         });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8);
+        // Single-flight: with one key there is exactly one build even
+        // under concurrency (the old implementation allowed duplicates).
+        assert_eq!(s.misses, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn sharded_cache_evicts_lru() {
+        let t = Transposer::new_k40c();
+        let cache: ShardedPlanCache<u64> = ShardedPlanCache::with_config(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+        });
+        let opts = TransposeOptions::default();
+        let p = Permutation::new(&[1, 0]).unwrap();
+        let s1 = Shape::new(&[8, 8]).unwrap();
+        let s2 = Shape::new(&[16, 8]).unwrap();
+        let s3 = Shape::new(&[32, 8]).unwrap();
+        cache.get_or_plan(&t, &s1, &p, &opts).unwrap();
+        cache.get_or_plan(&t, &s2, &p, &opts).unwrap();
+        // Touch s1 so s2 becomes the LRU entry.
+        cache.get_or_plan(&t, &s1, &p, &opts).unwrap();
+        cache.get_or_plan(&t, &s3, &p, &opts).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(cache.len(), 2);
+        // s1 survived (recently used): hitting it builds nothing new.
+        let misses_before = cache.stats().misses;
+        cache.get_or_plan(&t, &s1, &p, &opts).unwrap();
+        assert_eq!(cache.stats().misses, misses_before);
+        // s2 was evicted: asking again rebuilds.
+        cache.get_or_plan(&t, &s2, &p, &opts).unwrap();
+        assert_eq!(cache.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn sharded_cache_distributes_keys() {
+        let t = Transposer::new_k40c();
+        let cache: ShardedPlanCache<f64> = ShardedPlanCache::with_config(CacheConfig {
+            shards: 4,
+            capacity_per_shard: 0,
+        });
+        let opts = TransposeOptions::default();
+        let p = Permutation::new(&[1, 0]).unwrap();
+        for n in 1..=16usize {
+            let s = Shape::new(&[8 * n, 8]).unwrap();
+            cache.get_or_plan(&t, &s, &p, &opts).unwrap();
+        }
+        assert_eq!(cache.len(), 16);
+        assert_eq!(cache.stats().misses, 16);
+        assert_eq!(cache.shard_count(), 4);
     }
 }

@@ -193,7 +193,9 @@ pub fn od_candidate<E: Element>(p: &Problem, c: OdChoice) -> Candidate {
 
     // Grid blocks: blocked steps x all dims outside the slice.
     let in_set: Vec<usize> = (0..c.in_dims).collect();
-    let out_set: Vec<usize> = (0..c.out_dims).map(|od| p.perm.output_dim_source(od)).collect();
+    let out_set: Vec<usize> = (0..c.out_dims)
+        .map(|od| p.perm.output_dim_source(od))
+        .collect();
     let outer: usize = (0..p.rank())
         .filter(|d| !in_set.contains(d) && !out_set.contains(d))
         .map(|d| p.extent(d))
@@ -257,7 +259,13 @@ pub fn oa_candidate<E: Element>(p: &Problem, c: OaChoice) -> Candidate {
     let sb = if blocked_b {
         block_steps(p.extent(jb), c.block_b)
     } else {
-        BlockSteps { full_len: 1, part_len: 0, full_steps: 1, has_part: false, total_steps: 1 }
+        BlockSteps {
+            full_len: 1,
+            part_len: 0,
+            full_steps: 1,
+            has_part: false,
+            total_steps: 1,
+        }
     };
 
     let slice_set: Vec<usize> = {
@@ -270,8 +278,7 @@ pub fn oa_candidate<E: Element>(p: &Problem, c: OaChoice) -> Candidate {
     let coarsen_dim =
         crate::kernels::common::pick_coarsening_dim(p.shape.extents(), &slice_set, p.bytes::<E>());
     let coarsen_factor = coarsen_dim.map(|d| p.extent(d)).unwrap_or(1);
-    let outer_dims: Vec<usize> =
-        (0..p.rank()).filter(|d| !slice_set.contains(d)).collect();
+    let outer_dims: Vec<usize> = (0..p.rank()).filter(|d| !slice_set.contains(d)).collect();
     let outer: usize =
         outer_dims.iter().map(|&d| p.extent(d)).product::<usize>() / coarsen_factor.max(1);
     let grid_blocks = (if blocked_a { sa.total_steps } else { 1 }) * sb.total_steps * outer;
@@ -310,7 +317,8 @@ pub fn oa_candidate<E: Element>(p: &Problem, c: OaChoice) -> Candidate {
         // Block decode: one mod/div pair per grid dim per thread, once per
         // block (coarsening amortises the decode over sub-slices).
         special_instr: special as u64 + 2 * griddims * grid_blocks as u64 * threads as u64,
-        index_instr: 2 * threads as u64
+        index_instr: 2
+            * threads as u64
             * grid_blocks as u64
             * coarsen_factor.saturating_sub(1) as u64,
         elements_moved: p.volume() as u64,
@@ -342,7 +350,10 @@ pub fn fms_candidate<E: Element>(p: &Problem, b: usize) -> Candidate {
     let c1 = analysis::c1_fvi_match_small::<E>(p, b);
     let s1 = block_steps(p.extent(1), b);
     let sk = block_steps(p.extent(dim_ik), b);
-    let outer: usize = (2..p.rank()).filter(|&d| d != dim_ik).map(|d| p.extent(d)).product();
+    let outer: usize = (2..p.rank())
+        .filter(|&d| d != dim_ik)
+        .map(|d| p.extent(d))
+        .product();
     let grid_blocks = s1.total_steps * sk.total_steps * outer;
     let row_len = FviMatchSmallKernel::<E>::padded_row_len(n0, b);
     let ws = WARP_SIZE as f64;
@@ -383,12 +394,9 @@ pub fn fml_candidate<E: Element>(p: &Problem) -> Candidate {
     let rows: usize = (1..p.rank()).map(|d| p.extent(d)).product::<usize>().max(1);
     // Mirror the kernel's block geometry: coarsening if it engages, or
     // row packing toward 256 threads otherwise.
-    let coarsen = crate::kernels::common::pick_coarsening_dim(
-        p.shape.extents(),
-        &[0],
-        p.bytes::<E>(),
-    )
-    .filter(|&d| d != 0);
+    let coarsen =
+        crate::kernels::common::pick_coarsening_dim(p.shape.extents(), &[0], p.bytes::<E>())
+            .filter(|&d| d != 0);
     let row_threads = crate::kernels::common::round_up(n0, 32).min(256);
     let (grid_blocks, threads) = match coarsen {
         Some(d) => (rows / p.extent(d), row_threads),
@@ -399,7 +407,10 @@ pub fn fml_candidate<E: Element>(p: &Problem) -> Candidate {
             let eff = rows_per_block.min(packing_ext).max(1);
             let blocks = packing_ext.div_ceil(eff)
                 * (2..p.rank()).map(|d| p.extent(d)).product::<usize>().max(1);
-            (blocks, (row_threads * rows_per_block).min(256).max(row_threads))
+            (
+                blocks,
+                (row_threads * rows_per_block).min(256).max(row_threads),
+            )
         }
     };
     let est = TransactionStats {
@@ -495,7 +506,11 @@ mod tests {
     use ttlg_tensor::{Permutation, Shape};
 
     fn prob(extents: &[usize], perm: &[usize]) -> Problem {
-        Problem::new(&Shape::new(extents).unwrap(), &Permutation::new(perm).unwrap()).unwrap()
+        Problem::new(
+            &Shape::new(extents).unwrap(),
+            &Permutation::new(perm).unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -529,7 +544,12 @@ mod tests {
     #[test]
     fn oa_candidate_geometry() {
         let p = prob(&[8, 2, 8, 8], &[2, 1, 3, 0]);
-        let c = OaChoice { in_dims: 3, block_a: 8, out_dims: 3, block_b: 8 };
+        let c = OaChoice {
+            in_dims: 3,
+            block_a: 8,
+            out_dims: 3,
+            block_b: 8,
+        };
         let cand = oa_candidate::<f64>(&p, c);
         assert_eq!(cand.input_slice, 128);
         assert_eq!(cand.output_slice, 8);
@@ -581,6 +601,9 @@ mod tests {
         let cand = fms_candidate::<f64>(&p, 4);
         let l = cand.launch();
         assert_eq!(l.grid_blocks, cand.grid_blocks);
-        assert_eq!(cand.num_threads(), cand.grid_blocks * cand.threads_per_block);
+        assert_eq!(
+            cand.num_threads(),
+            cand.grid_blocks * cand.threads_per_block
+        );
     }
 }

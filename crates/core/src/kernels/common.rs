@@ -83,7 +83,11 @@ impl OuterGrid {
 
     /// Total number of thread blocks.
     pub fn blocks(&self) -> usize {
-        self.dims.iter().map(|d| d.steps()).product::<usize>().max(1)
+        self.dims
+            .iter()
+            .map(|d| d.steps())
+            .product::<usize>()
+            .max(1)
     }
 
     /// Decode a block id into base offsets and chunk extents — the paper's
@@ -161,8 +165,7 @@ pub fn pick_coarsening_dim(
     if tensor_bytes <= MIN_TENSOR_BYTES {
         return None;
     }
-    (0..extents.len())
-        .find(|d| !excluded.contains(d) && (4..=32).contains(&extents[*d]))
+    (0..extents.len()).find(|d| !excluded.contains(d) && (4..=32).contains(&extents[*d]))
 }
 
 #[cfg(test)]
@@ -171,19 +174,43 @@ mod tests {
 
     fn grid3() -> OuterGrid {
         let mut g = OuterGrid::new();
-        g.push(GridDim { dim: 1, extent: 10, chunk: 4, in_stride: 16, out_stride: 100 });
-        g.push(GridDim { dim: 2, extent: 3, chunk: 1, in_stride: 160, out_stride: 10 });
+        g.push(GridDim {
+            dim: 1,
+            extent: 10,
+            chunk: 4,
+            in_stride: 16,
+            out_stride: 100,
+        });
+        g.push(GridDim {
+            dim: 2,
+            extent: 3,
+            chunk: 1,
+            in_stride: 160,
+            out_stride: 10,
+        });
         g
     }
 
     #[test]
     fn steps_and_partials() {
-        let d = GridDim { dim: 0, extent: 10, chunk: 4, in_stride: 1, out_stride: 1 };
+        let d = GridDim {
+            dim: 0,
+            extent: 10,
+            chunk: 4,
+            in_stride: 1,
+            out_stride: 1,
+        };
         assert_eq!(d.steps(), 3);
         assert_eq!(d.chunk_extent(0), 4);
         assert_eq!(d.chunk_extent(2), 2);
         assert!(d.has_partial());
-        let e = GridDim { dim: 0, extent: 8, chunk: 4, in_stride: 1, out_stride: 1 };
+        let e = GridDim {
+            dim: 0,
+            extent: 8,
+            chunk: 4,
+            in_stride: 1,
+            out_stride: 1,
+        };
         assert!(!e.has_partial());
     }
 
@@ -239,7 +266,13 @@ mod tests {
     fn class_equal_for_equivalent_blocks() {
         let mut g = OuterGrid::new();
         // stride multiple of 16: all blocks alignment-equivalent
-        g.push(GridDim { dim: 1, extent: 8, chunk: 1, in_stride: 32, out_stride: 64 });
+        g.push(GridDim {
+            dim: 1,
+            extent: 8,
+            chunk: 1,
+            in_stride: 32,
+            out_stride: 64,
+        });
         let c: Vec<u32> = (0..8).map(|b| g.block_class(b, 16)).collect();
         assert!(c.windows(2).all(|w| w[0] == w[1]));
     }

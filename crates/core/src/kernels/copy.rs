@@ -24,7 +24,10 @@ pub struct CopyKernel<E> {
 impl<E: Element> CopyKernel<E> {
     /// Build a copy kernel over `volume` elements.
     pub fn new(volume: usize) -> Self {
-        CopyKernel { volume, _elem: PhantomData }
+        CopyKernel {
+            volume,
+            _elem: PhantomData,
+        }
     }
 
     fn elems_per_block(&self) -> usize {
@@ -80,7 +83,14 @@ mod tests {
         let ex = Executor::new(DeviceConfig::test_tiny());
         let k = CopyKernel::<u64>::new(n);
         let res = ex
-            .run(&k, &input, &mut out, ExecMode::Execute { check_disjoint_writes: true })
+            .run(
+                &k,
+                &input,
+                &mut out,
+                ExecMode::Execute {
+                    check_disjoint_writes: true,
+                },
+            )
             .unwrap();
         assert_eq!(out, input);
         assert_eq!(res.stats.elements_moved, n as u64);
@@ -105,7 +115,14 @@ mod tests {
         let ex = Executor::new(DeviceConfig::test_tiny());
         let k = CopyKernel::<u32>::new(n);
         let e = ex
-            .run(&k, &input, &mut out, ExecMode::Execute { check_disjoint_writes: false })
+            .run(
+                &k,
+                &input,
+                &mut out,
+                ExecMode::Execute {
+                    check_disjoint_writes: false,
+                },
+            )
             .unwrap();
         let a = ex.analyze(&k).unwrap();
         assert_eq!(e.stats, a.stats);

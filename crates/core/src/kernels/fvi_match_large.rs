@@ -32,9 +32,15 @@ impl<E: Element> FviMatchLargeKernel<E> {
     /// Build the kernel for a fused problem. Requires `perm[0] == 0` and
     /// `extent(0) >= warp size`.
     pub fn new(p: &Problem) -> Self {
-        assert!(p.perm.fvi_matches(), "FVI-Match-Large requires matching FVI");
+        assert!(
+            p.perm.fvi_matches(),
+            "FVI-Match-Large requires matching FVI"
+        );
         let n0 = p.extent(0);
-        assert!(n0 >= ttlg_tensor::WARP_SIZE, "FVI-Match-Large requires extent(0) >= warp size");
+        assert!(
+            n0 >= ttlg_tensor::WARP_SIZE,
+            "FVI-Match-Large requires extent(0) >= warp size"
+        );
 
         let coarsen_dim =
             pick_coarsening_dim(p.shape.extents(), &[0], p.bytes::<E>()).filter(|&d| d != 0);
@@ -69,7 +75,14 @@ impl<E: Element> FviMatchLargeKernel<E> {
         } else {
             (row_threads * rows_per_block).min(256).max(row_threads)
         };
-        FviMatchLargeKernel { n0, grid, multi, coarsened, threads, _elem: PhantomData }
+        FviMatchLargeKernel {
+            n0,
+            grid,
+            multi,
+            coarsened,
+            threads,
+            _elem: PhantomData,
+        }
     }
 
     /// The coarsened grid dimension, if the heuristic engaged.
@@ -77,7 +90,13 @@ impl<E: Element> FviMatchLargeKernel<E> {
         self.coarsened.then_some(self.multi).flatten()
     }
 
-    fn copy_row(&self, in_base: usize, out_base: usize, io: &BlockIo<'_, E>, acct: &mut Accounting) {
+    fn copy_row(
+        &self,
+        in_base: usize,
+        out_base: usize,
+        io: &BlockIo<'_, E>,
+        acct: &mut Accounting,
+    ) {
         let mut off = 0usize;
         while off < self.n0 {
             let lanes = (self.n0 - off).min(32);
@@ -153,7 +172,14 @@ mod tests {
         let mut out = vec![0u64; p.volume()];
         let ex = Executor::new(DeviceConfig::k40c());
         let res = ex
-            .run(&k, input.data(), &mut out, ExecMode::Execute { check_disjoint_writes: true })
+            .run(
+                &k,
+                input.data(),
+                &mut out,
+                ExecMode::Execute {
+                    check_disjoint_writes: true,
+                },
+            )
             .unwrap();
         let expect = reference::transpose_reference(&input, &perm).unwrap();
         assert_eq!(out, expect.data(), "case {extents:?} perm {perm}");

@@ -71,13 +71,19 @@ impl<E: Element> FviMatchSmallKernel<E> {
 
     /// Build the kernel with blocking factor `b`.
     pub fn with_b(p: &Problem, b: usize) -> Self {
-        assert!(p.perm.fvi_matches(), "FVI-Match-Small requires matching FVI");
+        assert!(
+            p.perm.fvi_matches(),
+            "FVI-Match-Small requires matching FVI"
+        );
         let n0 = p.extent(0);
-        assert!(n0 < WARP_SIZE, "FVI-Match-Small requires extent(0) < warp size");
+        assert!(
+            n0 < WARP_SIZE,
+            "FVI-Match-Small requires extent(0) < warp size"
+        );
         assert!(p.rank() >= 3);
         let dim_ik = p.perm.output_dim_source(1);
         assert!(dim_ik >= 2, "fusion guarantees ik >= 2");
-        assert!(b >= 1 && b <= 32);
+        assert!((1..=32).contains(&b));
 
         let row_len = Self::padded_row_len(n0, b);
         let tensor_bytes = p.bytes::<E>();
@@ -245,17 +251,17 @@ impl<E: Element> FviMatchSmallKernel<E> {
             while off < run {
                 let lanes = (run - off).min(32);
                 acct.global_store_contiguous(base_out + off, lanes, E::BYTES);
-                for l in 0..lanes {
+                for (l, g) in gather.iter_mut().enumerate().take(lanes) {
                     let pos = off + l;
                     let ik_off = pos / n0;
                     let i0 = pos % n0;
-                    gather[l] = ik_off * self.row_len + w * n0 + i0;
+                    *g = ik_off * self.row_len + w * n0 + i0;
                 }
                 // pos/n0, pos%n0 per lane: the mod/div pair.
                 acct.special_instr(2 * lanes as u64);
                 acct.smem_access_lanes(&gather[..lanes], E::BYTES, true);
-                for l in 0..lanes {
-                    io.store(base_out + off + l, sm.read(gather[l]));
+                for (l, &g) in gather.iter().enumerate().take(lanes) {
+                    io.store(base_out + off + l, sm.read(g));
                 }
                 off += lanes;
             }
@@ -279,7 +285,14 @@ mod tests {
         let mut out = vec![0u64; p.volume()];
         let ex = Executor::new(DeviceConfig::k40c());
         let res = ex
-            .run(&k, input.data(), &mut out, ExecMode::Execute { check_disjoint_writes: true })
+            .run(
+                &k,
+                input.data(),
+                &mut out,
+                ExecMode::Execute {
+                    check_disjoint_writes: true,
+                },
+            )
             .unwrap();
         let expect = reference::transpose_reference(&input, &perm).unwrap();
         assert_eq!(out, expect.data(), "case {extents:?} perm {perm}");
@@ -316,11 +329,14 @@ mod tests {
         let p = Problem::new(&shape, &perm).unwrap();
         let k = FviMatchSmallKernel::<f32>::new(&p, 48 * 1024);
         assert_eq!(k.blocking(), 4); // 4 * 8 = 32 = warp size
-        // row_len = 4*8 + pad with row_len % 32 == 8 -> 40.
+                                     // row_len = 4*8 + pad with row_len % 32 == 8 -> 40.
         assert_eq!(FviMatchSmallKernel::<f32>::padded_row_len(8, 4), 40);
         let ex = Executor::new(DeviceConfig::k40c());
         let res = ex.analyze(&k).unwrap();
-        assert_eq!(res.stats.smem_conflict_replays, 0, "padding must kill conflicts");
+        assert_eq!(
+            res.stats.smem_conflict_replays, 0,
+            "padding must kill conflicts"
+        );
     }
 
     #[test]
@@ -328,9 +344,8 @@ mod tests {
         // Sanity check of the model: b*n0 = 32 with no padding gives a
         // 4-way conflict on the gather (four rows collide per bank).
         let mut gather = [0usize; 32];
-        for l in 0..32 {
-            let pos = l;
-            gather[l] = (pos / 8) * 32 + pos % 8;
+        for (pos, g) in gather.iter_mut().enumerate() {
+            *g = (pos / 8) * 32 + pos % 8;
         }
         let mut acct = ttlg_gpu_sim::Accounting::new();
         acct.smem_access_lanes(&gather, 4, true);

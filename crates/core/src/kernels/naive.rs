@@ -29,9 +29,16 @@ impl<E: Element> NaiveKernel<E> {
     pub fn new(p: &Problem) -> Self {
         let rank = p.rank();
         let out_extents: Vec<usize> = p.out_shape.extents().to_vec();
-        let perm_strides: Vec<usize> =
-            (0..rank).map(|od| p.in_strides[p.perm.output_dim_source(od)]).collect();
-        NaiveKernel { volume: p.volume(), rank, out_extents, perm_strides, _elem: PhantomData }
+        let perm_strides: Vec<usize> = (0..rank)
+            .map(|od| p.in_strides[p.perm.output_dim_source(od)])
+            .collect();
+        NaiveKernel {
+            volume: p.volume(),
+            rank,
+            out_extents,
+            perm_strides,
+            _elem: PhantomData,
+        }
     }
 }
 
@@ -55,7 +62,7 @@ impl<E: Element> BlockKernel<E> for NaiveKernel<E> {
         let mut off = start;
         while off < end {
             let lanes = (end - off).min(32);
-            for l in 0..lanes {
+            for (l, slot) in in_addrs.iter_mut().enumerate().take(lanes) {
                 let mut rem = off + l;
                 let mut in_off = 0usize;
                 for d in 0..self.rank {
@@ -63,14 +70,14 @@ impl<E: Element> BlockKernel<E> for NaiveKernel<E> {
                     in_off += (rem % e) * self.perm_strides[d];
                     rem /= e;
                 }
-                in_addrs[l] = in_off;
+                *slot = in_off;
             }
             // The decode chain: one mod + one div per dimension per thread.
             acct.special_instr(2 * self.rank as u64 * lanes as u64);
             acct.global_access_lanes(&in_addrs[..lanes], E::BYTES, true);
             acct.global_store_contiguous(off, lanes, E::BYTES);
-            for l in 0..lanes {
-                io.store(off + l, io.load(in_addrs[l]));
+            for (l, &a) in in_addrs.iter().enumerate().take(lanes) {
+                io.store(off + l, io.load(a));
             }
             acct.elements(lanes as u64);
             off += lanes;
@@ -103,7 +110,14 @@ mod tests {
         let mut out = vec![0u64; p.volume()];
         let ex = Executor::new(DeviceConfig::k40c());
         let res = ex
-            .run(&k, input.data(), &mut out, ExecMode::Execute { check_disjoint_writes: true })
+            .run(
+                &k,
+                input.data(),
+                &mut out,
+                ExecMode::Execute {
+                    check_disjoint_writes: true,
+                },
+            )
             .unwrap();
         let expect = reference::transpose_reference(&input, &perm).unwrap();
         assert_eq!(out, expect.data(), "case {extents:?} perm {perm}");
@@ -123,7 +137,11 @@ mod tests {
         // its own transaction.
         let stats = run_case(&[64, 64], &[1, 0]);
         // loads far exceed the coalesced minimum (64*64*8/128 = 256).
-        assert!(stats.dram_load_tx > 4 * 256, "loads: {}", stats.dram_load_tx);
+        assert!(
+            stats.dram_load_tx > 4 * 256,
+            "loads: {}",
+            stats.dram_load_tx
+        );
         // stores are output-linear, fully coalesced.
         assert_eq!(stats.dram_store_tx, 256);
     }

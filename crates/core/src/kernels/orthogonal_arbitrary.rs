@@ -51,7 +51,11 @@ impl OaChoice {
             if j < self.in_dims {
                 continue; // already covered by IS
             }
-            let chunk = if od + 1 == self.out_dims { self.block_b.min(p.extent(j)) } else { p.extent(j) };
+            let chunk = if od + 1 == self.out_dims {
+                self.block_b.min(p.extent(j))
+            } else {
+                p.extent(j)
+            };
             v.push((j, chunk));
         }
         v
@@ -69,7 +73,11 @@ impl OaChoice {
 
     /// Structural validity (see module docs for the constraints).
     pub fn is_valid(&self, p: &Problem) -> bool {
-        if self.in_dims == 0 || self.in_dims > p.rank() || self.out_dims == 0 || self.out_dims > p.rank() {
+        if self.in_dims == 0
+            || self.in_dims > p.rank()
+            || self.out_dims == 0
+            || self.out_dims > p.rank()
+        {
             return false;
         }
         let xa = self.in_dims - 1;
@@ -122,7 +130,9 @@ impl OaChoice {
             init += 1;
             vol *= p.extent(init - 1);
         }
-        (1..=init).rev().find_map(|in_dims| Self::default_with_in_dims::<E>(p, in_dims, smem_limit))
+        (1..=init)
+            .rev()
+            .find_map(|in_dims| Self::default_with_in_dims::<E>(p, in_dims, smem_limit))
     }
 
     /// The default construction for a fixed `in_dims`; see
@@ -167,7 +177,12 @@ impl OaChoice {
         } else {
             p.extent(jb)
         };
-        let mut c = OaChoice { in_dims, block_a, out_dims, block_b };
+        let mut c = OaChoice {
+            in_dims,
+            block_a,
+            out_dims,
+            block_b,
+        };
         if !c.is_valid(p) {
             return None;
         }
@@ -232,7 +247,10 @@ pub struct OrthogonalArbitraryKernel<E> {
 impl<E: Element> OrthogonalArbitraryKernel<E> {
     /// Build the kernel for a problem and slice choice.
     pub fn new(p: &Problem, choice: OaChoice, smem_limit: usize) -> Self {
-        assert!(choice.is_valid(p), "invalid Orthogonal-Arbitrary choice {choice:?}");
+        assert!(
+            choice.is_valid(p),
+            "invalid Orthogonal-Arbitrary choice {choice:?}"
+        );
         assert!(
             choice.fits_smem(p, E::BYTES, smem_limit),
             "slice does not fit shared memory: {choice:?}"
@@ -242,7 +260,10 @@ impl<E: Element> OrthogonalArbitraryKernel<E> {
         let oos_pairs = choice.oos_dims(p);
         let oos: Vec<OosDim> = oos_pairs
             .iter()
-            .map(|&(j, chunk)| OosDim { chunk, in_stride: p.in_strides[j] })
+            .map(|&(j, chunk)| OosDim {
+                chunk,
+                in_stride: p.in_strides[j],
+            })
             .collect();
         let olimit: usize = oos.iter().map(|d| d.chunk).product();
         let slice_vol = ilimit * olimit;
@@ -346,8 +367,16 @@ impl<E: Element> OrthogonalArbitraryKernel<E> {
         // arrays (this is Alg. 4, done host-side at plan time).
         let mut out_offset = vec![0usize; slice_vol];
         let mut sm_offset = vec![0u32; slice_vol];
-        let mut idx_a = if blocked_a { vec![0u16; slice_vol] } else { Vec::new() };
-        let mut idx_b = if blocked_b { vec![0u16; slice_vol] } else { Vec::new() };
+        let mut idx_a = if blocked_a {
+            vec![0u16; slice_vol]
+        } else {
+            Vec::new()
+        };
+        let mut idx_b = if blocked_b {
+            vec![0u16; slice_vol]
+        } else {
+            Vec::new()
+        };
         {
             let mut idxs = vec![0usize; seq.len()];
             for pos in 0..slice_vol {
@@ -477,6 +506,7 @@ impl<E: Element> OrthogonalArbitraryKernel<E> {
     }
 
     /// Transpose one sub-slice whose bases are given.
+    #[allow(clippy::too_many_arguments)]
     fn run_slice(
         &self,
         in_base: usize,
@@ -523,7 +553,11 @@ impl<E: Element> OrthogonalArbitraryKernel<E> {
             // odometer over OOS with *current* extents
             let mut done = true;
             for (k, d) in self.oos.iter().enumerate() {
-                let lim = if Some(k) == self.blocked_oos_index() { cur_b } else { d.chunk };
+                let lim = if Some(k) == self.blocked_oos_index() {
+                    cur_b
+                } else {
+                    d.chunk
+                };
                 idxs[k] += 1;
                 if idxs[k] < lim {
                     done = false;
@@ -651,13 +685,20 @@ mod tests {
         let shape = Shape::new(extents).unwrap();
         let perm = Permutation::new(perm).unwrap();
         let p = Problem::new(&shape, &perm).unwrap();
-        let k = OrthogonalArbitraryKernel::<u64>::with_default_choice(&p, SMEM)
-            .expect("OA must apply");
+        let k =
+            OrthogonalArbitraryKernel::<u64>::with_default_choice(&p, SMEM).expect("OA must apply");
         let input: DenseTensor<u64> = DenseTensor::iota(shape.clone());
         let mut out = vec![0u64; p.volume()];
         let ex = Executor::new(DeviceConfig::k40c());
         let res = ex
-            .run(&k, input.data(), &mut out, ExecMode::Execute { check_disjoint_writes: true })
+            .run(
+                &k,
+                input.data(),
+                &mut out,
+                ExecMode::Execute {
+                    check_disjoint_writes: true,
+                },
+            )
             .unwrap();
         let expect = reference::transpose_reference(&input, &perm).unwrap();
         assert_eq!(out, expect.data(), "case {extents:?} perm {perm}");
@@ -722,7 +763,12 @@ mod tests {
         )
         .unwrap();
         // Paper Sec. III: combine {a,b,c} on input and {c,b,d} on output.
-        let c = OaChoice { in_dims: 3, block_a: 8, out_dims: 3, block_b: 8 };
+        let c = OaChoice {
+            in_dims: 3,
+            block_a: 8,
+            out_dims: 3,
+            block_b: 8,
+        };
         assert!(c.is_valid(&p));
         assert_eq!(c.ilimit(&p), 128);
         assert_eq!(c.olimit(&p), 8); // OOS = {d}
@@ -734,13 +780,25 @@ mod tests {
         let shape = Shape::new(&[8, 2, 8, 8]).unwrap();
         let perm = Permutation::new(&[2, 1, 3, 0]).unwrap();
         let p = Problem::new(&shape, &perm).unwrap();
-        let c = OaChoice { in_dims: 3, block_a: 8, out_dims: 3, block_b: 8 };
+        let c = OaChoice {
+            in_dims: 3,
+            block_a: 8,
+            out_dims: 3,
+            block_b: 8,
+        };
         let k = OrthogonalArbitraryKernel::<u64>::new(&p, c, SMEM);
         let input: DenseTensor<u64> = DenseTensor::iota(shape);
         let mut out = vec![0u64; p.volume()];
         let ex = Executor::new(DeviceConfig::k40c());
-        ex.run(&k, input.data(), &mut out, ExecMode::Execute { check_disjoint_writes: true })
-            .unwrap();
+        ex.run(
+            &k,
+            input.data(),
+            &mut out,
+            ExecMode::Execute {
+                check_disjoint_writes: true,
+            },
+        )
+        .unwrap();
         let expect = reference::transpose_reference(&input, &perm).unwrap();
         assert_eq!(out, expect.data());
     }
@@ -753,12 +811,30 @@ mod tests {
         )
         .unwrap();
         // in_dims 0
-        assert!(!OaChoice { in_dims: 0, block_a: 1, out_dims: 1, block_b: 8 }.is_valid(&p));
+        assert!(!OaChoice {
+            in_dims: 0,
+            block_a: 1,
+            out_dims: 1,
+            block_b: 8
+        }
+        .is_valid(&p));
         // block_a exceeding extent
-        assert!(!OaChoice { in_dims: 1, block_a: 9, out_dims: 1, block_b: 8 }.is_valid(&p));
+        assert!(!OaChoice {
+            in_dims: 1,
+            block_a: 9,
+            out_dims: 1,
+            block_b: 8
+        }
+        .is_valid(&p));
         // output dim covering the blocked input dim requires full block_a:
         // out dim 1 source is b (dim 1): in_dims = 2 blocks dim 1 with 1 < 2.
-        assert!(!OaChoice { in_dims: 2, block_a: 1, out_dims: 2, block_b: 2 }.is_valid(&p));
+        assert!(!OaChoice {
+            in_dims: 2,
+            block_a: 1,
+            out_dims: 2,
+            block_b: 2
+        }
+        .is_valid(&p));
     }
 
     #[test]

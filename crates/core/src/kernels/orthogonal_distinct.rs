@@ -52,8 +52,9 @@ impl OdChoice {
             return false;
         }
         let in_set: Vec<usize> = (0..self.in_dims).collect();
-        let out_set: Vec<usize> =
-            (0..self.out_dims).map(|od| p.perm.output_dim_source(od)).collect();
+        let out_set: Vec<usize> = (0..self.out_dims)
+            .map(|od| p.perm.output_dim_source(od))
+            .collect();
         if in_set.iter().any(|d| out_set.contains(d)) {
             return false;
         }
@@ -107,7 +108,12 @@ impl OdChoice {
         let oprefix = p.out_shape.prefix_volume(out_dims - 1);
         let jlast = p.perm.output_dim_source(out_dims - 1);
         let block_b = p.extent(jlast).min(ws.div_ceil(oprefix)).max(1);
-        let c = OdChoice { in_dims, block_a, out_dims, block_b };
+        let c = OdChoice {
+            in_dims,
+            block_a,
+            out_dims,
+            block_b,
+        };
         c.is_valid(p).then_some(c)
     }
 }
@@ -153,7 +159,10 @@ impl<E: Element> OrthogonalDistinctKernel<E> {
     /// reproduces the bank-conflicted naive tile (ablation / TTC-style
     /// baseline).
     pub fn new_with_padding(p: &Problem, choice: OdChoice, padded: bool) -> Self {
-        assert!(choice.is_valid(p), "invalid Orthogonal-Distinct slice choice {choice:?}");
+        assert!(
+            choice.is_valid(p),
+            "invalid Orthogonal-Distinct slice choice {choice:?}"
+        );
         let a_vol = choice.a_vol(p);
         let b_vol = choice.b_vol(p);
         let a_prefix = p.shape.prefix_volume(choice.in_dims - 1);
@@ -186,8 +195,11 @@ impl<E: Element> OrthogonalDistinctKernel<E> {
             let mut rem = a;
             let mut off = 0usize;
             for j in 0..choice.in_dims {
-                let radix =
-                    if j + 1 == choice.in_dims { choice.block_a } else { p.extent(j) };
+                let radix = if j + 1 == choice.in_dims {
+                    choice.block_a
+                } else {
+                    p.extent(j)
+                };
                 let idx = rem % radix;
                 rem /= radix;
                 off += idx * p.out_stride_of_in_dim(j);
@@ -198,8 +210,9 @@ impl<E: Element> OrthogonalDistinctKernel<E> {
         // Grid: blocked remainders of the two slice-terminal dims plus all
         // dims outside the slice.
         let in_set: Vec<usize> = (0..choice.in_dims).collect();
-        let out_set: Vec<usize> =
-            (0..choice.out_dims).map(|od| p.perm.output_dim_source(od)).collect();
+        let out_set: Vec<usize> = (0..choice.out_dims)
+            .map(|od| p.perm.output_dim_source(od))
+            .collect();
         let mut grid = OuterGrid::new();
         let mut a_grid_pos = None;
         let mut b_grid_pos = None;
@@ -359,7 +372,14 @@ mod tests {
         let mut out = vec![0u64; p.volume()];
         let ex = Executor::new(DeviceConfig::k40c());
         let res = ex
-            .run(&k, input.data(), &mut out, ExecMode::Execute { check_disjoint_writes: true })
+            .run(
+                &k,
+                input.data(),
+                &mut out,
+                ExecMode::Execute {
+                    check_disjoint_writes: true,
+                },
+            )
             .unwrap();
         let expect = reference::transpose_reference(&input, &perm).unwrap();
         assert_eq!(out, expect.data(), "case {extents:?} perm {perm}");
@@ -467,14 +487,26 @@ mod tests {
         let p = Problem::new(&shape, &perm).unwrap();
         // A = 27*3 = 81 (block 3 of dim 1... dim 1 is in neither side's
         // default), B = 27 * 2: use explicit wider choice.
-        let c = OdChoice { in_dims: 2, block_a: 3, out_dims: 1, block_b: 27 };
+        let c = OdChoice {
+            in_dims: 2,
+            block_a: 3,
+            out_dims: 1,
+            block_b: 27,
+        };
         assert!(c.is_valid(&p));
         let k = OrthogonalDistinctKernel::<u64>::new(&p, c);
         let input: DenseTensor<u64> = DenseTensor::iota(shape.clone());
         let mut out = vec![0u64; p.volume()];
         let ex = Executor::new(DeviceConfig::k40c());
-        ex.run(&k, input.data(), &mut out, ExecMode::Execute { check_disjoint_writes: true })
-            .unwrap();
+        ex.run(
+            &k,
+            input.data(),
+            &mut out,
+            ExecMode::Execute {
+                check_disjoint_writes: true,
+            },
+        )
+        .unwrap();
         let expect = reference::transpose_reference(&input, &perm).unwrap();
         assert_eq!(out, expect.data());
     }
@@ -509,7 +541,14 @@ mod tests {
         let mut out = vec![0.0f64; p.volume()];
         let ex = Executor::new(DeviceConfig::k40c());
         let res = ex
-            .run(&k, input.data(), &mut out, ExecMode::Execute { check_disjoint_writes: true })
+            .run(
+                &k,
+                input.data(),
+                &mut out,
+                ExecMode::Execute {
+                    check_disjoint_writes: true,
+                },
+            )
             .unwrap();
         let expect = reference::transpose_reference(&input, &perm).unwrap();
         assert_eq!(out, expect.data());
@@ -528,10 +567,28 @@ mod tests {
         )
         .unwrap();
         // in: {0,1}, out: {2,1}: overlap on dim 1.
-        assert!(!OdChoice { in_dims: 2, block_a: 16, out_dims: 2, block_b: 16 }.is_valid(&p));
+        assert!(!OdChoice {
+            in_dims: 2,
+            block_a: 16,
+            out_dims: 2,
+            block_b: 16
+        }
+        .is_valid(&p));
         // zero dims invalid
-        assert!(!OdChoice { in_dims: 0, block_a: 1, out_dims: 1, block_b: 1 }.is_valid(&p));
+        assert!(!OdChoice {
+            in_dims: 0,
+            block_a: 1,
+            out_dims: 1,
+            block_b: 1
+        }
+        .is_valid(&p));
         // block too large
-        assert!(!OdChoice { in_dims: 1, block_a: 17, out_dims: 1, block_b: 16 }.is_valid(&p));
+        assert!(!OdChoice {
+            in_dims: 1,
+            block_a: 17,
+            out_dims: 1,
+            block_b: 16
+        }
+        .is_valid(&p));
     }
 }

@@ -36,8 +36,10 @@ pub mod problem;
 pub mod schema;
 pub mod slice;
 
-pub use cache::{CacheStats, PlanCache};
+pub use cache::{CacheConfig, CacheStats, PlanCache, PlanKey, ShardedPlanCache};
 pub use model::{AnalyticPredictor, Candidate, TimePredictor};
-pub use plan::{CandidateMeasurement, Plan, PlanError, Transposer, TransposeOptions, TransposeReport};
+pub use plan::{
+    CandidateMeasurement, Plan, PlanError, TransposeOptions, TransposeReport, Transposer,
+};
 pub use problem::Problem;
 pub use schema::{applicable_schemas, Schema};

@@ -33,7 +33,9 @@ pub struct AnalyticPredictor {
 impl AnalyticPredictor {
     /// Build for a device.
     pub fn new(device: DeviceConfig) -> Self {
-        AnalyticPredictor { timing: TimingModel::new(device) }
+        AnalyticPredictor {
+            timing: TimingModel::new(device),
+        }
     }
 
     /// The underlying timing model.
@@ -61,7 +63,11 @@ mod tests {
     use ttlg_tensor::{Permutation, Shape};
 
     fn prob(extents: &[usize], perm: &[usize]) -> Problem {
-        Problem::new(&Shape::new(extents).unwrap(), &Permutation::new(perm).unwrap()).unwrap()
+        Problem::new(
+            &Shape::new(extents).unwrap(),
+            &Permutation::new(perm).unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -296,8 +296,7 @@ impl Transposer {
         };
         let (predicted_ns, candidate, evaluated) =
             self.rank_candidates::<E>(&problem, &schemas, opts)?;
-        let kernel =
-            build_kernel::<E>(&problem, &candidate, self.executor.device().smem_per_sm);
+        let kernel = build_kernel::<E>(&problem, &candidate, self.executor.device().smem_per_sm);
 
         let offset_bytes = match &kernel {
             AnyKernel::Od(k) => k.offset_array_bytes(),
@@ -355,9 +354,10 @@ impl Transposer {
             .filter(|(_, (_, a, _))| *a <= ANALYTIC_GUARD * analytic_best)
             .min_by(|(_, (t1, _, _)), (_, (t2, _, _))| t1.partial_cmp(t2).expect("finite"))
             .or_else(|| {
-                cands.iter().enumerate().min_by(|(_, (t1, _, _)), (_, (t2, _, _))| {
-                    t1.partial_cmp(t2).expect("finite")
-                })
+                cands
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, (t1, _, _)), (_, (t2, _, _))| t1.partial_cmp(t2).expect("finite"))
             })
             .map(|(i, _)| i)
             .ok_or(PlanError::NoCandidate)?;
@@ -393,7 +393,9 @@ impl Transposer {
             &plan.kernel,
             input.data(),
             out.data_mut(),
-            ExecMode::Execute { check_disjoint_writes: plan.check_disjoint_writes },
+            ExecMode::Execute {
+                check_disjoint_writes: plan.check_disjoint_writes,
+            },
         )?;
         Ok(self.report(plan, &outcome.stats))
     }
@@ -482,9 +484,8 @@ impl Transposer {
             }
         }
         let (best_ns, candidate, kernel) = best.ok_or(PlanError::NoCandidate)?;
-        let plan_time_ns = self.timing.plan_overhead_ns()
-            + measured_ns
-            + evaluated as f64 * PLAN_PER_CANDIDATE_NS;
+        let plan_time_ns =
+            self.timing.plan_overhead_ns() + measured_ns + evaluated as f64 * PLAN_PER_CANDIDATE_NS;
         Ok(Plan {
             problem,
             candidate,
@@ -507,7 +508,10 @@ impl Transposer {
         let kernel = build_kernel::<E>(problem, cand, self.executor.device().smem_per_sm);
         let outcome = self.executor.analyze(&kernel)?;
         let timing = self.timing.time(&outcome.stats, &kernel.launch());
-        Ok(CandidateMeasurement { stats: outcome.stats, timing })
+        Ok(CandidateMeasurement {
+            stats: outcome.stats,
+            timing,
+        })
     }
 
     /// The queryable prediction interface (paper Sec. I): estimated
@@ -546,7 +550,10 @@ mod tests {
     use ttlg_tensor::reference;
 
     fn opts_checked() -> TransposeOptions {
-        TransposeOptions { check_disjoint_writes: true, ..Default::default() }
+        TransposeOptions {
+            check_disjoint_writes: true,
+            ..Default::default()
+        }
     }
 
     fn roundtrip(extents: &[usize], perm: &[usize]) -> TransposeReport {
@@ -571,10 +578,16 @@ mod tests {
         assert_eq!(r.schema, Schema::FviMatchLarge);
         // FVI-Match-Small family (model may pick FMS or OA)
         let r = roundtrip(&[8, 8, 8, 8], &[0, 3, 2, 1]);
-        assert!(matches!(r.schema, Schema::FviMatchSmall | Schema::OrthogonalArbitrary));
+        assert!(matches!(
+            r.schema,
+            Schema::FviMatchSmall | Schema::OrthogonalArbitrary
+        ));
         // Orthogonal-Distinct family
         let r = roundtrip(&[64, 64], &[1, 0]);
-        assert!(matches!(r.schema, Schema::OrthogonalDistinct | Schema::OrthogonalArbitrary));
+        assert!(matches!(
+            r.schema,
+            Schema::OrthogonalDistinct | Schema::OrthogonalArbitrary
+        ));
         // Orthogonal-Arbitrary (overlap)
         let r = roundtrip(&[8, 2, 8, 8], &[2, 1, 3, 0]);
         assert!(r.bandwidth_gbps > 0.0);
@@ -636,7 +649,10 @@ mod tests {
             .plan::<f64>(
                 &shape,
                 &perm,
-                &TransposeOptions { model_sweep: false, ..Default::default() },
+                &TransposeOptions {
+                    model_sweep: false,
+                    ..Default::default()
+                },
             )
             .unwrap();
         assert!(sweep.predicted_ns() <= quick.predicted_ns() + 1e-6);
@@ -648,7 +664,9 @@ mod tests {
         let shape = Shape::new(&[32, 32, 32]).unwrap();
         let perm = Permutation::new(&[2, 1, 0]).unwrap();
         let t = Transposer::new_k40c();
-        let plan = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+        let plan = t
+            .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+            .unwrap();
         let input: DenseTensor<f64> = DenseTensor::iota(shape);
         let (_, exec_report) = t.execute(&plan, &input).unwrap();
         let time_report = t.time_plan(&plan).unwrap();
@@ -669,7 +687,10 @@ mod tests {
         assert!(fast > 0.0 && slow > 0.0);
         // Both are DRAM-bound at the same minimum traffic; the copy must
         // be at least competitive (within launch-geometry noise).
-        assert!(fast <= slow * 1.05, "identity copy should not be slower: {fast} vs {slow}");
+        assert!(
+            fast <= slow * 1.05,
+            "identity copy should not be slower: {fast} vs {slow}"
+        );
     }
 
     #[test]
@@ -677,7 +698,9 @@ mod tests {
         let t = Transposer::new_k40c();
         let shape = Shape::new(&[32, 32, 32]).unwrap();
         let perm = Permutation::new(&[2, 1, 0]).unwrap();
-        let plan = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+        let plan = t
+            .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+            .unwrap();
         let prof = t.profile_plan(&plan).unwrap();
         assert_eq!(prof.elements, 32768);
         assert!(prof.dram_efficiency() > 0.5);
@@ -750,7 +773,9 @@ mod tests {
         let t = Transposer::new_k40c();
         let shape = Shape::new(&[8, 8]).unwrap();
         let perm = Permutation::new(&[1, 0]).unwrap();
-        let plan = t.plan::<u64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+        let plan = t
+            .plan::<u64>(&shape, &perm, &TransposeOptions::default())
+            .unwrap();
         let wrong: DenseTensor<u64> = DenseTensor::iota(Shape::new(&[4, 16]).unwrap());
         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _ = t.execute(&plan, &wrong);

@@ -128,7 +128,11 @@ mod tests {
     use ttlg_tensor::{Permutation, Shape};
 
     fn prob(extents: &[usize], perm: &[usize]) -> Problem {
-        Problem::new(&Shape::new(extents).unwrap(), &Permutation::new(perm).unwrap()).unwrap()
+        Problem::new(
+            &Shape::new(extents).unwrap(),
+            &Permutation::new(perm).unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -206,7 +210,10 @@ mod tests {
 
     #[test]
     fn schema_display() {
-        assert_eq!(Schema::OrthogonalDistinct.to_string(), "Orthogonal-Distinct");
+        assert_eq!(
+            Schema::OrthogonalDistinct.to_string(),
+            "Orthogonal-Distinct"
+        );
         assert_eq!(Schema::FviMatchSmall.to_string(), "FVI-Match-Small");
     }
 }

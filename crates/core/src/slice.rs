@@ -135,7 +135,12 @@ pub fn od_candidates<E: Element>(
                                     p,
                                     &mut out,
                                     &mut seen,
-                                    OdChoice { in_dims, block_a, out_dims, block_b },
+                                    OdChoice {
+                                        in_dims,
+                                        block_a,
+                                        out_dims,
+                                        block_b,
+                                    },
                                 );
                             }
                             if truncated {
@@ -278,7 +283,12 @@ pub fn oa_candidates<E: Element>(
                         overbooking,
                         &mut out,
                         &mut seen,
-                        OaChoice { in_dims, block_a, out_dims, block_b },
+                        OaChoice {
+                            in_dims,
+                            block_a,
+                            out_dims,
+                            block_b,
+                        },
                     );
                     if out.len() >= MAX_CANDIDATES {
                         return out;
@@ -361,7 +371,9 @@ pub fn enumerate_candidates<E: Element>(
             if cs.is_empty() {
                 // Never leave the schema without a candidate: the default
                 // (occupancy-poor as it may be) is still executable.
-                cs = OaChoice::default_for::<E>(p, smem_limit).into_iter().collect();
+                cs = OaChoice::default_for::<E>(p, smem_limit)
+                    .into_iter()
+                    .collect();
             }
             cs.into_iter().map(|c| oa_candidate::<E>(p, c)).collect()
         }
@@ -375,7 +387,11 @@ mod tests {
     use ttlg_tensor::{Permutation, Shape};
 
     fn prob(extents: &[usize], perm: &[usize]) -> Problem {
-        Problem::new(&Shape::new(extents).unwrap(), &Permutation::new(perm).unwrap()).unwrap()
+        Problem::new(
+            &Shape::new(extents).unwrap(),
+            &Permutation::new(perm).unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -409,7 +425,9 @@ mod tests {
         assert!(
             cs.iter().any(|c| c.a_vol(&p) == 189 && c.b_vol(&p) == 27),
             "sweep must contain the 189x27 slice; has {:?}",
-            cs.iter().map(|c| (c.a_vol(&p), c.b_vol(&p))).collect::<Vec<_>>()
+            cs.iter()
+                .map(|c| (c.a_vol(&p), c.b_vol(&p)))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -428,9 +446,19 @@ mod tests {
     fn oa_occupancy_bound_rejects_giant_slices_on_big_tensors() {
         // 16^6 tensor: a 32 KiB slice leaves 1 resident block per SM.
         let p = prob(&[16, 16, 16, 16, 16, 16], &[1, 0, 2, 4, 5, 3]);
-        let giant = OaChoice { in_dims: 2, block_a: 16, out_dims: 3, block_b: 16 };
+        let giant = OaChoice {
+            in_dims: 2,
+            block_a: 16,
+            out_dims: 3,
+            block_b: 16,
+        };
         if giant.is_valid(&p) {
-            assert!(!oa_occupancy_ok::<f64>(&p, &giant, &DeviceConfig::k40c(), 4));
+            assert!(!oa_occupancy_ok::<f64>(
+                &p,
+                &giant,
+                &DeviceConfig::k40c(),
+                4
+            ));
         }
         let cs = oa_candidates::<f64>(&p, &DeviceConfig::k40c(), DEFAULT_OVERBOOKING);
         for c in &cs {
@@ -452,13 +480,11 @@ mod tests {
         let p = prob(&[8, 8, 8, 8], &[0, 3, 2, 1]);
         assert!(!enumerate_candidates::<f64>(&p, Schema::FviMatchSmall, &dev, 4, true).is_empty());
         assert!(
-            !enumerate_candidates::<f64>(&p, Schema::OrthogonalArbitrary, &dev, 4, true)
-                .is_empty()
+            !enumerate_candidates::<f64>(&p, Schema::OrthogonalArbitrary, &dev, 4, true).is_empty()
         );
         let pr = prob(&[64, 64], &[1, 0]);
         assert!(
-            !enumerate_candidates::<f64>(&pr, Schema::OrthogonalDistinct, &dev, 4, true)
-                .is_empty()
+            !enumerate_candidates::<f64>(&pr, Schema::OrthogonalDistinct, &dev, 4, true).is_empty()
         );
         let pl = prob(&[64, 8, 8], &[0, 2, 1]);
         assert_eq!(

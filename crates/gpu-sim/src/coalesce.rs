@@ -115,11 +115,17 @@ mod tests {
 
     #[test]
     fn strided_matches_generic_lane_analysis() {
-        for &(stride, eb) in &[(8usize, 8usize), (16, 8), (24, 8), (128, 4), (260, 4), (4, 4)] {
+        for &(stride, eb) in &[
+            (8usize, 8usize),
+            (16, 8),
+            (24, 8),
+            (128, 4),
+            (260, 4),
+            (4, 4),
+        ] {
             for &start in &[0usize, 4, 100, 124] {
                 for lanes in [1usize, 7, 31, 32] {
-                    let addrs: Vec<usize> =
-                        (0..lanes).map(|l| start + l * stride).collect();
+                    let addrs: Vec<usize> = (0..lanes).map(|l| start + l * stride).collect();
                     // Generic path counts distinct segments of the first
                     // byte only; expand to cover elem width.
                     let mut expanded = Vec::new();

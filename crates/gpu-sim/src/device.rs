@@ -143,11 +143,10 @@ impl DeviceConfig {
         } else {
             self.max_threads_per_sm / threads_per_block.max(1)
         };
-        let by_smem = if smem_per_block == 0 {
-            self.max_blocks_per_sm
-        } else {
-            self.smem_per_sm / smem_per_block
-        };
+        let by_smem = self
+            .smem_per_sm
+            .checked_div(smem_per_block)
+            .unwrap_or(self.max_blocks_per_sm);
         self.max_blocks_per_sm.min(by_threads).min(by_smem).max(1)
     }
 

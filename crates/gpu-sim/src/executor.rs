@@ -5,7 +5,8 @@
 //! * **Execute** — every block runs, real elements move from the input
 //!   buffer to the output buffer, and transaction statistics are summed
 //!   over all blocks. Blocks are distributed over host worker threads
-//!   (crossbeam), mirroring the GPU's block-level parallelism. Optionally
+//!   (`std::thread::scope`), mirroring the GPU's block-level
+//!   parallelism. Optionally
 //!   verifies that blocks write disjoint output elements.
 //! * **Analyze** — blocks are grouped into the kernel-declared equivalence
 //!   classes; one representative per class runs (with data movement
@@ -67,8 +68,14 @@ pub enum LaunchError {
 impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LaunchError::SharedMemExceeded { requested, available } => {
-                write!(f, "shared memory per block {requested} B exceeds SM capacity {available} B")
+            LaunchError::SharedMemExceeded {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "shared memory per block {requested} B exceeds SM capacity {available} B"
+                )
             }
             LaunchError::BadBlockSize { threads } => {
                 write!(f, "threads per block must be in 1..=1024, got {threads}")
@@ -102,7 +109,9 @@ impl Executor {
             return Err(LaunchError::EmptyGrid);
         }
         if launch.threads_per_block == 0 || launch.threads_per_block > 1024 {
-            return Err(LaunchError::BadBlockSize { threads: launch.threads_per_block });
+            return Err(LaunchError::BadBlockSize {
+                threads: launch.threads_per_block,
+            });
         }
         if launch.smem_bytes_per_block > self.device.smem_per_sm {
             return Err(LaunchError::SharedMemExceeded {
@@ -124,7 +133,9 @@ impl Executor {
         let launch = kernel.launch();
         self.validate(&launch)?;
         match mode {
-            ExecMode::Execute { check_disjoint_writes } => {
+            ExecMode::Execute {
+                check_disjoint_writes,
+            } => {
                 let tracker: Option<Vec<AtomicU8>> = if check_disjoint_writes {
                     Some((0..output.len()).map(|_| AtomicU8::new(0)).collect())
                 } else {
@@ -148,7 +159,12 @@ impl Executor {
                         a
                     },
                 );
-                Ok(RunOutcome { stats, launch, blocks_executed: blocks, classes: None })
+                Ok(RunOutcome {
+                    stats,
+                    launch,
+                    blocks_executed: blocks,
+                    classes: None,
+                })
             }
             ExecMode::Analyze => self.analyze(kernel),
         }
@@ -163,7 +179,8 @@ impl Executor {
         self.validate(&launch)?;
         // Group blocks by class: (class, count, representative block id).
         // Insertion order is kept so results are deterministic.
-        let mut class_index: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let mut class_index: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
         let mut classes: Vec<(u32, u64, usize)> = Vec::new();
         for b in 0..launch.grid_blocks {
             let c = kernel.block_class(b);
@@ -247,7 +264,14 @@ mod tests {
         let ex = Executor::new(DeviceConfig::test_tiny());
         let k = CopyKernel { n };
         let out = ex
-            .run(&k, &input, &mut output, ExecMode::Execute { check_disjoint_writes: true })
+            .run(
+                &k,
+                &input,
+                &mut output,
+                ExecMode::Execute {
+                    check_disjoint_writes: true,
+                },
+            )
             .unwrap();
         assert_eq!(output, input);
         assert_eq!(out.stats.elements_moved, n as u64);
@@ -265,7 +289,14 @@ mod tests {
         let ex = Executor::new(DeviceConfig::test_tiny());
         let k = CopyKernel { n };
         let exec = ex
-            .run(&k, &input, &mut output, ExecMode::Execute { check_disjoint_writes: false })
+            .run(
+                &k,
+                &input,
+                &mut output,
+                ExecMode::Execute {
+                    check_disjoint_writes: false,
+                },
+            )
             .unwrap();
         let ana = ex.analyze(&k).unwrap();
         assert_eq!(exec.stats, ana.stats);
@@ -283,7 +314,14 @@ mod tests {
         let input: Vec<u32> = (0..n as u32).collect();
         let mut output = vec![0u32; n];
         let exec = ex
-            .run(&k, &input, &mut output, ExecMode::Execute { check_disjoint_writes: false })
+            .run(
+                &k,
+                &input,
+                &mut output,
+                ExecMode::Execute {
+                    check_disjoint_writes: false,
+                },
+            )
             .unwrap();
         assert_eq!(exec.stats, ana.stats);
     }
@@ -301,21 +339,35 @@ mod tests {
             }
             fn run_block(&self, _: usize, _: &BlockIo<'_, u32>, _: &mut Accounting) {}
         }
-        let e = ex.analyze(&Bad(Launch { grid_blocks: 0, threads_per_block: 32, smem_bytes_per_block: 0 }));
+        let e = ex.analyze(&Bad(Launch {
+            grid_blocks: 0,
+            threads_per_block: 32,
+            smem_bytes_per_block: 0,
+        }));
         assert_eq!(e.unwrap_err(), LaunchError::EmptyGrid);
-        let e = ex.analyze(&Bad(Launch { grid_blocks: 1, threads_per_block: 2048, smem_bytes_per_block: 0 }));
+        let e = ex.analyze(&Bad(Launch {
+            grid_blocks: 1,
+            threads_per_block: 2048,
+            smem_bytes_per_block: 0,
+        }));
         assert!(matches!(e.unwrap_err(), LaunchError::BadBlockSize { .. }));
         let e = ex.analyze(&Bad(Launch {
             grid_blocks: 1,
             threads_per_block: 32,
             smem_bytes_per_block: 1 << 30,
         }));
-        assert!(matches!(e.unwrap_err(), LaunchError::SharedMemExceeded { .. }));
+        assert!(matches!(
+            e.unwrap_err(),
+            LaunchError::SharedMemExceeded { .. }
+        ));
     }
 
     #[test]
     fn launch_error_messages() {
-        let e = LaunchError::SharedMemExceeded { requested: 100, available: 50 };
+        let e = LaunchError::SharedMemExceeded {
+            requested: 100,
+            available: 50,
+        };
         assert!(e.to_string().contains("100"));
         assert!(!LaunchError::EmptyGrid.to_string().is_empty());
     }

@@ -61,7 +61,9 @@ pub struct Accounting {
 impl Accounting {
     /// Fresh accounting for one block.
     pub fn new() -> Self {
-        Accounting { stats: TransactionStats::default() }
+        Accounting {
+            stats: TransactionStats::default(),
+        }
     }
 
     /// A warp loads `lanes` consecutive elements from global memory
@@ -238,14 +240,22 @@ impl<'a, E: Element> SharedOutput<'a, E> {
         if let Some(t) = tracker {
             assert_eq!(t.len(), out.len());
         }
-        SharedOutput { ptr: out.as_mut_ptr(), len: out.len(), tracker }
+        SharedOutput {
+            ptr: out.as_mut_ptr(),
+            len: out.len(),
+            tracker,
+        }
     }
 
     /// Write one element. Panics on out-of-bounds, and on double writes
     /// when tracking is enabled.
     #[inline]
     pub fn write(&self, off: usize, v: E) {
-        assert!(off < self.len, "output write out of bounds: {off} >= {}", self.len);
+        assert!(
+            off < self.len,
+            "output write out of bounds: {off} >= {}",
+            self.len
+        );
         if let Some(t) = self.tracker {
             let prev = t[off].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             assert_eq!(prev, 0, "output element {off} written more than once");
@@ -279,7 +289,11 @@ pub struct BlockIo<'a, E: Element> {
 impl<'a, E: Element> BlockIo<'a, E> {
     /// Build the I/O handle for one block.
     pub fn new(input: &'a [E], output: &'a SharedOutput<'a, E>, mode: IoMode) -> Self {
-        BlockIo { input, output, mode }
+        BlockIo {
+            input,
+            output,
+            mode,
+        }
     }
 
     /// The execution mode.
@@ -344,7 +358,11 @@ mod tests {
 
     #[test]
     fn launch_math() {
-        let l = Launch { grid_blocks: 10, threads_per_block: 96, smem_bytes_per_block: 0 };
+        let l = Launch {
+            grid_blocks: 10,
+            threads_per_block: 96,
+            smem_bytes_per_block: 0,
+        };
         assert_eq!(l.warps_per_block(32), 3);
         assert_eq!(l.total_threads(), 960);
     }
@@ -400,15 +418,15 @@ mod tests {
     fn block_io_modes() {
         let input = vec![5u32, 6, 7];
         let mut outbuf = vec![0u32; 3];
-        let out = SharedOutput::new(&mut outbuf, None);
-        let io = BlockIo::new(&input, &out, IoMode::Execute);
-        assert_eq!(io.load(1), 6);
-        io.store(2, 9);
-        let io2 = BlockIo::new(&input, &out, IoMode::Analyze);
-        assert_eq!(io2.load(1), 0);
-        io2.store(0, 99); // discarded
-        drop(io);
-        drop(io2);
+        {
+            let out = SharedOutput::new(&mut outbuf, None);
+            let io = BlockIo::new(&input, &out, IoMode::Execute);
+            assert_eq!(io.load(1), 6);
+            io.store(2, 9);
+            let io2 = BlockIo::new(&input, &out, IoMode::Analyze);
+            assert_eq!(io2.load(1), 0);
+            io2.store(0, 99); // discarded
+        }
         assert_eq!(outbuf, vec![0, 0, 9]);
     }
 

@@ -147,7 +147,10 @@ pub struct Profiler {
 impl Profiler {
     /// Build for a device.
     pub fn new(device: DeviceConfig) -> Self {
-        Profiler { executor: Executor::new(device.clone()), timing: TimingModel::new(device) }
+        Profiler {
+            executor: Executor::new(device.clone()),
+            timing: TimingModel::new(device),
+        }
     }
 
     /// Profile a kernel (sampled analysis; no data movement).
@@ -183,7 +186,11 @@ mod tests {
             "toy"
         }
         fn launch(&self) -> Launch {
-            Launch { grid_blocks: 4, threads_per_block: 64, smem_bytes_per_block: 256 }
+            Launch {
+                grid_blocks: 4,
+                threads_per_block: 64,
+                smem_bytes_per_block: 256,
+            }
         }
         fn run_block(&self, _b: usize, _io: &BlockIo<'_, f64>, acct: &mut Accounting) {
             acct.global_load_contiguous(0, 32, 8);

@@ -97,7 +97,9 @@ impl<E: ttlg_tensor::Element> SmemSim<E> {
     /// Allocate a buffer of `elems` elements (the executor checks the byte
     /// footprint against the device's per-SM capacity at launch).
     pub fn new(elems: usize) -> Self {
-        SmemSim { data: vec![E::zero(); elems] }
+        SmemSim {
+            data: vec![E::zero(); elems],
+        }
     }
 
     /// Number of elements.

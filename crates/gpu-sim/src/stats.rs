@@ -87,8 +87,16 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = TransactionStats { dram_load_tx: 3, smem_conflict_replays: 2, ..Default::default() };
-        let b = TransactionStats { dram_load_tx: 4, dram_store_tx: 7, ..Default::default() };
+        let mut a = TransactionStats {
+            dram_load_tx: 3,
+            smem_conflict_replays: 2,
+            ..Default::default()
+        };
+        let b = TransactionStats {
+            dram_load_tx: 4,
+            dram_store_tx: 7,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.dram_load_tx, 7);
         assert_eq!(a.dram_store_tx, 7);
@@ -118,7 +126,11 @@ mod tests {
 
     #[test]
     fn dram_bytes_uses_128b_transactions() {
-        let a = TransactionStats { dram_load_tx: 1, dram_store_tx: 1, ..Default::default() };
+        let a = TransactionStats {
+            dram_load_tx: 1,
+            dram_store_tx: 1,
+            ..Default::default()
+        };
         assert_eq!(a.dram_bytes(), 256);
     }
 }

@@ -63,7 +63,11 @@ pub struct TimingModel {
 impl TimingModel {
     /// Standard model for a device.
     pub fn new(device: DeviceConfig) -> Self {
-        TimingModel { device, coupling: 0.12, tail_alpha: 0.45 }
+        TimingModel {
+            device,
+            coupling: 0.12,
+            tail_alpha: 0.45,
+        }
     }
 
     /// The device being modelled.
@@ -74,8 +78,7 @@ impl TimingModel {
     /// Time a kernel described by `stats` + `launch`.
     pub fn time(&self, stats: &TransactionStats, launch: &Launch) -> KernelTiming {
         let d = &self.device;
-        let resident =
-            d.max_resident_blocks(launch.threads_per_block, launch.smem_bytes_per_block);
+        let resident = d.max_resident_blocks(launch.threads_per_block, launch.smem_bytes_per_block);
         let active_blocks = launch.grid_blocks.min(resident);
         let warps_per_block = launch.warps_per_block(d.warp_size);
         let active_warps = (active_blocks * warps_per_block) as f64;
@@ -100,8 +103,7 @@ impl TimingModel {
         let tex_ns = stats.tex_load_tx as f64 / (16.0 * sms_used) * d.cycle_ns();
 
         // Special-function (mod/div -> MUFU) and index instruction pipes.
-        let special_ns =
-            stats.special_instr as f64 / (d.sfu_per_sm * sms_used) * d.cycle_ns();
+        let special_ns = stats.special_instr as f64 / (d.sfu_per_sm * sms_used) * d.cycle_ns();
         let index_ns = stats.index_instr as f64 / (128.0 * sms_used) * d.cycle_ns();
         let instr_ns = special_ns + index_ns + tex_ns;
 
@@ -157,7 +159,11 @@ mod tests {
     }
 
     fn big_launch() -> Launch {
-        Launch { grid_blocks: 4096, threads_per_block: 256, smem_bytes_per_block: 32 * 33 * 8 }
+        Launch {
+            grid_blocks: 4096,
+            threads_per_block: 256,
+            smem_bytes_per_block: 32 * 33 * 8,
+        }
     }
 
     #[test]
@@ -181,7 +187,12 @@ mod tests {
         bad.dram_store_tx = vol as u64;
         let tg = model.time(&good, &big_launch());
         let tb = model.time(&bad, &big_launch());
-        assert!(tb.time_ns > 5.0 * tg.time_ns, "bad {} vs good {}", tb.time_ns, tg.time_ns);
+        assert!(
+            tb.time_ns > 5.0 * tg.time_ns,
+            "bad {} vs good {}",
+            tb.time_ns,
+            tg.time_ns
+        );
     }
 
     #[test]
@@ -195,7 +206,12 @@ mod tests {
             31 * (conflicted.smem_load_acc + conflicted.smem_store_acc);
         let tg = model.time(&good, &big_launch());
         let tc = model.time(&conflicted, &big_launch());
-        assert!(tc.time_ns > 1.5 * tg.time_ns, "conflicted {} vs good {}", tc.time_ns, tg.time_ns);
+        assert!(
+            tc.time_ns > 1.5 * tg.time_ns,
+            "conflicted {} vs good {}",
+            tc.time_ns,
+            tg.time_ns
+        );
     }
 
     #[test]
@@ -205,7 +221,11 @@ mod tests {
         let model = TimingModel::new(DeviceConfig::k40c());
         let small_vol = 15usize.pow(4); // ~50K elements
         let stats = ideal_stats(small_vol, 8);
-        let launch = Launch { grid_blocks: 4, threads_per_block: 256, smem_bytes_per_block: 0 };
+        let launch = Launch {
+            grid_blocks: 4,
+            threads_per_block: 256,
+            smem_bytes_per_block: 0,
+        };
         let t = model.time(&stats, &launch);
         let bw = t.bandwidth_gbps(small_vol, 8);
         assert!(bw < 80.0, "small volume should droop, got {bw}");
@@ -229,9 +249,16 @@ mod tests {
         let stats = ideal_stats(vol, 8);
         let resident = model.device().max_resident_blocks(256, 0);
         // One full wave vs one wave + 1 block.
-        let l1 = Launch { grid_blocks: resident, threads_per_block: 256, smem_bytes_per_block: 0 };
-        let l2 =
-            Launch { grid_blocks: resident + 1, threads_per_block: 256, smem_bytes_per_block: 0 };
+        let l1 = Launch {
+            grid_blocks: resident,
+            threads_per_block: 256,
+            smem_bytes_per_block: 0,
+        };
+        let l2 = Launch {
+            grid_blocks: resident + 1,
+            threads_per_block: 256,
+            smem_bytes_per_block: 0,
+        };
         let t1 = model.time(&stats, &l1);
         let t2 = model.time(&stats, &l2);
         assert!(t2.tail > t1.tail);

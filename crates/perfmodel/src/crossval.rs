@@ -34,7 +34,10 @@ pub fn k_fold(
     let (x, y) = split_xy(points, schema);
     let n = y.len();
     if n < folds * (feature_names.len() + 2) {
-        return Err(FitError::TooFewObservations { n, k: folds * (feature_names.len() + 2) });
+        return Err(FitError::TooFewObservations {
+            n,
+            k: folds * (feature_names.len() + 2),
+        });
     }
     let mut fold_precisions = Vec::with_capacity(folds);
     for f in 0..folds {
@@ -52,7 +55,10 @@ pub fn k_fold(
         fold_precisions.push(linreg::precision_percent(&fit.model, &x_test, &y_test));
     }
     let mean = fold_precisions.iter().sum::<f64>() / folds as f64;
-    let var = fold_precisions.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
+    let var = fold_precisions
+        .iter()
+        .map(|p| (p - mean) * (p - mean))
+        .sum::<f64>()
         / folds as f64;
     Ok(CrossValidation {
         schema,
@@ -103,7 +109,11 @@ pub fn feature_ablation(
         let xs: Vec<Vec<f64>> = x
             .iter()
             .map(|row| {
-                row.iter().enumerate().filter(|(i, _)| *i != drop).map(|(_, v)| *v).collect()
+                row.iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != drop)
+                    .map(|(_, v)| *v)
+                    .collect()
             })
             .collect();
         let fit = linreg::fit(&names, &xs, &y)?;
@@ -140,7 +150,12 @@ mod tests {
     #[test]
     fn k_fold_rejects_starved_input() {
         let pts = points();
-        let err = k_fold(&pts[..3.min(pts.len())], Schema::OrthogonalDistinct, &OD_FEATURES, 4);
+        let err = k_fold(
+            &pts[..3.min(pts.len())],
+            Schema::OrthogonalDistinct,
+            &OD_FEATURES,
+            4,
+        );
         assert!(err.is_err());
     }
 

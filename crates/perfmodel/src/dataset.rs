@@ -13,8 +13,13 @@ use ttlg_tensor::generator::Case;
 use ttlg_tensor::Element;
 
 /// Feature names of the Orthogonal-Distinct model (Table II, upper half).
-pub const OD_FEATURES: [&str; 5] =
-    ["Volume", "NumBlocks", "Input slice", "Output slice", "Cycles"];
+pub const OD_FEATURES: [&str; 5] = [
+    "Volume",
+    "NumBlocks",
+    "Input slice",
+    "Output slice",
+    "Cycles",
+];
 
 /// Feature names of the Orthogonal-Arbitrary model (Table II, lower
 /// half).
@@ -95,8 +100,12 @@ pub fn generate<E: Element>(
                 true,
             );
             for cand in candidates.into_iter().take(max_configs_per_case) {
-                let Some((schema, features)) = feature_vector(&cand) else { continue };
-                let Ok(m) = t.measure_candidate::<E>(&problem, &cand) else { continue };
+                let Some((schema, features)) = feature_vector(&cand) else {
+                    continue;
+                };
+                let Ok(m) = t.measure_candidate::<E>(&problem, &cand) else {
+                    continue;
+                };
                 points.push(DataPoint {
                     schema,
                     features,
@@ -132,8 +141,14 @@ mod tests {
         let device = DeviceConfig::k40c();
         let points = generate::<f64>(&device, &cases[..cases.len().min(30)], 4);
         assert!(!points.is_empty());
-        let od = points.iter().filter(|p| p.schema == Schema::OrthogonalDistinct).count();
-        let oa = points.iter().filter(|p| p.schema == Schema::OrthogonalArbitrary).count();
+        let od = points
+            .iter()
+            .filter(|p| p.schema == Schema::OrthogonalDistinct)
+            .count();
+        let oa = points
+            .iter()
+            .filter(|p| p.schema == Schema::OrthogonalArbitrary)
+            .count();
         assert!(od > 0, "need OD points");
         assert!(oa > 0, "need OA points");
         for p in &points {

@@ -19,8 +19,18 @@ pub struct LinearModel {
 impl LinearModel {
     /// Predict the response for a feature vector.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.coefficients.len(), "feature dimension mismatch");
-        self.intercept + self.coefficients.iter().zip(x.iter()).map(|(c, v)| c * v).sum::<f64>()
+        assert_eq!(
+            x.len(),
+            self.coefficients.len(),
+            "feature dimension mismatch"
+        );
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(x.iter())
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
     }
 }
 
@@ -73,7 +83,10 @@ impl FitSummary {
                 format_p(c.p_value),
             ));
         }
-        s.push_str(&format!("R-squared: {:.4}, n = {}\n", self.r_squared, self.n));
+        s.push_str(&format!(
+            "R-squared: {:.4}, n = {}\n",
+            self.r_squared, self.n
+        ));
         s
     }
 }
@@ -119,11 +132,7 @@ impl std::error::Error for FitError {}
 
 /// Fit `y ~ 1 + x` by OLS. `x` is row-major: one feature vector per
 /// observation.
-pub fn fit(
-    feature_names: &[&str],
-    x: &[Vec<f64>],
-    y: &[f64],
-) -> Result<FitSummary, FitError> {
+pub fn fit(feature_names: &[&str], x: &[Vec<f64>], y: &[f64]) -> Result<FitSummary, FitError> {
     fit_weighted(feature_names, x, y, None)
 }
 
@@ -133,6 +142,9 @@ pub fn fit(
 /// the metric the paper reports (`mean(|actual - predicted| / actual)`).
 /// Plain OLS over-weights the slowest configurations and can invert the
 /// ranking among the fast ones, which is what the planner actually needs.
+// Index loops are the clearest form for the normal-equation and
+// Gauss-Jordan matrix math below.
+#[allow(clippy::needless_range_loop)]
 pub fn fit_weighted(
     feature_names: &[&str],
     x: &[Vec<f64>],
@@ -188,7 +200,10 @@ pub fn fit_weighted(
         // partial pivot
         let piv = (col..k)
             .max_by(|&r1, &r2| {
-                aug[r1][col].abs().partial_cmp(&aug[r2][col].abs()).expect("finite")
+                aug[r1][col]
+                    .abs()
+                    .partial_cmp(&aug[r2][col].abs())
+                    .expect("finite")
             })
             .expect("non-empty");
         if aug[piv][col].abs() < 1e-12 * (1.0 + a[col][col].abs()) {
@@ -212,8 +227,9 @@ pub fn fit_weighted(
         }
     }
     let beta: Vec<f64> = (0..k).map(|i| aug[i][k]).collect();
-    let inv: Vec<Vec<f64>> =
-        (0..k).map(|i| (0..k).map(|j| aug[i][k + 1 + j]).collect()).collect();
+    let inv: Vec<Vec<f64>> = (0..k)
+        .map(|i| (0..k).map(|j| aug[i][k + 1 + j]).collect())
+        .collect();
 
     // Residuals, R^2, sigma^2 (in the weighted metric when weights given).
     let wsum: f64 = (0..n).map(|i| weights.map(|w| w[i]).unwrap_or(1.0)).sum();
@@ -225,7 +241,12 @@ pub fn fit_weighted(
     let mut tss = 0.0;
     for (idx, (row, &yi)) in x.iter().zip(y.iter()).enumerate() {
         let w = weights.map(|w| w[idx]).unwrap_or(1.0);
-        let pred = beta[0] + row.iter().zip(beta[1..].iter()).map(|(v, c)| v * c).sum::<f64>();
+        let pred = beta[0]
+            + row
+                .iter()
+                .zip(beta[1..].iter())
+                .map(|(v, c)| v * c)
+                .sum::<f64>();
         rss += w * (yi - pred) * (yi - pred);
         tss += w * (yi - mean_y) * (yi - mean_y);
     }
@@ -236,8 +257,16 @@ pub fn fit_weighted(
     let mut stats = Vec::with_capacity(k);
     for i in 0..k {
         let se = (sigma2 * inv[i][i]).max(0.0).sqrt();
-        let t = if se > 0.0 { beta[i] / se } else { f64::INFINITY };
-        let name = if i == 0 { "(Intercept)".to_string() } else { feature_names[i - 1].to_string() };
+        let t = if se > 0.0 {
+            beta[i] / se
+        } else {
+            f64::INFINITY
+        };
+        let name = if i == 0 {
+            "(Intercept)".to_string()
+        } else {
+            feature_names[i - 1].to_string()
+        };
         stats.push(CoefficientStat {
             name,
             estimate: beta[i],

@@ -71,16 +71,17 @@ pub fn from_text(text: &str) -> Result<ModelPair, ParseError> {
     let mut od: Option<LinearModel> = None;
     let mut oa: Option<LinearModel> = None;
     let mut current: Option<(String, LinearModel)> = None;
-    let commit =
-        |cur: &mut Option<(String, LinearModel)>, od: &mut Option<LinearModel>, oa: &mut Option<LinearModel>| {
-            if let Some((name, m)) = cur.take() {
-                match name.as_str() {
-                    "od" => *od = Some(m),
-                    "oa" => *oa = Some(m),
-                    _ => {}
-                }
+    let commit = |cur: &mut Option<(String, LinearModel)>,
+                  od: &mut Option<LinearModel>,
+                  oa: &mut Option<LinearModel>| {
+        if let Some((name, m)) = cur.take() {
+            match name.as_str() {
+                "od" => *od = Some(m),
+                "oa" => *oa = Some(m),
+                _ => {}
             }
-        };
+        }
+    };
     for line in lines {
         let line = line.trim();
         if line.is_empty() {
@@ -90,7 +91,9 @@ pub fn from_text(text: &str) -> Result<ModelPair, ParseError> {
         match parts.next() {
             Some("model") => {
                 commit(&mut current, &mut od, &mut oa);
-                let name = parts.next().ok_or_else(|| ParseError::BadLine(line.into()))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| ParseError::BadLine(line.into()))?;
                 current = Some((
                     name.to_string(),
                     LinearModel {
@@ -105,15 +108,24 @@ pub fn from_text(text: &str) -> Result<ModelPair, ParseError> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| ParseError::BadLine(line.into()))?;
-                current.as_mut().ok_or_else(|| ParseError::BadLine(line.into()))?.1.intercept = v;
+                current
+                    .as_mut()
+                    .ok_or_else(|| ParseError::BadLine(line.into()))?
+                    .1
+                    .intercept = v;
             }
             Some("coef") => {
-                let name = parts.next().ok_or_else(|| ParseError::BadLine(line.into()))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| ParseError::BadLine(line.into()))?;
                 let v: f64 = parts
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| ParseError::BadLine(line.into()))?;
-                let m = &mut current.as_mut().ok_or_else(|| ParseError::BadLine(line.into()))?.1;
+                let m = &mut current
+                    .as_mut()
+                    .ok_or_else(|| ParseError::BadLine(line.into()))?
+                    .1;
                 m.feature_names.push(name.replace('_', " "));
                 m.coefficients.push(v);
             }

@@ -29,7 +29,11 @@ impl TrainedPredictor {
 
     /// Build directly from two linear models.
     pub fn from_models(od: LinearModel, oa: LinearModel, device: DeviceConfig) -> Self {
-        TrainedPredictor { od, oa, fallback: AnalyticPredictor::new(device) }
+        TrainedPredictor {
+            od,
+            oa,
+            fallback: AnalyticPredictor::new(device),
+        }
     }
 
     /// Access the OD model.
@@ -62,7 +66,7 @@ mod tests {
     use super::*;
     use crate::train::{train_models, TrainConfig};
     use std::sync::Arc;
-    use ttlg::{Transposer, TransposeOptions};
+    use ttlg::{TransposeOptions, Transposer};
     use ttlg_tensor::{reference, DenseTensor, Permutation, Shape};
 
     #[test]
@@ -79,7 +83,10 @@ mod tests {
             .plan::<f64>(
                 &shape,
                 &perm,
-                &TransposeOptions { check_disjoint_writes: true, ..Default::default() },
+                &TransposeOptions {
+                    check_disjoint_writes: true,
+                    ..Default::default()
+                },
             )
             .unwrap();
         let (out, report) = t.execute(&plan, &input).unwrap();
@@ -93,12 +100,18 @@ mod tests {
     fn predictions_positive_even_extrapolating(// regression can go negative; the clamp keeps it sane
     ) {
         let od = LinearModel {
-            feature_names: crate::dataset::OD_FEATURES.iter().map(|s| s.to_string()).collect(),
+            feature_names: crate::dataset::OD_FEATURES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             intercept: -1e9,
             coefficients: vec![0.0; 5],
         };
         let oa = LinearModel {
-            feature_names: crate::dataset::OA_FEATURES.iter().map(|s| s.to_string()).collect(),
+            feature_names: crate::dataset::OA_FEATURES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             intercept: -1e9,
             coefficients: vec![0.0; 7],
         };

@@ -50,7 +50,10 @@ pub fn oa_model_k40c() -> LinearModel {
 
 /// Both models as a persistable pair.
 pub fn model_pair_k40c() -> ModelPair {
-    ModelPair { od: od_model_k40c(), oa: oa_model_k40c() }
+    ModelPair {
+        od: od_model_k40c(),
+        oa: oa_model_k40c(),
+    }
 }
 
 /// A ready-to-use regression predictor for the simulated K40c.
@@ -62,7 +65,7 @@ pub fn predictor_k40c() -> TrainedPredictor {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use ttlg::{TimePredictor, Transposer, TransposeOptions};
+    use ttlg::{TimePredictor, TransposeOptions, Transposer};
     use ttlg_tensor::{reference, DenseTensor, Permutation, Shape};
 
     #[test]
@@ -76,7 +79,10 @@ mod tests {
             .plan::<f64>(
                 &shape,
                 &perm,
-                &TransposeOptions { check_disjoint_writes: true, ..Default::default() },
+                &TransposeOptions {
+                    check_disjoint_writes: true,
+                    ..Default::default()
+                },
             )
             .unwrap();
         let (out, report) = t.execute(&plan, &input).unwrap();
@@ -101,7 +107,10 @@ mod tests {
         let predicted = pred.predict_ns(&c);
         let actual = t.measure_candidate::<f64>(&p, &c).unwrap().timing.time_ns;
         let ratio = predicted / actual;
-        assert!((0.4..2.5).contains(&ratio), "predicted {predicted} actual {actual}");
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "predicted {predicted} actual {actual}"
+        );
     }
 
     #[test]

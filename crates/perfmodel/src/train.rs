@@ -3,12 +3,10 @@
 
 use crate::dataset::{self, DataPoint, OA_FEATURES, OD_FEATURES};
 use crate::linreg::{self, FitSummary};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use ttlg::Schema;
 use ttlg_gpu_sim::DeviceConfig;
 use ttlg_tensor::generator::{model_dataset, DatasetConfig};
+use ttlg_tensor::rng::StdRng;
 use ttlg_tensor::Element;
 
 /// Training configuration.
@@ -131,7 +129,7 @@ pub fn train_from_points(
     split_seed: u64,
 ) -> Result<TrainedModels, TrainError> {
     let mut rng = StdRng::seed_from_u64(split_seed);
-    points.shuffle(&mut rng);
+    rng.shuffle(&mut points);
 
     let fit_schema = |schema: Schema, names: &[&str]| -> Result<SchemaModel, TrainError> {
         let (x, y) = dataset::split_xy(&points, schema);
@@ -155,7 +153,14 @@ pub fn train_from_points(
         } else {
             train_precision
         };
-        Ok(SchemaModel { schema, fit, train_precision, test_precision, n_train, n_test })
+        Ok(SchemaModel {
+            schema,
+            fit,
+            train_precision,
+            test_precision,
+            n_train,
+            n_test,
+        })
     };
 
     Ok(TrainedModels {
@@ -174,8 +179,16 @@ mod tests {
         let models = train_models::<f64>(&device, &TrainConfig::quick()).unwrap();
         // The simulator's time is a near-deterministic function of the
         // features, so even a quick fit should predict reasonably.
-        assert!(models.od.train_precision < 60.0, "OD precision {}", models.od.train_precision);
-        assert!(models.oa.train_precision < 60.0, "OA precision {}", models.oa.train_precision);
+        assert!(
+            models.od.train_precision < 60.0,
+            "OD precision {}",
+            models.od.train_precision
+        );
+        assert!(
+            models.oa.train_precision < 60.0,
+            "OA precision {}",
+            models.oa.train_precision
+        );
         assert_eq!(models.od.fit.model.coefficients.len(), 5);
         assert_eq!(models.oa.fit.model.coefficients.len(), 7);
         let table = models.to_table();

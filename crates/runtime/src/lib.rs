@@ -1,0 +1,47 @@
+//! # ttlg-runtime
+//!
+//! A concurrent, multi-tenant transposition execution service layered on
+//! the `ttlg` core — the paper's repeated-use scenario (plan once, run
+//! many times, Fig. 12) industrialised for many concurrent clients.
+//!
+//! Three pieces:
+//!
+//! * **Sharded plan cache** — [`ttlg::ShardedPlanCache`] (re-exported
+//!   here): N mutex shards keyed by problem fingerprint, per-shard LRU
+//!   eviction, single-flight planning, atomic counters.
+//! * **Batched submission** — [`TransposeService::submit_batch`] groups
+//!   requests by plan key, plans each distinct problem once, and
+//!   executes the batch across a scoped worker pool with a configurable
+//!   in-flight bound.
+//! * **Metrics** — per-schema request counters, bytes-moved totals, and
+//!   fixed-bucket latency histograms for the plan and execute phases
+//!   ([`Metrics`]), exported as a plain-text report.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ttlg_runtime::{TransposeRequest, TransposeService};
+//! use ttlg_tensor::{DenseTensor, Permutation, Shape};
+//!
+//! let svc: TransposeService<f64> = TransposeService::new_k40c();
+//! let input = Arc::new(DenseTensor::<f64>::iota(Shape::new(&[16, 16, 16]).unwrap()));
+//! let reqs: Vec<_> = [[2, 1, 0], [1, 0, 2], [2, 1, 0]]
+//!     .iter()
+//!     .map(|p| TransposeRequest::new(Arc::clone(&input), Permutation::new(p).unwrap()))
+//!     .collect();
+//! let results = svc.submit_batch(&reqs);
+//! assert!(results.iter().all(|r| r.is_ok()));
+//! // Three requests, but only two distinct problems were planned.
+//! assert_eq!(svc.cache_stats().misses, 2);
+//! println!("{}", svc.metrics_report());
+//! ```
+
+pub mod metrics;
+pub mod service;
+
+pub use metrics::{LatencyHistogram, Metrics};
+pub use service::{
+    RuntimeConfig, ServeError, ServeResult, TransposeRequest, TransposeResponse, TransposeService,
+};
+pub use ttlg::{CacheConfig, CacheStats, PlanKey, ShardedPlanCache};

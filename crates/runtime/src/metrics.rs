@@ -1,0 +1,254 @@
+//! Built-in service metrics: per-schema request counters, bytes-moved
+//! totals, and fixed-bucket latency histograms for the plan and execute
+//! phases. Everything is lock-free (plain atomics), so recording from
+//! the worker pool never serializes the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use ttlg::Schema;
+
+/// All schemas, in display order for the report.
+const SCHEMAS: [Schema; 6] = [
+    Schema::Copy,
+    Schema::FviMatchLarge,
+    Schema::FviMatchSmall,
+    Schema::OrthogonalDistinct,
+    Schema::OrthogonalArbitrary,
+    Schema::Naive,
+];
+
+fn schema_index(s: Schema) -> usize {
+    match s {
+        Schema::Copy => 0,
+        Schema::FviMatchLarge => 1,
+        Schema::FviMatchSmall => 2,
+        Schema::OrthogonalDistinct => 3,
+        Schema::OrthogonalArbitrary => 4,
+        Schema::Naive => 5,
+    }
+}
+
+/// Number of histogram buckets. Bucket `i` holds samples in
+/// `[2^i, 2^{i+1})` microseconds, except bucket 0 (`< 2 us`) and the
+/// last bucket, which absorbs everything larger.
+pub const HIST_BUCKETS: usize = 16;
+
+/// A fixed-bucket log2 latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_for(ns: u64) -> usize {
+        let us = ns / 1_000;
+        if us == 0 {
+            return 0;
+        }
+        ((u64::BITS - us.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Record one sample, in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_for(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, nanoseconds (0 if empty).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_ns.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Render non-empty buckets as `  [lo, hi) us : count` lines.
+    pub fn render(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            let label = if i == 0 {
+                "[0, 2) us".to_string()
+            } else if i == HIST_BUCKETS - 1 {
+                format!("[{}, inf) us", 1u64 << (HIST_BUCKETS - 1))
+            } else {
+                format!("[{}, {}) us", 1u64 << i, 1u64 << (i + 1))
+            };
+            writeln!(out, "    {label:<18} {c:>10}").unwrap();
+        }
+    }
+}
+
+/// Aggregate service metrics. One instance lives in the service; all
+/// counters are atomics so workers record concurrently without locks.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests_by_schema: [AtomicU64; 6],
+    bytes_by_schema: [AtomicU64; 6],
+    /// Wall-clock latency of the plan-fetch phase (cache hit or build).
+    pub plan_latency: LatencyHistogram,
+    /// Wall-clock latency of the execute phase.
+    pub exec_latency: LatencyHistogram,
+    failures: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl Metrics {
+    /// Empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed request: its schema and the paper's
+    /// bytes-moved metric (`2 * volume * elem_bytes`).
+    pub fn record_request(&self, schema: Schema, bytes_moved: u64) {
+        let i = schema_index(schema);
+        self.requests_by_schema[i].fetch_add(1, Ordering::Relaxed);
+        self.bytes_by_schema[i].fetch_add(bytes_moved, Ordering::Relaxed);
+    }
+
+    /// Record a failed request (plan or execute error).
+    pub fn record_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one processed batch.
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total completed requests across all schemas.
+    pub fn total_requests(&self) -> u64 {
+        self.requests_by_schema
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total bytes moved across all schemas.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_by_schema
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Failed requests.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Requests recorded for one schema.
+    pub fn requests_for(&self, schema: Schema) -> u64 {
+        self.requests_by_schema[schema_index(schema)].load(Ordering::Relaxed)
+    }
+
+    /// Plain-text report: per-schema counters, bytes moved, and both
+    /// latency histograms.
+    pub fn render(&self, cache: &ttlg::CacheStats) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        writeln!(s, "== ttlg-runtime metrics ==").unwrap();
+        writeln!(
+            s,
+            "requests : {} ok, {} failed, {} batches",
+            self.total_requests(),
+            self.failures(),
+            self.batches.load(Ordering::Relaxed)
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "cache    : {} hits, {} misses, {} evictions",
+            cache.hits, cache.misses, cache.evictions
+        )
+        .unwrap();
+        writeln!(s, "by schema:").unwrap();
+        for schema in SCHEMAS {
+            let i = schema_index(schema);
+            let n = self.requests_by_schema[i].load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            let b = self.bytes_by_schema[i].load(Ordering::Relaxed);
+            writeln!(
+                s,
+                "  {:<24} {:>8} requests  {:>14} bytes moved",
+                schema.to_string(),
+                n,
+                b
+            )
+            .unwrap();
+        }
+        writeln!(
+            s,
+            "plan latency  (n = {}, mean {:.1} us):",
+            self.plan_latency.count(),
+            self.plan_latency.mean_ns() / 1e3
+        )
+        .unwrap();
+        self.plan_latency.render(&mut s);
+        writeln!(
+            s,
+            "exec latency  (n = {}, mean {:.1} us):",
+            self.exec_latency.count(),
+            self.exec_latency.mean_ns() / 1e3
+        )
+        .unwrap();
+        self.exec_latency.render(&mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_cover_the_line() {
+        let h = LatencyHistogram::new();
+        h.record_ns(0);
+        h.record_ns(1_999); // < 2 us -> bucket 0
+        h.record_ns(2_500); // [2, 4) us -> bucket 1
+        h.record_ns(1_000_000); // 1000 us -> bucket 10
+        h.record_ns(u64::MAX / 2); // overflow bucket
+        assert_eq!(h.count(), 5);
+        let mut out = String::new();
+        h.render(&mut out);
+        assert!(out.contains("[0, 2) us"));
+        assert!(out.contains("[2, 4) us"));
+        assert!(out.contains("[1024, 2048) us"));
+        assert!(out.contains("inf"));
+    }
+
+    #[test]
+    fn per_schema_counters_accumulate() {
+        let m = Metrics::new();
+        m.record_request(Schema::Copy, 100);
+        m.record_request(Schema::Copy, 100);
+        m.record_request(Schema::Naive, 50);
+        assert_eq!(m.total_requests(), 3);
+        assert_eq!(m.total_bytes(), 250);
+        assert_eq!(m.requests_for(Schema::Copy), 2);
+        let text = m.render(&ttlg::CacheStats::default());
+        assert!(text.contains("requests"));
+        assert!(text.contains("Copy") || text.contains("copy"));
+    }
+}

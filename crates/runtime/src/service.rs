@@ -1,0 +1,384 @@
+//! The multi-tenant transposition service.
+//!
+//! [`TransposeService`] wraps a [`Transposer`] with the three things a
+//! shared deployment needs:
+//!
+//! 1. a sharded, bounded, single-flight plan cache
+//!    ([`ttlg::ShardedPlanCache`]) so concurrent clients never plan the
+//!    same problem twice;
+//! 2. batched submission: a batch is grouped by plan key, each distinct
+//!    problem is planned once (in parallel across the pool), then every
+//!    request executes across scoped worker threads under a configurable
+//!    in-flight bound (backpressure for the device);
+//! 3. lock-free metrics: per-schema request counters, bytes-moved
+//!    totals, and plan/execute latency histograms, rendered as a
+//!    plain-text report.
+
+use crate::metrics::Metrics;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+use ttlg::{
+    CacheConfig, CacheStats, Plan, PlanError, PlanKey, ShardedPlanCache, TransposeOptions,
+    TransposeReport, Transposer,
+};
+use ttlg_tensor::{parallel, DenseTensor, Element, Permutation};
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Worker threads used to plan and execute a batch.
+    pub workers: usize,
+    /// Max requests executing concurrently (backpressure bound). `0`
+    /// means "same as `workers`".
+    pub max_in_flight: usize,
+    /// Plan-cache geometry (shards x per-shard LRU capacity).
+    pub cache: CacheConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        let workers = parallel::default_threads().min(8);
+        RuntimeConfig {
+            workers,
+            max_in_flight: 0,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// One unit of client work: transpose `input` by `perm` under `opts`.
+#[derive(Clone)]
+pub struct TransposeRequest<E: Element> {
+    /// Input tensor (shared; batches often reuse one tensor).
+    pub input: Arc<DenseTensor<E>>,
+    /// The permutation to apply.
+    pub perm: Permutation,
+    /// Planning options (part of the plan key).
+    pub opts: TransposeOptions,
+}
+
+impl<E: Element> TransposeRequest<E> {
+    /// A request with default planning options.
+    pub fn new(input: Arc<DenseTensor<E>>, perm: Permutation) -> Self {
+        TransposeRequest {
+            input,
+            perm,
+            opts: TransposeOptions::default(),
+        }
+    }
+
+    /// The cache fingerprint this request plans under.
+    pub fn plan_key(&self) -> PlanKey {
+        PlanKey::new(self.input.shape(), &self.perm, &self.opts)
+    }
+}
+
+/// A completed request.
+pub struct TransposeResponse<E: Element> {
+    /// The transposed tensor.
+    pub output: DenseTensor<E>,
+    /// Simulator timing/bandwidth report.
+    pub report: TransposeReport,
+}
+
+/// Service-level error: cloneable so one failed plan can be fanned out
+/// to every request in the batch that shared it.
+#[derive(Debug, Clone)]
+pub struct ServeError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<PlanError> for ServeError {
+    fn from(e: PlanError) -> Self {
+        ServeError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Result of one request through the service.
+pub type ServeResult<E> = Result<TransposeResponse<E>, ServeError>;
+
+/// Counting semaphore bounding in-flight executions (std has none).
+struct Semaphore {
+    permits: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(permits),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut p = self.permits.lock().expect("semaphore poisoned");
+        while *p == 0 {
+            p = self.freed.wait(p).expect("semaphore poisoned");
+        }
+        *p -= 1;
+    }
+
+    fn release(&self) {
+        *self.permits.lock().expect("semaphore poisoned") += 1;
+        self.freed.notify_one();
+    }
+}
+
+/// The concurrent transposition service. See the module docs.
+pub struct TransposeService<E: Element> {
+    transposer: Transposer,
+    cache: ShardedPlanCache<E>,
+    metrics: Metrics,
+    in_flight: Semaphore,
+    workers: usize,
+    /// Inner-executor thread cap per request while a batch is running:
+    /// the machine's parallelism divided among the in-flight bound, so
+    /// concurrent executes share cores instead of oversubscribing.
+    exec_threads: usize,
+}
+
+impl<E: Element> TransposeService<E> {
+    /// Build a service around an existing transposer.
+    pub fn with_config(transposer: Transposer, cfg: RuntimeConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let bound = if cfg.max_in_flight == 0 {
+            workers
+        } else {
+            cfg.max_in_flight
+        };
+        let bound = bound.max(1);
+        TransposeService {
+            transposer,
+            cache: ShardedPlanCache::with_config(cfg.cache),
+            metrics: Metrics::new(),
+            in_flight: Semaphore::new(bound),
+            workers,
+            exec_threads: (parallel::default_threads() / bound).max(1),
+        }
+    }
+
+    /// A service on the paper's K40c with default configuration.
+    pub fn new_k40c() -> Self {
+        Self::with_config(Transposer::new_k40c(), RuntimeConfig::default())
+    }
+
+    /// The underlying transposer (e.g. for direct plan queries).
+    pub fn transposer(&self) -> &Transposer {
+        &self.transposer
+    }
+
+    /// Cache counters (hits/misses/evictions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resident plans in the cache.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Service metrics (counters + histograms).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Render the plain-text metrics report.
+    pub fn metrics_report(&self) -> String {
+        self.metrics.render(&self.cache.stats())
+    }
+
+    /// Fetch (or build, single-flight) the plan for one request, timing
+    /// the fetch into the plan-latency histogram.
+    fn fetch_plan(
+        &self,
+        req: &TransposeRequest<E>,
+        key: &PlanKey,
+    ) -> Result<Arc<Plan<E>>, ServeError> {
+        let t0 = Instant::now();
+        let plan = self.cache.get_or_plan_keyed(
+            &self.transposer,
+            key,
+            req.input.shape(),
+            &req.perm,
+            &req.opts,
+        );
+        self.metrics
+            .plan_latency
+            .record_ns(t0.elapsed().as_nanos() as u64);
+        plan.map_err(|e| {
+            self.metrics.record_failure();
+            ServeError::from(e)
+        })
+    }
+
+    /// Execute one planned request under the in-flight bound.
+    fn execute(&self, req: &TransposeRequest<E>, plan: &Arc<Plan<E>>) -> ServeResult<E> {
+        self.in_flight.acquire();
+        let t0 = Instant::now();
+        let result = self.transposer.execute(plan, &req.input);
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        self.in_flight.release();
+        self.metrics.exec_latency.record_ns(elapsed);
+        match result {
+            Ok((output, report)) => {
+                let bytes = 2 * req.input.volume() as u64 * E::BYTES as u64;
+                self.metrics.record_request(report.schema, bytes);
+                Ok(TransposeResponse { output, report })
+            }
+            Err(e) => {
+                self.metrics.record_failure();
+                Err(ServeError::from(e))
+            }
+        }
+    }
+
+    /// Serve a single request (plan via the shared cache, execute under
+    /// the in-flight bound).
+    pub fn submit(&self, req: &TransposeRequest<E>) -> ServeResult<E> {
+        let key = req.plan_key();
+        let plan = self.fetch_plan(req, &key)?;
+        self.execute(req, &plan)
+    }
+
+    /// Serve a batch: requests are grouped by plan key, each distinct
+    /// problem is planned exactly once (in parallel across the worker
+    /// pool), then all requests execute across the pool. Responses come
+    /// back in request order.
+    pub fn submit_batch(&self, reqs: &[TransposeRequest<E>]) -> Vec<ServeResult<E>> {
+        self.metrics.record_batch();
+        // Group by plan key so each distinct problem plans once.
+        let keys: Vec<PlanKey> = reqs.iter().map(|r| r.plan_key()).collect();
+        let mut groups: HashMap<&PlanKey, usize> = HashMap::new();
+        let mut distinct: Vec<usize> = Vec::new(); // representative request per key
+        for (i, k) in keys.iter().enumerate() {
+            groups.entry(k).or_insert_with(|| {
+                distinct.push(i);
+                distinct.len() - 1
+            });
+        }
+
+        // Phase 1: plan every distinct problem across the pool.
+        let plans: Vec<OnceLock<Result<Arc<Plan<E>>, ServeError>>> =
+            (0..distinct.len()).map(|_| OnceLock::new()).collect();
+        parallel::parallel_for_threads(distinct.len(), 1, self.workers, |g| {
+            let i = distinct[g];
+            let built = self.fetch_plan(&reqs[i], &keys[i]);
+            plans[g].set(built).ok().expect("plan slot set twice");
+        });
+
+        // Phase 2: execute everything across the pool, bounded by the
+        // in-flight semaphore.
+        let results: Vec<OnceLock<ServeResult<E>>> =
+            (0..reqs.len()).map(|_| OnceLock::new()).collect();
+        parallel::parallel_for_threads(reqs.len(), 1, self.workers, |i| {
+            let g = groups[&keys[i]];
+            let outcome = match plans[g].get().expect("plan phase completed") {
+                // Cap the executor's inner parallelism so the batch's
+                // concurrent requests share cores instead of each
+                // spawning a full-machine pool.
+                Ok(plan) => {
+                    parallel::with_thread_cap(self.exec_threads, || self.execute(&reqs[i], plan))
+                }
+                Err(e) => Err(e.clone()),
+            };
+            results[i].set(outcome).ok().expect("result slot set twice");
+        });
+
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every request produced a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttlg_tensor::Shape;
+
+    #[test]
+    fn single_submit_round_trips() {
+        let svc: TransposeService<u64> = TransposeService::new_k40c();
+        let shape = Shape::new(&[16, 8, 4]).unwrap();
+        let perm = Permutation::new(&[2, 0, 1]).unwrap();
+        let input = Arc::new(DenseTensor::<u64>::iota(shape));
+        let req = TransposeRequest::new(Arc::clone(&input), perm.clone());
+        let resp = svc.submit(&req).unwrap();
+        let expect = ttlg_tensor::reference::transpose_reference(&input, &perm).unwrap();
+        assert_eq!(resp.output.data(), expect.data());
+        assert_eq!(svc.cache_stats().misses, 1);
+        assert_eq!(svc.metrics().total_requests(), 1);
+        // Second submission hits the cache.
+        svc.submit(&req).unwrap();
+        assert_eq!(svc.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn batch_plans_each_distinct_problem_once() {
+        let svc: TransposeService<u32> = TransposeService::new_k40c();
+        let shape = Shape::new(&[8, 8, 8]).unwrap();
+        let input = Arc::new(DenseTensor::<u32>::iota(shape));
+        let perms = [[2usize, 1, 0], [1, 0, 2], [0, 2, 1]];
+        // 12 requests over 3 distinct problems.
+        let reqs: Vec<TransposeRequest<u32>> = (0..12)
+            .map(|i| {
+                TransposeRequest::new(
+                    Arc::clone(&input),
+                    Permutation::new(&perms[i % perms.len()]).unwrap(),
+                )
+            })
+            .collect();
+        let results = svc.submit_batch(&reqs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(svc.cache_stats().misses, 3, "one plan per distinct problem");
+        assert_eq!(svc.metrics().total_requests(), 12);
+        assert!(svc.metrics().total_bytes() > 0);
+    }
+
+    #[test]
+    fn batch_responses_keep_request_order() {
+        let svc: TransposeService<u64> = TransposeService::new_k40c();
+        let s1 = Shape::new(&[8, 8]).unwrap();
+        let s2 = Shape::new(&[4, 4, 4]).unwrap();
+        let p1 = Permutation::new(&[1, 0]).unwrap();
+        let p2 = Permutation::new(&[2, 0, 1]).unwrap();
+        let reqs = vec![
+            TransposeRequest::new(Arc::new(DenseTensor::<u64>::iota(s1)), p1),
+            TransposeRequest::new(Arc::new(DenseTensor::<u64>::iota(s2)), p2),
+        ];
+        let results = svc.submit_batch(&reqs);
+        for (req, res) in reqs.iter().zip(results.iter()) {
+            let out = &res.as_ref().unwrap().output;
+            let expect =
+                ttlg_tensor::reference::transpose_reference(&req.input, &req.perm).unwrap();
+            assert_eq!(out.data(), expect.data());
+        }
+    }
+
+    #[test]
+    fn metrics_report_mentions_schemas_and_latency() {
+        let svc: TransposeService<f64> = TransposeService::new_k40c();
+        let shape = Shape::new(&[16, 16]).unwrap();
+        let input = Arc::new(DenseTensor::<f64>::iota(shape));
+        let req = TransposeRequest::new(input, Permutation::new(&[1, 0]).unwrap());
+        svc.submit(&req).unwrap();
+        let report = svc.metrics_report();
+        assert!(report.contains("ttlg-runtime metrics"));
+        assert!(report.contains("plan latency"));
+        assert!(report.contains("exec latency"));
+        assert!(report.contains("requests"));
+    }
+}

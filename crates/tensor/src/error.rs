@@ -34,9 +34,15 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidPermutation { perm } => {
-                write!(f, "invalid permutation {perm:?}: not a bijection over 0..rank")
+                write!(
+                    f,
+                    "invalid permutation {perm:?}: not a bijection over 0..rank"
+                )
             }
-            Error::RankMismatch { shape_rank, perm_rank } => write!(
+            Error::RankMismatch {
+                shape_rank,
+                perm_rank,
+            } => write!(
                 f,
                 "rank mismatch: shape has rank {shape_rank}, permutation has rank {perm_rank}"
             ),
@@ -61,11 +67,19 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = Error::InvalidPermutation { perm: vec![0, 0, 1] };
+        let e = Error::InvalidPermutation {
+            perm: vec![0, 0, 1],
+        };
         assert!(e.to_string().contains("[0, 0, 1]"));
-        let e = Error::RankMismatch { shape_rank: 3, perm_rank: 4 };
+        let e = Error::RankMismatch {
+            shape_rank: 3,
+            perm_rank: 4,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('4'));
-        let e = Error::DataLengthMismatch { expected: 10, actual: 9 };
+        let e = Error::DataLengthMismatch {
+            expected: 10,
+            actual: 9,
+        };
         assert!(e.to_string().contains("10") && e.to_string().contains('9'));
         assert!(!Error::EmptyShape.to_string().is_empty());
         assert!(!Error::VolumeOverflow.to_string().is_empty());

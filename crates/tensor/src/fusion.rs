@@ -73,8 +73,10 @@ pub fn fuse(shape: &Shape, perm: &Permutation) -> Result<FusedProblem> {
     groups.sort_by_key(|r| r[0]);
 
     // Fused input shape: product of extents in each group.
-    let fused_extents: Vec<usize> =
-        groups.iter().map(|g| g.iter().map(|&d| shape.extent(d)).product()).collect();
+    let fused_extents: Vec<usize> = groups
+        .iter()
+        .map(|g| g.iter().map(|&d| shape.extent(d)).product())
+        .collect();
     let fused_shape = Shape::new(&fused_extents)?;
 
     // Fused permutation: output run k corresponds to the group with the
@@ -86,7 +88,11 @@ pub fn fuse(shape: &Shape, perm: &Permutation) -> Result<FusedProblem> {
     let fused_map: Vec<usize> = runs.iter().map(|r| group_of_leading[&r[0]]).collect();
     let fused_perm = Permutation::new(&fused_map)?;
 
-    Ok(FusedProblem { shape: fused_shape, perm: fused_perm, groups })
+    Ok(FusedProblem {
+        shape: fused_shape,
+        perm: fused_perm,
+        groups,
+    })
 }
 
 /// Scaled rank without materialising the fused problem.
@@ -110,7 +116,10 @@ mod tests {
     use super::*;
 
     fn mk(extents: &[usize], perm: &[usize]) -> (Shape, Permutation) {
-        (Shape::new(extents).unwrap(), Permutation::new(perm).unwrap())
+        (
+            Shape::new(extents).unwrap(),
+            Permutation::new(perm).unwrap(),
+        )
     }
 
     #[test]

@@ -13,10 +13,8 @@
 
 use crate::fusion::scaled_rank;
 use crate::permutation::Permutation;
+use crate::rng::StdRng;
 use crate::shape::Shape;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// A single transposition problem instance.
 #[derive(Debug, Clone)]
@@ -60,7 +58,11 @@ pub fn all_permutations_suite(rank: usize, extent: usize) -> Vec<Case> {
     let mut cases: Vec<Case> = Permutation::all(rank)
         .map(|p| {
             let name = format!("perm {} ext {}", p, extent);
-            Case { name, shape: Shape::new(&extents).unwrap(), perm: p }
+            Case {
+                name,
+                shape: Shape::new(&extents).unwrap(),
+                perm: p,
+            }
         })
         .collect();
     cases.sort_by_key(|c| (c.scaled_rank(), c.perm.as_slice().to_vec()));
@@ -101,15 +103,9 @@ impl OrderingClass {
         let skew = 1.6f64;
         let factors: Vec<f64> = match self {
             OrderingClass::AllSame => vec![1.0; rank],
-            OrderingClass::Increasing => {
-                (0..rank).map(|i| skew.powf(lin(i, rank))).collect()
-            }
-            OrderingClass::Decreasing => {
-                (0..rank).map(|i| skew.powf(-lin(i, rank))).collect()
-            }
-            OrderingClass::IncreaseDecrease => {
-                (0..rank).map(|i| skew.powf(tri(i, rank))).collect()
-            }
+            OrderingClass::Increasing => (0..rank).map(|i| skew.powf(lin(i, rank))).collect(),
+            OrderingClass::Decreasing => (0..rank).map(|i| skew.powf(-lin(i, rank))).collect(),
+            OrderingClass::IncreaseDecrease => (0..rank).map(|i| skew.powf(tri(i, rank))).collect(),
             OrderingClass::DecreaseIncrease => {
                 (0..rank).map(|i| skew.powf(-tri(i, rank))).collect()
             }
@@ -246,15 +242,16 @@ pub fn model_dataset(cfg: &DatasetConfig) -> Vec<Case> {
     for &rank in &cfg.ranks {
         // Materialise all perms once per rank, skipping the identity (it
         // fuses to a pure copy and the paper's kernels never see it).
-        let perms: Vec<Permutation> =
-            Permutation::all(rank).filter(|p| !p.is_identity()).collect();
+        let perms: Vec<Permutation> = Permutation::all(rank)
+            .filter(|p| !p.is_identity())
+            .collect();
         for &vol in &cfg.volumes {
             for class in OrderingClass::ALL {
                 let extents = class.extents(rank, vol, &mut rng);
                 let chosen: Vec<&Permutation> = if perms.len() <= cfg.max_perms_per_config {
                     perms.iter().collect()
                 } else {
-                    perms.choose_multiple(&mut rng, cfg.max_perms_per_config).collect()
+                    rng.choose_multiple(&perms, cfg.max_perms_per_config)
                 };
                 for p in chosen {
                     cases.push(Case {
@@ -273,7 +270,7 @@ pub fn model_dataset(cfg: &DatasetConfig) -> Vec<Case> {
 pub fn train_test_split(cases: Vec<Case>, seed: u64) -> (Vec<Case>, Vec<Case>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut shuffled = cases;
-    shuffled.shuffle(&mut rng);
+    rng.shuffle(&mut shuffled);
     let n_test = shuffled.len() / 5;
     let test = shuffled.split_off(shuffled.len() - n_test);
     (shuffled, test)
@@ -313,7 +310,7 @@ pub fn ttc_benchmark_suite(count: usize, target_volume: usize, seed: u64) -> Vec
         // Random non-fusible, non-identity permutation.
         let perm = loop {
             let mut m: Vec<usize> = (0..rank).collect();
-            m.shuffle(&mut rng);
+            rng.shuffle(&mut m);
             let p = Permutation::new(&m).unwrap();
             if !p.is_identity() && scaled_rank(&p) == rank {
                 break p;

@@ -28,6 +28,7 @@ pub mod generator;
 pub mod parallel;
 pub mod permutation;
 pub mod reference;
+pub mod rng;
 pub mod shape;
 pub mod tensor;
 

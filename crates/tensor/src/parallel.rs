@@ -1,17 +1,48 @@
-//! A minimal data-parallel runtime built on crossbeam scoped threads.
+//! A minimal data-parallel runtime built on std scoped threads.
 //!
-//! The workspace's allowed dependency list does not include rayon, so this
-//! module provides the small subset we need: a chunked parallel-for over an
-//! index range with dynamic (atomic counter) load balancing, and a parallel
-//! map-reduce. Work items are claimed in fixed-size chunks to amortise the
-//! atomic traffic.
+//! The workspace builds with no external dependencies, so this module
+//! provides the small subset of rayon we need: a chunked parallel-for over
+//! an index range with dynamic (atomic counter) load balancing, and a
+//! parallel map-reduce. Work items are claimed in fixed-size chunks to
+//! amortise the atomic traffic.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+thread_local! {
+    static THREAD_CAP: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
 /// Number of worker threads to use: the number of logical CPUs, capped so
-/// that small test machines do not oversubscribe.
+/// that small test machines do not oversubscribe, and further capped by
+/// any enclosing [`with_thread_cap`] scope.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(64)
+    let base = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(64);
+    THREAD_CAP
+        .with(|c| c.get())
+        .map_or(base, |cap| base.min(cap))
+}
+
+/// Run `f` with [`default_threads`] capped at `cap` on this thread.
+///
+/// Callers that already parallelize at a coarser grain (e.g. a service
+/// executing several requests concurrently) use this to stop the inner
+/// parallel loops from multiplying the worker count into
+/// oversubscription. The cap is thread-local and restored on exit (also
+/// on panic); it does not propagate into threads spawned inside `f`.
+pub fn with_thread_cap<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_CAP.with(|c| c.replace(Some(cap.max(1))));
+    let _restore = Restore(prev);
+    f()
 }
 
 /// Run `body(i)` for every `i in 0..n`, in parallel, with dynamic chunked
@@ -40,9 +71,9 @@ where
         return;
     }
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let start = next.fetch_add(chunk, Ordering::Relaxed);
                 if start >= n {
                     break;
@@ -53,8 +84,7 @@ where
                 }
             });
         }
-    })
-    .expect("parallel_for worker panicked");
+    });
 }
 
 /// Parallel map-reduce over `0..n`: each worker folds chunks locally with
@@ -86,7 +116,7 @@ where
         return acc;
     }
     let next = AtomicUsize::new(0);
-    let partials = parking_lot_free_collect(threads, |_| {
+    let partials = spawn_and_collect(threads, |_| {
         let mut acc = init();
         loop {
             let start = next.fetch_add(chunk, Ordering::Relaxed);
@@ -102,25 +132,26 @@ where
     });
     let mut iter = partials.into_iter();
     let first = iter.next().expect("at least one worker");
-    iter.fold(first, |a, b| combine(a, b))
+    iter.fold(first, &combine)
 }
 
 /// Spawn `threads` scoped workers running `f(worker_idx)` and collect their
 /// results in worker order.
-fn parking_lot_free_collect<T: Send, F: Fn(usize) -> T + Sync>(threads: usize, f: F) -> Vec<T> {
+fn spawn_and_collect<T: Send, F: Fn(usize) -> T + Sync>(threads: usize, f: F) -> Vec<T> {
     let mut out: Vec<Option<T>> = (0..threads).map(|_| None).collect();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(threads);
         for w in 0..threads {
             let f = &f;
-            handles.push(s.spawn(move |_| f(w)));
+            handles.push(s.spawn(move || f(w)));
         }
         for (w, h) in handles.into_iter().enumerate() {
             out[w] = Some(h.join().expect("worker panicked"));
         }
-    })
-    .expect("scope failed");
-    out.into_iter().map(|o| o.expect("worker result missing")).collect()
+    });
+    out.into_iter()
+        .map(|o| o.expect("worker result missing"))
+        .collect()
 }
 
 /// Split a mutable slice into exact `chunk_len`-sized sub-slices (last one
@@ -145,9 +176,9 @@ where
         return;
     }
     let queue = std::sync::Mutex::new(chunks);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let item = queue.lock().expect("queue poisoned").pop();
                 match item {
                     Some((i, c)) => body(i, c),
@@ -155,8 +186,7 @@ where
                 }
             });
         }
-    })
-    .expect("parallel_chunks_mut worker panicked");
+    });
 }
 
 /// Split a mutable slice into `parts` nearly-equal sub-slices and run
@@ -173,7 +203,7 @@ where
     let parts = parts.max(1).min(n);
     let base = n / parts;
     let rem = n % parts;
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest = data;
         let mut offset = 0usize;
         for p in 0..parts {
@@ -181,12 +211,11 @@ where
             let (head, tail) = rest.split_at_mut(len);
             let body = &body;
             let off = offset;
-            s.spawn(move |_| body(p, off, head));
+            s.spawn(move || body(p, off, head));
             rest = tail;
             offset += len;
         }
-    })
-    .expect("parallel_fill worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -278,5 +307,27 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_cap_scopes_and_restores() {
+        let uncapped = default_threads();
+        with_thread_cap(1, || {
+            assert_eq!(default_threads(), 1);
+            // Nested caps apply innermost-first and restore outward.
+            with_thread_cap(2, || assert!(default_threads() <= 2));
+            assert_eq!(default_threads(), 1);
+        });
+        assert_eq!(default_threads(), uncapped);
+        // A cap above the machine's parallelism changes nothing.
+        with_thread_cap(usize::MAX, || assert_eq!(default_threads(), uncapped));
+    }
+
+    #[test]
+    fn thread_cap_restored_after_panic() {
+        let uncapped = default_threads();
+        let result = std::panic::catch_unwind(|| with_thread_cap(1, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(default_threads(), uncapped);
     }
 }

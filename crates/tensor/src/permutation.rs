@@ -51,12 +51,16 @@ impl Permutation {
 
     /// The identity permutation of the given rank.
     pub fn identity(rank: usize) -> Self {
-        Permutation { map: (0..rank).collect() }
+        Permutation {
+            map: (0..rank).collect(),
+        }
     }
 
     /// Full reversal `[d-1, d-2, ..., 0]` (the classic transpose).
     pub fn reversal(rank: usize) -> Self {
-        Permutation { map: (0..rank).rev().collect() }
+        Permutation {
+            map: (0..rank).rev().collect(),
+        }
     }
 
     /// Number of dimensions permuted.
@@ -98,7 +102,10 @@ impl Permutation {
     /// composition maps A to C.
     pub fn compose(&self, other: &Permutation) -> Result<Permutation> {
         if self.rank() != other.rank() {
-            return Err(Error::RankMismatch { shape_rank: other.rank(), perm_rank: self.rank() });
+            return Err(Error::RankMismatch {
+                shape_rank: other.rank(),
+                perm_rank: self.rank(),
+            });
         }
         let map: Vec<usize> = self.map.iter().map(|&i| other.map[i]).collect();
         Ok(Permutation { map })
@@ -108,7 +115,10 @@ impl Permutation {
     /// `out_extent[i] = in_extent[perm[i]]`.
     pub fn apply_to_shape(&self, shape: &Shape) -> Result<Shape> {
         if self.rank() != shape.rank() {
-            return Err(Error::RankMismatch { shape_rank: shape.rank(), perm_rank: self.rank() });
+            return Err(Error::RankMismatch {
+                shape_rank: shape.rank(),
+                perm_rank: self.rank(),
+            });
         }
         let ext: Vec<usize> = self.map.iter().map(|&j| shape.extent(j)).collect();
         Shape::new(&ext)
@@ -134,7 +144,9 @@ impl Permutation {
     /// Iterate over all permutations of `0..rank` in lexicographic order.
     /// Used by the all-720-permutations experiments (rank 6).
     pub fn all(rank: usize) -> AllPermutations {
-        AllPermutations { next: Some((0..rank).collect()) }
+        AllPermutations {
+            next: Some((0..rank).collect()),
+        }
     }
 }
 
@@ -247,7 +259,10 @@ mod tests {
     fn rank_mismatch_errors() {
         let s = Shape::new(&[2, 3]).unwrap();
         let p = Permutation::new(&[0, 2, 1]).unwrap();
-        assert!(matches!(p.apply_to_shape(&s), Err(Error::RankMismatch { .. })));
+        assert!(matches!(
+            p.apply_to_shape(&s),
+            Err(Error::RankMismatch { .. })
+        ));
     }
 
     #[test]

@@ -6,9 +6,9 @@ use crate::element::Element;
 use crate::error::{Error, Result};
 use crate::parallel;
 use crate::permutation::Permutation;
-use crate::tensor::DenseTensor;
 #[cfg(test)]
 use crate::shape::Shape;
+use crate::tensor::DenseTensor;
 
 /// Transpose `input` by `perm` into a freshly allocated tensor:
 /// `out[i_{p[0]}, i_{p[1]}, ...] = in[i_0, i_1, ...]`.
@@ -43,8 +43,7 @@ pub fn transpose_reference_into<E: Element>(
     // Strides of the *input* reordered to output-dimension order: walking
     // output dim i moves the input offset by in_stride[perm[i]].
     let in_strides = in_shape.strides();
-    let perm_strides: Vec<usize> =
-        perm.as_slice().iter().map(|&j| in_strides[j]).collect();
+    let perm_strides: Vec<usize> = perm.as_slice().iter().map(|&j| in_strides[j]).collect();
 
     let src = input.data();
     let dst = out.data_mut();
@@ -53,12 +52,19 @@ pub fn transpose_reference_into<E: Element>(
     // Parallelise over contiguous stretches of the output so stores are
     // sequential; each worker walks the output index space with an odometer
     // and accumulates the matching input offset incrementally.
-    let parts = if vol >= 1 << 16 { parallel::default_threads() } else { 1 };
+    let parts = if vol >= 1 << 16 {
+        parallel::default_threads()
+    } else {
+        1
+    };
     parallel::parallel_fill(dst, parts, |_, start, chunk| {
         let mut out_idx = vec![0usize; rank];
         out_shape.delinearize_into(start, &mut out_idx);
-        let mut in_off: usize =
-            out_idx.iter().zip(perm_strides.iter()).map(|(&i, &s)| i * s).sum();
+        let mut in_off: usize = out_idx
+            .iter()
+            .zip(perm_strides.iter())
+            .map(|(&i, &s)| i * s)
+            .sum();
         for slot in chunk.iter_mut() {
             *slot = src[in_off];
             // Odometer increment over the output index space, updating the
@@ -103,7 +109,10 @@ pub fn first_mismatch<E: Element>(a: &DenseTensor<E>, b: &DenseTensor<E>) -> Opt
     if a.shape() != b.shape() {
         return Some(0);
     }
-    a.data().iter().zip(b.data().iter()).position(|(x, y)| x != y)
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .position(|(x, y)| x != y)
 }
 
 #[cfg(test)]

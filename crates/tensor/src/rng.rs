@@ -1,0 +1,214 @@
+//! A small deterministic PRNG for workload generation and tests.
+//!
+//! The workspace builds fully offline, so the `rand` crate is not
+//! available; this module provides the subset the generators and tests
+//! need: a seedable xoshiro256++ generator with uniform ranges, slice
+//! shuffling, and sampling without replacement. The API deliberately
+//! mirrors the `rand` names used before the migration (`seed_from_u64`,
+//! `gen_range`, `shuffle`, `choose_multiple`) so call sites read the
+//! same.
+//!
+//! Determinism is part of the contract: the same seed always yields the
+//! same stream, on every platform, so datasets and benchmark suites are
+//! reproducible.
+
+/// Seedable xoshiro256++ generator (public-domain algorithm by Blackman
+/// and Vigna), seeded through SplitMix64 as its authors recommend.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Build a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        // SplitMix64 expansion of the seed into the 256-bit state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from a half-open range; implemented for the
+    /// numeric range types the workspace uses.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform `usize` in `[0, bound)`; `bound` must be nonzero.
+    /// Debiased via rejection sampling on the top bits.
+    fn bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range on an empty range");
+        // Lemire-style widening multiply with rejection.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Fisher–Yates shuffle of a slice in place.
+    pub fn shuffle<T>(&mut self, v: &mut [T]) {
+        for i in (1..v.len()).rev() {
+            let j = self.bounded(i as u64 + 1) as usize;
+            v.swap(i, j);
+        }
+    }
+
+    /// Sample `amount` distinct elements (by reference) without
+    /// replacement, in selection order. If `amount >= len`, every element
+    /// is returned (shuffled).
+    pub fn choose_multiple<'a, T>(&mut self, v: &'a [T], amount: usize) -> Vec<&'a T> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(amount.min(v.len()));
+        idx.into_iter().map(|i| &v[i]).collect()
+    }
+}
+
+/// Range types [`StdRng::gen_range`] accepts.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        assert!(self.start < self.end, "gen_range on an empty range");
+        self.start + rng.bounded((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for std::ops::Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut StdRng) -> u64 {
+        assert!(self.start < self.end, "gen_range on an empty range");
+        self.start + rng.bounded(self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on an empty range");
+        lo + rng.bounded((hi - lo + 1) as u64) as usize
+    }
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range on an empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let v = rng.gen_range(5usize..=5);
+            assert_eq!(v, 5);
+            let f = rng.gen_range(0.92f64..1.08);
+            assert!((0.92..1.08).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        let expect = n / 8;
+        for &c in &counts {
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < (expect / 10) as u64,
+                "bucket count {c} too far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // 50! >> 2^64 but identity after a shuffle of 50 is astronomically
+        // unlikely; catching a non-shuffling bug is the point.
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_capped() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let v: Vec<usize> = (0..20).collect();
+        let picked = rng.choose_multiple(&v, 8);
+        assert_eq!(picked.len(), 8);
+        let mut vals: Vec<usize> = picked.iter().map(|&&x| x).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 8);
+        assert_eq!(rng.choose_multiple(&v, 99).len(), 20);
+    }
+}

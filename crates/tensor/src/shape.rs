@@ -46,7 +46,9 @@ impl Shape {
         for &e in extents {
             vol = vol.checked_mul(e).ok_or(Error::VolumeOverflow)?;
         }
-        Ok(Shape { extents: extents.to_vec() })
+        Ok(Shape {
+            extents: extents.to_vec(),
+        })
     }
 
     /// Number of dimensions.
@@ -99,7 +101,11 @@ impl Shape {
         let mut off = 0usize;
         let mut stride = 1usize;
         for (i, &e) in self.extents.iter().enumerate() {
-            debug_assert!(idx[i] < e, "index {} out of range for dim {i} (extent {e})", idx[i]);
+            debug_assert!(
+                idx[i] < e,
+                "index {} out of range for dim {i} (extent {e})",
+                idx[i]
+            );
             off += idx[i] * stride;
             stride *= e;
         }

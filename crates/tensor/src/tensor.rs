@@ -16,14 +16,20 @@ impl<E: Element> DenseTensor<E> {
     /// Allocate a zero-filled tensor.
     pub fn zeros(shape: Shape) -> Self {
         let vol = shape.volume();
-        DenseTensor { shape, data: vec![E::zero(); vol] }
+        DenseTensor {
+            shape,
+            data: vec![E::zero(); vol],
+        }
     }
 
     /// Build from existing data; the buffer length must equal the shape
     /// volume.
     pub fn from_data(shape: Shape, data: Vec<E>) -> Result<Self> {
         if data.len() != shape.volume() {
-            return Err(Error::DataLengthMismatch { expected: shape.volume(), actual: data.len() });
+            return Err(Error::DataLengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
         }
         Ok(DenseTensor { shape, data })
     }
@@ -112,7 +118,10 @@ impl<E: Element> DenseTensor<E> {
                 actual: self.data.len(),
             });
         }
-        Ok(DenseTensor { shape, data: self.data })
+        Ok(DenseTensor {
+            shape,
+            data: self.data,
+        })
     }
 }
 

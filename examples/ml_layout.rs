@@ -9,7 +9,7 @@
 //! cargo run -p ttlg-examples --release --example ml_layout
 //! ```
 
-use ttlg::{Transposer, TransposeOptions};
+use ttlg::{TransposeOptions, Transposer};
 use ttlg_examples::describe_report;
 use ttlg_tensor::{reference, DenseTensor, Permutation, Shape};
 
@@ -27,7 +27,9 @@ fn main() {
     let t = Transposer::new_k40c();
 
     // NCHW -> NHWC.
-    let plan_fwd = t.plan::<f64>(&nchw_shape, &to_nhwc, &TransposeOptions::default()).unwrap();
+    let plan_fwd = t
+        .plan::<f64>(&nchw_shape, &to_nhwc, &TransposeOptions::default())
+        .unwrap();
     let (nhwc, fwd_report) = t.execute(&plan_fwd, &activations).unwrap();
     println!("{}", describe_report("NCHW -> NHWC", &fwd_report));
     assert_eq!(nhwc.shape().extents(), &[c, w, h, n]);
@@ -43,10 +45,16 @@ fn main() {
     // NHWC -> NCHW is the inverse permutation; a production framework
     // would cache both plans at graph-build time.
     let to_nchw = to_nhwc.inverse();
-    let plan_bwd = t.plan::<f64>(nhwc.shape(), &to_nchw, &TransposeOptions::default()).unwrap();
+    let plan_bwd = t
+        .plan::<f64>(nhwc.shape(), &to_nchw, &TransposeOptions::default())
+        .unwrap();
     let (roundtrip, bwd_report) = t.execute(&plan_bwd, &nhwc).unwrap();
     println!("{}", describe_report("NHWC -> NCHW", &bwd_report));
-    assert_eq!(roundtrip.data(), activations.data(), "roundtrip must be lossless");
+    assert_eq!(
+        roundtrip.data(),
+        activations.data(),
+        "roundtrip must be lossless"
+    );
 
     // Cross-check the forward pass against the naive reference.
     let expect = reference::transpose_reference(&activations, &to_nhwc).unwrap();

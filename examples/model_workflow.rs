@@ -8,7 +8,7 @@
 //! ```
 
 use std::sync::Arc;
-use ttlg::{Transposer, TransposeOptions};
+use ttlg::{TransposeOptions, Transposer};
 use ttlg_gpu_sim::DeviceConfig;
 use ttlg_perfmodel::persist;
 use ttlg_perfmodel::predictor::TrainedPredictor;
@@ -53,7 +53,9 @@ fn main() {
     let t = Transposer::with_predictor(device, predictor);
     let shape = Shape::new(&[24, 18, 20, 12]).unwrap();
     let perm = Permutation::new(&[3, 1, 0, 2]).unwrap();
-    let plan = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+    let plan = t
+        .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+        .unwrap();
     println!(
         "trained planner picked {} over {} candidates (predicted {:.1} us)",
         plan.schema(),
@@ -70,5 +72,8 @@ fn main() {
 
     // 4. The zero-training alternative: pretrained K40c coefficients.
     let pre = ttlg_perfmodel::predictor_k40c();
-    println!("pretrained predictor available: {}", ttlg::TimePredictor::name(&pre));
+    println!(
+        "pretrained predictor available: {}",
+        ttlg::TimePredictor::name(&pre)
+    );
 }

@@ -5,7 +5,7 @@
 //! cargo run -p ttlg-examples --release --example quickstart
 //! ```
 
-use ttlg::{Transposer, TransposeOptions};
+use ttlg::{TransposeOptions, Transposer};
 use ttlg_examples::describe_report;
 use ttlg_tensor::{reference, DenseTensor, Permutation, Shape};
 
@@ -34,12 +34,19 @@ fn main() {
 
     // Verify against the naive reference.
     let expect = reference::transpose_reference(&input, &perm).expect("reference");
-    assert_eq!(output.data(), expect.data(), "kernel output must match the reference");
+    assert_eq!(
+        output.data(),
+        expect.data(),
+        "kernel output must match the reference"
+    );
     println!("verified against the naive reference: OK");
 
     // The queryable prediction interface (for higher-level libraries).
     let predicted = transposer
         .predict_transpose_ns::<f64>(&shape, &perm)
         .expect("predictable");
-    println!("queryable API predicts {:.2} us for this transposition", predicted / 1e3);
+    println!(
+        "queryable API predicts {:.2} us for this transposition",
+        predicted / 1e3
+    );
 }

@@ -6,7 +6,7 @@
 //! cargo run -p ttlg-examples --release --example schema_tour
 //! ```
 
-use ttlg::{Schema, Transposer, TransposeOptions};
+use ttlg::{Schema, TransposeOptions, Transposer};
 use ttlg_baselines::cutt::{CuttLibrary, CuttMode};
 use ttlg_baselines::naive::NaiveTranspose;
 use ttlg_gpu_sim::DeviceConfig;
@@ -18,7 +18,10 @@ fn run_forced(
     perm: &Permutation,
     schema: Schema,
 ) -> Option<f64> {
-    let opts = TransposeOptions { forced_schema: Some(schema), ..Default::default() };
+    let opts = TransposeOptions {
+        forced_schema: Some(schema),
+        ..Default::default()
+    };
     let plan = t.plan::<f64>(input.shape(), perm, &opts).ok()?;
     let (out, report) = t.execute(&plan, input).ok()?;
     let expect = reference::transpose_reference(input, perm).expect("reference");
@@ -34,9 +37,15 @@ fn tour(title: &str, extents: &[usize], perm: &[usize]) {
     let t = Transposer::new_k40c();
 
     // The planner's own pick.
-    let plan = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+    let plan = t
+        .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+        .unwrap();
     let (_, auto) = t.execute(&plan, &input).unwrap();
-    println!("  planner pick : {:<22} {:>7.1} GB/s", format!("{}", auto.schema), auto.bandwidth_gbps);
+    println!(
+        "  planner pick : {:<22} {:>7.1} GB/s",
+        format!("{}", auto.schema),
+        auto.bandwidth_gbps
+    );
 
     // Every schema that can run this problem.
     for schema in [
@@ -47,7 +56,10 @@ fn tour(title: &str, extents: &[usize], perm: &[usize]) {
         Schema::Naive,
     ] {
         if let Some(bw) = run_forced(&t, &input, &perm, schema) {
-            println!("  forced       : {:<22} {bw:>7.1} GB/s", format!("{schema}"));
+            println!(
+                "  forced       : {:<22} {bw:>7.1} GB/s",
+                format!("{schema}")
+            );
         }
     }
 
@@ -57,10 +69,17 @@ fn tour(title: &str, extents: &[usize], perm: &[usize]) {
     let (cout, crep) = cutt.execute(&cplan, &input);
     let expect = reference::transpose_reference(&input, &perm).unwrap();
     assert_eq!(cout.data(), expect.data());
-    println!("  cuTT measure : {:<22} {:>7.1} GB/s", cplan.label(), crep.bandwidth_gbps);
+    println!(
+        "  cuTT measure : {:<22} {:>7.1} GB/s",
+        cplan.label(),
+        crep.bandwidth_gbps
+    );
     let naive = NaiveTranspose::new(DeviceConfig::k40c());
     let (_, nrep) = naive.execute(&input, &perm);
-    println!("  naive        : {:<22} {:>7.1} GB/s", "d-nested-loop", nrep.bandwidth_gbps);
+    println!(
+        "  naive        : {:<22} {:>7.1} GB/s",
+        "d-nested-loop", nrep.bandwidth_gbps
+    );
     println!();
 }
 
@@ -72,5 +91,9 @@ fn main() {
     // Non-matching, disjoint combined sets: the padded-tile kernel.
     tour("Orthogonal-Distinct case", &[16, 2, 32, 32], &[3, 2, 1, 0]);
     // Overlapping combined sets: the indirection-array kernel.
-    tour("Orthogonal-Arbitrary case", &[8, 2, 8, 8, 8], &[2, 1, 3, 0, 4]);
+    tour(
+        "Orthogonal-Arbitrary case",
+        &[8, 2, 8, 8, 8],
+        &[2, 1, 3, 0, 4],
+    );
 }

@@ -26,7 +26,7 @@ pub fn describe_report(label: &str, r: &TransposeReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ttlg::{Transposer, TransposeOptions};
+    use ttlg::{TransposeOptions, Transposer};
     use ttlg_tensor::{DenseTensor, Permutation, Shape};
 
     #[test]
@@ -34,7 +34,9 @@ mod tests {
         let t = Transposer::new_k40c();
         let shape = Shape::new(&[16, 16]).unwrap();
         let perm = Permutation::new(&[1, 0]).unwrap();
-        let plan = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+        let plan = t
+            .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+            .unwrap();
         let input: DenseTensor<f64> = DenseTensor::iota(shape);
         let (_, report) = t.execute(&plan, &input).unwrap();
         let s = describe_report("demo", &report);

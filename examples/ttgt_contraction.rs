@@ -14,7 +14,7 @@
 //! cargo run -p ttlg-examples --release --example ttgt_contraction
 //! ```
 
-use ttlg::{Transposer, TransposeOptions};
+use ttlg::{TransposeOptions, Transposer};
 use ttlg_tensor::{DenseTensor, Permutation, Shape};
 
 /// Plain sequential GEMM: `C[m,n] = sum_k A[m,k] * B[k,n]` on
@@ -75,17 +75,27 @@ fn main() {
     // Query the performance model before committing (the paper's API).
     let cost_a = t.predict_transpose_ns::<f64>(a.shape(), &perm_a).unwrap();
     let cost_b = t.predict_transpose_ns::<f64>(b.shape(), &perm_b).unwrap();
-    println!("predicted transpose cost: A' {:.1} us, B' {:.1} us", cost_a / 1e3, cost_b / 1e3);
+    println!(
+        "predicted transpose cost: A' {:.1} us, B' {:.1} us",
+        cost_a / 1e3,
+        cost_b / 1e3
+    );
 
     // An alternative layout for A ([i,l,k]) also works if GEMM flips its
     // inner dims; ask the model which is cheaper.
     let alt_perm_a = Permutation::new(&[1, 2, 0]).unwrap();
-    let alt_cost = t.predict_transpose_ns::<f64>(a.shape(), &alt_perm_a).unwrap();
+    let alt_cost = t
+        .predict_transpose_ns::<f64>(a.shape(), &alt_perm_a)
+        .unwrap();
     println!(
         "layout choice for A: [i,k,l] {:.1} us vs [i,l,k] {:.1} us -> using {}",
         cost_a / 1e3,
         alt_cost / 1e3,
-        if cost_a <= alt_cost { "[i,k,l]" } else { "[i,l,k]" }
+        if cost_a <= alt_cost {
+            "[i,k,l]"
+        } else {
+            "[i,l,k]"
+        }
     );
 
     // Execute the TTGT pipeline with the first layout.
@@ -106,7 +116,11 @@ fn main() {
     // C is already [i, j]; a final transpose would be needed for a [j, i]
     // consumer — demonstrate the plan without running it.
     let plan_c = t
-        .plan::<f64>(&Shape::new(&[ni, nj]).unwrap(), &Permutation::new(&[1, 0]).unwrap(), &opts)
+        .plan::<f64>(
+            &Shape::new(&[ni, nj]).unwrap(),
+            &Permutation::new(&[1, 0]).unwrap(),
+            &opts,
+        )
         .unwrap();
     println!(
         "final C transpose would use {} (predicted {:.1} us)",

@@ -4,7 +4,7 @@
 //! verified element-exact against the reference with double-write
 //! detection on.
 
-use ttlg::{Schema, Transposer, TransposeOptions};
+use ttlg::{Schema, TransposeOptions, Transposer};
 use ttlg_tensor::{reference, DenseTensor, Permutation, Shape};
 
 fn check(extents: &[usize], perm: &[usize], forced: Option<Schema>) {
@@ -55,7 +55,11 @@ fn orthogonal_distinct_partial_slices() {
 fn orthogonal_arbitrary_partial_slices() {
     for a in [7usize, 9] {
         for d in [7usize, 9, 33] {
-            check(&[a, 2, 5, d], &[2, 1, 3, 0], Some(Schema::OrthogonalArbitrary));
+            check(
+                &[a, 2, 5, d],
+                &[2, 1, 3, 0],
+                Some(Schema::OrthogonalArbitrary),
+            );
         }
     }
 }

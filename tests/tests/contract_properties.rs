@@ -1,81 +1,73 @@
-//! Property tests for the TTGT contraction engine: random specs and
-//! extents must match the direct-definition contraction.
+//! Randomized property tests for the TTGT contraction engine: random
+//! specs and extents must match the direct-definition contraction.
 
-use proptest::prelude::*;
+use std::collections::HashMap;
 use ttlg_contract::engine::contract_reference;
 use ttlg_contract::{ContractionEngine, ContractionSpec};
+use ttlg_tensor::rng::StdRng;
 use ttlg_tensor::{DenseTensor, Shape};
 
-/// Random (spec, extents) generator: pick m/n/k label counts, then
-/// shuffle each tensor's labels and the output order.
-fn spec_and_extents() -> impl Strategy<Value = (String, Vec<usize>, Vec<usize>)> {
-    (1usize..=2, 1usize..=2, 1usize..=2).prop_flat_map(|(nm, nn, nk)| {
-        let labels_m: Vec<char> = (0..nm).map(|i| (b'a' + i as u8) as char).collect();
-        let labels_n: Vec<char> = (0..nn).map(|i| (b'p' + i as u8) as char).collect();
-        let labels_k: Vec<char> = (0..nk).map(|i| (b'x' + i as u8) as char).collect();
-        let a_labels: Vec<char> = labels_m.iter().chain(labels_k.iter()).copied().collect();
-        let b_labels: Vec<char> = labels_k.iter().chain(labels_n.iter()).copied().collect();
-        let c_labels: Vec<char> = labels_m.iter().chain(labels_n.iter()).copied().collect();
-        let na = a_labels.len();
-        let nb = b_labels.len();
-        (
-            Just((a_labels, b_labels, c_labels)),
-            proptest::collection::vec(2usize..=6, na),
-            proptest::collection::vec(2usize..=6, nb),
-            any::<u64>(),
-        )
-            .prop_map(|((a, b, c), ea, eb, seed)| {
-                // Shuffle label orders deterministically from the seed.
-                let shuffle = |mut v: Vec<char>, mut s: u64| {
-                    for i in (1..v.len()).rev() {
-                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-                        let j = (s >> 33) as usize % (i + 1);
-                        v.swap(i, j);
-                    }
-                    v
-                };
-                let a2 = shuffle(a.clone(), seed);
-                let b2 = shuffle(b.clone(), seed ^ 0xABCD);
-                let c2 = shuffle(c, seed ^ 0x1234);
-                // Extents follow labels: assign one extent per label.
-                let mut ext = std::collections::HashMap::new();
-                for (l, e) in a.iter().zip(ea.iter()) {
-                    ext.insert(*l, *e);
-                }
-                for (l, e) in b.iter().zip(eb.iter()) {
-                    ext.entry(*l).or_insert(*e);
-                }
-                let spec = format!(
-                    "{},{}->{}",
-                    a2.iter().collect::<String>(),
-                    b2.iter().collect::<String>(),
-                    c2.iter().collect::<String>()
-                );
-                let ea2: Vec<usize> = a2.iter().map(|l| ext[l]).collect();
-                let eb2: Vec<usize> = b2.iter().map(|l| ext[l]).collect();
-                (spec, ea2, eb2)
-            })
-    })
+const CASES: usize = 32;
+
+/// Random (spec, extentsA, extentsB): pick m/n/k label counts, assign
+/// extents per label, then shuffle each tensor's label order and the
+/// output order.
+fn spec_and_extents(rng: &mut StdRng) -> (String, Vec<usize>, Vec<usize>) {
+    let nm = rng.gen_range(1usize..=2);
+    let nn = rng.gen_range(1usize..=2);
+    let nk = rng.gen_range(1usize..=2);
+    let labels_m: Vec<char> = (0..nm).map(|i| (b'a' + i as u8) as char).collect();
+    let labels_n: Vec<char> = (0..nn).map(|i| (b'p' + i as u8) as char).collect();
+    let labels_k: Vec<char> = (0..nk).map(|i| (b'x' + i as u8) as char).collect();
+    let a_labels: Vec<char> = labels_m.iter().chain(labels_k.iter()).copied().collect();
+    let b_labels: Vec<char> = labels_k.iter().chain(labels_n.iter()).copied().collect();
+    let c_labels: Vec<char> = labels_m.iter().chain(labels_n.iter()).copied().collect();
+
+    // Extents follow labels: assign one extent per label.
+    let mut ext: HashMap<char, usize> = HashMap::new();
+    for l in a_labels.iter().chain(b_labels.iter()) {
+        ext.entry(*l).or_insert_with(|| rng.gen_range(2usize..=6));
+    }
+
+    let mut a2 = a_labels;
+    let mut b2 = b_labels;
+    let mut c2 = c_labels;
+    rng.shuffle(&mut a2);
+    rng.shuffle(&mut b2);
+    rng.shuffle(&mut c2);
+
+    let spec = format!(
+        "{},{}->{}",
+        a2.iter().collect::<String>(),
+        b2.iter().collect::<String>(),
+        c2.iter().collect::<String>()
+    );
+    let ea: Vec<usize> = a2.iter().map(|l| ext[l]).collect();
+    let eb: Vec<usize> = b2.iter().map(|l| ext[l]).collect();
+    (spec, ea, eb)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn ttgt_matches_direct_contraction((spec_str, ea, eb) in spec_and_extents()) {
+#[test]
+fn ttgt_matches_direct_contraction() {
+    let mut rng = StdRng::seed_from_u64(0x77_67_71);
+    let engine = ContractionEngine::new_k40c();
+    for case in 0..CASES {
+        let (spec_str, ea, eb) = spec_and_extents(&mut rng);
         let spec = ContractionSpec::parse(&spec_str).unwrap();
         let sa = Shape::new(&ea).unwrap();
         let sb = Shape::new(&eb).unwrap();
         let a: DenseTensor<f64> = DenseTensor::iota(sa.clone());
         let b: DenseTensor<f64> = DenseTensor::iota(sb.clone());
-        let engine = ContractionEngine::new_k40c();
         let plan = engine.plan(&spec, &sa, &sb).unwrap();
         let (c, report) = engine.execute(&plan, &a, &b).unwrap();
         let expect = contract_reference(&spec, &a, &b);
-        prop_assert_eq!(c.shape(), expect.shape());
+        assert_eq!(c.shape(), expect.shape(), "case {case}: {spec_str}");
         for (x, y) in c.data().iter().zip(expect.data().iter()) {
-            prop_assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()), "{}", spec_str);
+            assert!(
+                (x - y).abs() < 1e-6 * (1.0 + y.abs()),
+                "case {case}: {spec_str} ({x} vs {y})"
+            );
         }
-        prop_assert!(report.candidates_priced >= 2);
+        assert!(report.candidates_priced >= 2, "case {case}: {spec_str}");
     }
 }

@@ -2,14 +2,17 @@
 //! reference transpose exactly, for every permutation of several awkward
 //! shapes and for both element widths.
 
-use ttlg::{Schema, Transposer, TransposeOptions};
+use ttlg::{Schema, TransposeOptions, Transposer};
 use ttlg_tensor::{reference, DenseTensor, Element, Permutation, Shape};
 
 fn check_all_perms<E: Element>(extents: &[usize]) {
     let shape = Shape::new(extents).unwrap();
     let input: DenseTensor<E> = DenseTensor::iota(shape.clone());
     let t = Transposer::new_k40c();
-    let opts = TransposeOptions { check_disjoint_writes: true, ..Default::default() };
+    let opts = TransposeOptions {
+        check_disjoint_writes: true,
+        ..Default::default()
+    };
     for perm in Permutation::all(extents.len()) {
         let plan = t.plan::<E>(&shape, &perm, &opts).unwrap_or_else(|e| {
             panic!("no plan for {extents:?} perm {perm}: {e}");
@@ -85,7 +88,9 @@ fn execute_into_reuses_buffer() {
     let shape = Shape::new(&[16, 8, 4]).unwrap();
     let perm = Permutation::new(&[2, 0, 1]).unwrap();
     let t = Transposer::new_k40c();
-    let plan = t.plan::<u64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+    let plan = t
+        .plan::<u64>(&shape, &perm, &TransposeOptions::default())
+        .unwrap();
     let input: DenseTensor<u64> = DenseTensor::iota(shape);
     let mut out = DenseTensor::zeros(plan.out_shape());
     for _ in 0..3 {
@@ -100,8 +105,12 @@ fn f32_and_f64_agree_structurally() {
     let shape = Shape::new(&[16, 12, 10]).unwrap();
     let perm = Permutation::new(&[2, 1, 0]).unwrap();
     let t = Transposer::new_k40c();
-    let p32 = t.plan::<f32>(&shape, &perm, &TransposeOptions::default()).unwrap();
-    let p64 = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+    let p32 = t
+        .plan::<f32>(&shape, &perm, &TransposeOptions::default())
+        .unwrap();
+    let p64 = t
+        .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+        .unwrap();
     // Same taxonomy family; transaction counts differ by the element width.
     let r32 = t.time_plan(&p32).unwrap();
     let r64 = t.time_plan(&p64).unwrap();

@@ -4,7 +4,7 @@
 //! shifts a counter shows up here, the way the paper's Table I pins its
 //! formulas.
 
-use ttlg::{Schema, Transposer, TransposeOptions};
+use ttlg::{Schema, TransposeOptions, Transposer};
 use ttlg_tensor::{Permutation, Shape};
 
 struct Golden {
@@ -22,11 +22,22 @@ fn check(g: &Golden) {
     let t = Transposer::new_k40c();
     let shape = Shape::new(g.extents).unwrap();
     let perm = Permutation::new(g.perm).unwrap();
-    let opts = TransposeOptions { forced_schema: Some(g.schema), ..Default::default() };
+    let opts = TransposeOptions {
+        forced_schema: Some(g.schema),
+        ..Default::default()
+    };
     let plan = t.plan::<f64>(&shape, &perm, &opts).unwrap();
     let r = t.time_plan(&plan).unwrap();
-    assert_eq!(r.stats.dram_load_tx, g.dram_load, "dram loads {:?} {}", g.extents, g.schema);
-    assert_eq!(r.stats.dram_store_tx, g.dram_store, "dram stores {:?} {}", g.extents, g.schema);
+    assert_eq!(
+        r.stats.dram_load_tx, g.dram_load,
+        "dram loads {:?} {}",
+        g.extents, g.schema
+    );
+    assert_eq!(
+        r.stats.dram_store_tx, g.dram_store,
+        "dram stores {:?} {}",
+        g.extents, g.schema
+    );
     assert_eq!(
         r.stats.smem_load_acc + r.stats.smem_store_acc,
         g.smem_acc,
@@ -34,8 +45,16 @@ fn check(g: &Golden) {
         g.extents,
         g.schema
     );
-    assert_eq!(r.stats.smem_conflict_replays, g.replays, "replays {:?} {}", g.extents, g.schema);
-    assert_eq!(r.stats.tex_load_tx, g.tex, "tex {:?} {}", g.extents, g.schema);
+    assert_eq!(
+        r.stats.smem_conflict_replays, g.replays,
+        "replays {:?} {}",
+        g.extents, g.schema
+    );
+    assert_eq!(
+        r.stats.tex_load_tx, g.tex,
+        "tex {:?} {}",
+        g.extents, g.schema
+    );
 }
 
 #[test]
@@ -79,7 +98,7 @@ fn golden_fvi_match_small() {
         dram_load: 256,
         dram_store: 256,
         smem_acc: 512, // 256 staged in + 256 gathered out
-        replays: 0, // padding keeps the gather conflict-free
+        replays: 0,    // padding keeps the gather conflict-free
         tex: 0,
     });
 }
@@ -142,7 +161,9 @@ fn golden_counts_stable_across_runs() {
     let t = Transposer::new_k40c();
     let shape = Shape::new(&[24, 10, 36]).unwrap();
     let perm = Permutation::new(&[2, 1, 0]).unwrap();
-    let plan = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+    let plan = t
+        .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+        .unwrap();
     let a = t.time_plan(&plan).unwrap().stats;
     let b = t.time_plan(&plan).unwrap().stats;
     assert_eq!(a, b);

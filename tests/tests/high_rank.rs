@@ -2,19 +2,27 @@
 //! rank 15 (via macro-generated constant indexing); the Rust planner is
 //! rank-agnostic and must stay correct and sane well beyond rank 6.
 
-use ttlg::{Transposer, TransposeOptions};
+use ttlg::{TransposeOptions, Transposer};
 use ttlg_tensor::{reference, DenseTensor, Permutation, Shape};
 
 fn roundtrip(extents: &[usize], perm: &[usize]) {
     let shape = Shape::new(extents).unwrap();
     let perm = Permutation::new(perm).unwrap();
     let t = Transposer::new_k40c();
-    let opts = TransposeOptions { check_disjoint_writes: true, ..Default::default() };
+    let opts = TransposeOptions {
+        check_disjoint_writes: true,
+        ..Default::default()
+    };
     let plan = t.plan::<u32>(&shape, &perm, &opts).unwrap();
     let input: DenseTensor<u32> = DenseTensor::iota(shape);
     let (out, _) = t.execute(&plan, &input).unwrap();
     let expect = reference::transpose_reference(&input, &perm).unwrap();
-    assert_eq!(out.data(), expect.data(), "rank {} perm {perm}", extents.len());
+    assert_eq!(
+        out.data(),
+        expect.data(),
+        "rank {} perm {perm}",
+        extents.len()
+    );
 }
 
 #[test]
@@ -29,7 +37,10 @@ fn rank8_mixed() {
 
 #[test]
 fn rank10_small_extents() {
-    roundtrip(&[2, 2, 2, 2, 2, 2, 2, 2, 2, 2], &[9, 1, 3, 5, 7, 0, 2, 4, 6, 8]);
+    roundtrip(
+        &[2, 2, 2, 2, 2, 2, 2, 2, 2, 2],
+        &[9, 1, 3, 5, 7, 0, 2, 4, 6, 8],
+    );
 }
 
 #[test]

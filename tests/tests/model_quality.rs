@@ -4,7 +4,7 @@
 //! planner must keep everything correct.
 
 use std::sync::Arc;
-use ttlg::{TimePredictor, Transposer, TransposeOptions};
+use ttlg::{TimePredictor, TransposeOptions, Transposer};
 use ttlg_bench::figures::fig5;
 use ttlg_gpu_sim::DeviceConfig;
 use ttlg_perfmodel::persist;
@@ -65,7 +65,11 @@ fn trained_predictor_roundtrips_through_persistence() {
     assert_eq!(loaded, pair);
 
     // The reloaded models drive a correct planner.
-    let pred = Arc::new(TrainedPredictor::from_models(loaded.od, loaded.oa, device.clone()));
+    let pred = Arc::new(TrainedPredictor::from_models(
+        loaded.od,
+        loaded.oa,
+        device.clone(),
+    ));
     let t = Transposer::with_predictor(device, pred);
     let shape = Shape::new(&[12, 10, 14, 6]).unwrap();
     let perm = Permutation::new(&[2, 0, 3, 1]).unwrap();
@@ -74,7 +78,10 @@ fn trained_predictor_roundtrips_through_persistence() {
         .plan::<u64>(
             &shape,
             &perm,
-            &TransposeOptions { check_disjoint_writes: true, ..Default::default() },
+            &TransposeOptions {
+                check_disjoint_writes: true,
+                ..Default::default()
+            },
         )
         .unwrap();
     let (out, _) = t.execute(&plan, &input).unwrap();
@@ -86,15 +93,18 @@ fn trained_predictor_roundtrips_through_persistence() {
 fn fig5_choice_quality_with_trained_model() {
     let device = DeviceConfig::k40c();
     let models = train_models::<f64>(&device, &medium_cfg()).unwrap();
-    let pred: Arc<dyn TimePredictor> =
-        Arc::new(TrainedPredictor::new(&models, device.clone()));
+    let pred: Arc<dyn TimePredictor> = Arc::new(TrainedPredictor::new(&models, device.clone()));
     // A mid-size sibling of the paper's Fig. 5 case (27^5 is slow in CI).
     let shape = Shape::new(&[17, 17, 17, 17, 17]).unwrap();
     let perm = Permutation::new(&[4, 1, 2, 0, 3]).unwrap();
     let q = fig5::choice_quality(&device, &pred, &shape, &perm);
     // "Using this model, we can choose the potential best slice variant":
     // the pick must land within 25% of the true optimum.
-    assert!(q > 0.75, "trained model picked a slice at {:.2} of optimal", q);
+    assert!(
+        q > 0.75,
+        "trained model picked a slice at {:.2} of optimal",
+        q
+    );
 }
 
 #[test]
@@ -102,8 +112,9 @@ fn queryable_api_ranks_programs_sensibly() {
     let t = Transposer::new_k40c();
     // Same volume, increasingly hostile permutations.
     let easy = Shape::new(&[4096, 64]).unwrap(); // large matching FVI
-    let easy_ns =
-        t.predict_transpose_ns::<f64>(&easy, &Permutation::new(&[0, 1]).unwrap()).unwrap();
+    let easy_ns = t
+        .predict_transpose_ns::<f64>(&easy, &Permutation::new(&[0, 1]).unwrap())
+        .unwrap();
     let hard = Shape::new(&[2, 2, 65536, 2, 2, 2, 2]).unwrap(); // tiny FVI both sides
     let hard_ns = t
         .predict_transpose_ns::<f64>(&hard, &Permutation::new(&[3, 1, 0, 4, 2, 6, 5]).unwrap())

@@ -1,101 +1,128 @@
-//! Property-based tests (proptest) over the whole stack: random shapes
-//! and permutations through the planner must always match the reference,
+//! Randomized property tests over the whole stack: random shapes and
+//! permutations through the planner must always match the reference,
 //! satisfy conservation invariants, and round-trip under inversion.
+//!
+//! Cases are drawn from the in-tree seeded PRNG (`ttlg_tensor::rng`), so
+//! every run checks the same case set — failures are reproducible from
+//! the case index alone.
 
-use proptest::prelude::*;
-use ttlg::{Transposer, TransposeOptions};
+use ttlg::{TransposeOptions, Transposer};
+use ttlg_tensor::rng::StdRng;
 use ttlg_tensor::{fuse, reference, DenseTensor, Permutation, Shape};
 
-/// Strategy: a shape of rank 2..=6 with extents 1..=12 and volume capped,
-/// plus a random permutation of that rank.
-fn shape_and_perm() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
-    (2usize..=6)
-        .prop_flat_map(|rank| {
-            (
-                proptest::collection::vec(1usize..=12, rank),
-                Just(rank).prop_perturb(|rank, mut rng| {
-                    let mut p: Vec<usize> = (0..rank).collect();
-                    // Fisher-Yates with the proptest RNG.
-                    for i in (1..rank).rev() {
-                        let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
-                        p.swap(i, j);
-                    }
-                    p
-                }),
-            )
-        })
-        .prop_filter("volume cap", |(extents, _)| {
-            extents.iter().product::<usize>() <= 40_000
-        })
+const CASES: usize = 48;
+
+/// A shape of rank 2..=6 with extents 1..=12 and volume capped, plus a
+/// random permutation of that rank.
+fn shape_and_perm(rng: &mut StdRng) -> (Shape, Permutation) {
+    loop {
+        let rank = rng.gen_range(2usize..=6);
+        let extents: Vec<usize> = (0..rank).map(|_| rng.gen_range(1usize..=12)).collect();
+        if extents.iter().product::<usize>() > 40_000 {
+            continue;
+        }
+        let mut p: Vec<usize> = (0..rank).collect();
+        rng.shuffle(&mut p);
+        return (Shape::new(&extents).unwrap(), Permutation::new(&p).unwrap());
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn planner_matches_reference((extents, perm) in shape_and_perm()) {
-        let shape = Shape::new(&extents).unwrap();
-        let perm = Permutation::new(&perm).unwrap();
+#[test]
+fn planner_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0xA11C_E5E5);
+    let t = Transposer::new_k40c();
+    for case in 0..CASES {
+        let (shape, perm) = shape_and_perm(&mut rng);
         let input: DenseTensor<u64> = DenseTensor::iota(shape.clone());
-        let t = Transposer::new_k40c();
-        let opts = TransposeOptions { check_disjoint_writes: true, ..Default::default() };
+        let opts = TransposeOptions {
+            check_disjoint_writes: true,
+            ..Default::default()
+        };
         let plan = t.plan::<u64>(&shape, &perm, &opts).unwrap();
         let (out, report) = t.execute(&plan, &input).unwrap();
         let expect = reference::transpose_reference(&input, &perm).unwrap();
-        prop_assert_eq!(out.data(), expect.data());
+        assert_eq!(
+            out.data(),
+            expect.data(),
+            "case {case}: {shape} perm {perm}"
+        );
         // Conservation: every element moved exactly once.
-        prop_assert_eq!(report.stats.elements_moved as usize, shape.volume());
-        prop_assert!(report.kernel_time_ns > 0.0);
+        assert_eq!(
+            report.stats.elements_moved as usize,
+            shape.volume(),
+            "case {case}"
+        );
+        assert!(report.kernel_time_ns > 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn transpose_then_inverse_is_identity((extents, perm) in shape_and_perm()) {
-        let shape = Shape::new(&extents).unwrap();
-        let perm = Permutation::new(&perm).unwrap();
+#[test]
+fn transpose_then_inverse_is_identity() {
+    let mut rng = StdRng::seed_from_u64(0xB0B5_1ED5);
+    let t = Transposer::new_k40c();
+    for case in 0..CASES {
+        let (shape, perm) = shape_and_perm(&mut rng);
         let input: DenseTensor<u32> = DenseTensor::iota(shape.clone());
-        let t = Transposer::new_k40c();
         let (mid, _) = t.transpose(&input, &perm).unwrap();
         let (back, _) = t.transpose(&mid, &perm.inverse()).unwrap();
-        prop_assert_eq!(back.data(), input.data());
+        assert_eq!(
+            back.data(),
+            input.data(),
+            "case {case}: {shape} perm {perm}"
+        );
     }
+}
 
-    #[test]
-    fn fusion_preserves_linear_placement((extents, perm) in shape_and_perm()) {
-        // Transposing the fused problem must place elements identically to
-        // transposing the original problem.
-        let shape = Shape::new(&extents).unwrap();
-        let perm = Permutation::new(&perm).unwrap();
+#[test]
+fn fusion_preserves_linear_placement() {
+    // Transposing the fused problem must place elements identically to
+    // transposing the original problem.
+    let mut rng = StdRng::seed_from_u64(0xF05E_D001);
+    for case in 0..CASES {
+        let (shape, perm) = shape_and_perm(&mut rng);
         let fused = fuse(&shape, &perm).unwrap();
         let input: DenseTensor<u32> = DenseTensor::iota(shape.clone());
         let fused_input: DenseTensor<u32> =
             DenseTensor::from_data(fused.shape.clone(), input.data().to_vec()).unwrap();
         let a = reference::transpose_reference(&input, &perm).unwrap();
         let b = reference::transpose_reference(&fused_input, &fused.perm).unwrap();
-        prop_assert_eq!(a.data(), b.data());
+        assert_eq!(a.data(), b.data(), "case {case}: {shape} perm {perm}");
     }
+}
 
-    #[test]
-    fn dram_traffic_bounded_below((extents, perm) in shape_and_perm()) {
-        // No kernel can move fewer bytes than the tensor in + out.
-        let shape = Shape::new(&extents).unwrap();
-        let perm = Permutation::new(&perm).unwrap();
-        let t = Transposer::new_k40c();
-        let plan = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+#[test]
+fn dram_traffic_bounded_below() {
+    // No kernel can move fewer bytes than the tensor in + out.
+    let mut rng = StdRng::seed_from_u64(0xD7A3_7AFF);
+    let t = Transposer::new_k40c();
+    for case in 0..CASES {
+        let (shape, perm) = shape_and_perm(&mut rng);
+        let plan = t
+            .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+            .unwrap();
         let r = t.time_plan(&plan).unwrap();
         let min_tx = (shape.volume() * 8).div_ceil(128) as u64;
-        prop_assert!(r.stats.dram_load_tx >= min_tx,
-            "loads {} below lower bound {}", r.stats.dram_load_tx, min_tx);
-        prop_assert!(r.stats.dram_store_tx >= min_tx);
+        assert!(
+            r.stats.dram_load_tx >= min_tx,
+            "case {case}: loads {} below lower bound {min_tx}",
+            r.stats.dram_load_tx
+        );
+        assert!(r.stats.dram_store_tx >= min_tx, "case {case}");
         // ... and a sane kernel stays within 64x of it.
-        prop_assert!(r.stats.dram_total_tx() <= 64 * 2 * min_tx);
+        assert!(r.stats.dram_total_tx() <= 64 * 2 * min_tx, "case {case}");
     }
+}
 
-    #[test]
-    fn prediction_is_finite_and_positive((extents, perm) in shape_and_perm()) {
-        let shape = Shape::new(&extents).unwrap();
-        let perm = Permutation::new(&perm).unwrap();
-        let t = Transposer::new_k40c();
+#[test]
+fn prediction_is_finite_and_positive() {
+    let mut rng = StdRng::seed_from_u64(0x9E4D_1C75);
+    let t = Transposer::new_k40c();
+    for case in 0..CASES {
+        let (shape, perm) = shape_and_perm(&mut rng);
         let ns = t.predict_transpose_ns::<f64>(&shape, &perm).unwrap();
-        prop_assert!(ns.is_finite() && ns > 0.0);
+        assert!(
+            ns.is_finite() && ns > 0.0,
+            "case {case}: {shape} perm {perm} -> {ns}"
+        );
     }
 }

@@ -1,122 +1,161 @@
-//! Property tests on the GPU model itself: coalescing-count bounds, bank
-//! conflict-degree bounds, timing monotonicity.
+//! Randomized property tests on the GPU model itself: coalescing-count
+//! bounds, bank conflict-degree bounds, timing monotonicity. Seeded PRNG
+//! cases (256 per property) replace the former proptest strategies.
 
-use proptest::prelude::*;
 use ttlg_gpu_sim::{coalesce, smem, DeviceConfig, Launch, TimingModel, TransactionStats};
+use ttlg_tensor::rng::StdRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: usize = 256;
 
-    #[test]
-    fn contiguous_transactions_match_ceiling_bounds(
-        start in 0usize..4096,
-        lanes in 0usize..=32,
-        elem_bytes in prop::sample::select(vec![4usize, 8]),
-    ) {
-        let tx = coalesce::transactions_for_contiguous(start * elem_bytes, lanes, elem_bytes);
+fn elem_bytes(rng: &mut StdRng) -> usize {
+    [4usize, 8][rng.gen_range(0usize..2)]
+}
+
+#[test]
+fn contiguous_transactions_match_ceiling_bounds() {
+    let mut rng = StdRng::seed_from_u64(0xC0A1_E5CE);
+    for _ in 0..CASES {
+        let start = rng.gen_range(0usize..4096);
+        let lanes = rng.gen_range(0usize..=32);
+        let eb = elem_bytes(&mut rng);
+        let tx = coalesce::transactions_for_contiguous(start * eb, lanes, eb);
         if lanes == 0 {
-            prop_assert_eq!(tx, 0);
+            assert_eq!(tx, 0);
         } else {
-            let bytes = lanes * elem_bytes;
+            let bytes = lanes * eb;
             let min = bytes.div_ceil(128) as u64;
             // an unaligned run can straddle one extra segment
-            prop_assert!(tx >= min && tx <= min + 1, "tx {} for {} bytes", tx, bytes);
+            assert!(tx >= min && tx <= min + 1, "tx {tx} for {bytes} bytes");
         }
     }
+}
 
-    #[test]
-    fn strided_transactions_bounded_by_lanes(
-        start in 0usize..512,
-        lanes in 1usize..=32,
-        stride in 1usize..256,
-        elem_bytes in prop::sample::select(vec![4usize, 8]),
-    ) {
-        let tx = coalesce::transactions_for_strided(
-            start * elem_bytes, lanes, stride * elem_bytes, elem_bytes);
+#[test]
+fn strided_transactions_bounded_by_lanes() {
+    let mut rng = StdRng::seed_from_u64(0x57A1_DE00);
+    for _ in 0..CASES {
+        let start = rng.gen_range(0usize..512);
+        let lanes = rng.gen_range(1usize..=32);
+        let stride = rng.gen_range(1usize..256);
+        let eb = elem_bytes(&mut rng);
+        let tx = coalesce::transactions_for_strided(start * eb, lanes, stride * eb, eb);
         // never more than 2 segments per lane, never fewer than the
         // contiguous lower bound
-        prop_assert!(tx >= 1 && tx <= 2 * lanes as u64);
+        assert!(tx >= 1 && tx <= 2 * lanes as u64, "tx {tx} lanes {lanes}");
         // stride >= 32 elements guarantees one segment (or two, if the
         // element straddles) per lane
-        if stride * elem_bytes >= 128 {
-            prop_assert!(tx >= lanes as u64);
+        if stride * eb >= 128 {
+            assert!(tx >= lanes as u64);
         }
     }
+}
 
-    #[test]
-    fn conflict_degree_bounded_by_active_lanes(
-        start in 0usize..256,
-        lanes in 0usize..=32,
-        stride in 0usize..128,
-        elem_bytes in prop::sample::select(vec![4usize, 8]),
-    ) {
-        let d = smem::conflict_degree_strided(start, lanes, stride, elem_bytes);
+#[test]
+fn conflict_degree_bounded_by_active_lanes() {
+    let mut rng = StdRng::seed_from_u64(0xBA4E_C04F);
+    for _ in 0..CASES {
+        let start = rng.gen_range(0usize..256);
+        let lanes = rng.gen_range(0usize..=32);
+        let stride = rng.gen_range(0usize..128);
+        let eb = elem_bytes(&mut rng);
+        let d = smem::conflict_degree_strided(start, lanes, stride, eb);
         if lanes == 0 {
-            prop_assert_eq!(d, 0);
+            assert_eq!(d, 0);
         } else {
-            prop_assert!(d >= 1 && d <= lanes as u64);
+            assert!(d >= 1 && d <= lanes as u64, "degree {d} lanes {lanes}");
         }
     }
+}
 
-    #[test]
-    fn odd_stride_is_always_conflict_free_for_f32(
-        start in 0usize..256,
-        k in 0usize..64,
-    ) {
+#[test]
+fn odd_stride_is_always_conflict_free_for_f32() {
+    let mut rng = StdRng::seed_from_u64(0x0DD5_771D);
+    for _ in 0..CASES {
+        let start = rng.gen_range(0usize..256);
+        let k = rng.gen_range(0usize..64);
         // Odd word strides are coprime with the 32 banks: never a conflict.
         let stride = 2 * k + 1;
         let d = smem::conflict_degree_strided(start, 32, stride, 4);
-        prop_assert_eq!(d, 1, "stride {}", stride);
+        assert_eq!(d, 1, "stride {stride}");
     }
+}
 
-    #[test]
-    fn timing_monotone_in_dram_traffic(
-        tx in 1u64..1_000_000,
-        extra in 1u64..1_000_000,
-    ) {
-        let model = TimingModel::new(DeviceConfig::k40c());
-        let launch = Launch { grid_blocks: 1024, threads_per_block: 256, smem_bytes_per_block: 0 };
-        let base = TransactionStats { dram_load_tx: tx, dram_store_tx: tx, ..Default::default() };
+#[test]
+fn timing_monotone_in_dram_traffic() {
+    let mut rng = StdRng::seed_from_u64(0x7131_3137);
+    let model = TimingModel::new(DeviceConfig::k40c());
+    let launch = Launch {
+        grid_blocks: 1024,
+        threads_per_block: 256,
+        smem_bytes_per_block: 0,
+    };
+    for _ in 0..CASES {
+        let tx = rng.gen_range(1u64..1_000_000);
+        let extra = rng.gen_range(1u64..1_000_000);
+        let base = TransactionStats {
+            dram_load_tx: tx,
+            dram_store_tx: tx,
+            ..Default::default()
+        };
         let more = TransactionStats {
             dram_load_tx: tx + extra,
             dram_store_tx: tx,
             ..Default::default()
         };
-        prop_assert!(model.time(&more, &launch).time_ns > model.time(&base, &launch).time_ns);
+        assert!(model.time(&more, &launch).time_ns > model.time(&base, &launch).time_ns);
     }
+}
 
-    #[test]
-    fn timing_monotone_in_conflict_replays(
-        acc in 1u64..1_000_000,
-        replays in 1u64..10_000_000,
-    ) {
-        let model = TimingModel::new(DeviceConfig::k40c());
-        let launch = Launch { grid_blocks: 1024, threads_per_block: 256, smem_bytes_per_block: 8448 };
+#[test]
+fn timing_monotone_in_conflict_replays() {
+    let mut rng = StdRng::seed_from_u64(0x4E91_0AF5);
+    let model = TimingModel::new(DeviceConfig::k40c());
+    let launch = Launch {
+        grid_blocks: 1024,
+        threads_per_block: 256,
+        smem_bytes_per_block: 8448,
+    };
+    for _ in 0..CASES {
+        let acc = rng.gen_range(1u64..1_000_000);
+        let replays = rng.gen_range(1u64..10_000_000);
         let base = TransactionStats {
             dram_load_tx: 1000,
             dram_store_tx: 1000,
             smem_load_acc: acc,
             ..Default::default()
         };
-        let conflicted = TransactionStats { smem_conflict_replays: replays, ..base };
-        prop_assert!(
-            model.time(&conflicted, &launch).time_ns >= model.time(&base, &launch).time_ns
-        );
+        let conflicted = TransactionStats {
+            smem_conflict_replays: replays,
+            ..base
+        };
+        assert!(model.time(&conflicted, &launch).time_ns >= model.time(&base, &launch).time_ns);
     }
+}
 
-    #[test]
-    fn stats_merge_is_commutative(
-        a0 in 0u64..1000, a1 in 0u64..1000, a2 in 0u64..1000,
-        b0 in 0u64..1000, b1 in 0u64..1000, b2 in 0u64..1000,
-    ) {
+#[test]
+fn stats_merge_is_commutative() {
+    let mut rng = StdRng::seed_from_u64(0xC033_07A7);
+    for _ in 0..CASES {
+        let mut draws = [0u64; 6];
+        for d in draws.iter_mut() {
+            *d = rng.gen_range(0u64..1000);
+        }
         let a = TransactionStats {
-            dram_load_tx: a0, smem_load_acc: a1, special_instr: a2, ..Default::default()
+            dram_load_tx: draws[0],
+            smem_load_acc: draws[1],
+            special_instr: draws[2],
+            ..Default::default()
         };
         let b = TransactionStats {
-            dram_load_tx: b0, smem_load_acc: b1, special_instr: b2, ..Default::default()
+            dram_load_tx: draws[3],
+            smem_load_acc: draws[4],
+            special_instr: draws[5],
+            ..Default::default()
         };
-        let mut ab = a; ab.merge(&b);
-        let mut ba = b; ba.merge(&a);
-        prop_assert_eq!(ab, ba);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
     }
 }

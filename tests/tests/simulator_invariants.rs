@@ -3,7 +3,7 @@
 //! verification must hold for every schema, and timing must be
 //! deterministic and monotone in obvious ways.
 
-use ttlg::{Schema, Transposer, TransposeOptions};
+use ttlg::{Schema, TransposeOptions, Transposer};
 use ttlg_gpu_sim::DeviceConfig;
 use ttlg_tensor::{DenseTensor, Permutation, Shape};
 
@@ -11,11 +11,11 @@ use ttlg_tensor::{DenseTensor, Permutation, Shape};
 /// extents.
 fn cases() -> Vec<(Vec<usize>, Vec<usize>)> {
     vec![
-        (vec![40, 40], vec![0, 1]),              // copy
-        (vec![50, 7, 9], vec![0, 2, 1]),         // FVI-Match-Large
-        (vec![9, 10, 11, 5], vec![0, 3, 2, 1]),  // FVI-Match-Small family
-        (vec![33, 5, 37], vec![2, 1, 0]),        // Orthogonal-Distinct
-        (vec![6, 3, 7, 9], vec![2, 1, 3, 0]),    // Orthogonal-Arbitrary
+        (vec![40, 40], vec![0, 1]),             // copy
+        (vec![50, 7, 9], vec![0, 2, 1]),        // FVI-Match-Large
+        (vec![9, 10, 11, 5], vec![0, 3, 2, 1]), // FVI-Match-Small family
+        (vec![33, 5, 37], vec![2, 1, 0]),       // Orthogonal-Distinct
+        (vec![6, 3, 7, 9], vec![2, 1, 3, 0]),   // Orthogonal-Arbitrary
     ]
 }
 
@@ -25,12 +25,15 @@ fn analyze_equals_execute_for_every_schema() {
     for (extents, perm) in cases() {
         let shape = Shape::new(&extents).unwrap();
         let perm = Permutation::new(&perm).unwrap();
-        let plan = t.plan::<u64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+        let plan = t
+            .plan::<u64>(&shape, &perm, &TransposeOptions::default())
+            .unwrap();
         let input: DenseTensor<u64> = DenseTensor::iota(shape);
         let exec = t.execute(&plan, &input).unwrap().1;
         let ana = t.time_plan(&plan).unwrap();
         assert_eq!(
-            exec.stats, ana.stats,
+            exec.stats,
+            ana.stats,
             "sampled analysis diverged from execution: {extents:?} {}",
             plan.schema()
         );
@@ -43,7 +46,10 @@ fn disjoint_write_checking_passes_for_all_schemas() {
     // The executor's double-write detector is a failure-injection net: a
     // kernel writing any output element twice (or missing one) panics.
     let t = Transposer::new_k40c();
-    let opts = TransposeOptions { check_disjoint_writes: true, ..Default::default() };
+    let opts = TransposeOptions {
+        check_disjoint_writes: true,
+        ..Default::default()
+    };
     for (extents, perm) in cases() {
         let shape = Shape::new(&extents).unwrap();
         let perm = Permutation::new(&perm).unwrap();
@@ -61,7 +67,9 @@ fn timing_is_deterministic_across_runs() {
     let t = Transposer::new_k40c();
     let shape = Shape::new(&[24, 18, 12]).unwrap();
     let perm = Permutation::new(&[2, 0, 1]).unwrap();
-    let plan = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+    let plan = t
+        .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+        .unwrap();
     let a = t.time_plan(&plan).unwrap();
     for _ in 0..3 {
         let b = t.time_plan(&plan).unwrap();
@@ -79,12 +87,17 @@ fn forced_naive_never_beats_planner_choice() {
         }
         let shape = Shape::new(&extents).unwrap();
         let perm = Permutation::new(&perm).unwrap();
-        let auto = t.plan::<f64>(&shape, &perm, &TransposeOptions::default()).unwrap();
+        let auto = t
+            .plan::<f64>(&shape, &perm, &TransposeOptions::default())
+            .unwrap();
         let naive = t
             .plan::<f64>(
                 &shape,
                 &perm,
-                &TransposeOptions { forced_schema: Some(Schema::Naive), ..Default::default() },
+                &TransposeOptions {
+                    forced_schema: Some(Schema::Naive),
+                    ..Default::default()
+                },
             )
             .unwrap();
         let auto_t = t.time_plan(&auto).unwrap().kernel_time_ns;
@@ -104,7 +117,14 @@ fn smaller_device_is_slower() {
     let shape = Shape::new(&[64, 32, 16]).unwrap();
     let perm = Permutation::new(&[2, 1, 0]).unwrap();
     let opts = TransposeOptions::default();
-    let tb = big.time_plan(&big.plan::<f64>(&shape, &perm, &opts).unwrap()).unwrap();
-    let ts = small.time_plan(&small.plan::<f64>(&shape, &perm, &opts).unwrap()).unwrap();
-    assert!(ts.kernel_time_ns > tb.kernel_time_ns, "tiny device must be slower");
+    let tb = big
+        .time_plan(&big.plan::<f64>(&shape, &perm, &opts).unwrap())
+        .unwrap();
+    let ts = small
+        .time_plan(&small.plan::<f64>(&shape, &perm, &opts).unwrap())
+        .unwrap();
+    assert!(
+        ts.kernel_time_ns > tb.kernel_time_ns,
+        "tiny device must be slower"
+    );
 }
