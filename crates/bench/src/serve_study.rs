@@ -33,6 +33,11 @@ pub struct ServeStudy {
     pub cache: CacheStats,
     /// The runtime's plain-text metrics report after the batched run.
     pub metrics_report: String,
+    /// Per-schema prediction-accuracy table (signed residuals and the
+    /// paper's Table II geometric-mean error) from the batched run.
+    pub prediction_summary: String,
+    /// Prediction samples recorded during the batched run.
+    pub prediction_samples: u64,
 }
 
 impl ServeStudy {
@@ -74,6 +79,12 @@ impl ServeStudy {
             "speedup: {:.2}x (cache: {} hits / {} misses)\n",
             self.speedup, self.cache.hits, self.cache.misses
         ));
+        if self.prediction_samples > 0 {
+            s.push_str(&format!(
+                "prediction accuracy ({} samples):\n{}",
+                self.prediction_samples, self.prediction_summary
+            ));
+        }
         s
     }
 }
@@ -155,6 +166,8 @@ pub fn run(distinct: usize, rounds: usize) -> ServeStudy {
         speedup: naive_ns / batched_ns,
         cache,
         metrics_report: service.metrics_report(),
+        prediction_summary: service.metrics().prediction().render(),
+        prediction_samples: service.metrics().prediction().total_count(),
     }
 }
 
@@ -183,8 +196,12 @@ mod tests {
         // the planned Arc directly, without re-touching the cache.
         assert_eq!(study.cache.misses, 16);
         assert!(study.metrics_report.contains("requests"));
+        // Every successful request fed the prediction tracker.
+        assert_eq!(study.prediction_samples, 64);
         let rendered = study.render();
         assert!(rendered.contains("speedup"));
+        assert!(rendered.contains("prediction accuracy (64 samples)"));
+        assert!(rendered.contains("geo-mean error"));
     }
 
     #[test]

@@ -48,12 +48,17 @@ ttlg — tensor transposition on the simulated K40c
 
 USAGE:
   ttlg plan     <extents> <perm> [--no-sweep]   show the planner's choice
+  ttlg explain  <extents> <perm> [--no-sweep]   full decision trace: every
+                                                candidate slice size, its
+                                                predicted time, and why the
+                                                rest were rejected
   ttlg run      <extents> <perm> [--verify]     execute and report bandwidth
   ttlg predict  <extents> <perm>                queryable-model estimate
   ttlg compare  <extents> <perm>                TTLG vs cuTT vs TTC vs naive
   ttlg profile  <extents> <perm>                nvprof-style kernel counters
   ttlg contract <spec> <extentsA> <extentsB>    TTGT contraction (f64)
   ttlg bench-serve [--perms=N] [--rounds=N] [--extents=E]
+                   [--metrics-format=text|json|prom]
                                                 replay a mixed-permutation
                                                 workload through ttlg-runtime
   ttlg devices                                  list device presets
@@ -93,6 +98,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     let rest: Vec<&String> = it.collect();
     match cmd.as_str() {
         "plan" => cmd_plan(&rest),
+        "explain" => cmd_explain(&rest),
         "run" => cmd_run(&rest),
         "predict" => cmd_predict(&rest),
         "compare" => cmd_compare(&rest),
@@ -145,6 +151,21 @@ fn cmd_plan(rest: &[&String]) -> Result<String, CliError> {
     )
     .unwrap();
     Ok(s)
+}
+
+fn cmd_explain(rest: &[&String]) -> Result<String, CliError> {
+    let (e, p) = two_positional(rest, "explain")?;
+    let (shape, perm) = parse_problem(e, p)?;
+    let sweep = !rest.iter().any(|a| a.as_str() == "--no-sweep");
+    let t = Transposer::new_k40c();
+    let opts = TransposeOptions {
+        model_sweep: sweep,
+        ..Default::default()
+    };
+    let (_, trace) = t
+        .plan_traced::<f64>(&shape, &perm, &opts)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    Ok(trace.render())
 }
 
 fn cmd_run(rest: &[&String]) -> Result<String, CliError> {
@@ -377,10 +398,19 @@ fn perms_lex(rank: usize, take: usize) -> Vec<Permutation> {
     out
 }
 
+/// Output format of `bench-serve`'s metrics block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Text,
+    Json,
+    Prom,
+}
+
 fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
     let mut distinct = 16usize;
     let mut rounds = 4usize;
     let mut extents = vec![8usize, 6, 5, 4];
+    let mut format = MetricsFormat::Text;
     for a in rest {
         if let Some(v) = a.strip_prefix("--perms=") {
             distinct = v
@@ -392,6 +422,17 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
                 .map_err(|_| CliError::Usage(format!("bad --rounds value {v:?}")))?;
         } else if let Some(v) = a.strip_prefix("--extents=") {
             extents = parse_usize_list(v, "extents")?;
+        } else if let Some(v) = a.strip_prefix("--metrics-format=") {
+            format = match v {
+                "text" => MetricsFormat::Text,
+                "json" => MetricsFormat::Json,
+                "prom" => MetricsFormat::Prom,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "bad --metrics-format value {other:?} (text|json|prom)"
+                    )))
+                }
+            };
         } else {
             return Err(CliError::Usage(format!(
                 "bench-serve does not understand {a:?}"
@@ -431,6 +472,14 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
             .count();
     }
     let elapsed = t0.elapsed();
+
+    // The machine-readable formats are emitted bare so the output can be
+    // piped straight into a scraper or parser.
+    match format {
+        MetricsFormat::Json => return Ok(service.export_json()),
+        MetricsFormat::Prom => return Ok(service.export_prometheus()),
+        MetricsFormat::Text => {}
+    }
 
     let total = distinct * rounds;
     let stats = service.cache_stats();
@@ -492,6 +541,22 @@ mod tests {
     }
 
     #[test]
+    fn explain_command_prints_full_decision_trace() {
+        // A 6D Orthogonal-Distinct problem: the trace must show every
+        // candidate's slice sizes with predicted times and mark the
+        // chosen one.
+        let out = run(&["explain", "16,16,16,16,16,16", "5,4,3,2,1,0"]).unwrap();
+        assert!(out.contains("decision trace"), "{out}");
+        assert!(out.contains("admissible"), "{out}");
+        assert!(out.contains("Orthogonal-Distinct"), "{out}");
+        assert!(out.contains("slice in="), "{out}");
+        assert!(out.contains("pred"), "{out}");
+        assert!(out.contains("chosen:"), "{out}");
+        assert!(out.contains('*'), "chosen candidate marker: {out}");
+        assert!(out.contains("sweep rejections"), "{out}");
+    }
+
+    #[test]
     fn run_command_with_verify() {
         let out = run(&["run", "16,8,4", "2,0,1", "--verify"]).unwrap();
         assert!(out.contains("verify    : OK"));
@@ -534,6 +599,53 @@ mod tests {
         assert!(out.contains("plan cache: 4 hits, 4 misses"));
         assert!(out.contains("ttlg-runtime metrics"));
         assert!(out.contains("failures  : 0"));
+    }
+
+    #[test]
+    fn bench_serve_prometheus_format() {
+        let out = run(&[
+            "bench-serve",
+            "--perms=4",
+            "--rounds=2",
+            "--extents=6,5,4",
+            "--metrics-format=prom",
+        ])
+        .unwrap();
+        assert!(!out.trim().is_empty(), "metrics must be non-empty");
+        assert!(out.contains("# TYPE ttlg_requests_total counter"), "{out}");
+        assert!(out.contains("ttlg_requests_total{schema="), "{out}");
+        assert!(
+            out.contains("ttlg_exec_latency_us_quantile{quantile=\"0.5\"}"),
+            "{out}"
+        );
+        assert!(out.contains("quantile=\"0.95\""), "{out}");
+        assert!(out.contains("quantile=\"0.99\""), "{out}");
+        assert!(out.contains("ttlg_prediction_samples_total"), "{out}");
+        assert!(out.contains("ttlg_prediction_geo_mean_error"), "{out}");
+        // Every non-comment line parses as `name{labels} value`.
+        for line in out.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (_, value) = line.rsplit_once(' ').expect("name value");
+            assert!(value.parse::<f64>().is_ok(), "unparsable value: {line}");
+        }
+    }
+
+    #[test]
+    fn bench_serve_json_format() {
+        let out = run(&[
+            "bench-serve",
+            "--perms=2",
+            "--rounds=1",
+            "--extents=6,5,4",
+            "--metrics-format=json",
+        ])
+        .unwrap();
+        assert!(out.starts_with('{') && out.trim_end().ends_with('}'));
+        assert!(out.contains("\"ttlg_requests_total\""), "{out}");
+        assert!(out.contains("\"histograms\""), "{out}");
+        assert!(matches!(
+            run(&["bench-serve", "--metrics-format=xml"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -176,6 +176,24 @@ impl<E: Element> ShardedPlanCache<E> {
         perm: &Permutation,
         opts: &TransposeOptions,
     ) -> Result<Arc<Plan<E>>, PlanError> {
+        self.get_or_plan_keyed_flagged(t, key, shape, perm, opts)
+            .map(|(plan, _)| plan)
+    }
+
+    /// [`Self::get_or_plan_keyed`] plus per-call attribution: the returned
+    /// flag is `true` when this call was served from the cache (including
+    /// waiting out another caller's in-flight build) and `false` when this
+    /// call built the plan itself. The aggregate counters in
+    /// [`Self::stats`] cannot tell an individual caller which side it was
+    /// on; the runtime's request traces need to know.
+    pub fn get_or_plan_keyed_flagged(
+        &self,
+        t: &Transposer,
+        key: &PlanKey,
+        shape: &Shape,
+        perm: &Permutation,
+        opts: &TransposeOptions,
+    ) -> Result<(Arc<Plan<E>>, bool), PlanError> {
         enum Slot {
             Ready,
             Building,
@@ -198,7 +216,7 @@ impl<E: Element> ShardedPlanCache<E> {
                     };
                     *last_used = tick;
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Arc::clone(plan));
+                    return Ok((Arc::clone(plan), true));
                 }
                 Slot::Building => {
                     state = shard.built.wait(state).expect("cache shard poisoned");
@@ -226,7 +244,7 @@ impl<E: Element> ShardedPlanCache<E> {
                 self.evict_locked(&mut state);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 shard.built.notify_all();
-                Ok(plan)
+                Ok((plan, false))
             }
             Err(e) => {
                 state.map.remove(key);
@@ -537,6 +555,26 @@ mod tests {
         // s2 was evicted: asking again rebuilds.
         cache.get_or_plan(&t, &s2, &p, &opts).unwrap();
         assert_eq!(cache.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn flagged_fetch_attributes_hits_and_misses() {
+        let t = Transposer::new_k40c();
+        let cache: ShardedPlanCache<u64> = ShardedPlanCache::new();
+        let shape = Shape::new(&[16, 8]).unwrap();
+        let perm = Permutation::new(&[1, 0]).unwrap();
+        let opts = TransposeOptions::default();
+        let key = PlanKey::new(&shape, &perm, &opts);
+        let (_, hit) = cache
+            .get_or_plan_keyed_flagged(&t, &key, &shape, &perm, &opts)
+            .unwrap();
+        assert!(!hit, "first fetch builds");
+        let (_, hit) = cache
+            .get_or_plan_keyed_flagged(&t, &key, &shape, &perm, &opts)
+            .unwrap();
+        assert!(hit, "second fetch is served from cache");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod plan;
 pub mod problem;
 pub mod schema;
 pub mod slice;
+pub mod trace;
 
 pub use cache::{CacheConfig, CacheStats, PlanCache, PlanKey, ShardedPlanCache};
 pub use model::{AnalyticPredictor, Candidate, TimePredictor};
@@ -43,3 +44,4 @@ pub use plan::{
 };
 pub use problem::Problem;
 pub use schema::{applicable_schemas, Schema};
+pub use trace::{CandidateTrace, DecisionTrace, RejectReason, SweepRejection};

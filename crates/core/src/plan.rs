@@ -16,6 +16,7 @@ use crate::model::{AnalyticPredictor, TimePredictor};
 use crate::problem::Problem;
 use crate::schema::{applicable_schemas, Schema};
 use crate::slice;
+use crate::trace::{choice_params, CandidateTrace, DecisionTrace};
 use std::sync::Arc;
 use ttlg_gpu_sim::{
     executor::LaunchError, Accounting, BlockIo, BlockKernel, DeviceConfig, ExecMode, Executor,
@@ -27,6 +28,10 @@ use ttlg_tensor::{DenseTensor, Element, Permutation, Shape};
 const PLAN_PER_CANDIDATE_NS: f64 = 2_000.0;
 /// Host-side offset-array construction cost, ns per byte.
 const PLAN_OFFSET_NS_PER_BYTE: f64 = 0.5;
+/// Analytic-guard factor: a candidate is only eligible if the closed-form
+/// model rates it within this factor of the analytic best (see
+/// [`Transposer::plan`]).
+const ANALYTIC_GUARD: f64 = 1.25;
 
 /// Options controlling planning.
 #[derive(Debug, Clone)]
@@ -285,6 +290,31 @@ impl Transposer {
         perm: &Permutation,
         opts: &TransposeOptions,
     ) -> Result<Plan<E>, PlanError> {
+        self.plan_impl::<E>(shape, perm, opts, None)
+    }
+
+    /// [`Transposer::plan`] plus a full [`DecisionTrace`]: every candidate
+    /// the model ranked (with slice sizes and both time estimates), every
+    /// configuration the sweep rejected and why, the analytic-guard band,
+    /// and the final choice. This is what `ttlg explain` prints.
+    pub fn plan_traced<E: Element>(
+        &self,
+        shape: &Shape,
+        perm: &Permutation,
+        opts: &TransposeOptions,
+    ) -> Result<(Plan<E>, DecisionTrace), PlanError> {
+        let mut trace = DecisionTrace::default();
+        let plan = self.plan_impl::<E>(shape, perm, opts, Some(&mut trace))?;
+        Ok((plan, trace))
+    }
+
+    fn plan_impl<E: Element>(
+        &self,
+        shape: &Shape,
+        perm: &Permutation,
+        opts: &TransposeOptions,
+        mut trace: Option<&mut DecisionTrace>,
+    ) -> Result<Plan<E>, PlanError> {
         let problem = if opts.enable_fusion {
             Problem::new(shape, perm)?
         } else {
@@ -294,8 +324,16 @@ impl Transposer {
             Some(s) => vec![s],
             None => applicable_schemas(&problem),
         };
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.extents = shape.extents().to_vec();
+            tr.perm = perm.as_slice().to_vec();
+            tr.fused_extents = problem.shape.extents().to_vec();
+            tr.fused_perm = problem.perm.as_slice().to_vec();
+            tr.admissible = schemas.clone();
+            tr.guard_factor = ANALYTIC_GUARD;
+        }
         let (predicted_ns, candidate, evaluated) =
-            self.rank_candidates::<E>(&problem, &schemas, opts)?;
+            self.rank_candidates_impl::<E>(&problem, &schemas, opts, trace.as_deref_mut())?;
         let kernel = build_kernel::<E>(&problem, &candidate, self.executor.device().smem_per_sm);
 
         let offset_bytes = match &kernel {
@@ -306,6 +344,9 @@ impl Transposer {
         let plan_time_ns = self.timing.plan_overhead_ns()
             + evaluated as f64 * PLAN_PER_CANDIDATE_NS
             + offset_bytes as f64 * PLAN_OFFSET_NS_PER_BYTE;
+        if let Some(tr) = trace {
+            tr.plan_time_ns = plan_time_ns;
+        }
 
         Ok(Plan {
             problem,
@@ -329,18 +370,38 @@ impl Transposer {
         schemas: &[Schema],
         opts: &TransposeOptions,
     ) -> Result<(f64, Candidate, usize), PlanError> {
-        const ANALYTIC_GUARD: f64 = 1.25;
+        self.rank_candidates_impl::<E>(problem, schemas, opts, None)
+    }
+
+    fn rank_candidates_impl<E: Element>(
+        &self,
+        problem: &Problem,
+        schemas: &[Schema],
+        opts: &TransposeOptions,
+        mut trace: Option<&mut DecisionTrace>,
+    ) -> Result<(f64, Candidate, usize), PlanError> {
         let device = self.executor.device();
         let mut cands: Vec<(f64, f64, Candidate)> = Vec::new();
         let mut analytic_best = f64::INFINITY;
         for &schema in schemas {
-            for cand in slice::enumerate_candidates::<E>(
-                problem,
-                schema,
-                device,
-                opts.overbooking,
-                opts.model_sweep,
-            ) {
+            let list = match trace.as_deref_mut() {
+                Some(tr) => slice::enumerate_candidates_traced::<E>(
+                    problem,
+                    schema,
+                    device,
+                    opts.overbooking,
+                    opts.model_sweep,
+                    &mut tr.rejections,
+                ),
+                None => slice::enumerate_candidates::<E>(
+                    problem,
+                    schema,
+                    device,
+                    opts.overbooking,
+                    opts.model_sweep,
+                ),
+            };
+            for cand in list {
                 let t = self.predictor.predict_ns(&cand);
                 let a = self.analytic.predict_ns(&cand);
                 analytic_best = analytic_best.min(a);
@@ -361,6 +422,28 @@ impl Transposer {
             })
             .map(|(i, _)| i)
             .ok_or(PlanError::NoCandidate)?;
+        if let Some(tr) = trace {
+            tr.analytic_best_ns = analytic_best;
+            tr.chosen = Some(best);
+            tr.candidates = cands
+                .iter()
+                .enumerate()
+                .map(|(i, (t, a, c))| CandidateTrace {
+                    schema: c.schema(),
+                    params: choice_params(&c.choice),
+                    input_slice: c.input_slice,
+                    output_slice: c.output_slice,
+                    total_slice: c.total_slice,
+                    grid_blocks: c.grid_blocks,
+                    threads_per_block: c.threads_per_block,
+                    smem_bytes: c.smem_bytes,
+                    predicted_ns: *t,
+                    analytic_ns: *a,
+                    guard_rejected: *a > ANALYTIC_GUARD * analytic_best,
+                    chosen: i == best,
+                })
+                .collect();
+        }
         let (predicted_ns, _, candidate) = cands.swap_remove(best);
         Ok((predicted_ns, candidate, evaluated))
     }
@@ -759,6 +842,68 @@ mod tests {
             bad_t <= 1.7 * good_t,
             "guard failed: adversarial plan {bad_t} vs best {good_t}"
         );
+    }
+
+    #[test]
+    fn plan_traced_records_the_full_decision() {
+        // A 6D Orthogonal-Distinct problem: the trace must list every
+        // ranked candidate with its slice sizes and predicted time, and
+        // the chosen one must match the plan.
+        let shape = Shape::new(&[16, 16, 16, 16, 16, 16]).unwrap();
+        let perm = Permutation::new(&[5, 4, 3, 2, 1, 0]).unwrap();
+        let t = Transposer::new_k40c();
+        let (plan, trace) = t
+            .plan_traced::<f64>(&shape, &perm, &TransposeOptions::default())
+            .unwrap();
+        assert_eq!(trace.extents, vec![16; 6]);
+        assert_eq!(trace.perm, vec![5, 4, 3, 2, 1, 0]);
+        assert!(trace.admissible.contains(&Schema::OrthogonalDistinct));
+        assert_eq!(trace.candidates.len(), plan.candidates_evaluated());
+        assert!(trace.candidates.len() > 1, "sweep should rank many");
+        // Exactly one chosen candidate, consistent with the plan.
+        let chosen: Vec<_> = trace.candidates.iter().filter(|c| c.chosen).collect();
+        assert_eq!(chosen.len(), 1);
+        assert_eq!(chosen[0].schema, plan.schema());
+        assert!((chosen[0].predicted_ns - plan.predicted_ns()).abs() < 1e-9);
+        assert_eq!(trace.chosen_candidate().unwrap().schema, plan.schema());
+        // Every candidate carries slice sizes and finite estimates.
+        for c in &trace.candidates {
+            assert!(c.predicted_ns.is_finite() && c.predicted_ns > 0.0);
+            assert!(c.analytic_ns.is_finite() && c.analytic_ns > 0.0);
+            if matches!(
+                c.schema,
+                Schema::OrthogonalDistinct | Schema::OrthogonalArbitrary
+            ) {
+                assert!(c.input_slice > 0 && c.output_slice > 0 && c.total_slice > 0);
+            }
+        }
+        assert!(trace.analytic_best_ns.is_finite());
+        assert!((trace.guard_factor - 1.25).abs() < 1e-12);
+        assert!((trace.plan_time_ns - plan.plan_time_ns()).abs() < 1e-9);
+        // The sweep discards duplicates on this problem; they are logged.
+        assert!(
+            !trace.rejections.is_empty(),
+            "OD sweep over a 6D cube revisits configurations"
+        );
+        // Rendering mentions each schema that produced candidates and the
+        // winner's parameters.
+        let text = trace.render();
+        assert!(text.contains("== decision trace: 16x16x16x16x16x16 perm [5,4,3,2,1,0] =="));
+        assert!(text.contains("chosen:"));
+        assert!(text.contains(&chosen[0].params));
+    }
+
+    #[test]
+    fn plan_traced_matches_untraced_choice() {
+        let shape = Shape::new(&[27, 27, 27, 27]).unwrap();
+        let perm = Permutation::new(&[3, 1, 0, 2]).unwrap();
+        let t = Transposer::new_k40c();
+        let opts = TransposeOptions::default();
+        let plain = t.plan::<f64>(&shape, &perm, &opts).unwrap();
+        let (traced, trace) = t.plan_traced::<f64>(&shape, &perm, &opts).unwrap();
+        assert_eq!(plain.schema(), traced.schema());
+        assert!((plain.predicted_ns() - traced.predicted_ns()).abs() < 1e-9);
+        assert_eq!(plain.candidates_evaluated(), trace.candidates.len());
     }
 
     #[test]

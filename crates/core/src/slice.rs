@@ -12,6 +12,7 @@ use crate::features::{
 use crate::kernels::{FviMatchSmallKernel, OaChoice, OdChoice};
 use crate::problem::Problem;
 use crate::schema::Schema;
+use crate::trace::{oa_params, od_params, RejectReason, SweepRejection};
 use ttlg_gpu_sim::DeviceConfig;
 use ttlg_tensor::{Element, WARP_SIZE};
 
@@ -73,6 +74,17 @@ pub fn od_candidates<E: Element>(
     device: &DeviceConfig,
     overbooking: usize,
 ) -> Vec<OdChoice> {
+    od_candidates_logged::<E>(p, device, overbooking, None)
+}
+
+/// [`od_candidates`] with an optional rejection log: every configuration
+/// the sweep generates and discards is recorded with its reason.
+pub fn od_candidates_logged<E: Element>(
+    p: &Problem,
+    device: &DeviceConfig,
+    overbooking: usize,
+    mut log: Option<&mut Vec<SweepRejection>>,
+) -> Vec<OdChoice> {
     let ws = WARP_SIZE;
     let smem_per_block = ws * (ws + 1) * E::BYTES;
     let min_blocks = device.max_resident_blocks(256, smem_per_block).max(1);
@@ -84,16 +96,32 @@ pub fn od_candidates<E: Element>(
         p: &Problem,
         out: &mut Vec<OdChoice>,
         seen: &mut std::collections::HashSet<(usize, usize, usize, usize)>,
+        log: Option<&mut Vec<SweepRejection>>,
         c: OdChoice,
     ) {
-        if c.is_valid(p) && seen.insert((c.in_dims, c.block_a, c.out_dims, c.block_b)) {
-            out.push(c);
+        let reject = |log: Option<&mut Vec<SweepRejection>>, reason: RejectReason| {
+            if let Some(l) = log {
+                l.push(SweepRejection {
+                    schema: Schema::OrthogonalDistinct,
+                    params: od_params(&c),
+                    reason,
+                });
+            }
+        };
+        if !c.is_valid(p) {
+            reject(log, RejectReason::Invalid);
+            return;
         }
+        if !seen.insert((c.in_dims, c.block_a, c.out_dims, c.block_b)) {
+            reject(log, RejectReason::Duplicate);
+            return;
+        }
+        out.push(c);
     }
 
     // Always include the flow-chart default.
     if let Some(c) = OdChoice::default_for(p) {
-        push(p, &mut out, &mut seen, c);
+        push(p, &mut out, &mut seen, log.as_deref_mut(), c);
     }
 
     let mut limit_ir = ws;
@@ -135,6 +163,7 @@ pub fn od_candidates<E: Element>(
                                     p,
                                     &mut out,
                                     &mut seen,
+                                    log.as_deref_mut(),
                                     OdChoice {
                                         in_dims,
                                         block_a,
@@ -199,6 +228,19 @@ pub fn oa_candidates<E: Element>(
     device: &DeviceConfig,
     overbooking: usize,
 ) -> Vec<OaChoice> {
+    oa_candidates_logged::<E>(p, device, overbooking, None)
+}
+
+/// [`oa_candidates`] with an optional rejection log: every configuration
+/// the sweep generates and discards is recorded with its reason
+/// (validity, shared-memory fit, occupancy bound, duplicate — in that
+/// check order).
+pub fn oa_candidates_logged<E: Element>(
+    p: &Problem,
+    device: &DeviceConfig,
+    overbooking: usize,
+    mut log: Option<&mut Vec<SweepRejection>>,
+) -> Vec<OaChoice> {
     let ws = WARP_SIZE;
     let smem_limit = device.smem_per_sm;
     let mut out = Vec::new();
@@ -209,18 +251,46 @@ pub fn oa_candidates<E: Element>(
         overbooking: usize,
         out: &mut Vec<OaChoice>,
         seen: &mut std::collections::HashSet<(usize, usize, usize, usize)>,
+        log: Option<&mut Vec<SweepRejection>>,
         c: OaChoice,
     ) {
-        if c.is_valid(p)
-            && c.fits_smem(p, E2::BYTES, device.smem_per_sm)
-            && oa_occupancy_ok::<E2>(p, &c, device, overbooking)
-            && seen.insert((c.in_dims, c.block_a, c.out_dims, c.block_b))
-        {
-            out.push(c);
+        let reject = |log: Option<&mut Vec<SweepRejection>>, reason: RejectReason| {
+            if let Some(l) = log {
+                l.push(SweepRejection {
+                    schema: Schema::OrthogonalArbitrary,
+                    params: oa_params(&c),
+                    reason,
+                });
+            }
+        };
+        if !c.is_valid(p) {
+            reject(log, RejectReason::Invalid);
+            return;
         }
+        if !c.fits_smem(p, E2::BYTES, device.smem_per_sm) {
+            reject(log, RejectReason::SmemOverflow);
+            return;
+        }
+        if !oa_occupancy_ok::<E2>(p, &c, device, overbooking) {
+            reject(log, RejectReason::Occupancy);
+            return;
+        }
+        if !seen.insert((c.in_dims, c.block_a, c.out_dims, c.block_b)) {
+            reject(log, RejectReason::Duplicate);
+            return;
+        }
+        out.push(c);
     }
     if let Some(c) = OaChoice::default_for::<E>(p, smem_limit) {
-        push::<E>(p, device, overbooking, &mut out, &mut seen, c);
+        push::<E>(
+            p,
+            device,
+            overbooking,
+            &mut out,
+            &mut seen,
+            log.as_deref_mut(),
+            c,
+        );
     }
     // Minimal in_dims reaching the warp size.
     let min_in = input_cut(p, ws).map(|(d, _)| d).unwrap_or(p.rank());
@@ -283,6 +353,7 @@ pub fn oa_candidates<E: Element>(
                         overbooking,
                         &mut out,
                         &mut seen,
+                        log.as_deref_mut(),
                         OaChoice {
                             in_dims,
                             block_a,
@@ -320,6 +391,30 @@ pub fn enumerate_candidates<E: Element>(
     overbooking: usize,
     sweep: bool,
 ) -> Vec<Candidate> {
+    enumerate_impl::<E>(p, schema, device, overbooking, sweep, None)
+}
+
+/// [`enumerate_candidates`] recording every swept-and-rejected
+/// configuration into `log` (the planner's decision trace).
+pub fn enumerate_candidates_traced<E: Element>(
+    p: &Problem,
+    schema: Schema,
+    device: &DeviceConfig,
+    overbooking: usize,
+    sweep: bool,
+    log: &mut Vec<SweepRejection>,
+) -> Vec<Candidate> {
+    enumerate_impl::<E>(p, schema, device, overbooking, sweep, Some(log))
+}
+
+fn enumerate_impl<E: Element>(
+    p: &Problem,
+    schema: Schema,
+    device: &DeviceConfig,
+    overbooking: usize,
+    sweep: bool,
+    log: Option<&mut Vec<SweepRejection>>,
+) -> Vec<Candidate> {
     let smem_limit = device.smem_per_sm;
     match schema {
         Schema::Copy => {
@@ -353,7 +448,7 @@ pub fn enumerate_candidates<E: Element>(
         }
         Schema::OrthogonalDistinct => {
             let cs = if sweep {
-                od_candidates::<E>(p, device, overbooking)
+                od_candidates_logged::<E>(p, device, overbooking, log)
             } else {
                 OdChoice::default_for(p).into_iter().collect()
             };
@@ -361,7 +456,7 @@ pub fn enumerate_candidates<E: Element>(
         }
         Schema::OrthogonalArbitrary => {
             let mut cs = if sweep {
-                oa_candidates::<E>(p, device, overbooking)
+                oa_candidates_logged::<E>(p, device, overbooking, log)
             } else {
                 OaChoice::default_for::<E>(p, smem_limit)
                     .into_iter()

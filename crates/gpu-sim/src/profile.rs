@@ -43,26 +43,19 @@ pub struct ProfileReport {
 impl ProfileReport {
     /// Minimal DRAM transactions to move `elements` once in and once out.
     pub fn minimal_dram_tx(&self) -> u64 {
-        2 * ((self.elements as usize * self.elem_bytes).div_ceil(128)) as u64
+        self.stats.minimal_dram_tx(self.elem_bytes)
     }
 
     /// Global-memory efficiency: minimal transactions / achieved
     /// transactions (1.0 = perfectly coalesced and aligned).
     pub fn dram_efficiency(&self) -> f64 {
-        if self.stats.dram_total_tx() == 0 {
-            return 1.0;
-        }
-        self.minimal_dram_tx() as f64 / self.stats.dram_total_tx() as f64
+        self.stats.dram_efficiency(self.elem_bytes)
     }
 
     /// Shared-memory replay rate: conflict replays per access (0 =
     /// conflict-free).
     pub fn smem_replay_rate(&self) -> f64 {
-        let base = self.stats.smem_load_acc + self.stats.smem_store_acc;
-        if base == 0 {
-            return 0.0;
-        }
-        self.stats.smem_conflict_replays as f64 / base as f64
+        self.stats.smem_replay_rate()
     }
 
     /// Special (mod/div) instructions per element moved.

@@ -79,6 +79,34 @@ impl TransactionStats {
     pub fn dram_bytes(&self) -> u64 {
         self.dram_total_tx() * crate::TRANSACTION_BYTES as u64
     }
+
+    /// Minimal DRAM transactions to move `elements_moved` elements of
+    /// `elem_bytes` each once in and once out.
+    #[inline]
+    pub fn minimal_dram_tx(&self, elem_bytes: usize) -> u64 {
+        2 * ((self.elements_moved as usize * elem_bytes).div_ceil(crate::TRANSACTION_BYTES)) as u64
+    }
+
+    /// Global-memory efficiency: minimal transactions / achieved
+    /// transactions (1.0 = perfectly coalesced and aligned). This is the
+    /// per-request form of the profiler's metric, so a trace can carry
+    /// it without keeping the whole counter set alive.
+    pub fn dram_efficiency(&self, elem_bytes: usize) -> f64 {
+        if self.dram_total_tx() == 0 {
+            return 1.0;
+        }
+        self.minimal_dram_tx(elem_bytes) as f64 / self.dram_total_tx() as f64
+    }
+
+    /// Shared-memory replay rate: conflict replays per access (0 =
+    /// conflict-free).
+    pub fn smem_replay_rate(&self) -> f64 {
+        let base = self.smem_load_acc + self.smem_store_acc;
+        if base == 0 {
+            return 0.0;
+        }
+        self.smem_conflict_replays as f64 / base as f64
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +160,38 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(a.dram_bytes(), 256);
+    }
+
+    #[test]
+    fn efficiency_and_replay_rates() {
+        // 64 doubles = 512 B = 4 minimal tx each way.
+        let perfect = TransactionStats {
+            dram_load_tx: 4,
+            dram_store_tx: 4,
+            elements_moved: 64,
+            smem_load_acc: 2,
+            smem_store_acc: 2,
+            ..Default::default()
+        };
+        assert_eq!(perfect.minimal_dram_tx(8), 8);
+        assert!((perfect.dram_efficiency(8) - 1.0).abs() < 1e-12);
+        assert_eq!(perfect.smem_replay_rate(), 0.0);
+
+        let wasteful = TransactionStats {
+            dram_load_tx: 64,
+            dram_store_tx: 64,
+            elements_moved: 64,
+            smem_load_acc: 2,
+            smem_store_acc: 2,
+            smem_conflict_replays: 124,
+            ..Default::default()
+        };
+        assert!((wasteful.dram_efficiency(8) - 8.0 / 128.0).abs() < 1e-12);
+        assert!((wasteful.smem_replay_rate() - 31.0).abs() < 1e-12);
+
+        // Degenerate cases report neutral values.
+        let empty = TransactionStats::default();
+        assert_eq!(empty.dram_efficiency(8), 1.0);
+        assert_eq!(empty.smem_replay_rate(), 0.0);
     }
 }

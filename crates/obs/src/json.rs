@@ -1,0 +1,142 @@
+//! JSON snapshot exporter.
+//!
+//! Renders a [`MetricsSnapshot`] as a single JSON object — the machine
+//! counterpart of the plain-text report, for dashboards and log
+//! pipelines that ingest JSON. Hand-rolled (this crate is dependency
+//! free); strings are escaped per RFC 8259.
+
+use crate::snapshot::{Histogram, Metric, MetricsSnapshot};
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_number(v: f64) -> String {
+    // JSON has no Inf/NaN; clamp to null-like sentinels.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_labels(pairs: &[(String, String)]) -> String {
+    let inner: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape(k), escape(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn render_metric(m: &Metric) -> String {
+    let samples: Vec<String> = m
+        .samples
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"labels\":{},\"value\":{}}}",
+                render_labels(&s.labels),
+                json_number(s.value)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"name\":\"{}\",\"kind\":\"{}\",\"help\":\"{}\",\"samples\":[{}]}}",
+        escape(&m.name),
+        m.kind.as_str(),
+        escape(&m.help),
+        samples.join(",")
+    )
+}
+
+fn render_histogram(h: &Histogram) -> String {
+    let bounds: Vec<String> = h.upper_bounds.iter().map(|&b| json_number(b)).collect();
+    let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+    format!(
+        "{{\"name\":\"{}\",\"help\":\"{}\",\"labels\":{},\"upper_bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{}}}",
+        escape(&h.name),
+        escape(&h.help),
+        render_labels(&h.labels),
+        bounds.join(","),
+        counts.join(","),
+        json_number(h.sum),
+        h.count()
+    )
+}
+
+/// Render the snapshot as one JSON object:
+/// `{"metrics": [...], "histograms": [...]}`.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let metrics: Vec<String> = snapshot.metrics.iter().map(render_metric).collect();
+    let histograms: Vec<String> = snapshot.histograms.iter().map(render_histogram).collect();
+    format!(
+        "{{\"metrics\":[{}],\"histograms\":[{}]}}\n",
+        metrics.join(","),
+        histograms.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{MetricKind, MetricsSnapshot, Sample};
+
+    #[test]
+    fn renders_metrics_and_histograms() {
+        let mut s = MetricsSnapshot::new();
+        s.push_metric(
+            "x_total",
+            "a counter",
+            MetricKind::Counter,
+            vec![Sample::labelled("schema", "Copy", 2.0)],
+        );
+        s.push_histogram("h_us", "hist", Vec::new(), vec![2.0], vec![1, 3], 9.5);
+        let text = render(&s);
+        assert!(text.contains("\"name\":\"x_total\""));
+        assert!(text.contains("\"kind\":\"counter\""));
+        assert!(text.contains("\"schema\":\"Copy\""));
+        assert!(text.contains("\"upper_bounds\":[2]"));
+        assert!(text.contains("\"counts\":[1,3]"));
+        assert!(text.contains("\"count\":4"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("tab\there"), "tab\\there");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        let mut s = MetricsSnapshot::new();
+        s.push_metric(
+            "g",
+            "gauge",
+            MetricKind::Gauge,
+            vec![Sample::plain(f64::INFINITY)],
+        );
+        let text = render(&s);
+        assert!(text.contains("\"value\":null"));
+    }
+}

@@ -1,0 +1,151 @@
+//! # ttlg-obs — observability core for TTLG-rs
+//!
+//! The paper justifies every schema choice with nvprof-style counters
+//! (Table I) and validates its regression models against measured times
+//! (Table II). This crate is the runtime analogue of that workflow: a
+//! dependency-free tracing and metrics-export core that the planner, the
+//! runtime service, and the simulated executor feed so that *why a plan
+//! was chosen* and *how far the model drifted from reality* are
+//! observable after the fact.
+//!
+//! Pieces:
+//!
+//! * [`span`] — a minimal tracing vocabulary: [`SpanRecord`]s and
+//!   [`Event`]s delivered to a [`Subscriber`], plus a monotonic
+//!   process-relative [`clock_ns`].
+//! * [`ring`] — [`TraceRing`], a bounded ring buffer of recent
+//!   [`RequestTrace`]s; writers claim slots with one atomic fetch-add.
+//! * [`quantile`] — p50/p95/p99 estimation over the runtime's log2
+//!   latency histograms ([`log2_bucket_quantile_us`]).
+//! * [`prediction`] — [`PredictionTracker`]: signed residuals between
+//!   model-predicted and simulator-measured kernel times per schema,
+//!   the training-point feed for a measure-mode autotuner.
+//! * [`snapshot`] / [`prom`] / [`json`] — a renderer-neutral
+//!   [`MetricsSnapshot`] plus Prometheus-text and JSON exporters.
+//!
+//! The crate deliberately depends on nothing (not even the other ttlg
+//! crates): schemas and phases are plain string labels, so any layer can
+//! feed it without creating dependency cycles.
+
+pub mod json;
+pub mod prediction;
+pub mod prom;
+pub mod quantile;
+pub mod ring;
+pub mod snapshot;
+pub mod span;
+
+pub use prediction::{PredictionStats, PredictionTracker, RATIO_BUCKETS};
+pub use quantile::log2_bucket_quantile_us;
+pub use ring::TraceRing;
+pub use snapshot::{Histogram, Metric, MetricKind, MetricsSnapshot, Sample};
+pub use span::{
+    clock_ns, AttrValue, CollectingSubscriber, Event, NullSubscriber, SpanRecord, Subscriber,
+};
+
+/// One fully attributed request through the runtime service — the unit
+/// stored in the [`TraceRing`] and the post-hoc answer to "what happened
+/// to that request?".
+///
+/// All fields are plain data so the trace survives the request: schema
+/// and error are strings, the executor's counters are pre-digested into
+/// the two rates the paper's Table I reasons about.
+#[derive(Debug, Clone, Default)]
+pub struct RequestTrace {
+    /// Monotonic per-service request id.
+    pub id: u64,
+    /// Process-relative start time, ns (see [`clock_ns`]).
+    pub start_ns: u64,
+    /// Schema label of the executed plan (empty if planning failed).
+    pub schema: String,
+    /// Whether the request completed successfully.
+    pub ok: bool,
+    /// Whether the plan came from the cache (`None` = planning failed
+    /// before the cache answered).
+    pub cache_hit: Option<bool>,
+    /// Time spent waiting for an execution permit, ns.
+    pub queue_wait_ns: u64,
+    /// Time spent fetching (or building) the plan, ns.
+    pub plan_fetch_ns: u64,
+    /// Wall-clock execute-phase time, ns.
+    pub execute_ns: u64,
+    /// Model-predicted kernel time, ns.
+    pub predicted_ns: f64,
+    /// Simulator-measured kernel time, ns.
+    pub measured_ns: f64,
+    /// DRAM efficiency of the executed kernel (1.0 = perfectly
+    /// coalesced; from the executor's transaction counters).
+    pub dram_efficiency: f64,
+    /// Shared-memory conflict replays per access (0 = conflict-free).
+    pub smem_replay_rate: f64,
+    /// Error message for failed requests.
+    pub error: Option<String>,
+}
+
+impl RequestTrace {
+    /// Total request latency (queue wait + plan fetch + execute), ns.
+    pub fn total_ns(&self) -> u64 {
+        self.queue_wait_ns + self.plan_fetch_ns + self.execute_ns
+    }
+
+    /// Signed prediction residual `predicted - measured`, ns.
+    pub fn residual_ns(&self) -> f64 {
+        self.predicted_ns - self.measured_ns
+    }
+
+    /// One-line rendering for logs and the CLI.
+    pub fn render(&self) -> String {
+        let hit = match self.cache_hit {
+            Some(true) => "hit",
+            Some(false) => "miss",
+            None => "-",
+        };
+        let status = if self.ok { "ok" } else { "FAIL" };
+        format!(
+            "#{:<6} {:<22} {:<4} cache={:<4} queue {:>8} ns  plan {:>8} ns  exec {:>8} ns  pred {:>10.0} ns  meas {:>10.0} ns  dram-eff {:.2}  replay {:.2}{}",
+            self.id,
+            if self.schema.is_empty() { "?" } else { &self.schema },
+            status,
+            hit,
+            self.queue_wait_ns,
+            self.plan_fetch_ns,
+            self.execute_ns,
+            self.predicted_ns,
+            self.measured_ns,
+            self.dram_efficiency,
+            self.smem_replay_rate,
+            match &self.error {
+                Some(e) => format!("  error: {e}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_trace_totals_and_render() {
+        let t = RequestTrace {
+            id: 7,
+            schema: "Orthogonal-Distinct".into(),
+            ok: true,
+            cache_hit: Some(true),
+            queue_wait_ns: 10,
+            plan_fetch_ns: 20,
+            execute_ns: 30,
+            predicted_ns: 1000.0,
+            measured_ns: 900.0,
+            dram_efficiency: 0.97,
+            smem_replay_rate: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(t.total_ns(), 60);
+        assert!((t.residual_ns() - 100.0).abs() < 1e-12);
+        let line = t.render();
+        assert!(line.contains("Orthogonal-Distinct"));
+        assert!(line.contains("cache=hit"));
+    }
+}

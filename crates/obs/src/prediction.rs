@@ -1,0 +1,289 @@
+//! Prediction-accuracy tracking.
+//!
+//! The paper's Table II validates its regression models with the
+//! geometric mean of `max(predicted/measured, measured/predicted)` per
+//! schema. [`PredictionTracker`] keeps that running figure — plus signed
+//! residuals and a predicted/measured-ratio histogram — for live
+//! traffic, so model drift is visible while the service runs and the
+//! residual stream can later feed a measure-mode autotuner as training
+//! points.
+//!
+//! Everything is plain atomics: counts and residual sums are integers
+//! (nanoseconds), log-ratios are fixed-point micro-nats. Concurrent
+//! recording therefore loses no updates and integer totals are exact.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Upper bounds of the predicted/measured ratio histogram buckets; the
+/// implicit last bucket is `(2, ∞)`. A perfectly calibrated model lands
+/// everything in the `(0.95, 1.05]` bucket.
+pub const RATIO_BUCKETS: [f64; 6] = [0.5, 0.8, 0.95, 1.05, 1.25, 2.0];
+
+/// Fixed-point scale for log-ratio accumulation (micro-nats).
+const LN_SCALE: f64 = 1e6;
+
+#[derive(Debug, Default)]
+struct Slot {
+    count: AtomicU64,
+    /// Sum of signed residuals `predicted - measured`, ns.
+    sum_residual_ns: AtomicI64,
+    /// Sum of absolute residuals, ns.
+    sum_abs_residual_ns: AtomicU64,
+    /// Sum of `|ln(predicted/measured)|` in micro-nats.
+    sum_abs_ln_ratio: AtomicU64,
+    /// Sum of `predicted/measured` ratios in micro-units (for the ratio
+    /// histogram's `_sum`).
+    sum_ratio: AtomicU64,
+    /// Ratio histogram: one counter per [`RATIO_BUCKETS`] bound plus the
+    /// overflow bucket.
+    ratio_hist: [AtomicU64; RATIO_BUCKETS.len() + 1],
+}
+
+/// Aggregate accuracy figures for one label.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean signed residual `predicted - measured`, ns (positive = the
+    /// model over-predicts).
+    pub mean_residual_ns: f64,
+    /// Mean absolute residual, ns.
+    pub mean_abs_residual_ns: f64,
+    /// Geometric mean of `max(p/m, m/p)` — the paper's Table II metric;
+    /// 1.0 = perfect.
+    pub geo_mean_error: f64,
+}
+
+impl PredictionStats {
+    fn empty() -> Self {
+        PredictionStats {
+            count: 0,
+            mean_residual_ns: 0.0,
+            mean_abs_residual_ns: 0.0,
+            geo_mean_error: 1.0,
+        }
+    }
+}
+
+/// Tracks model-vs-measured kernel times per label (one label per
+/// schema, by convention).
+#[derive(Debug)]
+pub struct PredictionTracker {
+    labels: Vec<String>,
+    slots: Vec<Slot>,
+}
+
+impl PredictionTracker {
+    /// A tracker with one slot per label.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(labels: I) -> Self {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        let slots = (0..labels.len()).map(|_| Slot::default()).collect();
+        PredictionTracker { labels, slots }
+    }
+
+    /// The labels, in slot order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Record one `(predicted, measured)` pair for slot `index`.
+    /// Non-finite or non-positive times are ignored (a failed request
+    /// has no meaningful residual).
+    pub fn record(&self, index: usize, predicted_ns: f64, measured_ns: f64) {
+        if index >= self.slots.len()
+            || !predicted_ns.is_finite()
+            || !measured_ns.is_finite()
+            || predicted_ns <= 0.0
+            || measured_ns <= 0.0
+        {
+            return;
+        }
+        let slot = &self.slots[index];
+        let residual = predicted_ns - measured_ns;
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum_residual_ns
+            .fetch_add(residual.round() as i64, Ordering::Relaxed);
+        slot.sum_abs_residual_ns
+            .fetch_add(residual.abs().round() as u64, Ordering::Relaxed);
+        let ratio = predicted_ns / measured_ns;
+        slot.sum_abs_ln_ratio.fetch_add(
+            (ratio.ln().abs() * LN_SCALE).round() as u64,
+            Ordering::Relaxed,
+        );
+        slot.sum_ratio
+            .fetch_add((ratio * LN_SCALE).round() as u64, Ordering::Relaxed);
+        let bucket = RATIO_BUCKETS
+            .iter()
+            .position(|&ub| ratio <= ub)
+            .unwrap_or(RATIO_BUCKETS.len());
+        slot.ratio_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accuracy figures for one slot.
+    pub fn stats(&self, index: usize) -> PredictionStats {
+        let Some(slot) = self.slots.get(index) else {
+            return PredictionStats::empty();
+        };
+        let count = slot.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return PredictionStats::empty();
+        }
+        let n = count as f64;
+        PredictionStats {
+            count,
+            mean_residual_ns: slot.sum_residual_ns.load(Ordering::Relaxed) as f64 / n,
+            mean_abs_residual_ns: slot.sum_abs_residual_ns.load(Ordering::Relaxed) as f64 / n,
+            geo_mean_error: (slot.sum_abs_ln_ratio.load(Ordering::Relaxed) as f64 / (LN_SCALE * n))
+                .exp(),
+        }
+    }
+
+    /// Ratio-histogram counts for one slot (one entry per
+    /// [`RATIO_BUCKETS`] bound plus the overflow bucket).
+    pub fn ratio_counts(&self, index: usize) -> Vec<u64> {
+        match self.slots.get(index) {
+            Some(slot) => slot
+                .ratio_hist
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Sum of `predicted/measured` ratios for one slot (pairs with
+    /// [`Self::ratio_counts`] as a histogram's `_sum`).
+    pub fn ratio_sum(&self, index: usize) -> f64 {
+        match self.slots.get(index) {
+            Some(slot) => slot.sum_ratio.load(Ordering::Relaxed) as f64 / LN_SCALE,
+            None => 0.0,
+        }
+    }
+
+    /// Total samples across every slot.
+    pub fn total_count(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Render non-empty slots as a small table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (i, label) in self.labels.iter().enumerate() {
+            let st = self.stats(i);
+            if st.count == 0 {
+                continue;
+            }
+            writeln!(
+                s,
+                "  {:<24} n={:<6} mean residual {:>+10.0} ns  mean |residual| {:>9.0} ns  geo-mean error {:.3}x",
+                label, st.count, st.mean_residual_ns, st.mean_abs_residual_ns, st.geo_mean_error
+            )
+            .unwrap();
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_have_unit_error() {
+        let t = PredictionTracker::new(["a", "b"]);
+        for _ in 0..10 {
+            t.record(0, 1000.0, 1000.0);
+        }
+        let s = t.stats(0);
+        assert_eq!(s.count, 10);
+        assert_eq!(s.mean_residual_ns, 0.0);
+        assert!((s.geo_mean_error - 1.0).abs() < 1e-6);
+        assert_eq!(t.stats(1).count, 0);
+        assert_eq!(t.stats(1).geo_mean_error, 1.0);
+    }
+
+    #[test]
+    fn signed_residuals_and_geo_error() {
+        let t = PredictionTracker::new(["s"]);
+        t.record(0, 2000.0, 1000.0); // over-predicts 2x
+        t.record(0, 500.0, 1000.0); // under-predicts 2x
+        let s = t.stats(0);
+        assert_eq!(s.count, 2);
+        // (+1000 - 500) / 2
+        assert!((s.mean_residual_ns - 250.0).abs() < 1e-9);
+        assert!((s.mean_abs_residual_ns - 750.0).abs() < 1e-9);
+        // both samples are a factor-2 miss
+        assert!(
+            (s.geo_mean_error - 2.0).abs() < 1e-3,
+            "{}",
+            s.geo_mean_error
+        );
+    }
+
+    #[test]
+    fn ratio_histogram_buckets() {
+        let t = PredictionTracker::new(["s"]);
+        t.record(0, 1000.0, 1000.0); // ratio 1.0 -> (0.95, 1.05]
+        t.record(0, 3000.0, 1000.0); // ratio 3.0 -> overflow
+        t.record(0, 400.0, 1000.0); // ratio 0.4 -> first bucket
+        let counts = t.ratio_counts(0);
+        assert_eq!(counts.len(), RATIO_BUCKETS.len() + 1);
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[3], 1);
+        assert_eq!(counts[RATIO_BUCKETS.len()], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+        assert!((t.ratio_sum(0) - 4.4).abs() < 1e-6, "{}", t.ratio_sum(0));
+    }
+
+    #[test]
+    fn rejects_nonsense_samples() {
+        let t = PredictionTracker::new(["s"]);
+        t.record(0, f64::NAN, 1000.0);
+        t.record(0, 1000.0, 0.0);
+        t.record(0, -5.0, 10.0);
+        t.record(7, 1000.0, 1000.0); // out of range
+        assert_eq!(t.total_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact() {
+        let t = std::sync::Arc::new(PredictionTracker::new(["a", "b", "c"]));
+        const PER_THREAD: u64 = 500;
+        std::thread::scope(|s| {
+            for w in 0..8usize {
+                let t = std::sync::Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // residual is always +100 ns, exactly.
+                        let m = 1000.0 + (i % 7) as f64 * 100.0;
+                        t.record(w % 3, m + 100.0, m);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.total_count(), 8 * PER_THREAD);
+        // 8 threads over 3 slots: slots 0/1/2 get 3/3/2 threads.
+        assert_eq!(t.stats(0).count, 3 * PER_THREAD);
+        assert_eq!(t.stats(1).count, 3 * PER_THREAD);
+        assert_eq!(t.stats(2).count, 2 * PER_THREAD);
+        for i in 0..3 {
+            let s = t.stats(i);
+            assert!((s.mean_residual_ns - 100.0).abs() < 1e-9, "lost updates");
+            assert!((s.mean_abs_residual_ns - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn render_mentions_labels_with_data() {
+        let t = PredictionTracker::new(["Copy", "Naive"]);
+        t.record(0, 1000.0, 900.0);
+        let out = t.render();
+        assert!(out.contains("Copy"));
+        assert!(!out.contains("Naive"));
+        assert!(out.contains("geo-mean error"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Prometheus text-format exporter (exposition format v0.0.4).
+//!
+//! Renders a [`MetricsSnapshot`] to the plain-text form a Prometheus
+//! scrape expects: `# HELP` / `# TYPE` headers, labelled samples, and
+//! histograms in cumulative `_bucket{le="..."}` / `_sum` / `_count`
+//! form.
+
+use crate::snapshot::{Histogram, Metric, MetricsSnapshot};
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_labels(pairs: &[(String, String)]) -> String {
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn render_metric(out: &mut String, m: &Metric) {
+    use std::fmt::Write as _;
+    writeln!(out, "# HELP {} {}", m.name, m.help).unwrap();
+    writeln!(out, "# TYPE {} {}", m.name, m.kind.as_str()).unwrap();
+    for s in &m.samples {
+        writeln!(
+            out,
+            "{}{} {}",
+            m.name,
+            render_labels(&s.labels),
+            format_value(s.value)
+        )
+        .unwrap();
+    }
+}
+
+fn render_histogram(out: &mut String, h: &Histogram) {
+    use std::fmt::Write as _;
+    writeln!(out, "# HELP {} {}", h.name, h.help).unwrap();
+    writeln!(out, "# TYPE {} histogram", h.name).unwrap();
+    let cum = h.cumulative();
+    for (i, &c) in cum.iter().enumerate() {
+        let le = if i < h.upper_bounds.len() {
+            format_value(h.upper_bounds[i])
+        } else {
+            "+Inf".to_string()
+        };
+        let mut labels = h.labels.clone();
+        labels.push(("le".to_string(), le));
+        writeln!(out, "{}_bucket{} {}", h.name, render_labels(&labels), c).unwrap();
+    }
+    writeln!(
+        out,
+        "{}_sum{} {}",
+        h.name,
+        render_labels(&h.labels),
+        format_value(h.sum)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{}_count{} {}",
+        h.name,
+        render_labels(&h.labels),
+        h.count()
+    )
+    .unwrap();
+}
+
+/// Render the snapshot as Prometheus exposition text.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for m in &snapshot.metrics {
+        render_metric(&mut out, m);
+    }
+    for h in &snapshot.histograms {
+        render_histogram(&mut out, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{MetricKind, Sample};
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new();
+        s.push_metric(
+            "ttlg_requests_total",
+            "Completed requests by schema.",
+            MetricKind::Counter,
+            vec![
+                Sample::labelled("schema", "Copy", 3.0),
+                Sample::labelled("schema", "Naive", 1.0),
+            ],
+        );
+        s.push_metric(
+            "ttlg_latency_p99_us",
+            "p99 latency.",
+            MetricKind::Gauge,
+            vec![Sample::plain(12.5)],
+        );
+        s.push_histogram(
+            "ttlg_plan_latency_us",
+            "Plan latency histogram.",
+            Vec::new(),
+            vec![2.0, 4.0],
+            vec![5, 2, 1],
+            30.0,
+        );
+        s
+    }
+
+    #[test]
+    fn renders_help_type_and_samples() {
+        let text = render(&sample_snapshot());
+        assert!(text.contains("# HELP ttlg_requests_total Completed requests by schema."));
+        assert!(text.contains("# TYPE ttlg_requests_total counter"));
+        assert!(text.contains("ttlg_requests_total{schema=\"Copy\"} 3"));
+        assert!(text.contains("# TYPE ttlg_latency_p99_us gauge"));
+        assert!(text.contains("ttlg_latency_p99_us 12.5"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_in_inf() {
+        let text = render(&sample_snapshot());
+        assert!(text.contains("ttlg_plan_latency_us_bucket{le=\"2\"} 5"));
+        assert!(text.contains("ttlg_plan_latency_us_bucket{le=\"4\"} 7"));
+        assert!(text.contains("ttlg_plan_latency_us_bucket{le=\"+Inf\"} 8"));
+        assert!(text.contains("ttlg_plan_latency_us_sum 30"));
+        assert!(text.contains("ttlg_plan_latency_us_count 8"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut s = MetricsSnapshot::new();
+        s.push_metric(
+            "x_total",
+            "h",
+            MetricKind::Counter,
+            vec![Sample::labelled("k", "a\"b\\c\nd", 1.0)],
+        );
+        let text = render(&s);
+        assert!(text.contains(r#"x_total{k="a\"b\\c\nd"} 1"#));
+    }
+
+    #[test]
+    fn every_line_is_well_formed() {
+        // Minimal line-by-line parse: comments start with '# HELP' or
+        // '# TYPE'; samples are `name[{labels}] value` with a numeric
+        // value.
+        let text = render(&sample_snapshot());
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# ") {
+                assert!(
+                    rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "bad value in line: {line}"
+            );
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Quantile estimation over log2 latency histograms.
+//!
+//! The runtime buckets latencies as: bucket 0 = `[0, 2)` µs, bucket `i`
+//! = `[2^i, 2^{i+1})` µs, last bucket = `[2^{n-1}, ∞)` µs. A quantile is
+//! estimated by locating the bucket holding the target rank and
+//! interpolating linearly inside it — the standard Prometheus
+//! `histogram_quantile` scheme, so the text exporter and the in-process
+//! numbers agree.
+
+/// Lower bound of bucket `i` in microseconds (0 for bucket 0).
+pub fn log2_bucket_lower_us(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        (1u64 << i) as f64
+    }
+}
+
+/// Upper bound of bucket `i` (of `n` buckets) in microseconds. The
+/// overflow bucket has no real upper bound; it reports twice its lower
+/// bound so interpolation stays finite.
+pub fn log2_bucket_upper_us(i: usize, n: usize) -> f64 {
+    debug_assert!(i < n);
+    (1u64 << (i + 1).min(n)) as f64
+}
+
+/// Estimate quantile `q` (in `[0, 1]`) from log2 bucket counts. Returns
+/// microseconds; 0.0 for an empty histogram.
+pub fn log2_bucket_quantile_us(counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || counts.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Rank of the target sample (1-based, rounded up; the Prometheus
+    // convention of `q * total` landing inside the covering bucket).
+    let rank = (q * total as f64).max(1.0);
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let next = cum + c;
+        if (next as f64) >= rank {
+            let lo = log2_bucket_lower_us(i);
+            let hi = log2_bucket_upper_us(i, counts.len());
+            let within = (rank - cum as f64) / c as f64;
+            return lo + (hi - lo) * within;
+        }
+        cum = next;
+    }
+    // Numerically unreachable; fall back to the top bucket's bound.
+    log2_bucket_upper_us(counts.len() - 1, counts.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        assert_eq!(log2_bucket_quantile_us(&[], 0.5), 0.0);
+        assert_eq!(log2_bucket_quantile_us(&[0, 0, 0], 0.99), 0.0);
+    }
+
+    #[test]
+    fn single_bucket_interpolates() {
+        // 100 samples all in bucket 3 = [8, 16) us.
+        let mut counts = [0u64; 16];
+        counts[3] = 100;
+        let p50 = log2_bucket_quantile_us(&counts, 0.5);
+        let p99 = log2_bucket_quantile_us(&counts, 0.99);
+        assert!((8.0..16.0).contains(&p50), "p50 {p50}");
+        assert!((8.0..=16.0).contains(&p99), "p99 {p99}");
+        assert!(p99 > p50);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_across_buckets() {
+        // 90 fast samples in [2,4), 10 slow in [1024, 2048).
+        let mut counts = [0u64; 16];
+        counts[1] = 90;
+        counts[10] = 10;
+        let p50 = log2_bucket_quantile_us(&counts, 0.50);
+        let p95 = log2_bucket_quantile_us(&counts, 0.95);
+        let p99 = log2_bucket_quantile_us(&counts, 0.99);
+        assert!((2.0..4.0).contains(&p50), "p50 {p50}");
+        assert!((1024.0..2048.0).contains(&p95), "p95 {p95}");
+        assert!(p99 >= p95 && p95 > p50);
+    }
+
+    #[test]
+    fn bucket_bounds() {
+        assert_eq!(log2_bucket_lower_us(0), 0.0);
+        assert_eq!(log2_bucket_lower_us(1), 2.0);
+        assert_eq!(log2_bucket_lower_us(10), 1024.0);
+        assert_eq!(log2_bucket_upper_us(0, 16), 2.0);
+        assert_eq!(log2_bucket_upper_us(9, 16), 1024.0);
+        // Overflow bucket: finite pseudo-bound at 2x its lower bound.
+        assert_eq!(log2_bucket_upper_us(15, 16), 65536.0);
+    }
+
+    #[test]
+    fn overflow_bucket_quantile_is_finite() {
+        let mut counts = [0u64; 16];
+        counts[15] = 5;
+        let p99 = log2_bucket_quantile_us(&counts, 0.99);
+        assert!(p99.is_finite());
+        assert!(p99 >= 32768.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! A bounded ring buffer of recent traces.
+//!
+//! Writers claim a slot with a single atomic `fetch_add` on the head
+//! cursor — the hot path never contends on a shared lock. Each slot's
+//! payload is guarded by its own tiny mutex, which is uncontended except
+//! when the ring wraps fast enough for two writers to land on the same
+//! slot (the newer write wins) or a reader is copying that slot out.
+//! Readers take a snapshot of the most recent entries, newest first.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Fixed-capacity concurrent ring of recent values.
+#[derive(Debug)]
+pub struct TraceRing<T> {
+    slots: Vec<Mutex<Option<(u64, T)>>>,
+    head: AtomicU64,
+}
+
+impl<T: Clone> TraceRing<T> {
+    /// A ring holding the most recent `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        TraceRing {
+            slots: (0..cap).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total values ever pushed (not the resident count).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Push a value, overwriting the oldest entry once full. Returns the
+    /// value's sequence number (0-based, monotone).
+    pub fn push(&self, value: T) -> u64 {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        let mut guard = self.slots[slot].lock().expect("ring slot poisoned");
+        // A slower writer from a previous lap must not clobber a newer
+        // entry that already landed in this slot.
+        match guard.as_ref() {
+            Some((existing, _)) if *existing > seq => {}
+            _ => *guard = Some((seq, value)),
+        }
+        seq
+    }
+
+    /// The most recent `n` entries, newest first.
+    pub fn recent(&self, n: usize) -> Vec<T> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let want = (n as u64).min(head).min(cap);
+        let mut out = Vec::with_capacity(want as usize);
+        let mut seq = head;
+        while seq > 0 && (out.len() as u64) < want {
+            seq -= 1;
+            let slot = (seq % cap) as usize;
+            let guard = self.slots[slot].lock().expect("ring slot poisoned");
+            if let Some((s, v)) = guard.as_ref() {
+                if *s == seq {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Every resident entry, newest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.recent(self.slots.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent_entries() {
+        let ring: TraceRing<u64> = TraceRing::new(4);
+        for i in 0..10u64 {
+            ring.push(i);
+        }
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.recent(2), vec![9, 8]);
+        assert_eq!(ring.snapshot(), vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn recent_on_partially_filled_ring() {
+        let ring: TraceRing<u32> = TraceRing::new(8);
+        ring.push(1);
+        ring.push(2);
+        assert_eq!(ring.recent(10), vec![2, 1]);
+        let empty: TraceRing<u32> = TraceRing::new(8);
+        assert!(empty.recent(3).is_empty());
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let ring: TraceRing<u8> = TraceRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(1);
+        ring.push(2);
+        assert_eq!(ring.snapshot(), vec![2]);
+    }
+
+    #[test]
+    fn concurrent_pushes_lose_nothing_overall() {
+        let ring: std::sync::Arc<TraceRing<u64>> = std::sync::Arc::new(TraceRing::new(1024));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let ring = std::sync::Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        ring.push(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.pushed(), 800);
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 800);
+        // Every pushed value is distinct, so the snapshot must be too.
+        let set: std::collections::HashSet<u64> = snap.iter().copied().collect();
+        assert_eq!(set.len(), 800);
+    }
+}

@@ -4,7 +4,7 @@
 //! the `ttlg` core — the paper's repeated-use scenario (plan once, run
 //! many times, Fig. 12) industrialised for many concurrent clients.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * **Sharded plan cache** — [`ttlg::ShardedPlanCache`] (re-exported
 //!   here): N mutex shards keyed by problem fingerprint, per-shard LRU
@@ -13,9 +13,18 @@
 //!   requests by plan key, plans each distinct problem once, and
 //!   executes the batch across a scoped worker pool with a configurable
 //!   in-flight bound.
-//! * **Metrics** — per-schema request counters, bytes-moved totals, and
-//!   fixed-bucket latency histograms for the plan and execute phases
-//!   ([`Metrics`]), exported as a plain-text report.
+//! * **Metrics** — per-schema request counters, bytes-moved totals,
+//!   plan/execute latency histograms with p50/p95/p99 quantiles, and a
+//!   per-schema prediction-accuracy tracker ([`Metrics`]); exported as a
+//!   plain-text report, Prometheus text
+//!   ([`TransposeService::export_prometheus`]), or JSON
+//!   ([`TransposeService::export_json`]).
+//! * **Tracing** — every request becomes a [`RequestTrace`] decomposed
+//!   into queue-wait / plan-fetch / execute with cache hit-miss
+//!   attribution and the executor's DRAM-efficiency and shared-memory
+//!   replay rates; the most recent traces are queryable
+//!   ([`TransposeService::recent_traces`]) and each is emitted as a span
+//!   to an optional [`Subscriber`].
 //!
 //! ## Example
 //!
@@ -35,13 +44,21 @@
 //! // Three requests, but only two distinct problems were planned.
 //! assert_eq!(svc.cache_stats().misses, 2);
 //! println!("{}", svc.metrics_report());
+//! // Each request left a fully attributed trace, and the same state
+//! // exports as Prometheus text or JSON.
+//! assert_eq!(svc.recent_traces(10).len(), 3);
+//! assert!(svc.export_prometheus().contains("ttlg_requests_total"));
 //! ```
 
 pub mod metrics;
 pub mod service;
 
-pub use metrics::{LatencyHistogram, Metrics};
+pub use metrics::{LatencyHistogram, Metrics, RequestPhase, HIST_BUCKETS};
 pub use service::{
     RuntimeConfig, ServeError, ServeResult, TransposeRequest, TransposeResponse, TransposeService,
 };
 pub use ttlg::{CacheConfig, CacheStats, PlanKey, ShardedPlanCache};
+pub use ttlg_obs::{
+    CollectingSubscriber, MetricsSnapshot, NullSubscriber, PredictionStats, PredictionTracker,
+    RequestTrace, Subscriber, TraceRing,
+};

@@ -1,10 +1,18 @@
 //! Built-in service metrics: per-schema request counters, bytes-moved
-//! totals, and fixed-bucket latency histograms for the plan and execute
-//! phases. Everything is lock-free (plain atomics), so recording from
-//! the worker pool never serializes the hot path.
+//! totals, fixed-bucket latency histograms for the plan and execute
+//! phases, and a per-schema prediction-accuracy tracker. Everything is
+//! lock-free (plain atomics), so recording from the worker pool never
+//! serializes the hot path.
+//!
+//! Besides the plain-text report ([`Metrics::render`]), the whole state
+//! can be captured as a renderer-neutral [`ttlg_obs::MetricsSnapshot`]
+//! ([`Metrics::snapshot`]) for the Prometheus-text and JSON exporters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use ttlg::Schema;
+use ttlg_obs::{
+    log2_bucket_quantile_us, MetricKind, MetricsSnapshot, PredictionTracker, Sample, RATIO_BUCKETS,
+};
 
 /// All schemas, in display order for the report.
 const SCHEMAS: [Schema; 6] = [
@@ -25,6 +33,15 @@ fn schema_index(s: Schema) -> usize {
         Schema::OrthogonalArbitrary => 4,
         Schema::Naive => 5,
     }
+}
+
+/// The request phase a latency sample (or failure) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestPhase {
+    /// Plan fetch (cache hit or build).
+    Plan,
+    /// Kernel execution.
+    Execute,
 }
 
 /// Number of histogram buckets. Bucket `i` holds samples in
@@ -51,7 +68,9 @@ impl LatencyHistogram {
         if us == 0 {
             return 0;
         }
-        ((u64::BITS - us.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        // floor(log2(us)): a sample of `us` microseconds with highest set
+        // bit `i` lands in bucket `i` = `[2^i, 2^{i+1})`.
+        ((u64::BITS - 1 - us.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
     }
 
     /// Record one sample, in nanoseconds.
@@ -66,14 +85,32 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all samples, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
     /// Mean sample, nanoseconds (0 if empty).
     pub fn mean_ns(&self) -> f64 {
         let n = self.count();
         if n == 0 {
             0.0
         } else {
-            self.total_ns.load(Ordering::Relaxed) as f64 / n as f64
+            self.total_ns() as f64 / n as f64
         }
+    }
+
+    /// Per-bucket counts, in bucket order.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimate quantile `q` in microseconds (0.0 if empty).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        log2_bucket_quantile_us(&self.bucket_counts(), q)
     }
 
     /// Render non-empty buckets as `  [lo, hi) us : count` lines.
@@ -98,7 +135,7 @@ impl LatencyHistogram {
 
 /// Aggregate service metrics. One instance lives in the service; all
 /// counters are atomics so workers record concurrently without locks.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     requests_by_schema: [AtomicU64; 6],
     bytes_by_schema: [AtomicU64; 6],
@@ -108,12 +145,27 @@ pub struct Metrics {
     pub exec_latency: LatencyHistogram,
     failures: AtomicU64,
     batches: AtomicU64,
+    prediction: PredictionTracker,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Metrics {
     /// Empty metrics.
     pub fn new() -> Self {
-        Self::default()
+        Metrics {
+            requests_by_schema: Default::default(),
+            bytes_by_schema: Default::default(),
+            plan_latency: LatencyHistogram::new(),
+            exec_latency: LatencyHistogram::new(),
+            failures: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            prediction: PredictionTracker::new(SCHEMAS.iter().map(|s| s.to_string())),
+        }
     }
 
     /// Record one completed request: its schema and the paper's
@@ -124,14 +176,31 @@ impl Metrics {
         self.bytes_by_schema[i].fetch_add(bytes_moved, Ordering::Relaxed);
     }
 
-    /// Record a failed request (plan or execute error).
-    pub fn record_failure(&self) {
+    /// Record a failed request. The phase's wall-clock time still counts
+    /// toward its latency histogram — failures are not free, and dropping
+    /// them would bias the latency figures optimistic.
+    pub fn record_failure(&self, phase: RequestPhase, ns: u64) {
+        match phase {
+            RequestPhase::Plan => self.plan_latency.record_ns(ns),
+            RequestPhase::Execute => self.exec_latency.record_ns(ns),
+        }
         self.failures.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one processed batch.
     pub fn record_batch(&self) {
         self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one model-predicted vs simulator-measured kernel time pair.
+    pub fn record_prediction(&self, schema: Schema, predicted_ns: f64, measured_ns: f64) {
+        self.prediction
+            .record(schema_index(schema), predicted_ns, measured_ns);
+    }
+
+    /// The per-schema prediction-accuracy tracker.
+    pub fn prediction(&self) -> &PredictionTracker {
+        &self.prediction
     }
 
     /// Total completed requests across all schemas.
@@ -155,13 +224,161 @@ impl Metrics {
         self.failures.load(Ordering::Relaxed)
     }
 
+    /// Batches processed.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
     /// Requests recorded for one schema.
     pub fn requests_for(&self, schema: Schema) -> u64 {
         self.requests_by_schema[schema_index(schema)].load(Ordering::Relaxed)
     }
 
-    /// Plain-text report: per-schema counters, bytes moved, and both
-    /// latency histograms.
+    /// Capture everything as a renderer-neutral snapshot for the
+    /// Prometheus-text and JSON exporters.
+    pub fn snapshot(&self, cache: &ttlg::CacheStats) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        let per_schema = |arr: &[AtomicU64; 6]| -> Vec<Sample> {
+            SCHEMAS
+                .iter()
+                .map(|&sc| {
+                    Sample::labelled(
+                        "schema",
+                        &sc.to_string(),
+                        arr[schema_index(sc)].load(Ordering::Relaxed) as f64,
+                    )
+                })
+                .collect()
+        };
+        snap.push_metric(
+            "ttlg_requests_total",
+            "Completed requests by schema.",
+            MetricKind::Counter,
+            per_schema(&self.requests_by_schema),
+        );
+        snap.push_metric(
+            "ttlg_bytes_moved_total",
+            "Bytes moved (2 * volume * elem_bytes) by schema.",
+            MetricKind::Counter,
+            per_schema(&self.bytes_by_schema),
+        );
+        snap.push_metric(
+            "ttlg_failures_total",
+            "Failed requests (plan or execute errors).",
+            MetricKind::Counter,
+            vec![Sample::plain(self.failures() as f64)],
+        );
+        snap.push_metric(
+            "ttlg_batches_total",
+            "Batches processed.",
+            MetricKind::Counter,
+            vec![Sample::plain(self.batches() as f64)],
+        );
+        snap.push_metric(
+            "ttlg_plan_cache_hits_total",
+            "Plan-cache hits.",
+            MetricKind::Counter,
+            vec![Sample::plain(cache.hits as f64)],
+        );
+        snap.push_metric(
+            "ttlg_plan_cache_misses_total",
+            "Plan-cache misses (plans built).",
+            MetricKind::Counter,
+            vec![Sample::plain(cache.misses as f64)],
+        );
+        snap.push_metric(
+            "ttlg_plan_cache_evictions_total",
+            "Plans evicted from the cache.",
+            MetricKind::Counter,
+            vec![Sample::plain(cache.evictions as f64)],
+        );
+
+        let phases: [(&LatencyHistogram, &str, &str); 2] = [
+            (
+                &self.plan_latency,
+                "ttlg_plan_latency_us",
+                "Plan-fetch latency (cache hit or build), microseconds.",
+            ),
+            (
+                &self.exec_latency,
+                "ttlg_exec_latency_us",
+                "Execute-phase latency, microseconds.",
+            ),
+        ];
+        for (hist, name, help) in phases {
+            let counts = hist.bucket_counts();
+            snap.push_metric(
+                &format!("{name}_quantile"),
+                &format!("Estimated latency quantiles for {name}, microseconds."),
+                MetricKind::Gauge,
+                vec![
+                    Sample::labelled("quantile", "0.5", log2_bucket_quantile_us(&counts, 0.5)),
+                    Sample::labelled("quantile", "0.95", log2_bucket_quantile_us(&counts, 0.95)),
+                    Sample::labelled("quantile", "0.99", log2_bucket_quantile_us(&counts, 0.99)),
+                ],
+            );
+            let upper_bounds: Vec<f64> = (1..HIST_BUCKETS).map(|i| (1u64 << i) as f64).collect();
+            snap.push_histogram(
+                name,
+                help,
+                Vec::new(),
+                upper_bounds,
+                counts,
+                hist.total_ns() as f64 / 1e3,
+            );
+        }
+
+        let mut sample_counts = Vec::new();
+        let mut mean_residual = Vec::new();
+        let mut mean_abs_residual = Vec::new();
+        let mut geo_mean_error = Vec::new();
+        for (i, label) in self.prediction.labels().iter().enumerate() {
+            let st = self.prediction.stats(i);
+            sample_counts.push(Sample::labelled("schema", label, st.count as f64));
+            if st.count == 0 {
+                continue;
+            }
+            mean_residual.push(Sample::labelled("schema", label, st.mean_residual_ns));
+            mean_abs_residual.push(Sample::labelled("schema", label, st.mean_abs_residual_ns));
+            geo_mean_error.push(Sample::labelled("schema", label, st.geo_mean_error));
+            snap.push_histogram(
+                "ttlg_prediction_ratio",
+                "Predicted/measured kernel-time ratio.",
+                vec![("schema".to_string(), label.clone())],
+                RATIO_BUCKETS.to_vec(),
+                self.prediction.ratio_counts(i),
+                self.prediction.ratio_sum(i),
+            );
+        }
+        snap.push_metric(
+            "ttlg_prediction_samples_total",
+            "Prediction-residual samples by schema.",
+            MetricKind::Counter,
+            sample_counts,
+        );
+        snap.push_metric(
+            "ttlg_prediction_mean_residual_ns",
+            "Mean signed residual predicted - measured, ns (positive = over-prediction).",
+            MetricKind::Gauge,
+            mean_residual,
+        );
+        snap.push_metric(
+            "ttlg_prediction_mean_abs_residual_ns",
+            "Mean absolute prediction residual, ns.",
+            MetricKind::Gauge,
+            mean_abs_residual,
+        );
+        snap.push_metric(
+            "ttlg_prediction_geo_mean_error",
+            "Geometric mean of max(p/m, m/p) — the paper's Table II metric; 1.0 = perfect.",
+            MetricKind::Gauge,
+            geo_mean_error,
+        );
+        snap
+    }
+
+    /// Plain-text report: per-schema counters, bytes moved, both latency
+    /// histograms with quantiles, and prediction accuracy.
     pub fn render(&self, cache: &ttlg::CacheStats) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
@@ -171,7 +388,7 @@ impl Metrics {
             "requests : {} ok, {} failed, {} batches",
             self.total_requests(),
             self.failures(),
-            self.batches.load(Ordering::Relaxed)
+            self.batches()
         )
         .unwrap();
         writeln!(
@@ -197,22 +414,23 @@ impl Metrics {
             )
             .unwrap();
         }
-        writeln!(
-            s,
-            "plan latency  (n = {}, mean {:.1} us):",
-            self.plan_latency.count(),
-            self.plan_latency.mean_ns() / 1e3
-        )
-        .unwrap();
-        self.plan_latency.render(&mut s);
-        writeln!(
-            s,
-            "exec latency  (n = {}, mean {:.1} us):",
-            self.exec_latency.count(),
-            self.exec_latency.mean_ns() / 1e3
-        )
-        .unwrap();
-        self.exec_latency.render(&mut s);
+        for (hist, label) in [(&self.plan_latency, "plan"), (&self.exec_latency, "exec")] {
+            writeln!(
+                s,
+                "{label} latency  (n = {}, mean {:.1} us, p50 {:.1} / p95 {:.1} / p99 {:.1} us):",
+                hist.count(),
+                hist.mean_ns() / 1e3,
+                hist.quantile_us(0.5),
+                hist.quantile_us(0.95),
+                hist.quantile_us(0.99)
+            )
+            .unwrap();
+            hist.render(&mut s);
+        }
+        if self.prediction.total_count() > 0 {
+            writeln!(s, "prediction accuracy (predicted vs measured):").unwrap();
+            s.push_str(&self.prediction.render());
+        }
         s
     }
 }
@@ -220,6 +438,7 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn histogram_buckets_cover_the_line() {
@@ -227,15 +446,42 @@ mod tests {
         h.record_ns(0);
         h.record_ns(1_999); // < 2 us -> bucket 0
         h.record_ns(2_500); // [2, 4) us -> bucket 1
-        h.record_ns(1_000_000); // 1000 us -> bucket 10
+        h.record_ns(1_000_000); // 1000 us -> bucket 9
         h.record_ns(u64::MAX / 2); // overflow bucket
         assert_eq!(h.count(), 5);
         let mut out = String::new();
         h.render(&mut out);
         assert!(out.contains("[0, 2) us"));
         assert!(out.contains("[2, 4) us"));
-        assert!(out.contains("[1024, 2048) us"));
+        assert!(out.contains("[512, 1024) us"), "{out}");
         assert!(out.contains("inf"));
+    }
+
+    #[test]
+    fn bucket_boundaries_are_half_open() {
+        // Bucket i must hold exactly [2^i, 2^{i+1}) us.
+        assert_eq!(LatencyHistogram::bucket_for(999), 0); // 0 us
+        assert_eq!(LatencyHistogram::bucket_for(1_000), 0); // 1 us
+        assert_eq!(LatencyHistogram::bucket_for(2_000), 1); // 2 us
+        assert_eq!(LatencyHistogram::bucket_for(3_999), 1); // 3 us
+        assert_eq!(LatencyHistogram::bucket_for(4_000), 2); // 4 us
+        assert_eq!(LatencyHistogram::bucket_for(1_024_000), 10); // 1024 us
+        assert_eq!(LatencyHistogram::bucket_for(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_come_from_the_right_buckets() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record_ns(3_000); // [2, 4) us
+        }
+        for _ in 0..10 {
+            h.record_ns(1_500_000); // [1024, 2048) us
+        }
+        let p50 = h.quantile_us(0.5);
+        let p99 = h.quantile_us(0.99);
+        assert!((2.0..4.0).contains(&p50), "p50 {p50}");
+        assert!((1024.0..2048.0).contains(&p99), "p99 {p99}");
     }
 
     #[test]
@@ -250,5 +496,123 @@ mod tests {
         let text = m.render(&ttlg::CacheStats::default());
         assert!(text.contains("requests"));
         assert!(text.contains("Copy") || text.contains("copy"));
+    }
+
+    #[test]
+    fn failures_still_record_latency() {
+        let m = Metrics::new();
+        m.record_failure(RequestPhase::Plan, 3_000);
+        m.record_failure(RequestPhase::Execute, 5_000);
+        assert_eq!(m.failures(), 2);
+        assert_eq!(m.plan_latency.count(), 1);
+        assert_eq!(m.exec_latency.count(), 1);
+    }
+
+    #[test]
+    fn render_includes_quantiles_and_predictions() {
+        let m = Metrics::new();
+        m.record_request(Schema::Naive, 64);
+        m.plan_latency.record_ns(10_000);
+        m.exec_latency.record_ns(20_000);
+        m.record_prediction(Schema::Naive, 1_000.0, 900.0);
+        let text = m.render(&ttlg::CacheStats::default());
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        assert!(text.contains("prediction accuracy"), "{text}");
+        assert!(text.contains("geo-mean error"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_carries_counters_quantiles_and_residuals() {
+        let m = Metrics::new();
+        m.record_request(Schema::OrthogonalDistinct, 4096);
+        m.plan_latency.record_ns(50_000);
+        m.exec_latency.record_ns(70_000);
+        m.record_prediction(Schema::OrthogonalDistinct, 2_000.0, 1_800.0);
+        let cache = ttlg::CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        let snap = m.snapshot(&cache);
+        assert!(!snap.is_empty());
+        let by_name = |n: &str| {
+            snap.metrics
+                .iter()
+                .find(|m| m.name == n)
+                .unwrap_or_else(|| panic!("missing metric {n}"))
+        };
+        let req = by_name("ttlg_requests_total");
+        assert_eq!(req.samples.len(), 6, "one sample per schema");
+        let od = req
+            .samples
+            .iter()
+            .find(|s| s.labels.iter().any(|(_, v)| v == "Orthogonal-Distinct"))
+            .unwrap();
+        assert_eq!(od.value, 1.0);
+        assert_eq!(by_name("ttlg_plan_cache_hits_total").samples[0].value, 3.0);
+        assert_eq!(by_name("ttlg_plan_latency_us_quantile").samples.len(), 3);
+        let geo = by_name("ttlg_prediction_geo_mean_error");
+        assert_eq!(geo.samples.len(), 1, "only schemas with samples");
+        assert!(geo.samples[0].value > 1.0);
+        // Latency histograms: 15 bounds + overflow = 16 counts, 1 sample.
+        let plan_hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "ttlg_plan_latency_us")
+            .unwrap();
+        assert_eq!(plan_hist.upper_bounds.len(), HIST_BUCKETS - 1);
+        assert_eq!(plan_hist.counts.len(), HIST_BUCKETS);
+        assert_eq!(plan_hist.count(), 1);
+        assert!((plan_hist.sum - 50.0).abs() < 1e-9);
+        // Ratio histogram for the one schema with samples.
+        let ratio = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "ttlg_prediction_ratio")
+            .unwrap();
+        assert_eq!(ratio.count(), 1);
+    }
+
+    #[test]
+    fn concurrent_hammer_keeps_exact_totals() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 1_000;
+        let m = Arc::new(Metrics::new());
+        std::thread::scope(|scope| {
+            for w in 0..THREADS {
+                let m = Arc::clone(&m);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let schema = SCHEMAS[(w as usize + i as usize) % SCHEMAS.len()];
+                        m.record_request(schema, 10);
+                        m.plan_latency.record_ns(1_000 * (i % 64));
+                        m.exec_latency.record_ns(2_000 * (i % 64));
+                        m.record_prediction(schema, 1_100.0, 1_000.0);
+                        if i % 100 == 0 {
+                            m.record_failure(RequestPhase::Execute, 5_000);
+                        }
+                    }
+                });
+            }
+        });
+        let total = THREADS * PER_THREAD;
+        assert_eq!(m.total_requests(), total);
+        assert_eq!(m.total_bytes(), total * 10);
+        assert_eq!(m.plan_latency.count(), total);
+        // exec histogram also took the failure samples
+        assert_eq!(m.failures(), THREADS * (PER_THREAD / 100));
+        assert_eq!(m.exec_latency.count(), total + m.failures());
+        assert_eq!(
+            m.plan_latency.bucket_counts().iter().sum::<u64>(),
+            total,
+            "bucket counts match sample count"
+        );
+        assert_eq!(m.prediction().total_count(), total);
+        // 8 threads x 1000 over 6 schemas, offsets cycle uniformly:
+        // every schema gets at least one sample.
+        for schema in SCHEMAS {
+            assert!(m.requests_for(schema) > 0);
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! The multi-tenant transposition service.
 //!
-//! [`TransposeService`] wraps a [`Transposer`] with the three things a
-//! shared deployment needs:
+//! [`TransposeService`] wraps a [`Transposer`] with the things a shared
+//! deployment needs:
 //!
 //! 1. a sharded, bounded, single-flight plan cache
 //!    ([`ttlg::ShardedPlanCache`]) so concurrent clients never plan the
@@ -11,16 +11,26 @@
 //!    request executes across scoped worker threads under a configurable
 //!    in-flight bound (backpressure for the device);
 //! 3. lock-free metrics: per-schema request counters, bytes-moved
-//!    totals, and plan/execute latency histograms, rendered as a
-//!    plain-text report.
+//!    totals, plan/execute latency histograms, and a prediction-accuracy
+//!    tracker, rendered as plain text, Prometheus text, or JSON;
+//! 4. tracing: every request becomes a [`RequestTrace`] decomposed into
+//!    queue-wait / plan-fetch / execute with cache hit-miss attribution
+//!    and the executor's DRAM-efficiency and shared-memory replay rates,
+//!    kept in a bounded ring ([`TransposeService::recent_traces`]) and
+//!    emitted as a span to an optional [`Subscriber`].
 
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, RequestPhase};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 use ttlg::{
     CacheConfig, CacheStats, Plan, PlanError, PlanKey, ShardedPlanCache, TransposeOptions,
     TransposeReport, Transposer,
+};
+use ttlg_obs::{
+    clock_ns, AttrValue, Event, MetricsSnapshot, NullSubscriber, RequestTrace, SpanRecord,
+    Subscriber, TraceRing,
 };
 use ttlg_tensor::{parallel, DenseTensor, Element, Permutation};
 
@@ -34,6 +44,8 @@ pub struct RuntimeConfig {
     pub max_in_flight: usize,
     /// Plan-cache geometry (shards x per-shard LRU capacity).
     pub cache: CacheConfig,
+    /// Capacity of the recent-request trace ring.
+    pub trace_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -43,6 +55,7 @@ impl Default for RuntimeConfig {
             workers,
             max_in_flight: 0,
             cache: CacheConfig::default(),
+            trace_capacity: 256,
         }
     }
 }
@@ -148,6 +161,9 @@ pub struct TransposeService<E: Element> {
     /// the machine's parallelism divided among the in-flight bound, so
     /// concurrent executes share cores instead of oversubscribing.
     exec_threads: usize,
+    traces: TraceRing<RequestTrace>,
+    subscriber: Arc<dyn Subscriber>,
+    next_id: AtomicU64,
 }
 
 impl<E: Element> TransposeService<E> {
@@ -167,12 +183,22 @@ impl<E: Element> TransposeService<E> {
             in_flight: Semaphore::new(bound),
             workers,
             exec_threads: (parallel::default_threads() / bound).max(1),
+            traces: TraceRing::new(cfg.trace_capacity),
+            subscriber: Arc::new(NullSubscriber),
+            next_id: AtomicU64::new(0),
         }
     }
 
     /// A service on the paper's K40c with default configuration.
     pub fn new_k40c() -> Self {
         Self::with_config(Transposer::new_k40c(), RuntimeConfig::default())
+    }
+
+    /// Attach a tracing subscriber; every request span and plan-failure
+    /// event is delivered to it.
+    pub fn with_subscriber(mut self, subscriber: Arc<dyn Subscriber>) -> Self {
+        self.subscriber = subscriber;
+        self
     }
 
     /// The underlying transposer (e.g. for direct plan queries).
@@ -190,7 +216,7 @@ impl<E: Element> TransposeService<E> {
         self.cache.len()
     }
 
-    /// Service metrics (counters + histograms).
+    /// Service metrics (counters + histograms + prediction tracker).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
     }
@@ -200,57 +226,172 @@ impl<E: Element> TransposeService<E> {
         self.metrics.render(&self.cache.stats())
     }
 
+    /// Capture metrics as a renderer-neutral snapshot.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(&self.cache.stats())
+    }
+
+    /// Export metrics in Prometheus text exposition format.
+    pub fn export_prometheus(&self) -> String {
+        ttlg_obs::prom::render(&self.metrics_snapshot())
+    }
+
+    /// Export metrics as a JSON document.
+    pub fn export_json(&self) -> String {
+        ttlg_obs::json::render(&self.metrics_snapshot())
+    }
+
+    /// The `n` most recent request traces, newest first.
+    pub fn recent_traces(&self, n: usize) -> Vec<RequestTrace> {
+        self.traces.recent(n)
+    }
+
     /// Fetch (or build, single-flight) the plan for one request, timing
-    /// the fetch into the plan-latency histogram.
+    /// the fetch into the plan-latency histogram. Returns the plan, a
+    /// served-from-cache flag, and the fetch wall time.
+    #[allow(clippy::type_complexity)]
     fn fetch_plan(
         &self,
         req: &TransposeRequest<E>,
         key: &PlanKey,
-    ) -> Result<Arc<Plan<E>>, ServeError> {
+    ) -> (Result<(Arc<Plan<E>>, bool), ServeError>, u64) {
         let t0 = Instant::now();
-        let plan = self.cache.get_or_plan_keyed(
+        let fetched = self.cache.get_or_plan_keyed_flagged(
             &self.transposer,
             key,
             req.input.shape(),
             &req.perm,
             &req.opts,
         );
-        self.metrics
-            .plan_latency
-            .record_ns(t0.elapsed().as_nanos() as u64);
-        plan.map_err(|e| {
-            self.metrics.record_failure();
-            ServeError::from(e)
-        })
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        match fetched {
+            Ok((plan, hit)) => {
+                self.metrics.plan_latency.record_ns(elapsed);
+                (Ok((plan, hit)), elapsed)
+            }
+            Err(e) => {
+                self.metrics.record_failure(RequestPhase::Plan, elapsed);
+                self.subscriber.on_event(&Event {
+                    name: "plan-failure",
+                    at_ns: clock_ns(),
+                    attrs: vec![("error", AttrValue::Str(e.to_string()))],
+                });
+                (Err(ServeError::from(e)), elapsed)
+            }
+        }
     }
 
-    /// Execute one planned request under the in-flight bound.
-    fn execute(&self, req: &TransposeRequest<E>, plan: &Arc<Plan<E>>) -> ServeResult<E> {
+    /// Execute one planned request under the in-flight bound, producing
+    /// a fully attributed [`RequestTrace`].
+    fn execute_traced(
+        &self,
+        req: &TransposeRequest<E>,
+        plan: &Arc<Plan<E>>,
+        cache_hit: bool,
+        plan_fetch_ns: u64,
+    ) -> ServeResult<E> {
+        let mut trace = RequestTrace {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            start_ns: clock_ns(),
+            cache_hit: Some(cache_hit),
+            plan_fetch_ns,
+            ..Default::default()
+        };
+        let tq = Instant::now();
         self.in_flight.acquire();
+        trace.queue_wait_ns = tq.elapsed().as_nanos() as u64;
         let t0 = Instant::now();
         let result = self.transposer.execute(plan, &req.input);
-        let elapsed = t0.elapsed().as_nanos() as u64;
+        let execute_ns = t0.elapsed().as_nanos() as u64;
         self.in_flight.release();
-        self.metrics.exec_latency.record_ns(elapsed);
-        match result {
+        trace.execute_ns = execute_ns;
+        let outcome = match result {
             Ok((output, report)) => {
+                self.metrics.exec_latency.record_ns(execute_ns);
                 let bytes = 2 * req.input.volume() as u64 * E::BYTES as u64;
                 self.metrics.record_request(report.schema, bytes);
+                self.metrics.record_prediction(
+                    report.schema,
+                    report.predicted_ns,
+                    report.kernel_time_ns,
+                );
+                trace.ok = true;
+                trace.schema = report.schema.to_string();
+                trace.predicted_ns = report.predicted_ns;
+                trace.measured_ns = report.kernel_time_ns;
+                trace.dram_efficiency = report.stats.dram_efficiency(E::BYTES);
+                trace.smem_replay_rate = report.stats.smem_replay_rate();
                 Ok(TransposeResponse { output, report })
             }
             Err(e) => {
-                self.metrics.record_failure();
+                self.metrics
+                    .record_failure(RequestPhase::Execute, execute_ns);
+                trace.schema = plan.schema().to_string();
+                trace.error = Some(e.to_string());
                 Err(ServeError::from(e))
             }
-        }
+        };
+        self.finish_trace(trace);
+        outcome
+    }
+
+    /// Record a request that died before it had a plan (the cache never
+    /// answered, so `cache_hit` stays `None`).
+    fn record_plan_failure(&self, plan_fetch_ns: u64, err: &ServeError) {
+        self.finish_trace(RequestTrace {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            start_ns: clock_ns(),
+            plan_fetch_ns,
+            error: Some(err.message.clone()),
+            ..Default::default()
+        });
+    }
+
+    /// Push a finished trace to the ring and emit its span.
+    fn finish_trace(&self, trace: RequestTrace) {
+        self.subscriber.on_span(&SpanRecord {
+            name: "request",
+            start_ns: trace.start_ns,
+            duration_ns: trace.total_ns(),
+            attrs: vec![
+                ("id", AttrValue::U64(trace.id)),
+                ("schema", AttrValue::Str(trace.schema.clone())),
+                ("ok", AttrValue::Bool(trace.ok)),
+                (
+                    "cache",
+                    AttrValue::Str(
+                        match trace.cache_hit {
+                            Some(true) => "hit",
+                            Some(false) => "miss",
+                            None => "none",
+                        }
+                        .to_string(),
+                    ),
+                ),
+                ("queue_wait_ns", AttrValue::U64(trace.queue_wait_ns)),
+                ("plan_fetch_ns", AttrValue::U64(trace.plan_fetch_ns)),
+                ("execute_ns", AttrValue::U64(trace.execute_ns)),
+                ("predicted_ns", AttrValue::F64(trace.predicted_ns)),
+                ("measured_ns", AttrValue::F64(trace.measured_ns)),
+                ("dram_efficiency", AttrValue::F64(trace.dram_efficiency)),
+                ("smem_replay_rate", AttrValue::F64(trace.smem_replay_rate)),
+            ],
+        });
+        self.traces.push(trace);
     }
 
     /// Serve a single request (plan via the shared cache, execute under
     /// the in-flight bound).
     pub fn submit(&self, req: &TransposeRequest<E>) -> ServeResult<E> {
         let key = req.plan_key();
-        let plan = self.fetch_plan(req, &key)?;
-        self.execute(req, &plan)
+        let (fetched, fetch_ns) = self.fetch_plan(req, &key);
+        match fetched {
+            Ok((plan, hit)) => self.execute_traced(req, &plan, hit, fetch_ns),
+            Err(e) => {
+                self.record_plan_failure(fetch_ns, &e);
+                Err(e)
+            }
+        }
     }
 
     /// Serve a batch: requests are grouped by plan key, each distinct
@@ -270,8 +411,11 @@ impl<E: Element> TransposeService<E> {
             });
         }
 
-        // Phase 1: plan every distinct problem across the pool.
-        let plans: Vec<OnceLock<Result<Arc<Plan<E>>, ServeError>>> =
+        // Phase 1: plan every distinct problem across the pool. Each
+        // slot keeps the cache-hit flag and fetch time so phase 2 can
+        // attribute them to every request sharing the plan.
+        #[allow(clippy::type_complexity)]
+        let plans: Vec<OnceLock<(Result<(Arc<Plan<E>>, bool), ServeError>, u64)>> =
             (0..distinct.len()).map(|_| OnceLock::new()).collect();
         parallel::parallel_for_threads(distinct.len(), 1, self.workers, |g| {
             let i = distinct[g];
@@ -285,14 +429,21 @@ impl<E: Element> TransposeService<E> {
             (0..reqs.len()).map(|_| OnceLock::new()).collect();
         parallel::parallel_for_threads(reqs.len(), 1, self.workers, |i| {
             let g = groups[&keys[i]];
-            let outcome = match plans[g].get().expect("plan phase completed") {
+            let (fetched, fetch_ns) = plans[g].get().expect("plan phase completed");
+            let outcome = match fetched {
                 // Cap the executor's inner parallelism so the batch's
                 // concurrent requests share cores instead of each
-                // spawning a full-machine pool.
-                Ok(plan) => {
-                    parallel::with_thread_cap(self.exec_threads, || self.execute(&reqs[i], plan))
+                // spawning a full-machine pool. Only the group's
+                // representative actually touched the cache; every other
+                // request was served from the shared plan — a hit.
+                Ok((plan, hit)) => parallel::with_thread_cap(self.exec_threads, || {
+                    let hit = *hit || i != distinct[g];
+                    self.execute_traced(&reqs[i], plan, hit, *fetch_ns)
+                }),
+                Err(e) => {
+                    self.record_plan_failure(*fetch_ns, e);
+                    Err(e.clone())
                 }
-                Err(e) => Err(e.clone()),
             };
             results[i].set(outcome).ok().expect("result slot set twice");
         });
@@ -307,6 +458,7 @@ impl<E: Element> TransposeService<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ttlg_obs::CollectingSubscriber;
     use ttlg_tensor::Shape;
 
     #[test]
@@ -346,6 +498,12 @@ mod tests {
         assert_eq!(svc.cache_stats().misses, 3, "one plan per distinct problem");
         assert_eq!(svc.metrics().total_requests(), 12);
         assert!(svc.metrics().total_bytes() > 0);
+        // Every request left a trace; 3 were misses, 9 shared the plans.
+        let traces = svc.recent_traces(100);
+        assert_eq!(traces.len(), 12);
+        let misses = traces.iter().filter(|t| t.cache_hit == Some(false)).count();
+        assert_eq!(misses, 3, "batch attribution: one miss per distinct plan");
+        assert!(traces.iter().all(|t| t.ok && t.measured_ns > 0.0));
     }
 
     #[test]
@@ -380,5 +538,121 @@ mod tests {
         assert!(report.contains("plan latency"));
         assert!(report.contains("exec latency"));
         assert!(report.contains("requests"));
+    }
+
+    #[test]
+    fn traces_attribute_cache_and_decompose_phases() {
+        let sub = Arc::new(CollectingSubscriber::new());
+        let svc: TransposeService<f32> =
+            TransposeService::new_k40c().with_subscriber(Arc::clone(&sub) as Arc<dyn Subscriber>);
+        let shape = Shape::new(&[32, 16, 8]).unwrap();
+        let input = Arc::new(DenseTensor::<f32>::iota(shape));
+        let req = TransposeRequest::new(input, Permutation::new(&[2, 1, 0]).unwrap());
+        svc.submit(&req).unwrap();
+        svc.submit(&req).unwrap();
+
+        let traces = svc.recent_traces(10);
+        assert_eq!(traces.len(), 2);
+        // Newest first: the second request hit the cache.
+        assert_eq!(traces[0].cache_hit, Some(true));
+        assert_eq!(traces[1].cache_hit, Some(false));
+        for t in &traces {
+            assert!(t.ok);
+            assert!(!t.schema.is_empty());
+            assert!(t.execute_ns > 0);
+            assert!(t.predicted_ns > 0.0 && t.measured_ns > 0.0);
+            assert!(t.dram_efficiency > 0.0 && t.dram_efficiency <= 1.0);
+            assert!(t.smem_replay_rate >= 0.0);
+        }
+        assert!(traces[0].id != traces[1].id);
+
+        let spans = sub.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.name == "request"));
+        assert_eq!(spans[0].attr("cache"), Some(&AttrValue::Str("miss".into())));
+        assert_eq!(spans[1].attr("cache"), Some(&AttrValue::Str("hit".into())));
+        assert!(spans[0].attr("execute_ns").is_some());
+    }
+
+    #[test]
+    fn failed_requests_record_latency_and_trace() {
+        let sub = Arc::new(CollectingSubscriber::new());
+        let svc: TransposeService<u32> =
+            TransposeService::new_k40c().with_subscriber(Arc::clone(&sub) as Arc<dyn Subscriber>);
+        let input = Arc::new(DenseTensor::<u32>::iota(Shape::new(&[8, 8, 8]).unwrap()));
+        // Forcing Copy on a non-identity permutation yields no admissible
+        // candidate: planning must fail gracefully.
+        let mut req = TransposeRequest::new(input, Permutation::new(&[2, 1, 0]).unwrap());
+        req.opts.forced_schema = Some(ttlg::Schema::Copy);
+        let err = svc.submit(&req).err().expect("forced Copy must fail");
+        assert!(err.message.contains("no admissible"), "{}", err.message);
+        // Satellite: the failure still left a latency sample.
+        assert_eq!(svc.metrics().failures(), 1);
+        assert_eq!(svc.metrics().plan_latency.count(), 1);
+        assert_eq!(svc.metrics().total_requests(), 0);
+        // And a trace with no cache attribution (the cache never answered).
+        let traces = svc.recent_traces(10);
+        assert_eq!(traces.len(), 1);
+        assert!(!traces[0].ok);
+        assert_eq!(traces[0].cache_hit, None);
+        assert!(traces[0].error.is_some());
+        // The subscriber saw both the plan-failure event and the span.
+        assert_eq!(sub.events().len(), 1);
+        assert_eq!(sub.events()[0].name, "plan-failure");
+        assert_eq!(sub.spans().len(), 1);
+    }
+
+    #[test]
+    fn exporters_emit_live_metrics() {
+        let svc: TransposeService<f64> = TransposeService::new_k40c();
+        let input = Arc::new(DenseTensor::<f64>::iota(Shape::new(&[16, 16, 4]).unwrap()));
+        let req = TransposeRequest::new(input, Permutation::new(&[2, 1, 0]).unwrap());
+        svc.submit(&req).unwrap();
+
+        let prom = svc.export_prometheus();
+        assert!(prom.contains("# TYPE ttlg_requests_total counter"));
+        assert!(prom.contains("ttlg_plan_latency_us_quantile{quantile=\"0.99\"}"));
+        assert!(prom.contains("ttlg_prediction_samples_total"));
+        assert!(prom.contains("ttlg_exec_latency_us_bucket"));
+        // Every non-comment line is `name{labels} value`.
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            let (name_part, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name_part.is_empty());
+            assert!(value.parse::<f64>().is_ok() || value == "+Inf", "{line}");
+        }
+
+        let json = svc.export_json();
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert!(json.contains("\"ttlg_requests_total\""));
+        assert!(json.contains("\"histograms\""));
+
+        // The ratio histogram for the served schema is non-empty.
+        let snap = svc.metrics_snapshot();
+        let ratio: u64 = snap
+            .histograms
+            .iter()
+            .filter(|h| h.name == "ttlg_prediction_ratio")
+            .map(|h| h.count())
+            .sum();
+        assert_eq!(ratio, 1);
+    }
+
+    #[test]
+    fn trace_ring_keeps_only_recent_requests() {
+        let cfg = RuntimeConfig {
+            trace_capacity: 4,
+            ..RuntimeConfig::default()
+        };
+        let svc: TransposeService<u32> = TransposeService::with_config(Transposer::new_k40c(), cfg);
+        let input = Arc::new(DenseTensor::<u32>::iota(Shape::new(&[8, 8]).unwrap()));
+        let req = TransposeRequest::new(input, Permutation::new(&[1, 0]).unwrap());
+        for _ in 0..10 {
+            svc.submit(&req).unwrap();
+        }
+        let traces = svc.recent_traces(100);
+        assert_eq!(traces.len(), 4, "bounded by trace_capacity");
+        // Newest first and contiguous.
+        assert_eq!(traces[0].id, 9);
+        assert_eq!(traces[3].id, 6);
     }
 }
