@@ -1,6 +1,8 @@
 //! Throughput study: the batched ttlg-runtime service vs a naive
 //! plan-per-call loop (see `ttlg_bench::serve_study`). Prints the
-//! comparison table and the runtime's metrics report.
+//! comparison table and the runtime's metrics report, and writes the
+//! machine-readable `BENCH_serve.json` artifact so the perf trajectory
+//! can be tracked across revisions.
 
 use ttlg_bench::serve_study;
 
@@ -9,4 +11,9 @@ fn main() {
     print!("{}", study.render());
     println!();
     print!("{}", study.metrics_report);
+    let path = "BENCH_serve.json";
+    match std::fs::write(path, study.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }

@@ -16,6 +16,16 @@ use ttlg_runtime::{RuntimeConfig, TransposeRequest, TransposeService};
 use ttlg_tensor::rng::StdRng;
 use ttlg_tensor::{DenseTensor, Permutation, Shape};
 
+/// Format an `f64` as a JSON number (JSON has no NaN/Inf; non-finite
+/// values collapse to 0).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
 /// Outcome of one study run.
 #[derive(Debug, Clone)]
 pub struct ServeStudy {
@@ -85,6 +95,43 @@ impl ServeStudy {
                 self.prediction_samples, self.prediction_summary
             ));
         }
+        s
+    }
+
+    /// Serialize as a machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"study\": \"serve\",\n");
+        s.push_str(&format!("  \"requests\": {},\n", self.requests));
+        s.push_str(&format!("  \"distinct_perms\": {},\n", self.distinct_perms));
+        s.push_str(&format!(
+            "  \"naive_ms\": {},\n",
+            json_f64(self.naive_ns * 1e-6)
+        ));
+        s.push_str(&format!(
+            "  \"batched_ms\": {},\n",
+            json_f64(self.batched_ns * 1e-6)
+        ));
+        s.push_str(&format!("  \"speedup\": {},\n", json_f64(self.speedup)));
+        s.push_str(&format!(
+            "  \"naive_rps\": {},\n",
+            json_f64(self.naive_rps())
+        ));
+        s.push_str(&format!(
+            "  \"batched_rps\": {},\n",
+            json_f64(self.batched_rps())
+        ));
+        s.push_str(&format!("  \"cache_hits\": {},\n", self.cache.hits));
+        s.push_str(&format!("  \"cache_misses\": {},\n", self.cache.misses));
+        s.push_str(&format!(
+            "  \"cache_evictions\": {},\n",
+            self.cache.evictions
+        ));
+        s.push_str(&format!(
+            "  \"prediction_samples\": {}\n",
+            self.prediction_samples
+        ));
+        s.push_str("}\n");
         s
     }
 }
@@ -202,6 +249,9 @@ mod tests {
         assert!(rendered.contains("speedup"));
         assert!(rendered.contains("prediction accuracy (64 samples)"));
         assert!(rendered.contains("geo-mean error"));
+        let json = study.to_json();
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"prediction_samples\": 64"));
     }
 
     #[test]

@@ -58,9 +58,15 @@ USAGE:
   ttlg profile  <extents> <perm>                nvprof-style kernel counters
   ttlg contract <spec> <extentsA> <extentsB>    TTGT contraction (f64)
   ttlg bench-serve [--perms=N] [--rounds=N] [--extents=E]
-                   [--metrics-format=text|json|prom]
+                   [--metrics-format=text|json|prom] [--json-out=PATH]
                                                 replay a mixed-permutation
-                                                workload through ttlg-runtime
+                                                workload through ttlg-runtime;
+                                                text mode also writes a
+                                                BENCH_serve.json artifact
+  ttlg bench-serve --autotune [--perms=N] [--rounds=N] [--json-out=PATH]
+                                                compare model-only vs
+                                                measure-mode autotuned serving
+                                                and write BENCH_autotune.json
   ttlg devices                                  list device presets
 
   <extents>  comma-separated, dim 0 fastest-varying (e.g. 16,16,16)
@@ -410,7 +416,10 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
     let mut distinct = 16usize;
     let mut rounds = 4usize;
     let mut extents = vec![8usize, 6, 5, 4];
+    let mut extents_given = false;
     let mut format = MetricsFormat::Text;
+    let mut autotune = false;
+    let mut json_out: Option<String> = None;
     for a in rest {
         if let Some(v) = a.strip_prefix("--perms=") {
             distinct = v
@@ -422,6 +431,11 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
                 .map_err(|_| CliError::Usage(format!("bad --rounds value {v:?}")))?;
         } else if let Some(v) = a.strip_prefix("--extents=") {
             extents = parse_usize_list(v, "extents")?;
+            extents_given = true;
+        } else if let Some(v) = a.strip_prefix("--json-out=") {
+            json_out = Some(v.to_string());
+        } else if a.as_str() == "--autotune" {
+            autotune = true;
         } else if let Some(v) = a.strip_prefix("--metrics-format=") {
             format = match v {
                 "text" => MetricsFormat::Text,
@@ -443,6 +457,25 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
         return Err(CliError::Usage(
             "--perms and --rounds must be positive".into(),
         ));
+    }
+    if autotune {
+        if extents_given {
+            return Err(CliError::Usage(
+                "--autotune runs the fixed rank-4 study workload; --extents does not apply".into(),
+            ));
+        }
+        if distinct > 24 {
+            return Err(CliError::Usage(format!(
+                "the autotune study uses rank-4 permutations (max 24), --perms={distinct} asked for more"
+            )));
+        }
+        let study = ttlg_bench::autotune_study::run(distinct, rounds);
+        let path = json_out.unwrap_or_else(|| "BENCH_autotune.json".to_string());
+        std::fs::write(&path, study.to_json())
+            .map_err(|e| CliError::Failed(format!("could not write {path}: {e}")))?;
+        let mut s = study.render();
+        writeln!(s, "wrote {path}").unwrap();
+        return Ok(s);
     }
     let shape = Shape::new(&extents).map_err(|e| CliError::Usage(e.to_string()))?;
     let perms = perms_lex(shape.rank(), distinct);
@@ -473,6 +506,36 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
     }
     let elapsed = t0.elapsed();
 
+    let total = distinct * rounds;
+    let stats = service.cache_stats();
+
+    // The perf-trajectory artifact: written in text mode (the default
+    // invocation) or whenever a destination is named explicitly.
+    let artifact = if json_out.is_some() || format == MetricsFormat::Text {
+        let path = json_out.unwrap_or_else(|| "BENCH_serve.json".to_string());
+        let wall_ms = elapsed.as_secs_f64() * 1e3;
+        let rps = total as f64 / elapsed.as_secs_f64();
+        let prediction = service.metrics().prediction();
+        let json = format!(
+            "{{\n  \"study\": \"serve\",\n  \"requests\": {total},\n  \
+             \"distinct_perms\": {distinct},\n  \"rounds\": {rounds},\n  \
+             \"wall_ms\": {wall_ms},\n  \"requests_per_s\": {rps},\n  \
+             \"failures\": {failures},\n  \"cache_hits\": {},\n  \
+             \"cache_misses\": {},\n  \"cache_evictions\": {},\n  \
+             \"prediction_samples\": {},\n  \"geo_mean_error\": {}\n}}\n",
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            prediction.total_count(),
+            prediction.overall_geo_mean_error(),
+        );
+        std::fs::write(&path, json)
+            .map_err(|e| CliError::Failed(format!("could not write {path}: {e}")))?;
+        Some(path)
+    } else {
+        None
+    };
+
     // The machine-readable formats are emitted bare so the output can be
     // piped straight into a scraper or parser.
     match format {
@@ -480,9 +543,6 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
         MetricsFormat::Prom => return Ok(service.export_prometheus()),
         MetricsFormat::Text => {}
     }
-
-    let total = distinct * rounds;
-    let stats = service.cache_stats();
     let mut s = String::new();
     writeln!(
         s,
@@ -505,6 +565,9 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
     .unwrap();
     s.push('\n');
     s.push_str(&service.metrics_report());
+    if let Some(path) = artifact {
+        writeln!(s, "\nwrote {path}").unwrap();
+    }
     Ok(s)
 }
 
@@ -594,11 +657,60 @@ mod tests {
 
     #[test]
     fn bench_serve_command() {
-        let out = run(&["bench-serve", "--perms=4", "--rounds=2", "--extents=6,5,4"]).unwrap();
+        let dir = std::env::temp_dir().join("ttlg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.json");
+        let out = run(&[
+            "bench-serve",
+            "--perms=4",
+            "--rounds=2",
+            "--extents=6,5,4",
+            &format!("--json-out={}", path.display()),
+        ])
+        .unwrap();
         assert!(out.contains("8 requests = 2 rounds x 4 permutations"));
         assert!(out.contains("plan cache: 4 hits, 4 misses"));
         assert!(out.contains("ttlg-runtime metrics"));
         assert!(out.contains("failures  : 0"));
+        assert!(out.contains("wrote"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"study\": \"serve\""));
+        assert!(json.contains("\"requests\": 8"));
+        assert!(json.contains("\"geo_mean_error\""));
+    }
+
+    #[test]
+    fn bench_serve_autotune_writes_artifact() {
+        let dir = std::env::temp_dir().join("ttlg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("autotune.json");
+        let out = run(&[
+            "bench-serve",
+            "--autotune",
+            "--perms=3",
+            "--rounds=2",
+            &format!("--json-out={}", path.display()),
+        ])
+        .unwrap();
+        assert!(out.contains("model-only"), "{out}");
+        assert!(out.contains("autotuned"), "{out}");
+        assert!(out.contains("wrote"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"geo_error_before\""));
+        assert!(json.contains("\"geo_error_after\""));
+        assert!(json.contains("\"plans_warmed\": 3"));
+    }
+
+    #[test]
+    fn bench_serve_autotune_rejects_bad_flags() {
+        assert!(matches!(
+            run(&["bench-serve", "--autotune", "--extents=6,5,4"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--autotune", "--perms=25"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

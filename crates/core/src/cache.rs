@@ -56,6 +56,33 @@ impl PlanKey {
         self.hash(&mut h);
         h.finish()
     }
+
+    /// The tensor extents this key fingerprints.
+    pub fn extents(&self) -> &[usize] {
+        &self.extents
+    }
+
+    /// The permutation entries this key fingerprints.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Reconstruct the planning inputs behind this key, so a cached
+    /// problem can be re-planned from the key alone (the runtime's
+    /// autotuner re-tunes hot keys this way). `check_disjoint_writes` is
+    /// not part of the fingerprint and comes back as its default.
+    pub fn problem_parts(&self) -> (Shape, Permutation, TransposeOptions) {
+        let shape = Shape::new(&self.extents).expect("key was built from a valid shape");
+        let perm = Permutation::new(&self.perm).expect("key was built from a valid permutation");
+        let opts = TransposeOptions {
+            forced_schema: self.forced,
+            enable_fusion: self.fusion,
+            model_sweep: self.sweep,
+            overbooking: self.overbooking,
+            check_disjoint_writes: false,
+        };
+        (shape, perm, opts)
+    }
 }
 
 /// Cache usage counters.
@@ -264,6 +291,43 @@ impl<E: Element> ShardedPlanCache<E> {
     ) -> Result<Arc<Plan<E>>, PlanError> {
         let key = PlanKey::new(shape, perm, opts);
         self.get_or_plan_keyed(t, &key, shape, perm, opts)
+    }
+
+    /// Install (or replace) the resident plan for `key` without touching
+    /// the hit/miss counters — cache *warming*, used by the runtime's
+    /// autotuner to swap a measured-best plan over the modeled one.
+    /// Returns `false` (installing nothing) while a single-flight build
+    /// for the key is in flight: replacing a `Building` slot would strand
+    /// its waiters, and the tuner can simply retry on a later pass.
+    pub fn warm(&self, key: &PlanKey, plan: Arc<Plan<E>>) -> bool {
+        let shard = self.shard(key);
+        let mut state = shard.state.lock().expect("cache shard poisoned");
+        if matches!(state.map.get(key), Some(Entry::Building)) {
+            return false;
+        }
+        state.tick += 1;
+        let stamp = state.tick;
+        state.map.insert(
+            key.clone(),
+            Entry::Ready {
+                plan,
+                last_used: stamp,
+            },
+        );
+        self.evict_locked(&mut state);
+        true
+    }
+
+    /// The resident plan for `key`, if any — no hit/miss accounting and
+    /// no LRU touch, so diagnostics (and the autotuner) can inspect the
+    /// cache without skewing its behavior.
+    pub fn peek(&self, key: &PlanKey) -> Option<Arc<Plan<E>>> {
+        let shard = self.shard(key);
+        let state = shard.state.lock().expect("cache shard poisoned");
+        match state.map.get(key) {
+            Some(Entry::Ready { plan, .. }) => Some(Arc::clone(plan)),
+            _ => None,
+        }
     }
 
     /// Evict least-recently-used resident plans beyond the capacity.
@@ -575,6 +639,108 @@ mod tests {
         assert!(hit, "second fetch is served from cache");
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn plan_key_round_trips_problem_parts() {
+        let shape = Shape::new(&[9, 7, 5]).unwrap();
+        let perm = Permutation::new(&[2, 0, 1]).unwrap();
+        let opts = TransposeOptions {
+            forced_schema: Some(Schema::Naive),
+            enable_fusion: false,
+            model_sweep: false,
+            overbooking: 3,
+            check_disjoint_writes: true,
+        };
+        let key = PlanKey::new(&shape, &perm, &opts);
+        assert_eq!(key.extents(), shape.extents());
+        assert_eq!(key.perm(), perm.as_slice());
+        let (s2, p2, o2) = key.problem_parts();
+        assert_eq!(s2.extents(), shape.extents());
+        assert_eq!(p2.as_slice(), perm.as_slice());
+        assert_eq!(o2.forced_schema, opts.forced_schema);
+        assert_eq!(o2.enable_fusion, opts.enable_fusion);
+        assert_eq!(o2.model_sweep, opts.model_sweep);
+        assert_eq!(o2.overbooking, opts.overbooking);
+        // Not fingerprinted; comes back as the default.
+        assert!(!o2.check_disjoint_writes);
+        assert_eq!(key, PlanKey::new(&s2, &p2, &o2));
+    }
+
+    #[test]
+    fn warm_replaces_resident_plan_without_counting() {
+        let t = Transposer::new_k40c();
+        let cache: ShardedPlanCache<u64> = ShardedPlanCache::new();
+        let shape = Shape::new(&[16, 8]).unwrap();
+        let perm = Permutation::new(&[1, 0]).unwrap();
+        let opts = TransposeOptions::default();
+        let key = PlanKey::new(&shape, &perm, &opts);
+        assert!(cache.peek(&key).is_none());
+        cache.get_or_plan(&t, &shape, &perm, &opts).unwrap();
+        let before = cache.stats();
+        // Swap in a plan with a distinctive predicted time, as the
+        // autotuner does with a measured-best candidate.
+        let (_, ranked) = t.plan_topk::<u64>(&shape, &perm, &opts, 2).unwrap();
+        let warmed = t
+            .plan_for_candidate::<u64>(&shape, &perm, &opts, ranked[0].candidate.clone(), 42.0)
+            .unwrap();
+        assert!(cache.warm(&key, Arc::new(warmed)));
+        assert_eq!(cache.stats(), before, "warming skews no counters");
+        assert_eq!(cache.len(), 1);
+        let peeked = cache.peek(&key).expect("warmed plan resident");
+        assert!((peeked.predicted_ns() - 42.0).abs() < 1e-12);
+        assert_eq!(cache.stats(), before, "peek skews no counters either");
+        // The next fetch is a hit served from the warmed plan.
+        let fetched = cache.get_or_plan(&t, &shape, &perm, &opts).unwrap();
+        assert!((fetched.predicted_ns() - 42.0).abs() < 1e-12);
+        assert_eq!(cache.stats().hits, before.hits + 1);
+    }
+
+    #[test]
+    fn warm_skips_in_flight_builds() {
+        let t = Transposer::new_k40c();
+        let cache: ShardedPlanCache<u64> = ShardedPlanCache::new();
+        let shape = Shape::new(&[16, 8]).unwrap();
+        let perm = Permutation::new(&[1, 0]).unwrap();
+        let opts = TransposeOptions::default();
+        let key = PlanKey::new(&shape, &perm, &opts);
+        let plan = Arc::new(t.plan::<u64>(&shape, &perm, &opts).unwrap());
+        // Simulate another caller's single-flight build in progress.
+        cache
+            .shard(&key)
+            .state
+            .lock()
+            .unwrap()
+            .map
+            .insert(key.clone(), Entry::Building);
+        assert!(
+            !cache.warm(&key, Arc::clone(&plan)),
+            "warming must not replace an in-flight build"
+        );
+        assert!(cache.peek(&key).is_none());
+        // Once the slot is free again, warming succeeds.
+        cache.shard(&key).state.lock().unwrap().map.remove(&key);
+        assert!(cache.warm(&key, plan));
+        assert!(cache.peek(&key).is_some());
+    }
+
+    #[test]
+    fn warm_respects_capacity() {
+        let t = Transposer::new_k40c();
+        let cache: ShardedPlanCache<u64> = ShardedPlanCache::with_config(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+        });
+        let opts = TransposeOptions::default();
+        let p = Permutation::new(&[1, 0]).unwrap();
+        for n in 1..=3usize {
+            let s = Shape::new(&[8 * n, 8]).unwrap();
+            let key = PlanKey::new(&s, &p, &opts);
+            let plan = Arc::new(t.plan::<u64>(&s, &p, &opts).unwrap());
+            assert!(cache.warm(&key, plan));
+        }
+        assert_eq!(cache.len(), 2, "warming still enforces the LRU bound");
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]

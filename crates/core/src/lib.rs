@@ -40,7 +40,8 @@ pub mod trace;
 pub use cache::{CacheConfig, CacheStats, PlanCache, PlanKey, ShardedPlanCache};
 pub use model::{AnalyticPredictor, Candidate, TimePredictor};
 pub use plan::{
-    CandidateMeasurement, Plan, PlanError, TransposeOptions, TransposeReport, Transposer,
+    CandidateMeasurement, Plan, PlanError, RankedCandidate, TransposeOptions, TransposeReport,
+    Transposer,
 };
 pub use problem::Problem;
 pub use schema::{applicable_schemas, Schema};

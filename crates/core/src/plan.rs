@@ -32,6 +32,10 @@ const PLAN_OFFSET_NS_PER_BYTE: f64 = 0.5;
 /// model rates it within this factor of the analytic best (see
 /// [`Transposer::plan`]).
 const ANALYTIC_GUARD: f64 = 1.25;
+/// Candidate count above which the Alg. 3 sweep scores candidates in
+/// parallel; below it the per-thread setup would cost more than the
+/// predictor evaluations it distributes.
+const PARALLEL_SWEEP_MIN: usize = 24;
 
 /// Options controlling planning.
 #[derive(Debug, Clone)]
@@ -239,6 +243,21 @@ pub struct CandidateMeasurement {
     pub timing: KernelTiming,
 }
 
+/// One entry of the ranked candidate list [`Transposer::plan_topk`]
+/// returns: the candidate plus both time estimates the ranking used.
+#[derive(Debug, Clone)]
+pub struct RankedCandidate {
+    /// The candidate (parameters + features).
+    pub candidate: Candidate,
+    /// Configured-predictor estimate, ns (the ranking key).
+    pub predicted_ns: f64,
+    /// Closed-form analytic estimate, ns.
+    pub analytic_ns: f64,
+    /// Whether the analytic guard excluded this candidate from the
+    /// eligible set (rejected candidates rank after all eligible ones).
+    pub guard_rejected: bool,
+}
+
 /// The TTLG library object: owns the device, the executor, and the
 /// performance model.
 pub struct Transposer {
@@ -315,11 +334,7 @@ impl Transposer {
         opts: &TransposeOptions,
         mut trace: Option<&mut DecisionTrace>,
     ) -> Result<Plan<E>, PlanError> {
-        let problem = if opts.enable_fusion {
-            Problem::new(shape, perm)?
-        } else {
-            Problem::new_unfused(shape, perm)?
-        };
+        let problem = build_problem(shape, perm, opts)?;
         let schemas = match opts.forced_schema {
             Some(s) => vec![s],
             None => applicable_schemas(&problem),
@@ -334,8 +349,84 @@ impl Transposer {
         }
         let (predicted_ns, candidate, evaluated) =
             self.rank_candidates_impl::<E>(&problem, &schemas, opts, trace.as_deref_mut())?;
-        let kernel = build_kernel::<E>(&problem, &candidate, self.executor.device().smem_per_sm);
+        let plan = self.finish_plan::<E>(problem, candidate, predicted_ns, evaluated, opts);
+        if let Some(tr) = trace {
+            tr.plan_time_ns = plan.plan_time_ns;
+        }
+        Ok(plan)
+    }
 
+    /// Like [`Transposer::plan`], but also return the `k` best-ranked
+    /// candidates from the Alg. 3 sweep (best first; guard-eligible
+    /// candidates rank before guard-rejected ones) — the measure-mode
+    /// autotuner re-measures these on the device. The returned plan is
+    /// identical to what [`Transposer::plan`] would pick: it is built
+    /// from the head of the ranking.
+    pub fn plan_topk<E: Element>(
+        &self,
+        shape: &Shape,
+        perm: &Permutation,
+        opts: &TransposeOptions,
+        k: usize,
+    ) -> Result<(Plan<E>, Vec<RankedCandidate>), PlanError> {
+        let problem = build_problem(shape, perm, opts)?;
+        let schemas = match opts.forced_schema {
+            Some(s) => vec![s],
+            None => applicable_schemas(&problem),
+        };
+        let sweep = self.sweep_candidates::<E>(&problem, &schemas, opts, None)?;
+        let evaluated = sweep.candidates.len();
+        let ranked: Vec<RankedCandidate> = sweep
+            .order
+            .iter()
+            .take(k.max(1))
+            .map(|&i| RankedCandidate {
+                candidate: sweep.candidates[i].clone(),
+                predicted_ns: sweep.scores[i].0,
+                analytic_ns: sweep.scores[i].1,
+                guard_rejected: sweep.scores[i].1 > ANALYTIC_GUARD * sweep.analytic_best,
+            })
+            .collect();
+        let head = &ranked[0];
+        let plan = self.finish_plan::<E>(
+            problem,
+            head.candidate.clone(),
+            head.predicted_ns,
+            evaluated,
+            opts,
+        );
+        Ok((plan, ranked))
+    }
+
+    /// Build a plan directly from a known candidate, bypassing the sweep
+    /// — used by the autotuner to install a *measured*-best candidate.
+    /// `predicted_ns` carries the caller's (typically measured) time
+    /// estimate, so downstream prediction accounting sees the measured
+    /// figure; the plan-time charge covers one candidate evaluation.
+    pub fn plan_for_candidate<E: Element>(
+        &self,
+        shape: &Shape,
+        perm: &Permutation,
+        opts: &TransposeOptions,
+        candidate: Candidate,
+        predicted_ns: f64,
+    ) -> Result<Plan<E>, PlanError> {
+        let problem = build_problem(shape, perm, opts)?;
+        Ok(self.finish_plan::<E>(problem, candidate, predicted_ns, 1, opts))
+    }
+
+    /// Assemble a [`Plan`] for an already-chosen candidate: build the
+    /// kernel and charge the modeled plan time for `evaluated` ranked
+    /// candidates plus offset-array construction.
+    fn finish_plan<E: Element>(
+        &self,
+        problem: Problem,
+        candidate: Candidate,
+        predicted_ns: f64,
+        evaluated: usize,
+        opts: &TransposeOptions,
+    ) -> Plan<E> {
+        let kernel = build_kernel::<E>(&problem, &candidate, self.executor.device().smem_per_sm);
         let offset_bytes = match &kernel {
             AnyKernel::Od(k) => k.offset_array_bytes(),
             AnyKernel::Oa(k) => k.offset_array_bytes(),
@@ -344,11 +435,7 @@ impl Transposer {
         let plan_time_ns = self.timing.plan_overhead_ns()
             + evaluated as f64 * PLAN_PER_CANDIDATE_NS
             + offset_bytes as f64 * PLAN_OFFSET_NS_PER_BYTE;
-        if let Some(tr) = trace {
-            tr.plan_time_ns = plan_time_ns;
-        }
-
-        Ok(Plan {
+        Plan {
             problem,
             candidate,
             kernel,
@@ -356,7 +443,7 @@ impl Transposer {
             plan_time_ns,
             candidates_evaluated: evaluated,
             check_disjoint_writes: opts.check_disjoint_writes,
-        })
+        }
     }
 
     /// Rank all candidates of the given schemas: the configured predictor
@@ -378,11 +465,76 @@ impl Transposer {
         problem: &Problem,
         schemas: &[Schema],
         opts: &TransposeOptions,
-        mut trace: Option<&mut DecisionTrace>,
+        trace: Option<&mut DecisionTrace>,
     ) -> Result<(f64, Candidate, usize), PlanError> {
+        let sweep = self.sweep_candidates::<E>(problem, schemas, opts, trace)?;
+        let best = sweep.order[0];
+        let predicted_ns = sweep.scores[best].0;
+        let mut candidates = sweep.candidates;
+        let evaluated = candidates.len();
+        let candidate = candidates.swap_remove(best);
+        Ok((predicted_ns, candidate, evaluated))
+    }
+
+    /// Enumerate, score, and order every candidate of the given schemas
+    /// — the shared heart of [`Transposer::plan`] and
+    /// [`Transposer::plan_topk`].
+    fn sweep_candidates<E: Element>(
+        &self,
+        problem: &Problem,
+        schemas: &[Schema],
+        opts: &TransposeOptions,
+        mut trace: Option<&mut DecisionTrace>,
+    ) -> Result<SweepResult, PlanError> {
+        let candidates = self.enumerate_all::<E>(problem, schemas, opts, trace.as_deref_mut());
+        if candidates.is_empty() {
+            return Err(PlanError::NoCandidate);
+        }
+        let scores = self.score_candidates(&candidates, true);
+        let (order, analytic_best) = order_candidates(&scores);
+        let best = order[0];
+        if let Some(tr) = trace {
+            tr.analytic_best_ns = analytic_best;
+            tr.chosen = Some(best);
+            tr.candidates = candidates
+                .iter()
+                .zip(&scores)
+                .enumerate()
+                .map(|(i, (c, (t, a)))| CandidateTrace {
+                    schema: c.schema(),
+                    params: choice_params(&c.choice),
+                    input_slice: c.input_slice,
+                    output_slice: c.output_slice,
+                    total_slice: c.total_slice,
+                    grid_blocks: c.grid_blocks,
+                    threads_per_block: c.threads_per_block,
+                    smem_bytes: c.smem_bytes,
+                    predicted_ns: *t,
+                    analytic_ns: *a,
+                    guard_rejected: *a > ANALYTIC_GUARD * analytic_best,
+                    chosen: i == best,
+                })
+                .collect();
+        }
+        Ok(SweepResult {
+            candidates,
+            scores,
+            order,
+            analytic_best,
+        })
+    }
+
+    /// Enumerate every candidate of the given schemas (Alg. 3), in the
+    /// deterministic schema-then-sweep order.
+    fn enumerate_all<E: Element>(
+        &self,
+        problem: &Problem,
+        schemas: &[Schema],
+        opts: &TransposeOptions,
+        mut trace: Option<&mut DecisionTrace>,
+    ) -> Vec<Candidate> {
         let device = self.executor.device();
-        let mut cands: Vec<(f64, f64, Candidate)> = Vec::new();
-        let mut analytic_best = f64::INFINITY;
+        let mut cands = Vec::new();
         for &schema in schemas {
             let list = match trace.as_deref_mut() {
                 Some(tr) => slice::enumerate_candidates_traced::<E>(
@@ -401,51 +553,39 @@ impl Transposer {
                     opts.model_sweep,
                 ),
             };
-            for cand in list {
-                let t = self.predictor.predict_ns(&cand);
-                let a = self.analytic.predict_ns(&cand);
-                analytic_best = analytic_best.min(a);
-                cands.push((t, a, cand));
-            }
+            cands.extend(list);
         }
-        let evaluated = cands.len();
-        let best = cands
-            .iter()
-            .enumerate()
-            .filter(|(_, (_, a, _))| *a <= ANALYTIC_GUARD * analytic_best)
-            .min_by(|(_, (t1, _, _)), (_, (t2, _, _))| t1.partial_cmp(t2).expect("finite"))
-            .or_else(|| {
-                cands
-                    .iter()
-                    .enumerate()
-                    .min_by(|(_, (t1, _, _)), (_, (t2, _, _))| t1.partial_cmp(t2).expect("finite"))
-            })
-            .map(|(i, _)| i)
-            .ok_or(PlanError::NoCandidate)?;
-        if let Some(tr) = trace {
-            tr.analytic_best_ns = analytic_best;
-            tr.chosen = Some(best);
-            tr.candidates = cands
-                .iter()
-                .enumerate()
-                .map(|(i, (t, a, c))| CandidateTrace {
-                    schema: c.schema(),
-                    params: choice_params(&c.choice),
-                    input_slice: c.input_slice,
-                    output_slice: c.output_slice,
-                    total_slice: c.total_slice,
-                    grid_blocks: c.grid_blocks,
-                    threads_per_block: c.threads_per_block,
-                    smem_bytes: c.smem_bytes,
-                    predicted_ns: *t,
-                    analytic_ns: *a,
-                    guard_rejected: *a > ANALYTIC_GUARD * analytic_best,
-                    chosen: i == best,
-                })
+        cands
+    }
+
+    /// Score every candidate with both predictors, returning
+    /// `(predicted_ns, analytic_ns)` per candidate in input order. Wide
+    /// sweeps fan out over `ttlg_tensor::parallel` — bounded by any
+    /// enclosing `with_thread_cap` scope, since `parallel_for` reads the
+    /// capped thread count on the calling thread — while narrow sweeps
+    /// stay sequential ([`PARALLEL_SWEEP_MIN`]). Both paths produce
+    /// bit-identical scores in identical order.
+    fn score_candidates(&self, cands: &[Candidate], allow_parallel: bool) -> Vec<(f64, f64)> {
+        let score = |c: &Candidate| (self.predictor.predict_ns(c), self.analytic.predict_ns(c));
+        if allow_parallel
+            && cands.len() >= PARALLEL_SWEEP_MIN
+            && ttlg_tensor::parallel::default_threads() > 1
+        {
+            let slots: Vec<std::sync::OnceLock<(f64, f64)>> = (0..cands.len())
+                .map(|_| std::sync::OnceLock::new())
                 .collect();
+            ttlg_tensor::parallel::parallel_for(cands.len(), 8, |i| {
+                slots[i]
+                    .set(score(&cands[i]))
+                    .expect("each candidate scored exactly once");
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("sweep covered every candidate"))
+                .collect()
+        } else {
+            cands.iter().map(score).collect()
         }
-        let (predicted_ns, _, candidate) = cands.swap_remove(best);
-        Ok((predicted_ns, candidate, evaluated))
     }
 
     /// Execute a plan, producing the transposed tensor and a report.
@@ -611,6 +751,50 @@ impl Transposer {
             self.rank_candidates::<E>(&problem, &schemas, &TransposeOptions::default())?;
         Ok(best)
     }
+}
+
+/// Output of the enumerate + score + order sweep.
+struct SweepResult {
+    /// Every enumerated candidate, in enumeration order.
+    candidates: Vec<Candidate>,
+    /// `(predicted_ns, analytic_ns)` per candidate, same order.
+    scores: Vec<(f64, f64)>,
+    /// Candidate indices, best first (see [`order_candidates`]).
+    order: Vec<usize>,
+    /// Minimum analytic estimate across the sweep, ns.
+    analytic_best: f64,
+}
+
+/// Order candidate indices best-first: guard-eligible candidates sorted
+/// by predicted time (stable, so ties keep enumeration order and the
+/// head reproduces the sequential argmin), then guard-rejected ones
+/// sorted the same way. Returns the order and the analytic best.
+fn order_candidates(scores: &[(f64, f64)]) -> (Vec<usize>, f64) {
+    let analytic_best = scores.iter().fold(f64::INFINITY, |m, &(_, a)| m.min(a));
+    let bound = ANALYTIC_GUARD * analytic_best;
+    let by_predicted =
+        |&i: &usize, &j: &usize| scores[i].0.partial_cmp(&scores[j].0).expect("finite");
+    let mut order: Vec<usize> = (0..scores.len())
+        .filter(|&i| scores[i].1 <= bound)
+        .collect();
+    let mut rejected: Vec<usize> = (0..scores.len()).filter(|&i| scores[i].1 > bound).collect();
+    order.sort_by(by_predicted);
+    rejected.sort_by(by_predicted);
+    order.extend(rejected);
+    (order, analytic_best)
+}
+
+/// Build the (optionally fused) problem the options describe.
+fn build_problem(
+    shape: &Shape,
+    perm: &Permutation,
+    opts: &TransposeOptions,
+) -> Result<Problem, PlanError> {
+    Ok(if opts.enable_fusion {
+        Problem::new(shape, perm)?
+    } else {
+        Problem::new_unfused(shape, perm)?
+    })
 }
 
 /// Build the concrete kernel for a candidate.
@@ -904,6 +1088,86 @@ mod tests {
         assert_eq!(plain.schema(), traced.schema());
         assert!((plain.predicted_ns() - traced.predicted_ns()).abs() < 1e-9);
         assert_eq!(plain.candidates_evaluated(), trace.candidates.len());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_argmin() {
+        // The scoring phase of the Alg. 3 sweep may fan out over worker
+        // threads; the parallel path must produce bit-identical scores —
+        // and therefore the identical argmin — to the sequential one.
+        let t = Transposer::new_k40c();
+        let shape = Shape::new(&[16, 16, 16, 16, 16, 16]).unwrap();
+        let perm = Permutation::new(&[5, 4, 3, 2, 1, 0]).unwrap();
+        let opts = TransposeOptions::default();
+        let problem = Problem::new(&shape, &perm).unwrap();
+        let schemas = applicable_schemas(&problem);
+        let mut cands = t.enumerate_all::<f64>(&problem, &schemas, &opts, None);
+        assert!(!cands.is_empty());
+        // Pad past the parallel threshold if the natural sweep is narrow
+        // (scoring is a pure function, so duplicates are harmless).
+        while cands.len() < PARALLEL_SWEEP_MIN {
+            let c = cands[cands.len() % 7].clone();
+            cands.push(c);
+        }
+        let seq = t.score_candidates(&cands, false);
+        let par = t.score_candidates(&cands, true);
+        assert_eq!(seq, par, "parallel scoring must be bit-identical");
+        let (seq_order, seq_best) = order_candidates(&seq);
+        let (par_order, par_best) = order_candidates(&par);
+        assert_eq!(seq_order[0], par_order[0], "identical argmin");
+        assert_eq!(seq_best, par_best);
+        // Under a thread cap of 1 the parallel path degrades to the
+        // sequential loop and must still agree.
+        let capped = ttlg_tensor::parallel::with_thread_cap(1, || t.score_candidates(&cands, true));
+        assert_eq!(capped, par);
+    }
+
+    #[test]
+    fn plan_topk_head_matches_plan() {
+        let t = Transposer::new_k40c();
+        let shape = Shape::new(&[27, 27, 27, 27]).unwrap();
+        let perm = Permutation::new(&[3, 1, 0, 2]).unwrap();
+        let opts = TransposeOptions::default();
+        let plain = t.plan::<f64>(&shape, &perm, &opts).unwrap();
+        let (plan, ranked) = t.plan_topk::<f64>(&shape, &perm, &opts, 4).unwrap();
+        assert!(!ranked.is_empty() && ranked.len() <= 4);
+        assert_eq!(plan.schema(), plain.schema());
+        assert!((plan.predicted_ns() - plain.predicted_ns()).abs() < 1e-9);
+        assert!((plan.plan_time_ns() - plain.plan_time_ns()).abs() < 1e-9);
+        assert_eq!(plan.candidates_evaluated(), plain.candidates_evaluated());
+        assert!((ranked[0].predicted_ns - plain.predicted_ns()).abs() < 1e-9);
+        assert!(!ranked[0].guard_rejected, "the head is always eligible");
+        // Eligible entries come first, each segment ascending by
+        // predicted time.
+        for w in ranked.windows(2) {
+            if w[0].guard_rejected == w[1].guard_rejected {
+                assert!(w[0].predicted_ns <= w[1].predicted_ns);
+            } else {
+                assert!(!w[0].guard_rejected && w[1].guard_rejected);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_for_candidate_reconstructs_runnable_plan() {
+        let t = Transposer::new_k40c();
+        let shape = Shape::new(&[17, 17, 17, 17]).unwrap();
+        let perm = Permutation::new(&[3, 1, 0, 2]).unwrap();
+        let opts = opts_checked();
+        let (_, ranked) = t.plan_topk::<u64>(&shape, &perm, &opts, 3).unwrap();
+        // Rebuild a plan from the *last* ranked candidate with a made-up
+        // prediction, as the autotuner does with a measured time.
+        let pick = ranked.last().unwrap();
+        let plan = t
+            .plan_for_candidate::<u64>(&shape, &perm, &opts, pick.candidate.clone(), 1234.5)
+            .unwrap();
+        assert_eq!(plan.candidates_evaluated(), 1);
+        assert!((plan.predicted_ns() - 1234.5).abs() < 1e-12);
+        let input: DenseTensor<u64> = DenseTensor::iota(shape);
+        let (out, report) = t.execute(&plan, &input).unwrap();
+        let expect = reference::transpose_reference(&input, &perm).unwrap();
+        assert_eq!(out.data(), expect.data());
+        assert!((report.predicted_ns - 1234.5).abs() < 1e-12);
     }
 
     #[test]

@@ -168,6 +168,23 @@ impl PredictionTracker {
             .sum()
     }
 
+    /// Sample-weighted geometric mean of `max(p/m, m/p)` across every
+    /// slot — the single figure a refinement loop tries to drive toward
+    /// 1.0. Returns 1.0 when no samples have been recorded.
+    pub fn overall_geo_mean_error(&self) -> f64 {
+        let mut n = 0u64;
+        let mut sum_abs_ln = 0u64;
+        for slot in &self.slots {
+            n += slot.count.load(Ordering::Relaxed);
+            sum_abs_ln += slot.sum_abs_ln_ratio.load(Ordering::Relaxed);
+        }
+        if n == 0 {
+            1.0
+        } else {
+            (sum_abs_ln as f64 / (LN_SCALE * n as f64)).exp()
+        }
+    }
+
     /// Render non-empty slots as a small table.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -237,6 +254,24 @@ mod tests {
         assert_eq!(counts[RATIO_BUCKETS.len()], 1);
         assert_eq!(counts.iter().sum::<u64>(), 3);
         assert!((t.ratio_sum(0) - 4.4).abs() < 1e-6, "{}", t.ratio_sum(0));
+    }
+
+    #[test]
+    fn overall_geo_mean_error_weights_by_samples() {
+        let t = PredictionTracker::new(["a", "b"]);
+        assert_eq!(t.overall_geo_mean_error(), 1.0);
+        // Slot a: three perfect samples. Slot b: one factor-2 miss.
+        for _ in 0..3 {
+            t.record(0, 1000.0, 1000.0);
+        }
+        t.record(1, 2000.0, 1000.0);
+        // exp((3*ln 1 + ln 2) / 4) = 2^(1/4)
+        let expected = 2.0f64.powf(0.25);
+        assert!(
+            (t.overall_geo_mean_error() - expected).abs() < 1e-3,
+            "{}",
+            t.overall_geo_mean_error()
+        );
     }
 
     #[test]

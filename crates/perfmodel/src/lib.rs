@@ -17,16 +17,22 @@
 //!    models, used by Alg. 3's slice-size choice and by callers of the
 //!    queryable prediction API.
 //! 5. [`persist`] — plain-text save/load of trained models.
+//! 6. [`online`] — measure-mode refinement: recursive least squares over
+//!    streamed measurements, feeding the runtime autotuner's feedback
+//!    loop.
 
 pub mod crossval;
 pub mod dataset;
 pub mod linreg;
+pub mod online;
 pub mod persist;
 pub mod predictor;
 pub mod pretrained;
 pub mod train;
 
 pub use linreg::{FitSummary, LinearModel};
+pub use online::{MeasurementSink, OnlineConfig, OnlinePredictor};
+pub use persist::{ModelPair, ModelStore};
 pub use predictor::TrainedPredictor;
 pub use pretrained::predictor_k40c;
 pub use train::{train_models, TrainConfig, TrainedModels};

@@ -26,15 +26,49 @@ pub struct ModelPair {
     pub oa: LinearModel,
 }
 
+/// Pretrained models plus (optionally) online-refined coefficients, kept
+/// side by side so refinement never destroys the offline baseline.
+/// Serialized as extra `model od_refined` / `model oa_refined` sections,
+/// which pre-refinement readers skip silently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStore {
+    /// The offline-trained baseline.
+    pub pretrained: ModelPair,
+    /// Online-refined coefficients, when refinement has run.
+    pub refined: Option<ModelPair>,
+}
+
+impl ModelStore {
+    /// The models a predictor should use: refined when present,
+    /// pretrained otherwise.
+    pub fn effective(&self) -> &ModelPair {
+        self.refined.as_ref().unwrap_or(&self.pretrained)
+    }
+}
+
+fn write_model(s: &mut String, name: &str, m: &LinearModel) {
+    writeln!(s, "model {name}").unwrap();
+    writeln!(s, "intercept {:e}", m.intercept).unwrap();
+    for (fname, c) in m.feature_names.iter().zip(m.coefficients.iter()) {
+        writeln!(s, "coef {} {:e}", fname.replace(' ', "_"), c).unwrap();
+    }
+}
+
 /// Serialize a model pair to the text format.
 pub fn to_text(pair: &ModelPair) -> String {
     let mut s = String::from("ttlg-perfmodel v1\n");
-    for (name, m) in [("od", &pair.od), ("oa", &pair.oa)] {
-        writeln!(s, "model {name}").unwrap();
-        writeln!(s, "intercept {:e}", m.intercept).unwrap();
-        for (fname, c) in m.feature_names.iter().zip(m.coefficients.iter()) {
-            writeln!(s, "coef {} {:e}", fname.replace(' ', "_"), c).unwrap();
-        }
+    write_model(&mut s, "od", &pair.od);
+    write_model(&mut s, "oa", &pair.oa);
+    s
+}
+
+/// Serialize a [`ModelStore`] — the pair format plus `*_refined`
+/// sections when refined coefficients exist.
+pub fn store_to_text(store: &ModelStore) -> String {
+    let mut s = to_text(&store.pretrained);
+    if let Some(refined) = &store.refined {
+        write_model(&mut s, "od_refined", &refined.od);
+        write_model(&mut s, "oa_refined", &refined.oa);
     }
     s
 }
@@ -62,26 +96,15 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Deserialize a model pair from the text format.
-pub fn from_text(text: &str) -> Result<ModelPair, ParseError> {
+/// Parse every `model <name>` section in order. Unknown section names
+/// are kept (callers select the ones they understand), so the format
+/// stays forward compatible.
+fn parse_sections(text: &str) -> Result<Vec<(String, LinearModel)>, ParseError> {
     let mut lines = text.lines();
     if lines.next().map(str::trim) != Some("ttlg-perfmodel v1") {
         return Err(ParseError::BadHeader);
     }
-    let mut od: Option<LinearModel> = None;
-    let mut oa: Option<LinearModel> = None;
-    let mut current: Option<(String, LinearModel)> = None;
-    let commit = |cur: &mut Option<(String, LinearModel)>,
-                  od: &mut Option<LinearModel>,
-                  oa: &mut Option<LinearModel>| {
-        if let Some((name, m)) = cur.take() {
-            match name.as_str() {
-                "od" => *od = Some(m),
-                "oa" => *oa = Some(m),
-                _ => {}
-            }
-        }
-    };
+    let mut sections: Vec<(String, LinearModel)> = Vec::new();
     for line in lines {
         let line = line.trim();
         if line.is_empty() {
@@ -90,11 +113,10 @@ pub fn from_text(text: &str) -> Result<ModelPair, ParseError> {
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("model") => {
-                commit(&mut current, &mut od, &mut oa);
                 let name = parts
                     .next()
                     .ok_or_else(|| ParseError::BadLine(line.into()))?;
-                current = Some((
+                sections.push((
                     name.to_string(),
                     LinearModel {
                         feature_names: Vec::new(),
@@ -108,8 +130,8 @@ pub fn from_text(text: &str) -> Result<ModelPair, ParseError> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| ParseError::BadLine(line.into()))?;
-                current
-                    .as_mut()
+                sections
+                    .last_mut()
                     .ok_or_else(|| ParseError::BadLine(line.into()))?
                     .1
                     .intercept = v;
@@ -122,8 +144,8 @@ pub fn from_text(text: &str) -> Result<ModelPair, ParseError> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| ParseError::BadLine(line.into()))?;
-                let m = &mut current
-                    .as_mut()
+                let m = &mut sections
+                    .last_mut()
                     .ok_or_else(|| ParseError::BadLine(line.into()))?
                     .1;
                 m.feature_names.push(name.replace('_', " "));
@@ -132,10 +154,48 @@ pub fn from_text(text: &str) -> Result<ModelPair, ParseError> {
             _ => return Err(ParseError::BadLine(line.into())),
         }
     }
-    commit(&mut current, &mut od, &mut oa);
+    Ok(sections)
+}
+
+fn find_model(sections: &[(String, LinearModel)], name: &str) -> Option<LinearModel> {
+    sections
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, m)| m.clone())
+}
+
+/// Deserialize a model pair from the text format (sections other than
+/// `od`/`oa` — e.g. refined coefficients — are ignored).
+pub fn from_text(text: &str) -> Result<ModelPair, ParseError> {
+    let sections = parse_sections(text)?;
     Ok(ModelPair {
-        od: od.ok_or(ParseError::MissingModel("od"))?,
-        oa: oa.ok_or(ParseError::MissingModel("oa"))?,
+        od: find_model(&sections, "od").ok_or(ParseError::MissingModel("od"))?,
+        oa: find_model(&sections, "oa").ok_or(ParseError::MissingModel("oa"))?,
+    })
+}
+
+/// Deserialize a [`ModelStore`]: the pretrained pair is required; the
+/// refined pair is present only when *both* `*_refined` sections are
+/// (one without the other is malformed).
+pub fn store_from_text(text: &str) -> Result<ModelStore, ParseError> {
+    let sections = parse_sections(text)?;
+    let pretrained = ModelPair {
+        od: find_model(&sections, "od").ok_or(ParseError::MissingModel("od"))?,
+        oa: find_model(&sections, "oa").ok_or(ParseError::MissingModel("oa"))?,
+    };
+    let refined = match (
+        find_model(&sections, "od_refined"),
+        find_model(&sections, "oa_refined"),
+    ) {
+        (Some(od), Some(oa)) => Some(ModelPair { od, oa }),
+        (None, None) => None,
+        (Some(_), None) => return Err(ParseError::MissingModel("oa_refined")),
+        (None, Some(_)) => return Err(ParseError::MissingModel("od_refined")),
+    };
+    Ok(ModelStore {
+        pretrained,
+        refined,
     })
 }
 
@@ -147,6 +207,16 @@ pub fn save(pair: &ModelPair, path: &Path) -> std::io::Result<()> {
 /// Load from a file.
 pub fn load(path: &Path) -> std::io::Result<Result<ModelPair, ParseError>> {
     Ok(from_text(&std::fs::read_to_string(path)?))
+}
+
+/// Save a [`ModelStore`] to a file.
+pub fn save_store(store: &ModelStore, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, store_to_text(store))
+}
+
+/// Load a [`ModelStore`] from a file.
+pub fn load_store(path: &Path) -> std::io::Result<Result<ModelStore, ParseError>> {
+    Ok(store_from_text(&std::fs::read_to_string(path)?))
 }
 
 #[cfg(test)]
@@ -205,5 +275,70 @@ mod tests {
         let pair = sample();
         let back = from_text(&to_text(&pair)).unwrap();
         assert_eq!(back.od.feature_names[1], "Input slice");
+    }
+
+    fn refined_sample() -> ModelPair {
+        let mut pair = sample();
+        pair.od.intercept = 2.5e-3;
+        pair.oa.coefficients[0] = -1.0e-11;
+        pair
+    }
+
+    #[test]
+    fn store_roundtrips_with_and_without_refined() {
+        let bare = ModelStore {
+            pretrained: sample(),
+            refined: None,
+        };
+        assert_eq!(store_from_text(&store_to_text(&bare)).unwrap(), bare);
+        assert_eq!(bare.effective(), &bare.pretrained);
+
+        let full = ModelStore {
+            pretrained: sample(),
+            refined: Some(refined_sample()),
+        };
+        let text = store_to_text(&full);
+        assert!(text.contains("model od_refined") && text.contains("model oa_refined"));
+        let back = store_from_text(&text).unwrap();
+        assert_eq!(back, full);
+        assert_eq!(back.effective(), back.refined.as_ref().unwrap());
+    }
+
+    #[test]
+    fn store_roundtrips_via_file() {
+        let store = ModelStore {
+            pretrained: sample(),
+            refined: Some(refined_sample()),
+        };
+        let dir = std::env::temp_dir().join("ttlg-perfmodel-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.txt");
+        save_store(&store, &path).unwrap();
+        assert_eq!(load_store(&path).unwrap().unwrap(), store);
+    }
+
+    #[test]
+    fn refined_sections_are_backward_compatible() {
+        // A pre-refinement reader (`from_text`) must parse a store file
+        // and see only the pretrained pair.
+        let store = ModelStore {
+            pretrained: sample(),
+            refined: Some(refined_sample()),
+        };
+        let pair = from_text(&store_to_text(&store)).unwrap();
+        assert_eq!(pair, store.pretrained);
+        // And a plain pair file reads back as a store without refinement.
+        let back = store_from_text(&to_text(&sample())).unwrap();
+        assert_eq!(back.refined, None);
+    }
+
+    #[test]
+    fn store_rejects_half_refined_files() {
+        let mut text = to_text(&sample());
+        text.push_str("model od_refined\nintercept 1.0\n");
+        assert_eq!(
+            store_from_text(&text),
+            Err(ParseError::MissingModel("oa_refined"))
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! the `ttlg` core — the paper's repeated-use scenario (plan once, run
 //! many times, Fig. 12) industrialised for many concurrent clients.
 //!
-//! Four pieces:
+//! Five pieces:
 //!
 //! * **Sharded plan cache** — [`ttlg::ShardedPlanCache`] (re-exported
 //!   here): N mutex shards keyed by problem fingerprint, per-shard LRU
@@ -25,6 +25,11 @@
 //!   replay rates; the most recent traces are queryable
 //!   ([`TransposeService::recent_traces`]) and each is emitted as a span
 //!   to an optional [`Subscriber`].
+//! * **Measure-mode autotuning** — an optional background worker
+//!   ([`TransposeService::start_autotuner`]) re-measures the top-ranked
+//!   candidates for hot plan keys under a thread cap, installs the
+//!   measured-best plan into the cache, and streams every measurement to
+//!   an online model refiner ([`MeasurementSink`]); see [`autotune`].
 //!
 //! ## Example
 //!
@@ -50,9 +55,11 @@
 //! assert!(svc.export_prometheus().contains("ttlg_requests_total"));
 //! ```
 
+pub mod autotune;
 pub mod metrics;
 pub mod service;
 
+pub use autotune::{AutotuneConfig, AutotuneSnapshot, AutotunerHandle};
 pub use metrics::{LatencyHistogram, Metrics, RequestPhase, HIST_BUCKETS};
 pub use service::{
     RuntimeConfig, ServeError, ServeResult, TransposeRequest, TransposeResponse, TransposeService,
@@ -62,3 +69,4 @@ pub use ttlg_obs::{
     CollectingSubscriber, MetricsSnapshot, NullSubscriber, PredictionStats, PredictionTracker,
     RequestTrace, Subscriber, TraceRing,
 };
+pub use ttlg_perfmodel::MeasurementSink;

@@ -19,11 +19,14 @@
 //!    kept in a bounded ring ([`TransposeService::recent_traces`]) and
 //!    emitted as a span to an optional [`Subscriber`].
 
+use crate::autotune::{
+    run_worker, AutotuneConfig, AutotuneSnapshot, AutotuneStats, AutotunerHandle,
+};
 use crate::metrics::{Metrics, RequestPhase};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use ttlg::{
     CacheConfig, CacheStats, Plan, PlanError, PlanKey, ShardedPlanCache, TransposeOptions,
     TransposeReport, Transposer,
@@ -32,6 +35,7 @@ use ttlg_obs::{
     clock_ns, AttrValue, Event, MetricsSnapshot, NullSubscriber, RequestTrace, SpanRecord,
     Subscriber, TraceRing,
 };
+use ttlg_perfmodel::MeasurementSink;
 use ttlg_tensor::{parallel, DenseTensor, Element, Permutation};
 
 /// Service configuration.
@@ -46,6 +50,8 @@ pub struct RuntimeConfig {
     pub cache: CacheConfig,
     /// Capacity of the recent-request trace ring.
     pub trace_capacity: usize,
+    /// Measure-mode autotuning (disabled by default).
+    pub autotune: AutotuneConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -56,6 +62,7 @@ impl Default for RuntimeConfig {
             max_in_flight: 0,
             cache: CacheConfig::default(),
             trace_capacity: 256,
+            autotune: AutotuneConfig::default(),
         }
     }
 }
@@ -150,6 +157,17 @@ impl Semaphore {
     }
 }
 
+/// Hot-key bookkeeping for the autotuner.
+#[derive(Debug, Default, Clone, Copy)]
+struct HotKeyState {
+    /// Requests observed for this key.
+    requests: u64,
+    /// Candidate measurements already spent on this key.
+    measured: usize,
+    /// Whether this key has been tuned (or claimed for tuning).
+    tuned: bool,
+}
+
 /// The concurrent transposition service. See the module docs.
 pub struct TransposeService<E: Element> {
     transposer: Transposer,
@@ -164,6 +182,10 @@ pub struct TransposeService<E: Element> {
     traces: TraceRing<RequestTrace>,
     subscriber: Arc<dyn Subscriber>,
     next_id: AtomicU64,
+    autotune: AutotuneConfig,
+    hot: Mutex<HashMap<PlanKey, HotKeyState>>,
+    tuner_stats: AutotuneStats,
+    sink: Option<Arc<dyn MeasurementSink>>,
 }
 
 impl<E: Element> TransposeService<E> {
@@ -186,6 +208,10 @@ impl<E: Element> TransposeService<E> {
             traces: TraceRing::new(cfg.trace_capacity),
             subscriber: Arc::new(NullSubscriber),
             next_id: AtomicU64::new(0),
+            autotune: cfg.autotune,
+            hot: Mutex::new(HashMap::new()),
+            tuner_stats: AutotuneStats::default(),
+            sink: None,
         }
     }
 
@@ -198,6 +224,15 @@ impl<E: Element> TransposeService<E> {
     /// event is delivered to it.
     pub fn with_subscriber(mut self, subscriber: Arc<dyn Subscriber>) -> Self {
         self.subscriber = subscriber;
+        self
+    }
+
+    /// Attach a measurement sink: every candidate timing the autotuner
+    /// measures is streamed to it (e.g. an
+    /// [`ttlg_perfmodel::OnlinePredictor`] refining the regression
+    /// models online).
+    pub fn with_measurement_sink(mut self, sink: Arc<dyn MeasurementSink>) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -386,7 +421,10 @@ impl<E: Element> TransposeService<E> {
         let key = req.plan_key();
         let (fetched, fetch_ns) = self.fetch_plan(req, &key);
         match fetched {
-            Ok((plan, hit)) => self.execute_traced(req, &plan, hit, fetch_ns),
+            Ok((plan, hit)) => {
+                self.note_request(&key);
+                self.execute_traced(req, &plan, hit, fetch_ns)
+            }
             Err(e) => {
                 self.record_plan_failure(fetch_ns, &e);
                 Err(e)
@@ -436,10 +474,13 @@ impl<E: Element> TransposeService<E> {
                 // spawning a full-machine pool. Only the group's
                 // representative actually touched the cache; every other
                 // request was served from the shared plan — a hit.
-                Ok((plan, hit)) => parallel::with_thread_cap(self.exec_threads, || {
-                    let hit = *hit || i != distinct[g];
-                    self.execute_traced(&reqs[i], plan, hit, *fetch_ns)
-                }),
+                Ok((plan, hit)) => {
+                    self.note_request(&keys[i]);
+                    parallel::with_thread_cap(self.exec_threads, || {
+                        let hit = *hit || i != distinct[g];
+                        self.execute_traced(&reqs[i], plan, hit, *fetch_ns)
+                    })
+                }
                 Err(e) => {
                     self.record_plan_failure(*fetch_ns, e);
                     Err(e.clone())
@@ -452,6 +493,143 @@ impl<E: Element> TransposeService<E> {
             .into_iter()
             .map(|slot| slot.into_inner().expect("every request produced a result"))
             .collect()
+    }
+
+    // ---- measure-mode autotuning -------------------------------------
+
+    /// Count a successfully planned request toward its key's hotness
+    /// (no-op unless autotuning is enabled — the kill switch costs one
+    /// branch).
+    fn note_request(&self, key: &PlanKey) {
+        if !self.autotune.enabled {
+            return;
+        }
+        let mut hot = self.hot.lock().expect("hot map poisoned");
+        hot.entry(key.clone()).or_default().requests += 1;
+    }
+
+    /// Autotuner counters.
+    pub fn autotune_stats(&self) -> AutotuneSnapshot {
+        self.tuner_stats.snapshot()
+    }
+
+    /// Tune every key currently due (hot and not yet tuned). Returns the
+    /// number of keys tuned. This is the autotuner's unit of work: call
+    /// it directly for deterministic tests/benchmarks, or let the
+    /// background worker of [`Self::start_autotuner`] drive it.
+    pub fn autotune_once(&self) -> usize {
+        if !self.autotune.enabled {
+            return 0;
+        }
+        let due: Vec<PlanKey> = {
+            let mut hot = self.hot.lock().expect("hot map poisoned");
+            hot.iter_mut()
+                .filter(|(_, s)| {
+                    !s.tuned
+                        && s.requests >= self.autotune.hot_threshold
+                        && s.measured < self.autotune.budget_per_key
+                })
+                .map(|(k, s)| {
+                    // Claim eagerly so concurrent tuners never double-tune.
+                    s.tuned = true;
+                    k.clone()
+                })
+                .collect()
+        };
+        for key in &due {
+            match self.tune_key(key) {
+                Ok(measured) => {
+                    self.tuner_stats.keys_tuned.fetch_add(1, Ordering::Relaxed);
+                    let mut hot = self.hot.lock().expect("hot map poisoned");
+                    if let Some(s) = hot.get_mut(key) {
+                        s.measured += measured;
+                    }
+                }
+                Err(e) => {
+                    self.tuner_stats.failures.fetch_add(1, Ordering::Relaxed);
+                    self.subscriber.on_event(&Event {
+                        name: "autotune-failure",
+                        at_ns: clock_ns(),
+                        attrs: vec![("error", AttrValue::Str(e.to_string()))],
+                    });
+                }
+            }
+        }
+        due.len()
+    }
+
+    /// Measure the top-ranked candidates for one key and install the
+    /// measured-best plan. Returns how many measurements were spent.
+    fn tune_key(&self, key: &PlanKey) -> Result<usize, PlanError> {
+        let (shape, perm, opts) = key.problem_parts();
+        let budget = self.autotune.budget_per_key.max(1);
+        let topk = self.autotune.topk.max(1).min(budget);
+        // Cap the tuner's planning sweep and measurement work so it
+        // never competes with foreground batches for the whole machine.
+        let (warmed, swapped, measured) =
+            parallel::with_thread_cap(self.autotune.threads.max(1), || {
+                let (plan, ranked) = self.transposer.plan_topk::<E>(&shape, &perm, &opts, topk)?;
+                let mut best: Option<(f64, usize)> = None;
+                let mut measured = 0usize;
+                for (j, rc) in ranked.iter().enumerate() {
+                    let m = self
+                        .transposer
+                        .measure_candidate::<E>(plan.problem(), &rc.candidate)?;
+                    let t = m.timing.time_ns;
+                    measured += 1;
+                    self.tuner_stats
+                        .candidates_measured
+                        .fetch_add(1, Ordering::Relaxed);
+                    if let Some(sink) = &self.sink {
+                        sink.observe_candidate(&rc.candidate, t);
+                        self.tuner_stats
+                            .points_streamed
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    if best.as_ref().map(|&(bt, _)| t < bt).unwrap_or(true) {
+                        best = Some((t, j));
+                    }
+                }
+                let (best_ns, j) = best.expect("plan_topk returns at least one candidate");
+                // The warmed plan predicts its own measured time, so
+                // subsequent residuals for this key collapse to ~1.0.
+                let warmed = self.transposer.plan_for_candidate::<E>(
+                    &shape,
+                    &perm,
+                    &opts,
+                    ranked[j].candidate.clone(),
+                    best_ns,
+                )?;
+                Ok::<_, PlanError>((warmed, j != 0, measured))
+            })?;
+        if self.cache.warm(key, Arc::new(warmed)) {
+            self.tuner_stats
+                .plans_warmed
+                .fetch_add(1, Ordering::Relaxed);
+            if swapped {
+                self.tuner_stats
+                    .plans_swapped
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(measured)
+    }
+
+    /// Spawn the background autotuner worker. It drains due keys via
+    /// [`Self::autotune_once`] and parks for
+    /// [`AutotuneConfig::poll_interval_ms`] when idle. Stops when the
+    /// returned handle is dropped (or [`AutotunerHandle::stop`] is
+    /// called).
+    pub fn start_autotuner(self: &Arc<Self>) -> AutotunerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let svc = Arc::clone(self);
+        let idle = Duration::from_millis(self.autotune.poll_interval_ms.max(1));
+        let join = std::thread::Builder::new()
+            .name("ttlg-autotuner".into())
+            .spawn(move || run_worker(&flag, idle, || svc.autotune_once()))
+            .expect("spawn autotuner thread");
+        AutotunerHandle::new(stop, join)
     }
 }
 
@@ -635,6 +813,187 @@ mod tests {
             .map(|h| h.count())
             .sum();
         assert_eq!(ratio, 1);
+    }
+
+    /// Ranks candidates *backwards* (fast-by-analysis looks slow and
+    /// vice versa) while staying inside the analytic guard band — the
+    /// modeled winner is then the worst guard-eligible candidate, so a
+    /// measured pass must swap it out.
+    struct Inverted(ttlg::AnalyticPredictor);
+
+    impl ttlg::TimePredictor for Inverted {
+        fn predict_ns(&self, c: &ttlg::Candidate) -> f64 {
+            1.0e12 / self.0.predict_ns(c).max(1.0)
+        }
+        fn name(&self) -> &str {
+            "inverted"
+        }
+    }
+
+    fn autotuned_config() -> RuntimeConfig {
+        RuntimeConfig {
+            autotune: crate::autotune::AutotuneConfig {
+                enabled: true,
+                hot_threshold: 2,
+                topk: 4,
+                budget_per_key: 8,
+                threads: 1,
+                poll_interval_ms: 1,
+            },
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn autotuner_swaps_in_measured_best_plan_for_hot_keys() {
+        let device = ttlg_gpu_sim::DeviceConfig::k40c();
+        let transposer = Transposer::with_predictor(
+            device.clone(),
+            Arc::new(Inverted(ttlg::AnalyticPredictor::new(device))),
+        );
+        let svc: TransposeService<f64> =
+            TransposeService::with_config(transposer, autotuned_config());
+        let input = Arc::new(DenseTensor::<f64>::iota(
+            ttlg_tensor::Shape::new(&[16, 16, 16, 16]).unwrap(),
+        ));
+        let req =
+            TransposeRequest::new(Arc::clone(&input), Permutation::new(&[3, 1, 0, 2]).unwrap());
+
+        // Not hot yet: one request is below the threshold.
+        svc.submit(&req).unwrap();
+        assert_eq!(svc.autotune_once(), 0);
+        let before = svc.submit(&req).unwrap();
+        assert_eq!(svc.autotune_once(), 1, "key is now hot");
+        assert_eq!(svc.autotune_once(), 0, "tuned keys are not re-tuned");
+
+        let stats = svc.autotune_stats();
+        assert_eq!(stats.keys_tuned, 1);
+        assert_eq!(stats.plans_warmed, 1);
+        assert!(stats.candidates_measured >= 2);
+        assert_eq!(stats.failures, 0);
+        assert!(
+            stats.plans_swapped >= 1,
+            "inverted model's winner must lose the measured bake-off: {stats:?}"
+        );
+
+        // The warmed plan serves from the cache, still correct, and
+        // predicts its own measured time.
+        let hits_before = svc.cache_stats().hits;
+        let after = svc.submit(&req).unwrap();
+        assert_eq!(svc.cache_stats().hits, hits_before + 1);
+        let expect = ttlg_tensor::reference::transpose_reference(&input, &req.perm).unwrap();
+        assert_eq!(after.output.data(), expect.data());
+        let rel = (after.report.predicted_ns - after.report.kernel_time_ns).abs()
+            / after.report.kernel_time_ns;
+        assert!(rel < 1e-9, "warmed plan predicts its measured time: {rel}");
+        assert!(
+            after.report.kernel_time_ns < before.report.kernel_time_ns,
+            "measured-best plan beats the mis-modeled one: {} vs {}",
+            after.report.kernel_time_ns,
+            before.report.kernel_time_ns
+        );
+    }
+
+    #[test]
+    fn autotuner_kill_switch_disables_tracking_and_tuning() {
+        let svc: TransposeService<u32> = TransposeService::new_k40c();
+        let input = Arc::new(DenseTensor::<u32>::iota(
+            ttlg_tensor::Shape::new(&[8, 8, 8]).unwrap(),
+        ));
+        let req = TransposeRequest::new(input, Permutation::new(&[2, 1, 0]).unwrap());
+        for _ in 0..5 {
+            svc.submit(&req).unwrap();
+        }
+        assert_eq!(svc.autotune_once(), 0);
+        assert_eq!(
+            svc.autotune_stats(),
+            crate::autotune::AutotuneSnapshot::default()
+        );
+        assert!(svc.hot.lock().unwrap().is_empty(), "no hot-key bookkeeping");
+    }
+
+    #[test]
+    fn autotuner_streams_measurements_to_the_sink() {
+        #[derive(Default)]
+        struct Counting(AtomicU64);
+        impl MeasurementSink for Counting {
+            fn observe_candidate(&self, _c: &ttlg::Candidate, measured_ns: f64) {
+                assert!(measured_ns > 0.0);
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let sink = Arc::new(Counting::default());
+        let svc: TransposeService<f32> =
+            TransposeService::with_config(Transposer::new_k40c(), autotuned_config())
+                .with_measurement_sink(Arc::clone(&sink) as Arc<dyn MeasurementSink>);
+        let input = Arc::new(DenseTensor::<f32>::iota(
+            ttlg_tensor::Shape::new(&[12, 10, 8, 6]).unwrap(),
+        ));
+        let req = TransposeRequest::new(input, Permutation::new(&[2, 3, 1, 0]).unwrap());
+        svc.submit(&req).unwrap();
+        svc.submit(&req).unwrap();
+        assert_eq!(svc.autotune_once(), 1);
+        let stats = svc.autotune_stats();
+        assert_eq!(stats.points_streamed, sink.0.load(Ordering::Relaxed));
+        assert_eq!(stats.points_streamed, stats.candidates_measured);
+        assert!(stats.points_streamed > 0);
+    }
+
+    #[test]
+    fn background_autotuner_never_disturbs_foreground_batches() {
+        // Hammer test: the background worker tunes while foreground
+        // threads push batches; totals must come out exact and
+        // failure-free (the tuner's thread cap keeps it out of the way).
+        let svc: Arc<TransposeService<u64>> = Arc::new(TransposeService::with_config(
+            Transposer::new_k40c(),
+            autotuned_config(),
+        ));
+        let handle = svc.start_autotuner();
+        let input = Arc::new(DenseTensor::<u64>::iota(
+            ttlg_tensor::Shape::new(&[8, 6, 5, 4]).unwrap(),
+        ));
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 3;
+        let perms = [[3usize, 1, 0, 2], [2, 3, 1, 0], [1, 0, 3, 2]];
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let svc = Arc::clone(&svc);
+                let input = Arc::clone(&input);
+                s.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        let reqs: Vec<TransposeRequest<u64>> = perms
+                            .iter()
+                            .map(|p| {
+                                TransposeRequest::new(
+                                    Arc::clone(&input),
+                                    Permutation::new(p).unwrap(),
+                                )
+                            })
+                            .collect();
+                        for r in svc.submit_batch(&reqs) {
+                            r.unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        // Drain any keys that went hot after the last worker pass.
+        while svc.autotune_once() > 0 {}
+        handle.stop();
+        assert_eq!(
+            svc.metrics().total_requests(),
+            (THREADS * ROUNDS * perms.len()) as u64,
+            "foreground totals are exact"
+        );
+        assert_eq!(svc.metrics().failures(), 0);
+        let stats = svc.autotune_stats();
+        assert_eq!(stats.failures, 0);
+        assert_eq!(
+            stats.keys_tuned,
+            perms.len() as u64,
+            "every hot key tuned once"
+        );
+        assert_eq!(stats.plans_warmed, perms.len() as u64);
     }
 
     #[test]
