@@ -24,6 +24,7 @@ pub mod microbench;
 pub mod report;
 pub mod runner;
 pub mod serve_study;
+pub mod tail_study;
 
 pub use report::Table;
 pub use runner::{CaseResult, Harness, SystemTimes};

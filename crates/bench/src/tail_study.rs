@@ -1,0 +1,480 @@
+//! Tail-latency attribution study (`BENCH_tail.json`).
+//!
+//! The paper evaluates *mean* bandwidth per permutation; a service built
+//! on the library lives and dies by its *tail*. This study replays a
+//! skewed workload — a few hot plan keys plus a cold tail spread across
+//! shape classes — through the `ttlg-runtime` service, lets the
+//! measure-mode autotuner warm the hot keys mid-run, and then attributes
+//! the tail: per-schema p50/p95/p99, which phase (queue-wait vs
+//! plan-fetch vs execute) dominates at p99, the slowest retained
+//! exemplars with their planner decision traces, and the SLO hit-rate /
+//! burn-rate view of the same run.
+//!
+//! Quantiles here are *exact* (nearest-rank over the full trace ring,
+//! which is sized to hold the whole workload), unlike the service's
+//! log2-bucketed online estimates — so the study doubles as a sanity
+//! check on the bucketed exporter.
+
+use crate::serve_study::json_f64;
+use std::sync::Arc;
+use ttlg::Transposer;
+use ttlg_runtime::autotune::AutotuneConfig;
+use ttlg_runtime::{RequestTrace, RuntimeConfig, SloSnapshot, TransposeRequest, TransposeService};
+use ttlg_tensor::rng::StdRng;
+use ttlg_tensor::{DenseTensor, Permutation, Shape};
+
+/// Phase shares (fractions of total latency, summing to ~1) over the
+/// requests at or beyond a quantile cutoff.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseBreakdown {
+    /// Share of time spent waiting for an execution permit.
+    pub queue_wait: f64,
+    /// Share of time spent fetching or building the plan.
+    pub plan_fetch: f64,
+    /// Share of time spent executing the kernel.
+    pub execute: f64,
+}
+
+impl PhaseBreakdown {
+    /// The phase with the largest share (ties favor `execute`).
+    pub fn dominant(&self) -> &'static str {
+        if self.queue_wait > self.execute && self.queue_wait >= self.plan_fetch {
+            "queue-wait"
+        } else if self.plan_fetch > self.execute && self.plan_fetch > self.queue_wait {
+            "plan-fetch"
+        } else {
+            "execute"
+        }
+    }
+}
+
+/// One retained slow-request exemplar, flattened for the report.
+#[derive(Debug, Clone)]
+pub struct TailExemplar {
+    /// Request id (joins against service logs / trace dumps).
+    pub id: u64,
+    /// Shape class of the request (e.g. `"r4v12"`).
+    pub shape_class: String,
+    /// Total latency, us.
+    pub total_us: f64,
+    /// Queue-wait share of the total, us.
+    pub queue_wait_us: f64,
+    /// Plan-fetch share of the total, us.
+    pub plan_fetch_us: f64,
+    /// Execute share of the total, us.
+    pub execute_us: f64,
+    /// Whether the request ran an autotuner-warmed plan.
+    pub warmed: bool,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Candidate count in the retained planner decision trace
+    /// (0 = no decision retained).
+    pub decision_candidates: usize,
+}
+
+/// Tail summary for one schema.
+#[derive(Debug, Clone)]
+pub struct SchemaTail {
+    /// Schema label.
+    pub schema: String,
+    /// Requests served under this schema.
+    pub requests: usize,
+    /// Exact nearest-rank quantiles over total latency, us.
+    pub p50_us: f64,
+    /// 95th percentile, us.
+    pub p95_us: f64,
+    /// 99th percentile, us.
+    pub p99_us: f64,
+    /// Phase shares over the requests at or beyond p99.
+    pub phase_at_p99: PhaseBreakdown,
+    /// Slowest retained exemplars for this schema (slowest first).
+    pub exemplars: Vec<TailExemplar>,
+}
+
+/// Before/after-warming tail comparison.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WarmthTail {
+    /// Requests in this slice.
+    pub requests: usize,
+    /// Exact p99 over the slice, us.
+    pub p99_us: f64,
+}
+
+/// Outcome of one tail study run.
+#[derive(Debug, Clone)]
+pub struct TailStudy {
+    /// Total requests replayed.
+    pub requests: usize,
+    /// Traces that fell off the ring (0 — the ring is sized to fit).
+    pub trace_dropped: u64,
+    /// Exemplars retained across all buckets.
+    pub exemplar_count: usize,
+    /// Per-schema tails, slowest p99 first.
+    pub schemas: Vec<SchemaTail>,
+    /// Requests served by autotuner-warmed plans.
+    pub warmed: WarmthTail,
+    /// Requests served by model-ranked (unwarmed) plans.
+    pub unwarmed: WarmthTail,
+    /// SLO view of the run (hit rate, burn rates).
+    pub slo: SloSnapshot,
+    /// Flame-style phase-profile tree from the service's ring.
+    pub flame: String,
+}
+
+/// Exact nearest-rank quantile over sorted totals (ns), returned in us.
+fn quantile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 * 1e-3
+}
+
+/// Phase shares over the traces with total latency >= `cutoff_ns`.
+fn phase_at(traces: &[&RequestTrace], cutoff_ns: u64) -> PhaseBreakdown {
+    let (mut q, mut p, mut e) = (0u64, 0u64, 0u64);
+    for t in traces.iter().filter(|t| t.total_ns() >= cutoff_ns) {
+        q += t.queue_wait_ns;
+        p += t.plan_fetch_ns;
+        e += t.execute_ns;
+    }
+    let total = (q + p + e) as f64;
+    if total == 0.0 {
+        return PhaseBreakdown::default();
+    }
+    PhaseBreakdown {
+        queue_wait: q as f64 / total,
+        plan_fetch: p as f64 / total,
+        execute: e as f64 / total,
+    }
+}
+
+fn warmth_tail(traces: &[RequestTrace], warmed: bool) -> WarmthTail {
+    let mut totals: Vec<u64> = traces
+        .iter()
+        .filter(|t| t.warmed == warmed)
+        .map(|t| t.total_ns())
+        .collect();
+    totals.sort_unstable();
+    WarmthTail {
+        requests: totals.len(),
+        p99_us: quantile_us(&totals, 0.99),
+    }
+}
+
+/// Build the skewed workload: `rounds` passes over a mix of hot rank-4
+/// permutations of one tensor (repeated every round, so the autotuner
+/// sees them as hot) plus a cold tail of one-off problems across
+/// several shape classes.
+pub fn workload(rounds: usize) -> Vec<TransposeRequest<f64>> {
+    let hot_input = Arc::new(DenseTensor::<f64>::iota(Shape::new(&[6, 5, 4, 3]).unwrap()));
+    let hot_perms = [[3, 1, 0, 2], [2, 3, 1, 0], [1, 0, 3, 2]];
+
+    // Cold tail: distinct shape classes, one request each per round.
+    let cold: Vec<TransposeRequest<f64>> = vec![
+        TransposeRequest::new(
+            Arc::new(DenseTensor::<f64>::iota(Shape::new(&[32, 32]).unwrap())),
+            Permutation::new(&[1, 0]).unwrap(),
+        ),
+        TransposeRequest::new(
+            Arc::new(DenseTensor::<f64>::iota(Shape::new(&[16, 16, 16]).unwrap())),
+            Permutation::new(&[2, 1, 0]).unwrap(),
+        ),
+        TransposeRequest::new(
+            Arc::new(DenseTensor::<f64>::iota(Shape::new(&[8, 8, 8, 8]).unwrap())),
+            Permutation::new(&[2, 3, 0, 1]).unwrap(),
+        ),
+        TransposeRequest::new(
+            Arc::new(DenseTensor::<f64>::iota(
+                Shape::new(&[4, 4, 4, 4, 4]).unwrap(),
+            )),
+            Permutation::new(&[4, 3, 2, 1, 0]).unwrap(),
+        ),
+    ];
+
+    let mut reqs: Vec<TransposeRequest<f64>> = Vec::new();
+    for _ in 0..rounds {
+        for p in &hot_perms {
+            reqs.push(TransposeRequest::new(
+                Arc::clone(&hot_input),
+                Permutation::new(p).unwrap(),
+            ));
+        }
+        reqs.extend(cold.iter().cloned());
+    }
+    let mut rng = StdRng::seed_from_u64(0x7A11_57D1);
+    rng.shuffle(&mut reqs);
+    reqs
+}
+
+/// Run the study: warm half the workload, autotune the hot keys, replay
+/// the other half, then attribute the tail from the full trace ring.
+pub fn run(rounds: usize) -> TailStudy {
+    let rounds = rounds.max(2);
+    let reqs = workload(rounds);
+    let cfg = RuntimeConfig {
+        // The ring must hold the whole run for exact quantiles.
+        trace_capacity: reqs.len().next_power_of_two(),
+        autotune: AutotuneConfig {
+            enabled: true,
+            hot_threshold: 2,
+            topk: 4,
+            budget_per_key: 8,
+            threads: 1,
+            poll_interval_ms: 1,
+        },
+        ..RuntimeConfig::default()
+    };
+    let svc = TransposeService::<f64>::with_config(Transposer::new_k40c(), cfg);
+
+    // First half establishes the pre-warming tail and marks keys hot...
+    let mid = reqs.len() / 2;
+    for r in svc.submit_batch(&reqs[..mid]) {
+        r.expect("tail study request failed");
+    }
+    // ...one synchronous autotune pass warms them...
+    svc.autotune_once();
+    // ...and the second half runs against warmed plans where available.
+    for r in svc.submit_batch(&reqs[mid..]) {
+        r.expect("tail study request failed");
+    }
+
+    let traces = svc.recent_traces(reqs.len());
+    assert_eq!(traces.len(), reqs.len(), "ring sized to hold the run");
+
+    // Group by schema and compute exact tails.
+    let mut by_schema: Vec<(String, Vec<&RequestTrace>)> = Vec::new();
+    for t in &traces {
+        let key = if t.schema.is_empty() {
+            "unplanned".to_string()
+        } else {
+            t.schema.clone()
+        };
+        match by_schema.iter_mut().find(|(s, _)| *s == key) {
+            Some((_, v)) => v.push(t),
+            None => by_schema.push((key, vec![t])),
+        }
+    }
+    let exemplars = svc.exemplars();
+    let mut schemas: Vec<SchemaTail> = by_schema
+        .into_iter()
+        .map(|(schema, ts)| {
+            let mut totals: Vec<u64> = ts.iter().map(|t| t.total_ns()).collect();
+            totals.sort_unstable();
+            let p99_us = quantile_us(&totals, 0.99);
+            let exemplars: Vec<TailExemplar> = exemplars
+                .iter()
+                .filter(|((s, _), _)| *s == schema)
+                .flat_map(|(_, entries)| entries.iter())
+                .map(|e| TailExemplar {
+                    id: e.trace.id,
+                    shape_class: e.trace.shape_class.clone(),
+                    total_us: e.trace.total_ns() as f64 * 1e-3,
+                    queue_wait_us: e.trace.queue_wait_ns as f64 * 1e-3,
+                    plan_fetch_us: e.trace.plan_fetch_ns as f64 * 1e-3,
+                    execute_us: e.trace.execute_ns as f64 * 1e-3,
+                    warmed: e.trace.warmed,
+                    cache_hit: e.trace.cache_hit.unwrap_or(false),
+                    decision_candidates: e.decision.as_ref().map_or(0, |d| d.candidates.len()),
+                })
+                .collect();
+            let mut exemplars = exemplars;
+            exemplars.sort_by(|a, b| b.total_us.total_cmp(&a.total_us));
+            exemplars.truncate(3);
+            SchemaTail {
+                requests: ts.len(),
+                p50_us: quantile_us(&totals, 0.50),
+                p95_us: quantile_us(&totals, 0.95),
+                p99_us,
+                phase_at_p99: phase_at(&ts, (p99_us * 1e3) as u64),
+                exemplars,
+                schema,
+            }
+        })
+        .collect();
+    schemas.sort_by(|a, b| b.p99_us.total_cmp(&a.p99_us));
+
+    TailStudy {
+        requests: reqs.len(),
+        trace_dropped: svc.trace_dropped(),
+        exemplar_count: svc.exemplar_store().total_retained(),
+        warmed: warmth_tail(&traces, true),
+        unwarmed: warmth_tail(&traces, false),
+        slo: svc.slo_snapshot(),
+        flame: svc.render_profile(),
+        schemas,
+    }
+}
+
+impl TailStudy {
+    /// Render the human-readable report: per-schema tail table, the
+    /// warming comparison, the SLO line, and the flame tree.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("== tail-latency attribution ==\n");
+        s.push_str(&format!(
+            "workload: {} requests, {} exemplars retained, {} traces dropped\n",
+            self.requests, self.exemplar_count, self.trace_dropped
+        ));
+        s.push_str(&format!(
+            "{:<24} {:>6} {:>10} {:>10} {:>10}  {}\n",
+            "schema", "n", "p50 us", "p95 us", "p99 us", "dominant @p99"
+        ));
+        for sc in &self.schemas {
+            s.push_str(&format!(
+                "{:<24} {:>6} {:>10.1} {:>10.1} {:>10.1}  {}\n",
+                sc.schema,
+                sc.requests,
+                sc.p50_us,
+                sc.p95_us,
+                sc.p99_us,
+                sc.phase_at_p99.dominant()
+            ));
+        }
+        s.push_str(&format!(
+            "warmed plans: {} requests p99 {:.1} us | unwarmed: {} requests p99 {:.1} us\n",
+            self.warmed.requests, self.warmed.p99_us, self.unwarmed.requests, self.unwarmed.p99_us
+        ));
+        s.push_str(&format!(
+            "slo: target {:.0} us goal {:.2} hit-ratio {:.4} burn short/long {:.2}/{:.2}\n",
+            self.slo.target_us,
+            self.slo.goal,
+            self.slo.hit_ratio,
+            self.slo.burn_rate_short,
+            self.slo.burn_rate_long
+        ));
+        s.push('\n');
+        s.push_str(&self.flame);
+        s
+    }
+
+    /// Serialize as the `BENCH_tail.json` document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"study\": \"tail\",\n");
+        s.push_str(&format!("  \"requests\": {},\n", self.requests));
+        s.push_str(&format!("  \"trace_dropped\": {},\n", self.trace_dropped));
+        s.push_str(&format!("  \"exemplar_count\": {},\n", self.exemplar_count));
+        s.push_str(&format!(
+            "  \"warmed\": {{\"requests\": {}, \"p99_us\": {}}},\n",
+            self.warmed.requests,
+            json_f64(self.warmed.p99_us)
+        ));
+        s.push_str(&format!(
+            "  \"unwarmed\": {{\"requests\": {}, \"p99_us\": {}}},\n",
+            self.unwarmed.requests,
+            json_f64(self.unwarmed.p99_us)
+        ));
+        s.push_str(&format!(
+            "  \"slo\": {{\"target_us\": {}, \"goal\": {}, \"total\": {}, \"violations\": {}, \
+             \"hit_ratio\": {}, \"burn_rate_short\": {}, \"burn_rate_long\": {}}},\n",
+            json_f64(self.slo.target_us),
+            json_f64(self.slo.goal),
+            self.slo.total,
+            self.slo.violations,
+            json_f64(self.slo.hit_ratio),
+            json_f64(self.slo.burn_rate_short),
+            json_f64(self.slo.burn_rate_long)
+        ));
+        s.push_str("  \"schemas\": [\n");
+        for (i, sc) in self.schemas.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"schema\": \"{}\", \"requests\": {}, \"p50_us\": {}, \"p95_us\": {}, \
+                 \"p99_us\": {}, \"dominant_phase_at_p99\": \"{}\", \
+                 \"phase_at_p99\": {{\"queue_wait\": {}, \"plan_fetch\": {}, \"execute\": {}}}, \
+                 \"exemplars\": [",
+                sc.schema,
+                sc.requests,
+                json_f64(sc.p50_us),
+                json_f64(sc.p95_us),
+                json_f64(sc.p99_us),
+                sc.phase_at_p99.dominant(),
+                json_f64(sc.phase_at_p99.queue_wait),
+                json_f64(sc.phase_at_p99.plan_fetch),
+                json_f64(sc.phase_at_p99.execute),
+            ));
+            for (j, e) in sc.exemplars.iter().enumerate() {
+                s.push_str(&format!(
+                    "{}{{\"id\": {}, \"shape_class\": \"{}\", \"total_us\": {}, \
+                     \"queue_wait_us\": {}, \"plan_fetch_us\": {}, \"execute_us\": {}, \
+                     \"warmed\": {}, \"cache_hit\": {}, \"decision_candidates\": {}}}",
+                    if j == 0 { "" } else { ", " },
+                    e.id,
+                    e.shape_class,
+                    json_f64(e.total_us),
+                    json_f64(e.queue_wait_us),
+                    json_f64(e.plan_fetch_us),
+                    json_f64(e.execute_us),
+                    e.warmed,
+                    e.cache_hit,
+                    e.decision_candidates
+                ));
+            }
+            s.push_str(&format!(
+                "]}}{}\n",
+                if i + 1 == self.schemas.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_exact_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_us(&sorted, 0.50), 0.050);
+        assert_eq!(quantile_us(&sorted, 0.99), 0.099);
+        assert!(quantile_us(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn tail_study_attributes_every_schema() {
+        let study = run(4);
+        assert_eq!(study.requests, 28);
+        assert_eq!(study.trace_dropped, 0, "ring sized to fit");
+        assert!(study.exemplar_count > 0);
+        assert!(!study.schemas.is_empty());
+        for sc in &study.schemas {
+            assert!(sc.requests > 0);
+            assert!(sc.p50_us <= sc.p95_us && sc.p95_us <= sc.p99_us);
+            assert!(
+                !sc.exemplars.is_empty(),
+                "schema {} reported without an exemplar",
+                sc.schema
+            );
+            let ph = sc.phase_at_p99;
+            let sum = ph.queue_wait + ph.plan_fetch + ph.execute;
+            assert!((sum - 1.0).abs() < 1e-9, "{} shares sum {sum}", sc.schema);
+            assert!(!ph.dominant().is_empty());
+        }
+        // The autotune pass warmed the hot keys, so the second half of
+        // the run carries warmed requests.
+        assert!(study.warmed.requests > 0, "no warmed requests observed");
+        assert_eq!(
+            study.warmed.requests + study.unwarmed.requests,
+            study.requests
+        );
+        assert_eq!(study.slo.total as usize, study.requests);
+        assert!(study.flame.contains("execute"));
+    }
+
+    #[test]
+    fn render_and_json_carry_the_attribution() {
+        let study = run(2);
+        let text = study.render();
+        assert!(text.contains("tail-latency attribution"));
+        assert!(text.contains("dominant @p99"));
+        assert!(text.contains("slo:"));
+        let json = study.to_json();
+        assert!(json.contains("\"study\": \"tail\""));
+        assert!(json.contains("\"dominant_phase_at_p99\""));
+        assert!(json.contains("\"phase_at_p99\""));
+        assert!(json.contains("\"exemplars\": [{"));
+        assert!(json.contains("\"burn_rate_short\""));
+    }
+}

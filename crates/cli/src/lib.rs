@@ -19,7 +19,7 @@ use ttlg_baselines::naive::NaiveTranspose;
 use ttlg_baselines::ttc::TtcGenerator;
 use ttlg_contract::{ContractionEngine, ContractionSpec};
 use ttlg_gpu_sim::DeviceConfig;
-use ttlg_runtime::{TransposeRequest, TransposeService};
+use ttlg_runtime::{RuntimeConfig, TransposeRequest, TransposeService};
 use ttlg_tensor::{reference, DenseTensor, Permutation, Shape};
 
 /// CLI errors (also carry usage problems).
@@ -56,6 +56,10 @@ USAGE:
   ttlg predict  <extents> <perm>                queryable-model estimate
   ttlg compare  <extents> <perm>                TTLG vs cuTT vs TTC vs naive
   ttlg profile  <extents> <perm>                nvprof-style kernel counters
+  ttlg profile  --tail [--rounds=N]             replay the skewed tail workload
+                                                and render the trace ring as a
+                                                flame-style phase profile with
+                                                the slowest retained exemplars
   ttlg contract <spec> <extentsA> <extentsB>    TTGT contraction (f64)
   ttlg bench-serve [--perms=N] [--rounds=N] [--extents=E]
                    [--metrics-format=text|json|prom] [--json-out=PATH]
@@ -67,6 +71,12 @@ USAGE:
                                                 compare model-only vs
                                                 measure-mode autotuned serving
                                                 and write BENCH_autotune.json
+  ttlg bench-serve --tail [--rounds=N] [--json-out=PATH]
+                                                tail-latency attribution study:
+                                                per-schema p50/p95/p99, the
+                                                dominant phase at p99, slowest
+                                                exemplars, SLO burn rates;
+                                                writes BENCH_tail.json
   ttlg devices                                  list device presets
 
   <extents>  comma-separated, dim 0 fastest-varying (e.g. 16,16,16)
@@ -302,6 +312,9 @@ fn cmd_compare(rest: &[&String]) -> Result<String, CliError> {
 }
 
 fn cmd_profile(rest: &[&String]) -> Result<String, CliError> {
+    if rest.iter().any(|a| a.as_str() == "--tail") {
+        return cmd_profile_tail(rest);
+    }
     let (e, p) = two_positional(rest, "profile")?;
     let (shape, perm) = parse_problem(e, p)?;
     let t = Transposer::new_k40c();
@@ -312,6 +325,55 @@ fn cmd_profile(rest: &[&String]) -> Result<String, CliError> {
         .profile_plan(&plan)
         .map_err(|e| CliError::Failed(e.to_string()))?;
     Ok(prof.render())
+}
+
+/// `profile --tail`: replay the tail-study workload through a service
+/// whose trace ring holds the whole run, then render the ring as a
+/// flame-style phase profile plus the slowest retained exemplars.
+fn cmd_profile_tail(rest: &[&String]) -> Result<String, CliError> {
+    let mut rounds = 4usize;
+    for a in rest {
+        if a.as_str() == "--tail" {
+            continue;
+        } else if let Some(v) = a.strip_prefix("--rounds=") {
+            rounds = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --rounds value {v:?}")))?;
+        } else {
+            return Err(CliError::Usage(format!(
+                "profile --tail does not understand {a:?}"
+            )));
+        }
+    }
+    if rounds == 0 {
+        return Err(CliError::Usage("--rounds must be positive".into()));
+    }
+    let reqs = ttlg_bench::tail_study::workload(rounds);
+    let service = TransposeService::<f64>::with_config(
+        Transposer::new_k40c(),
+        RuntimeConfig {
+            trace_capacity: reqs.len().next_power_of_two(),
+            ..RuntimeConfig::default()
+        },
+    );
+    for r in service.submit_batch(&reqs) {
+        r.map_err(|e| CliError::Failed(e.to_string()))?;
+    }
+    let mut s = String::new();
+    writeln!(
+        s,
+        "{} requests replayed; phase profile of the trace ring:\n",
+        reqs.len()
+    )
+    .unwrap();
+    s.push_str(&service.render_profile());
+    writeln!(s, "\nslowest retained exemplars:").unwrap();
+    for ((schema, class), entries) in service.exemplars().into_iter().take(5) {
+        if let Some(e) = entries.first() {
+            writeln!(s, "  [{schema} {class}] {}", e.trace.render()).unwrap();
+        }
+    }
+    Ok(s)
 }
 
 fn cmd_contract(rest: &[&String]) -> Result<String, CliError> {
@@ -419,6 +481,7 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
     let mut extents_given = false;
     let mut format = MetricsFormat::Text;
     let mut autotune = false;
+    let mut tail = false;
     let mut json_out: Option<String> = None;
     for a in rest {
         if let Some(v) = a.strip_prefix("--perms=") {
@@ -436,6 +499,8 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
             json_out = Some(v.to_string());
         } else if a.as_str() == "--autotune" {
             autotune = true;
+        } else if a.as_str() == "--tail" {
+            tail = true;
         } else if let Some(v) = a.strip_prefix("--metrics-format=") {
             format = match v {
                 "text" => MetricsFormat::Text,
@@ -457,6 +522,21 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
         return Err(CliError::Usage(
             "--perms and --rounds must be positive".into(),
         ));
+    }
+    if tail {
+        if autotune || extents_given {
+            return Err(CliError::Usage(
+                "--tail runs the fixed skewed workload; --autotune and --extents do not apply"
+                    .into(),
+            ));
+        }
+        let study = ttlg_bench::tail_study::run(rounds);
+        let path = json_out.unwrap_or_else(|| "BENCH_tail.json".to_string());
+        std::fs::write(&path, study.to_json())
+            .map_err(|e| CliError::Failed(format!("could not write {path}: {e}")))?;
+        let mut s = study.render();
+        writeln!(s, "wrote {path}").unwrap();
+        return Ok(s);
     }
     if autotune {
         if extents_given {
@@ -699,6 +779,59 @@ mod tests {
         assert!(json.contains("\"geo_error_before\""));
         assert!(json.contains("\"geo_error_after\""));
         assert!(json.contains("\"plans_warmed\": 3"));
+    }
+
+    #[test]
+    fn profile_tail_renders_flame_tree() {
+        let out = run(&["profile", "--tail", "--rounds=2"]).unwrap();
+        assert!(out.contains("phase profile of the trace ring"), "{out}");
+        assert!(out.contains("execute"), "{out}");
+        assert!(out.contains("p99~"), "{out}");
+        assert!(out.contains("slowest retained exemplars:"), "{out}");
+        assert!(matches!(
+            run(&["profile", "--tail", "--bogus"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["profile", "--tail", "--rounds=0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn bench_serve_tail_writes_artifact() {
+        let dir = std::env::temp_dir().join("ttlg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tail.json");
+        let out = run(&[
+            "bench-serve",
+            "--tail",
+            "--rounds=2",
+            &format!("--json-out={}", path.display()),
+        ])
+        .unwrap();
+        assert!(out.contains("tail-latency attribution"), "{out}");
+        assert!(out.contains("dominant @p99"), "{out}");
+        assert!(out.contains("slo:"), "{out}");
+        assert!(out.contains("wrote"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"study\": \"tail\""));
+        assert!(json.contains("\"dominant_phase_at_p99\""));
+        assert!(json.contains("\"phase_at_p99\""));
+        assert!(json.contains("\"exemplars\": [{"));
+        assert!(json.contains("\"slo\""));
+    }
+
+    #[test]
+    fn bench_serve_tail_rejects_bad_flags() {
+        assert!(matches!(
+            run(&["bench-serve", "--tail", "--extents=6,5,4"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--tail", "--autotune"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -167,6 +167,13 @@ pub struct Plan<E: Element> {
     plan_time_ns: f64,
     candidates_evaluated: usize,
     check_disjoint_writes: bool,
+    /// Whether `predicted_ns` is a *measured* time (measure-mode or an
+    /// autotuner-installed candidate) rather than a model prediction.
+    measured: bool,
+    /// The planner's full decision trace, retained when
+    /// [`Transposer::set_trace_retention`] is on (shared so cached plans
+    /// hand it to every request cheaply).
+    decision: Option<Arc<DecisionTrace>>,
 }
 
 impl<E: Element> Plan<E> {
@@ -204,6 +211,19 @@ impl<E: Element> Plan<E> {
     /// How many candidates the model ranked.
     pub fn candidates_evaluated(&self) -> usize {
         self.candidates_evaluated
+    }
+
+    /// Whether this plan's time estimate comes from measurement
+    /// (measure mode / autotuner) rather than the model. Lets the
+    /// serving layer tag requests that ran on a warmed plan.
+    pub fn is_measured(&self) -> bool {
+        self.measured
+    }
+
+    /// The retained planner decision trace, if trace retention was on
+    /// when this plan was built (see [`Transposer::set_trace_retention`]).
+    pub fn decision_trace(&self) -> Option<&Arc<DecisionTrace>> {
+        self.decision.as_ref()
     }
 
     /// Shape of the output tensor.
@@ -267,6 +287,11 @@ pub struct Transposer {
     /// Closed-form model kept alongside any custom predictor as a sanity
     /// guard during candidate ranking (see [`Transposer::plan`]).
     analytic: AnalyticPredictor,
+    /// When set, every [`Transposer::plan`] retains its full
+    /// [`DecisionTrace`] on the returned [`Plan`] (see
+    /// [`Plan::decision_trace`]) so serving layers can attach the
+    /// planner's reasoning to slow-request exemplars after the fact.
+    retain_traces: std::sync::atomic::AtomicBool,
 }
 
 impl Transposer {
@@ -289,7 +314,24 @@ impl Transposer {
             analytic: AnalyticPredictor::new(device.clone()),
             timing: TimingModel::new(device),
             predictor,
+            retain_traces: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Toggle decision-trace retention: when on, plans built by
+    /// [`Transposer::plan`] (and through caches that call it) carry an
+    /// `Arc<DecisionTrace>` ([`Plan::decision_trace`]). Off by default —
+    /// the trace costs one allocation per *planning* (not per request),
+    /// so turning it on is cheap in cache-hit-dominated serving.
+    pub fn set_trace_retention(&self, on: bool) {
+        self.retain_traces
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether decision-trace retention is on.
+    pub fn retains_traces(&self) -> bool {
+        self.retain_traces
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The device configuration.
@@ -334,12 +376,19 @@ impl Transposer {
         opts: &TransposeOptions,
         mut trace: Option<&mut DecisionTrace>,
     ) -> Result<Plan<E>, PlanError> {
+        // Retention hook: when the caller asked for no trace but
+        // retention is on, build one anyway and attach it to the plan.
+        let mut owned: Option<DecisionTrace> = if trace.is_none() && self.retains_traces() {
+            Some(DecisionTrace::default())
+        } else {
+            None
+        };
         let problem = build_problem(shape, perm, opts)?;
         let schemas = match opts.forced_schema {
             Some(s) => vec![s],
             None => applicable_schemas(&problem),
         };
-        if let Some(tr) = trace.as_deref_mut() {
+        if let Some(tr) = trace.as_deref_mut().or(owned.as_mut()) {
             tr.extents = shape.extents().to_vec();
             tr.perm = perm.as_slice().to_vec();
             tr.fused_extents = problem.shape.extents().to_vec();
@@ -347,11 +396,19 @@ impl Transposer {
             tr.admissible = schemas.clone();
             tr.guard_factor = ANALYTIC_GUARD;
         }
-        let (predicted_ns, candidate, evaluated) =
-            self.rank_candidates_impl::<E>(&problem, &schemas, opts, trace.as_deref_mut())?;
-        let plan = self.finish_plan::<E>(problem, candidate, predicted_ns, evaluated, opts);
+        let (predicted_ns, candidate, evaluated) = self.rank_candidates_impl::<E>(
+            &problem,
+            &schemas,
+            opts,
+            trace.as_deref_mut().or(owned.as_mut()),
+        )?;
+        let mut plan = self.finish_plan::<E>(problem, candidate, predicted_ns, evaluated, opts);
         if let Some(tr) = trace {
             tr.plan_time_ns = plan.plan_time_ns;
+        }
+        if let Some(mut tr) = owned {
+            tr.plan_time_ns = plan.plan_time_ns;
+            plan.decision = Some(Arc::new(tr));
         }
         Ok(plan)
     }
@@ -412,7 +469,9 @@ impl Transposer {
         predicted_ns: f64,
     ) -> Result<Plan<E>, PlanError> {
         let problem = build_problem(shape, perm, opts)?;
-        Ok(self.finish_plan::<E>(problem, candidate, predicted_ns, 1, opts))
+        let mut plan = self.finish_plan::<E>(problem, candidate, predicted_ns, 1, opts);
+        plan.measured = true;
+        Ok(plan)
     }
 
     /// Assemble a [`Plan`] for an already-chosen candidate: build the
@@ -443,6 +502,8 @@ impl Transposer {
             plan_time_ns,
             candidates_evaluated: evaluated,
             check_disjoint_writes: opts.check_disjoint_writes,
+            measured: false,
+            decision: None,
         }
     }
 
@@ -717,6 +778,8 @@ impl Transposer {
             plan_time_ns,
             candidates_evaluated: evaluated,
             check_disjoint_writes: opts.check_disjoint_writes,
+            measured: true,
+            decision: None,
         })
     }
 
@@ -1168,6 +1231,41 @@ mod tests {
         let expect = reference::transpose_reference(&input, &perm).unwrap();
         assert_eq!(out.data(), expect.data());
         assert!((report.predicted_ns - 1234.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_retention_attaches_decision_to_plans() {
+        let shape = Shape::new(&[27, 27, 27, 27]).unwrap();
+        let perm = Permutation::new(&[3, 1, 0, 2]).unwrap();
+        let t = Transposer::new_k40c();
+        let opts = TransposeOptions::default();
+        // Off by default: no trace, no measured flag.
+        let plain = t.plan::<f64>(&shape, &perm, &opts).unwrap();
+        assert!(plain.decision_trace().is_none());
+        assert!(!plain.is_measured());
+        // On: the plan carries the same decision plan_traced would give.
+        t.set_trace_retention(true);
+        assert!(t.retains_traces());
+        let retained = t.plan::<f64>(&shape, &perm, &opts).unwrap();
+        let tr = retained.decision_trace().expect("trace retained");
+        assert_eq!(tr.candidates.len(), retained.candidates_evaluated());
+        assert_eq!(tr.chosen_candidate().unwrap().schema, retained.schema());
+        assert!((tr.plan_time_ns - retained.plan_time_ns()).abs() < 1e-9);
+        assert!(tr.render().contains("chosen:"));
+        // Retention does not change the choice itself.
+        assert_eq!(plain.schema(), retained.schema());
+        assert!((plain.predicted_ns() - retained.predicted_ns()).abs() < 1e-9);
+        // An explicit caller trace still wins (no double work): the
+        // plan keeps no copy.
+        let (explicit, trace) = t.plan_traced::<f64>(&shape, &perm, &opts).unwrap();
+        assert!(explicit.decision_trace().is_none());
+        assert_eq!(trace.candidates.len(), explicit.candidates_evaluated());
+        // Measured-candidate plans are tagged for warm attribution.
+        let (_, ranked) = t.plan_topk::<f64>(&shape, &perm, &opts, 2).unwrap();
+        let warmed = t
+            .plan_for_candidate::<f64>(&shape, &perm, &opts, ranked[0].candidate.clone(), 99.0)
+            .unwrap();
+        assert!(warmed.is_measured());
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! Slowest-request exemplar capture.
+//!
+//! Aggregates (histograms, profiles) tell you *that* p99 moved; an
+//! exemplar tells you *why*: the full [`RequestTrace`] — and, when the
+//! producer retains one, the planner's decision payload — for the
+//! slowest N requests per `(schema, shape-class)` bucket.
+//!
+//! The store mirrors the [`crate::TraceRing`] philosophy: the hot path
+//! must never block behind a reader or another writer.
+//!
+//! * The bucket map is behind an `RwLock` taken for *read* on every
+//!   offer; the write lock is only taken the first time a key appears
+//!   (bounded by [`ExemplarConfig::max_buckets`], after which new keys
+//!   fold into an overflow bucket).
+//! * Each bucket publishes an atomic admission floor
+//!   (`Bucket::floor_ns`). Once the bucket is full, the floor is
+//!   `min_retained_total_ns + 1`, so a request at or below the current
+//!   minimum is rejected with a single atomic load — no lock at all.
+//!   That is the common case: almost every request is faster than the
+//!   retained tail.
+//! * Only requests slower than the floor (or arriving before the bucket
+//!   fills) take the bucket's small mutex to insert/replace-min. The
+//!   floor is monotone non-decreasing once full, which yields the
+//!   correctness property the hammer test asserts: a request slower
+//!   than everything retained can never be dropped by the fast path,
+//!   so the slowest request per bucket is always retained.
+//!
+//! The decision payload is generic (`D`) so this crate stays
+//! dependency-free; the runtime instantiates `ExemplarStore<Arc<DecisionTrace>>`.
+
+use crate::RequestTrace;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Retention knobs. `Copy` so it can ride inside the runtime's `Copy`
+/// config struct.
+#[derive(Debug, Clone, Copy)]
+pub struct ExemplarConfig {
+    /// Slowest requests retained per `(schema, shape-class)` bucket.
+    pub per_bucket: usize,
+    /// Maximum distinct buckets; further keys fold into an overflow
+    /// bucket keyed [`OVERFLOW_BUCKET`].
+    pub max_buckets: usize,
+}
+
+impl Default for ExemplarConfig {
+    fn default() -> Self {
+        ExemplarConfig {
+            per_bucket: 4,
+            max_buckets: 64,
+        }
+    }
+}
+
+/// Key used once [`ExemplarConfig::max_buckets`] is reached.
+pub const OVERFLOW_BUCKET: &str = "_other";
+
+/// A retained slow request: the full trace plus the planner decision
+/// payload (when the producer kept one).
+#[derive(Debug, Clone)]
+pub struct Exemplar<D> {
+    pub trace: RequestTrace,
+    pub decision: Option<D>,
+}
+
+/// Snapshot row set: each `(schema, shape_class)` bucket key with its
+/// retained exemplars.
+pub type ExemplarBuckets<D> = Vec<((String, String), Vec<Exemplar<D>>)>;
+
+#[derive(Debug)]
+struct Bucket<D> {
+    /// 0 while the bucket is not yet full (everything admitted);
+    /// afterwards `min_retained_total_ns + 1`, so the fast path can
+    /// reject `total_ns < floor` without locking.
+    floor_ns: AtomicU64,
+    entries: Mutex<Vec<Exemplar<D>>>,
+}
+
+impl<D> Bucket<D> {
+    fn new() -> Self {
+        Bucket {
+            floor_ns: AtomicU64::new(0),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Bucket map keyed by `(schema, shape_class)`.
+type BucketMap<D> = HashMap<(String, String), Arc<Bucket<D>>>;
+
+/// Concurrent slowest-N-per-bucket store. See the module docs for the
+/// locking discipline.
+#[derive(Debug)]
+pub struct ExemplarStore<D> {
+    cfg: ExemplarConfig,
+    buckets: RwLock<BucketMap<D>>,
+    offered: AtomicU64,
+    admitted: AtomicU64,
+}
+
+impl<D: Clone> ExemplarStore<D> {
+    pub fn new(cfg: ExemplarConfig) -> Self {
+        ExemplarStore {
+            cfg: ExemplarConfig {
+                per_bucket: cfg.per_bucket.max(1),
+                max_buckets: cfg.max_buckets.max(1),
+            },
+            buckets: RwLock::new(HashMap::new()),
+            offered: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Offer a finished trace. Fast path (bucket full, request at or
+    /// below the retained minimum) is one map read-lock and one atomic
+    /// load; no mutex.
+    pub fn offer(&self, trace: &RequestTrace, decision: Option<&D>) {
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        let total = trace.total_ns();
+        let key = (
+            if trace.schema.is_empty() {
+                "unplanned".to_string()
+            } else {
+                trace.schema.clone()
+            },
+            trace.shape_class.clone(),
+        );
+        let bucket = self.bucket_for(key);
+        let floor = bucket.floor_ns.load(Ordering::Acquire);
+        if floor > 0 && total < floor {
+            return;
+        }
+        let mut entries = bucket.entries.lock().unwrap();
+        entries.push(Exemplar {
+            trace: trace.clone(),
+            decision: decision.cloned(),
+        });
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        if entries.len() > self.cfg.per_bucket {
+            let (min_idx, _) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.trace.total_ns())
+                .expect("non-empty");
+            entries.swap_remove(min_idx);
+        }
+        if entries.len() == self.cfg.per_bucket {
+            let min = entries
+                .iter()
+                .map(|e| e.trace.total_ns())
+                .min()
+                .expect("non-empty");
+            // Monotone: replace-min only ever raises the retained
+            // minimum, so a stale floor is always an under-estimate and
+            // never drops a should-be-retained request.
+            bucket
+                .floor_ns
+                .store(min.saturating_add(1), Ordering::Release);
+        }
+    }
+
+    fn bucket_for(&self, key: (String, String)) -> Arc<Bucket<D>> {
+        if let Some(b) = self.buckets.read().unwrap().get(&key) {
+            return Arc::clone(b);
+        }
+        let mut map = self.buckets.write().unwrap();
+        if !map.contains_key(&key) && map.len() >= self.cfg.max_buckets {
+            let overflow = (OVERFLOW_BUCKET.to_string(), OVERFLOW_BUCKET.to_string());
+            return Arc::clone(
+                map.entry(overflow)
+                    .or_insert_with(|| Arc::new(Bucket::new())),
+            );
+        }
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(Bucket::new())))
+    }
+
+    /// Traces offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered.load(Ordering::Relaxed)
+    }
+
+    /// Offers that were admitted into a bucket (including ones later
+    /// replaced by slower requests).
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Exemplars currently retained across all buckets.
+    pub fn total_retained(&self) -> usize {
+        self.buckets
+            .read()
+            .unwrap()
+            .values()
+            .map(|b| b.entries.lock().unwrap().len())
+            .sum()
+    }
+
+    /// All buckets with their exemplars, slowest first within each
+    /// bucket, buckets sorted by their slowest exemplar (descending).
+    pub fn snapshot(&self) -> ExemplarBuckets<D> {
+        let mut out: ExemplarBuckets<D> = self
+            .buckets
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, b)| {
+                let mut entries = b.entries.lock().unwrap().clone();
+                entries.sort_by_key(|e| std::cmp::Reverse(e.trace.total_ns()));
+                (k.clone(), entries)
+            })
+            .collect();
+        out.sort_by_key(|(_, entries)| {
+            std::cmp::Reverse(entries.first().map(|e| e.trace.total_ns()).unwrap_or(0))
+        });
+        out
+    }
+
+    /// Exemplars for one schema across all its shape classes, slowest
+    /// first.
+    pub fn for_schema(&self, schema: &str) -> Vec<Exemplar<D>> {
+        let mut out: Vec<Exemplar<D>> = self
+            .buckets
+            .read()
+            .unwrap()
+            .iter()
+            .filter(|((s, _), _)| s == schema)
+            .flat_map(|(_, b)| b.entries.lock().unwrap().clone())
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.trace.total_ns()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(schema: &str, class: &str, exec_ns: u64) -> RequestTrace {
+        RequestTrace {
+            schema: schema.to_string(),
+            shape_class: class.to_string(),
+            ok: true,
+            execute_ns: exec_ns,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn retains_slowest_per_bucket() {
+        let store: ExemplarStore<u64> = ExemplarStore::new(ExemplarConfig {
+            per_bucket: 2,
+            max_buckets: 8,
+        });
+        for ns in [10, 500, 20, 400, 30, 300] {
+            store.offer(&trace("Naive", "r3v12", ns), Some(&ns));
+        }
+        let got = store.for_schema("Naive");
+        let times: Vec<u64> = got.iter().map(|e| e.trace.total_ns()).collect();
+        assert_eq!(times, vec![500, 400]);
+        // Decision payload rides along untouched.
+        assert_eq!(got[0].decision, Some(500));
+        assert_eq!(store.total_retained(), 2);
+    }
+
+    #[test]
+    fn buckets_are_independent() {
+        let store: ExemplarStore<()> = ExemplarStore::new(ExemplarConfig {
+            per_bucket: 1,
+            max_buckets: 8,
+        });
+        store.offer(&trace("Naive", "r3v12", 100), None);
+        store.offer(&trace("Copy", "r2v4", 5), None);
+        assert_eq!(store.for_schema("Naive").len(), 1);
+        assert_eq!(store.for_schema("Copy").len(), 1);
+        assert_eq!(store.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn bucket_cap_folds_into_overflow() {
+        let store: ExemplarStore<()> = ExemplarStore::new(ExemplarConfig {
+            per_bucket: 2,
+            max_buckets: 2,
+        });
+        store.offer(&trace("A", "r1v1", 1), None);
+        store.offer(&trace("B", "r1v1", 2), None);
+        store.offer(&trace("C", "r1v1", 3), None);
+        store.offer(&trace("D", "r1v1", 4), None);
+        let snap = store.snapshot();
+        // 2 real buckets + the overflow bucket.
+        assert_eq!(snap.len(), 3);
+        let other = store.for_schema(OVERFLOW_BUCKET);
+        assert_eq!(other.len(), 2);
+    }
+
+    #[test]
+    fn empty_schema_is_labelled_unplanned() {
+        let store: ExemplarStore<()> = ExemplarStore::new(ExemplarConfig::default());
+        store.offer(&trace("", "r3v12", 7), None);
+        assert_eq!(store.for_schema("unplanned").len(), 1);
+    }
+
+    /// Hammer test: many threads race slow and fast requests into the
+    /// same bucket. The slowest request must always be retained (the
+    /// lock-free floor can only under-estimate, never over-reject), and
+    /// no retained trace may be torn (id and execute_ns travel
+    /// together).
+    #[test]
+    fn concurrent_offers_never_lose_the_slowest_or_tear_traces() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 500;
+        let store: Arc<ExemplarStore<u64>> = Arc::new(ExemplarStore::new(ExemplarConfig {
+            per_bucket: 4,
+            max_buckets: 8,
+        }));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let id = t * PER_THREAD + i;
+                        // Mostly fast traffic with interleaved slow
+                        // outliers; ids encode the latency so tearing
+                        // is detectable.
+                        let exec = if i % 97 == 0 {
+                            1_000_000 + id
+                        } else {
+                            10 + id % 7
+                        };
+                        let tr = RequestTrace {
+                            id,
+                            schema: "Naive".to_string(),
+                            shape_class: "r3v12".to_string(),
+                            ok: true,
+                            execute_ns: exec,
+                            ..Default::default()
+                        };
+                        store.offer(&tr, Some(&exec));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.offered(), THREADS * PER_THREAD);
+        let retained = store.for_schema("Naive");
+        assert_eq!(retained.len(), 4);
+        // The global slowest request is id = THREADS*PER_THREAD - ... :
+        // slow ids are t*PER_THREAD + i with i % 97 == 0; the largest is
+        // from the last thread, i = 485 -> exec = 1_000_000 + id.
+        let expected_max = (0..THREADS)
+            .flat_map(|t| {
+                (0..PER_THREAD)
+                    .filter(move |i| i % 97 == 0)
+                    .map(move |i| t * PER_THREAD + i)
+            })
+            .map(|id| 1_000_000 + id)
+            .max()
+            .unwrap();
+        let got_max = retained.iter().map(|e| e.trace.total_ns()).max().unwrap();
+        assert_eq!(got_max, expected_max, "slowest exemplar was lost");
+        // Every retained exemplar is one of the slow outliers, and its
+        // fields are mutually consistent (no torn trace): exec encodes
+        // the id, and the decision payload matches.
+        for e in &retained {
+            assert_eq!(e.trace.execute_ns, 1_000_000 + e.trace.id, "torn trace");
+            assert_eq!(e.decision, Some(e.trace.execute_ns), "torn decision");
+        }
+    }
+}

@@ -22,22 +22,36 @@
 //!   the training-point feed for a measure-mode autotuner.
 //! * [`snapshot`] / [`prom`] / [`json`] — a renderer-neutral
 //!   [`MetricsSnapshot`] plus Prometheus-text and JSON exporters.
+//! * [`profile`] — tail-latency attribution: ring snapshots folded into
+//!   hierarchical phase profiles keyed by `(schema, shape-class)`
+//!   ([`PhaseProfile`]), including "which phase dominates at p99".
+//! * [`exemplar`] — [`ExemplarStore`]: the slowest N full traces per
+//!   `(schema, shape-class)` bucket, captured with a lock-free
+//!   admission floor so the hot path never blocks.
+//! * [`slo`] — [`SloTracker`]: latency-objective hit rate plus
+//!   short/long-window error-budget burn rates.
 //!
 //! The crate deliberately depends on nothing (not even the other ttlg
 //! crates): schemas and phases are plain string labels, so any layer can
 //! feed it without creating dependency cycles.
 
+pub mod exemplar;
 pub mod json;
 pub mod prediction;
+pub mod profile;
 pub mod prom;
 pub mod quantile;
 pub mod ring;
+pub mod slo;
 pub mod snapshot;
 pub mod span;
 
+pub use exemplar::{Exemplar, ExemplarBuckets, ExemplarConfig, ExemplarStore};
 pub use prediction::{PredictionStats, PredictionTracker, RATIO_BUCKETS};
+pub use profile::{shape_class, PhaseProfile, PhaseShares, ProfileOptions};
 pub use quantile::log2_bucket_quantile_us;
 pub use ring::TraceRing;
+pub use slo::{SloConfig, SloSnapshot, SloTracker};
 pub use snapshot::{Histogram, Metric, MetricKind, MetricsSnapshot, Sample};
 pub use span::{
     clock_ns, AttrValue, CollectingSubscriber, Event, NullSubscriber, SpanRecord, Subscriber,
@@ -58,6 +72,12 @@ pub struct RequestTrace {
     pub start_ns: u64,
     /// Schema label of the executed plan (empty if planning failed).
     pub schema: String,
+    /// Bounded-cardinality shape class (see [`profile::shape_class`]),
+    /// e.g. `"r4v12"` = rank 4, ~4k elements.
+    pub shape_class: String,
+    /// Whether the plan was an autotuner-warmed (measured-best) plan —
+    /// lets before/after tail shifts be attributed to warming.
+    pub warmed: bool,
     /// Whether the request completed successfully.
     pub ok: bool,
     /// Whether the plan came from the cache (`None` = planning failed
@@ -102,7 +122,7 @@ impl RequestTrace {
         };
         let status = if self.ok { "ok" } else { "FAIL" };
         format!(
-            "#{:<6} {:<22} {:<4} cache={:<4} queue {:>8} ns  plan {:>8} ns  exec {:>8} ns  pred {:>10.0} ns  meas {:>10.0} ns  dram-eff {:.2}  replay {:.2}{}",
+            "#{:<6} {:<22} {:<4} cache={:<4} queue {:>8} ns  plan {:>8} ns  exec {:>8} ns  pred {:>10.0} ns  meas {:>10.0} ns  dram-eff {:.2}  replay {:.2}{}{}",
             self.id,
             if self.schema.is_empty() { "?" } else { &self.schema },
             status,
@@ -114,6 +134,7 @@ impl RequestTrace {
             self.measured_ns,
             self.dram_efficiency,
             self.smem_replay_rate,
+            if self.warmed { "  warmed" } else { "" },
             match &self.error {
                 Some(e) => format!("  error: {e}"),
                 None => String::new(),

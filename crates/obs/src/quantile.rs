@@ -25,11 +25,22 @@ pub fn log2_bucket_upper_us(i: usize, n: usize) -> f64 {
 }
 
 /// Estimate quantile `q` (in `[0, 1]`) from log2 bucket counts. Returns
-/// microseconds; 0.0 for an empty histogram.
+/// microseconds.
+///
+/// **Empty-histogram contract:** when `counts` is empty or every count
+/// is zero there is no sample to estimate from, and the function returns
+/// `f64::NAN` as an explicit "no data" sentinel. Returning a bucket
+/// bound (or `0.0`) here would be indistinguishable from a real
+/// sub-microsecond estimate and has misled dashboards before. Both
+/// exporters handle the sentinel uniformly: the Prometheus text format
+/// prints `NaN` (a legal sample value that still parses as `f64`), and
+/// the JSON renderer maps non-finite values to `null`. Callers that want
+/// a plain number should test `is_nan()` and substitute their own
+/// default.
 pub fn log2_bucket_quantile_us(counts: &[u64], q: f64) -> f64 {
     let total: u64 = counts.iter().sum();
     if total == 0 || counts.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     let q = q.clamp(0.0, 1.0);
     // Rank of the target sample (1-based, rounded up; the Prometheus
@@ -58,9 +69,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_histogram_is_zero() {
-        assert_eq!(log2_bucket_quantile_us(&[], 0.5), 0.0);
-        assert_eq!(log2_bucket_quantile_us(&[0, 0, 0], 0.99), 0.0);
+    fn empty_histogram_is_nan_sentinel() {
+        // "No data" must be distinguishable from a real 0 us estimate.
+        assert!(log2_bucket_quantile_us(&[], 0.5).is_nan());
+        assert!(log2_bucket_quantile_us(&[0, 0, 0], 0.99).is_nan());
+        // One sample is enough to leave the sentinel regime.
+        assert!(log2_bucket_quantile_us(&[1], 0.99).is_finite());
     }
 
     #[test]

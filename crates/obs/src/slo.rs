@@ -1,0 +1,363 @@
+//! Latency-objective (SLO) tracking: hit rate and multi-window burn
+//! rate.
+//!
+//! The tracker answers two questions the raw histograms cannot:
+//!
+//! 1. **Hit rate** — what fraction of all requests met the latency
+//!    objective (`total_ns <= target_us`)?
+//! 2. **Burn rate** — how fast is the error budget being consumed *right
+//!    now*? Burn rate over a window is
+//!    `(violations / total) / (1 - goal)`: `1.0` means the budget burns
+//!    exactly at the sustainable rate, `>1` means the SLO will be missed
+//!    if the window's behaviour persists. Two windows (short + long) are
+//!    tracked so alerts can distinguish a transient spike from a
+//!    sustained regression — the standard multi-window burn-rate alert
+//!    shape.
+//!
+//! Recording is lock-free: lifetime counters are plain `fetch_add`s, and
+//! each window is a small ring of epoch-stamped slots reset via a CAS by
+//! whichever writer first enters a new epoch. A losing writer of that
+//! CAS simply adds to the freshly reset slot. Counts around an epoch
+//! boundary may land in either slot — burn rates are estimates, which is
+//! all an alert needs.
+
+use crate::snapshot::{MetricKind, MetricsSnapshot, Sample};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Objective definition. `Copy` so it can ride inside the runtime's
+/// `Copy` config.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Per-request latency objective in microseconds (total =
+    /// queue-wait + plan-fetch + execute).
+    pub target_us: f64,
+    /// Objective hit-rate goal, e.g. `0.99` for "99% of requests under
+    /// target".
+    pub goal: f64,
+    /// Short burn-rate window (nanoseconds of wall clock).
+    pub short_window_ns: u64,
+    /// Long burn-rate window (nanoseconds of wall clock).
+    pub long_window_ns: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            target_us: 2_000.0,
+            goal: 0.99,
+            short_window_ns: 1_000_000_000, // 1 s
+            long_window_ns: 10_000_000_000, // 10 s
+        }
+    }
+}
+
+const WINDOW_SLOTS: u64 = 8;
+const EMPTY_EPOCH: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct WindowSlot {
+    epoch: AtomicU64,
+    total: AtomicU64,
+    violations: AtomicU64,
+}
+
+#[derive(Debug)]
+struct WindowRing {
+    /// Wall-clock span of one slot; the ring covers
+    /// `WINDOW_SLOTS * slot_ns`, of which the window reads the most
+    /// recent `WINDOW_SLOTS - 1` full slots plus the current one.
+    slot_ns: u64,
+    slots: Vec<WindowSlot>,
+}
+
+impl WindowRing {
+    fn new(window_ns: u64) -> WindowRing {
+        let slot_ns = (window_ns / WINDOW_SLOTS).max(1);
+        WindowRing {
+            slot_ns,
+            slots: (0..WINDOW_SLOTS)
+                .map(|_| WindowSlot {
+                    epoch: AtomicU64::new(EMPTY_EPOCH),
+                    total: AtomicU64::new(0),
+                    violations: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    fn record(&self, now_ns: u64, violation: bool) {
+        let epoch = now_ns / self.slot_ns;
+        let slot = &self.slots[(epoch % WINDOW_SLOTS) as usize];
+        let cur = slot.epoch.load(Ordering::Acquire);
+        if cur != epoch {
+            // First writer into a new epoch resets the slot; losers of
+            // the CAS see the new epoch and just accumulate.
+            if slot
+                .epoch
+                .compare_exchange(cur, epoch, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                slot.total.store(0, Ordering::Relaxed);
+                slot.violations.store(0, Ordering::Relaxed);
+            }
+        }
+        slot.total.fetch_add(1, Ordering::Relaxed);
+        if violation {
+            slot.violations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(total, violations)` across slots still inside the window.
+    fn totals(&self, now_ns: u64) -> (u64, u64) {
+        let cur_epoch = now_ns / self.slot_ns;
+        let oldest = cur_epoch.saturating_sub(WINDOW_SLOTS - 1);
+        let mut total = 0u64;
+        let mut violations = 0u64;
+        for slot in &self.slots {
+            let e = slot.epoch.load(Ordering::Acquire);
+            if e != EMPTY_EPOCH && e >= oldest && e <= cur_epoch {
+                total += slot.total.load(Ordering::Relaxed);
+                violations += slot.violations.load(Ordering::Relaxed);
+            }
+        }
+        (total, violations)
+    }
+}
+
+/// Lock-free SLO tracker. See the module docs.
+#[derive(Debug)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    total: AtomicU64,
+    within: AtomicU64,
+    short: WindowRing,
+    long: WindowRing,
+}
+
+/// Point-in-time SLO state.
+#[derive(Debug, Clone, Copy)]
+pub struct SloSnapshot {
+    pub target_us: f64,
+    pub goal: f64,
+    /// Requests observed over the tracker's lifetime.
+    pub total: u64,
+    /// Lifetime objective violations (`total - within`).
+    pub violations: u64,
+    /// Lifetime hit ratio; `1.0` when no requests have been observed
+    /// (an empty service has violated nothing).
+    pub hit_ratio: f64,
+    /// Burn rate over the short window (`0.0` when the window is empty).
+    pub burn_rate_short: f64,
+    /// Burn rate over the long window (`0.0` when the window is empty).
+    pub burn_rate_long: f64,
+}
+
+impl SloTracker {
+    pub fn new(cfg: SloConfig) -> SloTracker {
+        SloTracker {
+            short: WindowRing::new(cfg.short_window_ns.max(WINDOW_SLOTS)),
+            long: WindowRing::new(cfg.long_window_ns.max(WINDOW_SLOTS)),
+            cfg,
+            total: AtomicU64::new(0),
+            within: AtomicU64::new(0),
+        }
+    }
+
+    pub fn config(&self) -> SloConfig {
+        self.cfg
+    }
+
+    /// Record one finished request (`total_ns` = attributed total,
+    /// `now_ns` = a monotone clock such as [`crate::clock_ns`]).
+    pub fn record(&self, total_ns: u64, now_ns: u64) {
+        let violation = total_ns as f64 / 1_000.0 > self.cfg.target_us;
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if !violation {
+            self.within.fetch_add(1, Ordering::Relaxed);
+        }
+        self.short.record(now_ns, violation);
+        self.long.record(now_ns, violation);
+    }
+
+    fn burn_rate(&self, totals: (u64, u64)) -> f64 {
+        let (total, violations) = totals;
+        if total == 0 {
+            return 0.0;
+        }
+        let budget = (1.0 - self.cfg.goal).max(f64::EPSILON);
+        (violations as f64 / total as f64) / budget
+    }
+
+    pub fn snapshot(&self, now_ns: u64) -> SloSnapshot {
+        let total = self.total.load(Ordering::Relaxed);
+        let within = self.within.load(Ordering::Relaxed);
+        SloSnapshot {
+            target_us: self.cfg.target_us,
+            goal: self.cfg.goal,
+            total,
+            violations: total.saturating_sub(within),
+            hit_ratio: if total == 0 {
+                1.0
+            } else {
+                within as f64 / total as f64
+            },
+            burn_rate_short: self.burn_rate(self.short.totals(now_ns)),
+            burn_rate_long: self.burn_rate(self.long.totals(now_ns)),
+        }
+    }
+
+    /// Export SLO state as `ttlg_slo_*` metrics.
+    pub fn export_into(&self, snap: &mut MetricsSnapshot, now_ns: u64) {
+        let s = self.snapshot(now_ns);
+        snap.push_metric(
+            "ttlg_slo_target_us",
+            "Per-request latency objective in microseconds",
+            MetricKind::Gauge,
+            vec![Sample::plain(s.target_us)],
+        );
+        snap.push_metric(
+            "ttlg_slo_goal",
+            "Objective hit-rate goal",
+            MetricKind::Gauge,
+            vec![Sample::plain(s.goal)],
+        );
+        snap.push_metric(
+            "ttlg_slo_requests_total",
+            "Requests observed by the SLO tracker",
+            MetricKind::Counter,
+            vec![Sample::plain(s.total as f64)],
+        );
+        snap.push_metric(
+            "ttlg_slo_violations_total",
+            "Requests that missed the latency objective",
+            MetricKind::Counter,
+            vec![Sample::plain(s.violations as f64)],
+        );
+        snap.push_metric(
+            "ttlg_slo_hit_ratio",
+            "Lifetime fraction of requests meeting the objective (1.0 when empty)",
+            MetricKind::Gauge,
+            vec![Sample::plain(s.hit_ratio)],
+        );
+        snap.push_metric(
+            "ttlg_slo_burn_rate",
+            "Error-budget burn rate per window (1.0 = sustainable)",
+            MetricKind::Gauge,
+            vec![
+                Sample::labelled("window", "short", s.burn_rate_short),
+                Sample::labelled("window", "long", s.burn_rate_long),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(target_us: f64) -> SloTracker {
+        SloTracker::new(SloConfig {
+            target_us,
+            goal: 0.9,
+            short_window_ns: 8_000,
+            long_window_ns: 80_000,
+        })
+    }
+
+    #[test]
+    fn empty_tracker_is_healthy() {
+        let t = tracker(100.0);
+        let s = t.snapshot(0);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.hit_ratio, 1.0);
+        assert_eq!(s.burn_rate_short, 0.0);
+        assert_eq!(s.burn_rate_long, 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_and_burn_rate() {
+        let t = tracker(100.0); // 100 us objective
+        let now = 500; // all within one slot
+        for _ in 0..8 {
+            t.record(50_000, now); // 50 us: within
+        }
+        for _ in 0..2 {
+            t.record(500_000, now); // 500 us: violation
+        }
+        let s = t.snapshot(now);
+        assert_eq!(s.total, 10);
+        assert_eq!(s.violations, 2);
+        assert!((s.hit_ratio - 0.8).abs() < 1e-12);
+        // 20% violations against a 10% budget: burn rate 2.0.
+        assert!(
+            (s.burn_rate_short - 2.0).abs() < 1e-9,
+            "{}",
+            s.burn_rate_short
+        );
+        assert!((s.burn_rate_long - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn old_epochs_age_out_of_the_window() {
+        let t = tracker(100.0);
+        // Slot span = 8000/8 = 1000 ns. Violations at t=0, then clean
+        // traffic much later: the short window forgets the violations,
+        // lifetime counters do not.
+        t.record(500_000, 0);
+        t.record(500_000, 0);
+        let later = 100_000; // 100 slots later: far outside the ring
+        t.record(50_000, later);
+        let s = t.snapshot(later);
+        assert_eq!(s.violations, 2);
+        assert_eq!(s.burn_rate_short, 0.0, "short window still burning");
+        assert!(s.hit_ratio < 1.0);
+    }
+
+    #[test]
+    fn concurrent_records_count_exactly() {
+        use std::sync::Arc;
+        let t = Arc::new(tracker(1.0)); // everything violates
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        t.record(2_000_000, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = t.snapshot(999);
+        assert_eq!(s.total, 4000);
+        assert_eq!(s.violations, 4000);
+        assert_eq!(s.hit_ratio, 0.0);
+    }
+
+    #[test]
+    fn export_emits_slo_family() {
+        let t = tracker(100.0);
+        t.record(500_000, 10);
+        let mut snap = MetricsSnapshot::new();
+        t.export_into(&mut snap, 10);
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        for expected in [
+            "ttlg_slo_target_us",
+            "ttlg_slo_goal",
+            "ttlg_slo_requests_total",
+            "ttlg_slo_violations_total",
+            "ttlg_slo_hit_ratio",
+            "ttlg_slo_burn_rate",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        let burn = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "ttlg_slo_burn_rate")
+            .unwrap();
+        assert_eq!(burn.samples.len(), 2);
+    }
+}

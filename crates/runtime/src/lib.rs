@@ -30,6 +30,13 @@
 //!   candidates for hot plan keys under a thread cap, installs the
 //!   measured-best plan into the cache, and streams every measurement to
 //!   an online model refiner ([`MeasurementSink`]); see [`autotune`].
+//! * **Tail attribution** — ring snapshots fold into hierarchical phase
+//!   profiles keyed by `(schema, shape-class)`
+//!   ([`TransposeService::phase_profiles`]), the slowest requests per
+//!   bucket are retained in full with their planner decision traces
+//!   ([`TransposeService::exemplars`]), and a latency SLO is tracked
+//!   with short/long-window burn rates
+//!   ([`TransposeService::slo_snapshot`]).
 //!
 //! ## Example
 //!
@@ -66,7 +73,8 @@ pub use service::{
 };
 pub use ttlg::{CacheConfig, CacheStats, PlanKey, ShardedPlanCache};
 pub use ttlg_obs::{
-    CollectingSubscriber, MetricsSnapshot, NullSubscriber, PredictionStats, PredictionTracker,
-    RequestTrace, Subscriber, TraceRing,
+    shape_class, CollectingSubscriber, Exemplar, ExemplarBuckets, ExemplarConfig, ExemplarStore,
+    MetricsSnapshot, NullSubscriber, PhaseProfile, PhaseShares, PredictionStats, PredictionTracker,
+    ProfileOptions, RequestTrace, SloConfig, SloSnapshot, SloTracker, Subscriber, TraceRing,
 };
 pub use ttlg_perfmodel::MeasurementSink;

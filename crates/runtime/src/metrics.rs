@@ -108,7 +108,9 @@ impl LatencyHistogram {
             .collect()
     }
 
-    /// Estimate quantile `q` in microseconds (0.0 if empty).
+    /// Estimate quantile `q` in microseconds. An empty histogram yields
+    /// `f64::NAN` — the explicit "no data" sentinel of
+    /// [`log2_bucket_quantile_us`] — never a misleading bucket bound.
     pub fn quantile_us(&self, q: f64) -> f64 {
         log2_bucket_quantile_us(&self.bucket_counts(), q)
     }
@@ -146,6 +148,10 @@ pub struct Metrics {
     failures: AtomicU64,
     batches: AtomicU64,
     prediction: PredictionTracker,
+    /// Foreground predicted/measured pairs streamed to the measurement
+    /// sink (autotuner-streamed points are counted separately in
+    /// [`crate::autotune::AutotuneStats`]).
+    residual_points: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -165,6 +171,7 @@ impl Metrics {
             failures: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             prediction: PredictionTracker::new(SCHEMAS.iter().map(|s| s.to_string())),
+            residual_points: AtomicU64::new(0),
         }
     }
 
@@ -201,6 +208,17 @@ impl Metrics {
     /// The per-schema prediction-accuracy tracker.
     pub fn prediction(&self) -> &PredictionTracker {
         &self.prediction
+    }
+
+    /// Count one foreground residual (predicted/measured pair) streamed
+    /// to the measurement sink for online model refinement.
+    pub fn record_residual_point(&self) {
+        self.residual_points.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Foreground residual points streamed to the measurement sink.
+    pub fn residual_points(&self) -> u64 {
+        self.residual_points.load(Ordering::Relaxed)
     }
 
     /// Total completed requests across all schemas.
@@ -355,6 +373,12 @@ impl Metrics {
             "Prediction-residual samples by schema.",
             MetricKind::Counter,
             sample_counts,
+        );
+        snap.push_metric(
+            "ttlg_residual_points_total",
+            "Foreground predicted/measured pairs streamed to the measurement sink.",
+            MetricKind::Counter,
+            vec![Sample::plain(self.residual_points() as f64)],
         );
         snap.push_metric(
             "ttlg_prediction_mean_residual_ns",

@@ -28,12 +28,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use ttlg::{
-    CacheConfig, CacheStats, Plan, PlanError, PlanKey, ShardedPlanCache, TransposeOptions,
-    TransposeReport, Transposer,
+    CacheConfig, CacheStats, DecisionTrace, Plan, PlanError, PlanKey, ShardedPlanCache,
+    TransposeOptions, TransposeReport, Transposer,
 };
 use ttlg_obs::{
-    clock_ns, AttrValue, Event, MetricsSnapshot, NullSubscriber, RequestTrace, SpanRecord,
-    Subscriber, TraceRing,
+    clock_ns, profile, shape_class, AttrValue, Event, ExemplarBuckets, ExemplarConfig,
+    ExemplarStore, MetricKind, MetricsSnapshot, NullSubscriber, PhaseProfile, ProfileOptions,
+    RequestTrace, Sample, SloConfig, SloSnapshot, SloTracker, SpanRecord, Subscriber, TraceRing,
 };
 use ttlg_perfmodel::MeasurementSink;
 use ttlg_tensor::{parallel, DenseTensor, Element, Permutation};
@@ -52,6 +53,14 @@ pub struct RuntimeConfig {
     pub trace_capacity: usize,
     /// Measure-mode autotuning (disabled by default).
     pub autotune: AutotuneConfig,
+    /// Latency objective tracked by the built-in [`SloTracker`].
+    pub slo: SloConfig,
+    /// Retention policy of the slowest-request [`ExemplarStore`].
+    pub exemplars: ExemplarConfig,
+    /// Retain the planner's full [`DecisionTrace`] on every built plan
+    /// so slow-request exemplars carry the planning decision. Costs one
+    /// allocation per *planning* (not per request); on by default.
+    pub retain_decision_traces: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -63,6 +72,9 @@ impl Default for RuntimeConfig {
             cache: CacheConfig::default(),
             trace_capacity: 256,
             autotune: AutotuneConfig::default(),
+            slo: SloConfig::default(),
+            exemplars: ExemplarConfig::default(),
+            retain_decision_traces: true,
         }
     }
 }
@@ -186,6 +198,8 @@ pub struct TransposeService<E: Element> {
     hot: Mutex<HashMap<PlanKey, HotKeyState>>,
     tuner_stats: AutotuneStats,
     sink: Option<Arc<dyn MeasurementSink>>,
+    slo: SloTracker,
+    exemplars: ExemplarStore<Arc<DecisionTrace>>,
 }
 
 impl<E: Element> TransposeService<E> {
@@ -198,6 +212,7 @@ impl<E: Element> TransposeService<E> {
             cfg.max_in_flight
         };
         let bound = bound.max(1);
+        transposer.set_trace_retention(cfg.retain_decision_traces);
         TransposeService {
             transposer,
             cache: ShardedPlanCache::with_config(cfg.cache),
@@ -212,6 +227,8 @@ impl<E: Element> TransposeService<E> {
             hot: Mutex::new(HashMap::new()),
             tuner_stats: AutotuneStats::default(),
             sink: None,
+            slo: SloTracker::new(cfg.slo),
+            exemplars: ExemplarStore::new(cfg.exemplars),
         }
     }
 
@@ -261,9 +278,60 @@ impl<E: Element> TransposeService<E> {
         self.metrics.render(&self.cache.stats())
     }
 
-    /// Capture metrics as a renderer-neutral snapshot.
+    /// Capture metrics as a renderer-neutral snapshot, including the
+    /// tail-attribution families: trace-ring drops, SLO state, exemplar
+    /// retention, and the per-`(schema, shape-class)` phase profiles.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(&self.cache.stats())
+        let mut snap = self.metrics.snapshot(&self.cache.stats());
+        snap.push_metric(
+            "ttlg_trace_dropped_total",
+            "Request traces silently dropped by trace-ring wraparound.",
+            MetricKind::Counter,
+            vec![Sample::plain(self.trace_dropped() as f64)],
+        );
+        snap.push_metric(
+            "ttlg_exemplars_retained",
+            "Slow-request exemplars currently retained.",
+            MetricKind::Gauge,
+            vec![Sample::plain(self.exemplars.total_retained() as f64)],
+        );
+        self.slo.export_into(&mut snap, clock_ns());
+        profile::export_into(&mut snap, &self.phase_profiles());
+        snap
+    }
+
+    /// Traces lost to ring wraparound (`pushed - capacity`, saturating).
+    pub fn trace_dropped(&self) -> u64 {
+        self.traces
+            .pushed()
+            .saturating_sub(self.traces.capacity() as u64)
+    }
+
+    /// Fold the current trace ring into per-`(schema, shape-class)`
+    /// phase profiles (hottest first). Offline aggregation: costs
+    /// nothing on the request path.
+    pub fn phase_profiles(&self) -> Vec<PhaseProfile> {
+        profile::aggregate(&self.traces.snapshot(), &ProfileOptions::default())
+    }
+
+    /// Render the phase profiles as a flame-style text tree.
+    pub fn render_profile(&self) -> String {
+        profile::render_flame(&self.phase_profiles())
+    }
+
+    /// The slow-request exemplar store.
+    pub fn exemplar_store(&self) -> &ExemplarStore<Arc<DecisionTrace>> {
+        &self.exemplars
+    }
+
+    /// All retained exemplars, slowest-first within each bucket.
+    pub fn exemplars(&self) -> ExemplarBuckets<Arc<DecisionTrace>> {
+        self.exemplars.snapshot()
+    }
+
+    /// Point-in-time SLO state (hit ratio + burn rates).
+    pub fn slo_snapshot(&self) -> SloSnapshot {
+        self.slo.snapshot(clock_ns())
     }
 
     /// Export metrics in Prometheus text exposition format.
@@ -330,6 +398,8 @@ impl<E: Element> TransposeService<E> {
             start_ns: clock_ns(),
             cache_hit: Some(cache_hit),
             plan_fetch_ns,
+            shape_class: shape_class(req.input.shape().extents()),
+            warmed: plan.is_measured(),
             ..Default::default()
         };
         let tq = Instant::now();
@@ -350,6 +420,14 @@ impl<E: Element> TransposeService<E> {
                     report.predicted_ns,
                     report.kernel_time_ns,
                 );
+                // Fold the foreground residual stream into refinement:
+                // every served request is also a (candidate, measured)
+                // training point, so cold keys refine the online model
+                // without waiting for the autotuner to re-measure them.
+                if let Some(sink) = &self.sink {
+                    sink.observe_candidate(plan.candidate(), report.kernel_time_ns);
+                    self.metrics.record_residual_point();
+                }
                 trace.ok = true;
                 trace.schema = report.schema.to_string();
                 trace.predicted_ns = report.predicted_ns;
@@ -366,24 +444,29 @@ impl<E: Element> TransposeService<E> {
                 Err(ServeError::from(e))
             }
         };
-        self.finish_trace(trace);
+        self.finish_trace(trace, plan.decision_trace().cloned());
         outcome
     }
 
     /// Record a request that died before it had a plan (the cache never
     /// answered, so `cache_hit` stays `None`).
-    fn record_plan_failure(&self, plan_fetch_ns: u64, err: &ServeError) {
-        self.finish_trace(RequestTrace {
-            id: self.next_id.fetch_add(1, Ordering::Relaxed),
-            start_ns: clock_ns(),
-            plan_fetch_ns,
-            error: Some(err.message.clone()),
-            ..Default::default()
-        });
+    fn record_plan_failure(&self, req: &TransposeRequest<E>, plan_fetch_ns: u64, err: &ServeError) {
+        self.finish_trace(
+            RequestTrace {
+                id: self.next_id.fetch_add(1, Ordering::Relaxed),
+                start_ns: clock_ns(),
+                plan_fetch_ns,
+                shape_class: shape_class(req.input.shape().extents()),
+                error: Some(err.message.clone()),
+                ..Default::default()
+            },
+            None,
+        );
     }
 
-    /// Push a finished trace to the ring and emit its span.
-    fn finish_trace(&self, trace: RequestTrace) {
+    /// Push a finished trace to the ring, emit its span, and feed the
+    /// tail-attribution layer (SLO tracker + exemplar store).
+    fn finish_trace(&self, trace: RequestTrace, decision: Option<Arc<DecisionTrace>>) {
         self.subscriber.on_span(&SpanRecord {
             name: "request",
             start_ns: trace.start_ns,
@@ -410,8 +493,12 @@ impl<E: Element> TransposeService<E> {
                 ("measured_ns", AttrValue::F64(trace.measured_ns)),
                 ("dram_efficiency", AttrValue::F64(trace.dram_efficiency)),
                 ("smem_replay_rate", AttrValue::F64(trace.smem_replay_rate)),
+                ("shape_class", AttrValue::Str(trace.shape_class.clone())),
+                ("warmed", AttrValue::Bool(trace.warmed)),
             ],
         });
+        self.slo.record(trace.total_ns(), clock_ns());
+        self.exemplars.offer(&trace, decision.as_ref());
         self.traces.push(trace);
     }
 
@@ -426,7 +513,7 @@ impl<E: Element> TransposeService<E> {
                 self.execute_traced(req, &plan, hit, fetch_ns)
             }
             Err(e) => {
-                self.record_plan_failure(fetch_ns, &e);
+                self.record_plan_failure(req, fetch_ns, &e);
                 Err(e)
             }
         }
@@ -482,7 +569,7 @@ impl<E: Element> TransposeService<E> {
                     })
                 }
                 Err(e) => {
-                    self.record_plan_failure(*fetch_ns, e);
+                    self.record_plan_failure(&reqs[i], *fetch_ns, e);
                     Err(e.clone())
                 }
             };
@@ -932,11 +1019,22 @@ mod tests {
         let req = TransposeRequest::new(input, Permutation::new(&[2, 3, 1, 0]).unwrap());
         svc.submit(&req).unwrap();
         svc.submit(&req).unwrap();
+        // Foreground residual stream: both served requests were also
+        // training points for the sink, counted separately from the
+        // autotuner's stream.
+        assert_eq!(svc.metrics().residual_points(), 2);
+        assert_eq!(sink.0.load(Ordering::Relaxed), 2);
         assert_eq!(svc.autotune_once(), 1);
         let stats = svc.autotune_stats();
-        assert_eq!(stats.points_streamed, sink.0.load(Ordering::Relaxed));
+        assert_eq!(
+            stats.points_streamed + svc.metrics().residual_points(),
+            sink.0.load(Ordering::Relaxed)
+        );
         assert_eq!(stats.points_streamed, stats.candidates_measured);
         assert!(stats.points_streamed > 0);
+        // The snapshot exports the foreground counter.
+        let prom = svc.export_prometheus();
+        assert!(prom.contains("ttlg_residual_points_total 2"), "{prom}");
     }
 
     #[test]
@@ -1005,6 +1103,7 @@ mod tests {
         let svc: TransposeService<u32> = TransposeService::with_config(Transposer::new_k40c(), cfg);
         let input = Arc::new(DenseTensor::<u32>::iota(Shape::new(&[8, 8]).unwrap()));
         let req = TransposeRequest::new(input, Permutation::new(&[1, 0]).unwrap());
+        assert_eq!(svc.trace_dropped(), 0);
         for _ in 0..10 {
             svc.submit(&req).unwrap();
         }
@@ -1013,5 +1112,139 @@ mod tests {
         // Newest first and contiguous.
         assert_eq!(traces[0].id, 9);
         assert_eq!(traces[3].id, 6);
+        // Satellite: ring wraparound is no longer silent.
+        assert_eq!(svc.trace_dropped(), 6);
+        let prom = svc.export_prometheus();
+        assert!(prom.contains("ttlg_trace_dropped_total 6"), "{prom}");
+    }
+
+    #[test]
+    fn tail_attribution_wires_through_the_service() {
+        let svc: TransposeService<f64> = TransposeService::new_k40c();
+        let big = Arc::new(DenseTensor::<f64>::iota(
+            Shape::new(&[16, 16, 16, 16]).unwrap(),
+        ));
+        let small = Arc::new(DenseTensor::<f64>::iota(Shape::new(&[8, 8]).unwrap()));
+        let r1 = TransposeRequest::new(Arc::clone(&big), Permutation::new(&[3, 1, 0, 2]).unwrap());
+        let r2 = TransposeRequest::new(small, Permutation::new(&[1, 0]).unwrap());
+        for _ in 0..3 {
+            svc.submit(&r1).unwrap();
+            svc.submit(&r2).unwrap();
+        }
+        // Traces carry the new attribution fields.
+        let traces = svc.recent_traces(10);
+        assert!(traces.iter().all(|t| !t.shape_class.is_empty()));
+        assert!(traces.iter().any(|t| t.shape_class == "r4v16")); // 65536 elements
+        assert!(traces.iter().all(|t| !t.warmed), "no autotuner ran");
+        // Profiles group by (schema, shape-class) and attribute phases.
+        let profiles = svc.phase_profiles();
+        assert!(profiles.len() >= 2, "two shape classes: {profiles:?}");
+        let top = &profiles[0];
+        assert_eq!(top.requests, 3);
+        assert!(top.shares_at(0.99).is_some());
+        let flame = svc.render_profile();
+        assert!(flame.contains("execute"), "{flame}");
+        assert!(flame.contains(&top.shape_class), "{flame}");
+        // Exemplars were captured per bucket, with the planner decision
+        // attached (retention is on by default).
+        let exemplars = svc.exemplars();
+        assert!(exemplars.len() >= 2);
+        for ((schema, class), entries) in &exemplars {
+            assert!(!entries.is_empty(), "{schema}/{class} retained nothing");
+            for e in entries {
+                assert_eq!(&e.trace.shape_class, class);
+                let d = e.decision.as_ref().expect("decision trace retained");
+                assert!(d.chosen.is_some());
+            }
+        }
+        // SLO tracker saw every request.
+        let slo = svc.slo_snapshot();
+        assert_eq!(slo.total, 6);
+        assert!(slo.hit_ratio > 0.0);
+    }
+
+    #[test]
+    fn disabling_decision_retention_drops_exemplar_payloads() {
+        let cfg = RuntimeConfig {
+            retain_decision_traces: false,
+            ..RuntimeConfig::default()
+        };
+        let svc: TransposeService<u32> = TransposeService::with_config(Transposer::new_k40c(), cfg);
+        let input = Arc::new(DenseTensor::<u32>::iota(Shape::new(&[8, 8, 8]).unwrap()));
+        let req = TransposeRequest::new(input, Permutation::new(&[2, 1, 0]).unwrap());
+        svc.submit(&req).unwrap();
+        let exemplars = svc.exemplars();
+        assert_eq!(exemplars.len(), 1);
+        assert!(exemplars[0].1[0].decision.is_none());
+    }
+
+    #[test]
+    fn warmed_plans_tag_their_requests() {
+        let svc: TransposeService<f64> =
+            TransposeService::with_config(Transposer::new_k40c(), autotuned_config());
+        let input = Arc::new(DenseTensor::<f64>::iota(
+            ttlg_tensor::Shape::new(&[16, 16, 16, 16]).unwrap(),
+        ));
+        let req = TransposeRequest::new(input, Permutation::new(&[3, 1, 0, 2]).unwrap());
+        svc.submit(&req).unwrap();
+        svc.submit(&req).unwrap();
+        assert_eq!(svc.autotune_once(), 1);
+        svc.submit(&req).unwrap();
+        let traces = svc.recent_traces(3);
+        assert!(traces[0].warmed, "post-warming request tagged");
+        assert!(!traces[1].warmed && !traces[2].warmed, "pre-warming not");
+        let profiles = svc.phase_profiles();
+        assert_eq!(profiles[0].warmed_requests, 1);
+        assert_eq!(profiles[0].requests, 3);
+    }
+
+    /// Prometheus golden test for the new SLO/profile/tail families.
+    #[test]
+    fn prometheus_exports_slo_and_profile_families() {
+        let svc: TransposeService<f64> = TransposeService::new_k40c();
+        let input = Arc::new(DenseTensor::<f64>::iota(Shape::new(&[16, 16, 4]).unwrap()));
+        let req = TransposeRequest::new(input, Permutation::new(&[2, 1, 0]).unwrap());
+        svc.submit(&req).unwrap();
+
+        let prom = svc.export_prometheus();
+        for family in [
+            "# TYPE ttlg_trace_dropped_total counter",
+            "# TYPE ttlg_exemplars_retained gauge",
+            "# TYPE ttlg_slo_target_us gauge",
+            "# TYPE ttlg_slo_goal gauge",
+            "# TYPE ttlg_slo_requests_total counter",
+            "# TYPE ttlg_slo_violations_total counter",
+            "# TYPE ttlg_slo_hit_ratio gauge",
+            "# TYPE ttlg_slo_burn_rate gauge",
+            "# TYPE ttlg_profile_requests gauge",
+            "# TYPE ttlg_profile_phase_ns gauge",
+            "# TYPE ttlg_profile_p99_us gauge",
+            "# TYPE ttlg_residual_points_total counter",
+        ] {
+            assert!(prom.contains(family), "missing {family}\n{prom}");
+        }
+        assert!(prom.contains("ttlg_slo_requests_total 1"), "{prom}");
+        assert!(prom.contains("ttlg_exemplars_retained 1"), "{prom}");
+        assert!(
+            prom.contains("ttlg_slo_burn_rate{window=\"short\"}"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("ttlg_profile_phase_ns{schema=\"Orthogonal-Distinct\""),
+            "{prom}"
+        );
+        assert!(prom.contains("phase=\"execute\""), "{prom}");
+        // Every non-comment line still parses as `name{labels} value`,
+        // including the NaN sentinel for empty quantiles.
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            let (name_part, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name_part.is_empty());
+            assert!(value.parse::<f64>().is_ok() || value == "+Inf", "{line}");
+        }
+        // JSON renderer carries the same families (NaN -> null there).
+        let json = svc.export_json();
+        assert!(json.contains("\"ttlg_slo_hit_ratio\""));
+        assert!(json.contains("\"ttlg_profile_requests\""));
+        assert!(json.contains("\"ttlg_trace_dropped_total\""));
     }
 }
