@@ -20,6 +20,7 @@
 
 pub mod autotune_study;
 pub mod figures;
+pub mod gateway_study;
 pub mod microbench;
 pub mod report;
 pub mod runner;

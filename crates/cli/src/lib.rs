@@ -77,6 +77,24 @@ USAGE:
                                                 dominant phase at p99, slowest
                                                 exemplars, SLO burn rates;
                                                 writes BENCH_tail.json
+  ttlg bench-serve --gateway [--seconds=F] [--overload=F] [--json-out=PATH]
+                                                loopback gateway study: drive a
+                                                real ttlg-serve endpoint past
+                                                its per-tenant quotas, report
+                                                fairness, shed rate and
+                                                per-class p50/p95/p99; writes
+                                                BENCH_gateway.json
+  ttlg serve [--addr=H:P] [--workers=N] [--queue-capacity=N]
+             [--interactive-weight=N] [--rate=F] [--burst=F]
+             [--max-connections=N] [--port-file=PATH] [--check]
+                                                serve transposes over HTTP:
+                                                POST /v1/transpose,
+                                                GET /v1/explain, /metrics,
+                                                /healthz. Tenancy via the
+                                                x-ttlg-tenant header, priority
+                                                via x-ttlg-priority
+                                                (interactive|batch); overload
+                                                answers 429 + Retry-After
   ttlg devices                                  list device presets
 
   <extents>  comma-separated, dim 0 fastest-varying (e.g. 16,16,16)
@@ -121,6 +139,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "profile" => cmd_profile(&rest),
         "contract" => cmd_contract(&rest),
         "bench-serve" => cmd_bench_serve(&rest),
+        "serve" => cmd_serve(&rest),
         "devices" => Ok(cmd_devices()),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -474,6 +493,92 @@ enum MetricsFormat {
     Prom,
 }
 
+/// `ttlg serve`: run the network gateway until killed. With `--check`,
+/// bind, report, and exit immediately (used by tests; CI keeps the
+/// long-running form and kills it when done).
+fn cmd_serve(rest: &[&String]) -> Result<String, CliError> {
+    use ttlg_serve::{Gateway, GatewayConfig};
+    let mut addr = "127.0.0.1:8424".to_string();
+    let mut cfg = GatewayConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut check = false;
+    for a in rest {
+        if let Some(v) = a.strip_prefix("--addr=") {
+            addr = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--workers=") {
+            cfg.workers = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --workers value {v:?}")))?;
+        } else if let Some(v) = a.strip_prefix("--queue-capacity=") {
+            cfg.queue_capacity = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --queue-capacity value {v:?}")))?;
+        } else if let Some(v) = a.strip_prefix("--interactive-weight=") {
+            cfg.interactive_weight = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --interactive-weight value {v:?}")))?;
+        } else if let Some(v) = a.strip_prefix("--rate=") {
+            cfg.quota.rate_per_sec = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --rate value {v:?}")))?;
+        } else if let Some(v) = a.strip_prefix("--burst=") {
+            cfg.quota.burst = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --burst value {v:?}")))?;
+        } else if let Some(v) = a.strip_prefix("--max-connections=") {
+            cfg.max_connections = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --max-connections value {v:?}")))?;
+        } else if let Some(v) = a.strip_prefix("--port-file=") {
+            port_file = Some(v.to_string());
+        } else if a.as_str() == "--check" {
+            check = true;
+        } else {
+            return Err(CliError::Usage(format!("serve does not understand {a:?}")));
+        }
+    }
+    if cfg.workers == 0 || cfg.queue_capacity == 0 {
+        return Err(CliError::Usage(
+            "--workers and --queue-capacity must be positive".into(),
+        ));
+    }
+    let gw = Gateway::start(Arc::new(TransposeService::new_k40c()), cfg);
+    let mut server = ttlg_serve::server::spawn(gw, &addr)
+        .map_err(|e| CliError::Failed(format!("could not bind {addr}: {e}")))?;
+    let bound = server.addr();
+    if let Some(path) = &port_file {
+        std::fs::write(path, format!("{}\n", bound.port()))
+            .map_err(|e| CliError::Failed(format!("could not write {path}: {e}")))?;
+    }
+    if check {
+        server.stop();
+        return Ok(format!("ttlg-serve bound {bound}, config OK\n"));
+    }
+    // The long-running path: announce on stdout (flushed immediately so
+    // supervisors can watch for it) and serve until the process dies.
+    println!("ttlg-serve listening on http://{bound}");
+    println!("  POST /v1/transpose   GET /v1/explain   GET /metrics   GET /healthz");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Write a study artifact: `--json-out=PATH` wins, otherwise the
+/// study's default filename. Every bench-serve mode funnels through
+/// this one path so the flag behaves identically everywhere.
+fn write_artifact(
+    json_out: Option<String>,
+    default_path: &str,
+    json: &str,
+) -> Result<String, CliError> {
+    let path = json_out.unwrap_or_else(|| default_path.to_string());
+    std::fs::write(&path, json)
+        .map_err(|e| CliError::Failed(format!("could not write {path}: {e}")))?;
+    Ok(path)
+}
+
 fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
     let mut distinct = 16usize;
     let mut rounds = 4usize;
@@ -482,6 +587,10 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
     let mut format = MetricsFormat::Text;
     let mut autotune = false;
     let mut tail = false;
+    let mut gateway = false;
+    let mut seconds = 1.0f64;
+    let mut overload = 2.0f64;
+    let mut gateway_flags_given = false;
     let mut json_out: Option<String> = None;
     for a in rest {
         if let Some(v) = a.strip_prefix("--perms=") {
@@ -501,6 +610,18 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
             autotune = true;
         } else if a.as_str() == "--tail" {
             tail = true;
+        } else if a.as_str() == "--gateway" {
+            gateway = true;
+        } else if let Some(v) = a.strip_prefix("--seconds=") {
+            seconds = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --seconds value {v:?}")))?;
+            gateway_flags_given = true;
+        } else if let Some(v) = a.strip_prefix("--overload=") {
+            overload = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --overload value {v:?}")))?;
+            gateway_flags_given = true;
         } else if let Some(v) = a.strip_prefix("--metrics-format=") {
             format = match v {
                 "text" => MetricsFormat::Text,
@@ -523,6 +644,29 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
             "--perms and --rounds must be positive".into(),
         ));
     }
+    if !gateway && gateway_flags_given {
+        return Err(CliError::Usage(
+            "--seconds and --overload only apply with --gateway".into(),
+        ));
+    }
+    if gateway {
+        if tail || autotune || extents_given {
+            return Err(CliError::Usage(
+                "--gateway runs its own loopback workload; --tail/--autotune/--extents do not apply"
+                    .into(),
+            ));
+        }
+        if !(seconds.is_finite() && seconds > 0.0 && overload.is_finite() && overload > 0.0) {
+            return Err(CliError::Usage(
+                "--seconds and --overload must be positive".into(),
+            ));
+        }
+        let study = ttlg_bench::gateway_study::run(seconds, overload);
+        let path = write_artifact(json_out, "BENCH_gateway.json", &study.to_json())?;
+        let mut s = study.render();
+        writeln!(s, "wrote {path}").unwrap();
+        return Ok(s);
+    }
     if tail {
         if autotune || extents_given {
             return Err(CliError::Usage(
@@ -531,9 +675,7 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
             ));
         }
         let study = ttlg_bench::tail_study::run(rounds);
-        let path = json_out.unwrap_or_else(|| "BENCH_tail.json".to_string());
-        std::fs::write(&path, study.to_json())
-            .map_err(|e| CliError::Failed(format!("could not write {path}: {e}")))?;
+        let path = write_artifact(json_out, "BENCH_tail.json", &study.to_json())?;
         let mut s = study.render();
         writeln!(s, "wrote {path}").unwrap();
         return Ok(s);
@@ -550,9 +692,7 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
             )));
         }
         let study = ttlg_bench::autotune_study::run(distinct, rounds);
-        let path = json_out.unwrap_or_else(|| "BENCH_autotune.json".to_string());
-        std::fs::write(&path, study.to_json())
-            .map_err(|e| CliError::Failed(format!("could not write {path}: {e}")))?;
+        let path = write_artifact(json_out, "BENCH_autotune.json", &study.to_json())?;
         let mut s = study.render();
         writeln!(s, "wrote {path}").unwrap();
         return Ok(s);
@@ -592,7 +732,6 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
     // The perf-trajectory artifact: written in text mode (the default
     // invocation) or whenever a destination is named explicitly.
     let artifact = if json_out.is_some() || format == MetricsFormat::Text {
-        let path = json_out.unwrap_or_else(|| "BENCH_serve.json".to_string());
         let wall_ms = elapsed.as_secs_f64() * 1e3;
         let rps = total as f64 / elapsed.as_secs_f64();
         let prediction = service.metrics().prediction();
@@ -609,9 +748,7 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
             prediction.total_count(),
             prediction.overall_geo_mean_error(),
         );
-        std::fs::write(&path, json)
-            .map_err(|e| CliError::Failed(format!("could not write {path}: {e}")))?;
-        Some(path)
+        Some(write_artifact(json_out, "BENCH_serve.json", &json)?)
     } else {
         None
     };
@@ -820,6 +957,77 @@ mod tests {
         assert!(json.contains("\"phase_at_p99\""));
         assert!(json.contains("\"exemplars\": [{"));
         assert!(json.contains("\"slo\""));
+    }
+
+    #[test]
+    fn bench_serve_gateway_writes_artifact() {
+        let dir = std::env::temp_dir().join("ttlg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gateway.json");
+        let out = run(&[
+            "bench-serve",
+            "--gateway",
+            "--seconds=0.2",
+            "--overload=2.0",
+            &format!("--json-out={}", path.display()),
+        ])
+        .unwrap();
+        assert!(out.contains("gateway loopback study"), "{out}");
+        assert!(out.contains("shed rate"), "{out}");
+        assert!(out.contains("fairness"), "{out}");
+        assert!(out.contains("wrote"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"study\": \"gateway\""));
+        assert!(json.contains("\"shed_rate\""));
+        assert!(json.contains("\"classes\""));
+        assert!(json.contains("\"tenants\""));
+        // Conflicts and misuse are usage errors, not silent ignores.
+        assert!(matches!(
+            run(&["bench-serve", "--gateway", "--tail"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--seconds=1"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--gateway", "--seconds=0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_check_binds_and_writes_port_file() {
+        let dir = std::env::temp_dir().join("ttlg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.port");
+        let out = run(&[
+            "serve",
+            "--addr=127.0.0.1:0",
+            "--workers=2",
+            "--check",
+            &format!("--port-file={}", path.display()),
+        ])
+        .unwrap();
+        assert!(out.contains("config OK"), "{out}");
+        let port: u16 = std::fs::read_to_string(&path)
+            .unwrap()
+            .trim()
+            .parse()
+            .expect("port file holds the bound port");
+        assert!(port > 0);
+        assert!(matches!(
+            run(&["serve", "--workers=banana"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["serve", "--workers=0", "--check"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["serve", "--bogus"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

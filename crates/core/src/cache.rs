@@ -117,7 +117,15 @@ impl Default for CacheConfig {
 /// Slot state within a shard: either a resident plan (with its LRU stamp)
 /// or a build in flight that waiters block on.
 enum Entry<E: Element> {
-    Ready { plan: Arc<Plan<E>>, last_used: u64 },
+    Ready {
+        plan: Arc<Plan<E>>,
+        last_used: u64,
+        /// Pinned plans (measured-best, installed by the autotuner) are
+        /// exempt from LRU eviction and do not count against capacity:
+        /// plain cache pressure must never silently replace a warmed
+        /// plan with a stale model pick.
+        pinned: bool,
+    },
     Building,
 }
 
@@ -238,7 +246,10 @@ impl<E: Element> ShardedPlanCache<E> {
                 Slot::Ready => {
                     state.tick += 1;
                     let tick = state.tick;
-                    let Some(Entry::Ready { plan, last_used }) = state.map.get_mut(key) else {
+                    let Some(Entry::Ready {
+                        plan, last_used, ..
+                    }) = state.map.get_mut(key)
+                    else {
                         unreachable!("entry changed while the shard lock was held");
                     };
                     *last_used = tick;
@@ -261,11 +272,13 @@ impl<E: Element> ShardedPlanCache<E> {
                 let plan = Arc::new(plan);
                 state.tick += 1;
                 let stamp = state.tick;
+                let pinned = plan.is_measured();
                 state.map.insert(
                     key.clone(),
                     Entry::Ready {
                         plan: Arc::clone(&plan),
                         last_used: stamp,
+                        pinned,
                     },
                 );
                 self.evict_locked(&mut state);
@@ -296,6 +309,9 @@ impl<E: Element> ShardedPlanCache<E> {
     /// Install (or replace) the resident plan for `key` without touching
     /// the hit/miss counters — cache *warming*, used by the runtime's
     /// autotuner to swap a measured-best plan over the modeled one.
+    /// Measured plans ([`Plan::is_measured`]) are installed **pinned**:
+    /// exempt from LRU eviction, so cache pressure can never silently
+    /// fall a hot key back to a stale model pick.
     /// Returns `false` (installing nothing) while a single-flight build
     /// for the key is in flight: replacing a `Building` slot would strand
     /// its waiters, and the tuner can simply retry on a later pass.
@@ -307,15 +323,33 @@ impl<E: Element> ShardedPlanCache<E> {
         }
         state.tick += 1;
         let stamp = state.tick;
+        let pinned = plan.is_measured();
         state.map.insert(
             key.clone(),
             Entry::Ready {
                 plan,
                 last_used: stamp,
+                pinned,
             },
         );
         self.evict_locked(&mut state);
         true
+    }
+
+    /// Number of pinned (measured-best, eviction-exempt) resident plans.
+    pub fn pinned_plans(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.state
+                    .lock()
+                    .expect("cache shard poisoned")
+                    .map
+                    .values()
+                    .filter(|e| matches!(e, Entry::Ready { pinned: true, .. }))
+                    .count()
+            })
+            .sum()
     }
 
     /// The resident plan for `key`, if any — no hit/miss accounting and
@@ -331,7 +365,8 @@ impl<E: Element> ShardedPlanCache<E> {
     }
 
     /// Evict least-recently-used resident plans beyond the capacity.
-    /// In-flight builds never count against (nor fall to) eviction.
+    /// In-flight builds and pinned (measured-best) plans never count
+    /// against capacity nor fall to eviction.
     fn evict_locked(&self, state: &mut ShardState<E>) {
         if self.capacity_per_shard == 0 {
             return;
@@ -340,7 +375,7 @@ impl<E: Element> ShardedPlanCache<E> {
             let resident = state
                 .map
                 .values()
-                .filter(|e| matches!(e, Entry::Ready { .. }))
+                .filter(|e| matches!(e, Entry::Ready { pinned: false, .. }))
                 .count();
             if resident <= self.capacity_per_shard {
                 return;
@@ -349,12 +384,16 @@ impl<E: Element> ShardedPlanCache<E> {
                 .map
                 .iter()
                 .filter_map(|(k, e)| match e {
-                    Entry::Ready { last_used, .. } => Some((*last_used, k.clone())),
-                    Entry::Building => None,
+                    Entry::Ready {
+                        last_used,
+                        pinned: false,
+                        ..
+                    } => Some((*last_used, k.clone())),
+                    _ => None,
                 })
                 .min_by_key(|(stamp, _)| *stamp)
                 .map(|(_, k)| k)
-                .expect("resident > capacity >= 1 implies a Ready entry");
+                .expect("resident > capacity >= 1 implies an unpinned Ready entry");
             state.map.remove(&oldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -741,6 +780,61 @@ mod tests {
         }
         assert_eq!(cache.len(), 2, "warming still enforces the LRU bound");
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn measured_plans_pin_and_survive_lru_pressure() {
+        let t = Transposer::new_k40c();
+        let cache: ShardedPlanCache<u64> = ShardedPlanCache::with_config(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+        });
+        let opts = TransposeOptions::default();
+        let p = Permutation::new(&[1, 0]).unwrap();
+        // Warm one *measured* plan: it must pin.
+        let hot_shape = Shape::new(&[16, 8]).unwrap();
+        let hot_key = PlanKey::new(&hot_shape, &p, &opts);
+        let (_, ranked) = t.plan_topk::<u64>(&hot_shape, &p, &opts, 1).unwrap();
+        let warmed = t
+            .plan_for_candidate::<u64>(&hot_shape, &p, &opts, ranked[0].candidate.clone(), 42.0)
+            .unwrap();
+        assert!(warmed.is_measured());
+        assert!(cache.warm(&hot_key, Arc::new(warmed)));
+        assert_eq!(cache.pinned_plans(), 1);
+        // Flood the shard far past capacity with modeled plans.
+        for n in 1..=6usize {
+            let s = Shape::new(&[8, 8 * n]).unwrap();
+            cache.get_or_plan(&t, &s, &p, &opts).unwrap();
+        }
+        // LRU churned the modeled plans but the pinned plan survived
+        // untouched, still predicting its measured time.
+        assert!(cache.stats().evictions >= 4);
+        assert_eq!(cache.pinned_plans(), 1);
+        let resident = cache.peek(&hot_key).expect("pinned plan never evicted");
+        assert!((resident.predicted_ns() - 42.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 3, "2 modeled (capacity) + 1 pinned");
+    }
+
+    #[test]
+    fn modeled_warm_stays_unpinned_and_evictable() {
+        let t = Transposer::new_k40c();
+        let cache: ShardedPlanCache<u64> = ShardedPlanCache::with_config(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+        });
+        let opts = TransposeOptions::default();
+        let p = Permutation::new(&[1, 0]).unwrap();
+        let s = Shape::new(&[16, 8]).unwrap();
+        let key = PlanKey::new(&s, &p, &opts);
+        let plan = Arc::new(t.plan::<u64>(&s, &p, &opts).unwrap());
+        assert!(!plan.is_measured());
+        assert!(cache.warm(&key, plan));
+        assert_eq!(cache.pinned_plans(), 0, "modeled plans never pin");
+        for n in 2..=4usize {
+            let sn = Shape::new(&[8 * n, 8]).unwrap();
+            cache.get_or_plan(&t, &sn, &p, &opts).unwrap();
+        }
+        assert!(cache.peek(&key).is_none(), "unpinned warm falls to LRU");
     }
 
     #[test]

@@ -295,6 +295,12 @@ impl<E: Element> TransposeService<E> {
             MetricKind::Gauge,
             vec![Sample::plain(self.exemplars.total_retained() as f64)],
         );
+        snap.push_metric(
+            "ttlg_cache_pinned_plans",
+            "Measured-best plans pinned in the cache (exempt from LRU eviction).",
+            MetricKind::Gauge,
+            vec![Sample::plain(self.cache.pinned_plans() as f64)],
+        );
         self.slo.export_into(&mut snap, clock_ns());
         profile::export_into(&mut snap, &self.phase_profiles());
         snap
@@ -385,14 +391,16 @@ impl<E: Element> TransposeService<E> {
     }
 
     /// Execute one planned request under the in-flight bound, producing
-    /// a fully attributed [`RequestTrace`].
+    /// a fully attributed [`RequestTrace`] (returned alongside the
+    /// outcome so callers such as the gateway can fold the exact phase
+    /// decomposition into their own accounting).
     fn execute_traced(
         &self,
         req: &TransposeRequest<E>,
         plan: &Arc<Plan<E>>,
         cache_hit: bool,
         plan_fetch_ns: u64,
-    ) -> ServeResult<E> {
+    ) -> (ServeResult<E>, RequestTrace) {
         let mut trace = RequestTrace {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
             start_ns: clock_ns(),
@@ -444,24 +452,30 @@ impl<E: Element> TransposeService<E> {
                 Err(ServeError::from(e))
             }
         };
+        let copy = trace.clone();
         self.finish_trace(trace, plan.decision_trace().cloned());
-        outcome
+        (outcome, copy)
     }
 
     /// Record a request that died before it had a plan (the cache never
     /// answered, so `cache_hit` stays `None`).
-    fn record_plan_failure(&self, req: &TransposeRequest<E>, plan_fetch_ns: u64, err: &ServeError) {
-        self.finish_trace(
-            RequestTrace {
-                id: self.next_id.fetch_add(1, Ordering::Relaxed),
-                start_ns: clock_ns(),
-                plan_fetch_ns,
-                shape_class: shape_class(req.input.shape().extents()),
-                error: Some(err.message.clone()),
-                ..Default::default()
-            },
-            None,
-        );
+    fn record_plan_failure(
+        &self,
+        req: &TransposeRequest<E>,
+        plan_fetch_ns: u64,
+        err: &ServeError,
+    ) -> RequestTrace {
+        let trace = RequestTrace {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            start_ns: clock_ns(),
+            plan_fetch_ns,
+            shape_class: shape_class(req.input.shape().extents()),
+            error: Some(err.message.clone()),
+            ..Default::default()
+        };
+        let copy = trace.clone();
+        self.finish_trace(trace, None);
+        copy
     }
 
     /// Push a finished trace to the ring, emit its span, and feed the
@@ -505,6 +519,14 @@ impl<E: Element> TransposeService<E> {
     /// Serve a single request (plan via the shared cache, execute under
     /// the in-flight bound).
     pub fn submit(&self, req: &TransposeRequest<E>) -> ServeResult<E> {
+        self.submit_traced(req).0
+    }
+
+    /// [`Self::submit`], also returning the request's finished
+    /// [`RequestTrace`] so network-facing callers can attribute
+    /// queue/plan/execute phases per request without racing the trace
+    /// ring.
+    pub fn submit_traced(&self, req: &TransposeRequest<E>) -> (ServeResult<E>, RequestTrace) {
         let key = req.plan_key();
         let (fetched, fetch_ns) = self.fetch_plan(req, &key);
         match fetched {
@@ -513,8 +535,8 @@ impl<E: Element> TransposeService<E> {
                 self.execute_traced(req, &plan, hit, fetch_ns)
             }
             Err(e) => {
-                self.record_plan_failure(req, fetch_ns, &e);
-                Err(e)
+                let trace = self.record_plan_failure(req, fetch_ns, &e);
+                (Err(e), trace)
             }
         }
     }
@@ -565,11 +587,11 @@ impl<E: Element> TransposeService<E> {
                     self.note_request(&keys[i]);
                     parallel::with_thread_cap(self.exec_threads, || {
                         let hit = *hit || i != distinct[g];
-                        self.execute_traced(&reqs[i], plan, hit, *fetch_ns)
+                        self.execute_traced(&reqs[i], plan, hit, *fetch_ns).0
                     })
                 }
                 Err(e) => {
-                    self.record_plan_failure(&reqs[i], *fetch_ns, e);
+                    let _ = self.record_plan_failure(&reqs[i], *fetch_ns, e);
                     Err(e.clone())
                 }
             };
@@ -1193,6 +1215,10 @@ mod tests {
         let traces = svc.recent_traces(3);
         assert!(traces[0].warmed, "post-warming request tagged");
         assert!(!traces[1].warmed && !traces[2].warmed, "pre-warming not");
+        // Satellite: the warmed plan is pinned against LRU eviction and
+        // the snapshot exposes the pin count.
+        let prom = svc.export_prometheus();
+        assert!(prom.contains("ttlg_cache_pinned_plans 1"), "{prom}");
         let profiles = svc.phase_profiles();
         assert_eq!(profiles[0].warmed_requests, 1);
         assert_eq!(profiles[0].requests, 3);

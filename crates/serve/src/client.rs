@@ -1,0 +1,156 @@
+//! A minimal blocking HTTP/1.1 client for loopback testing and the
+//! gateway benchmark — keep-alive aware, std-only.
+//!
+//! This is deliberately not a general HTTP client: it speaks exactly
+//! the subset the gateway emits (`Content-Length` framing, lowercase
+//! header matching, no chunked encoding) so the bench harness and CI
+//! smoke tests have zero external dependencies.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: HashMap<String, String>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// Header lookup by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(|s| s.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).to_string()
+    }
+}
+
+/// A keep-alive connection to the gateway.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connect with a default 30 s I/O timeout.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Issue one request and read the full response. Extra headers are
+    /// sent verbatim; a body implies `Content-Length`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        let mut req = format!("{method} {path} HTTP/1.1\r\nhost: ttlg\r\n");
+        for (k, v) in headers {
+            req.push_str(&format!("{k}: {v}\r\n"));
+        }
+        if let Some(b) = body {
+            req.push_str(&format!("content-length: {}\r\n", b.len()));
+        }
+        req.push_str("\r\n");
+        self.stream.write_all(req.as_bytes())?;
+        if let Some(b) = body {
+            self.stream.write_all(b)?;
+        }
+        self.read_response()
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, &[], None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post_json(
+        &mut self,
+        path: &str,
+        headers: &[(&str, &str)],
+        json: &str,
+    ) -> std::io::Result<ClientResponse> {
+        let mut hs: Vec<(&str, &str)> = vec![("content-type", "application/json")];
+        hs.extend_from_slice(headers);
+        self.request("POST", path, &hs, Some(json.as_bytes()))
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let head_end = loop {
+            if let Some(pos) = find_terminator(&self.buf) {
+                break pos;
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).to_string();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line: {status_line:?}"),
+                )
+            })?;
+        let mut headers = HashMap::new();
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+            }
+        }
+        let content_length: usize = headers
+            .get("content-length")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + content_length {
+            self.fill()?;
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-response",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}

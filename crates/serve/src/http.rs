@@ -1,0 +1,526 @@
+//! Minimal HTTP/1.1 wire protocol: an incremental request parser and a
+//! response serializer, both over plain byte buffers so they can be unit
+//! tested without sockets.
+//!
+//! Scope is deliberately small — exactly what the gateway needs:
+//!
+//! * request line + headers + `Content-Length` bodies (no chunked
+//!   transfer encoding: requests carrying `Transfer-Encoding` are
+//!   rejected with 501);
+//! * keep-alive semantics (HTTP/1.1 default-on, HTTP/1.0 default-off,
+//!   `Connection: close`/`keep-alive` override);
+//! * hard limits on header-section and body size, enforced *while*
+//!   bytes arrive so an oversized request is rejected before it is
+//!   buffered whole;
+//! * pipelining: [`parse_request`] consumes exactly one request from the
+//!   front of the buffer and reports how many bytes it used, so back-to-
+//!   back requests in one TCP segment each parse cleanly.
+//!
+//! Malformed input is never a panic — every failure mode maps to an
+//! [`HttpError`] with the status code the connection should answer with
+//! before closing.
+
+use std::collections::HashMap;
+
+/// Parser limits. Both are enforced incrementally.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Max bytes in the request line + headers (the pre-body section).
+    pub max_head_bytes: usize,
+    /// Max bytes in a request body (`Content-Length` above this is
+    /// rejected with 413 without waiting for the body).
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// A fully parsed request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string, e.g. `/v1/transpose`.
+    pub path: String,
+    /// Raw query string (no leading `?`), empty if absent.
+    pub query: String,
+    /// Headers, names lowercased. Duplicate names keep the first value.
+    pub headers: HashMap<String, String>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl HttpRequest {
+    /// Header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(|s| s.as_str())
+    }
+
+    /// Decode one `key=value` pair from the query string.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// A protocol-level failure and the status the connection must answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code (400, 413, 431, 501, 505).
+    pub status: u16,
+    /// Human-readable reason, sent as the plain-text body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Try to parse one request from the front of `buf`.
+///
+/// * `Ok(Some((req, consumed)))` — a complete request; the caller must
+///   drain `consumed` bytes from the buffer (pipelining support).
+/// * `Ok(None)` — incomplete so far; read more bytes and retry. Limits
+///   are already enforced: a buffer that *cannot* become a valid request
+///   (oversized head, oversized declared body) errors immediately.
+/// * `Err(e)` — protocol violation; answer `e.status` and close.
+pub fn parse_request(
+    buf: &[u8],
+    limits: &HttpLimits,
+) -> Result<Option<(HttpRequest, usize)>, HttpError> {
+    // Find the end of the head section.
+    let head_end = match find_subslice(buf, b"\r\n\r\n") {
+        Some(i) => i,
+        None => {
+            if buf.len() > limits.max_head_bytes {
+                return Err(HttpError::new(
+                    431,
+                    format!("request head exceeds {} bytes", limits.max_head_bytes),
+                ));
+            }
+            return Ok(None);
+        }
+    };
+    if head_end + 4 > limits.max_head_bytes {
+        return Err(HttpError::new(
+            431,
+            format!("request head exceeds {} bytes", limits.max_head_bytes),
+        ));
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                format!("malformed request line {request_line:?}"),
+            ))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::new(400, format!("malformed method {method:?}")));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => {
+            return Err(HttpError::new(505, format!("unsupported version {v:?}")))
+        }
+        v => return Err(HttpError::new(400, format!("malformed version {v:?}"))),
+    };
+    if !target.starts_with('/') {
+        return Err(HttpError::new(
+            400,
+            format!("request target must be origin-form, got {target:?}"),
+        ));
+    }
+
+    let mut headers = HashMap::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, format!("malformed header line {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::new(
+                400,
+                format!("malformed header name {name:?}"),
+            ));
+        }
+        headers
+            .entry(name.to_ascii_lowercase())
+            .or_insert_with(|| value.trim().to_string());
+    }
+    if headers.contains_key("transfer-encoding") {
+        return Err(HttpError::new(501, "transfer-encoding is not supported"));
+    }
+
+    let content_length = match headers.get("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::new(400, format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::new(
+            413,
+            format!(
+                "body of {content_length} bytes exceeds {}",
+                limits.max_body_bytes
+            ),
+        ));
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None); // body still arriving
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+
+    let keep_alive = match headers.get("connection").map(|s| s.to_ascii_lowercase()) {
+        Some(c) if c == "close" => false,
+        Some(c) if c == "keep-alive" => true,
+        _ => http11,
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok(Some((
+        HttpRequest {
+            method: method.to_string(),
+            path,
+            query,
+            headers,
+            body,
+            keep_alive,
+        },
+        body_start + content_length,
+    )))
+}
+
+fn find_subslice(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+/// An outgoing response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A 200 with a JSON body.
+    pub fn json(body: String) -> Self {
+        HttpResponse {
+            status: 200,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A 200 with a plain-text body.
+    pub fn text(body: String) -> Self {
+        HttpResponse {
+            status: 200,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// An error response with a plain-text body.
+    pub fn error(status: u16, message: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+            body: {
+                let mut m: String = message.into();
+                m.push('\n');
+                m.into_bytes()
+            },
+        }
+    }
+
+    /// Override the status code (e.g. a JSON body on a 429).
+    pub fn with_status(mut self, status: u16) -> Self {
+        self.status = status;
+        self
+    }
+
+    /// Attach a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+
+    /// Serialize for the wire. `keep_alive` picks the `Connection`
+    /// header so the client sees exactly what the connection will do.
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .into_bytes();
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Canonical reason phrases for the statuses the gateway emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttlg_tensor::rng::StdRng;
+
+    fn parse_ok(bytes: &[u8]) -> (HttpRequest, usize) {
+        parse_request(bytes, &HttpLimits::default())
+            .expect("no protocol error")
+            .expect("complete request")
+    }
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let (req, used) = parse_ok(
+            b"GET /v1/explain?extents=16,16&perm=1,0 HTTP/1.1\r\n\
+              Host: localhost\r\nX-Ttlg-Tenant: acme\r\n\r\n",
+        );
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/explain");
+        assert_eq!(req.query_param("extents"), Some("16,16"));
+        assert_eq!(req.query_param("perm"), Some("1,0"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.header("x-ttlg-tenant"), Some("acme"));
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(used, 89);
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let (req, used) =
+            parse_ok(b"POST /v1/transpose HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcdEXTRA");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"abcd");
+        // Pipelining: EXTRA is not consumed.
+        assert_eq!(used, 54);
+    }
+
+    #[test]
+    fn connection_header_overrides_keep_alive_default() {
+        let (req, _) = parse_ok(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!req.keep_alive);
+        let (req, _) = parse_ok(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let (req, _) = parse_ok(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn incomplete_requests_ask_for_more() {
+        let limits = HttpLimits::default();
+        assert!(parse_request(b"GET / HT", &limits).unwrap().is_none());
+        assert!(parse_request(b"GET / HTTP/1.1\r\n", &limits)
+            .unwrap()
+            .is_none());
+        // Head complete but declared body still in flight.
+        assert!(
+            parse_request(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc", &limits)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400_not_panic() {
+        let limits = HttpLimits::default();
+        for bad in [
+            &b"\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET relative HTTP/1.1\r\n\r\n",
+            b"GET / FTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad name: x\r\n\r\n",
+            b"POST / HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+            b"\xff\xfe / HTTP/1.1\r\n\r\n",
+        ] {
+            let err = parse_request(bad, &limits).expect_err(&format!("{bad:?}"));
+            assert_eq!(err.status, 400, "{bad:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn version_and_encoding_rejections() {
+        let limits = HttpLimits::default();
+        let err = parse_request(b"GET / HTTP/2.0\r\n\r\n", &limits).unwrap_err();
+        assert_eq!(err.status, 505);
+        let err = parse_request(
+            b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 501);
+    }
+
+    #[test]
+    fn oversized_head_rejected_even_before_completion() {
+        let limits = HttpLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 64,
+        };
+        // No terminator yet, but already larger than any legal head.
+        let mut partial = b"GET / HTTP/1.1\r\nX-Junk: ".to_vec();
+        partial.extend(std::iter::repeat_n(b'a', 100));
+        let err = parse_request(&partial, &limits).unwrap_err();
+        assert_eq!(err.status, 431);
+        // Complete but over the limit.
+        let mut complete = b"GET / HTTP/1.1\r\nX-Junk: ".to_vec();
+        complete.extend(std::iter::repeat_n(b'a', 100));
+        complete.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(parse_request(&complete, &limits).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn oversized_declared_body_rejected_without_waiting() {
+        let limits = HttpLimits {
+            max_head_bytes: 1024,
+            max_body_bytes: 16,
+        };
+        // Only the head has arrived; the declared length already breaks
+        // the limit, so reject now instead of buffering 1 MiB.
+        let err = parse_request(
+            b"POST / HTTP/1.1\r\ncontent-length: 1048576\r\n\r\n",
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let wire = b"GET /healthz HTTP/1.1\r\n\r\nPOST /v1/transpose HTTP/1.1\r\ncontent-length: 2\r\n\r\nhiGET /metrics HTTP/1.1\r\n\r\n".to_vec();
+        let limits = HttpLimits::default();
+        let mut buf = wire;
+        let mut paths = Vec::new();
+        while let Some((req, used)) = parse_request(&buf, &limits).unwrap() {
+            paths.push(req.path.clone());
+            buf.drain(..used);
+        }
+        assert_eq!(paths, ["/healthz", "/v1/transpose", "/metrics"]);
+        assert!(buf.is_empty());
+    }
+
+    /// Property test: a valid request parses to the same result no
+    /// matter how the bytes are split across reads (TCP segmentation).
+    #[test]
+    fn split_reads_across_any_packet_boundary_parse_identically() {
+        let wire = b"POST /v1/transpose?x=1 HTTP/1.1\r\nHost: h\r\nX-Ttlg-Tenant: t0\r\ncontent-length: 11\r\n\r\nhello world".to_vec();
+        let limits = HttpLimits::default();
+        let (want, want_used) = parse_ok(&wire);
+        let mut rng = StdRng::seed_from_u64(0x7712);
+        for _ in 0..200 {
+            let mut buf = Vec::new();
+            let mut fed = 0usize;
+            let mut result = None;
+            while fed < wire.len() {
+                // Feed a random-sized chunk (1..=7 bytes).
+                let chunk = 1 + (rng.next_u64() % 7) as usize;
+                let end = (fed + chunk).min(wire.len());
+                buf.extend_from_slice(&wire[fed..end]);
+                fed = end;
+                match parse_request(&buf, &limits).expect("never a protocol error") {
+                    Some(r) => {
+                        result = Some(r);
+                        break;
+                    }
+                    None => continue,
+                }
+            }
+            let (got, used) = result.expect("parsed by the time all bytes arrived");
+            assert_eq!(got.method, want.method);
+            assert_eq!(got.path, want.path);
+            assert_eq!(got.query, want.query);
+            assert_eq!(got.body, want.body);
+            assert_eq!(got.headers, want.headers);
+            assert_eq!(used, want_used);
+        }
+    }
+
+    #[test]
+    fn response_serializes_with_extra_headers() {
+        let resp =
+            HttpResponse::error(429, "slow down").with_header("retry-after", "2".to_string());
+        let wire = String::from_utf8(resp.serialize(true)).unwrap();
+        assert!(
+            wire.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{wire}"
+        );
+        assert!(wire.contains("retry-after: 2\r\n"), "{wire}");
+        assert!(wire.contains("connection: keep-alive\r\n"), "{wire}");
+        assert!(wire.ends_with("slow down\n"), "{wire}");
+        let close = String::from_utf8(HttpResponse::text("x".into()).serialize(false)).unwrap();
+        assert!(close.contains("connection: close\r\n"), "{close}");
+        assert!(close.contains("content-length: 1\r\n"), "{close}");
+    }
+}

@@ -1,0 +1,370 @@
+//! The scheduler half of the gateway's router/scheduler split.
+//!
+//! The router (connection threads) classifies a request and calls
+//! [`Scheduler::try_enqueue`]; a fixed pool of scheduler workers pulls
+//! work out with a **weighted, tenant-fair dequeue** and runs the
+//! supplied handler. Every queue is bounded, so the only two outcomes
+//! for a request are "executed" or "explicitly shed" — memory use is
+//! capped no matter how hard the edge is driven.
+//!
+//! Dequeue policy, outermost first:
+//!
+//! * **class weighting** — interactive work is picked up to
+//!   `interactive_weight` times in a row before one batch item is taken
+//!   (strict priority would starve batch under sustained interactive
+//!   load; pure FIFO would let batch floods ruin interactive tails);
+//! * **tenant round-robin** — within a class, tenants with queued work
+//!   are served cyclically, one item each, so a single hot tenant
+//!   cannot monopolize the worker pool.
+//!
+//! The scheduler is generic over the queued item so it can be unit
+//! tested without a TCP stack or a transpose service behind it.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::admission::Priority;
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Worker threads executing dequeued items.
+    pub workers: usize,
+    /// Per-tenant, per-class queue bound; a full queue sheds.
+    pub queue_capacity: usize,
+    /// Interactive items served per batch item when both classes have
+    /// work (>= 1).
+    pub interactive_weight: u32,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            interactive_weight: 4,
+        }
+    }
+}
+
+/// One class's queues: per-tenant FIFOs plus a cyclic order of tenants
+/// that currently have work.
+struct ClassQueues<T> {
+    tenants: HashMap<String, VecDeque<T>>,
+    /// Rotation of tenant names with non-empty queues. Invariant: a
+    /// tenant appears here exactly once iff its queue is non-empty.
+    rotation: VecDeque<String>,
+}
+
+impl<T> ClassQueues<T> {
+    fn new() -> Self {
+        ClassQueues {
+            tenants: HashMap::new(),
+            rotation: VecDeque::new(),
+        }
+    }
+
+    fn has_work(&self) -> bool {
+        !self.rotation.is_empty()
+    }
+
+    fn push(&mut self, tenant: &str, item: T, capacity: usize) -> Result<(), T> {
+        let q = self.tenants.entry(tenant.to_string()).or_default();
+        if q.len() >= capacity.max(1) {
+            return Err(item);
+        }
+        if q.is_empty() {
+            self.rotation.push_back(tenant.to_string());
+        }
+        q.push_back(item);
+        Ok(())
+    }
+
+    /// Take one item from the tenant at the head of the rotation; the
+    /// tenant goes to the back if it still has work, or leaves the
+    /// rotation (and the map — idle tenants cost nothing) if drained.
+    fn pop(&mut self) -> Option<T> {
+        let tenant = self.rotation.pop_front()?;
+        let q = self.tenants.get_mut(&tenant).expect("rotation invariant");
+        let item = q.pop_front().expect("rotation tenant has work");
+        if q.is_empty() {
+            self.tenants.remove(&tenant);
+        } else {
+            self.rotation.push_back(tenant);
+        }
+        Some(item)
+    }
+
+    fn drain(&mut self) -> Vec<T> {
+        self.rotation.clear();
+        self.tenants.drain().flat_map(|(_, q)| q).collect()
+    }
+}
+
+struct SchedState<T> {
+    interactive: ClassQueues<T>,
+    batch: ClassQueues<T>,
+    /// Consecutive interactive picks since the last batch pick; resets
+    /// when a batch item is served or interactive has no work.
+    interactive_streak: u32,
+    depth: usize,
+    stopping: bool,
+}
+
+/// Bounded, tenant-fair, class-weighted work scheduler.
+pub struct Scheduler<T> {
+    cfg: SchedulerConfig,
+    state: Mutex<SchedState<T>>,
+    available: Condvar,
+    dequeued: AtomicU64,
+}
+
+impl<T: Send + 'static> Scheduler<T> {
+    /// An empty scheduler (no worker threads yet; see [`start_workers`]).
+    ///
+    /// [`start_workers`]: Self::start_workers
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        Scheduler {
+            cfg,
+            state: Mutex::new(SchedState {
+                interactive: ClassQueues::new(),
+                batch: ClassQueues::new(),
+                interactive_streak: 0,
+                depth: 0,
+                stopping: false,
+            }),
+            available: Condvar::new(),
+            dequeued: AtomicU64::new(0),
+        }
+    }
+
+    /// The scheduler's config.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// Enqueue one item, or hand it back if the tenant's queue for that
+    /// class is full (the caller turns this into a 429).
+    pub fn try_enqueue(&self, tenant: &str, class: Priority, item: T) -> Result<(), T> {
+        let mut st = self.state.lock().expect("scheduler poisoned");
+        if st.stopping {
+            return Err(item);
+        }
+        let queues = match class {
+            Priority::Interactive => &mut st.interactive,
+            Priority::Batch => &mut st.batch,
+        };
+        queues.push(tenant, item, self.cfg.queue_capacity)?;
+        st.depth += 1;
+        drop(st);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Items currently queued across all tenants and classes.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("scheduler poisoned").depth
+    }
+
+    /// Items ever dequeued (served to a worker).
+    pub fn dequeued(&self) -> u64 {
+        self.dequeued.load(Ordering::Relaxed)
+    }
+
+    /// Blocking weighted dequeue; `None` means the scheduler is
+    /// stopping and the queues are empty.
+    fn dequeue(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("scheduler poisoned");
+        loop {
+            let pick_batch = st.batch.has_work()
+                && (!st.interactive.has_work()
+                    || st.interactive_streak >= self.cfg.interactive_weight.max(1));
+            let item = if pick_batch {
+                st.interactive_streak = 0;
+                st.batch.pop()
+            } else if st.interactive.has_work() {
+                st.interactive_streak = st.interactive_streak.saturating_add(1);
+                st.interactive.pop()
+            } else {
+                None
+            };
+            if let Some(item) = item {
+                st.depth -= 1;
+                self.dequeued.fetch_add(1, Ordering::Relaxed);
+                return Some(item);
+            }
+            if st.stopping {
+                return None;
+            }
+            st = self.available.wait(st).expect("scheduler condvar poisoned");
+        }
+    }
+
+    /// Spawn the worker pool. Each worker loops `dequeue -> handler`
+    /// until the scheduler stops and its queues drain.
+    pub fn start_workers(
+        self: &Arc<Self>,
+        handler: impl Fn(T) + Send + Sync + 'static,
+    ) -> SchedulerWorkers {
+        let handler = Arc::new(handler);
+        let joins = (0..self.cfg.workers.max(1))
+            .map(|i| {
+                let sched = Arc::clone(self);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("ttlg-sched-{i}"))
+                    .spawn(move || {
+                        while let Some(item) = sched.dequeue() {
+                            handler(item);
+                        }
+                    })
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        SchedulerWorkers {
+            joins,
+            stopped: AtomicBool::new(false),
+        }
+    }
+
+    /// Flip to stopping and return everything still queued so the
+    /// caller can fail those requests explicitly. Workers finish their
+    /// in-flight item and exit.
+    pub fn stop(&self) -> Vec<T> {
+        let mut st = self.state.lock().expect("scheduler poisoned");
+        st.stopping = true;
+        let mut leftover = st.interactive.drain();
+        leftover.extend(st.batch.drain());
+        st.depth = 0;
+        drop(st);
+        self.available.notify_all();
+        leftover
+    }
+}
+
+/// Join handle for the worker pool; call [`join`](Self::join) after
+/// [`Scheduler::stop`].
+pub struct SchedulerWorkers {
+    joins: Vec<JoinHandle<()>>,
+    stopped: AtomicBool,
+}
+
+impl SchedulerWorkers {
+    /// Wait for every worker to exit (idempotent).
+    pub fn join(&mut self) {
+        if self.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn cfg(workers: usize, capacity: usize, weight: u32) -> SchedulerConfig {
+        SchedulerConfig {
+            workers,
+            queue_capacity: capacity,
+            interactive_weight: weight,
+        }
+    }
+
+    #[test]
+    fn queue_bound_is_per_tenant_and_class() {
+        let sched: Scheduler<u32> = Scheduler::new(cfg(1, 2, 4));
+        sched.try_enqueue("a", Priority::Batch, 1).unwrap();
+        sched.try_enqueue("a", Priority::Batch, 2).unwrap();
+        assert!(sched.try_enqueue("a", Priority::Batch, 3).is_err());
+        // Same tenant, other class: separate bound.
+        sched.try_enqueue("a", Priority::Interactive, 4).unwrap();
+        // Other tenant, same class: separate bound.
+        sched.try_enqueue("b", Priority::Batch, 5).unwrap();
+        assert_eq!(sched.depth(), 4);
+    }
+
+    #[test]
+    fn weighted_dequeue_interleaves_classes() {
+        let sched: Scheduler<&'static str> = Scheduler::new(cfg(1, 16, 2));
+        for _ in 0..4 {
+            sched.try_enqueue("t", Priority::Interactive, "i").unwrap();
+            sched.try_enqueue("t", Priority::Batch, "b").unwrap();
+        }
+        let order: Vec<_> = (0..8).map(|_| sched.dequeue().unwrap()).collect();
+        // Weight 2: two interactive per batch until interactive drains.
+        assert_eq!(order, ["i", "i", "b", "i", "i", "b", "b", "b"]);
+    }
+
+    #[test]
+    fn tenants_round_robin_within_a_class() {
+        let sched: Scheduler<String> = Scheduler::new(cfg(1, 16, 4));
+        for i in 0..3 {
+            sched
+                .try_enqueue("a", Priority::Batch, format!("a{i}"))
+                .unwrap();
+        }
+        sched
+            .try_enqueue("b", Priority::Batch, "b0".to_string())
+            .unwrap();
+        let order: Vec<_> = (0..4).map(|_| sched.dequeue().unwrap()).collect();
+        // Tenant b's single item is served second, not after all of a's.
+        assert_eq!(order, ["a0", "b0", "a1", "a2"]);
+    }
+
+    #[test]
+    fn batch_is_not_starved_by_interactive_floods() {
+        let sched: Scheduler<u8> = Scheduler::new(cfg(1, 200, 3));
+        for _ in 0..100 {
+            sched.try_enqueue("t", Priority::Interactive, 0).unwrap();
+        }
+        sched.try_enqueue("t", Priority::Batch, 1).unwrap();
+        // The batch item must surface within interactive_weight + 1 picks.
+        let first_four: Vec<_> = (0..4).map(|_| sched.dequeue().unwrap()).collect();
+        assert_eq!(first_four, [0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn workers_drain_and_stop_joins() {
+        let sched: Arc<Scheduler<usize>> = Arc::new(Scheduler::new(cfg(3, 64, 4)));
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = Arc::clone(&done);
+        let mut workers = sched.start_workers(move |_| {
+            done2.fetch_add(1, Ordering::SeqCst);
+        });
+        for i in 0..50 {
+            let tenant = if i % 2 == 0 { "even" } else { "odd" };
+            let class = if i % 3 == 0 {
+                Priority::Interactive
+            } else {
+                Priority::Batch
+            };
+            sched.try_enqueue(tenant, class, i).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while done.load(Ordering::SeqCst) < 50 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 50, "all items executed");
+        let leftover = sched.stop();
+        assert!(leftover.is_empty());
+        workers.join();
+        assert!(sched.try_enqueue("late", Priority::Batch, 99).is_err());
+    }
+
+    #[test]
+    fn stop_returns_leftover_items() {
+        let sched: Scheduler<u32> = Scheduler::new(cfg(1, 16, 4));
+        sched.try_enqueue("a", Priority::Interactive, 1).unwrap();
+        sched.try_enqueue("b", Priority::Batch, 2).unwrap();
+        let leftover = sched.stop();
+        assert_eq!(leftover.len(), 2);
+        assert_eq!(sched.depth(), 0);
+    }
+}
