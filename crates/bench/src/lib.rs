@@ -26,6 +26,7 @@ pub mod report;
 pub mod runner;
 pub mod serve_study;
 pub mod tail_study;
+pub mod trace_study;
 
 pub use report::Table;
 pub use runner::{CaseResult, Harness, SystemTimes};

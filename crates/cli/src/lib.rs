@@ -61,6 +61,12 @@ USAGE:
                                                 flame-style phase profile with
                                                 the slowest retained exemplars
   ttlg contract <spec> <extentsA> <extentsB>    TTGT contraction (f64)
+  ttlg trace    <extents> <perm>                serve one request through a
+                                                loopback gateway and render
+                                                its span tree as a flame-style
+                                                trace (network/queue/plan/
+                                                execute and children) with the
+                                                planner decision trace
   ttlg bench-serve [--perms=N] [--rounds=N] [--extents=E]
                    [--metrics-format=text|json|prom] [--json-out=PATH]
                                                 replay a mixed-permutation
@@ -77,6 +83,14 @@ USAGE:
                                                 dominant phase at p99, slowest
                                                 exemplars, SLO burn rates;
                                                 writes BENCH_tail.json
+  ttlg bench-serve --trace [--perms=N] [--rounds=N] [--json-out=PATH]
+                                                tracing/alerting study: serve a
+                                                skewed model over loopback
+                                                HTTP, watch the prediction-
+                                                drift alert fire and resolve
+                                                after autotune, and account for
+                                                trace sampling/drops; writes
+                                                BENCH_trace.json
   ttlg bench-serve --gateway [--seconds=F] [--overload=F] [--json-out=PATH]
                                                 loopback gateway study: drive a
                                                 real ttlg-serve endpoint past
@@ -138,6 +152,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "compare" => cmd_compare(&rest),
         "profile" => cmd_profile(&rest),
         "contract" => cmd_contract(&rest),
+        "trace" => cmd_trace(&rest),
         "bench-serve" => cmd_bench_serve(&rest),
         "serve" => cmd_serve(&rest),
         "devices" => Ok(cmd_devices()),
@@ -565,6 +580,66 @@ fn cmd_serve(rest: &[&String]) -> Result<String, CliError> {
     }
 }
 
+/// `ttlg trace`: serve one request through a loopback gateway over
+/// real TCP — the same path production traffic takes — and render the
+/// sampled span tree as a flame-style trace.
+fn cmd_trace(rest: &[&String]) -> Result<String, CliError> {
+    use ttlg_serve::{client::HttpClient, Gateway, GatewayConfig};
+    let (e, p) = two_positional(rest, "trace")?;
+    let (shape, perm) = parse_problem(e, p)?;
+    let join = |v: &[usize]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let body = format!(
+        "{{\"extents\":[{}],\"perm\":[{}]}}",
+        join(shape.extents()),
+        join(perm.as_slice())
+    );
+    let gw = Gateway::start(
+        Arc::new(TransposeService::new_k40c()),
+        GatewayConfig::default(),
+    );
+    let mut server = ttlg_serve::server::spawn(gw, "127.0.0.1:0")
+        .map_err(|e| CliError::Failed(format!("could not bind loopback: {e}")))?;
+    let result = (|| {
+        let mut client = HttpClient::connect(server.addr())
+            .map_err(|e| CliError::Failed(format!("could not connect: {e}")))?;
+        let r = client
+            .post_json("/v1/transpose", &[("x-ttlg-tenant", "cli")], &body)
+            .map_err(|e| CliError::Failed(format!("request failed: {e}")))?;
+        if r.status != 200 {
+            return Err(CliError::Failed(format!(
+                "transpose failed ({}): {}",
+                r.status,
+                r.body_text()
+            )));
+        }
+        let doc = ttlg_serve::json::parse(&r.body)
+            .map_err(|e| CliError::Failed(format!("bad response body: {e}")))?;
+        let trace_id = doc
+            .get("trace_id")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| CliError::Failed("response carried no trace_id".into()))?
+            .to_string();
+        let flame = client
+            .get(&format!("/v1/trace/{trace_id}?format=flame"))
+            .map_err(|e| CliError::Failed(format!("trace fetch failed: {e}")))?;
+        if flame.status != 200 {
+            return Err(CliError::Failed(format!(
+                "trace fetch failed ({}): {}",
+                flame.status,
+                flame.body_text()
+            )));
+        }
+        Ok(flame.body_text())
+    })();
+    server.stop();
+    result
+}
+
 /// Write a study artifact: `--json-out=PATH` wins, otherwise the
 /// study's default filename. Every bench-serve mode funnels through
 /// this one path so the flag behaves identically everywhere.
@@ -588,6 +663,7 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
     let mut autotune = false;
     let mut tail = false;
     let mut gateway = false;
+    let mut trace = false;
     let mut seconds = 1.0f64;
     let mut overload = 2.0f64;
     let mut gateway_flags_given = false;
@@ -612,6 +688,8 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
             tail = true;
         } else if a.as_str() == "--gateway" {
             gateway = true;
+        } else if a.as_str() == "--trace" {
+            trace = true;
         } else if let Some(v) = a.strip_prefix("--seconds=") {
             seconds = v
                 .parse()
@@ -648,6 +726,24 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
         return Err(CliError::Usage(
             "--seconds and --overload only apply with --gateway".into(),
         ));
+    }
+    if trace {
+        if gateway || tail || autotune || extents_given {
+            return Err(CliError::Usage(
+                "--trace runs its own loopback workload; --gateway/--tail/--autotune/--extents do not apply"
+                    .into(),
+            ));
+        }
+        if distinct > 24 {
+            return Err(CliError::Usage(format!(
+                "the trace study uses rank-4 permutations (max 24), --perms={distinct} asked for more"
+            )));
+        }
+        let study = ttlg_bench::trace_study::run(distinct, rounds);
+        let path = write_artifact(json_out, "BENCH_trace.json", &study.to_json())?;
+        let mut s = study.render();
+        writeln!(s, "wrote {path}").unwrap();
+        return Ok(s);
     }
     if gateway {
         if tail || autotune || extents_given {
@@ -1026,6 +1122,62 @@ mod tests {
         ));
         assert!(matches!(
             run(&["serve", "--bogus"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn trace_command_renders_flame_tree() {
+        let out = run(&["trace", "16,8,4", "2,0,1"]).unwrap();
+        assert!(out.contains("request"), "{out}");
+        assert!(out.contains("plan"), "{out}");
+        assert!(out.contains("execute"), "{out}");
+        assert!(out.contains("kernel"), "{out}");
+        assert!(out.contains("decision trace"), "{out}");
+        assert!(matches!(run(&["trace", "16,8,4"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["trace", "16,8,4", "1,0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn bench_serve_trace_writes_artifact() {
+        let dir = std::env::temp_dir().join("ttlg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let out = run(&[
+            "bench-serve",
+            "--trace",
+            "--perms=4",
+            "--rounds=2",
+            &format!("--json-out={}", path.display()),
+        ])
+        .unwrap();
+        assert!(out.contains("tracing & drift-alert study"), "{out}");
+        assert!(out.contains("prediction-drift rule"), "{out}");
+        assert!(out.contains("wrote"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"study\": \"trace\""));
+        assert!(json.contains("\"drift_fired\": true"));
+        assert!(json.contains("\"drift_resolved\": true"));
+        assert!(json.contains("\"sampled_traces\""));
+        assert!(json.contains("\"dropped_traces\""));
+        // Conflicts are usage errors, not silent ignores.
+        assert!(matches!(
+            run(&["bench-serve", "--trace", "--gateway"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--trace", "--tail"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--trace", "--extents=6,5,4"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--trace", "--perms=25"]),
             Err(CliError::Usage(_))
         ));
     }

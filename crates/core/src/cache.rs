@@ -85,6 +85,18 @@ impl PlanKey {
     }
 }
 
+/// Wall-clock split of one plan fetch (see
+/// [`ShardedPlanCache::get_or_plan_keyed_timed`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchTiming {
+    /// Time on the lookup side: shard lock, LRU touch, and any wait for
+    /// another caller's in-flight build of the same key.
+    pub lookup_ns: u64,
+    /// Time inside `Transposer::plan` when this call built the plan;
+    /// 0 on a hit.
+    pub build_ns: u64,
+}
+
 /// Cache usage counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -229,11 +241,30 @@ impl<E: Element> ShardedPlanCache<E> {
         perm: &Permutation,
         opts: &TransposeOptions,
     ) -> Result<(Arc<Plan<E>>, bool), PlanError> {
+        self.get_or_plan_keyed_timed(t, key, shape, perm, opts)
+            .map(|(plan, hit, _)| (plan, hit))
+    }
+
+    /// [`Self::get_or_plan_keyed_flagged`] plus a wall-clock split of
+    /// where the fetch spent its time: the lookup side (shard lock,
+    /// LRU touch, waiting out another caller's single-flight build) vs
+    /// the build side (`Transposer::plan` itself; 0 on a hit). The
+    /// tracing layer renders these as the `cache-lookup` and
+    /// `plan-build` child spans of `plan`.
+    pub fn get_or_plan_keyed_timed(
+        &self,
+        t: &Transposer,
+        key: &PlanKey,
+        shape: &Shape,
+        perm: &Permutation,
+        opts: &TransposeOptions,
+    ) -> Result<(Arc<Plan<E>>, bool, FetchTiming), PlanError> {
         enum Slot {
             Ready,
             Building,
             Vacant,
         }
+        let fetch_started = std::time::Instant::now();
         let shard = self.shard(key);
         let mut state = shard.state.lock().expect("cache shard poisoned");
         loop {
@@ -254,7 +285,11 @@ impl<E: Element> ShardedPlanCache<E> {
                     };
                     *last_used = tick;
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok((Arc::clone(plan), true));
+                    let timing = FetchTiming {
+                        lookup_ns: fetch_started.elapsed().as_nanos() as u64,
+                        build_ns: 0,
+                    };
+                    return Ok((Arc::clone(plan), true, timing));
                 }
                 Slot::Building => {
                     state = shard.built.wait(state).expect("cache shard poisoned");
@@ -265,7 +300,9 @@ impl<E: Element> ShardedPlanCache<E> {
         // We are the builder for this key.
         state.map.insert(key.clone(), Entry::Building);
         drop(state);
+        let build_started = std::time::Instant::now();
         let built = t.plan::<E>(shape, perm, opts);
+        let build_ns = build_started.elapsed().as_nanos() as u64;
         let mut state = shard.state.lock().expect("cache shard poisoned");
         match built {
             Ok(plan) => {
@@ -284,7 +321,12 @@ impl<E: Element> ShardedPlanCache<E> {
                 self.evict_locked(&mut state);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 shard.built.notify_all();
-                Ok((plan, false))
+                let total = fetch_started.elapsed().as_nanos() as u64;
+                let timing = FetchTiming {
+                    lookup_ns: total.saturating_sub(build_ns),
+                    build_ns,
+                };
+                Ok((plan, false, timing))
             }
             Err(e) => {
                 state.map.remove(key);

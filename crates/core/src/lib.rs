@@ -37,7 +37,7 @@ pub mod schema;
 pub mod slice;
 pub mod trace;
 
-pub use cache::{CacheConfig, CacheStats, PlanCache, PlanKey, ShardedPlanCache};
+pub use cache::{CacheConfig, CacheStats, FetchTiming, PlanCache, PlanKey, ShardedPlanCache};
 pub use model::{AnalyticPredictor, Candidate, TimePredictor};
 pub use plan::{
     CandidateMeasurement, Plan, PlanError, RankedCandidate, TransposeOptions, TransposeReport,

@@ -170,6 +170,10 @@ pub struct Plan<E: Element> {
     /// Whether `predicted_ns` is a *measured* time (measure-mode or an
     /// autotuner-installed candidate) rather than a model prediction.
     measured: bool,
+    /// Wall-clock time of the Alg. 3 candidate sweep that produced this
+    /// plan (0 when the plan bypassed the sweep) — the planner-side
+    /// span the tracing layer attributes under `plan`.
+    sweep_wall_ns: u64,
     /// The planner's full decision trace, retained when
     /// [`Transposer::set_trace_retention`] is on (shared so cached plans
     /// hand it to every request cheaply).
@@ -211,6 +215,13 @@ impl<E: Element> Plan<E> {
     /// How many candidates the model ranked.
     pub fn candidates_evaluated(&self) -> usize {
         self.candidates_evaluated
+    }
+
+    /// Wall-clock nanoseconds the Alg. 3 candidate sweep took while
+    /// building this plan; 0 for plans that bypassed the sweep
+    /// (autotuner-installed candidates).
+    pub fn sweep_wall_ns(&self) -> u64 {
+        self.sweep_wall_ns
     }
 
     /// Whether this plan's time estimate comes from measurement
@@ -396,13 +407,16 @@ impl Transposer {
             tr.admissible = schemas.clone();
             tr.guard_factor = ANALYTIC_GUARD;
         }
+        let sweep_started = std::time::Instant::now();
         let (predicted_ns, candidate, evaluated) = self.rank_candidates_impl::<E>(
             &problem,
             &schemas,
             opts,
             trace.as_deref_mut().or(owned.as_mut()),
         )?;
+        let sweep_wall_ns = sweep_started.elapsed().as_nanos() as u64;
         let mut plan = self.finish_plan::<E>(problem, candidate, predicted_ns, evaluated, opts);
+        plan.sweep_wall_ns = sweep_wall_ns;
         if let Some(tr) = trace {
             tr.plan_time_ns = plan.plan_time_ns;
         }
@@ -431,7 +445,9 @@ impl Transposer {
             Some(s) => vec![s],
             None => applicable_schemas(&problem),
         };
+        let sweep_started = std::time::Instant::now();
         let sweep = self.sweep_candidates::<E>(&problem, &schemas, opts, None)?;
+        let sweep_wall_ns = sweep_started.elapsed().as_nanos() as u64;
         let evaluated = sweep.candidates.len();
         let ranked: Vec<RankedCandidate> = sweep
             .order
@@ -445,13 +461,14 @@ impl Transposer {
             })
             .collect();
         let head = &ranked[0];
-        let plan = self.finish_plan::<E>(
+        let mut plan = self.finish_plan::<E>(
             problem,
             head.candidate.clone(),
             head.predicted_ns,
             evaluated,
             opts,
         );
+        plan.sweep_wall_ns = sweep_wall_ns;
         Ok((plan, ranked))
     }
 
@@ -503,6 +520,7 @@ impl Transposer {
             candidates_evaluated: evaluated,
             check_disjoint_writes: opts.check_disjoint_writes,
             measured: false,
+            sweep_wall_ns: 0,
             decision: None,
         }
     }
@@ -746,6 +764,7 @@ impl Transposer {
             None => applicable_schemas(&problem),
         };
         let device = self.executor.device();
+        let sweep_started = std::time::Instant::now();
         let mut best: Option<(f64, Candidate, AnyKernel<E>)> = None;
         let mut evaluated = 0usize;
         let mut measured_ns = 0.0;
@@ -779,6 +798,7 @@ impl Transposer {
             candidates_evaluated: evaluated,
             check_disjoint_writes: opts.check_disjoint_writes,
             measured: true,
+            sweep_wall_ns: sweep_started.elapsed().as_nanos() as u64,
             decision: None,
         })
     }

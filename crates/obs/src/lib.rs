@@ -30,11 +30,18 @@
 //!   admission floor so the hot path never blocks.
 //! * [`slo`] — [`SloTracker`]: latency-objective hit rate plus
 //!   short/long-window error-budget burn rates.
+//! * [`tracecontext`] — W3C `traceparent` parse/render plus the
+//!   process-global id stream ([`TraceContext`]).
+//! * [`tracestore`] — request-scoped span trees ([`SpanNode`]) and the
+//!   bounded, sampling-aware [`TraceStore`] that retains them.
+//! * [`alerts`] — [`AlertEngine`]: declarative rules over a
+//!   [`MetricsSnapshot`] with firing/resolved hysteresis.
 //!
 //! The crate deliberately depends on nothing (not even the other ttlg
 //! crates): schemas and phases are plain string labels, so any layer can
 //! feed it without creating dependency cycles.
 
+pub mod alerts;
 pub mod exemplar;
 pub mod json;
 pub mod prediction;
@@ -45,7 +52,10 @@ pub mod ring;
 pub mod slo;
 pub mod snapshot;
 pub mod span;
+pub mod tracecontext;
+pub mod tracestore;
 
+pub use alerts::{Agg, AlertEngine, AlertRule, AlertState, AlertStatus, Op, Signal};
 pub use exemplar::{Exemplar, ExemplarBuckets, ExemplarConfig, ExemplarStore};
 pub use prediction::{PredictionStats, PredictionTracker, RATIO_BUCKETS};
 pub use profile::{shape_class, PhaseProfile, PhaseShares, ProfileOptions};
@@ -56,6 +66,8 @@ pub use snapshot::{Histogram, Metric, MetricKind, MetricsSnapshot, Sample};
 pub use span::{
     clock_ns, AttrValue, CollectingSubscriber, Event, NullSubscriber, SpanRecord, Subscriber,
 };
+pub use tracecontext::{next_id, parse_trace_id, TraceContext};
+pub use tracestore::{SampleReason, SpanNode, StoredTrace, TraceStore, TraceStoreConfig};
 
 /// One fully attributed request through the runtime service — the unit
 /// stored in the [`TraceRing`] and the post-hoc answer to "what happened

@@ -122,4 +122,77 @@ mod tests {
         assert!(p99.is_finite());
         assert!(p99 >= 32768.0);
     }
+
+    #[test]
+    fn single_sample_every_quantile_lands_in_its_bucket() {
+        // With exactly one sample every quantile must interpolate inside
+        // that sample's bucket — never NaN, never a neighbouring bucket.
+        for bucket in [0usize, 1, 7, 15] {
+            let mut counts = [0u64; 16];
+            counts[bucket] = 1;
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                let est = log2_bucket_quantile_us(&counts, q);
+                let lo = log2_bucket_lower_us(bucket);
+                let hi = log2_bucket_upper_us(bucket, 16);
+                assert!(
+                    (lo..=hi).contains(&est),
+                    "bucket {bucket} q {q}: {est} not in [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_in_top_bucket_saturates_at_its_pseudo_bound() {
+        // Everything in the overflow bucket: estimates stay pinned to
+        // [2^15, 2^16] regardless of quantile or count, and p99 cannot
+        // exceed the finite pseudo-bound.
+        for n in [1u64, 10, 1_000_000] {
+            let mut counts = [0u64; 16];
+            counts[15] = n;
+            let p50 = log2_bucket_quantile_us(&counts, 0.50);
+            let p99 = log2_bucket_quantile_us(&counts, 0.99);
+            assert!(p50 >= 32768.0, "p50 {p50} below the overflow floor");
+            assert!(p99 <= 65536.0, "p99 {p99} above the pseudo-bound");
+            assert!(p50 <= p99);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_under_random_fills() {
+        // Property: for any histogram, p50 <= p95 <= p99, and every
+        // estimate stays within the histogram's overall bounds. Plain
+        // xorshift here — this crate deliberately has no dependencies.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..500 {
+            let buckets = 2 + (next() % 15) as usize;
+            let mut counts = vec![0u64; buckets];
+            let filled = 1 + (next() % buckets as u64) as usize;
+            for _ in 0..filled {
+                let i = (next() % buckets as u64) as usize;
+                counts[i] += next() % 1_000;
+            }
+            if counts.iter().all(|&c| c == 0) {
+                assert!(log2_bucket_quantile_us(&counts, 0.5).is_nan());
+                continue;
+            }
+            let p50 = log2_bucket_quantile_us(&counts, 0.50);
+            let p95 = log2_bucket_quantile_us(&counts, 0.95);
+            let p99 = log2_bucket_quantile_us(&counts, 0.99);
+            assert!(
+                p50 <= p95 && p95 <= p99,
+                "monotonicity violated: {p50} {p95} {p99} for {counts:?}"
+            );
+            let lowest = counts.iter().position(|&c| c > 0).unwrap();
+            let highest = counts.iter().rposition(|&c| c > 0).unwrap();
+            assert!(p50 >= log2_bucket_lower_us(lowest), "{counts:?}");
+            assert!(p99 <= log2_bucket_upper_us(highest, buckets), "{counts:?}");
+        }
+    }
 }

@@ -1,0 +1,211 @@
+//! W3C trace-context: `traceparent` parsing/rendering and id generation.
+//!
+//! The gateway honors an incoming `traceparent` header (version `00`)
+//! so a caller that already participates in a distributed trace keeps
+//! its trace id through TTLG, and generates a fresh context when the
+//! header is absent or malformed (per the W3C spec, a bad header is
+//! *restarted*, never propagated).
+//!
+//! Ids come from a process-global splitmix64 stream seeded once from
+//! the monotonic clock and the process id — no external RNG, no
+//! syscalls per id, and never the all-zero values the spec forbids.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::span::clock_ns;
+
+/// The sampled bit of the `traceparent` flags octet.
+pub const FLAG_SAMPLED: u8 = 0x01;
+
+/// A propagated trace identity: who this request belongs to
+/// (`trace_id`), who called us (`parent_span_id`), and the caller's
+/// sampling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit trace id; never zero.
+    pub trace_id: u128,
+    /// The caller's span id (zero when we generated the context
+    /// ourselves and there is no caller span).
+    pub parent_span_id: u64,
+    /// Flags octet; bit 0 is the sampled flag.
+    pub flags: u8,
+}
+
+impl TraceContext {
+    /// Parse a `traceparent` header value. Returns `None` on anything
+    /// malformed — the caller should then [`generate`](Self::generate) a
+    /// fresh context.
+    pub fn parse(header: &str) -> Option<TraceContext> {
+        let s = header.trim();
+        let mut parts = s.split('-');
+        let version = parts.next()?;
+        let trace_id = parts.next()?;
+        let span_id = parts.next()?;
+        let flags = parts.next()?;
+        if version.len() != 2 || !is_lower_hex(version) || version == "ff" {
+            return None;
+        }
+        // Version 00 has exactly four fields; future versions may append
+        // more, which we accept and ignore.
+        if version == "00" && parts.next().is_some() {
+            return None;
+        }
+        if trace_id.len() != 32 || span_id.len() != 16 || flags.len() != 2 {
+            return None;
+        }
+        if !is_lower_hex(trace_id) || !is_lower_hex(span_id) || !is_lower_hex(flags) {
+            return None;
+        }
+        let trace_id = u128::from_str_radix(trace_id, 16).ok()?;
+        let parent_span_id = u64::from_str_radix(span_id, 16).ok()?;
+        let flags = u8::from_str_radix(flags, 16).ok()?;
+        if trace_id == 0 || parent_span_id == 0 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id,
+            parent_span_id,
+            flags,
+        })
+    }
+
+    /// A fresh root context with the sampled flag set.
+    pub fn generate() -> TraceContext {
+        let hi = next_id() as u128;
+        let lo = next_id() as u128;
+        let trace_id = ((hi << 64) | lo).max(1);
+        TraceContext {
+            trace_id,
+            parent_span_id: 0,
+            flags: FLAG_SAMPLED,
+        }
+    }
+
+    /// Whether the caller asked for this trace to be sampled.
+    pub fn sampled(&self) -> bool {
+        self.flags & FLAG_SAMPLED != 0
+    }
+
+    /// Render a `traceparent` value naming `span_id` as the parent the
+    /// next hop should report (our span, when we are the server).
+    pub fn traceparent(&self, span_id: u64) -> String {
+        format!(
+            "00-{:032x}-{:016x}-{:02x}",
+            self.trace_id, span_id, self.flags
+        )
+    }
+
+    /// The 32-hex trace id — the `:id` of `GET /v1/trace/:id` and the
+    /// default `X-Request-Id`.
+    pub fn trace_id_hex(&self) -> String {
+        format!("{:032x}", self.trace_id)
+    }
+}
+
+fn is_lower_hex(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+/// Parse a 32-hex trace id (as rendered by
+/// [`TraceContext::trace_id_hex`]).
+pub fn parse_trace_id(s: &str) -> Option<u128> {
+    if s.len() != 32 || !is_lower_hex(s) {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok()
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Next span/trace id from the process-global stream; never zero.
+pub fn next_id() -> u64 {
+    static STATE: OnceLock<AtomicU64> = OnceLock::new();
+    let state = STATE.get_or_init(|| {
+        let seed = clock_ns() ^ ((std::process::id() as u64) << 32) ^ 0xD6E8_FEB8_6659_FD93;
+        AtomicU64::new(seed)
+    });
+    loop {
+        let n = state.fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(n);
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_round_trips() {
+        let header = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+        let ctx = TraceContext::parse(header).expect("valid header");
+        assert_eq!(ctx.trace_id, 0x4bf92f3577b34da6a3ce929d0e0e4736);
+        assert_eq!(ctx.parent_span_id, 0x00f067aa0ba902b7);
+        assert!(ctx.sampled());
+        assert_eq!(ctx.traceparent(0x00f067aa0ba902b7), header);
+        assert_eq!(ctx.trace_id_hex(), "4bf92f3577b34da6a3ce929d0e0e4736");
+        assert_eq!(parse_trace_id(&ctx.trace_id_hex()), Some(ctx.trace_id));
+    }
+
+    #[test]
+    fn unsampled_flag_is_preserved() {
+        let ctx =
+            TraceContext::parse("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00").unwrap();
+        assert!(!ctx.sampled());
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        for bad in [
+            "",
+            "00",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", // missing flags
+            "00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+            "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+            "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+            "00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01", // short trace id
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", // v00 extra field
+            "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+        ] {
+            assert!(TraceContext::parse(bad).is_none(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn future_versions_with_extra_fields_parse() {
+        let ctx =
+            TraceContext::parse("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-whatever");
+        assert!(ctx.is_some());
+    }
+
+    #[test]
+    fn generated_contexts_are_distinct_sampled_roots() {
+        let a = TraceContext::generate();
+        let b = TraceContext::generate();
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_ne!(a.trace_id, 0);
+        assert_eq!(a.parent_span_id, 0);
+        assert!(a.sampled());
+    }
+
+    #[test]
+    fn ids_are_nonzero_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = next_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate id {id:#x}");
+        }
+    }
+}

@@ -1,0 +1,645 @@
+//! Request-scoped span trees and the bounded, sampling-aware store
+//! that retains them.
+//!
+//! A [`SpanNode`] is one timed region with children — the gateway
+//! assembles one tree per request (`request` → network/queue/plan/
+//! execute → cache-lookup/Alg. 3 sweep/kernel-launch) and offers it to
+//! the [`TraceStore`] as a [`StoredTrace`].
+//!
+//! Sampling follows the [`crate::ExemplarStore`] philosophy: the hot
+//! path must never block for a request that is not retained.
+//!
+//! * **Head sampling** is a pure function of the trace id — a
+//!   deterministic hash compared against the configured rate — so the
+//!   common unsampled case costs two counter increments and zero locks.
+//! * **Tail forcing**: SLO misses, sheds, and errors are always
+//!   retained regardless of the head rate (the requests an operator
+//!   actually goes looking for), with the reason recorded.
+//! * Retained traces enter a bounded ring + id index under one small
+//!   mutex; evictions are counted so sampling loss is never invisible
+//!   (`ttlg_trace_store_evicted_total`).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::snapshot::{MetricKind, MetricsSnapshot, Sample};
+
+/// Retention and sampling knobs. `Copy` so it can ride inside larger
+/// `Copy` configs.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceStoreConfig {
+    /// Traces retained; the oldest is evicted beyond this.
+    pub capacity: usize,
+    /// Head-sampling rate in `[0, 1]`: fraction of ordinary requests
+    /// retained. SLO-miss/shed/error traces bypass the rate.
+    pub sample_rate: f64,
+}
+
+impl Default for TraceStoreConfig {
+    fn default() -> Self {
+        TraceStoreConfig {
+            capacity: 256,
+            sample_rate: 1.0,
+        }
+    }
+}
+
+/// Why a trace was retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleReason {
+    /// Head sampling: the trace id hashed under the configured rate.
+    Head,
+    /// Forced: the request missed its latency objective.
+    SloMiss,
+    /// Forced: the request was load-shed.
+    Shed,
+    /// Forced: the request failed.
+    Error,
+}
+
+impl SampleReason {
+    /// Label value for metrics and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SampleReason::Head => "head",
+            SampleReason::SloMiss => "slo_miss",
+            SampleReason::Shed => "shed",
+            SampleReason::Error => "error",
+        }
+    }
+}
+
+/// One timed region of a request with attributes and children.
+#[derive(Debug, Clone, Default)]
+pub struct SpanNode {
+    /// Span name, e.g. `"plan"`, `"alg3-sweep"`.
+    pub name: String,
+    /// Process-relative start, ns (see [`crate::clock_ns`]).
+    pub start_ns: u64,
+    /// Duration, ns.
+    pub duration_ns: u64,
+    /// String-rendered attributes.
+    pub attrs: Vec<(String, String)>,
+    /// Child spans, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// A leaf span.
+    pub fn new(name: impl Into<String>, start_ns: u64, duration_ns: u64) -> SpanNode {
+        SpanNode {
+            name: name.into(),
+            start_ns,
+            duration_ns,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Attach an attribute (builder style).
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> SpanNode {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Attach a child (builder style).
+    pub fn with_child(mut self, child: SpanNode) -> SpanNode {
+        self.children.push(child);
+        self
+    }
+
+    /// Total spans in this subtree (including self).
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::span_count)
+            .sum::<usize>()
+    }
+
+    /// Depth-first search by span name.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Flame-style rendering: one line per span with duration, share of
+    /// the root, and a proportional bar, attributes in brackets.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let root_ns = self.duration_ns.max(1);
+        self.render_into(&mut out, "", true, true, root_ns);
+        out
+    }
+
+    fn render_into(
+        &self,
+        out: &mut String,
+        prefix: &str,
+        is_last: bool,
+        is_root: bool,
+        root_ns: u64,
+    ) {
+        const BAR_WIDTH: usize = 24;
+        let (branch, child_prefix) = if is_root {
+            (String::new(), String::new())
+        } else if is_last {
+            (format!("{prefix}`- "), format!("{prefix}   "))
+        } else {
+            (format!("{prefix}|- "), format!("{prefix}|  "))
+        };
+        let share = self.duration_ns as f64 / root_ns as f64;
+        let filled = ((share * BAR_WIDTH as f64).round() as usize).min(BAR_WIDTH);
+        let label = format!("{branch}{}", self.name);
+        let attrs = if self.attrs.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = self.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("  [{}]", pairs.join(" "))
+        };
+        out.push_str(&format!(
+            "{label:<32} {:>12.1} us {:>6.1}%  |{}{}|{}\n",
+            self.duration_ns as f64 / 1e3,
+            share * 100.0,
+            "#".repeat(filled),
+            " ".repeat(BAR_WIDTH - filled),
+            attrs,
+        ));
+        for (i, child) in self.children.iter().enumerate() {
+            child.render_into(
+                out,
+                &child_prefix,
+                i + 1 == self.children.len(),
+                false,
+                root_ns,
+            );
+        }
+    }
+}
+
+/// A fully assembled, retained request trace.
+#[derive(Debug, Clone)]
+pub struct StoredTrace {
+    /// 32-hex trace id (the `GET /v1/trace/:id` key).
+    pub trace_id: String,
+    /// The request id echoed to the client.
+    pub request_id: String,
+    /// Sanitized tenant label.
+    pub tenant: String,
+    /// HTTP status the request was answered with.
+    pub status: u16,
+    /// Why the trace was retained.
+    pub reason: SampleReason,
+    /// Process-relative start, ns.
+    pub start_ns: u64,
+    /// End-to-end duration, ns (the root span's duration).
+    pub total_ns: u64,
+    /// The span tree, rooted at `request`.
+    pub root: SpanNode,
+    /// Rendered planner decision trace, when the planner retained one.
+    pub decision: Option<String>,
+}
+
+struct Inner {
+    /// Insertion order, oldest first.
+    order: VecDeque<Arc<StoredTrace>>,
+    /// Lookup by 32-hex trace id.
+    index: HashMap<String, Arc<StoredTrace>>,
+}
+
+/// Bounded, sampling-aware trace retention. See the module docs for the
+/// locking discipline.
+pub struct TraceStore {
+    cfg: TraceStoreConfig,
+    /// `sample_rate` mapped onto the id-hash space; ids hashing below
+    /// this are head-sampled.
+    threshold: u64,
+    inner: Mutex<Inner>,
+    offered: AtomicU64,
+    sampled_head: AtomicU64,
+    sampled_slo: AtomicU64,
+    sampled_shed: AtomicU64,
+    sampled_error: AtomicU64,
+    unsampled: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl TraceStore {
+    pub fn new(cfg: TraceStoreConfig) -> TraceStore {
+        let rate = cfg.sample_rate.clamp(0.0, 1.0);
+        let threshold = if rate >= 1.0 {
+            u64::MAX
+        } else {
+            (rate * u64::MAX as f64) as u64
+        };
+        TraceStore {
+            cfg: TraceStoreConfig {
+                capacity: cfg.capacity.max(1),
+                sample_rate: rate,
+            },
+            threshold,
+            inner: Mutex::new(Inner {
+                order: VecDeque::new(),
+                index: HashMap::new(),
+            }),
+            offered: AtomicU64::new(0),
+            sampled_head: AtomicU64::new(0),
+            sampled_slo: AtomicU64::new(0),
+            sampled_shed: AtomicU64::new(0),
+            sampled_error: AtomicU64::new(0),
+            unsampled: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> TraceStoreConfig {
+        self.cfg
+    }
+
+    /// Decide whether to retain the trace for `trace_id`. Lock-free:
+    /// pure arithmetic plus counter increments, so the unsampled common
+    /// case never touches the mutex. Pass `forced` for SLO-miss/shed/
+    /// error requests, which bypass the head rate.
+    pub fn sample_decision(
+        &self,
+        trace_id: u128,
+        forced: Option<SampleReason>,
+    ) -> Option<SampleReason> {
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        if let Some(reason) = forced {
+            return Some(reason);
+        }
+        // Hash rather than use the raw id: client-supplied trace ids
+        // may be structured (sequential low bits), and the decision must
+        // be uniform in the rate regardless.
+        let h = mix128(trace_id);
+        if self.threshold == u64::MAX || h < self.threshold {
+            Some(SampleReason::Head)
+        } else {
+            self.unsampled.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Insert a retained trace (the caller got `Some` from
+    /// [`sample_decision`](Self::sample_decision)). Evicts the oldest
+    /// beyond capacity.
+    pub fn insert(&self, trace: StoredTrace) {
+        match trace.reason {
+            SampleReason::Head => &self.sampled_head,
+            SampleReason::SloMiss => &self.sampled_slo,
+            SampleReason::Shed => &self.sampled_shed,
+            SampleReason::Error => &self.sampled_error,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let trace = Arc::new(trace);
+        let mut inner = self.inner.lock().expect("trace store poisoned");
+        if let Some(old) = inner
+            .index
+            .insert(trace.trace_id.clone(), Arc::clone(&trace))
+        {
+            // Same trace id offered twice (client reuse): drop the stale
+            // ring entry so `get` and the ring agree.
+            inner.order.retain(|t| !Arc::ptr_eq(t, &old));
+        }
+        inner.order.push_back(trace);
+        while inner.order.len() > self.cfg.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                if let Some(cur) = inner.index.get(&old.trace_id) {
+                    if Arc::ptr_eq(cur, &old) {
+                        inner.index.remove(&old.trace_id);
+                    }
+                }
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Look up a retained trace by 32-hex id.
+    pub fn get(&self, trace_id: &str) -> Option<Arc<StoredTrace>> {
+        self.inner
+            .lock()
+            .expect("trace store poisoned")
+            .index
+            .get(trace_id)
+            .cloned()
+    }
+
+    /// The `n` most recent traces, newest first.
+    pub fn recent(&self, n: usize) -> Vec<Arc<StoredTrace>> {
+        self.inner
+            .lock()
+            .expect("trace store poisoned")
+            .order
+            .iter()
+            .rev()
+            .take(n)
+            .cloned()
+            .collect()
+    }
+
+    /// The `n` slowest retained traces, slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<Arc<StoredTrace>> {
+        let mut all: Vec<Arc<StoredTrace>> = self
+            .inner
+            .lock()
+            .expect("trace store poisoned")
+            .order
+            .iter()
+            .cloned()
+            .collect();
+        all.sort_by_key(|t| std::cmp::Reverse(t.total_ns));
+        all.truncate(n);
+        all
+    }
+
+    /// Traces currently retained.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().expect("trace store poisoned").order.len()
+    }
+
+    /// Requests offered to the store so far.
+    pub fn offered(&self) -> u64 {
+        self.offered.load(Ordering::Relaxed)
+    }
+
+    /// Traces retained so far (all reasons).
+    pub fn sampled(&self) -> u64 {
+        self.sampled_head.load(Ordering::Relaxed)
+            + self.sampled_slo.load(Ordering::Relaxed)
+            + self.sampled_shed.load(Ordering::Relaxed)
+            + self.sampled_error.load(Ordering::Relaxed)
+    }
+
+    /// Offers dropped by head sampling.
+    pub fn unsampled(&self) -> u64 {
+        self.unsampled.load(Ordering::Relaxed)
+    }
+
+    /// Retained traces later evicted by the capacity bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Append the `ttlg_trace_store_*` families to a snapshot.
+    pub fn export_into(&self, snap: &mut MetricsSnapshot) {
+        snap.push_metric(
+            "ttlg_trace_store_offered_total",
+            "Requests offered to the trace store.",
+            MetricKind::Counter,
+            vec![Sample::plain(self.offered() as f64)],
+        );
+        snap.push_metric(
+            "ttlg_trace_store_sampled_total",
+            "Traces retained, by sampling reason.",
+            MetricKind::Counter,
+            vec![
+                Sample::labelled(
+                    "reason",
+                    SampleReason::Head.as_str(),
+                    self.sampled_head.load(Ordering::Relaxed) as f64,
+                ),
+                Sample::labelled(
+                    "reason",
+                    SampleReason::SloMiss.as_str(),
+                    self.sampled_slo.load(Ordering::Relaxed) as f64,
+                ),
+                Sample::labelled(
+                    "reason",
+                    SampleReason::Shed.as_str(),
+                    self.sampled_shed.load(Ordering::Relaxed) as f64,
+                ),
+                Sample::labelled(
+                    "reason",
+                    SampleReason::Error.as_str(),
+                    self.sampled_error.load(Ordering::Relaxed) as f64,
+                ),
+            ],
+        );
+        snap.push_metric(
+            "ttlg_trace_store_unsampled_total",
+            "Offers dropped by head sampling.",
+            MetricKind::Counter,
+            vec![Sample::plain(self.unsampled() as f64)],
+        );
+        snap.push_metric(
+            "ttlg_trace_store_evicted_total",
+            "Retained traces evicted by the capacity bound.",
+            MetricKind::Counter,
+            vec![Sample::plain(self.evicted() as f64)],
+        );
+        snap.push_metric(
+            "ttlg_trace_store_resident",
+            "Traces currently retained.",
+            MetricKind::Gauge,
+            vec![Sample::plain(self.resident() as f64)],
+        );
+    }
+}
+
+/// Fold a 128-bit id into a well-mixed 64-bit hash (splitmix64 finalizer
+/// over both halves).
+fn mix128(id: u128) -> u64 {
+    let mut z = (id as u64) ^ ((id >> 64) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(total_ns: u64) -> SpanNode {
+        SpanNode::new("request", 0, total_ns)
+            .with_child(SpanNode::new("network", 0, total_ns / 10))
+            .with_child(
+                SpanNode::new("plan", total_ns / 10, total_ns / 2)
+                    .with_attr("cache", "miss")
+                    .with_child(SpanNode::new("cache-lookup", total_ns / 10, 100))
+                    .with_child(SpanNode::new("alg3-sweep", total_ns / 5, total_ns / 4)),
+            )
+            .with_child(SpanNode::new("execute", total_ns / 2, total_ns / 2))
+    }
+
+    fn stored(id: u128, total_ns: u64, reason: SampleReason) -> StoredTrace {
+        StoredTrace {
+            trace_id: format!("{id:032x}"),
+            request_id: format!("{id:032x}"),
+            tenant: "acme".into(),
+            status: 200,
+            reason,
+            start_ns: 0,
+            total_ns,
+            root: tree(total_ns),
+            decision: None,
+        }
+    }
+
+    #[test]
+    fn span_tree_counts_finds_and_renders() {
+        let t = tree(10_000);
+        assert_eq!(t.span_count(), 6);
+        assert_eq!(t.find("alg3-sweep").unwrap().duration_ns, 2_500);
+        assert!(t.find("nope").is_none());
+        let text = t.render();
+        assert!(text.contains("request"), "{text}");
+        assert!(text.contains("|- plan"), "{text}");
+        assert!(text.contains("`- execute"), "{text}");
+        assert!(text.contains("[cache=miss]"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+        // Children are indented under their parent.
+        assert!(text.contains("|  |- cache-lookup"), "{text}");
+    }
+
+    #[test]
+    fn rate_one_samples_everything() {
+        let store = TraceStore::new(TraceStoreConfig::default());
+        for id in 1..=100u128 {
+            assert_eq!(store.sample_decision(id, None), Some(SampleReason::Head));
+        }
+        assert_eq!(store.offered(), 100);
+        assert_eq!(store.unsampled(), 0);
+    }
+
+    #[test]
+    fn rate_zero_samples_nothing_but_forced() {
+        let store = TraceStore::new(TraceStoreConfig {
+            capacity: 8,
+            sample_rate: 0.0,
+        });
+        for id in 1..=50u128 {
+            assert_eq!(store.sample_decision(id, None), None);
+        }
+        assert_eq!(store.unsampled(), 50);
+        assert_eq!(
+            store.sample_decision(51, Some(SampleReason::Error)),
+            Some(SampleReason::Error)
+        );
+        assert_eq!(
+            store.sample_decision(52, Some(SampleReason::Shed)),
+            Some(SampleReason::Shed)
+        );
+    }
+
+    #[test]
+    fn fractional_rate_is_roughly_proportional_and_deterministic() {
+        let store = TraceStore::new(TraceStoreConfig {
+            capacity: 8,
+            sample_rate: 0.25,
+        });
+        let hits: usize = (1..=4000u128)
+            .filter(|&id| store.sample_decision(id, None).is_some())
+            .count();
+        // Deterministic hash, so the count is exact across runs; just
+        // bound it loosely around 25%.
+        assert!((600..=1400).contains(&hits), "hits {hits}");
+        // Same id, same answer.
+        let again: usize = (1..=4000u128)
+            .filter(|&id| store.sample_decision(id, None).is_some())
+            .count();
+        assert_eq!(hits, again);
+    }
+
+    #[test]
+    fn insert_get_recent_slowest() {
+        let store = TraceStore::new(TraceStoreConfig::default());
+        store.insert(stored(1, 500, SampleReason::Head));
+        store.insert(stored(2, 9_000, SampleReason::SloMiss));
+        store.insert(stored(3, 2_000, SampleReason::Head));
+        assert_eq!(store.resident(), 3);
+        let got = store.get(&format!("{:032x}", 2u128)).expect("retained");
+        assert_eq!(got.total_ns, 9_000);
+        assert_eq!(got.reason, SampleReason::SloMiss);
+        let recent: Vec<u64> = store.recent(2).iter().map(|t| t.total_ns).collect();
+        assert_eq!(recent, vec![2_000, 9_000]);
+        let slowest: Vec<u64> = store.slowest(2).iter().map(|t| t.total_ns).collect();
+        assert_eq!(slowest, vec![9_000, 2_000]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_counts() {
+        let store = TraceStore::new(TraceStoreConfig {
+            capacity: 2,
+            sample_rate: 1.0,
+        });
+        for id in 1..=5u128 {
+            store.insert(stored(id, id as u64 * 100, SampleReason::Head));
+        }
+        assert_eq!(store.resident(), 2);
+        assert_eq!(store.evicted(), 3);
+        assert!(store.get(&format!("{:032x}", 1u128)).is_none(), "evicted");
+        assert!(store.get(&format!("{:032x}", 5u128)).is_some());
+    }
+
+    #[test]
+    fn duplicate_trace_id_replaces_without_ghost_entry() {
+        let store = TraceStore::new(TraceStoreConfig::default());
+        store.insert(stored(7, 100, SampleReason::Head));
+        store.insert(stored(7, 999, SampleReason::Head));
+        assert_eq!(store.resident(), 1);
+        assert_eq!(store.get(&format!("{:032x}", 7u128)).unwrap().total_ns, 999);
+    }
+
+    #[test]
+    fn exports_all_counter_families() {
+        let store = TraceStore::new(TraceStoreConfig {
+            capacity: 1,
+            sample_rate: 0.0,
+        });
+        store.sample_decision(1, None);
+        store.sample_decision(2, Some(SampleReason::Error));
+        store.insert(stored(2, 100, SampleReason::Error));
+        store.insert(stored(3, 200, SampleReason::Shed));
+        let mut snap = MetricsSnapshot::new();
+        store.export_into(&mut snap);
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        for expected in [
+            "ttlg_trace_store_offered_total",
+            "ttlg_trace_store_sampled_total",
+            "ttlg_trace_store_unsampled_total",
+            "ttlg_trace_store_evicted_total",
+            "ttlg_trace_store_resident",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        let sampled = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "ttlg_trace_store_sampled_total")
+            .unwrap();
+        assert_eq!(sampled.samples.len(), 4, "one series per reason");
+    }
+
+    #[test]
+    fn concurrent_offers_and_inserts_are_consistent() {
+        let store = Arc::new(TraceStore::new(TraceStoreConfig {
+            capacity: 64,
+            sample_rate: 1.0,
+        }));
+        let handles: Vec<_> = (0..8u128)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..200u128 {
+                        let id = t * 1_000 + i + 1;
+                        if let Some(reason) = store.sample_decision(id, None) {
+                            store.insert(stored(id, id as u64, reason));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.offered(), 1_600);
+        assert_eq!(store.sampled(), 1_600);
+        assert_eq!(store.resident(), 64);
+        assert_eq!(store.evicted(), 1_600 - 64);
+    }
+}

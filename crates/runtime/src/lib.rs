@@ -69,12 +69,15 @@ pub mod service;
 pub use autotune::{AutotuneConfig, AutotuneSnapshot, AutotunerHandle};
 pub use metrics::{LatencyHistogram, Metrics, RequestPhase, HIST_BUCKETS};
 pub use service::{
-    RuntimeConfig, ServeError, ServeResult, TransposeRequest, TransposeResponse, TransposeService,
+    RuntimeConfig, ServeError, ServeResult, SpannedOutcome, TransposeRequest, TransposeResponse,
+    TransposeService,
 };
 pub use ttlg::{CacheConfig, CacheStats, PlanKey, ShardedPlanCache};
 pub use ttlg_obs::{
-    shape_class, CollectingSubscriber, Exemplar, ExemplarBuckets, ExemplarConfig, ExemplarStore,
-    MetricsSnapshot, NullSubscriber, PhaseProfile, PhaseShares, PredictionStats, PredictionTracker,
-    ProfileOptions, RequestTrace, SloConfig, SloSnapshot, SloTracker, Subscriber, TraceRing,
+    shape_class, AlertEngine, AlertRule, AlertState, AlertStatus, CollectingSubscriber, Exemplar,
+    ExemplarBuckets, ExemplarConfig, ExemplarStore, MetricsSnapshot, NullSubscriber, PhaseProfile,
+    PhaseShares, PredictionStats, PredictionTracker, ProfileOptions, RequestTrace, SampleReason,
+    SloConfig, SloSnapshot, SloTracker, SpanNode, StoredTrace, Subscriber, TraceContext, TraceRing,
+    TraceStore, TraceStoreConfig,
 };
 pub use ttlg_perfmodel::MeasurementSink;

@@ -28,13 +28,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use ttlg::{
-    CacheConfig, CacheStats, DecisionTrace, Plan, PlanError, PlanKey, ShardedPlanCache,
-    TransposeOptions, TransposeReport, Transposer,
+    CacheConfig, CacheStats, DecisionTrace, FetchTiming, Plan, PlanError, PlanKey,
+    ShardedPlanCache, TransposeOptions, TransposeReport, Transposer,
 };
 use ttlg_obs::{
     clock_ns, profile, shape_class, AttrValue, Event, ExemplarBuckets, ExemplarConfig,
     ExemplarStore, MetricKind, MetricsSnapshot, NullSubscriber, PhaseProfile, ProfileOptions,
-    RequestTrace, Sample, SloConfig, SloSnapshot, SloTracker, SpanRecord, Subscriber, TraceRing,
+    RequestTrace, Sample, SloConfig, SloSnapshot, SloTracker, SpanNode, SpanRecord, Subscriber,
+    TraceRing,
 };
 use ttlg_perfmodel::MeasurementSink;
 use ttlg_tensor::{parallel, DenseTensor, Element, Permutation};
@@ -140,6 +141,73 @@ impl From<PlanError> for ServeError {
 
 /// Result of one request through the service.
 pub type ServeResult<E> = Result<TransposeResponse<E>, ServeError>;
+
+/// Outcome of [`TransposeService::submit_spanned`]: the response, the
+/// flat phase trace, a service-side span forest ready to graft under a
+/// caller-owned root span, and the planner's decision trace (when
+/// retention is on and the plan was built rather than replayed).
+pub struct SpannedOutcome<E: Element> {
+    /// The request outcome.
+    pub result: ServeResult<E>,
+    /// Flat queue/plan/execute phase attribution.
+    pub trace: RequestTrace,
+    /// Service-side spans: `plan` (children `cache-lookup`,
+    /// `plan-build` with `alg3-sweep`), `queue-wait`, `execute`
+    /// (children `kernel-launch`, `kernel`).
+    pub spans: Vec<SpanNode>,
+    /// The full planning decision trace, if retained.
+    pub decision: Option<Arc<DecisionTrace>>,
+}
+
+/// Assemble the service-side span forest for one spanned request. Child
+/// starts are laid out sequentially from their parent's start: the
+/// phases genuinely are sequential here (lookup then build then sweep;
+/// launch then kernel), so the layout is faithful, not cosmetic.
+#[allow(clippy::too_many_arguments)]
+fn build_service_spans(
+    plan_start: u64,
+    fetch_ns: u64,
+    timing: FetchTiming,
+    hit: bool,
+    sweep_ns: u64,
+    candidates: usize,
+    launch_ns: u64,
+    trace: &RequestTrace,
+) -> Vec<SpanNode> {
+    let mut plan_span = SpanNode::new("plan", plan_start, fetch_ns)
+        .with_attr("cache", if hit { "hit" } else { "miss" })
+        .with_child(SpanNode::new("cache-lookup", plan_start, timing.lookup_ns));
+    if !hit && timing.build_ns > 0 {
+        let build_start = plan_start + timing.lookup_ns;
+        let mut build = SpanNode::new("plan-build", build_start, timing.build_ns);
+        if sweep_ns > 0 {
+            build = build.with_child(
+                SpanNode::new("alg3-sweep", build_start, sweep_ns)
+                    .with_attr("candidates", candidates.to_string()),
+            );
+        }
+        plan_span = plan_span.with_child(build);
+    }
+    let queue_span = SpanNode::new("queue-wait", trace.start_ns, trace.queue_wait_ns);
+    let exec_start = trace.start_ns + trace.queue_wait_ns;
+    let mut exec_span = SpanNode::new("execute", exec_start, trace.execute_ns)
+        .with_attr("schema", trace.schema.clone());
+    if let Some(err) = &trace.error {
+        exec_span = exec_span.with_attr("error", err.clone());
+    }
+    if trace.ok {
+        let kernel_ns = trace.measured_ns.max(0.0) as u64;
+        exec_span = exec_span
+            .with_child(SpanNode::new("kernel-launch", exec_start, launch_ns))
+            .with_child(
+                SpanNode::new("kernel", exec_start + launch_ns, kernel_ns)
+                    .with_attr("predicted_ns", format!("{:.0}", trace.predicted_ns))
+                    .with_attr("dram_efficiency", format!("{:.3}", trace.dram_efficiency))
+                    .with_attr("smem_replay", format!("{:.3}", trace.smem_replay_rate)),
+            );
+    }
+    vec![plan_span, queue_span, exec_span]
+}
 
 /// Counting semaphore bounding in-flight executions (std has none).
 struct Semaphore {
@@ -285,9 +353,13 @@ impl<E: Element> TransposeService<E> {
         let mut snap = self.metrics.snapshot(&self.cache.stats());
         snap.push_metric(
             "ttlg_trace_dropped_total",
-            "Request traces silently dropped by trace-ring wraparound.",
+            "Request traces silently dropped before they could be read.",
             MetricKind::Counter,
-            vec![Sample::plain(self.trace_dropped() as f64)],
+            vec![Sample::labelled(
+                "source",
+                "trace-ring",
+                self.trace_dropped() as f64,
+            )],
         );
         snap.push_metric(
             "ttlg_exemplars_retained",
@@ -357,15 +429,16 @@ impl<E: Element> TransposeService<E> {
 
     /// Fetch (or build, single-flight) the plan for one request, timing
     /// the fetch into the plan-latency histogram. Returns the plan, a
-    /// served-from-cache flag, and the fetch wall time.
+    /// served-from-cache flag, the lookup/build split, and the fetch
+    /// wall time.
     #[allow(clippy::type_complexity)]
     fn fetch_plan(
         &self,
         req: &TransposeRequest<E>,
         key: &PlanKey,
-    ) -> (Result<(Arc<Plan<E>>, bool), ServeError>, u64) {
+    ) -> (Result<(Arc<Plan<E>>, bool, FetchTiming), ServeError>, u64) {
         let t0 = Instant::now();
-        let fetched = self.cache.get_or_plan_keyed_flagged(
+        let fetched = self.cache.get_or_plan_keyed_timed(
             &self.transposer,
             key,
             req.input.shape(),
@@ -374,9 +447,9 @@ impl<E: Element> TransposeService<E> {
         );
         let elapsed = t0.elapsed().as_nanos() as u64;
         match fetched {
-            Ok((plan, hit)) => {
+            Ok((plan, hit, timing)) => {
                 self.metrics.plan_latency.record_ns(elapsed);
-                (Ok((plan, hit)), elapsed)
+                (Ok((plan, hit, timing)), elapsed)
             }
             Err(e) => {
                 self.metrics.record_failure(RequestPhase::Plan, elapsed);
@@ -530,7 +603,7 @@ impl<E: Element> TransposeService<E> {
         let key = req.plan_key();
         let (fetched, fetch_ns) = self.fetch_plan(req, &key);
         match fetched {
-            Ok((plan, hit)) => {
+            Ok((plan, hit, _)) => {
                 self.note_request(&key);
                 self.execute_traced(req, &plan, hit, fetch_ns)
             }
@@ -539,6 +612,54 @@ impl<E: Element> TransposeService<E> {
                 (Err(e), trace)
             }
         }
+    }
+
+    /// [`Self::submit_traced`], additionally returning a service-side
+    /// span forest (plan with cache-lookup / plan-build / alg3-sweep
+    /// children; queue-wait; execute with kernel-launch / kernel
+    /// children) and the planner's decision trace when retained.
+    /// Network-facing callers graft these under their own root span to
+    /// form the full request span tree.
+    pub fn submit_spanned(&self, req: &TransposeRequest<E>) -> SpannedOutcome<E> {
+        let key = req.plan_key();
+        let plan_start = clock_ns();
+        let (fetched, fetch_ns) = self.fetch_plan(req, &key);
+        match fetched {
+            Ok((plan, hit, timing)) => {
+                self.note_request(&key);
+                let decision = plan.decision_trace().cloned();
+                let sweep_ns = plan.sweep_wall_ns();
+                let candidates = plan.candidates_evaluated();
+                let launch_ns = self.transposer.device().launch_overhead_ns as u64;
+                let (result, trace) = self.execute_traced(req, &plan, hit, fetch_ns);
+                let spans = build_service_spans(
+                    plan_start, fetch_ns, timing, hit, sweep_ns, candidates, launch_ns, &trace,
+                );
+                SpannedOutcome {
+                    result,
+                    trace,
+                    spans,
+                    decision,
+                }
+            }
+            Err(e) => {
+                let trace = self.record_plan_failure(req, fetch_ns, &e);
+                let plan_span = SpanNode::new("plan", plan_start, fetch_ns)
+                    .with_attr("error", e.message.clone());
+                SpannedOutcome {
+                    result: Err(e),
+                    trace,
+                    spans: vec![plan_span],
+                    decision: None,
+                }
+            }
+        }
+    }
+
+    /// The latency objective the built-in [`SloTracker`] enforces, so
+    /// callers can force-sample requests that missed it.
+    pub fn slo_config(&self) -> SloConfig {
+        self.slo.config()
     }
 
     /// Serve a batch: requests are grouped by plan key, each distinct
@@ -562,8 +683,9 @@ impl<E: Element> TransposeService<E> {
         // slot keeps the cache-hit flag and fetch time so phase 2 can
         // attribute them to every request sharing the plan.
         #[allow(clippy::type_complexity)]
-        let plans: Vec<OnceLock<(Result<(Arc<Plan<E>>, bool), ServeError>, u64)>> =
-            (0..distinct.len()).map(|_| OnceLock::new()).collect();
+        let plans: Vec<
+            OnceLock<(Result<(Arc<Plan<E>>, bool, FetchTiming), ServeError>, u64)>,
+        > = (0..distinct.len()).map(|_| OnceLock::new()).collect();
         parallel::parallel_for_threads(distinct.len(), 1, self.workers, |g| {
             let i = distinct[g];
             let built = self.fetch_plan(&reqs[i], &keys[i]);
@@ -583,7 +705,7 @@ impl<E: Element> TransposeService<E> {
                 // spawning a full-machine pool. Only the group's
                 // representative actually touched the cache; every other
                 // request was served from the shared plan — a hit.
-                Ok((plan, hit)) => {
+                Ok((plan, hit, _)) => {
                     self.note_request(&keys[i]);
                     parallel::with_thread_cap(self.exec_threads, || {
                         let hit = *hit || i != distinct[g];
@@ -762,6 +884,46 @@ mod tests {
         assert_eq!(svc.metrics().total_requests(), 1);
         // Second submission hits the cache.
         svc.submit(&req).unwrap();
+        assert_eq!(svc.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn submit_spanned_builds_the_service_span_forest() {
+        let svc: TransposeService<f64> = TransposeService::new_k40c();
+        let shape = Shape::new(&[16, 8, 4]).unwrap();
+        let perm = Permutation::new(&[2, 0, 1]).unwrap();
+        let input = Arc::new(DenseTensor::<f64>::iota(shape));
+        let req = TransposeRequest::new(Arc::clone(&input), perm);
+
+        // Cold: plan is built, so the forest carries plan-build with the
+        // Alg. 3 sweep child, and the decision trace is retained.
+        let cold = svc.submit_spanned(&req);
+        assert!(cold.result.is_ok());
+        assert!(cold.decision.is_some(), "cold plan retains decision trace");
+        let names: Vec<&str> = cold.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["plan", "queue-wait", "execute"]);
+        let plan = &cold.spans[0];
+        assert!(plan.find("cache-lookup").is_some());
+        assert!(plan.find("plan-build").is_some());
+        let sweep = plan.find("alg3-sweep").expect("cold plan swept candidates");
+        assert!(sweep.duration_ns > 0);
+        let exec = &cold.spans[2];
+        assert!(exec.find("kernel-launch").is_some());
+        let kernel = exec
+            .find("kernel")
+            .expect("successful execute has kernel span");
+        assert!(kernel.duration_ns > 0);
+
+        // Warm: the plan replays from cache — no build, no sweep.
+        let warm = svc.submit_spanned(&req);
+        assert!(warm.result.is_ok());
+        let plan = &warm.spans[0];
+        assert!(plan.find("cache-lookup").is_some());
+        assert!(plan.find("plan-build").is_none(), "cache hit never builds");
+        assert_eq!(
+            plan.attrs.iter().find(|(k, _)| k == "cache").unwrap().1,
+            "hit"
+        );
         assert_eq!(svc.cache_stats().hits, 1);
     }
 
@@ -1137,7 +1299,10 @@ mod tests {
         // Satellite: ring wraparound is no longer silent.
         assert_eq!(svc.trace_dropped(), 6);
         let prom = svc.export_prometheus();
-        assert!(prom.contains("ttlg_trace_dropped_total 6"), "{prom}");
+        assert!(
+            prom.contains("ttlg_trace_dropped_total{source=\"trace-ring\"} 6"),
+            "{prom}"
+        );
     }
 
     #[test]

@@ -30,8 +30,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ttlg::TransposeOptions;
-use ttlg_obs::{MetricKind, Sample};
-use ttlg_runtime::{LatencyHistogram, TransposeRequest, TransposeService, HIST_BUCKETS};
+use ttlg_obs::{
+    clock_ns, next_id, AlertEngine, AlertStatus, MetricKind, Sample, SampleReason, SpanNode,
+    StoredTrace, TraceContext, TraceStore, TraceStoreConfig,
+};
+use ttlg_runtime::{
+    LatencyHistogram, SpannedOutcome, TransposeRequest, TransposeService, HIST_BUCKETS,
+};
 use ttlg_tensor::{DenseTensor, Permutation, Shape};
 
 use crate::admission::{AdmissionController, Priority, QuotaConfig, Shed, ShedReason};
@@ -62,6 +67,8 @@ pub struct GatewayConfig {
     pub request_timeout_ms: u64,
     /// Keep-alive idle timeout before the server closes a connection.
     pub idle_timeout_ms: u64,
+    /// Trace-store geometry and head-sampling rate.
+    pub trace: TraceStoreConfig,
 }
 
 impl Default for GatewayConfig {
@@ -76,6 +83,7 @@ impl Default for GatewayConfig {
             limits: HttpLimits::default(),
             request_timeout_ms: 30_000,
             idle_timeout_ms: 5_000,
+            trace: TraceStoreConfig::default(),
         }
     }
 }
@@ -130,11 +138,20 @@ struct Job {
     network_ns: u64,
     enqueued: Instant,
     slot: Arc<CompletionSlot>,
+    /// The W3C trace context this request runs under (inbound
+    /// `traceparent`, or a fresh root).
+    ctx: TraceContext,
+    /// The request id echoed on the response.
+    request_id: String,
 }
 
 /// Tenant label cardinality cap for per-tenant metric families; tenants
-/// beyond this are folded into `other`.
+/// beyond this are folded into `_other` so the per-tenant series still
+/// sum to the unlabelled totals.
 const MAX_TENANT_LABELS: usize = 32;
+
+/// The aggregation label for tenants past [`MAX_TENANT_LABELS`].
+pub const OVERFLOW_TENANT: &str = "_other";
 
 /// Counters and histograms for the `ttlg_gateway_*` families.
 #[derive(Default)]
@@ -142,6 +159,8 @@ pub struct GatewayMetrics {
     /// Requests routed, by endpoint.
     transpose_total: AtomicU64,
     explain_total: AtomicU64,
+    traces_total: AtomicU64,
+    alerts_total: AtomicU64,
     metrics_total: AtomicU64,
     healthz_total: AtomicU64,
     not_found_total: AtomicU64,
@@ -170,7 +189,7 @@ impl GatewayMetrics {
         if tenants.contains_key(tenant) || tenants.len() < MAX_TENANT_LABELS {
             tenant.to_string()
         } else {
-            "other".to_string()
+            OVERFLOW_TENANT.to_string()
         }
     }
 
@@ -214,7 +233,12 @@ impl GatewayMetrics {
     }
 
     /// Append the `ttlg_gateway_*` families to a snapshot.
-    fn export_into(&self, snap: &mut ttlg_runtime::MetricsSnapshot, queue_depth: usize) {
+    fn export_into(
+        &self,
+        snap: &mut ttlg_runtime::MetricsSnapshot,
+        queue_depth: usize,
+        queue_capacity: usize,
+    ) {
         snap.push_metric(
             "ttlg_gateway_requests_total",
             "HTTP requests routed, by endpoint.",
@@ -229,6 +253,16 @@ impl GatewayMetrics {
                     "endpoint",
                     "explain",
                     self.explain_total.load(Ordering::Relaxed) as f64,
+                ),
+                Sample::labelled(
+                    "endpoint",
+                    "traces",
+                    self.traces_total.load(Ordering::Relaxed) as f64,
+                ),
+                Sample::labelled(
+                    "endpoint",
+                    "alerts",
+                    self.alerts_total.load(Ordering::Relaxed) as f64,
                 ),
                 Sample::labelled(
                     "endpoint",
@@ -310,6 +344,12 @@ impl GatewayMetrics {
             MetricKind::Gauge,
             vec![Sample::plain(queue_depth as f64)],
         );
+        snap.push_metric(
+            "ttlg_gateway_queue_capacity",
+            "Per-tenant, per-class scheduler queue bound.",
+            MetricKind::Gauge,
+            vec![Sample::plain(queue_capacity as f64)],
+        );
         {
             let tenants = self.tenants.lock().expect("tenant metrics poisoned");
             let mut admitted = Vec::new();
@@ -367,6 +407,10 @@ pub struct Gateway {
     scheduler: Arc<Scheduler<Job>>,
     workers: Mutex<Option<SchedulerWorkers>>,
     metrics: GatewayMetrics,
+    /// Sampled request span trees, bounded and queryable.
+    traces: TraceStore,
+    /// Declarative alert rules evaluated over the merged snapshot.
+    alerts: AlertEngine,
     /// Input tensors cached by extents so repeated problems don't
     /// re-materialize (bounded; cleared wholesale when full).
     inputs: Mutex<HashMap<Vec<usize>, Arc<DenseTensor<f64>>>>,
@@ -388,6 +432,8 @@ impl Gateway {
             scheduler: Arc::clone(&scheduler),
             workers: Mutex::new(None),
             metrics: GatewayMetrics::default(),
+            traces: TraceStore::new(cfg.trace),
+            alerts: AlertEngine::with_default_rules(),
             inputs: Mutex::new(HashMap::new()),
             service,
             cfg,
@@ -413,6 +459,53 @@ impl Gateway {
         &self.service
     }
 
+    /// The sampled-trace store.
+    pub fn trace_store(&self) -> &TraceStore {
+        &self.traces
+    }
+
+    /// The alert engine.
+    pub fn alerts(&self) -> &AlertEngine {
+        &self.alerts
+    }
+
+    /// Advance the alert engine one evaluation over the current merged
+    /// snapshot (service + gateway + trace store) and return the
+    /// per-rule statuses.
+    pub fn evaluate_alerts(&self) -> Vec<AlertStatus> {
+        let snap = self.merged_snapshot();
+        self.alerts.evaluate(&snap)
+    }
+
+    fn merged_snapshot(&self) -> ttlg_runtime::MetricsSnapshot {
+        let mut snap = self.service.metrics_snapshot();
+        self.metrics
+            .export_into(&mut snap, self.scheduler.depth(), self.cfg.queue_capacity);
+        self.traces.export_into(&mut snap);
+        // Sampling loss must never be invisible: the trace-drop alert
+        // rule sums over `ttlg_trace_dropped_total`, which the service
+        // snapshot already carries for its trace-ring. Store evictions
+        // join the same family as a second series rather than a
+        // duplicate family (two `# TYPE` blocks would be invalid
+        // exposition, and the rule only reads the first).
+        let store = Sample::labelled("source", "trace-store", self.traces.evicted() as f64);
+        if let Some(m) = snap
+            .metrics
+            .iter_mut()
+            .find(|m| m.name == "ttlg_trace_dropped_total")
+        {
+            m.samples.push(store);
+        } else {
+            snap.push_metric(
+                "ttlg_trace_dropped_total",
+                "Sampled traces dropped before they could be read.",
+                MetricKind::Counter,
+                vec![store],
+            );
+        }
+        snap
+    }
+
     /// Stop the scheduler, fail anything still queued with 503, and
     /// join the workers. Idempotent.
     pub fn stop(&self) {
@@ -427,16 +520,49 @@ impl Gateway {
 
     /// Route one parsed request. `network_ns` is the edge's measured
     /// first-byte-to-parse time for this request.
+    ///
+    /// Every response — success, shed, or error — carries the request's
+    /// `x-request-id` (inbound value echoed, or a fresh id) and a
+    /// `traceparent` continuing the inbound W3C trace context (or a new
+    /// root when none arrived).
     pub fn handle(&self, req: &HttpRequest, network_ns: u64) -> HttpResponse {
         self.metrics.network_hist.record_ns(network_ns);
+        let ctx = req
+            .header("traceparent")
+            .and_then(TraceContext::parse)
+            .unwrap_or_else(TraceContext::generate);
+        let request_id = req
+            .header("x-request-id")
+            .and_then(sanitize_request_id)
+            .unwrap_or_else(|| format!("{:016x}", next_id()));
+        let resp = self.route(req, network_ns, ctx, &request_id);
+        resp.with_header("x-request-id", request_id)
+            .with_header("traceparent", ctx.traceparent(next_id()))
+    }
+
+    fn route(
+        &self,
+        req: &HttpRequest,
+        network_ns: u64,
+        ctx: TraceContext,
+        request_id: &str,
+    ) -> HttpResponse {
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/v1/transpose") => {
                 self.metrics.transpose_total.fetch_add(1, Ordering::Relaxed);
-                self.handle_transpose(req, network_ns)
+                self.handle_transpose(req, network_ns, ctx, request_id)
             }
             ("GET", "/v1/explain") => {
                 self.metrics.explain_total.fetch_add(1, Ordering::Relaxed);
                 self.handle_explain(req)
+            }
+            ("GET", "/v1/traces") => {
+                self.metrics.traces_total.fetch_add(1, Ordering::Relaxed);
+                self.handle_traces_list(req)
+            }
+            ("GET", "/v1/alerts") => {
+                self.metrics.alerts_total.fetch_add(1, Ordering::Relaxed);
+                self.handle_alerts()
             }
             ("GET", "/metrics") => {
                 self.metrics.metrics_total.fetch_add(1, Ordering::Relaxed);
@@ -444,7 +570,11 @@ impl Gateway {
             }
             ("GET", "/healthz") => {
                 self.metrics.healthz_total.fetch_add(1, Ordering::Relaxed);
-                HttpResponse::json(obj(vec![("ok", Json::Bool(true))]).render())
+                self.handle_healthz()
+            }
+            ("GET", path) if path.starts_with("/v1/trace/") => {
+                self.metrics.traces_total.fetch_add(1, Ordering::Relaxed);
+                self.handle_trace_get(&path["/v1/trace/".len()..], req)
             }
             _ => {
                 self.metrics.not_found_total.fetch_add(1, Ordering::Relaxed);
@@ -454,14 +584,47 @@ impl Gateway {
     }
 
     /// Prometheus text: the service's full snapshot plus the
-    /// `ttlg_gateway_*` families.
+    /// `ttlg_gateway_*`, trace-store, and alert families. Each scrape
+    /// also advances the alert engine one evaluation, so the exported
+    /// `ttlg_alerts_firing` gauges are fresh at scrape cadence.
     pub fn export_prometheus(&self) -> String {
-        let mut snap = self.service.metrics_snapshot();
-        self.metrics.export_into(&mut snap, self.scheduler.depth());
+        let mut snap = self.merged_snapshot();
+        self.alerts.evaluate(&snap);
+        self.alerts.export_into(&mut snap);
         ttlg_obs::prom::render(&snap)
     }
 
-    fn handle_transpose(&self, req: &HttpRequest, network_ns: u64) -> HttpResponse {
+    /// Liveness gated on readiness: 503 while any critical alert rule
+    /// is firing (as of the last evaluation), naming the firing rules.
+    fn handle_healthz(&self) -> HttpResponse {
+        let firing: Vec<Json> = self
+            .alerts
+            .status()
+            .into_iter()
+            .filter(|s| s.critical && s.state == ttlg_obs::AlertState::Firing)
+            .map(|s| Json::Str(s.name.to_string()))
+            .collect();
+        if firing.is_empty() {
+            HttpResponse::json(obj(vec![("ok", Json::Bool(true))]).render())
+        } else {
+            HttpResponse::json(
+                obj(vec![
+                    ("ok", Json::Bool(false)),
+                    ("critical_alerts", Json::Arr(firing)),
+                ])
+                .render(),
+            )
+            .with_status(503)
+        }
+    }
+
+    fn handle_transpose(
+        &self,
+        req: &HttpRequest,
+        network_ns: u64,
+        ctx: TraceContext,
+        request_id: &str,
+    ) -> HttpResponse {
         // -- validate ---------------------------------------------------
         let body = match json::parse(&req.body) {
             Ok(v) => v,
@@ -513,7 +676,7 @@ impl Gateway {
 
         // -- admit ------------------------------------------------------
         if let Err(shed) = self.admission.check_quota(&tenant) {
-            return self.shed_response(&tenant, shed);
+            return self.shed_response(&tenant, shed, ctx, request_id, network_ns);
         }
         let slot = CompletionSlot::new();
         let job = Job {
@@ -524,6 +687,8 @@ impl Gateway {
             network_ns,
             enqueued: Instant::now(),
             slot: Arc::clone(&slot),
+            ctx,
+            request_id: request_id.to_string(),
         };
         if self.scheduler.try_enqueue(&tenant, class, job).is_err() {
             return self.shed_response(
@@ -532,6 +697,9 @@ impl Gateway {
                     reason: ShedReason::QueueFull,
                     retry_after_secs: 1,
                 },
+                ctx,
+                request_id,
+                network_ns,
             );
         }
         self.metrics.record_tenant(&tenant, true);
@@ -547,15 +715,70 @@ impl Gateway {
     }
 
     /// Scheduler-worker side: materialize the input, run the service,
-    /// and complete the connection thread's slot.
+    /// complete the connection thread's slot, and offer the finished
+    /// span tree to the trace store.
     fn execute_job(&self, job: Job) {
         let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
         self.metrics.queue_hist.record_ns(queue_ns);
         let input = self.input_for(&job.extents);
         let perm = Permutation::new(&job.perm).expect("perm validated at admission");
         let request = TransposeRequest::new(input, perm);
-        let (outcome, trace) = self.service.submit_traced(&request);
-        let resp = match outcome {
+        let SpannedOutcome {
+            result,
+            trace,
+            spans,
+            decision,
+        } = self.service.submit_spanned(&request);
+
+        let total_ns = job.network_ns + queue_ns + trace.total_ns();
+        let slo_target_ns = (self.service.slo_config().target_us * 1e3) as u64;
+        let forced = if result.is_err() {
+            Some(SampleReason::Error)
+        } else if total_ns > slo_target_ns {
+            Some(SampleReason::SloMiss)
+        } else {
+            None
+        };
+        // An unsampled inbound flag suppresses head sampling but never
+        // tail forcing: errors and SLO misses are always kept.
+        let reason = if job.ctx.sampled() || forced.is_some() {
+            self.traces.sample_decision(job.ctx.trace_id, forced)
+        } else {
+            None
+        };
+        let sampled = reason.is_some();
+        if let Some(reason) = reason {
+            // Root starts when the first byte hit the wire: the service
+            // spans anchor it (spans[0] is the plan span, which started
+            // right after dequeue).
+            let service_start = spans.first().map(|s| s.start_ns).unwrap_or_else(clock_ns);
+            let root_start = service_start.saturating_sub(job.network_ns + queue_ns);
+            let mut root = SpanNode::new("request", root_start, total_ns)
+                .with_attr("tenant", job.tenant.clone())
+                .with_attr("priority", job.class.as_str())
+                .with_child(SpanNode::new("network", root_start, job.network_ns))
+                .with_child(SpanNode::new(
+                    "gateway-queue",
+                    root_start + job.network_ns,
+                    queue_ns,
+                ));
+            for span in spans {
+                root = root.with_child(span);
+            }
+            self.traces.insert(StoredTrace {
+                trace_id: job.ctx.trace_id_hex(),
+                request_id: job.request_id.clone(),
+                tenant: job.tenant.clone(),
+                status: if result.is_ok() { 200 } else { 500 },
+                reason,
+                start_ns: root_start,
+                total_ns,
+                root,
+                decision: decision.map(|d| d.render()),
+            });
+        }
+
+        let resp = match result {
             Ok(r) => {
                 let phases = obj(vec![
                     ("network_us", Json::Num(job.network_ns as f64 / 1e3)),
@@ -578,6 +801,9 @@ impl Gateway {
                         ("kernel_us", Json::Num(r.report.kernel_time_ns / 1e3)),
                         ("predicted_us", Json::Num(r.report.predicted_ns / 1e3)),
                         ("bandwidth_gbps", Json::Num(r.report.bandwidth_gbps)),
+                        ("trace_id", Json::Str(job.ctx.trace_id_hex())),
+                        ("request_id", Json::Str(job.request_id.clone())),
+                        ("sampled", Json::Bool(sampled)),
                         ("phases", phases),
                     ])
                     .render(),
@@ -588,7 +814,14 @@ impl Gateway {
         job.slot.complete(resp);
     }
 
-    fn shed_response(&self, tenant: &str, shed: Shed) -> HttpResponse {
+    fn shed_response(
+        &self,
+        tenant: &str,
+        shed: Shed,
+        ctx: TraceContext,
+        request_id: &str,
+        network_ns: u64,
+    ) -> HttpResponse {
         match shed.reason {
             ShedReason::QuotaExceeded => self
                 .metrics
@@ -600,17 +833,133 @@ impl Gateway {
                 .fetch_add(1, Ordering::Relaxed),
         };
         self.metrics.record_tenant(tenant, false);
+        // Sheds are always trace-worthy: force-sample a minimal tree so
+        // overload leaves evidence even at low head-sampling rates.
+        if let Some(reason) = self
+            .traces
+            .sample_decision(ctx.trace_id, Some(SampleReason::Shed))
+        {
+            let now = clock_ns();
+            let start = now.saturating_sub(network_ns);
+            self.traces.insert(StoredTrace {
+                trace_id: ctx.trace_id_hex(),
+                request_id: request_id.to_string(),
+                tenant: tenant.to_string(),
+                status: 429,
+                reason,
+                start_ns: start,
+                total_ns: network_ns,
+                root: SpanNode::new("request", start, network_ns)
+                    .with_attr("tenant", tenant)
+                    .with_attr("shed", shed.reason.as_str())
+                    .with_child(SpanNode::new("network", start, network_ns)),
+                decision: None,
+            });
+        }
         HttpResponse::json(
             obj(vec![
                 ("ok", Json::Bool(false)),
                 ("error", Json::Str("shed".to_string())),
                 ("reason", Json::Str(shed.reason.as_str().to_string())),
                 ("retry_after_secs", Json::Num(shed.retry_after_secs as f64)),
+                ("trace_id", Json::Str(ctx.trace_id_hex())),
             ])
             .render(),
         )
         .with_status(429)
         .with_header("retry-after", shed.retry_after_secs.to_string())
+    }
+
+    /// `GET /v1/trace/:id` — one stored trace as a JSON span tree, or
+    /// as the flame-style text rendering with `?format=flame`.
+    fn handle_trace_get(&self, id: &str, req: &HttpRequest) -> HttpResponse {
+        let Some(stored) = self.traces.get(id) else {
+            return HttpResponse::error(404, format!("no sampled trace {id}"));
+        };
+        if req.query_param("format") == Some("flame") {
+            let mut text = format!(
+                "trace {} request {} tenant {} status {} reason {} total {:.1} us\n\n",
+                stored.trace_id,
+                stored.request_id,
+                stored.tenant,
+                stored.status,
+                stored.reason.as_str(),
+                stored.total_ns as f64 / 1e3,
+            );
+            text.push_str(&stored.root.render());
+            if let Some(decision) = &stored.decision {
+                text.push('\n');
+                text.push_str(decision);
+            }
+            return HttpResponse::text(text);
+        }
+        HttpResponse::json(trace_json(&stored).render())
+    }
+
+    /// `GET /v1/traces?slowest=N` (or `?recent=N`) — stored-trace
+    /// summaries, slowest-first or newest-first.
+    fn handle_traces_list(&self, req: &HttpRequest) -> HttpResponse {
+        let parse_n = |v: Option<&str>| v.and_then(|s| s.parse::<usize>().ok());
+        let (traces, order) = if let Some(n) = parse_n(req.query_param("slowest")) {
+            (self.traces.slowest(n), "slowest")
+        } else {
+            let n = parse_n(req.query_param("recent")).unwrap_or(10);
+            (self.traces.recent(n), "recent")
+        };
+        let items: Vec<Json> = traces
+            .iter()
+            .map(|t| {
+                obj(vec![
+                    ("trace_id", Json::Str(t.trace_id.clone())),
+                    ("request_id", Json::Str(t.request_id.clone())),
+                    ("tenant", Json::Str(t.tenant.clone())),
+                    ("status", Json::Num(t.status as f64)),
+                    ("reason", Json::Str(t.reason.as_str().to_string())),
+                    ("total_us", Json::Num(t.total_ns as f64 / 1e3)),
+                    ("spans", Json::Num(t.root.span_count() as f64)),
+                ])
+            })
+            .collect();
+        HttpResponse::json(
+            obj(vec![
+                ("order", Json::Str(order.to_string())),
+                ("resident", Json::Num(self.traces.resident() as f64)),
+                ("sampled_total", Json::Num(self.traces.sampled() as f64)),
+                ("traces", Json::Arr(items)),
+            ])
+            .render(),
+        )
+    }
+
+    /// `GET /v1/alerts` — evaluate the rules now and report each rule's
+    /// state machine.
+    fn handle_alerts(&self) -> HttpResponse {
+        let statuses = self.evaluate_alerts();
+        let any_critical = statuses
+            .iter()
+            .any(|s| s.critical && s.state == ttlg_obs::AlertState::Firing);
+        let rules: Vec<Json> = statuses
+            .into_iter()
+            .map(|s| {
+                obj(vec![
+                    ("rule", Json::Str(s.name.to_string())),
+                    ("help", Json::Str(s.help.to_string())),
+                    ("state", Json::Str(s.state.as_str().to_string())),
+                    ("value", s.value.map(Json::Num).unwrap_or(Json::Null)),
+                    ("threshold", Json::Num(s.threshold)),
+                    ("critical", Json::Bool(s.critical)),
+                    ("fired_count", Json::Num(s.fired_count as f64)),
+                ])
+            })
+            .collect();
+        HttpResponse::json(
+            obj(vec![
+                ("evaluations", Json::Num(self.alerts.evaluations() as f64)),
+                ("any_critical_firing", Json::Bool(any_critical)),
+                ("rules", Json::Arr(rules)),
+            ])
+            .render(),
+        )
     }
 
     fn handle_explain(&self, req: &HttpRequest) -> HttpResponse {
@@ -655,6 +1004,60 @@ impl Gateway {
     }
 }
 
+/// A stored trace as a JSON document (root span tree included).
+fn trace_json(t: &StoredTrace) -> Json {
+    obj(vec![
+        ("trace_id", Json::Str(t.trace_id.clone())),
+        ("request_id", Json::Str(t.request_id.clone())),
+        ("tenant", Json::Str(t.tenant.clone())),
+        ("status", Json::Num(t.status as f64)),
+        ("reason", Json::Str(t.reason.as_str().to_string())),
+        ("total_us", Json::Num(t.total_ns as f64 / 1e3)),
+        ("root", span_json(&t.root)),
+        (
+            "decision",
+            t.decision
+                .as_ref()
+                .map(|d| Json::Str(d.clone()))
+                .unwrap_or(Json::Null),
+        ),
+    ])
+}
+
+/// One span node (recursive) as JSON.
+fn span_json(s: &SpanNode) -> Json {
+    obj(vec![
+        ("name", Json::Str(s.name.clone())),
+        ("start_ns", Json::Num(s.start_ns as f64)),
+        ("duration_us", Json::Num(s.duration_ns as f64 / 1e3)),
+        (
+            "attrs",
+            Json::Obj(
+                s.attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ),
+        (
+            "children",
+            Json::Arr(s.children.iter().map(span_json).collect()),
+        ),
+    ])
+}
+
+/// Accept a client-supplied request id only if it is header-safe:
+/// visible ASCII, no separators that could smuggle header lines, at
+/// most 128 chars.
+fn sanitize_request_id(raw: &str) -> Option<String> {
+    let ok = !raw.is_empty()
+        && raw.len() <= 128
+        && raw
+            .chars()
+            .all(|c| c.is_ascii_graphic() && c != '"' && c != ',');
+    ok.then(|| raw.to_string())
+}
+
 /// Clamp a tenant id to a safe label: ASCII alphanumerics, `-`, `_`,
 /// `.`, at most 64 chars; anything else becomes `invalid`.
 fn sanitize_tenant(raw: &str) -> String {
@@ -681,9 +1084,18 @@ fn parse_usize_list(s: &str) -> Option<Vec<usize>> {
 mod tests {
     use super::*;
     use crate::http::parse_request;
+    use ttlg::Transposer;
+    use ttlg_runtime::{RuntimeConfig, SloConfig};
 
     fn gateway(cfg: GatewayConfig) -> Arc<Gateway> {
         Gateway::start(Arc::new(TransposeService::new_k40c()), cfg)
+    }
+
+    fn header<'a>(resp: &'a HttpResponse, name: &str) -> Option<&'a str> {
+        resp.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn post_transpose(body: &str, headers: &[(&str, &str)]) -> HttpRequest {
@@ -848,16 +1260,209 @@ mod tests {
             "ttlg_gateway_requests_total",
             "ttlg_gateway_shed_total",
             "ttlg_gateway_queue_depth",
+            "ttlg_gateway_queue_capacity",
             "ttlg_gateway_network_us",
             "ttlg_gateway_queue_us",
             "ttlg_requests_total",
             "ttlg_cache_pinned_plans",
+            "ttlg_trace_store_offered_total",
+            "ttlg_trace_store_sampled_total",
+            "ttlg_trace_store_evicted_total",
+            "ttlg_trace_dropped_total",
+            "ttlg_alerts_firing",
         ] {
             assert!(prom.contains(family), "{family} missing from:\n{prom}");
         }
         let resp = gw.handle(&get("/nope"), 0);
         assert_eq!(resp.status, 404);
         gw.stop();
+    }
+
+    #[test]
+    fn traceparent_is_honored_and_trace_is_queryable() {
+        let gw = gateway(GatewayConfig::default());
+        let trace_id = "0123456789abcdef0123456789abcdef";
+        let tp = format!("00-{trace_id}-00f067aa0ba902b7-01");
+        let req = post_transpose(
+            r#"{"extents":[16,8,4],"perm":[2,0,1]}"#,
+            &[("traceparent", tp.as_str()), ("x-request-id", "req-42")],
+        );
+        let resp = gw.handle(&req, 1_000);
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        assert_eq!(header(&resp, "x-request-id"), Some("req-42"));
+        let echoed = header(&resp, "traceparent").expect("traceparent echoed");
+        assert!(
+            echoed.starts_with(&format!("00-{trace_id}-")),
+            "echo continues the inbound trace: {echoed}"
+        );
+        let body = json::parse(&resp.body).unwrap();
+        assert_eq!(
+            body.get("trace_id").and_then(|v| v.as_str()),
+            Some(trace_id)
+        );
+        assert_eq!(body.get("sampled"), Some(&Json::Bool(true)));
+
+        // The stored trace comes back as a full span tree.
+        let resp = gw.handle(&get(&format!("/v1/trace/{trace_id}")), 0);
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(&resp.body).unwrap();
+        assert_eq!(
+            doc.get("request_id").and_then(|v| v.as_str()),
+            Some("req-42")
+        );
+        let root = doc.get("root").expect("root span present");
+        assert_eq!(root.get("name").and_then(|v| v.as_str()), Some("request"));
+        let children: Vec<String> = match root.get("children") {
+            Some(Json::Arr(c)) => c
+                .iter()
+                .filter_map(|s| s.get("name").and_then(|v| v.as_str()).map(String::from))
+                .collect(),
+            _ => panic!("root has children"),
+        };
+        for name in ["network", "gateway-queue", "plan", "queue-wait", "execute"] {
+            assert!(
+                children.contains(&name.to_string()),
+                "{name} in {children:?}"
+            );
+        }
+
+        // The flame rendering names the deepest spans.
+        let resp = gw.handle(&get(&format!("/v1/trace/{trace_id}?format=flame")), 0);
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8_lossy(&resp.body).to_string();
+        for needle in ["request", "alg3-sweep", "kernel", "decision trace"] {
+            assert!(text.contains(needle), "{needle} missing from:\n{text}");
+        }
+
+        // Unknown ids are 404, and the list endpoint sees the trace.
+        assert_eq!(gw.handle(&get("/v1/trace/feedbeef"), 0).status, 404);
+        let resp = gw.handle(&get("/v1/traces?slowest=5"), 0);
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8_lossy(&resp.body).contains(trace_id));
+        gw.stop();
+    }
+
+    #[test]
+    fn unsampled_inbound_flag_suppresses_head_sampling() {
+        // A huge SLO target keeps tail forcing out of the picture.
+        let svc = TransposeService::with_config(
+            Transposer::new_k40c(),
+            RuntimeConfig {
+                slo: SloConfig {
+                    target_us: 1e12,
+                    ..SloConfig::default()
+                },
+                ..RuntimeConfig::default()
+            },
+        );
+        let gw = Gateway::start(Arc::new(svc), GatewayConfig::default());
+        let trace_id = "fedcba9876543210fedcba9876543210";
+        let tp = format!("00-{trace_id}-00f067aa0ba902b7-00");
+        let req = post_transpose(
+            r#"{"extents":[8,8],"perm":[1,0]}"#,
+            &[("traceparent", tp.as_str())],
+        );
+        let resp = gw.handle(&req, 0);
+        assert_eq!(resp.status, 200);
+        let body = json::parse(&resp.body).unwrap();
+        assert_eq!(body.get("sampled"), Some(&Json::Bool(false)));
+        assert_eq!(
+            gw.handle(&get(&format!("/v1/trace/{trace_id}")), 0).status,
+            404
+        );
+        gw.stop();
+    }
+
+    #[test]
+    fn sheds_are_force_sampled() {
+        let gw = gateway(GatewayConfig {
+            quota: QuotaConfig {
+                rate_per_sec: 0.001,
+                burst: 1.0,
+                max_tenants: 8,
+            },
+            ..GatewayConfig::default()
+        });
+        let trace_id = "abcdefabcdefabcdefabcdefabcdef01";
+        let hdrs_body = r#"{"extents":[8,8],"perm":[1,0]}"#;
+        assert_eq!(
+            gw.handle(&post_transpose(hdrs_body, &[("x-ttlg-tenant", "acme")]), 0)
+                .status,
+            200
+        );
+        let tp = format!("00-{trace_id}-00f067aa0ba902b7-01");
+        let resp = gw.handle(
+            &post_transpose(
+                hdrs_body,
+                &[("x-ttlg-tenant", "acme"), ("traceparent", tp.as_str())],
+            ),
+            500,
+        );
+        assert_eq!(resp.status, 429);
+        let stored = gw.trace_store().get(trace_id).expect("shed is sampled");
+        assert_eq!(stored.status, 429);
+        assert_eq!(stored.reason, SampleReason::Shed);
+        assert_eq!(stored.tenant, "acme");
+        assert!(stored.root.find("network").is_some());
+        gw.stop();
+    }
+
+    #[test]
+    fn critical_alert_gates_healthz() {
+        // An impossible SLO: every request misses, so the short-window
+        // burn rate saturates far past the slo-burn rule's threshold.
+        let svc = TransposeService::with_config(
+            Transposer::new_k40c(),
+            RuntimeConfig {
+                slo: SloConfig {
+                    target_us: 0.001,
+                    ..SloConfig::default()
+                },
+                ..RuntimeConfig::default()
+            },
+        );
+        let gw = Gateway::start(Arc::new(svc), GatewayConfig::default());
+        assert_eq!(
+            gw.handle(&get("/healthz"), 0).status,
+            200,
+            "healthy at boot"
+        );
+        for _ in 0..3 {
+            let resp = gw.handle(&post_transpose(r#"{"extents":[8,8],"perm":[1,0]}"#, &[]), 0);
+            assert_eq!(resp.status, 200);
+        }
+        // slo-burn needs two consecutive breached evaluations to fire.
+        gw.evaluate_alerts();
+        gw.evaluate_alerts();
+        let resp = gw.handle(&get("/healthz"), 0);
+        assert_eq!(resp.status, 503);
+        let text = String::from_utf8_lossy(&resp.body).to_string();
+        assert!(text.contains("slo-burn"), "{text}");
+        let resp = gw.handle(&get("/v1/alerts"), 0);
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(&resp.body).unwrap();
+        assert_eq!(
+            doc.get("any_critical_firing"),
+            Some(&Json::Bool(true)),
+            "{}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        gw.stop();
+    }
+
+    #[test]
+    fn tenant_overflow_folds_into_underscore_other() {
+        let m = GatewayMetrics::default();
+        for i in 0..40 {
+            m.record_tenant(&format!("t{i}"), i % 2 == 0);
+        }
+        assert_eq!(m.tenant_label("brand-new"), OVERFLOW_TENANT);
+        let tenants = m.tenants.lock().unwrap();
+        assert_eq!(tenants.len(), MAX_TENANT_LABELS + 1, "32 real + _other");
+        assert!(tenants.contains_key(OVERFLOW_TENANT));
+        // Aggregation preserves totals: the series still sum to 40.
+        let total: u64 = tenants.values().map(|(a, s)| a + s).sum();
+        assert_eq!(total, 40);
     }
 
     #[test]

@@ -167,6 +167,108 @@ mod e2e {
         let prom = c.get("/metrics").unwrap().body_text();
         assert!(prom.contains("ttlg_gateway_shed_total"));
         assert_eq!(h.gateway().metrics().sheds(), total_shed);
+        // Reconciliation: the per-tenant series sum to the totals, so
+        // label-capped aggregation never loses requests.
+        let series_sum = |family: &str| -> u64 {
+            prom.lines()
+                .filter(|l| l.starts_with(&format!("{family}{{")))
+                .map(|l| {
+                    l.rsplit(' ')
+                        .next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .unwrap_or(0.0) as u64
+                })
+                .sum()
+        };
+        assert_eq!(
+            series_sum("ttlg_gateway_tenant_shed_total"),
+            total_shed,
+            "tenant shed series sum to the shed total"
+        );
+        assert_eq!(
+            series_sum("ttlg_gateway_tenant_admitted_total"),
+            total_ok,
+            "tenant admitted series sum to the served total"
+        );
+        h.stop();
+    }
+
+    /// Acceptance: a sampled request served over TCP yields its full
+    /// span tree from `GET /v1/trace/:id`, with the trace context and
+    /// request id echoed on the response.
+    #[test]
+    fn sampled_trace_is_queryable_over_tcp() {
+        let mut h = serve(GatewayConfig::default());
+        let mut c = HttpClient::connect(h.addr()).unwrap();
+        let trace_id = "4bf92f3577b34da6a3ce929d0e0e4736";
+        let tp = format!("00-{trace_id}-00f067aa0ba902b7-01");
+        let r = c
+            .post_json(
+                "/v1/transpose",
+                &[
+                    ("x-ttlg-tenant", "acme"),
+                    ("traceparent", tp.as_str()),
+                    ("x-request-id", "e2e-1"),
+                ],
+                BODY,
+            )
+            .unwrap();
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        assert_eq!(r.header("x-request-id"), Some("e2e-1"));
+        assert!(
+            r.header("traceparent")
+                .is_some_and(|v| v.starts_with(&format!("00-{trace_id}-"))),
+            "traceparent continues the inbound context"
+        );
+
+        let r = c.get(&format!("/v1/trace/{trace_id}")).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        let body = r.body_text();
+        let doc = json::parse(body.as_bytes()).unwrap();
+        assert_eq!(doc.get("trace_id").and_then(|v| v.as_str()), Some(trace_id));
+        assert_eq!(
+            doc.get("request_id").and_then(|v| v.as_str()),
+            Some("e2e-1")
+        );
+        let root = doc.get("root").expect("span tree present");
+        assert_eq!(root.get("name").and_then(|v| v.as_str()), Some("request"));
+        for needle in ["\"plan\"", "\"execute\"", "\"kernel\""] {
+            assert!(body.contains(needle), "{needle} missing from {body}");
+        }
+
+        let r = c.get("/v1/traces?slowest=3").unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.body_text().contains(trace_id));
+
+        let r = c.get("/v1/alerts").unwrap();
+        assert_eq!(r.status, 200);
+        assert!(
+            r.body_text().contains("prediction-drift"),
+            "{}",
+            r.body_text()
+        );
+
+        let prom = c.get("/metrics").unwrap().body_text();
+        assert!(prom.contains("ttlg_trace_store_sampled_total"));
+        h.stop();
+    }
+
+    #[test]
+    fn stalled_request_gets_408_with_request_id() {
+        use std::io::{Read, Write};
+        let mut h = serve(GatewayConfig {
+            idle_timeout_ms: 200,
+            ..GatewayConfig::default()
+        });
+        let mut s = std::net::TcpStream::connect(h.addr()).unwrap();
+        s.write_all(b"POST /v1/transpose HTTP/1.1\r\nhost: x\r\ncontent-length: 100\r\n\r\n{")
+            .unwrap();
+        let mut resp = Vec::new();
+        s.read_to_end(&mut resp).unwrap();
+        let text = String::from_utf8_lossy(&resp);
+        assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+        assert!(text.contains("x-request-id:"), "{text}");
+        assert!(text.contains("traceparent:"), "{text}");
         h.stop();
     }
 

@@ -21,8 +21,22 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ttlg_obs::{next_id, TraceContext};
+
 use crate::gateway::Gateway;
 use crate::http::{parse_request, HttpResponse};
+
+/// An error produced at the edge, before any request was parsed. There
+/// is no inbound trace context to honor, so a fresh root context and
+/// request id are minted — every response path carries both headers.
+fn edge_error(status: u16, message: &str) -> HttpResponse {
+    HttpResponse::error(status, message)
+        .with_header("x-request-id", format!("{:016x}", next_id()))
+        .with_header(
+            "traceparent",
+            TraceContext::generate().traceparent(next_id()),
+        )
+}
 
 /// How long a handler thread blocks in `read` before re-checking the
 /// shutdown flag and idle deadline.
@@ -94,9 +108,8 @@ pub fn spawn(gateway: Arc<Gateway>, addr: &str) -> std::io::Result<ServerHandle>
                 if active.load(Ordering::SeqCst) >= cap {
                     accept_gw.metrics().connection_rejected();
                     let mut s = stream;
-                    let _ = s.write_all(
-                        &HttpResponse::error(503, "connection limit reached").serialize(false),
-                    );
+                    let _ =
+                        s.write_all(&edge_error(503, "connection limit reached").serialize(false));
                     continue;
                 }
                 active.fetch_add(1, Ordering::SeqCst);
@@ -168,7 +181,7 @@ fn handle_connection(gw: &Arc<Gateway>, mut stream: TcpStream, shutdown: &Atomic
                 Ok(None) => break,
                 Err(e) => {
                     gw.metrics().parse_error();
-                    let resp = HttpResponse::error(e.status, e.message);
+                    let resp = edge_error(e.status, &e.message);
                     let _ = stream.write_all(&resp.serialize(false));
                     return;
                 }
@@ -197,7 +210,7 @@ fn handle_connection(gw: &Arc<Gateway>, mut stream: TcpStream, shutdown: &Atomic
                 if !buf.is_empty() && last_activity.elapsed() > idle_timeout {
                     // A half-sent request that stalled: don't hold the
                     // connection (slow-loris guard).
-                    let resp = HttpResponse::error(408, "request timed out");
+                    let resp = edge_error(408, "request timed out");
                     let _ = stream.write_all(&resp.serialize(false));
                     return;
                 }

@@ -1,0 +1,151 @@
+//! Metric-name drift check: the `/metrics` endpoint and DESIGN.md's
+//! metrics table must list exactly the same `ttlg_*` families, in both
+//! directions. Renaming or adding a family without documenting it (or
+//! documenting one that no longer exists) fails this test.
+//!
+//! Also asserts the scrape contract CI relies on: scraping twice with
+//! traffic in between never decreases a counter.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use ttlg_runtime::TransposeService;
+use ttlg_serve::{client::HttpClient, Gateway, GatewayConfig, QuotaConfig};
+
+const BODY: &str = r#"{"extents":[16,8,4],"perm":[2,0,1]}"#;
+
+/// Spin an ephemeral gateway, drive enough traffic to touch every
+/// subsystem (admitted requests, sheds, traces, alerts), and scrape.
+fn scrape_after_traffic() -> (String, String) {
+    let gw = Gateway::start(
+        Arc::new(TransposeService::new_k40c()),
+        GatewayConfig {
+            quota: QuotaConfig {
+                rate_per_sec: 50.0,
+                burst: 3.0,
+                max_tenants: 8,
+            },
+            ..GatewayConfig::default()
+        },
+    );
+    let mut server = ttlg_serve::server::spawn(gw, "127.0.0.1:0").expect("bind loopback");
+    let mut c = HttpClient::connect(server.addr()).expect("connect");
+    let drive = |c: &mut HttpClient| {
+        for _ in 0..6 {
+            let r = c
+                .post_json("/v1/transpose", &[("x-ttlg-tenant", "drift")], BODY)
+                .expect("post");
+            assert!(r.status == 200 || r.status == 429, "status {}", r.status);
+        }
+        assert_eq!(c.get("/v1/alerts").expect("alerts").status, 200);
+        assert_eq!(c.get("/healthz").expect("healthz").status, 200);
+    };
+    drive(&mut c);
+    let first = c.get("/metrics").expect("scrape 1").body_text();
+    drive(&mut c);
+    let second = c.get("/metrics").expect("scrape 2").body_text();
+    server.stop();
+    (first, second)
+}
+
+/// `ttlg_*` family names from `# TYPE` lines of a scrape.
+fn scraped_families(prom: &str) -> BTreeSet<String> {
+    prom.lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .filter(|name| name.starts_with("ttlg_"))
+        .map(str::to_string)
+        .collect()
+}
+
+/// `ttlg_*` family names from DESIGN.md's metrics table — rows of the
+/// form `` | `family` | ... ``.
+fn documented_families() -> BTreeSet<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../DESIGN.md");
+    let text = std::fs::read_to_string(path).expect("read DESIGN.md");
+    let mut families = BTreeSet::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("| `ttlg_") else {
+            continue;
+        };
+        let Some(name) = rest.split('`').next() else {
+            continue;
+        };
+        families.insert(format!("ttlg_{name}"));
+    }
+    families
+}
+
+#[test]
+fn exported_families_match_the_design_doc_both_ways() {
+    let (prom, _) = scrape_after_traffic();
+    let exported = scraped_families(&prom);
+    let documented = documented_families();
+    assert!(
+        !exported.is_empty() && !documented.is_empty(),
+        "both sides must be non-empty (exported {}, documented {})",
+        exported.len(),
+        documented.len()
+    );
+    let undocumented: Vec<&String> = exported.difference(&documented).collect();
+    let stale: Vec<&String> = documented.difference(&exported).collect();
+    assert!(
+        undocumented.is_empty(),
+        "exported but missing from DESIGN.md's metrics table: {undocumented:?}"
+    );
+    assert!(
+        stale.is_empty(),
+        "documented in DESIGN.md but not exported: {stale:?}"
+    );
+}
+
+/// Last-resort parse of a sample line `name{labels} value` -> value.
+fn counter_values(prom: &str) -> BTreeMap<String, f64> {
+    let mut counters = BTreeSet::new();
+    for line in prom.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            if let (Some(name), Some("counter")) = (it.next(), it.next()) {
+                counters.insert(name.to_string());
+            }
+        }
+    }
+    let mut values = BTreeMap::new();
+    for line in prom.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let name = series.split('{').next().unwrap_or(series);
+        if counters.contains(name) {
+            if let Ok(v) = value.parse::<f64>() {
+                values.insert(series.to_string(), v);
+            }
+        }
+    }
+    values
+}
+
+#[test]
+fn counters_are_monotone_across_scrapes() {
+    let (first, second) = scrape_after_traffic();
+    let before = counter_values(&first);
+    let after = counter_values(&second);
+    assert!(!before.is_empty(), "first scrape exposed no counters");
+    for (series, v1) in &before {
+        if let Some(v2) = after.get(series) {
+            assert!(
+                v2 >= v1,
+                "counter went backwards between scrapes: {series} {v1} -> {v2}"
+            );
+        }
+    }
+    // Traffic ran between the scrapes, so at least one counter moved.
+    assert!(
+        before
+            .iter()
+            .any(|(s, v1)| after.get(s).is_some_and(|v2| v2 > v1)),
+        "no counter advanced despite traffic between scrapes"
+    );
+}
