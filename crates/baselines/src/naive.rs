@@ -1,10 +1,15 @@
 //! The naive d-nested-loop GPU transposition, wrapped as a baseline
-//! library with the same run/report interface as the others.
+//! library with the same run/report interface as the others — plus its
+//! CPU twin [`NaiveCpuTranspose`], the wall-clock baseline the tiled
+//! CPU backend is measured against.
 
 use crate::BaselineReport;
+use std::time::Instant;
 use ttlg::kernels::NaiveKernel;
 use ttlg::Problem;
-use ttlg_gpu_sim::{timing, DeviceConfig, ExecMode, Executor, TimingModel};
+use ttlg_gpu_sim::{
+    timing, DeviceConfig, ExecMode, Executor, KernelTiming, TimingModel, TransactionStats,
+};
 use ttlg_tensor::{DenseTensor, Element, Permutation, Shape};
 
 /// Naive transposition "library".
@@ -72,6 +77,83 @@ impl NaiveTranspose {
     }
 }
 
+/// Naive single-threaded CPU transposition, wall-clock timed: one
+/// scalar element move per step of a d-digit odometer over the output
+/// index space (sequential stores, strided gathers) — the CPU analogue
+/// of the d-nested-loop kernel of the paper's introduction. No tiling,
+/// no run coalescing, no threads: exactly what `ttlg-cpu` has to beat.
+#[derive(Debug, Default)]
+pub struct NaiveCpuTranspose;
+
+impl NaiveCpuTranspose {
+    /// Build the baseline (stateless).
+    pub fn new() -> Self {
+        NaiveCpuTranspose
+    }
+
+    /// Execute on real data and report wall-clock time/bandwidth.
+    pub fn execute<E: Element>(
+        &self,
+        input: &DenseTensor<E>,
+        perm: &Permutation,
+    ) -> (DenseTensor<E>, BaselineReport) {
+        let out_shape = perm.apply_to_shape(input.shape()).expect("valid perm");
+        let rank = input.shape().rank();
+        let in_strides = input.shape().strides();
+        // Walking output dim d moves the input offset by the stride of
+        // the input dimension it came from.
+        let perm_strides: Vec<usize> = perm.as_slice().iter().map(|&j| in_strides[j]).collect();
+        let out_ext: Vec<usize> = (0..rank).map(|d| out_shape.extent(d)).collect();
+        let vol = input.volume();
+        let mut out = DenseTensor::zeros(out_shape);
+        let src = input.data();
+        let t0 = Instant::now();
+        {
+            let dst = out.data_mut();
+            let mut idx = vec![0usize; rank];
+            let mut in_off = 0usize;
+            for slot in dst.iter_mut().take(vol) {
+                *slot = src[in_off];
+                for d in 0..rank {
+                    idx[d] += 1;
+                    in_off += perm_strides[d];
+                    if idx[d] < out_ext[d] {
+                        break;
+                    }
+                    in_off -= perm_strides[d] * out_ext[d];
+                    idx[d] = 0;
+                }
+            }
+        }
+        let wall_ns = (t0.elapsed().as_nanos() as f64).max(1.0);
+        // Cache-line traffic stands in for DRAM transactions so the
+        // shared report shape stays meaningful (64 B lines, read+write).
+        let line_tx = (vol * E::BYTES).div_ceil(64) as u64;
+        let report = BaselineReport {
+            kind: "naive-cpu".into(),
+            kernel_time_ns: wall_ns,
+            bandwidth_gbps: timing::bandwidth_gbps(vol, E::BYTES, wall_ns),
+            plan_time_ns: 0.0,
+            stats: TransactionStats {
+                dram_load_tx: line_tx,
+                dram_store_tx: line_tx,
+                elements_moved: vol as u64,
+                ..Default::default()
+            },
+            timing: KernelTiming {
+                time_ns: wall_ns,
+                dram_ns: wall_ns,
+                smem_ns: 0.0,
+                instr_ns: 0.0,
+                launch_ns: 0.0,
+                mlp: 1.0,
+                tail: 1.0,
+            },
+        };
+        (out, report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +181,20 @@ mod tests {
             report.kernel_time_ns,
             ttlg_report.kernel_time_ns
         );
+    }
+
+    #[test]
+    fn cpu_naive_is_correct_and_wall_clock_timed() {
+        let shape = Shape::new(&[48, 32, 24]).unwrap();
+        let perm = Permutation::new(&[2, 0, 1]).unwrap();
+        let input: DenseTensor<u32> = DenseTensor::iota(shape);
+        let (out, report) = NaiveCpuTranspose::new().execute(&input, &perm);
+        let expect = reference::transpose_reference(&input, &perm).unwrap();
+        assert_eq!(out.data(), expect.data());
+        assert_eq!(report.kind, "naive-cpu");
+        assert!(report.kernel_time_ns >= 1.0);
+        assert!(report.bandwidth_gbps > 0.0);
+        assert!(report.stats.dram_load_tx > 0);
     }
 
     #[test]

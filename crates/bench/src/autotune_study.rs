@@ -121,6 +121,7 @@ pub fn run(distinct: usize, rounds: usize) -> AutotuneStudy {
             budget_per_key: 8,
             threads: 1,
             poll_interval_ms: 1,
+            ..AutotuneConfig::default()
         },
         ..RuntimeConfig::default()
     };

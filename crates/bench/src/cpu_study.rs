@@ -1,0 +1,503 @@
+//! CPU-backend study: real wall-clock bandwidth of the tiled CPU
+//! executor (`ttlg-cpu`) vs the naive single-threaded odometer loop
+//! (`ttlg_baselines::naive::NaiveCpuTranspose`) across the paper's
+//! shape taxonomy, plus the thread-scaling curve and the per-backend
+//! predicted-vs-measured accuracy of the planner's models.
+//!
+//! Unlike every other study in this crate, nothing here runs on the
+//! simulator clock: both sides move real bytes and are timed with
+//! `Instant`. A final mixed segment replays the same problems through a
+//! [`TransposeService`] once per backend, so the exported `/metrics`
+//! carry `ttlg_backend_requests_total` for both lanes.
+
+use crate::serve_study::json_f64;
+use std::sync::Arc;
+use std::time::Instant;
+use ttlg::{Backend, TransposeOptions, Transposer};
+use ttlg_baselines::naive::NaiveCpuTranspose;
+use ttlg_runtime::{TransposeRequest, TransposeService};
+use ttlg_tensor::{parallel, DenseTensor, Permutation, Shape};
+
+/// One taxonomy case, both sides measured.
+#[derive(Debug, Clone)]
+pub struct CpuCase {
+    /// Case label.
+    pub name: String,
+    /// Schema-taxonomy class this case exercises.
+    pub class: String,
+    /// Input extents (dimension 0 fastest).
+    pub shape: Vec<usize>,
+    /// The permutation applied.
+    pub perm: Vec<usize>,
+    /// Schema the planner actually classified the problem under.
+    pub schema: String,
+    /// Best-of-reps tiled wall-clock, ns.
+    pub tiled_ns: f64,
+    /// Best-of-reps naive wall-clock, ns.
+    pub naive_ns: f64,
+    /// naive_ns / tiled_ns.
+    pub speedup: f64,
+    /// Tiled effective bandwidth, GB/s (2 x volume x bytes / time).
+    pub tiled_gbps: f64,
+    /// Naive effective bandwidth, GB/s.
+    pub naive_gbps: f64,
+    /// The planner's predicted time for the chosen CPU candidate, ns.
+    pub predicted_ns: f64,
+}
+
+/// One point of the thread-scaling curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total tiled wall-clock across all cases at this thread count, ns.
+    pub wall_ns: f64,
+    /// Speedup over the single-thread run of the same sweep.
+    pub speedup: f64,
+}
+
+/// Outcome of the CPU study.
+#[derive(Debug, Clone)]
+pub struct CpuStudy {
+    /// `parallel::default_threads()` on the measuring host.
+    pub threads: usize,
+    /// Per-case measurements (including the ungated copy reference).
+    pub cases: Vec<CpuCase>,
+    /// Per-class geometric-mean speedup over naive, transposition
+    /// classes only (the copy reference is excluded: memcpy vs memcpy).
+    pub classes: Vec<(String, f64)>,
+    /// Geometric-mean speedup across the transposition cases.
+    pub geo_mean_speedup: f64,
+    /// naive/tiled ratio on the copy reference case (~1.0 by design).
+    pub copy_speedup: f64,
+    /// Thread ladder (1/2/4/N, deduplicated).
+    pub scaling: Vec<ScalingPoint>,
+    /// CPU lane: geo-mean of max(pred/meas, meas/pred) per case.
+    pub cpu_pred_geo_err: f64,
+    /// GPU-sim lane on the same problems, predicted vs simulated.
+    pub gpu_pred_geo_err: f64,
+    /// `ttlg_backend_requests_total` per lane after the mixed segment.
+    pub backend_requests_gpu: u64,
+    /// CPU-lane request count after the mixed segment.
+    pub backend_requests_cpu: u64,
+    /// Whether the Prometheus export carried both backend families.
+    pub metrics_expose_both: bool,
+}
+
+/// The study's taxonomy sweep: one or two shapes per schema class,
+/// sized so the naive loop's line-reuse set (the input cache lines an
+/// inner output pass keeps revisiting) overflows L1 — the regime the
+/// tiled kernel exists for. The `copy` case is a bandwidth reference
+/// (both sides degenerate to a straight copy, so no speedup is possible
+/// or claimed); it is reported but excluded from the gated classes.
+fn taxonomy() -> Vec<(&'static str, &'static str, Vec<usize>, Vec<usize>)> {
+    vec![
+        ("copy-r3", "copy", vec![256, 64, 32], vec![0, 1, 2]),
+        (
+            "fvi-large-r3",
+            "fvi-large",
+            vec![128, 64, 64],
+            vec![0, 2, 1],
+        ),
+        (
+            "fvi-small-r3",
+            "fvi-small",
+            vec![16, 128, 128],
+            vec![0, 2, 1],
+        ),
+        (
+            "od-square-r2",
+            "orthogonal-distinct",
+            vec![512, 512],
+            vec![1, 0],
+        ),
+        (
+            "od-rect-r2",
+            "orthogonal-distinct",
+            vec![64, 16384],
+            vec![1, 0],
+        ),
+        (
+            "oa-r4",
+            "orthogonal-arbitrary",
+            vec![16, 64, 8, 32],
+            vec![2, 0, 3, 1],
+        ),
+    ]
+}
+
+fn geo_mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0f64, 0usize);
+    for x in xs {
+        if x > 0.0 && x.is_finite() {
+            sum += x.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+/// Symmetric prediction-error factor (always >= 1).
+fn err_factor(predicted: f64, measured: f64) -> f64 {
+    let r = predicted.max(1.0) / measured.max(1.0);
+    r.max(1.0 / r)
+}
+
+fn gbps(volume: usize, elem_bytes: usize, ns: f64) -> f64 {
+    (2 * volume * elem_bytes) as f64 / ns.max(1.0)
+}
+
+impl CpuStudy {
+    /// Render the comparison tables.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("== tiled CPU backend vs naive odometer (wall clock) ==\n");
+        s.push_str(&format!("host threads: {}\n", self.threads));
+        s.push_str(&format!(
+            "{:<16} {:<20} {:<22} {:>10} {:>10} {:>9}\n",
+            "case", "class", "schema", "tiled GB/s", "naive GB/s", "speedup"
+        ));
+        for c in &self.cases {
+            s.push_str(&format!(
+                "{:<16} {:<20} {:<22} {:>10.2} {:>10.2} {:>8.2}x\n",
+                c.name, c.class, c.schema, c.tiled_gbps, c.naive_gbps, c.speedup
+            ));
+        }
+        s.push_str(&format!(
+            "geo-mean speedup: {:.2}x (per class:",
+            self.geo_mean_speedup
+        ));
+        for (class, sp) in &self.classes {
+            s.push_str(&format!(" {class} {sp:.2}x"));
+        }
+        s.push_str(")\n");
+        s.push_str(&format!(
+            "copy reference (memcpy vs memcpy, ungated): {:.2}x\n",
+            self.copy_speedup
+        ));
+        s.push_str("thread scaling:");
+        for p in &self.scaling {
+            s.push_str(&format!(" {}t {:.2}x", p.threads, p.speedup));
+        }
+        s.push('\n');
+        s.push_str(&format!(
+            "prediction geo-mean error factor: cpu {:.2}x, gpu_sim {:.2}x\n",
+            self.cpu_pred_geo_err, self.gpu_pred_geo_err
+        ));
+        s.push_str(&format!(
+            "mixed serve segment: {} gpu_sim + {} cpu requests, both exported: {}\n",
+            self.backend_requests_gpu, self.backend_requests_cpu, self.metrics_expose_both
+        ));
+        s
+    }
+
+    /// Serialize as a machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"study\": \"cpu\",\n");
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!(
+            "  \"geo_mean_speedup\": {},\n",
+            json_f64(self.geo_mean_speedup)
+        ));
+        s.push_str(&format!(
+            "  \"copy_speedup\": {},\n",
+            json_f64(self.copy_speedup)
+        ));
+        s.push_str("  \"classes\": [\n");
+        for (i, (class, sp)) in self.classes.iter().enumerate() {
+            let comma = if i + 1 < self.classes.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"class\": \"{class}\", \"speedup\": {}}}{comma}\n",
+                json_f64(*sp)
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"cases\": [\n");
+        for (i, c) in self.cases.iter().enumerate() {
+            let comma = if i + 1 < self.cases.len() { "," } else { "" };
+            let shape: Vec<String> = c.shape.iter().map(|e| e.to_string()).collect();
+            let perm: Vec<String> = c.perm.iter().map(|e| e.to_string()).collect();
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"class\": \"{}\", \"shape\": [{}], \
+                 \"perm\": [{}], \"schema\": \"{}\", \"tiled_ms\": {}, \
+                 \"naive_ms\": {}, \"speedup\": {}, \"tiled_gbps\": {}, \
+                 \"naive_gbps\": {}, \"predicted_ns\": {}}}{comma}\n",
+                c.name,
+                c.class,
+                shape.join(", "),
+                perm.join(", "),
+                c.schema,
+                json_f64(c.tiled_ns * 1e-6),
+                json_f64(c.naive_ns * 1e-6),
+                json_f64(c.speedup),
+                json_f64(c.tiled_gbps),
+                json_f64(c.naive_gbps),
+                json_f64(c.predicted_ns),
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"scaling\": [\n");
+        for (i, p) in self.scaling.iter().enumerate() {
+            let comma = if i + 1 < self.scaling.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"threads\": {}, \"wall_ms\": {}, \"speedup\": {}}}{comma}\n",
+                p.threads,
+                json_f64(p.wall_ns * 1e-6),
+                json_f64(p.speedup)
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"cpu_pred_geo_err\": {},\n",
+            json_f64(self.cpu_pred_geo_err)
+        ));
+        s.push_str(&format!(
+            "  \"gpu_pred_geo_err\": {},\n",
+            json_f64(self.gpu_pred_geo_err)
+        ));
+        s.push_str(&format!(
+            "  \"backend_requests_gpu\": {},\n",
+            self.backend_requests_gpu
+        ));
+        s.push_str(&format!(
+            "  \"backend_requests_cpu\": {},\n",
+            self.backend_requests_cpu
+        ));
+        s.push_str(&format!(
+            "  \"metrics_expose_both\": {}\n",
+            self.metrics_expose_both
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Run the study. `seconds` scales the repetition count: `<= 1` takes
+/// best-of-2 (unit tests), `<= 2` best-of-3 (CI smoke), larger budgets
+/// best-of-5.
+pub fn run(seconds: f64) -> CpuStudy {
+    let reps = if seconds > 2.0 {
+        5
+    } else if seconds > 1.0 {
+        3
+    } else {
+        2
+    };
+    let threads = parallel::default_threads();
+    let t = Transposer::new_k40c();
+    let naive = NaiveCpuTranspose::new();
+    let cpu_opts = TransposeOptions::for_backend(Backend::Cpu);
+
+    let mut cases = Vec::new();
+    let mut cpu_errs = Vec::new();
+    let mut gpu_errs = Vec::new();
+    let mut plans = Vec::new();
+    for (name, class, extents, perm_idx) in taxonomy() {
+        let shape = Shape::new(&extents).expect("valid extents");
+        let perm = Permutation::new(&perm_idx).expect("valid perm");
+        let input: DenseTensor<f32> = DenseTensor::iota(shape.clone());
+
+        // Tiled CPU lane: plan once, execute `reps` times, keep the best
+        // wall clock (the report's kernel_time_ns IS wall clock here).
+        // One untimed warmup per lane first: the initial execution pays
+        // the allocator's first-touch page faults for the output buffer,
+        // which would otherwise swamp the kernel on L2-resident cases.
+        let plan = t
+            .plan::<f32>(&shape, &perm, &cpu_opts)
+            .expect("cpu plan builds");
+        let mut tiled_ns = f64::INFINITY;
+        let (mut tiled_out, _) = t.execute(&plan, &input).expect("cpu warmup");
+        for _ in 0..reps {
+            let (out, report) = t.execute(&plan, &input).expect("cpu execute");
+            tiled_ns = tiled_ns.min(report.kernel_time_ns);
+            tiled_out = out;
+        }
+
+        // Naive lane: the single-threaded scalar odometer.
+        let mut naive_ns = f64::INFINITY;
+        let (mut naive_out, _) = naive.execute(&input, &perm);
+        for _ in 0..reps {
+            let (out, report) = naive.execute(&input, &perm);
+            naive_ns = naive_ns.min(report.kernel_time_ns);
+            naive_out = out;
+        }
+        assert_eq!(
+            tiled_out.data(),
+            naive_out.data(),
+            "{name}: tiled and naive outputs diverge"
+        );
+
+        cpu_errs.push(err_factor(plan.predicted_ns(), tiled_ns));
+
+        // GPU-sim lane on the same problem: predicted vs simulated time
+        // (the existing Table II accuracy story, kept per backend).
+        let gplan = t
+            .plan::<f32>(&shape, &perm, &TransposeOptions::default())
+            .expect("gpu plan builds");
+        let greport = t.time_plan(&gplan).expect("gpu timing");
+        gpu_errs.push(err_factor(gplan.predicted_ns(), greport.kernel_time_ns));
+
+        let vol = shape.volume();
+        cases.push(CpuCase {
+            name: name.to_string(),
+            class: class.to_string(),
+            shape: extents.clone(),
+            perm: perm_idx.clone(),
+            schema: plan.schema().to_string(),
+            tiled_ns,
+            naive_ns,
+            speedup: naive_ns / tiled_ns.max(1.0),
+            tiled_gbps: gbps(vol, 4, tiled_ns),
+            naive_gbps: gbps(vol, 4, naive_ns),
+            predicted_ns: plan.predicted_ns(),
+        });
+        plans.push((shape, perm, input));
+    }
+
+    // Per-class and overall geometric means over the transposition
+    // classes; the copy reference rides along unaggregated.
+    let mut classes: Vec<(String, f64)> = Vec::new();
+    for c in cases.iter().filter(|c| c.class != "copy") {
+        if !classes.iter().any(|(cl, _)| cl == &c.class) {
+            let sp = geo_mean(
+                cases
+                    .iter()
+                    .filter(|x| x.class == c.class)
+                    .map(|x| x.speedup),
+            );
+            classes.push((c.class.clone(), sp));
+        }
+    }
+    let geo_mean_speedup = geo_mean(
+        cases
+            .iter()
+            .filter(|c| c.class != "copy")
+            .map(|c| c.speedup),
+    );
+    let copy_speedup = cases
+        .iter()
+        .find(|c| c.class == "copy")
+        .map(|c| c.speedup)
+        .unwrap_or(1.0);
+
+    // Thread-scaling curve: re-run the tiled sweep with an explicit
+    // worker count (1/2/4/N), timing the whole sweep per point.
+    let mut ladder: Vec<usize> = vec![1, 2, 4, threads];
+    ladder.sort_unstable();
+    ladder.dedup();
+    let mut scaling: Vec<ScalingPoint> = Vec::new();
+    for (li, &workers) in ladder.iter().enumerate() {
+        let mut best = f64::INFINITY;
+        // The first ladder point doubles as the 1-thread baseline, so
+        // give it an extra untimed sweep to settle the allocator.
+        let reps = if li == 0 { reps + 1 } else { reps };
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for (shape, perm, input) in &plans {
+                let plan = ttlg_cpu::CpuPlan::new(
+                    shape.extents(),
+                    perm.as_slice(),
+                    ttlg_cpu::pick_tile(4),
+                    workers,
+                );
+                let out_shape = perm.apply_to_shape(shape).expect("valid perm");
+                let mut out: DenseTensor<f32> = DenseTensor::zeros(out_shape);
+                ttlg_cpu::execute(&plan, input.data(), out.data_mut());
+            }
+            best = best.min(t0.elapsed().as_nanos() as f64);
+        }
+        let base = scaling.first().map(|p: &ScalingPoint| p.wall_ns);
+        scaling.push(ScalingPoint {
+            threads: workers,
+            wall_ns: best,
+            speedup: base.map(|b| b / best.max(1.0)).unwrap_or(1.0),
+        });
+    }
+
+    // Mixed service segment: every problem once per backend through a
+    // real TransposeService, then check the exported families.
+    let svc: TransposeService<f32> = TransposeService::new_k40c();
+    for (_, perm, input) in &plans {
+        let input = Arc::new(input.clone());
+        let mut creq = TransposeRequest::new(Arc::clone(&input), perm.clone());
+        creq.opts = cpu_opts.clone();
+        svc.submit(&creq).expect("mixed cpu submit");
+        svc.submit(&TransposeRequest::new(input, perm.clone()))
+            .expect("mixed gpu submit");
+    }
+    let prom = svc.export_prometheus();
+    let metrics_expose_both = prom.contains("ttlg_backend_requests_total{backend=\"gpu_sim\"}")
+        && prom.contains("ttlg_backend_requests_total{backend=\"cpu\"}");
+
+    CpuStudy {
+        threads,
+        cases,
+        classes,
+        geo_mean_speedup,
+        copy_speedup,
+        scaling,
+        cpu_pred_geo_err: geo_mean(cpu_errs.into_iter()),
+        gpu_pred_geo_err: geo_mean(gpu_errs.into_iter()),
+        backend_requests_gpu: svc.metrics().requests_for_backend(Backend::GpuSim),
+        backend_requests_cpu: svc.metrics().requests_for_backend(Backend::Cpu),
+        metrics_expose_both,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_study_beats_naive_on_every_class() {
+        let study = run(1.0);
+        assert_eq!(study.cases.len(), 6);
+        assert_eq!(study.classes.len(), 4, "four gated transposition classes");
+        assert!(
+            study.classes.iter().all(|(c, _)| c != "copy"),
+            "the copy reference must stay out of the gated classes"
+        );
+        // The 1.5x floor is a claim about optimized code; debug builds
+        // deflate the register-staged micro-kernels far more than the
+        // naive loop, so there the bar is only that the study is sane.
+        // CI enforces the real gate on the release binary's artifact.
+        let floor = if cfg!(debug_assertions) { 0.0 } else { 1.5 };
+        for (class, sp) in &study.classes {
+            assert!(
+                *sp > floor,
+                "{class}: tiled CPU only {sp:.2}x over naive (need {floor}x)"
+            );
+        }
+        assert!(study.geo_mean_speedup > floor);
+        assert!(study.copy_speedup > 0.0);
+        assert!(study.cpu_pred_geo_err >= 1.0);
+        assert!(study.gpu_pred_geo_err >= 1.0);
+        // The scaling ladder starts at 1 thread with speedup 1.0.
+        assert_eq!(study.scaling[0].threads, 1);
+        assert!((study.scaling[0].speedup - 1.0).abs() < 1e-12);
+        // The mixed segment hit both backends and exported both lanes.
+        assert_eq!(study.backend_requests_cpu, 6);
+        assert_eq!(study.backend_requests_gpu, 6);
+        assert!(study.metrics_expose_both);
+    }
+
+    #[test]
+    fn cpu_study_renders_and_serializes() {
+        let study = run(1.0);
+        let rendered = study.render();
+        assert!(rendered.contains("geo-mean speedup"));
+        assert!(rendered.contains("orthogonal-distinct"));
+        assert!(rendered.contains("thread scaling"));
+        let json = study.to_json();
+        assert!(json.contains("\"study\": \"cpu\""));
+        assert!(json.contains("\"classes\""));
+        assert!(json.contains("\"scaling\""));
+        assert!(json.contains("\"cpu_pred_geo_err\""));
+        assert!(json.contains("\"backend_requests_cpu\""));
+    }
+}

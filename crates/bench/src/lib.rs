@@ -19,6 +19,7 @@
 //! * Fig. 14 — the TTC benchmark suite
 
 pub mod autotune_study;
+pub mod cpu_study;
 pub mod figures;
 pub mod gateway_study;
 pub mod microbench;

@@ -222,6 +222,7 @@ pub fn run(rounds: usize) -> TailStudy {
             budget_per_key: 8,
             threads: 1,
             poll_interval_ms: 1,
+            ..AutotuneConfig::default()
         },
         ..RuntimeConfig::default()
     };

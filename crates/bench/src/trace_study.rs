@@ -167,6 +167,7 @@ pub fn run(distinct: usize, rounds: usize) -> TraceStudy {
             budget_per_key: 8,
             threads: 1,
             poll_interval_ms: 1,
+            ..AutotuneConfig::default()
         },
         ..RuntimeConfig::default()
     };

@@ -91,6 +91,15 @@ USAGE:
                                                 after autotune, and account for
                                                 trace sampling/drops; writes
                                                 BENCH_trace.json
+  ttlg bench-serve --cpu [--seconds=F] [--json-out=PATH]
+                                                CPU-backend study: real
+                                                wall-clock GB/s of the tiled
+                                                multithreaded CPU executor vs
+                                                the naive odometer across the
+                                                schema taxonomy, with thread
+                                                scaling and per-backend
+                                                prediction accuracy; writes
+                                                BENCH_cpu.json
   ttlg bench-serve --gateway [--seconds=F] [--overload=F] [--json-out=PATH]
                                                 loopback gateway study: drive a
                                                 real ttlg-serve endpoint past
@@ -640,16 +649,40 @@ fn cmd_trace(rest: &[&String]) -> Result<String, CliError> {
     result
 }
 
+/// Layout version stamped into every `BENCH_*.json` artifact. Bump when
+/// a study changes its document shape, so downstream tooling can reject
+/// artifacts written by an incompatible binary.
+pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
+
+/// Prefix a study document with its provenance: schema version, the
+/// writer's thread count, and the study name derived from the default
+/// filename. The stamp rides inside the same JSON object, so existing
+/// consumers keep parsing unchanged.
+fn stamp_provenance(json: &str, default_path: &str) -> String {
+    let study = default_path
+        .trim_start_matches("BENCH_")
+        .trim_end_matches(".json");
+    let Some(body) = json.strip_prefix('{') else {
+        return json.to_string();
+    };
+    format!(
+        "{{\n  \"schema_version\": {ARTIFACT_SCHEMA_VERSION},\n  \
+         \"host_threads\": {},\n  \"artifact\": \"{study}\",{body}",
+        ttlg_tensor::parallel::default_threads()
+    )
+}
+
 /// Write a study artifact: `--json-out=PATH` wins, otherwise the
 /// study's default filename. Every bench-serve mode funnels through
-/// this one path so the flag behaves identically everywhere.
+/// this one path so the flag behaves identically everywhere — and every
+/// artifact gets the same provenance stamp.
 fn write_artifact(
     json_out: Option<String>,
     default_path: &str,
     json: &str,
 ) -> Result<String, CliError> {
     let path = json_out.unwrap_or_else(|| default_path.to_string());
-    std::fs::write(&path, json)
+    std::fs::write(&path, stamp_provenance(json, default_path))
         .map_err(|e| CliError::Failed(format!("could not write {path}: {e}")))?;
     Ok(path)
 }
@@ -664,9 +697,11 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
     let mut tail = false;
     let mut gateway = false;
     let mut trace = false;
+    let mut cpu = false;
     let mut seconds = 1.0f64;
     let mut overload = 2.0f64;
-    let mut gateway_flags_given = false;
+    let mut seconds_given = false;
+    let mut overload_given = false;
     let mut json_out: Option<String> = None;
     for a in rest {
         if let Some(v) = a.strip_prefix("--perms=") {
@@ -690,16 +725,18 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
             gateway = true;
         } else if a.as_str() == "--trace" {
             trace = true;
+        } else if a.as_str() == "--cpu" {
+            cpu = true;
         } else if let Some(v) = a.strip_prefix("--seconds=") {
             seconds = v
                 .parse()
                 .map_err(|_| CliError::Usage(format!("bad --seconds value {v:?}")))?;
-            gateway_flags_given = true;
+            seconds_given = true;
         } else if let Some(v) = a.strip_prefix("--overload=") {
             overload = v
                 .parse()
                 .map_err(|_| CliError::Usage(format!("bad --overload value {v:?}")))?;
-            gateway_flags_given = true;
+            overload_given = true;
         } else if let Some(v) = a.strip_prefix("--metrics-format=") {
             format = match v {
                 "text" => MetricsFormat::Text,
@@ -722,10 +759,31 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
             "--perms and --rounds must be positive".into(),
         ));
     }
-    if !gateway && gateway_flags_given {
+    if overload_given && !gateway {
         return Err(CliError::Usage(
-            "--seconds and --overload only apply with --gateway".into(),
+            "--overload only applies with --gateway".into(),
         ));
+    }
+    if seconds_given && !gateway && !cpu {
+        return Err(CliError::Usage(
+            "--seconds only applies with --gateway or --cpu".into(),
+        ));
+    }
+    if cpu {
+        if gateway || tail || autotune || trace || extents_given {
+            return Err(CliError::Usage(
+                "--cpu runs the fixed taxonomy sweep; --gateway/--tail/--autotune/--trace/--extents do not apply"
+                    .into(),
+            ));
+        }
+        if !(seconds.is_finite() && seconds > 0.0) {
+            return Err(CliError::Usage("--seconds must be positive".into()));
+        }
+        let study = ttlg_bench::cpu_study::run(seconds);
+        let path = write_artifact(json_out, "BENCH_cpu.json", &study.to_json())?;
+        let mut s = study.render();
+        writeln!(s, "wrote {path}").unwrap();
+        return Ok(s);
     }
     if trace {
         if gateway || tail || autotune || extents_given {
@@ -1012,6 +1070,53 @@ mod tests {
         assert!(json.contains("\"geo_error_before\""));
         assert!(json.contains("\"geo_error_after\""));
         assert!(json.contains("\"plans_warmed\": 3"));
+    }
+
+    #[test]
+    fn bench_serve_cpu_writes_artifact_with_provenance() {
+        let dir = std::env::temp_dir().join("ttlg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cpu.json");
+        let out = run(&[
+            "bench-serve",
+            "--cpu",
+            "--seconds=1",
+            &format!("--json-out={}", path.display()),
+        ])
+        .unwrap();
+        assert!(out.contains("tiled CPU backend vs naive odometer"), "{out}");
+        assert!(out.contains("geo-mean speedup"), "{out}");
+        assert!(out.contains("thread scaling"), "{out}");
+        assert!(out.contains("wrote"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        // The provenance stamp leads every artifact.
+        assert!(json.starts_with("{\n  \"schema_version\": 1,"), "{json}");
+        assert!(json.contains("\"host_threads\":"));
+        assert!(json.contains("\"artifact\": \"cpu\""));
+        assert!(json.contains("\"study\": \"cpu\""));
+        assert!(json.contains("\"geo_mean_speedup\""));
+        assert!(json.contains("\"classes\""));
+        assert!(json.contains("\"scaling\""));
+        assert!(json.contains("\"cpu_pred_geo_err\""));
+        assert!(json.contains("\"backend_requests_cpu\""));
+        // --seconds gates on --gateway or --cpu; --overload stays
+        // gateway-only; --cpu rejects the other studies' knobs.
+        assert!(matches!(
+            run(&["bench-serve", "--seconds=1"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--cpu", "--overload=2"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--cpu", "--tail"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--cpu", "--seconds=0"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Execution backends the planner can target.
+//!
+//! The original library drives everything through the simulated GPU
+//! ([`ttlg_gpu_sim`]); the CPU backend (`ttlg-cpu`) moves host bytes for
+//! real and is timed by the wall clock. The planner treats the backend
+//! as one more dimension of the Alg. 3 sweep: candidates from every
+//! admissible backend are ranked together, with the analytic guard
+//! applied *within* each backend (a synthetic-GPU nanosecond and a
+//! wall-clock nanosecond are not comparable enough to share one guard
+//! band).
+
+/// Which executor a plan runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Backend {
+    /// The transaction-level K40c simulator (synthetic time).
+    GpuSim,
+    /// Blocked, cache-tiled host loops (real wall-clock time).
+    Cpu,
+}
+
+impl Backend {
+    /// Every backend, in metrics/index order.
+    pub const ALL: [Backend; 2] = [Backend::GpuSim, Backend::Cpu];
+
+    /// Stable label for metrics and artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::GpuSim => "gpu_sim",
+            Backend::Cpu => "cpu",
+        }
+    }
+
+    /// Dense index into per-backend metric arrays (matches [`Self::ALL`]).
+    pub fn index(&self) -> usize {
+        match self {
+            Backend::GpuSim => 0,
+            Backend::Cpu => 1,
+        }
+    }
+
+    /// Inverse of [`Self::index`].
+    pub fn from_index(i: usize) -> Option<Backend> {
+        Backend::ALL.get(i).copied()
+    }
+
+    /// Parse a [`Self::label`] string.
+    pub fn parse(s: &str) -> Option<Backend> {
+        Backend::ALL.iter().find(|b| b.label() == s).copied()
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.label()), Some(b));
+            assert_eq!(Backend::from_index(b.index()), Some(b));
+            assert_eq!(b.to_string(), b.label());
+        }
+        assert_eq!(Backend::parse("tpu"), None);
+        assert_eq!(Backend::from_index(99), None);
+    }
+}

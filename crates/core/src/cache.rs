@@ -15,6 +15,7 @@
 //! * [`PlanCache`] — the original single-tenant API, kept as a thin
 //!   compatibility wrapper over one unbounded shard.
 
+use crate::backend::Backend;
 use crate::plan::{Plan, PlanError, TransposeOptions, TransposeReport, Transposer};
 use crate::schema::Schema;
 use std::collections::HashMap;
@@ -35,6 +36,7 @@ pub struct PlanKey {
     fusion: bool,
     sweep: bool,
     overbooking: usize,
+    backend: Option<Backend>,
 }
 
 impl PlanKey {
@@ -47,6 +49,7 @@ impl PlanKey {
             fusion: opts.enable_fusion,
             sweep: opts.model_sweep,
             overbooking: opts.overbooking,
+            backend: opts.backend,
         }
     }
 
@@ -80,8 +83,15 @@ impl PlanKey {
             model_sweep: self.sweep,
             overbooking: self.overbooking,
             check_disjoint_writes: false,
+            backend: self.backend,
         };
         (shape, perm, opts)
+    }
+
+    /// The backend constraint this key fingerprints (`None` = the caller
+    /// asked for a cross-backend sweep).
+    pub fn backend(&self) -> Option<Backend> {
+        self.backend
     }
 }
 
@@ -392,6 +402,26 @@ impl<E: Element> ShardedPlanCache<E> {
                     .count()
             })
             .sum()
+    }
+
+    /// Release the pin on `key`'s resident plan, returning it to the
+    /// ordinary LRU population (it keeps its plan and `last_used` stamp,
+    /// so it is not dropped immediately — just no longer exempt). Used by
+    /// the autotuner's unpin policy: a key that has gone cold no longer
+    /// deserves eviction immunity. Returns `true` only when a pinned
+    /// resident plan was actually unpinned. Eviction runs immediately so
+    /// a shard over capacity shrinks without waiting for the next insert.
+    pub fn unpin(&self, key: &PlanKey) -> bool {
+        let shard = self.shard(key);
+        let mut state = shard.state.lock().expect("cache shard poisoned");
+        match state.map.get_mut(key) {
+            Some(Entry::Ready { pinned, .. }) if *pinned => {
+                *pinned = false;
+                self.evict_locked(&mut state);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// The resident plan for `key`, if any — no hit/miss accounting and
@@ -732,6 +762,7 @@ mod tests {
             model_sweep: false,
             overbooking: 3,
             check_disjoint_writes: true,
+            backend: Some(Backend::Cpu),
         };
         let key = PlanKey::new(&shape, &perm, &opts);
         assert_eq!(key.extents(), shape.extents());
@@ -743,9 +774,48 @@ mod tests {
         assert_eq!(o2.enable_fusion, opts.enable_fusion);
         assert_eq!(o2.model_sweep, opts.model_sweep);
         assert_eq!(o2.overbooking, opts.overbooking);
+        assert_eq!(o2.backend, opts.backend);
+        assert_eq!(key.backend(), opts.backend);
         // Not fingerprinted; comes back as the default.
         assert!(!o2.check_disjoint_writes);
         assert_eq!(key, PlanKey::new(&s2, &p2, &o2));
+    }
+
+    #[test]
+    fn unpin_releases_eviction_immunity() {
+        let t = Transposer::new_k40c();
+        let cache: ShardedPlanCache<u64> = ShardedPlanCache::with_config(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+        });
+        let opts = TransposeOptions::default();
+        let p = Permutation::new(&[1, 0]).unwrap();
+        let hot_shape = Shape::new(&[16, 8]).unwrap();
+        let hot_key = PlanKey::new(&hot_shape, &p, &opts);
+        let (_, ranked) = t.plan_topk::<u64>(&hot_shape, &p, &opts, 1).unwrap();
+        let warmed = t
+            .plan_for_candidate::<u64>(&hot_shape, &p, &opts, ranked[0].candidate.clone(), 42.0)
+            .unwrap();
+        assert!(cache.warm(&hot_key, Arc::new(warmed)));
+        assert_eq!(cache.pinned_plans(), 1);
+        // Unpinning an absent or already-unpinned key is a no-op.
+        let other = PlanKey::new(&Shape::new(&[8, 8]).unwrap(), &p, &opts);
+        assert!(!cache.unpin(&other));
+        // Unpin the hot key: still resident (under capacity), but no
+        // longer counted as pinned and no longer eviction-exempt.
+        assert!(cache.unpin(&hot_key));
+        assert!(!cache.unpin(&hot_key), "second unpin is a no-op");
+        assert_eq!(cache.pinned_plans(), 0);
+        assert!(cache.peek(&hot_key).is_some());
+        // LRU pressure now evicts it like any modeled plan.
+        for n in 2..=5usize {
+            let s = Shape::new(&[8 * n, 8]).unwrap();
+            cache.get_or_plan(&t, &s, &p, &opts).unwrap();
+        }
+        assert!(
+            cache.peek(&hot_key).is_none(),
+            "unpinned plan falls to LRU under pressure"
+        );
     }
 
     #[test]

@@ -8,11 +8,15 @@
 //! inputs to every [`crate::model::TimePredictor`].
 
 use crate::analysis;
+use crate::backend::Backend;
 use crate::kernels::{FviMatchSmallKernel, OaChoice, OdChoice};
 use crate::problem::Problem;
 use crate::schema::Schema;
 use ttlg_gpu_sim::{Launch, TransactionStats};
 use ttlg_tensor::{Element, WARP_SIZE};
+
+/// Modeled cache-line width of the CPU backend's memory traffic, bytes.
+pub const CPU_LINE_BYTES: usize = 64;
 
 /// Parameter choice carried by a candidate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +36,17 @@ pub enum KernelChoice {
     OrthogonalArbitrary(OaChoice),
     /// Naive baseline (no parameters).
     Naive,
+    /// Real CPU backend: blocked, cache-tiled host loops (`ttlg-cpu`).
+    CpuTiled {
+        /// Nominal square tile edge.
+        tile: usize,
+        /// Worker threads the plan requests.
+        threads: usize,
+        /// Taxonomy schema of the underlying problem — carried on the
+        /// variant so per-schema accounting keeps working for a choice
+        /// that is not itself one of the paper's GPU schemas.
+        schema: Schema,
+    },
 }
 
 impl KernelChoice {
@@ -44,6 +59,15 @@ impl KernelChoice {
             KernelChoice::OrthogonalDistinct(_) => Schema::OrthogonalDistinct,
             KernelChoice::OrthogonalArbitrary(_) => Schema::OrthogonalArbitrary,
             KernelChoice::Naive => Schema::Naive,
+            KernelChoice::CpuTiled { schema, .. } => *schema,
+        }
+    }
+
+    /// The execution backend this choice runs on.
+    pub fn backend(&self) -> Backend {
+        match self {
+            KernelChoice::CpuTiled { .. } => Backend::Cpu,
+            _ => Backend::GpuSim,
         }
     }
 }
@@ -100,6 +124,11 @@ impl Candidate {
     /// Total threads (the Table II `NumThreads` feature).
     pub fn num_threads(&self) -> usize {
         self.grid_blocks * self.threads_per_block
+    }
+
+    /// The execution backend this candidate targets.
+    pub fn backend(&self) -> Backend {
+        self.choice.backend()
     }
 }
 
@@ -467,6 +496,49 @@ pub fn copy_candidate<E: Element>(p: &Problem) -> Candidate {
     }
 }
 
+/// Build the candidate description for the real CPU backend with the
+/// given tile edge and worker-thread count. The feature set mirrors what
+/// the CPU performance model consumes: total bytes moved, tile-block
+/// count, the contiguous run length on the innermost loop, and the
+/// thread count. `schema` is the taxonomy class of the problem, carried
+/// for per-schema accounting.
+pub fn cpu_candidate<E: Element>(
+    p: &Problem,
+    schema: Schema,
+    tile: usize,
+    threads: usize,
+) -> Candidate {
+    let plan = ttlg_cpu::CpuPlan::new(p.shape.extents(), p.perm.as_slice(), tile, threads);
+    let vol = p.volume();
+    let line_tx = (vol * E::BYTES).div_ceil(CPU_LINE_BYTES) as u64;
+    let est = TransactionStats {
+        dram_load_tx: line_tx,
+        dram_store_tx: line_tx,
+        elements_moved: vol as u64,
+        ..Default::default()
+    };
+    Candidate {
+        choice: KernelChoice::CpuTiled {
+            tile,
+            threads,
+            schema,
+        },
+        volume: vol,
+        elem_bytes: E::BYTES,
+        grid_blocks: plan.block_count(),
+        threads_per_block: threads,
+        smem_bytes: 0,
+        input_slice: plan.run,
+        output_slice: plan.tile_b * plan.run,
+        total_slice: plan.tile_a * plan.tile_b * plan.run,
+        input_stride: plan.run,
+        output_stride: plan.run,
+        special_instr: plan.block_count() as f64 * (plan.outer_ext.len() + 2) as f64,
+        cycles: vol as f64,
+        est_stats: est,
+    }
+}
+
 /// Build the candidate description for the naive baseline.
 pub fn naive_candidate<E: Element>(p: &Problem) -> Candidate {
     let vol = p.volume();
@@ -593,6 +665,25 @@ mod tests {
         let nc = naive_candidate::<f64>(&p);
         assert!(nc.est_stats.dram_load_tx > cc.est_stats.dram_load_tx);
         assert_eq!(nc.special_instr, (2 * 3 * 4096) as f64);
+    }
+
+    #[test]
+    fn cpu_candidate_features() {
+        // [64, 8, 8] perm [0, 2, 1]: run 64, plane 8x8 on the reduced
+        // dims, no outer dims.
+        let p = prob(&[64, 8, 8], &[0, 2, 1]);
+        let cand = cpu_candidate::<f64>(&p, Schema::FviMatchLarge, 32, 4);
+        assert_eq!(cand.backend(), Backend::Cpu);
+        assert_eq!(cand.schema(), Schema::FviMatchLarge);
+        assert_eq!(cand.input_slice, 64, "run length is the contiguity feature");
+        assert_eq!(cand.threads_per_block, 4);
+        assert!(cand.grid_blocks >= 1);
+        let bytes = 64 * 8 * 8 * 8;
+        assert_eq!(cand.est_stats.dram_load_tx, (bytes / CPU_LINE_BYTES) as u64);
+        assert_eq!(cand.est_stats.dram_store_tx, cand.est_stats.dram_load_tx);
+        // GPU candidates report the GPU backend.
+        let gpu = naive_candidate::<f64>(&p);
+        assert_eq!(gpu.backend(), Backend::GpuSim);
     }
 
     #[test]

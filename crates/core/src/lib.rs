@@ -27,6 +27,7 @@
 //! ```
 
 pub mod analysis;
+pub mod backend;
 pub mod cache;
 pub mod features;
 pub mod kernels;
@@ -37,8 +38,9 @@ pub mod schema;
 pub mod slice;
 pub mod trace;
 
+pub use backend::Backend;
 pub use cache::{CacheConfig, CacheStats, FetchTiming, PlanCache, PlanKey, ShardedPlanCache};
-pub use model::{AnalyticPredictor, Candidate, TimePredictor};
+pub use model::{cpu_analytic_ns, AnalyticPredictor, Candidate, TimePredictor};
 pub use plan::{
     CandidateMeasurement, Plan, PlanError, RankedCandidate, TransposeOptions, TransposeReport,
     Transposer,

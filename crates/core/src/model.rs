@@ -9,7 +9,33 @@
 //! `ttlg-perfmodel` crate (Table II).
 
 pub use crate::features::Candidate;
+use crate::features::KernelChoice;
 use ttlg_gpu_sim::{DeviceConfig, TimingModel};
+
+/// Closed-form wall-clock estimate for a CPU-backend candidate, ns.
+///
+/// A bandwidth model in the HPTT spirit: sustained copy throughput grows
+/// with the contiguous run length (short runs pay per-element loop
+/// overhead, long runs amortize into streaming `memcpy`), threads scale
+/// it with imperfect efficiency, and a fixed dispatch charge covers the
+/// parallel-loop setup. The constants are deliberately conservative —
+/// the trained CPU model in `ttlg-perfmodel` refines them from measured
+/// runs; this form only has to rank CPU candidates sanely against each
+/// other and give the analytic guard a per-backend baseline.
+pub fn cpu_analytic_ns(c: &Candidate) -> f64 {
+    let threads = match c.choice {
+        KernelChoice::CpuTiled { threads, .. } => threads.max(1),
+        _ => 1,
+    } as f64;
+    let bytes = (2 * c.volume * c.elem_bytes) as f64;
+    // `input_slice` carries the contiguous run length for CPU candidates.
+    let run_bytes = (c.input_slice.max(1) * c.elem_bytes) as f64;
+    // Single-core streaming: ~14 GB/s on long runs, falling toward
+    // ~2.5 GB/s for scalar (one-element-run) traffic.
+    let gbps_one = 14.0 * run_bytes / (run_bytes + 36.0);
+    let scale = 1.0 + 0.8 * (threads - 1.0);
+    bytes / (gbps_one * scale) + 15_000.0
+}
 
 /// Predicts the execution time of a transposition candidate.
 pub trait TimePredictor: Send + Sync {
@@ -46,6 +72,9 @@ impl AnalyticPredictor {
 
 impl TimePredictor for AnalyticPredictor {
     fn predict_ns(&self, c: &Candidate) -> f64 {
+        if matches!(c.choice, KernelChoice::CpuTiled { .. }) {
+            return cpu_analytic_ns(c);
+        }
         self.timing.time(&c.est_stats, &c.launch()).time_ns
     }
 
@@ -100,6 +129,23 @@ mod tests {
         let cs = od_candidate::<f64>(&small, OdChoice::default_for(&small).unwrap());
         let cl = od_candidate::<f64>(&large, OdChoice::default_for(&large).unwrap());
         assert!(pred.predict_ns(&cl) > pred.predict_ns(&cs));
+    }
+
+    #[test]
+    fn cpu_analytic_prefers_long_runs_and_more_threads() {
+        use crate::features::cpu_candidate;
+        use crate::schema::Schema;
+        let pred = AnalyticPredictor::new(DeviceConfig::k40c());
+        // Same volume; one problem peels a 64-element run, the other is a
+        // pure scalar transpose.
+        let runny = prob(&[64, 64, 64], &[0, 2, 1]);
+        let scalar = prob(&[64, 64, 64], &[2, 1, 0]);
+        let cr = cpu_candidate::<f64>(&runny, Schema::FviMatchLarge, 32, 1);
+        let cs = cpu_candidate::<f64>(&scalar, Schema::OrthogonalDistinct, 32, 1);
+        assert!(pred.predict_ns(&cr) < pred.predict_ns(&cs));
+        // More threads never predict slower.
+        let c4 = cpu_candidate::<f64>(&scalar, Schema::OrthogonalDistinct, 32, 4);
+        assert!(pred.predict_ns(&c4) < pred.predict_ns(&cs));
     }
 
     #[test]

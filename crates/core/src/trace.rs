@@ -291,6 +291,9 @@ pub fn choice_params(choice: &KernelChoice) -> String {
         KernelChoice::OrthogonalDistinct(c) => format!("od {}", od_params(c)),
         KernelChoice::OrthogonalArbitrary(c) => format!("oa {}", oa_params(c)),
         KernelChoice::Naive => "naive".to_string(),
+        KernelChoice::CpuTiled { tile, threads, .. } => {
+            format!("cpu-tiled tile={tile} threads={threads}")
+        }
     }
 }
 

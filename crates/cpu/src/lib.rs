@@ -1,0 +1,40 @@
+//! # ttlg-cpu
+//!
+//! A real (wall-clock) CPU transposition backend, in the style of HPTT
+//! (Springer et al., see PAPERS.md): blocked, cache-tiled loops with an
+//! explicit square macro-kernel for the transposed-2D base case, and
+//! multithreading over outer tile blocks with per-thread disjoint output
+//! ranges.
+//!
+//! Unlike every other executor in this workspace, nothing here is
+//! simulated — [`execute`] moves host bytes and its cost is the time it
+//! takes. The planner (`ttlg::Transposer` with `Backend::Cpu`) builds a
+//! [`CpuPlan`] once per problem and replays it per request.
+//!
+//! ## Plan shape
+//!
+//! Planning normalizes the permutation before any loop runs
+//! ([`CpuPlan::new`]):
+//!
+//! 1. **Drop** extent-1 dimensions (they contribute nothing to layout).
+//! 2. **Fuse** input dimensions that stay consecutive in the output into
+//!    one wider dimension (dense strides make every such pair contiguous
+//!    on both sides).
+//! 3. **Peel** the leading fused dimension when it is fixed by the
+//!    permutation (`perm[0] == 0`) into a contiguous *run* of `R`
+//!    elements — the unit every inner loop copies with `memcpy`.
+//!
+//! What remains is either the identity (a parallel block copy) or a
+//! reduced permutation with `perm[0] != 0`, executed as a 2D tiling over
+//! the plane spanned by the fastest-varying **input** dimension and the
+//! fastest-varying **output** dimension — exactly the two axes the
+//! paper's schemas fight to keep innermost — with all other dimensions
+//! walked by an odometer around the tiles. Tiles are sized so the
+//! working set (`2 * tile_a * tile_b * R * elem_bytes`) stays inside L1;
+//! the default edge of 32 keeps an 8-byte-element tile at 16 KiB.
+
+mod exec;
+mod plan;
+
+pub use exec::{execute, execute_threads};
+pub use plan::{pick_tile, CpuPlan, PlanKind, DEFAULT_TILE};

@@ -1,0 +1,317 @@
+//! Loop-order normalization and the executable CPU plan.
+
+/// Default square tile edge: a 32x32 tile of 8-byte elements touches
+/// 2 * 32 * 32 * 8 = 16 KiB — half a typical 32 KiB L1d, leaving room
+//  for the streams around it.
+pub const DEFAULT_TILE: usize = 32;
+
+/// Tile edge sized to the element width so the tile working set stays
+/// L1-resident regardless of dtype.
+pub fn pick_tile(elem_bytes: usize) -> usize {
+    match elem_bytes {
+        0..=4 => 64,
+        _ => DEFAULT_TILE,
+    }
+}
+
+/// What the normalized problem collapsed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// The permutation is the identity after normalization: one parallel
+    /// block copy.
+    Copy,
+    /// A genuine transposition: the tiled 2D core over (input FVI,
+    /// output FVI) with an outer odometer.
+    Tiled,
+}
+
+/// An executable CPU transposition plan (see the crate docs for the
+/// normalization pipeline). All strides below are in units of the
+/// contiguous run `R`, not elements.
+#[derive(Debug, Clone)]
+pub struct CpuPlan {
+    /// Total elements moved (original volume).
+    pub volume: usize,
+    /// Copy or tiled.
+    pub kind: PlanKind,
+    /// Contiguous run length peeled off the front, in elements (>= 1).
+    pub run: usize,
+    /// Extent of the reduced fastest-varying input dimension `a`.
+    pub na: usize,
+    /// Extent of the reduced input dimension feeding output dim 0 (`b`).
+    pub nb: usize,
+    /// Input stride of `b` (R units).
+    pub sb_in: usize,
+    /// Output stride of `a` (R units).
+    pub sa_out: usize,
+    /// Extents of the outer (non-plane) reduced dimensions.
+    pub outer_ext: Vec<usize>,
+    /// Input strides of the outer dimensions (R units).
+    pub outer_in: Vec<usize>,
+    /// Output strides of the outer dimensions (R units).
+    pub outer_out: Vec<usize>,
+    /// Tile edge along `a`.
+    pub tile_a: usize,
+    /// Tile edge along `b`.
+    pub tile_b: usize,
+    /// Worker threads the executor should use (capped by the machine).
+    pub threads: usize,
+}
+
+impl CpuPlan {
+    /// Normalize `(extents, perm)` and lay out the tiled loop nest.
+    /// `tile` is the nominal square tile edge (shrunk automatically when
+    /// the run `R` would blow the L1 budget); `threads` the requested
+    /// parallelism. Extents and permutation must describe a valid dense
+    /// problem (`perm` a permutation of `0..rank`, extents nonzero).
+    pub fn new(extents: &[usize], perm: &[usize], tile: usize, threads: usize) -> CpuPlan {
+        assert_eq!(extents.len(), perm.len(), "rank mismatch");
+        let volume: usize = extents.iter().product();
+
+        // 1. Drop extent-1 dimensions.
+        let keep: Vec<usize> = (0..extents.len()).filter(|&d| extents[d] > 1).collect();
+        let mut new_index = vec![usize::MAX; extents.len()];
+        for (new, &old) in keep.iter().enumerate() {
+            new_index[old] = new;
+        }
+        let mut ext: Vec<usize> = keep.iter().map(|&d| extents[d]).collect();
+        let mut p: Vec<usize> = perm
+            .iter()
+            .filter(|&&d| extents[d] > 1)
+            .map(|&d| new_index[d])
+            .collect();
+
+        // 2. Fuse input dimensions that stay consecutive in the output:
+        // output position j folds into j-1 when p[j] == p[j-1] + 1.
+        if !p.is_empty() {
+            let mut fused_into_prev = vec![false; ext.len()];
+            for j in 1..p.len() {
+                if p[j] == p[j - 1] + 1 {
+                    fused_into_prev[p[j]] = true;
+                }
+            }
+            let leaders: Vec<usize> = (0..ext.len()).filter(|&d| !fused_into_prev[d]).collect();
+            let mut fused_ext = Vec::with_capacity(leaders.len());
+            for (g, &lead) in leaders.iter().enumerate() {
+                let end = leaders.get(g + 1).copied().unwrap_or(ext.len());
+                fused_ext.push(ext[lead..end].iter().product::<usize>());
+            }
+            let mut group_of = vec![usize::MAX; ext.len()];
+            for (g, &lead) in leaders.iter().enumerate() {
+                let end = leaders.get(g + 1).copied().unwrap_or(ext.len());
+                for slot in group_of.iter_mut().take(end).skip(lead) {
+                    *slot = g;
+                }
+            }
+            ext = fused_ext;
+            p = p
+                .iter()
+                .filter(|&&d| !fused_into_prev[d])
+                .map(|&d| group_of[d])
+                .collect();
+        }
+
+        // 3. Peel the contiguous run: after fusion, out dim 0 == in dim 0
+        // means that whole fused axis moves as one memcpy unit.
+        let mut run = 1usize;
+        if p.first() == Some(&0) {
+            run = ext[0];
+            ext.remove(0);
+            p.remove(0);
+            for d in p.iter_mut() {
+                *d -= 1;
+            }
+        }
+
+        let threads = threads.max(1);
+        if p.is_empty() {
+            return CpuPlan {
+                volume,
+                kind: PlanKind::Copy,
+                run: volume,
+                na: 1,
+                nb: 1,
+                sb_in: 0,
+                sa_out: 0,
+                outer_ext: Vec::new(),
+                outer_in: Vec::new(),
+                outer_out: Vec::new(),
+                tile_a: 1,
+                tile_b: 1,
+                threads,
+            };
+        }
+
+        // Strides of the reduced problem, in units of R.
+        let rank = ext.len();
+        let mut in_strides = vec![1usize; rank];
+        for d in 1..rank {
+            in_strides[d] = in_strides[d - 1] * ext[d - 1];
+        }
+        let mut pos_in_out = vec![0usize; rank];
+        for (j, &d) in p.iter().enumerate() {
+            pos_in_out[d] = j;
+        }
+        let mut out_strides_by_pos = vec![1usize; rank];
+        for j in 1..rank {
+            out_strides_by_pos[j] = out_strides_by_pos[j - 1] * ext[p[j - 1]];
+        }
+        let out_stride_of = |d: usize| out_strides_by_pos[pos_in_out[d]];
+
+        // The 2D plane: `a` = input FVI (reduced dim 0), `b` = the input
+        // dim the output FVI reads (p[0] != 0 by construction).
+        let b_dim = p[0];
+        let na = ext[0];
+        let nb = ext[b_dim];
+        let sb_in = in_strides[b_dim];
+        let sa_out = out_stride_of(0);
+
+        let mut outer_ext = Vec::new();
+        let mut outer_in = Vec::new();
+        let mut outer_out = Vec::new();
+        for d in 0..rank {
+            if d != 0 && d != b_dim {
+                outer_ext.push(ext[d]);
+                outer_in.push(in_strides[d]);
+                outer_out.push(out_stride_of(d));
+            }
+        }
+
+        // Shrink the tile edge as the run grows so the working set
+        // (2 * ta * tb * R * elem) keeps its L1 budget; never below 4.
+        let tile = tile.max(4);
+        let shrink = (run as f64).sqrt().ceil() as usize;
+        let edge = (tile / shrink.max(1)).max(4);
+        CpuPlan {
+            volume,
+            kind: PlanKind::Tiled,
+            run,
+            na,
+            nb,
+            sb_in,
+            sa_out,
+            outer_ext,
+            outer_in,
+            outer_out,
+            tile_a: edge.min(na),
+            tile_b: edge.min(nb),
+            threads,
+        }
+    }
+
+    /// Number of independent tile blocks the executor parallelizes over
+    /// (1 for the copy kind: the copy splits by output range instead).
+    pub fn block_count(&self) -> usize {
+        match self.kind {
+            PlanKind::Copy => 1,
+            PlanKind::Tiled => {
+                self.na.div_ceil(self.tile_a)
+                    * self.nb.div_ceil(self.tile_b)
+                    * self.outer_ext.iter().product::<usize>().max(1)
+            }
+        }
+    }
+
+    /// Contiguous bytes moved per inner copy on the input side.
+    pub fn input_run_bytes(&self, elem_bytes: usize) -> usize {
+        self.run * elem_bytes
+    }
+
+    /// Total bytes crossing memory (read + write).
+    pub fn bytes_moved(&self, elem_bytes: usize) -> usize {
+        2 * self.volume * elem_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_collapses_to_copy() {
+        let p = CpuPlan::new(&[8, 4, 3], &[0, 1, 2], 32, 4);
+        assert_eq!(p.kind, PlanKind::Copy);
+        assert_eq!(p.run, 96);
+        assert_eq!(p.block_count(), 1);
+    }
+
+    #[test]
+    fn unit_extents_are_dropped() {
+        // [1, N] with perm [1, 0] is layout-identical to a copy.
+        let p = CpuPlan::new(&[1, 9], &[1, 0], 32, 1);
+        assert_eq!(p.kind, PlanKind::Copy);
+        let q = CpuPlan::new(&[4, 1, 5], &[2, 1, 0], 32, 1);
+        assert_eq!(q.kind, PlanKind::Tiled);
+        assert_eq!((q.na, q.nb), (4, 5));
+        assert_eq!(q.run, 1);
+    }
+
+    #[test]
+    fn fvi_match_peels_a_run() {
+        // perm[0] == 0: the fastest dim rides along as a memcpy run.
+        let p = CpuPlan::new(&[16, 4, 5], &[0, 2, 1], 32, 1);
+        assert_eq!(p.kind, PlanKind::Tiled);
+        assert_eq!(p.run, 16);
+        assert_eq!((p.na, p.nb), (4, 5));
+        assert_eq!(p.sb_in, 4);
+        assert_eq!(p.sa_out, 5);
+    }
+
+    #[test]
+    fn consecutive_dims_fuse() {
+        // [a, b, c] with perm [2, 0, 1]: dims 0,1 stay adjacent in the
+        // output, so they fuse into one axis of extent a*b.
+        let p = CpuPlan::new(&[4, 6, 5], &[2, 0, 1], 32, 1);
+        assert_eq!(p.kind, PlanKind::Tiled);
+        assert_eq!(p.run, 1);
+        assert_eq!((p.na, p.nb), (24, 5));
+        assert!(p.outer_ext.is_empty());
+    }
+
+    #[test]
+    fn matrix_transpose_plane() {
+        let p = CpuPlan::new(&[100, 60], &[1, 0], 32, 2);
+        assert_eq!(p.kind, PlanKind::Tiled);
+        assert_eq!((p.na, p.nb), (100, 60));
+        assert_eq!(p.sb_in, 100);
+        assert_eq!(p.sa_out, 60);
+        assert_eq!(p.block_count(), 4 * 2);
+        assert_eq!(p.bytes_moved(8), 2 * 6000 * 8);
+    }
+
+    #[test]
+    fn outer_dims_carry_both_strides() {
+        let p = CpuPlan::new(&[8, 6, 5, 3], &[2, 1, 0, 3], 32, 1);
+        assert_eq!(p.kind, PlanKind::Tiled);
+        assert_eq!((p.na, p.nb), (8, 5));
+        // Outer dims: input dim 1 (extent 6) and dim 3 (extent 3).
+        assert_eq!(p.outer_ext, vec![6, 3]);
+        assert_eq!(p.outer_in, vec![8, 240]);
+        // out layout: [5, 6, 8, 3] -> dim1 at out pos 1 (stride 5),
+        // dim3 at out pos 3 (stride 240).
+        assert_eq!(p.outer_out, vec![5, 240]);
+    }
+
+    #[test]
+    fn run_shrinks_the_tile() {
+        let long = CpuPlan::new(&[256, 32, 32], &[0, 2, 1], 32, 1);
+        assert_eq!(long.run, 256);
+        // run=256 shrinks the tile all the way to the 4-element floor.
+        assert!(long.tile_a <= 4);
+        let unit = CpuPlan::new(&[32, 32], &[1, 0], 32, 1);
+        assert_eq!((unit.tile_a, unit.tile_b), (32, 32));
+    }
+
+    #[test]
+    fn tile_edges_never_exceed_extents() {
+        let p = CpuPlan::new(&[3, 200], &[1, 0], 64, 1);
+        assert_eq!(p.tile_a, 3);
+        assert_eq!(p.tile_b, 64);
+    }
+
+    #[test]
+    fn pick_tile_by_width() {
+        assert_eq!(pick_tile(4), 64);
+        assert_eq!(pick_tile(8), 32);
+    }
+}

@@ -87,6 +87,46 @@ impl std::fmt::Display for LaunchError {
 
 impl std::error::Error for LaunchError {}
 
+/// The grid-execution interface the planner programs against, extracted
+/// from [`Executor`] so higher layers can drive a block kernel without
+/// naming the concrete simulator type. Object-safe: the kernel comes in
+/// as `&dyn BlockKernel<E>`, so one `GridExecutor` value can serve every
+/// kernel of an element type.
+///
+/// Real (non-simulated) backends such as `ttlg-cpu` do **not** implement
+/// this trait — they have no block grid to replay — which is exactly the
+/// point of the extraction: the planner's GPU path is typed against this
+/// trait, and everything outside it is backend-dispatched.
+pub trait GridExecutor<E: Element> {
+    /// Run a kernel over its grid (see [`Executor::run`]).
+    fn run_grid(
+        &self,
+        kernel: &dyn BlockKernel<E>,
+        input: &[E],
+        output: &mut [E],
+        mode: ExecMode,
+    ) -> Result<RunOutcome, LaunchError>;
+
+    /// Sampled analysis without data movement (see [`Executor::analyze`]).
+    fn analyze_grid(&self, kernel: &dyn BlockKernel<E>) -> Result<RunOutcome, LaunchError>;
+}
+
+impl<E: Element> GridExecutor<E> for Executor {
+    fn run_grid(
+        &self,
+        kernel: &dyn BlockKernel<E>,
+        input: &[E],
+        output: &mut [E],
+        mode: ExecMode,
+    ) -> Result<RunOutcome, LaunchError> {
+        self.run(kernel, input, output, mode)
+    }
+
+    fn analyze_grid(&self, kernel: &dyn BlockKernel<E>) -> Result<RunOutcome, LaunchError> {
+        self.analyze(kernel)
+    }
+}
+
 /// Executes kernels against a device configuration.
 #[derive(Debug, Clone)]
 pub struct Executor {
@@ -324,6 +364,30 @@ mod tests {
             )
             .unwrap();
         assert_eq!(exec.stats, ana.stats);
+    }
+
+    #[test]
+    fn grid_executor_trait_matches_inherent_methods() {
+        let n = 1000;
+        let input: Vec<u32> = (0..n as u32).collect();
+        let mut output = vec![0u32; n];
+        let ex = Executor::new(DeviceConfig::test_tiny());
+        let k = CopyKernel { n };
+        // Drive the simulator purely through the extracted interface.
+        let dyn_ex: &dyn GridExecutor<u32> = &ex;
+        let ran = dyn_ex
+            .run_grid(
+                &k,
+                &input,
+                &mut output,
+                ExecMode::Execute {
+                    check_disjoint_writes: true,
+                },
+            )
+            .unwrap();
+        assert_eq!(output, input);
+        let ana = dyn_ex.analyze_grid(&k).unwrap();
+        assert_eq!(ran.stats, ana.stats);
     }
 
     #[test]

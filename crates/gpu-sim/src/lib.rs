@@ -35,7 +35,7 @@ pub mod stats;
 pub mod timing;
 
 pub use device::DeviceConfig;
-pub use executor::{ExecMode, Executor, RunOutcome};
+pub use executor::{ExecMode, Executor, GridExecutor, RunOutcome};
 pub use kernel::{Accounting, BlockIo, BlockKernel, Launch};
 pub use profile::{ProfileReport, Profiler};
 pub use smem::SmemSim;

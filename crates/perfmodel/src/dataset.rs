@@ -7,6 +7,7 @@
 //! 77,502 (OD) and 8,042 (OA) such points; the generator here scales to
 //! any budget through [`ttlg_tensor::generator::DatasetConfig`].
 
+use ttlg::features::KernelChoice;
 use ttlg::{Candidate, Problem, Schema, Transposer};
 use ttlg_gpu_sim::DeviceConfig;
 use ttlg_tensor::generator::Case;
@@ -33,9 +34,36 @@ pub const OA_FEATURES: [&str; 7] = [
     "Cycles",
 ];
 
+/// Feature names of the CPU-backend model (no paper analogue — the
+/// tiled CPU kernel's cost drivers: total traffic, tile-block dispatch
+/// count, innermost contiguous-run length, and worker threads).
+pub const CPU_FEATURES: [&str; 4] = ["Bytes Moved", "Tile Blocks", "Run Elems", "Threads"];
+
+/// Extract the CPU feature vector for a CPU-backend candidate; `None`
+/// for GPU candidates. CPU candidates carry the contiguous run length in
+/// `input_slice`, the tile-block count in `grid_blocks`, and the worker
+/// thread count in `threads_per_block` (see `ttlg::features::cpu_candidate`).
+pub fn cpu_feature_vector(c: &Candidate) -> Option<Vec<f64>> {
+    if !matches!(c.choice, KernelChoice::CpuTiled { .. }) {
+        return None;
+    }
+    Some(vec![
+        (2 * c.volume * c.elem_bytes) as f64,
+        c.grid_blocks as f64,
+        c.input_slice as f64,
+        c.threads_per_block as f64,
+    ])
+}
+
 /// Extract the Table II feature vector for a candidate of the given
 /// schema; `None` for schemas the paper does not model with regression.
+/// CPU-backend candidates embed a schema label but run no GPU kernel, so
+/// they never route through the GPU regressions (use
+/// [`cpu_feature_vector`] for them).
 pub fn feature_vector(c: &Candidate) -> Option<(Schema, Vec<f64>)> {
+    if matches!(c.choice, KernelChoice::CpuTiled { .. }) {
+        return None;
+    }
     match c.schema() {
         Schema::OrthogonalDistinct => Some((
             Schema::OrthogonalDistinct,
@@ -190,5 +218,22 @@ mod tests {
         let p = Problem::new(&shape, &perm).unwrap();
         let c = ttlg::features::fml_candidate::<f64>(&p);
         assert!(feature_vector(&c).is_none());
+        assert!(cpu_feature_vector(&c).is_none(), "GPU candidate");
+    }
+
+    #[test]
+    fn cpu_candidates_route_to_cpu_features_only() {
+        let shape = ttlg_tensor::Shape::new(&[64, 16, 16]).unwrap();
+        let perm = ttlg_tensor::Permutation::new(&[0, 2, 1]).unwrap();
+        let p = Problem::new(&shape, &perm).unwrap();
+        // A CPU candidate wearing an OD schema label must NOT fall into
+        // the OD regression — its features live on a different scale.
+        let c = ttlg::features::cpu_candidate::<f64>(&p, Schema::OrthogonalDistinct, 32, 4);
+        assert!(feature_vector(&c).is_none());
+        let x = cpu_feature_vector(&c).expect("CPU candidate has CPU features");
+        assert_eq!(x.len(), CPU_FEATURES.len());
+        assert_eq!(x[0], (2 * c.volume * c.elem_bytes) as f64);
+        assert_eq!(x[2], 64.0, "run length is the fused innermost extent");
+        assert_eq!(x[3], 4.0);
     }
 }

@@ -30,9 +30,10 @@ pub mod predictor;
 pub mod pretrained;
 pub mod train;
 
+pub use dataset::{cpu_feature_vector, CPU_FEATURES};
 pub use linreg::{FitSummary, LinearModel};
 pub use online::{MeasurementSink, OnlineConfig, OnlinePredictor};
 pub use persist::{ModelPair, ModelStore};
 pub use predictor::TrainedPredictor;
-pub use pretrained::predictor_k40c;
+pub use pretrained::{cpu_model_default, predictor_k40c};
 pub use train::{train_models, TrainConfig, TrainedModels};

@@ -24,10 +24,10 @@
 //! [`crate::train::train_from_points`] — the convergence property the
 //! tests pin down.
 
-use crate::dataset::feature_vector;
+use crate::dataset::{cpu_feature_vector, feature_vector};
 use crate::linreg::LinearModel;
 use crate::persist::{ModelPair, ModelStore};
-use crate::pretrained::model_pair_k40c;
+use crate::pretrained::{cpu_model_default, model_pair_k40c};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 use ttlg::{AnalyticPredictor, Candidate, Schema, TimePredictor};
@@ -190,6 +190,10 @@ pub struct OnlinePredictor {
     cfg: OnlineConfig,
     od: RwLock<RlsState>,
     oa: RwLock<RlsState>,
+    /// CPU-backend stream, seeded from [`cpu_model_default`]. Lives
+    /// outside [`ModelPair`] (the persistable GPU pair) — CPU wall-clock
+    /// coefficients are machine-specific and re-learned per process.
+    cpu: RwLock<RlsState>,
     fallback: AnalyticPredictor,
     seed: ModelPair,
     points_seen: AtomicU64,
@@ -198,11 +202,13 @@ pub struct OnlinePredictor {
 
 impl OnlinePredictor {
     /// Start from a seed model pair (typically the pretrained models).
+    /// The CPU-backend stream always seeds from [`cpu_model_default`].
     pub fn from_pair(seed: &ModelPair, device: DeviceConfig, cfg: OnlineConfig) -> Self {
         OnlinePredictor {
             cfg,
             od: RwLock::new(RlsState::new(&seed.od)),
             oa: RwLock::new(RlsState::new(&seed.oa)),
+            cpu: RwLock::new(RlsState::new(&cpu_model_default())),
             fallback: AnalyticPredictor::new(device),
             seed: seed.clone(),
             points_seen: AtomicU64::new(0),
@@ -238,9 +244,30 @@ impl OnlinePredictor {
         accepted
     }
 
+    /// Stream one raw CPU-backend `(features, measured_ns)` point into
+    /// the CPU stream. Returns `true` if the point was accepted.
+    pub fn observe_cpu_features(&self, x: &[f64], measured_ns: f64) -> bool {
+        let mut state = self.cpu.write().expect("online model poisoned");
+        let before = state.points;
+        let refit = state.observe(&self.cfg, x, measured_ns);
+        let accepted = state.points > before;
+        drop(state);
+        if accepted {
+            self.points_seen.fetch_add(1, Ordering::Relaxed);
+        }
+        if refit {
+            self.refits.fetch_add(1, Ordering::Relaxed);
+        }
+        accepted
+    }
+
     /// Stream one measured candidate (features are extracted the same
-    /// way the offline dataset does). Non-OD/OA candidates are ignored.
+    /// way the offline dataset does). CPU-backend candidates feed the
+    /// CPU stream; GPU candidates outside OD/OA are ignored.
     pub fn observe(&self, c: &Candidate, measured_ns: f64) -> bool {
+        if let Some(x) = cpu_feature_vector(c) {
+            return self.observe_cpu_features(&x, measured_ns);
+        }
         match feature_vector(c) {
             Some((schema, x)) => self.observe_features(schema, &x, measured_ns),
             None => false,
@@ -288,6 +315,21 @@ impl OnlinePredictor {
         )
     }
 
+    /// The CPU-backend model predictions currently use (the
+    /// [`cpu_model_default`] seed until enough CPU points stream in).
+    pub fn cpu_model(&self) -> LinearModel {
+        self.cpu
+            .read()
+            .expect("online model poisoned")
+            .current
+            .clone()
+    }
+
+    /// Whether the CPU-backend stream has refined coefficients.
+    pub fn cpu_refined(&self) -> bool {
+        self.cpu.read().expect("online model poisoned").refined
+    }
+
     /// Accepted points so far.
     pub fn points_seen(&self) -> u64 {
         self.points_seen.load(Ordering::Relaxed)
@@ -301,6 +343,17 @@ impl OnlinePredictor {
 
 impl TimePredictor for OnlinePredictor {
     fn predict_ns(&self, c: &Candidate) -> f64 {
+        if let Some(x) = cpu_feature_vector(c) {
+            let state = self.cpu.read().expect("online model poisoned");
+            // Until real wall-clock points refine the stream, the
+            // closed-form analytic CPU model outranks the linear seed.
+            return if state.refined {
+                state.current.predict(&x).max(1.0)
+            } else {
+                drop(state);
+                self.fallback.predict_ns(c)
+            };
+        }
         match feature_vector(c) {
             Some((Schema::OrthogonalDistinct, x)) => self
                 .od
@@ -522,6 +575,81 @@ mod tests {
         assert!(!online.observe_features(Schema::OrthogonalDistinct, &[1.0; 5], -2.0));
         assert!(!online.observe_features(Schema::OrthogonalDistinct, &[1.0; 3], 10.0));
         assert!(!online.observe_features(Schema::Copy, &[1.0; 5], 10.0));
+        assert!(!online.observe_cpu_features(&[1.0; 3], 10.0), "bad width");
+        assert!(!online.observe_cpu_features(&[1.0; 4], f64::NAN));
         assert_eq!(online.points_seen(), 0);
+    }
+
+    #[test]
+    fn cpu_stream_refines_from_wall_clock_points() {
+        let online = OnlinePredictor::pretrained_k40c(OnlineConfig {
+            forgetting: 1.0,
+            min_points: 8,
+            prior_strength: 1e-9,
+        });
+        assert!(!online.cpu_refined());
+        // Synthetic ground truth: 0.1 ns/byte + 3 ns/block - 50 ns/run
+        // elem - 1 µs/thread + 20 µs dispatch.
+        let x_of = |i: usize| {
+            let bytes = ((i % 11) + 1) as f64 * 2e6;
+            let blocks = ((i % 5) + 1) as f64 * 64.0;
+            let run = [1.0, 8.0, 64.0][i % 3];
+            let threads = [1.0, 2.0, 4.0][(i / 3) % 3];
+            vec![bytes, blocks, run, threads]
+        };
+        let y_of = |x: &[f64]| 0.1 * x[0] + 3.0 * x[1] - 50.0 * x[2] - 1_000.0 * x[3] + 20_000.0;
+        for i in 0..120 {
+            let x = x_of(i);
+            let y = y_of(&x);
+            assert!(online.observe_cpu_features(&x, y));
+        }
+        assert!(online.cpu_refined());
+        // GPU pair untouched; refined() keeps its (od, oa) meaning.
+        assert_eq!(online.refined(), (false, false));
+        let m = online.cpu_model();
+        let probe = x_of(7);
+        let pred = m.predict(&probe);
+        let truth = y_of(&probe);
+        assert!(
+            (pred - truth).abs() <= 0.05 * truth.abs(),
+            "refined CPU model should fit the synthetic law: {pred} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn cpu_candidates_feed_cpu_stream_and_predict() {
+        let online = OnlinePredictor::pretrained_k40c(OnlineConfig {
+            forgetting: 1.0,
+            min_points: 4,
+            prior_strength: 1e-9,
+        });
+        let shape = ttlg_tensor::Shape::new(&[64, 32, 16]).unwrap();
+        let perm = ttlg_tensor::Permutation::new(&[0, 2, 1]).unwrap();
+        let p = ttlg::Problem::new(&shape, &perm).unwrap();
+        // Before refinement, CPU predictions come from the analytic
+        // fallback — identical to AnalyticPredictor.
+        let c = ttlg::features::cpu_candidate::<f64>(&p, Schema::FviMatchLarge, 32, 2);
+        let analytic = AnalyticPredictor::new(DeviceConfig::k40c());
+        assert_eq!(online.predict_ns(&c), analytic.predict_ns(&c));
+        // Stream varied measured CPU candidates; the stream refines and
+        // predictions switch to the refined linear model.
+        for (tile, threads, ns) in [
+            (16, 1, 900_000.0),
+            (32, 1, 800_000.0),
+            (64, 1, 700_000.0),
+            (16, 2, 500_000.0),
+            (32, 2, 450_000.0),
+            (64, 2, 400_000.0),
+            (32, 4, 300_000.0),
+            (64, 4, 250_000.0),
+        ] {
+            let ci = ttlg::features::cpu_candidate::<f64>(&p, Schema::FviMatchLarge, tile, threads);
+            assert!(online.observe(&ci, ns), "CPU candidate accepted");
+        }
+        assert!(online.cpu_refined());
+        assert!(online.points_seen() >= 8);
+        let pred = online.predict_ns(&c);
+        assert!(pred > 0.0 && pred.is_finite());
+        assert_ne!(pred, analytic.predict_ns(&c), "refined model now serves");
     }
 }

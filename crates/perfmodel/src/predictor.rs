@@ -4,7 +4,7 @@
 //! regressions; the remaining schemas (which the paper models separately
 //! and does not detail) fall back to the closed-form analytic predictor.
 
-use crate::dataset::feature_vector;
+use crate::dataset::{cpu_feature_vector, feature_vector};
 use crate::linreg::LinearModel;
 use crate::train::TrainedModels;
 use ttlg::{AnalyticPredictor, Candidate, Schema, TimePredictor};
@@ -14,6 +14,10 @@ use ttlg_gpu_sim::DeviceConfig;
 pub struct TrainedPredictor {
     od: LinearModel,
     oa: LinearModel,
+    /// Optional CPU-backend model; CPU candidates fall back to the
+    /// closed-form `cpu_analytic_ns` (via the analytic predictor) when
+    /// absent.
+    cpu: Option<LinearModel>,
     fallback: AnalyticPredictor,
 }
 
@@ -23,6 +27,7 @@ impl TrainedPredictor {
         TrainedPredictor {
             od: models.od.fit.model.clone(),
             oa: models.oa.fit.model.clone(),
+            cpu: None,
             fallback: AnalyticPredictor::new(device),
         }
     }
@@ -32,8 +37,15 @@ impl TrainedPredictor {
         TrainedPredictor {
             od,
             oa,
+            cpu: None,
             fallback: AnalyticPredictor::new(device),
         }
+    }
+
+    /// Attach a CPU-backend model (see `pretrained::cpu_model_default`).
+    pub fn with_cpu_model(mut self, cpu: LinearModel) -> Self {
+        self.cpu = Some(cpu);
+        self
     }
 
     /// Access the OD model.
@@ -45,10 +57,21 @@ impl TrainedPredictor {
     pub fn oa_model(&self) -> &LinearModel {
         &self.oa
     }
+
+    /// Access the CPU-backend model, if attached.
+    pub fn cpu_model(&self) -> Option<&LinearModel> {
+        self.cpu.as_ref()
+    }
 }
 
 impl TimePredictor for TrainedPredictor {
     fn predict_ns(&self, c: &Candidate) -> f64 {
+        if let Some(x) = cpu_feature_vector(c) {
+            return match &self.cpu {
+                Some(m) => m.predict(&x).max(1.0),
+                None => self.fallback.predict_ns(c),
+            };
+        }
         match feature_vector(c) {
             Some((Schema::OrthogonalDistinct, x)) => self.od.predict(&x).max(1.0),
             Some((Schema::OrthogonalArbitrary, x)) => self.oa.predict(&x).max(1.0),

@@ -10,7 +10,7 @@
 //! 11.08%/10.75%). Retrain with [`crate::train::train_models`] for other
 //! devices or datasets.
 
-use crate::dataset::{OA_FEATURES, OD_FEATURES};
+use crate::dataset::{CPU_FEATURES, OA_FEATURES, OD_FEATURES};
 use crate::linreg::LinearModel;
 use crate::persist::ModelPair;
 use crate::predictor::TrainedPredictor;
@@ -48,6 +48,26 @@ pub fn oa_model_k40c() -> LinearModel {
     }
 }
 
+/// Seed coefficients for the CPU-backend model (4 features of
+/// `CPU_FEATURES`). Unlike the GPU pair these are not fitted offline
+/// against the simulator — they linearize the closed-form
+/// `ttlg::cpu_analytic_ns` bandwidth model around mid-size problems and
+/// exist to give the online refiner ([`crate::OnlinePredictor`]) a sane
+/// starting point; real wall-clock measurements streamed by the
+/// autotuner take over from there.
+pub fn cpu_model_default() -> LinearModel {
+    LinearModel {
+        feature_names: CPU_FEATURES.iter().map(|s| s.to_string()).collect(),
+        intercept: 1.5e4,
+        coefficients: vec![
+            1.2e-1, // Bytes Moved (~8 GB/s effective single-thread)
+            2.0e0,  // Tile Blocks (per-block dispatch)
+            -8.0e0, // Run Elems (longer contiguous runs stream faster)
+            -2.0e3, // Threads (parallel speedup)
+        ],
+    }
+}
+
 /// Both models as a persistable pair.
 pub fn model_pair_k40c() -> ModelPair {
     ModelPair {
@@ -56,9 +76,11 @@ pub fn model_pair_k40c() -> ModelPair {
     }
 }
 
-/// A ready-to-use regression predictor for the simulated K40c.
+/// A ready-to-use regression predictor for the simulated K40c, with the
+/// seed CPU-backend model attached for cross-backend planning.
 pub fn predictor_k40c() -> TrainedPredictor {
     TrainedPredictor::from_models(od_model_k40c(), oa_model_k40c(), DeviceConfig::k40c())
+        .with_cpu_model(cpu_model_default())
 }
 
 #[cfg(test)]

@@ -45,6 +45,12 @@ pub struct AutotuneConfig {
     pub threads: usize,
     /// Idle poll interval of the background worker.
     pub poll_interval_ms: u64,
+    /// Unpin policy: a tuned key that accumulates no new requests for
+    /// this many consecutive autotune cycles loses its cache pin (and
+    /// its hot-key bookkeeping), so `ttlg_cache_pinned_plans` shrinks
+    /// once traffic moves elsewhere. `0` disables unpinning — tuned
+    /// plans stay pinned for the life of the process.
+    pub unpin_after_idle: u64,
 }
 
 impl Default for AutotuneConfig {
@@ -56,6 +62,7 @@ impl Default for AutotuneConfig {
             budget_per_key: 8,
             threads: 1,
             poll_interval_ms: 2,
+            unpin_after_idle: 0,
         }
     }
 }
@@ -67,6 +74,7 @@ pub struct AutotuneStats {
     pub(crate) candidates_measured: AtomicU64,
     pub(crate) plans_warmed: AtomicU64,
     pub(crate) plans_swapped: AtomicU64,
+    pub(crate) plans_unpinned: AtomicU64,
     pub(crate) points_streamed: AtomicU64,
     pub(crate) failures: AtomicU64,
 }
@@ -79,6 +87,7 @@ impl AutotuneStats {
             candidates_measured: self.candidates_measured.load(Ordering::Relaxed),
             plans_warmed: self.plans_warmed.load(Ordering::Relaxed),
             plans_swapped: self.plans_swapped.load(Ordering::Relaxed),
+            plans_unpinned: self.plans_unpinned.load(Ordering::Relaxed),
             points_streamed: self.points_streamed.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
         }
@@ -96,6 +105,8 @@ pub struct AutotuneSnapshot {
     pub plans_warmed: u64,
     /// Tunings where the measured winner differed from the modeled one.
     pub plans_swapped: u64,
+    /// Tuned plans whose cache pin was released by the idle policy.
+    pub plans_unpinned: u64,
     /// Measured points streamed to the model sink.
     pub points_streamed: u64,
     /// Keys whose tuning failed (planning or measurement error).

@@ -9,7 +9,7 @@
 //! ([`Metrics::snapshot`]) for the Prometheus-text and JSON exporters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use ttlg::Schema;
+use ttlg::{Backend, Schema};
 use ttlg_obs::{
     log2_bucket_quantile_us, MetricKind, MetricsSnapshot, PredictionTracker, Sample, RATIO_BUCKETS,
 };
@@ -141,6 +141,12 @@ impl LatencyHistogram {
 pub struct Metrics {
     requests_by_schema: [AtomicU64; 6],
     bytes_by_schema: [AtomicU64; 6],
+    /// Completed requests by execution backend (index = `Backend::index`).
+    requests_by_backend: [AtomicU64; 2],
+    /// Execute-phase latency split by backend — GPU-sim nanoseconds are
+    /// synthetic and CPU nanoseconds are wall clock, so the combined
+    /// `exec_latency` histogram alone would blur two different scales.
+    backend_exec_latency: [LatencyHistogram; 2],
     /// Wall-clock latency of the plan-fetch phase (cache hit or build).
     pub plan_latency: LatencyHistogram,
     /// Wall-clock latency of the execute phase.
@@ -166,6 +172,8 @@ impl Metrics {
         Metrics {
             requests_by_schema: Default::default(),
             bytes_by_schema: Default::default(),
+            requests_by_backend: Default::default(),
+            backend_exec_latency: Default::default(),
             plan_latency: LatencyHistogram::new(),
             exec_latency: LatencyHistogram::new(),
             failures: AtomicU64::new(0),
@@ -181,6 +189,24 @@ impl Metrics {
         let i = schema_index(schema);
         self.requests_by_schema[i].fetch_add(1, Ordering::Relaxed);
         self.bytes_by_schema[i].fetch_add(bytes_moved, Ordering::Relaxed);
+    }
+
+    /// Record one completed request's execution backend and its
+    /// execute-phase latency on that backend's histogram.
+    pub fn record_backend(&self, backend: Backend, exec_ns: u64) {
+        let i = backend.index();
+        self.requests_by_backend[i].fetch_add(1, Ordering::Relaxed);
+        self.backend_exec_latency[i].record_ns(exec_ns);
+    }
+
+    /// Completed requests dispatched to one backend.
+    pub fn requests_for_backend(&self, backend: Backend) -> u64 {
+        self.requests_by_backend[backend.index()].load(Ordering::Relaxed)
+    }
+
+    /// The execute-latency histogram of one backend.
+    pub fn backend_exec_latency(&self, backend: Backend) -> &LatencyHistogram {
+        &self.backend_exec_latency[backend.index()]
     }
 
     /// Record a failed request. The phase's wall-clock time still counts
@@ -280,6 +306,33 @@ impl Metrics {
             MetricKind::Counter,
             per_schema(&self.bytes_by_schema),
         );
+        snap.push_metric(
+            "ttlg_backend_requests_total",
+            "Completed requests by execution backend.",
+            MetricKind::Counter,
+            Backend::ALL
+                .iter()
+                .map(|b| {
+                    Sample::labelled(
+                        "backend",
+                        b.label(),
+                        self.requests_by_backend[b.index()].load(Ordering::Relaxed) as f64,
+                    )
+                })
+                .collect(),
+        );
+        for b in Backend::ALL {
+            let hist = &self.backend_exec_latency[b.index()];
+            let upper_bounds: Vec<f64> = (1..HIST_BUCKETS).map(|i| (1u64 << i) as f64).collect();
+            snap.push_histogram(
+                "ttlg_backend_exec_latency_us",
+                "Execute-phase latency by backend, microseconds (GPU-sim = modeled device time, cpu = wall clock).",
+                vec![("backend".to_string(), b.label().to_string())],
+                upper_bounds,
+                hist.bucket_counts(),
+                hist.total_ns() as f64 / 1e3,
+            );
+        }
         snap.push_metric(
             "ttlg_failures_total",
             "Failed requests (plan or execute errors).",
@@ -421,6 +474,17 @@ impl Metrics {
             cache.hits, cache.misses, cache.evictions
         )
         .unwrap();
+        let backend_totals: Vec<String> = Backend::ALL
+            .iter()
+            .map(|b| {
+                format!(
+                    "{} {}",
+                    self.requests_by_backend[b.index()].load(Ordering::Relaxed),
+                    b.label()
+                )
+            })
+            .collect();
+        writeln!(s, "backends : {}", backend_totals.join(", ")).unwrap();
         writeln!(s, "by schema:").unwrap();
         for schema in SCHEMAS {
             let i = schema_index(schema);
@@ -596,6 +660,51 @@ mod tests {
             .find(|h| h.name == "ttlg_prediction_ratio")
             .unwrap();
         assert_eq!(ratio.count(), 1);
+    }
+
+    #[test]
+    fn backend_counters_and_histograms_always_export() {
+        let m = Metrics::new();
+        // Both backend families are present even before any traffic —
+        // the metric-name contract tests scrape a cold service.
+        let snap = m.snapshot(&ttlg::CacheStats::default());
+        let req = snap
+            .metrics
+            .iter()
+            .find(|x| x.name == "ttlg_backend_requests_total")
+            .expect("backend counter exported cold");
+        assert_eq!(req.samples.len(), 2);
+        for s in &req.samples {
+            assert_eq!(s.value, 0.0);
+        }
+        let hists: Vec<_> = snap
+            .histograms
+            .iter()
+            .filter(|h| h.name == "ttlg_backend_exec_latency_us")
+            .collect();
+        assert_eq!(hists.len(), 2, "one histogram per backend");
+        // Traffic lands on the right backend lane.
+        m.record_backend(Backend::Cpu, 5_000);
+        m.record_backend(Backend::Cpu, 7_000);
+        m.record_backend(Backend::GpuSim, 3_000);
+        assert_eq!(m.requests_for_backend(Backend::Cpu), 2);
+        assert_eq!(m.requests_for_backend(Backend::GpuSim), 1);
+        assert_eq!(m.backend_exec_latency(Backend::Cpu).count(), 2);
+        let snap = m.snapshot(&ttlg::CacheStats::default());
+        let req = snap
+            .metrics
+            .iter()
+            .find(|x| x.name == "ttlg_backend_requests_total")
+            .unwrap();
+        let cpu = req
+            .samples
+            .iter()
+            .find(|s| s.labels.iter().any(|(_, v)| v == "cpu"))
+            .unwrap();
+        assert_eq!(cpu.value, 2.0);
+        let text = m.render(&ttlg::CacheStats::default());
+        assert!(text.contains("backends"), "{text}");
+        assert!(text.contains("cpu"), "{text}");
     }
 
     #[test]

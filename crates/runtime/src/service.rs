@@ -246,6 +246,10 @@ struct HotKeyState {
     measured: usize,
     /// Whether this key has been tuned (or claimed for tuning).
     tuned: bool,
+    /// Request count at the last autotune cycle (idle detection).
+    seen_requests: u64,
+    /// Consecutive autotune cycles with no new requests.
+    idle_cycles: u64,
 }
 
 /// The concurrent transposition service. See the module docs.
@@ -494,6 +498,7 @@ impl<E: Element> TransposeService<E> {
         let outcome = match result {
             Ok((output, report)) => {
                 self.metrics.exec_latency.record_ns(execute_ns);
+                self.metrics.record_backend(plan.backend(), execute_ns);
                 let bytes = 2 * req.input.volume() as u64 * E::BYTES as u64;
                 self.metrics.record_request(report.schema, bytes);
                 self.metrics.record_prediction(
@@ -786,7 +791,46 @@ impl<E: Element> TransposeService<E> {
                 }
             }
         }
+        self.unpin_idle_keys();
         due.len()
+    }
+
+    /// The unpin half of the autotune cycle: a key that accumulated no
+    /// new requests for [`AutotuneConfig::unpin_after_idle`] consecutive
+    /// cycles is dropped from the hot map, and — if it had been tuned —
+    /// its cache pin is released so the LRU can evict it once capacity
+    /// pressure arrives. Traffic returning later re-heats the key from
+    /// scratch.
+    fn unpin_idle_keys(&self) {
+        if self.autotune.unpin_after_idle == 0 {
+            return;
+        }
+        let mut cold: Vec<PlanKey> = Vec::new();
+        {
+            let mut hot = self.hot.lock().expect("hot map poisoned");
+            hot.retain(|k, s| {
+                if s.requests == s.seen_requests {
+                    s.idle_cycles += 1;
+                } else {
+                    s.idle_cycles = 0;
+                    s.seen_requests = s.requests;
+                }
+                if s.idle_cycles < self.autotune.unpin_after_idle {
+                    return true;
+                }
+                if s.tuned {
+                    cold.push(k.clone());
+                }
+                false
+            });
+        }
+        for key in &cold {
+            if self.cache.unpin(key) {
+                self.tuner_stats
+                    .plans_unpinned
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Measure the top-ranked candidates for one key and install the
@@ -885,6 +929,44 @@ mod tests {
         // Second submission hits the cache.
         svc.submit(&req).unwrap();
         assert_eq!(svc.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn cpu_backend_requests_serve_and_count_per_backend() {
+        let svc: TransposeService<f32> = TransposeService::new_k40c();
+        let shape = Shape::new(&[24, 12, 10]).unwrap();
+        let perm = Permutation::new(&[2, 0, 1]).unwrap();
+        let input = Arc::new(DenseTensor::<f32>::iota(shape));
+        let mut cpu_req = TransposeRequest::new(Arc::clone(&input), perm.clone());
+        cpu_req.opts = TransposeOptions::for_backend(ttlg::Backend::Cpu);
+        let gpu_req = TransposeRequest::new(Arc::clone(&input), perm.clone());
+
+        let resp = svc.submit(&cpu_req).unwrap();
+        let expect = ttlg_tensor::reference::transpose_reference(&input, &perm).unwrap();
+        assert_eq!(resp.output.data(), expect.data());
+        assert!(resp.report.kernel_time_ns > 0.0, "wall-clock timing");
+        svc.submit(&gpu_req).unwrap();
+
+        // The two requests plan under distinct keys (backend is part of
+        // the fingerprint) and land on separate backend lanes.
+        assert_eq!(svc.cache_stats().misses, 2);
+        let m = svc.metrics();
+        assert_eq!(m.requests_for_backend(ttlg::Backend::Cpu), 1);
+        assert_eq!(m.requests_for_backend(ttlg::Backend::GpuSim), 1);
+        assert_eq!(m.backend_exec_latency(ttlg::Backend::Cpu).count(), 1);
+        let prom = svc.export_prometheus();
+        assert!(
+            prom.contains("ttlg_backend_requests_total{backend=\"cpu\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("ttlg_backend_requests_total{backend=\"gpu_sim\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("ttlg_backend_exec_latency_us_bucket"),
+            "{prom}"
+        );
     }
 
     #[test]
@@ -1060,6 +1142,8 @@ mod tests {
 
         let prom = svc.export_prometheus();
         assert!(prom.contains("# TYPE ttlg_requests_total counter"));
+        assert!(prom.contains("ttlg_backend_requests_total{backend=\"gpu_sim\"} 1"));
+        assert!(prom.contains("ttlg_backend_requests_total{backend=\"cpu\"} 0"));
         assert!(prom.contains("ttlg_plan_latency_us_quantile{quantile=\"0.99\"}"));
         assert!(prom.contains("ttlg_prediction_samples_total"));
         assert!(prom.contains("ttlg_exec_latency_us_bucket"));
@@ -1110,6 +1194,7 @@ mod tests {
                 budget_per_key: 8,
                 threads: 1,
                 poll_interval_ms: 1,
+                ..crate::autotune::AutotuneConfig::default()
             },
             ..RuntimeConfig::default()
         }
@@ -1163,6 +1248,61 @@ mod tests {
             after.report.kernel_time_ns,
             before.report.kernel_time_ns
         );
+    }
+
+    #[test]
+    fn idle_tuned_keys_lose_their_pin_and_become_evictable() {
+        let cfg = RuntimeConfig {
+            cache: CacheConfig {
+                shards: 1,
+                capacity_per_shard: 2,
+            },
+            autotune: crate::autotune::AutotuneConfig {
+                enabled: true,
+                hot_threshold: 2,
+                topk: 2,
+                budget_per_key: 4,
+                threads: 1,
+                poll_interval_ms: 1,
+                unpin_after_idle: 2,
+            },
+            ..RuntimeConfig::default()
+        };
+        let svc: TransposeService<u32> = TransposeService::with_config(Transposer::new_k40c(), cfg);
+        let input = Arc::new(DenseTensor::<u32>::iota(Shape::new(&[8, 8, 8]).unwrap()));
+        let req = TransposeRequest::new(Arc::clone(&input), Permutation::new(&[2, 1, 0]).unwrap());
+
+        // Warm: the key goes hot, gets tuned, and its plan is pinned.
+        svc.submit(&req).unwrap();
+        svc.submit(&req).unwrap();
+        assert_eq!(svc.autotune_once(), 1, "key went hot and got tuned");
+        assert_eq!(svc.cache.pinned_plans(), 1);
+
+        // Fresh traffic between cycles resets the idle counter.
+        svc.submit(&req).unwrap();
+        assert_eq!(svc.autotune_once(), 0);
+        assert_eq!(svc.cache.pinned_plans(), 1, "traffic keeps the pin");
+
+        // Cool: two request-free cycles cross `unpin_after_idle`.
+        assert_eq!(svc.autotune_once(), 0);
+        assert_eq!(svc.autotune_once(), 0);
+        assert_eq!(svc.cache.pinned_plans(), 0, "idle key unpinned");
+        assert_eq!(svc.autotune_stats().plans_unpinned, 1);
+        assert!(svc.hot.lock().unwrap().is_empty(), "bookkeeping dropped");
+
+        // The plan is still resident — unpinning is not eviction...
+        let hits = svc.cache_stats().hits;
+        svc.submit(&req).unwrap();
+        assert_eq!(svc.cache_stats().hits, hits + 1);
+        // ...but it lost its immunity: flooding the single shard past
+        // capacity evicts it like any other LRU entry.
+        for p in [[0usize, 2, 1], [1, 2, 0], [1, 0, 2], [2, 0, 1]] {
+            let other = TransposeRequest::new(Arc::clone(&input), Permutation::new(&p).unwrap());
+            svc.submit(&other).unwrap();
+        }
+        let misses = svc.cache_stats().misses;
+        svc.submit(&req).unwrap();
+        assert_eq!(svc.cache_stats().misses, misses + 1, "evicted: replanned");
     }
 
     #[test]
