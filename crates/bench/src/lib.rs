@@ -18,6 +18,7 @@
 //! * Fig. 13 — bandwidth vs dimension sizes
 //! * Fig. 14 — the TTC benchmark suite
 
+pub mod async_study;
 pub mod autotune_study;
 pub mod cpu_study;
 pub mod figures;

@@ -243,15 +243,17 @@ mod tests {
         // the planned Arc directly, without re-touching the cache.
         assert_eq!(study.cache.misses, 16);
         assert!(study.metrics_report.contains("requests"));
-        // Every successful request fed the prediction tracker.
-        assert_eq!(study.prediction_samples, 64);
+        // Duplicates inside the batch coalesce onto one execution per
+        // unique problem, so only the 16 real executions feed the
+        // prediction tracker.
+        assert_eq!(study.prediction_samples, 16);
         let rendered = study.render();
         assert!(rendered.contains("speedup"));
-        assert!(rendered.contains("prediction accuracy (64 samples)"));
+        assert!(rendered.contains("prediction accuracy (16 samples)"));
         assert!(rendered.contains("geo-mean error"));
         let json = study.to_json();
         assert!(json.contains("\"speedup\""));
-        assert!(json.contains("\"prediction_samples\": 64"));
+        assert!(json.contains("\"prediction_samples\": 16"));
     }
 
     #[test]

@@ -3,52 +3,83 @@
 //! The paper evaluates *mean* bandwidth per permutation; a service built
 //! on the library lives and dies by its *tail*. This study replays a
 //! skewed workload — a few hot plan keys plus a cold tail spread across
-//! shape classes — through the `ttlg-runtime` service, lets the
-//! measure-mode autotuner warm the hot keys mid-run, and then attributes
-//! the tail: per-schema p50/p95/p99, which phase (queue-wait vs
-//! plan-fetch vs execute) dominates at p99, the slowest retained
-//! exemplars with their planner decision traces, and the SLO hit-rate /
-//! burn-rate view of the same run.
+//! shape classes — through a **real loopback gateway** (`ttlg-serve` on
+//! an ephemeral port), lets the measure-mode autotuner warm the hot keys
+//! mid-run, and then attributes the tail from the gateway's own
+//! four-phase decomposition: every response body carries measured
+//! `network` / `queue` / `plan` / `execute` microseconds, so the phase
+//! shares reported here are the edge's real accounting, not a synthetic
+//! re-derivation from ring traces. Per-schema p50/p95/p99, which phase
+//! dominates at p99, the slowest retained exemplars with their planner
+//! decision traces, and the SLO hit-rate / burn-rate view complete the
+//! picture.
 //!
-//! Quantiles here are *exact* (nearest-rank over the full trace ring,
-//! which is sized to hold the whole workload), unlike the service's
-//! log2-bucketed online estimates — so the study doubles as a sanity
-//! check on the bucketed exporter.
+//! Quantiles here are *exact* (nearest-rank over every response), unlike
+//! the service's log2-bucketed online estimates — so the study doubles
+//! as a sanity check on the bucketed exporter.
 
 use crate::serve_study::json_f64;
 use std::sync::Arc;
 use ttlg::Transposer;
 use ttlg_runtime::autotune::AutotuneConfig;
-use ttlg_runtime::{RequestTrace, RuntimeConfig, SloSnapshot, TransposeRequest, TransposeService};
+use ttlg_runtime::{RuntimeConfig, SloSnapshot, TransposeRequest, TransposeService};
+use ttlg_serve::{client::HttpClient, Gateway, GatewayConfig, QuotaConfig, ServerHandle};
 use ttlg_tensor::rng::StdRng;
 use ttlg_tensor::{DenseTensor, Permutation, Shape};
 
 /// Phase shares (fractions of total latency, summing to ~1) over the
-/// requests at or beyond a quantile cutoff.
+/// requests at or beyond a quantile cutoff, using the gateway's real
+/// four-phase decomposition from the response bodies.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct PhaseBreakdown {
-    /// Share of time spent waiting for an execution permit.
-    pub queue_wait: f64,
-    /// Share of time spent fetching or building the plan.
-    pub plan_fetch: f64,
-    /// Share of time spent executing the kernel.
+pub struct GatewayPhaseShares {
+    /// Share of time on the wire (first byte to parsed request).
+    pub network: f64,
+    /// Share of time queued in the gateway (admission to dequeue).
+    pub queue: f64,
+    /// Share of time fetching or building the plan.
+    pub plan: f64,
+    /// Share of time executing the kernel (incl. the execution permit).
     pub execute: f64,
 }
 
-impl PhaseBreakdown {
+impl GatewayPhaseShares {
     /// The phase with the largest share (ties favor `execute`).
     pub fn dominant(&self) -> &'static str {
-        if self.queue_wait > self.execute && self.queue_wait >= self.plan_fetch {
-            "queue-wait"
-        } else if self.plan_fetch > self.execute && self.plan_fetch > self.queue_wait {
-            "plan-fetch"
-        } else {
-            "execute"
+        let mut best = ("execute", self.execute);
+        for (name, share) in [
+            ("network", self.network),
+            ("queue", self.queue),
+            ("plan", self.plan),
+        ] {
+            if share > best.1 {
+                best = (name, share);
+            }
         }
+        best.0
     }
 }
 
-/// One retained slow-request exemplar, flattened for the report.
+/// One request's worth of gateway-reported phase data, parsed from the
+/// `/v1/transpose` response body.
+#[derive(Debug, Clone)]
+struct GatewaySample {
+    schema: String,
+    warmed: bool,
+    network_us: f64,
+    queue_us: f64,
+    plan_us: f64,
+    execute_us: f64,
+}
+
+impl GatewaySample {
+    fn total_us(&self) -> f64 {
+        self.network_us + self.queue_us + self.plan_us + self.execute_us
+    }
+}
+
+/// One retained slow-request exemplar, flattened for the report. These
+/// come from the service's exemplar store, so their phase split is the
+/// service-side three-phase view (no network component).
 #[derive(Debug, Clone)]
 pub struct TailExemplar {
     /// Request id (joins against service logs / trace dumps).
@@ -85,8 +116,8 @@ pub struct SchemaTail {
     pub p95_us: f64,
     /// 99th percentile, us.
     pub p99_us: f64,
-    /// Phase shares over the requests at or beyond p99.
-    pub phase_at_p99: PhaseBreakdown,
+    /// Gateway phase shares over the requests at or beyond p99.
+    pub phase_at_p99: GatewayPhaseShares,
     /// Slowest retained exemplars for this schema (slowest first).
     pub exemplars: Vec<TailExemplar>,
 }
@@ -105,6 +136,10 @@ pub struct WarmthTail {
 pub struct TailStudy {
     /// Total requests replayed.
     pub requests: usize,
+    /// Requests that coalesced onto another identical in-flight
+    /// request's execution (0 for this sequential replay; nonzero under
+    /// concurrent duplicate load).
+    pub coalesced_requests: u64,
     /// Traces that fell off the ring (0 — the ring is sized to fit).
     pub trace_dropped: u64,
     /// Exemplars retained across all buckets.
@@ -121,100 +156,104 @@ pub struct TailStudy {
     pub flame: String,
 }
 
-/// Exact nearest-rank quantile over sorted totals (ns), returned in us.
-fn quantile_us(sorted_ns: &[u64], q: f64) -> f64 {
-    if sorted_ns.is_empty() {
+/// Exact nearest-rank quantile over sorted totals (us).
+fn quantile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
         return f64::NAN;
     }
-    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
-    sorted_ns[rank - 1] as f64 * 1e-3
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
 }
 
-/// Phase shares over the traces with total latency >= `cutoff_ns`.
-fn phase_at(traces: &[&RequestTrace], cutoff_ns: u64) -> PhaseBreakdown {
-    let (mut q, mut p, mut e) = (0u64, 0u64, 0u64);
-    for t in traces.iter().filter(|t| t.total_ns() >= cutoff_ns) {
-        q += t.queue_wait_ns;
-        p += t.plan_fetch_ns;
-        e += t.execute_ns;
+/// Gateway phase shares over the samples with total latency >=
+/// `cutoff_us`.
+fn phase_at(samples: &[&GatewaySample], cutoff_us: f64) -> GatewayPhaseShares {
+    let (mut n, mut q, mut p, mut e) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for s in samples.iter().filter(|s| s.total_us() >= cutoff_us) {
+        n += s.network_us;
+        q += s.queue_us;
+        p += s.plan_us;
+        e += s.execute_us;
     }
-    let total = (q + p + e) as f64;
+    let total = n + q + p + e;
     if total == 0.0 {
-        return PhaseBreakdown::default();
+        return GatewayPhaseShares::default();
     }
-    PhaseBreakdown {
-        queue_wait: q as f64 / total,
-        plan_fetch: p as f64 / total,
-        execute: e as f64 / total,
+    GatewayPhaseShares {
+        network: n / total,
+        queue: q / total,
+        plan: p / total,
+        execute: e / total,
     }
 }
 
-fn warmth_tail(traces: &[RequestTrace], warmed: bool) -> WarmthTail {
-    let mut totals: Vec<u64> = traces
+fn warmth_tail(samples: &[GatewaySample], warmed: bool) -> WarmthTail {
+    let mut totals: Vec<f64> = samples
         .iter()
-        .filter(|t| t.warmed == warmed)
-        .map(|t| t.total_ns())
+        .filter(|s| s.warmed == warmed)
+        .map(|s| s.total_us())
         .collect();
-    totals.sort_unstable();
+    totals.sort_by(|a, b| a.total_cmp(b));
     WarmthTail {
         requests: totals.len(),
-        p99_us: quantile_us(&totals, 0.99),
+        p99_us: quantile(&totals, 0.99),
     }
 }
 
-/// Build the skewed workload: `rounds` passes over a mix of hot rank-4
-/// permutations of one tensor (repeated every round, so the autotuner
-/// sees them as hot) plus a cold tail of one-off problems across
-/// several shape classes.
-pub fn workload(rounds: usize) -> Vec<TransposeRequest<f64>> {
-    let hot_input = Arc::new(DenseTensor::<f64>::iota(Shape::new(&[6, 5, 4, 3]).unwrap()));
-    let hot_perms = [[3, 1, 0, 2], [2, 3, 1, 0], [1, 0, 3, 2]];
-
-    // Cold tail: distinct shape classes, one request each per round.
-    let cold: Vec<TransposeRequest<f64>> = vec![
-        TransposeRequest::new(
-            Arc::new(DenseTensor::<f64>::iota(Shape::new(&[32, 32]).unwrap())),
-            Permutation::new(&[1, 0]).unwrap(),
-        ),
-        TransposeRequest::new(
-            Arc::new(DenseTensor::<f64>::iota(Shape::new(&[16, 16, 16]).unwrap())),
-            Permutation::new(&[2, 1, 0]).unwrap(),
-        ),
-        TransposeRequest::new(
-            Arc::new(DenseTensor::<f64>::iota(Shape::new(&[8, 8, 8, 8]).unwrap())),
-            Permutation::new(&[2, 3, 0, 1]).unwrap(),
-        ),
-        TransposeRequest::new(
-            Arc::new(DenseTensor::<f64>::iota(
-                Shape::new(&[4, 4, 4, 4, 4]).unwrap(),
-            )),
-            Permutation::new(&[4, 3, 2, 1, 0]).unwrap(),
-        ),
+/// The skewed workload as `(extents, perm)` problem specs: `rounds`
+/// passes over a mix of hot rank-4 permutations (repeated every round,
+/// so the autotuner sees them as hot) plus a cold tail of one-off
+/// problems across several shape classes.
+pub fn workload_specs(rounds: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let hot_extents = vec![6usize, 5, 4, 3];
+    let hot_perms: [[usize; 4]; 3] = [[3, 1, 0, 2], [2, 3, 1, 0], [1, 0, 3, 2]];
+    let cold: [(&[usize], &[usize]); 4] = [
+        (&[32, 32], &[1, 0]),
+        (&[16, 16, 16], &[2, 1, 0]),
+        (&[8, 8, 8, 8], &[2, 3, 0, 1]),
+        (&[4, 4, 4, 4, 4], &[4, 3, 2, 1, 0]),
     ];
-
-    let mut reqs: Vec<TransposeRequest<f64>> = Vec::new();
+    let mut specs: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
     for _ in 0..rounds {
         for p in &hot_perms {
-            reqs.push(TransposeRequest::new(
-                Arc::clone(&hot_input),
-                Permutation::new(p).unwrap(),
-            ));
+            specs.push((hot_extents.clone(), p.to_vec()));
         }
-        reqs.extend(cold.iter().cloned());
+        for (e, p) in &cold {
+            specs.push((e.to_vec(), p.to_vec()));
+        }
     }
     let mut rng = StdRng::seed_from_u64(0x7A11_57D1);
-    rng.shuffle(&mut reqs);
-    reqs
+    rng.shuffle(&mut specs);
+    specs
 }
 
-/// Run the study: warm half the workload, autotune the hot keys, replay
-/// the other half, then attribute the tail from the full trace ring.
+/// The same workload materialized as service-level requests (used by
+/// `ttlg profile --tail`, which replays in-process without a gateway).
+/// Hot problems share one input tensor; cold problems get their own.
+pub fn workload(rounds: usize) -> Vec<TransposeRequest<f64>> {
+    let mut inputs: std::collections::HashMap<Vec<usize>, Arc<DenseTensor<f64>>> =
+        std::collections::HashMap::new();
+    workload_specs(rounds)
+        .into_iter()
+        .map(|(extents, perm)| {
+            let input = Arc::clone(inputs.entry(extents.clone()).or_insert_with(|| {
+                Arc::new(DenseTensor::<f64>::iota(Shape::new(&extents).unwrap()))
+            }));
+            TransposeRequest::new(input, Permutation::new(&perm).unwrap())
+        })
+        .collect()
+}
+
+/// Run the study: stand up a loopback gateway, warm half the workload
+/// over real HTTP, autotune the hot keys, replay the other half, then
+/// attribute the tail from the gateway's per-response phase
+/// decomposition.
 pub fn run(rounds: usize) -> TailStudy {
     let rounds = rounds.max(2);
-    let reqs = workload(rounds);
+    let specs = workload_specs(rounds);
     let cfg = RuntimeConfig {
         // The ring must hold the whole run for exact quantiles.
-        trace_capacity: reqs.len().next_power_of_two(),
+        trace_capacity: specs.len().next_power_of_two(),
         autotune: AutotuneConfig {
             enabled: true,
             hot_threshold: 2,
@@ -226,43 +265,78 @@ pub fn run(rounds: usize) -> TailStudy {
         },
         ..RuntimeConfig::default()
     };
-    let svc = TransposeService::<f64>::with_config(Transposer::new_k40c(), cfg);
+    let svc = Arc::new(TransposeService::<f64>::with_config(
+        Transposer::new_k40c(),
+        cfg,
+    ));
+    let gw = Gateway::start(
+        Arc::clone(&svc),
+        GatewayConfig {
+            workers: 2,
+            quota: QuotaConfig {
+                rate_per_sec: 1e6,
+                burst: 1e6,
+                ..QuotaConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+    );
+    let mut server: ServerHandle =
+        ttlg_serve::server::spawn(Arc::clone(&gw), "127.0.0.1:0").expect("bind loopback");
+    let mut client = HttpClient::connect(server.addr()).expect("connect loopback");
 
-    // First half establishes the pre-warming tail and marks keys hot...
-    let mid = reqs.len() / 2;
-    for r in svc.submit_batch(&reqs[..mid]) {
-        r.expect("tail study request failed");
-    }
-    // ...one synchronous autotune pass warms them...
-    svc.autotune_once();
-    // ...and the second half runs against warmed plans where available.
-    for r in svc.submit_batch(&reqs[mid..]) {
-        r.expect("tail study request failed");
-    }
-
-    let traces = svc.recent_traces(reqs.len());
-    assert_eq!(traces.len(), reqs.len(), "ring sized to hold the run");
-
-    // Group by schema and compute exact tails.
-    let mut by_schema: Vec<(String, Vec<&RequestTrace>)> = Vec::new();
-    for t in &traces {
-        let key = if t.schema.is_empty() {
-            "unplanned".to_string()
-        } else {
-            t.schema.clone()
+    // First half establishes the pre-warming tail and marks keys hot;
+    // one synchronous autotune pass then warms them, and the second
+    // half runs against warmed plans where available.
+    let mid = specs.len() / 2;
+    let mut samples: Vec<GatewaySample> = Vec::with_capacity(specs.len());
+    for (i, (extents, perm)) in specs.iter().enumerate() {
+        if i == mid {
+            svc.autotune_once();
+        }
+        let body = format!("{{\"extents\":{extents:?},\"perm\":{perm:?}}}");
+        let resp = client
+            .post_json("/v1/transpose", &[("x-ttlg-tenant", "tail-study")], &body)
+            .expect("loopback request");
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+        let json = ttlg_serve::json::parse(&resp.body).expect("response body is JSON");
+        let phases = json.get("phases").expect("phases present");
+        let us = |key: &str| {
+            phases
+                .get(key)
+                .and_then(|v| v.as_f64())
+                .expect("phase value")
         };
-        match by_schema.iter_mut().find(|(s, _)| *s == key) {
-            Some((_, v)) => v.push(t),
-            None => by_schema.push((key, vec![t])),
+        samples.push(GatewaySample {
+            schema: json
+                .get("schema")
+                .and_then(|v| v.as_str())
+                .unwrap_or("unplanned")
+                .to_string(),
+            warmed: matches!(json.get("warmed"), Some(ttlg_serve::json::Json::Bool(true))),
+            network_us: us("network_us"),
+            queue_us: us("queue_us"),
+            plan_us: us("plan_us"),
+            execute_us: us("execute_us"),
+        });
+    }
+    server.stop();
+
+    // Group by schema and compute exact tails from the gateway samples.
+    let mut by_schema: Vec<(String, Vec<&GatewaySample>)> = Vec::new();
+    for s in &samples {
+        match by_schema.iter_mut().find(|(k, _)| *k == s.schema) {
+            Some((_, v)) => v.push(s),
+            None => by_schema.push((s.schema.clone(), vec![s])),
         }
     }
     let exemplars = svc.exemplars();
     let mut schemas: Vec<SchemaTail> = by_schema
         .into_iter()
-        .map(|(schema, ts)| {
-            let mut totals: Vec<u64> = ts.iter().map(|t| t.total_ns()).collect();
-            totals.sort_unstable();
-            let p99_us = quantile_us(&totals, 0.99);
+        .map(|(schema, ss)| {
+            let mut totals: Vec<f64> = ss.iter().map(|s| s.total_us()).collect();
+            totals.sort_by(|a, b| a.total_cmp(b));
+            let p99_us = quantile(&totals, 0.99);
             let exemplars: Vec<TailExemplar> = exemplars
                 .iter()
                 .filter(|((s, _), _)| *s == schema)
@@ -283,11 +357,11 @@ pub fn run(rounds: usize) -> TailStudy {
             exemplars.sort_by(|a, b| b.total_us.total_cmp(&a.total_us));
             exemplars.truncate(3);
             SchemaTail {
-                requests: ts.len(),
-                p50_us: quantile_us(&totals, 0.50),
-                p95_us: quantile_us(&totals, 0.95),
+                requests: ss.len(),
+                p50_us: quantile(&totals, 0.50),
+                p95_us: quantile(&totals, 0.95),
                 p99_us,
-                phase_at_p99: phase_at(&ts, (p99_us * 1e3) as u64),
+                phase_at_p99: phase_at(&ss, p99_us),
                 exemplars,
                 schema,
             }
@@ -296,11 +370,12 @@ pub fn run(rounds: usize) -> TailStudy {
     schemas.sort_by(|a, b| b.p99_us.total_cmp(&a.p99_us));
 
     TailStudy {
-        requests: reqs.len(),
+        requests: samples.len(),
+        coalesced_requests: svc.metrics().coalesced_requests(),
         trace_dropped: svc.trace_dropped(),
         exemplar_count: svc.exemplar_store().total_retained(),
-        warmed: warmth_tail(&traces, true),
-        unwarmed: warmth_tail(&traces, false),
+        warmed: warmth_tail(&samples, true),
+        unwarmed: warmth_tail(&samples, false),
         slo: svc.slo_snapshot(),
         flame: svc.render_profile(),
         schemas,
@@ -312,10 +387,10 @@ impl TailStudy {
     /// warming comparison, the SLO line, and the flame tree.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        s.push_str("== tail-latency attribution ==\n");
+        s.push_str("== tail-latency attribution (loopback gateway) ==\n");
         s.push_str(&format!(
-            "workload: {} requests, {} exemplars retained, {} traces dropped\n",
-            self.requests, self.exemplar_count, self.trace_dropped
+            "workload: {} requests, {} coalesced, {} exemplars retained, {} traces dropped\n",
+            self.requests, self.coalesced_requests, self.exemplar_count, self.trace_dropped
         ));
         s.push_str(&format!(
             "{:<24} {:>6} {:>10} {:>10} {:>10}  {}\n",
@@ -354,6 +429,10 @@ impl TailStudy {
         let mut s = String::from("{\n");
         s.push_str("  \"study\": \"tail\",\n");
         s.push_str(&format!("  \"requests\": {},\n", self.requests));
+        s.push_str(&format!(
+            "  \"coalesced_requests\": {},\n",
+            self.coalesced_requests
+        ));
         s.push_str(&format!("  \"trace_dropped\": {},\n", self.trace_dropped));
         s.push_str(&format!("  \"exemplar_count\": {},\n", self.exemplar_count));
         s.push_str(&format!(
@@ -382,7 +461,8 @@ impl TailStudy {
             s.push_str(&format!(
                 "    {{\"schema\": \"{}\", \"requests\": {}, \"p50_us\": {}, \"p95_us\": {}, \
                  \"p99_us\": {}, \"dominant_phase_at_p99\": \"{}\", \
-                 \"phase_at_p99\": {{\"queue_wait\": {}, \"plan_fetch\": {}, \"execute\": {}}}, \
+                 \"phase_at_p99\": {{\"network\": {}, \"queue\": {}, \"plan\": {}, \
+                 \"execute\": {}}}, \
                  \"exemplars\": [",
                 sc.schema,
                 sc.requests,
@@ -390,8 +470,9 @@ impl TailStudy {
                 json_f64(sc.p95_us),
                 json_f64(sc.p99_us),
                 sc.phase_at_p99.dominant(),
-                json_f64(sc.phase_at_p99.queue_wait),
-                json_f64(sc.phase_at_p99.plan_fetch),
+                json_f64(sc.phase_at_p99.network),
+                json_f64(sc.phase_at_p99.queue),
+                json_f64(sc.phase_at_p99.plan),
                 json_f64(sc.phase_at_p99.execute),
             ));
             for (j, e) in sc.exemplars.iter().enumerate() {
@@ -427,10 +508,28 @@ mod tests {
 
     #[test]
     fn quantiles_are_exact_nearest_rank() {
-        let sorted: Vec<u64> = (1..=100).collect();
-        assert_eq!(quantile_us(&sorted, 0.50), 0.050);
-        assert_eq!(quantile_us(&sorted, 0.99), 0.099);
-        assert!(quantile_us(&[], 0.5).is_nan());
+        let sorted: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(quantile(&sorted, 0.50), 50.0);
+        assert_eq!(quantile(&sorted, 0.99), 99.0);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn dominant_phase_prefers_execute_on_ties() {
+        let even = GatewayPhaseShares {
+            network: 0.25,
+            queue: 0.25,
+            plan: 0.25,
+            execute: 0.25,
+        };
+        assert_eq!(even.dominant(), "execute");
+        let network_heavy = GatewayPhaseShares {
+            network: 0.7,
+            queue: 0.1,
+            plan: 0.1,
+            execute: 0.1,
+        };
+        assert_eq!(network_heavy.dominant(), "network");
     }
 
     #[test]
@@ -449,8 +548,9 @@ mod tests {
                 sc.schema
             );
             let ph = sc.phase_at_p99;
-            let sum = ph.queue_wait + ph.plan_fetch + ph.execute;
+            let sum = ph.network + ph.queue + ph.plan + ph.execute;
             assert!((sum - 1.0).abs() < 1e-9, "{} shares sum {sum}", sc.schema);
+            assert!(ph.network > 0.0, "gateway phases carry a network share");
             assert!(!ph.dominant().is_empty());
         }
         // The autotune pass warmed the hot keys, so the second half of
@@ -473,8 +573,9 @@ mod tests {
         assert!(text.contains("slo:"));
         let json = study.to_json();
         assert!(json.contains("\"study\": \"tail\""));
+        assert!(json.contains("\"coalesced_requests\""));
         assert!(json.contains("\"dominant_phase_at_p99\""));
-        assert!(json.contains("\"phase_at_p99\""));
+        assert!(json.contains("\"phase_at_p99\": {\"network\":"));
         assert!(json.contains("\"exemplars\": [{"));
         assert!(json.contains("\"burn_rate_short\""));
     }

@@ -107,6 +107,14 @@ USAGE:
                                                 fairness, shed rate and
                                                 per-class p50/p95/p99; writes
                                                 BENCH_gateway.json
+  ttlg bench-serve --async [--seconds=F] [--overload=F] [--json-out=PATH]
+                                                async-submission study: hammer
+                                                submit_async with a duplicate-
+                                                heavy overload workload, with
+                                                in-flight coalescing off vs on;
+                                                reports throughput, executions
+                                                per request and p99 both ways;
+                                                writes BENCH_async.json
   ttlg serve [--addr=H:P] [--workers=N] [--queue-capacity=N]
              [--interactive-weight=N] [--rate=F] [--burst=F]
              [--max-connections=N] [--port-file=PATH] [--check]
@@ -698,6 +706,7 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
     let mut gateway = false;
     let mut trace = false;
     let mut cpu = false;
+    let mut r#async = false;
     let mut seconds = 1.0f64;
     let mut overload = 2.0f64;
     let mut seconds_given = false;
@@ -727,6 +736,8 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
             trace = true;
         } else if a.as_str() == "--cpu" {
             cpu = true;
+        } else if a.as_str() == "--async" {
+            r#async = true;
         } else if let Some(v) = a.strip_prefix("--seconds=") {
             seconds = v
                 .parse()
@@ -759,15 +770,34 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
             "--perms and --rounds must be positive".into(),
         ));
     }
-    if overload_given && !gateway {
+    if overload_given && !gateway && !r#async {
         return Err(CliError::Usage(
-            "--overload only applies with --gateway".into(),
+            "--overload only applies with --gateway or --async".into(),
         ));
     }
-    if seconds_given && !gateway && !cpu {
+    if seconds_given && !gateway && !cpu && !r#async {
         return Err(CliError::Usage(
-            "--seconds only applies with --gateway or --cpu".into(),
+            "--seconds only applies with --gateway, --cpu, or --async".into(),
         ));
+    }
+    if r#async {
+        if cpu || gateway || tail || autotune || trace || extents_given {
+            return Err(CliError::Usage(
+                "--async runs the fixed duplicate-heavy workload; \
+                 --cpu/--gateway/--tail/--autotune/--trace/--extents do not apply"
+                    .into(),
+            ));
+        }
+        if !(seconds.is_finite() && seconds > 0.0 && overload.is_finite() && overload > 0.0) {
+            return Err(CliError::Usage(
+                "--seconds and --overload must be positive".into(),
+            ));
+        }
+        let study = ttlg_bench::async_study::run(seconds, overload);
+        let path = write_artifact(json_out, "BENCH_async.json", &study.to_json())?;
+        let mut s = study.render();
+        writeln!(s, "wrote {path}").unwrap();
+        return Ok(s);
     }
     if cpu {
         if gateway || tail || autotune || trace || extents_given {
@@ -1193,6 +1223,56 @@ mod tests {
         ));
         assert!(matches!(
             run(&["bench-serve", "--gateway", "--seconds=0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn bench_serve_async_writes_artifact_with_provenance() {
+        let dir = std::env::temp_dir().join("ttlg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("async.json");
+        let out = run(&[
+            "bench-serve",
+            "--async",
+            "--seconds=0.2",
+            "--overload=2.0",
+            &format!("--json-out={}", path.display()),
+        ])
+        .unwrap();
+        assert!(out.contains("async submission coalescing study"), "{out}");
+        assert!(out.contains("fewer kernels"), "{out}");
+        assert!(out.contains("wrote"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        // The provenance stamp leads every artifact.
+        assert!(json.starts_with("{\n  \"schema_version\": 1,"), "{json}");
+        assert!(json.contains("\"host_threads\":"));
+        assert!(json.contains("\"artifact\": \"async\""));
+        assert!(json.contains("\"study\": \"async\""));
+        assert!(json.contains("\"baseline\""));
+        assert!(json.contains("\"coalesced\""));
+        assert!(json.contains("\"executions_per_request\""));
+        assert!(json.contains("\"p99_ratio\""));
+        // --async is exclusive with the other studies and validates its
+        // knobs like --gateway does.
+        assert!(matches!(
+            run(&["bench-serve", "--async", "--cpu"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--async", "--tail"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--async", "--extents=4,4"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--async", "--seconds=0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench-serve", "--overload=2"]),
             Err(CliError::Usage(_))
         ));
     }

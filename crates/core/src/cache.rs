@@ -93,6 +93,52 @@ impl PlanKey {
     pub fn backend(&self) -> Option<Backend> {
         self.backend
     }
+
+    /// Stable 64-bit identity of the *problem* this key names — FNV-1a
+    /// over every field that affects planning, independent of hasher
+    /// seeds and process lifetime. Two requests with equal fingerprints
+    /// describe the same transposition problem end-to-end, so runtime
+    /// layers can use this as the single-flight coalescing key (combined
+    /// with input identity) without re-deriving the fingerprint rules.
+    pub fn problem_fingerprint(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, byte: u8) {
+            *h ^= byte as u64;
+            *h = h.wrapping_mul(FNV_PRIME);
+        }
+        fn mix_usize(h: &mut u64, v: usize) {
+            for byte in (v as u64).to_le_bytes() {
+                mix(h, byte);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        mix_usize(&mut h, self.extents.len());
+        for &e in &self.extents {
+            mix_usize(&mut h, e);
+        }
+        for &p in &self.perm {
+            mix_usize(&mut h, p);
+        }
+        mix(
+            &mut h,
+            match self.forced {
+                None => 0xff,
+                Some(s) => s as u8,
+            },
+        );
+        mix(&mut h, self.fusion as u8);
+        mix(&mut h, self.sweep as u8);
+        mix_usize(&mut h, self.overbooking);
+        mix(
+            &mut h,
+            match self.backend {
+                None => 0xff,
+                Some(Backend::GpuSim) => 0,
+                Some(Backend::Cpu) => 1,
+            },
+        );
+        h
+    }
 }
 
 /// Wall-clock split of one plan fetch (see

@@ -110,6 +110,11 @@ pub struct RequestTrace {
     pub dram_efficiency: f64,
     /// Shared-memory conflict replays per access (0 = conflict-free).
     pub smem_replay_rate: f64,
+    /// Whether this request was coalesced onto another identical
+    /// in-flight request's execution (single-flight) instead of running
+    /// its own kernel. Coalesced traces copy the leader's measured
+    /// numbers so phase attribution stays meaningful.
+    pub coalesced: bool,
     /// Error message for failed requests.
     pub error: Option<String>,
 }
@@ -134,7 +139,7 @@ impl RequestTrace {
         };
         let status = if self.ok { "ok" } else { "FAIL" };
         format!(
-            "#{:<6} {:<22} {:<4} cache={:<4} queue {:>8} ns  plan {:>8} ns  exec {:>8} ns  pred {:>10.0} ns  meas {:>10.0} ns  dram-eff {:.2}  replay {:.2}{}{}",
+            "#{:<6} {:<22} {:<4} cache={:<4} queue {:>8} ns  plan {:>8} ns  exec {:>8} ns  pred {:>10.0} ns  meas {:>10.0} ns  dram-eff {:.2}  replay {:.2}{}{}{}",
             self.id,
             if self.schema.is_empty() { "?" } else { &self.schema },
             status,
@@ -147,6 +152,7 @@ impl RequestTrace {
             self.dram_efficiency,
             self.smem_replay_rate,
             if self.warmed { "  warmed" } else { "" },
+            if self.coalesced { "  coalesced" } else { "" },
             match &self.error {
                 Some(e) => format!("  error: {e}"),
                 None => String::new(),

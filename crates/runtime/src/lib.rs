@@ -10,9 +10,16 @@
 //!   here): N mutex shards keyed by problem fingerprint, per-shard LRU
 //!   eviction, single-flight planning, atomic counters.
 //! * **Batched submission** — [`TransposeService::submit_batch`] groups
-//!   requests by plan key, plans each distinct problem once, and
-//!   executes the batch across a scoped worker pool with a configurable
-//!   in-flight bound.
+//!   requests by plan key, plans each distinct problem once, executes
+//!   each unique in-flight problem once (duplicates coalesce onto the
+//!   shared execution), and runs the batch across a scoped worker pool
+//!   with a configurable in-flight bound.
+//! * **Async submission** — [`TransposeService::submit_async`] hands the
+//!   request to an in-tree completion-queue executor ([`async_exec`]:
+//!   bounded MPSC of completion records, parked-thread wakeups, no
+//!   external async runtime) and returns a poll/wait [`TicketHandle`]
+//!   without ever blocking the caller; identical in-flight problems
+//!   single-flight onto one plan *and* one execution.
 //! * **Metrics** — per-schema request counters, bytes-moved totals,
 //!   plan/execute latency histograms with p50/p95/p99 quantiles, and a
 //!   per-schema prediction-accuracy tracker ([`Metrics`]); exported as a
@@ -60,12 +67,18 @@
 //! // exports as Prometheus text or JSON.
 //! assert_eq!(svc.recent_traces(10).len(), 3);
 //! assert!(svc.export_prometheus().contains("ttlg_requests_total"));
+//! // Non-blocking submission: poll or wait on the returned ticket.
+//! let svc = Arc::new(svc);
+//! let ticket = svc.submit_async(reqs[0].clone());
+//! assert!(ticket.wait().result.is_ok());
 //! ```
 
+pub mod async_exec;
 pub mod autotune;
 pub mod metrics;
 pub mod service;
 
+pub use async_exec::{AsyncConfig, AsyncOutcome, AsyncStatsSnapshot, CompletionHook, TicketHandle};
 pub use autotune::{AutotuneConfig, AutotuneSnapshot, AutotunerHandle};
 pub use metrics::{LatencyHistogram, Metrics, RequestPhase, HIST_BUCKETS};
 pub use service::{

@@ -158,6 +158,11 @@ pub struct Metrics {
     /// sink (autotuner-streamed points are counted separately in
     /// [`crate::autotune::AutotuneStats`]).
     residual_points: AtomicU64,
+    /// Requests that shared another identical in-flight request's
+    /// execution (single-flight coalescing) instead of running their
+    /// own kernel. Counted in `requests_by_schema` too: a coalesced
+    /// request is still a served request.
+    coalesced_requests: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -180,6 +185,7 @@ impl Metrics {
             batches: AtomicU64::new(0),
             prediction: PredictionTracker::new(SCHEMAS.iter().map(|s| s.to_string())),
             residual_points: AtomicU64::new(0),
+            coalesced_requests: AtomicU64::new(0),
         }
     }
 
@@ -245,6 +251,17 @@ impl Metrics {
     /// Foreground residual points streamed to the measurement sink.
     pub fn residual_points(&self) -> u64 {
         self.residual_points.load(Ordering::Relaxed)
+    }
+
+    /// Count one request that coalesced onto another identical
+    /// in-flight request's execution.
+    pub fn record_coalesced(&self) {
+        self.coalesced_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests served by sharing an identical in-flight execution.
+    pub fn coalesced_requests(&self) -> u64 {
+        self.coalesced_requests.load(Ordering::Relaxed)
     }
 
     /// Total completed requests across all schemas.
@@ -344,6 +361,24 @@ impl Metrics {
             "Batches processed.",
             MetricKind::Counter,
             vec![Sample::plain(self.batches() as f64)],
+        );
+        let coalesced = self.coalesced_requests();
+        let total = self.total_requests();
+        snap.push_metric(
+            "ttlg_coalesced_requests_total",
+            "Requests that shared an identical in-flight request's execution.",
+            MetricKind::Counter,
+            vec![Sample::plain(coalesced as f64)],
+        );
+        snap.push_metric(
+            "ttlg_coalesced_ratio",
+            "Fraction of served requests that coalesced instead of executing.",
+            MetricKind::Gauge,
+            vec![Sample::plain(if total == 0 {
+                0.0
+            } else {
+                coalesced as f64 / total as f64
+            })],
         );
         snap.push_metric(
             "ttlg_plan_cache_hits_total",

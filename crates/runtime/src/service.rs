@@ -19,6 +19,9 @@
 //!    kept in a bounded ring ([`TransposeService::recent_traces`]) and
 //!    emitted as a span to an optional [`Subscriber`].
 
+use crate::async_exec::{
+    AsyncConfig, AsyncExecutor, AsyncOutcome, AsyncStatsSnapshot, CompletionHook, TicketHandle,
+};
 use crate::autotune::{
     run_worker, AutotuneConfig, AutotuneSnapshot, AutotuneStats, AutotunerHandle,
 };
@@ -28,7 +31,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use ttlg::{
-    CacheConfig, CacheStats, DecisionTrace, FetchTiming, Plan, PlanError, PlanKey,
+    CacheConfig, CacheStats, DecisionTrace, FetchTiming, Plan, PlanError, PlanKey, Schema,
     ShardedPlanCache, TransposeOptions, TransposeReport, Transposer,
 };
 use ttlg_obs::{
@@ -62,6 +65,10 @@ pub struct RuntimeConfig {
     /// so slow-request exemplars carry the planning decision. Costs one
     /// allocation per *planning* (not per request); on by default.
     pub retain_decision_traces: bool,
+    /// Geometry of the lazily started completion-queue executor behind
+    /// [`TransposeService::submit_async`] (worker count, queue bounds,
+    /// coalescing switch).
+    pub async_exec: AsyncConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -76,6 +83,7 @@ impl Default for RuntimeConfig {
             slo: SloConfig::default(),
             exemplars: ExemplarConfig::default(),
             retain_decision_traces: true,
+            async_exec: AsyncConfig::default(),
         }
     }
 }
@@ -272,6 +280,9 @@ pub struct TransposeService<E: Element> {
     sink: Option<Arc<dyn MeasurementSink>>,
     slo: SloTracker,
     exemplars: ExemplarStore<Arc<DecisionTrace>>,
+    /// The completion-queue executor, started on first `submit_async`.
+    async_core: OnceLock<AsyncExecutor<E>>,
+    async_cfg: AsyncConfig,
 }
 
 impl<E: Element> TransposeService<E> {
@@ -301,6 +312,8 @@ impl<E: Element> TransposeService<E> {
             sink: None,
             slo: SloTracker::new(cfg.slo),
             exemplars: ExemplarStore::new(cfg.exemplars),
+            async_core: OnceLock::new(),
+            async_cfg: cfg.async_exec,
         }
     }
 
@@ -376,6 +389,13 @@ impl<E: Element> TransposeService<E> {
             "Measured-best plans pinned in the cache (exempt from LRU eviction).",
             MetricKind::Gauge,
             vec![Sample::plain(self.cache.pinned_plans() as f64)],
+        );
+        let astats = self.async_stats().unwrap_or_default();
+        snap.push_metric(
+            "ttlg_completion_queue_depth",
+            "Completion records queued for delivery by the async executor.",
+            MetricKind::Gauge,
+            vec![Sample::plain(astats.completion_depth as f64)],
         );
         self.slo.export_into(&mut snap, clock_ns());
         profile::export_into(&mut snap, &self.phase_profiles());
@@ -667,10 +687,119 @@ impl<E: Element> TransposeService<E> {
         self.slo.config()
     }
 
+    // ---- async submission ---------------------------------------------
+
+    /// Non-blocking submission: hand `req` to the completion-queue
+    /// executor and return a [`TicketHandle`] immediately. The handle
+    /// can be polled (never blocks) or waited on (parks the calling
+    /// thread until a worker finishes the request and the dispatcher
+    /// delivers the completion record). Identical in-flight problems —
+    /// same plan-key fingerprint, same input tensor `Arc` — coalesce
+    /// onto one execution; every coalesced waiter receives the shared
+    /// result and its own [`RequestTrace`] marked `coalesced`. When the
+    /// submission queue is full the ticket completes inline with an
+    /// overload error rather than blocking the caller.
+    pub fn submit_async(self: &Arc<Self>, req: TransposeRequest<E>) -> TicketHandle<E> {
+        self.async_executor().submit(req, None)
+    }
+
+    /// [`Self::submit_async`] with a completion hook: the closure runs
+    /// exactly once on the dispatcher thread after the result is
+    /// delivered. Push-style consumers (the gateway) use this to drain
+    /// the completion queue without parking a thread per request.
+    pub fn submit_async_hooked(
+        self: &Arc<Self>,
+        req: TransposeRequest<E>,
+        hook: CompletionHook<E>,
+    ) -> TicketHandle<E> {
+        self.async_executor().submit(req, Some(hook))
+    }
+
+    /// Executor counters, `None` until the first `submit_async` starts
+    /// the executor.
+    pub fn async_stats(&self) -> Option<AsyncStatsSnapshot> {
+        self.async_core.get().map(|c| c.stats())
+    }
+
+    fn async_executor(self: &Arc<Self>) -> &AsyncExecutor<E> {
+        self.async_core.get_or_init(|| {
+            AsyncExecutor::start(Arc::downgrade(self), self.async_cfg, self.workers)
+        })
+    }
+
+    /// One leader execution on an async worker thread: full
+    /// `submit_spanned` semantics with the response `Arc`-wrapped so
+    /// coalesced followers can share it.
+    pub(crate) fn run_async_leader(&self, req: &TransposeRequest<E>) -> AsyncOutcome<E> {
+        let out = self.submit_spanned(req);
+        AsyncOutcome {
+            result: out.result.map(Arc::new),
+            trace: out.trace,
+            spans: out.spans,
+            decision: out.decision,
+            coalesced: false,
+        }
+    }
+
+    /// Account one coalesced delivery: the request is counted
+    /// (requests/bytes/SLO/hotness) and leaves its own ring trace marked
+    /// `coalesced` with the leader's measured numbers copied in, but no
+    /// execution-side series (exec latency, backend histograms,
+    /// prediction residuals) are touched — nothing executed.
+    pub(crate) fn deliver_coalesced(
+        &self,
+        req: &TransposeRequest<E>,
+        leader: &AsyncOutcome<E>,
+    ) -> RequestTrace {
+        let schema = leader.result.as_ref().ok().map(|r| r.report.schema);
+        self.coalesced_accounting(req, &leader.trace, schema, leader.decision.clone())
+    }
+
+    /// Shared bookkeeping for both coalescing paths (async single-flight
+    /// and within-batch dedup).
+    fn coalesced_accounting(
+        &self,
+        req: &TransposeRequest<E>,
+        leader_trace: &RequestTrace,
+        schema: Option<Schema>,
+        decision: Option<Arc<DecisionTrace>>,
+    ) -> RequestTrace {
+        let trace = RequestTrace {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            start_ns: clock_ns(),
+            schema: leader_trace.schema.clone(),
+            shape_class: leader_trace.shape_class.clone(),
+            warmed: leader_trace.warmed,
+            ok: leader_trace.ok,
+            cache_hit: Some(true),
+            queue_wait_ns: 0,
+            plan_fetch_ns: 0,
+            execute_ns: leader_trace.execute_ns,
+            predicted_ns: leader_trace.predicted_ns,
+            measured_ns: leader_trace.measured_ns,
+            dram_efficiency: leader_trace.dram_efficiency,
+            smem_replay_rate: leader_trace.smem_replay_rate,
+            coalesced: true,
+            error: leader_trace.error.clone(),
+        };
+        if let Some(schema) = schema {
+            let bytes = 2 * req.input.volume() as u64 * E::BYTES as u64;
+            self.metrics.record_request(schema, bytes);
+        }
+        self.metrics.record_coalesced();
+        self.note_request(&req.plan_key());
+        let copy = trace.clone();
+        self.finish_trace(trace, decision);
+        copy
+    }
+
     /// Serve a batch: requests are grouped by plan key, each distinct
     /// problem is planned exactly once (in parallel across the worker
-    /// pool), then all requests execute across the pool. Responses come
-    /// back in request order.
+    /// pool); then each *unique in-flight problem* — same plan-key
+    /// fingerprint, same input tensor — executes exactly once, with
+    /// duplicates coalescing onto the representative's execution (their
+    /// responses copy the shared output and their traces are marked
+    /// `coalesced`). Responses come back in request order.
     pub fn submit_batch(&self, reqs: &[TransposeRequest<E>]) -> Vec<ServeResult<E>> {
         self.metrics.record_batch();
         // Group by plan key so each distinct problem plans once.
@@ -681,6 +810,23 @@ impl<E: Element> TransposeService<E> {
             groups.entry(k).or_insert_with(|| {
                 distinct.push(i);
                 distinct.len() - 1
+            });
+        }
+        // Group by execution identity (plan-key fingerprint + input
+        // `Arc`) so duplicate identical problems execute once — the
+        // within-batch form of the async path's single-flight table.
+        let exec_key = |i: usize| {
+            (
+                keys[i].problem_fingerprint(),
+                Arc::as_ptr(&reqs[i].input) as usize,
+            )
+        };
+        let mut exec_groups: HashMap<(u64, usize), usize> = HashMap::new();
+        let mut exec_reps: Vec<usize> = Vec::new(); // representative request per execution
+        for i in 0..reqs.len() {
+            exec_groups.entry(exec_key(i)).or_insert_with(|| {
+                exec_reps.push(i);
+                exec_reps.len() - 1
             });
         }
 
@@ -697,37 +843,93 @@ impl<E: Element> TransposeService<E> {
             plans[g].set(built).ok().expect("plan slot set twice");
         });
 
-        // Phase 2: execute everything across the pool, bounded by the
-        // in-flight semaphore.
-        let results: Vec<OnceLock<ServeResult<E>>> =
-            (0..reqs.len()).map(|_| OnceLock::new()).collect();
-        parallel::parallel_for_threads(reqs.len(), 1, self.workers, |i| {
+        // Phase 2: execute one representative per unique problem across
+        // the pool, bounded by the in-flight semaphore.
+        #[allow(clippy::type_complexity)]
+        let executed: Vec<OnceLock<(ServeResult<E>, Option<RequestTrace>)>> =
+            (0..exec_reps.len()).map(|_| OnceLock::new()).collect();
+        parallel::parallel_for_threads(exec_reps.len(), 1, self.workers, |x| {
+            let i = exec_reps[x];
             let g = groups[&keys[i]];
             let (fetched, fetch_ns) = plans[g].get().expect("plan phase completed");
             let outcome = match fetched {
                 // Cap the executor's inner parallelism so the batch's
                 // concurrent requests share cores instead of each
-                // spawning a full-machine pool. Only the group's
+                // spawning a full-machine pool. Only the plan group's
                 // representative actually touched the cache; every other
-                // request was served from the shared plan — a hit.
+                // execution was served from the shared plan — a hit.
                 Ok((plan, hit, _)) => {
                     self.note_request(&keys[i]);
                     parallel::with_thread_cap(self.exec_threads, || {
                         let hit = *hit || i != distinct[g];
-                        self.execute_traced(&reqs[i], plan, hit, *fetch_ns).0
+                        let (res, trace) = self.execute_traced(&reqs[i], plan, hit, *fetch_ns);
+                        (res, Some(trace))
                     })
                 }
                 Err(e) => {
                     let _ = self.record_plan_failure(&reqs[i], *fetch_ns, e);
-                    Err(e.clone())
+                    (Err(e.clone()), None)
                 }
             };
-            results[i].set(outcome).ok().expect("result slot set twice");
+            executed[x]
+                .set(outcome)
+                .ok()
+                .expect("result slot set twice");
         });
 
-        results
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every request produced a result"))
+        // Phase 3: fan the shared executions out to every request, in
+        // order. Duplicates copy the representative's output, are fully
+        // accounted (request counters, SLO, hotness), and leave their
+        // own ring trace marked `coalesced`; plan failures are
+        // re-recorded per request, as before.
+        let mut out: Vec<Option<ServeResult<E>>> = Vec::with_capacity(reqs.len());
+        out.resize_with(reqs.len(), || None);
+        for (i, slot) in out.iter_mut().enumerate() {
+            let x = exec_groups[&exec_key(i)];
+            if i == exec_reps[x] {
+                continue; // takes the original result below
+            }
+            let (result, leader_trace) = executed[x].get().expect("exec phase completed");
+            let g = groups[&keys[i]];
+            *slot = Some(match (result, leader_trace) {
+                (Ok(resp), Some(trace)) => {
+                    let decision = plans[g]
+                        .get()
+                        .and_then(|(f, _)| f.as_ref().ok())
+                        .and_then(|(plan, _, _)| plan.decision_trace().cloned());
+                    let _ = self.coalesced_accounting(
+                        &reqs[i],
+                        trace,
+                        Some(resp.report.schema),
+                        decision,
+                    );
+                    Ok(TransposeResponse {
+                        output: resp.output.clone(),
+                        report: resp.report.clone(),
+                    })
+                }
+                // The shared execution failed: the duplicate shares the
+                // failure (and its coalesced trace carries the error).
+                (Err(e), Some(trace)) => {
+                    let _ = self.coalesced_accounting(&reqs[i], trace, None, None);
+                    Err(e.clone())
+                }
+                // Planning failed: every request that shared the key
+                // records its own plan-failure trace.
+                (Err(e), None) => {
+                    let fetch_ns = plans[g].get().map(|(_, ns)| *ns).unwrap_or(0);
+                    let _ = self.record_plan_failure(&reqs[i], fetch_ns, e);
+                    Err(e.clone())
+                }
+                (Ok(_), None) => unreachable!("successful executions always carry a trace"),
+            });
+        }
+        for (x, slot) in executed.into_iter().enumerate() {
+            let (result, _) = slot.into_inner().expect("exec phase completed");
+            out[exec_reps[x]] = Some(result);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request produced a result"))
             .collect()
     }
 
@@ -1527,6 +1729,222 @@ mod tests {
         let profiles = svc.phase_profiles();
         assert_eq!(profiles[0].warmed_requests, 1);
         assert_eq!(profiles[0].requests, 3);
+    }
+
+    #[test]
+    fn batch_duplicates_execute_once() {
+        let svc: TransposeService<u32> = TransposeService::new_k40c();
+        let shape = Shape::new(&[8, 8, 8]).unwrap();
+        let input = Arc::new(DenseTensor::<u32>::iota(shape));
+        let perms = [[2usize, 1, 0], [1, 0, 2], [0, 2, 1]];
+        // 12 requests, but only 3 unique in-flight problems: duplicates
+        // share the representative's execution.
+        let reqs: Vec<TransposeRequest<u32>> = (0..12)
+            .map(|i| {
+                TransposeRequest::new(
+                    Arc::clone(&input),
+                    Permutation::new(&perms[i % perms.len()]).unwrap(),
+                )
+            })
+            .collect();
+        let results = svc.submit_batch(&reqs);
+        for (req, res) in reqs.iter().zip(results.iter()) {
+            let out = &res.as_ref().unwrap().output;
+            let expect =
+                ttlg_tensor::reference::transpose_reference(&req.input, &req.perm).unwrap();
+            assert_eq!(out.data(), expect.data(), "coalesced copies stay correct");
+        }
+        // Executions: one per unique problem. Requests: all twelve.
+        assert_eq!(svc.metrics().exec_latency.count(), 3);
+        assert_eq!(svc.metrics().total_requests(), 12);
+        assert_eq!(svc.metrics().coalesced_requests(), 9);
+        let traces = svc.recent_traces(100);
+        assert_eq!(traces.len(), 12);
+        assert_eq!(traces.iter().filter(|t| t.coalesced).count(), 9);
+        assert!(traces.iter().all(|t| t.ok && t.measured_ns > 0.0));
+        let prom = svc.export_prometheus();
+        assert!(prom.contains("ttlg_coalesced_requests_total 9"), "{prom}");
+        assert!(prom.contains("ttlg_coalesced_ratio 0.75"), "{prom}");
+    }
+
+    #[test]
+    fn submit_async_round_trips_and_never_blocks_the_caller() {
+        let cfg = RuntimeConfig {
+            async_exec: crate::async_exec::AsyncConfig {
+                workers: 1,
+                submit_capacity: 4,
+                completion_capacity: 4,
+                coalesce: false,
+            },
+            ..RuntimeConfig::default()
+        };
+        let svc: Arc<TransposeService<u64>> =
+            Arc::new(TransposeService::with_config(Transposer::new_k40c(), cfg));
+        let input = Arc::new(DenseTensor::<u64>::iota(Shape::new(&[16, 8, 4]).unwrap()));
+        let perm = Permutation::new(&[2, 0, 1]).unwrap();
+
+        // A single round trip delivers the correct output.
+        let ticket = svc.submit_async(TransposeRequest::new(Arc::clone(&input), perm.clone()));
+        let out = ticket.wait();
+        let resp = out.result.as_ref().expect("async round trip");
+        let expect = ttlg_tensor::reference::transpose_reference(&input, &perm).unwrap();
+        assert_eq!(resp.output.data(), expect.data());
+        assert!(!out.coalesced);
+        assert!(out.trace.ok);
+        assert!(!out.spans.is_empty(), "submit_spanned parity");
+
+        // Bounded-time guarantee: flooding far past the submission
+        // queue's capacity must never block the caller — each call
+        // either enqueues or completes the ticket inline with an
+        // overload error, and poll() answers immediately either way.
+        let tickets: Vec<_> = (0..64)
+            .map(|_| {
+                let t0 = Instant::now();
+                let t = svc.submit_async(TransposeRequest::new(Arc::clone(&input), perm.clone()));
+                let _ = t.poll();
+                assert!(
+                    t0.elapsed() < Duration::from_millis(250),
+                    "submit_async + poll must be bounded-time: {:?}",
+                    t0.elapsed()
+                );
+                t
+            })
+            .collect();
+        let mut ok = 0u64;
+        let mut overloaded = 0u64;
+        for t in &tickets {
+            let out = t
+                .wait_timeout(Duration::from_secs(10))
+                .expect("every ticket completes");
+            match &out.result {
+                Ok(resp) => {
+                    ok += 1;
+                    assert_eq!(resp.output.data(), expect.data());
+                }
+                Err(e) => {
+                    overloaded += 1;
+                    assert!(e.message.contains("overloaded"), "{}", e.message);
+                }
+            }
+        }
+        let stats = svc.async_stats().expect("executor started");
+        assert_eq!(stats.submitted, 65);
+        assert_eq!(ok + overloaded + 1, stats.submitted);
+        assert_eq!(stats.rejected, overloaded);
+        assert_eq!(stats.executed, ok + 1);
+        assert_eq!(stats.coalesced, 0, "coalescing disabled");
+    }
+
+    /// Satellite: 16-thread coalescing hammer. A single async worker is
+    /// first pinned down by slow CPU-backend blockers, so every
+    /// duplicate submitted while the blockers drain attaches to its
+    /// key's single in-flight leader — exactly one execution per unique
+    /// in-flight key, deterministically.
+    #[test]
+    fn coalescing_hammer_executes_each_inflight_key_once() {
+        let cfg = RuntimeConfig {
+            workers: 1,
+            async_exec: crate::async_exec::AsyncConfig {
+                workers: 1,
+                submit_capacity: 4096,
+                completion_capacity: 4096,
+                coalesce: true,
+            },
+            ..RuntimeConfig::default()
+        };
+        let svc: Arc<TransposeService<f64>> =
+            Arc::new(TransposeService::with_config(Transposer::new_k40c(), cfg));
+
+        // Blockers: distinct large CPU-backend problems that keep the
+        // single worker busy while the hammer threads submit.
+        const BLOCKERS: usize = 3;
+        let big = Arc::new(DenseTensor::<f64>::iota(Shape::new(&[96, 96, 48]).unwrap()));
+        let blocker_perms = [[2usize, 1, 0], [1, 2, 0], [2, 0, 1]];
+        let blockers: Vec<_> = (0..BLOCKERS)
+            .map(|b| {
+                let mut req = TransposeRequest::new(
+                    Arc::clone(&big),
+                    Permutation::new(&blocker_perms[b]).unwrap(),
+                );
+                req.opts = TransposeOptions::for_backend(ttlg::Backend::Cpu);
+                svc.submit_async(req)
+            })
+            .collect();
+
+        // Hammer: 16 threads x 4 rounds x 3 unique problems, all
+        // sharing one input Arc — 192 submissions, 3 executions.
+        const THREADS: usize = 16;
+        const ROUNDS: usize = 4;
+        let input = Arc::new(DenseTensor::<f64>::iota(Shape::new(&[8, 6, 5]).unwrap()));
+        let perms = [[2usize, 1, 0], [1, 0, 2], [0, 2, 1]];
+        let coalesced_seen = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let svc = Arc::clone(&svc);
+                let input = Arc::clone(&input);
+                let coalesced_seen = &coalesced_seen;
+                s.spawn(move || {
+                    let tickets: Vec<_> = (0..ROUNDS)
+                        .flat_map(|_| {
+                            perms.iter().map(|p| {
+                                svc.submit_async(TransposeRequest::new(
+                                    Arc::clone(&input),
+                                    Permutation::new(p).unwrap(),
+                                ))
+                            })
+                        })
+                        .collect();
+                    for (t, p) in tickets.iter().zip((0..ROUNDS).flat_map(|_| perms.iter())) {
+                        let out = t
+                            .wait_timeout(Duration::from_secs(30))
+                            .expect("hammer ticket completes");
+                        let resp = out.result.as_ref().expect("hammer request ok");
+                        let perm = Permutation::new(p).unwrap();
+                        let expect =
+                            ttlg_tensor::reference::transpose_reference(&input, &perm).unwrap();
+                        assert_eq!(
+                            resp.output.data(),
+                            expect.data(),
+                            "every waiter gets a correct result"
+                        );
+                        if out.coalesced {
+                            assert!(out.trace.coalesced);
+                            coalesced_seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        for b in &blockers {
+            assert!(b
+                .wait_timeout(Duration::from_secs(30))
+                .expect("blocker completes")
+                .result
+                .is_ok());
+        }
+
+        let total = (THREADS * ROUNDS * perms.len() + BLOCKERS) as u64;
+        let stats = svc.async_stats().expect("executor started");
+        assert_eq!(stats.submitted, total);
+        assert_eq!(stats.rejected, 0);
+        // Exactly one execution per unique in-flight key: the blockers
+        // plus one leader per hammer problem.
+        assert_eq!(stats.executed, (BLOCKERS + perms.len()) as u64);
+        assert_eq!(stats.coalesced, total - stats.executed);
+        assert_eq!(coalesced_seen.load(Ordering::Relaxed), stats.coalesced);
+        // Metrics reconcile: every submission is a served request, the
+        // coalesced counter matches, and nothing failed.
+        assert_eq!(svc.metrics().total_requests(), total);
+        assert_eq!(svc.metrics().coalesced_requests(), stats.coalesced);
+        assert_eq!(svc.metrics().failures(), 0);
+        assert_eq!(
+            svc.metrics().exec_latency.count(),
+            stats.executed,
+            "only leaders touch the execution histograms"
+        );
+        let prom = svc.export_prometheus();
+        assert!(prom.contains("# TYPE ttlg_coalesced_requests_total counter"));
+        assert!(prom.contains("# TYPE ttlg_completion_queue_depth gauge"));
     }
 
     /// Prometheus golden test for the new SLO/profile/tail families.

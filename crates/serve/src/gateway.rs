@@ -9,10 +9,12 @@
 //!   ---------------------------          -----------------
 //!   parse HTTP -> route                  weighted dequeue
 //!     POST /v1/transpose                   -> input tensor (cached)
-//!       validate problem                   -> service.submit_traced
-//!       quota gate      -> 429             -> complete slot
-//!       queue gate      -> 429
-//!       wait completion -> 200/500/503
+//!       validate problem                   -> service.submit_async_hooked
+//!       quota gate      -> 429                (non-blocking; identical
+//!       queue gate      -> 429                 in-flight problems coalesce)
+//!       wait completion -> 200/500/503      completion hook
+//!                                            -> span tree -> trace store
+//!                                            -> complete slot
 //!     GET /v1/explain   -> planner decision trace
 //!     GET /metrics      -> Prometheus text (service + gateway)
 //!     GET /healthz      -> liveness
@@ -35,7 +37,7 @@ use ttlg_obs::{
     StoredTrace, TraceContext, TraceStore, TraceStoreConfig,
 };
 use ttlg_runtime::{
-    LatencyHistogram, SpannedOutcome, TransposeRequest, TransposeService, HIST_BUCKETS,
+    AsyncOutcome, LatencyHistogram, TransposeRequest, TransposeService, HIST_BUCKETS,
 };
 use ttlg_tensor::{DenseTensor, Permutation, Shape};
 
@@ -714,21 +716,33 @@ impl Gateway {
         }
     }
 
-    /// Scheduler-worker side: materialize the input, run the service,
-    /// complete the connection thread's slot, and offer the finished
-    /// span tree to the trace store.
-    fn execute_job(&self, job: Job) {
+    /// Scheduler-worker side: materialize the input and hand the
+    /// request to the service's completion-queue executor. Returns
+    /// without blocking — the worker is immediately free to drain the
+    /// next job, so a slow execution never stalls the dequeue loop.
+    /// Identical in-flight problems coalesce inside the executor onto
+    /// one plan and one execution.
+    fn execute_job(self: &Arc<Self>, job: Job) {
         let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
         self.metrics.queue_hist.record_ns(queue_ns);
         let input = self.input_for(&job.extents);
         let perm = Permutation::new(&job.perm).expect("perm validated at admission");
         let request = TransposeRequest::new(input, perm);
-        let SpannedOutcome {
-            result,
-            trace,
-            spans,
-            decision,
-        } = self.service.submit_spanned(&request);
+        let gw = Arc::clone(self);
+        self.service.submit_async_hooked(
+            request,
+            Box::new(move |out| gw.finish_job(job, queue_ns, out)),
+        );
+    }
+
+    /// Completion-hook side of [`execute_job`], run on the executor's
+    /// dispatcher thread once the request's (possibly shared) execution
+    /// finishes: build the HTTP response, offer the finished span tree
+    /// to the trace store, and complete the connection thread's slot.
+    fn finish_job(&self, job: Job, queue_ns: u64, out: &Arc<AsyncOutcome<f64>>) {
+        let trace = &out.trace;
+        let result = &out.result;
+        let spans = &out.spans;
 
         let total_ns = job.network_ns + queue_ns + trace.total_ns();
         let slo_target_ns = (self.service.slo_config().target_us * 1e3) as u64;
@@ -763,7 +777,7 @@ impl Gateway {
                     queue_ns,
                 ));
             for span in spans {
-                root = root.with_child(span);
+                root = root.with_child(span.clone());
             }
             self.traces.insert(StoredTrace {
                 trace_id: job.ctx.trace_id_hex(),
@@ -774,7 +788,7 @@ impl Gateway {
                 start_ns: root_start,
                 total_ns,
                 root,
-                decision: decision.map(|d| d.render()),
+                decision: out.decision.as_ref().map(|d| d.render()),
             });
         }
 
@@ -798,6 +812,7 @@ impl Gateway {
                         ("elements", Json::Num(r.output.volume() as f64)),
                         ("cache_hit", Json::Bool(trace.cache_hit == Some(true))),
                         ("warmed", Json::Bool(trace.warmed)),
+                        ("coalesced", Json::Bool(out.coalesced)),
                         ("kernel_us", Json::Num(r.report.kernel_time_ns / 1e3)),
                         ("predicted_us", Json::Num(r.report.predicted_ns / 1e3)),
                         ("bandwidth_gbps", Json::Num(r.report.bandwidth_gbps)),
@@ -809,7 +824,7 @@ impl Gateway {
                     .render(),
                 )
             }
-            Err(e) => HttpResponse::error(500, e.message),
+            Err(e) => HttpResponse::error(500, e.message.clone()),
         };
         job.slot.complete(resp);
     }
@@ -1140,6 +1155,62 @@ mod tests {
         for key in ["network_us", "queue_us", "plan_us", "execute_us"] {
             assert!(phases.get(key).and_then(|v| v.as_f64()).is_some(), "{key}");
         }
+        // A lone request has nothing to coalesce with, but the field is
+        // always present so clients can tell shared executions apart.
+        assert_eq!(body.get("coalesced"), Some(&Json::Bool(false)));
+        gw.stop();
+    }
+
+    /// Duplicate identical problems pushed through the gateway while
+    /// the async workers are saturated share one execution: the service
+    /// reports fewer executions than requests and the coalesced counter
+    /// makes up the difference.
+    #[test]
+    fn gateway_coalesces_duplicate_inflight_requests() {
+        let cfg = GatewayConfig {
+            workers: 2,
+            queue_capacity: 256,
+            quota: QuotaConfig {
+                rate_per_sec: 100_000.0,
+                burst: 100_000.0,
+                ..QuotaConfig::default()
+            },
+            ..GatewayConfig::default()
+        };
+        let gw = gateway(cfg);
+        const CLIENTS: usize = 8;
+        const PER_CLIENT: usize = 16;
+        std::thread::scope(|s| {
+            for _ in 0..CLIENTS {
+                let gw = Arc::clone(&gw);
+                s.spawn(move || {
+                    for _ in 0..PER_CLIENT {
+                        let req = post_transpose(r#"{"extents":[32,16,8],"perm":[2,0,1]}"#, &[]);
+                        let resp = gw.handle(&req, 500);
+                        assert_eq!(resp.status, 200);
+                        let body = json::parse(&resp.body).unwrap();
+                        assert!(body.get("coalesced").is_some());
+                    }
+                });
+            }
+        });
+        let svc = gw.service();
+        let total = (CLIENTS * PER_CLIENT) as u64;
+        assert_eq!(svc.metrics().total_requests(), total);
+        let stats = svc.async_stats().expect("async executor started");
+        assert_eq!(stats.submitted, total);
+        assert_eq!(stats.executed + stats.coalesced, total);
+        assert_eq!(svc.metrics().coalesced_requests(), stats.coalesced);
+        // All 128 requests are the same problem on the same cached
+        // input, so every overlap in flight coalesces.
+        assert!(
+            stats.executed < total,
+            "expected some coalescing, executed={} of {}",
+            stats.executed,
+            total
+        );
+        let prom = gw.export_prometheus();
+        assert!(prom.contains("# TYPE ttlg_coalesced_requests_total counter"));
         gw.stop();
     }
 
