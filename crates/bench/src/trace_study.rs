@@ -65,6 +65,16 @@ pub struct TraceStudy {
     /// `GET /v1/traces?slowest=1` + `GET /v1/trace/:id` round-tripped
     /// the full span tree over TCP.
     pub trace_fetch_ok: bool,
+    /// Snapshots ingested into the metrics history store (one per
+    /// drive pass).
+    pub history_scrapes: u64,
+    /// Points retained across the store's series at the end.
+    pub history_points: u64,
+    /// Worst in-window per-schema geo-mean error read back from the
+    /// store via `max_over_time(ttlg_prediction_geo_mean_error)` after
+    /// phase 1 — the windowed signal the alert engine evaluates, which
+    /// a two-snapshot diff cannot reconstruct once the skew is diluted.
+    pub windowed_drift_value: f64,
 }
 
 /// Tenants the drive loop rotates through.
@@ -202,8 +212,35 @@ pub fn run(distinct: usize, rounds: usize) -> TraceStudy {
     let mut requests_phase1 = 0u64;
     for _ in 0..rounds {
         requests_phase1 += drive_pass(&mut client, &bodies);
+        // One history scrape per pass: the store sees the drift build
+        // up sample by sample instead of as one opaque total.
+        svc.scrape_history_once();
     }
     let geo_before = svc.metrics().prediction().overall_geo_mean_error();
+    // Read the drift back out of the history store the way the
+    // windowed alert path does: worst per-schema geo-mean error across
+    // every retained scrape.
+    let windowed_drift_value = svc
+        .history()
+        .last_ingest_ms()
+        .and_then(|end| {
+            ttlg_runtime::eval_range(
+                svc.history(),
+                "max_over_time(ttlg_prediction_geo_mean_error)",
+                end,
+                600_000,
+                1_000,
+            )
+            .ok()
+        })
+        .map(|r| {
+            r.series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|&(_, v)| v))
+                .filter(|v| v.is_finite())
+                .fold(0.0f64, f64::max)
+        })
+        .unwrap_or(0.0);
     let mut drift_fired = false;
     for _ in 0..6 {
         if drift_state(&mut client) == "firing" {
@@ -222,6 +259,7 @@ pub fn run(distinct: usize, rounds: usize) -> TraceStudy {
     let mut drift_resolved = false;
     for _ in 0..MAX_REPLAY_PASSES {
         requests_phase2 += drive_pass(&mut client, &bodies);
+        svc.scrape_history_once();
         if drift_state(&mut client) == "inactive" {
             drift_resolved = true;
             break;
@@ -273,6 +311,9 @@ pub fn run(distinct: usize, rounds: usize) -> TraceStudy {
         slowest_trace_spans: slowest_spans,
         slowest_trace_total_us: slowest_us,
         trace_fetch_ok,
+        history_scrapes: svc.history().scrapes(),
+        history_points: svc.history().point_count() as u64,
+        windowed_drift_value,
     };
     server.stop();
     study
@@ -309,6 +350,10 @@ impl TraceStudy {
         s.push_str(&format!(
             "slowest sampled trace: {} spans, {:.2} us end-to-end (fetched over TCP: {})\n",
             self.slowest_trace_spans, self.slowest_trace_total_us, self.trace_fetch_ok
+        ));
+        s.push_str(&format!(
+            "metrics history: {} scrapes, {} points; windowed drift (max over history) {:.3}x\n",
+            self.history_scrapes, self.history_points, self.windowed_drift_value
         ));
         s
     }
@@ -364,7 +409,16 @@ impl TraceStudy {
             "  \"slowest_trace_total_us\": {},\n",
             json_f64(self.slowest_trace_total_us)
         ));
-        s.push_str(&format!("  \"trace_fetch_ok\": {}\n", self.trace_fetch_ok));
+        s.push_str(&format!("  \"trace_fetch_ok\": {},\n", self.trace_fetch_ok));
+        s.push_str(&format!(
+            "  \"history_scrapes\": {},\n",
+            self.history_scrapes
+        ));
+        s.push_str(&format!("  \"history_points\": {},\n", self.history_points));
+        s.push_str(&format!(
+            "  \"windowed_drift_value\": {}\n",
+            json_f64(self.windowed_drift_value)
+        ));
         s.push_str("}\n");
         s
     }
@@ -395,6 +449,17 @@ mod tests {
         );
         assert!(study.trace_fetch_ok, "{study:?}");
         assert!(study.slowest_trace_spans >= 4, "{study:?}");
+        // Acceptance: the history store consumed one scrape per pass
+        // and the windowed drift signal read back from it exceeds the
+        // alert threshold (1.5x) — the skewed phase stays visible in
+        // the window even after phase-2 replay dilutes the lifetime
+        // geo-mean, which the two-snapshot path cannot see.
+        assert!(study.history_scrapes >= study.rounds as u64, "{study:?}");
+        assert!(study.history_points > 0, "{study:?}");
+        assert!(
+            study.windowed_drift_value > 1.5,
+            "windowed drift from the store must exceed the rule threshold: {study:?}"
+        );
 
         let json = study.to_json();
         assert!(json.contains("\"drift_fired\": true"));

@@ -118,14 +118,26 @@ USAGE:
   ttlg serve [--addr=H:P] [--workers=N] [--queue-capacity=N]
              [--interactive-weight=N] [--rate=F] [--burst=F]
              [--max-connections=N] [--port-file=PATH] [--check]
+             [--history-file=PATH]
                                                 serve transposes over HTTP:
                                                 POST /v1/transpose,
                                                 GET /v1/explain, /metrics,
-                                                /healthz. Tenancy via the
-                                                x-ttlg-tenant header, priority
-                                                via x-ttlg-priority
+                                                /v1/query_range, /healthz.
+                                                Tenancy via the x-ttlg-tenant
+                                                header, priority via
+                                                x-ttlg-priority
                                                 (interactive|batch); overload
-                                                answers 429 + Retry-After
+                                                answers 429 + Retry-After.
+                                                --history-file persists the
+                                                metrics history across
+                                                restarts
+  ttlg top [--addr=H:P] [--once] [--interval=F] [--window=N]
+                                                live dashboard over a running
+                                                ttlg serve: throughput, exec
+                                                p99, shed/coalesced rates and
+                                                firing alerts, rendered as
+                                                sparklines polled from
+                                                GET /v1/query_range
   ttlg devices                                  list device presets
 
   <extents>  comma-separated, dim 0 fastest-varying (e.g. 16,16,16)
@@ -172,6 +184,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "trace" => cmd_trace(&rest),
         "bench-serve" => cmd_bench_serve(&rest),
         "serve" => cmd_serve(&rest),
+        "top" => cmd_top(&rest),
         "devices" => Ok(cmd_devices()),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -533,6 +546,7 @@ fn cmd_serve(rest: &[&String]) -> Result<String, CliError> {
     let mut addr = "127.0.0.1:8424".to_string();
     let mut cfg = GatewayConfig::default();
     let mut port_file: Option<String> = None;
+    let mut history_file: Option<String> = None;
     let mut check = false;
     for a in rest {
         if let Some(v) = a.strip_prefix("--addr=") {
@@ -563,6 +577,8 @@ fn cmd_serve(rest: &[&String]) -> Result<String, CliError> {
                 .map_err(|_| CliError::Usage(format!("bad --max-connections value {v:?}")))?;
         } else if let Some(v) = a.strip_prefix("--port-file=") {
             port_file = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("--history-file=") {
+            history_file = Some(v.to_string());
         } else if a.as_str() == "--check" {
             check = true;
         } else {
@@ -574,7 +590,15 @@ fn cmd_serve(rest: &[&String]) -> Result<String, CliError> {
             "--workers and --queue-capacity must be positive".into(),
         ));
     }
-    let gw = Gateway::start(Arc::new(TransposeService::new_k40c()), cfg);
+    let service = Arc::new(TransposeService::new_k40c());
+    let mut history_note = String::new();
+    if let Some(path) = &history_file {
+        let restored = service
+            .set_history_file(path.clone())
+            .map_err(CliError::Failed)?;
+        history_note = format!("history file {path}: {restored} series restored");
+    }
+    let gw = Gateway::start(service, cfg);
     let mut server = ttlg_serve::server::spawn(gw, &addr)
         .map_err(|e| CliError::Failed(format!("could not bind {addr}: {e}")))?;
     let bound = server.addr();
@@ -584,16 +608,188 @@ fn cmd_serve(rest: &[&String]) -> Result<String, CliError> {
     }
     if check {
         server.stop();
-        return Ok(format!("ttlg-serve bound {bound}, config OK\n"));
+        let mut out = format!("ttlg-serve bound {bound}, config OK\n");
+        if !history_note.is_empty() {
+            out.push_str(&history_note);
+            out.push('\n');
+        }
+        return Ok(out);
     }
     // The long-running path: announce on stdout (flushed immediately so
     // supervisors can watch for it) and serve until the process dies.
     println!("ttlg-serve listening on http://{bound}");
-    println!("  POST /v1/transpose   GET /v1/explain   GET /metrics   GET /healthz");
+    println!("  POST /v1/transpose   GET /v1/explain   GET /v1/query_range   GET /metrics   GET /healthz");
+    if !history_note.is_empty() {
+        println!("  {history_note}");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Render values as a unicode sparkline, scaled to the finite min/max.
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    finite
+        .iter()
+        .map(|v| {
+            let idx = if max > min {
+                ((v - min) / (max - min) * 7.0).round() as usize
+            } else {
+                0
+            };
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// One dashboard frame: poll `/v1/query_range` for each row and
+/// `/v1/alerts` for the footer, and render the whole thing as text.
+fn top_frame(addr: std::net::SocketAddr, window_s: u64) -> Result<String, CliError> {
+    use ttlg_serve::client::HttpClient;
+    let mut client = HttpClient::connect(addr).map_err(|e| {
+        CliError::Failed(format!(
+            "could not connect to {addr}: {e} (is `ttlg serve` running?)"
+        ))
+    })?;
+    // No spaces inside the expressions so the paths need no encoding.
+    let rows = [
+        ("throughput", "sum(rate(ttlg_requests_total))", "req/s"),
+        (
+            "exec p99",
+            "quantile_over_time(0.99,ttlg_exec_latency_us)",
+            "us",
+        ),
+        ("shed rate", "sum(rate(ttlg_gateway_shed_total))", "req/s"),
+        (
+            "coalesced",
+            "sum(rate(ttlg_coalesced_requests_total))",
+            "req/s",
+        ),
+        ("uptime", "max_over_time(ttlg_uptime_seconds)", "s"),
+    ];
+    let mut s = String::new();
+    writeln!(s, "ttlg top — {addr} — last {window_s}s").unwrap();
+    for (label, query, unit) in rows {
+        let path = format!("/v1/query_range?series={query}&window={window_s}s");
+        let resp = client
+            .get(&path)
+            .map_err(|e| CliError::Failed(format!("query failed: {e}")))?;
+        if resp.status != 200 {
+            writeln!(s, "  {label:<11} ! {}", resp.body_text().trim()).unwrap();
+            continue;
+        }
+        let doc = ttlg_serve::json::parse(&resp.body)
+            .map_err(|e| CliError::Failed(format!("bad query_range body: {e}")))?;
+        let values: Vec<f64> = match doc.get("series") {
+            Some(ttlg_serve::json::Json::Arr(series)) if !series.is_empty() => {
+                match series[0].get("points") {
+                    Some(ttlg_serve::json::Json::Arr(pts)) => pts
+                        .iter()
+                        .filter_map(|p| match p {
+                            ttlg_serve::json::Json::Arr(tv) if tv.len() == 2 => tv[1].as_f64(),
+                            _ => None,
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                }
+            }
+            _ => Vec::new(),
+        };
+        let latest = values.iter().rev().copied().find(|v| v.is_finite());
+        // Keep the frame narrow: the most recent 40 points suffice.
+        let tail = &values[values.len().saturating_sub(40)..];
+        match latest {
+            Some(v) => {
+                writeln!(s, "  {label:<11} {v:>10.2} {unit:<5} {}", sparkline(tail)).unwrap()
+            }
+            None => writeln!(s, "  {label:<11} {:>10} {unit:<5}", "-").unwrap(),
+        }
+    }
+    let resp = client
+        .get("/v1/alerts")
+        .map_err(|e| CliError::Failed(format!("alerts fetch failed: {e}")))?;
+    let mut firing: Vec<String> = Vec::new();
+    let mut pending = 0usize;
+    if resp.status == 200 {
+        if let Ok(doc) = ttlg_serve::json::parse(&resp.body) {
+            if let Some(ttlg_serve::json::Json::Arr(rules)) = doc.get("rules") {
+                for r in rules {
+                    match r.get("state").and_then(|v| v.as_str()) {
+                        Some("firing") => {
+                            if let Some(name) = r.get("rule").and_then(|v| v.as_str()) {
+                                firing.push(name.to_string());
+                            }
+                        }
+                        Some("pending") => pending += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    if firing.is_empty() {
+        writeln!(s, "  alerts      none firing ({pending} pending)").unwrap();
+    } else {
+        writeln!(s, "  alerts      FIRING: {}", firing.join(", ")).unwrap();
+    }
+    Ok(s)
+}
+
+/// `ttlg top`: live dashboard over a running `ttlg serve`, polling its
+/// `/v1/query_range` endpoint. `--once` renders a single frame and
+/// returns (used by tests and CI); the default loops until killed.
+fn cmd_top(rest: &[&String]) -> Result<String, CliError> {
+    let mut addr = "127.0.0.1:8424".to_string();
+    let mut once = false;
+    let mut interval = 2.0f64;
+    let mut window_s = 60u64;
+    for a in rest {
+        if let Some(v) = a.strip_prefix("--addr=") {
+            addr = v.to_string();
+        } else if a.as_str() == "--once" {
+            once = true;
+        } else if let Some(v) = a.strip_prefix("--interval=") {
+            interval = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --interval value {v:?}")))?;
+        } else if let Some(v) = a.strip_prefix("--window=") {
+            window_s = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --window value {v:?}")))?;
+        } else {
+            return Err(CliError::Usage(format!("top does not understand {a:?}")));
+        }
+    }
+    if !(interval.is_finite() && interval > 0.0) || window_s == 0 {
+        return Err(CliError::Usage(
+            "--interval and --window must be positive".into(),
+        ));
+    }
+    use std::net::ToSocketAddrs as _;
+    let sock = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .ok_or_else(|| CliError::Usage(format!("could not resolve --addr={addr}")))?;
+    if once {
+        return top_frame(sock, window_s);
+    }
+    loop {
+        let frame = top_frame(sock, window_s)?;
+        // Clear screen + home, then the frame.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
     }
 }
 
@@ -693,6 +889,26 @@ fn write_artifact(
     std::fs::write(&path, stamp_provenance(json, default_path))
         .map_err(|e| CliError::Failed(format!("could not write {path}: {e}")))?;
     Ok(path)
+}
+
+/// Parse a prior `BENCH_serve.json` into a regression baseline:
+/// `(requests_per_s, exec_p99_us)`. Only artifacts carrying the
+/// matching provenance stamp (schema version + `"artifact": "serve"`)
+/// qualify; anything else — other studies, hand-edited files, older
+/// layouts — is silently ignored. `exec_p99_us` is `None` for
+/// artifacts written before the field existed.
+fn parse_serve_baseline(text: &str) -> Option<(f64, Option<f64>)> {
+    let doc = ttlg_serve::json::parse(text.as_bytes()).ok()?;
+    let version = doc.get("schema_version")?.as_usize()?;
+    if version != ARTIFACT_SCHEMA_VERSION as usize {
+        return None;
+    }
+    if doc.get("artifact")?.as_str()? != "serve" {
+        return None;
+    }
+    let rps = doc.get("requests_per_s")?.as_f64()?;
+    let p99 = doc.get("exec_p99_us").and_then(|v| v.as_f64());
+    Some((rps, p99))
 }
 
 fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
@@ -914,24 +1130,83 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
     let stats = service.cache_stats();
 
     // The perf-trajectory artifact: written in text mode (the default
-    // invocation) or whenever a destination is named explicitly.
+    // invocation) or whenever a destination is named explicitly. A
+    // prior artifact at the same destination becomes the regression
+    // baseline: its throughput and exec p99 are folded into a
+    // `baseline_delta` section before it is overwritten.
+    let mut baseline_note = String::new();
     let artifact = if json_out.is_some() || format == MetricsFormat::Text {
         let wall_ms = elapsed.as_secs_f64() * 1e3;
         let rps = total as f64 / elapsed.as_secs_f64();
         let prediction = service.metrics().prediction();
-        let json = format!(
+        let p99 = service.metrics().exec_latency.quantile_us(0.99);
+        let exec_p99_us = if p99.is_finite() { p99 } else { 0.0 };
+        let dest = json_out
+            .clone()
+            .unwrap_or_else(|| "BENCH_serve.json".to_string());
+        let baseline = std::fs::read_to_string(&dest)
+            .ok()
+            .and_then(|text| parse_serve_baseline(&text));
+        let mut json = format!(
             "{{\n  \"study\": \"serve\",\n  \"requests\": {total},\n  \
              \"distinct_perms\": {distinct},\n  \"rounds\": {rounds},\n  \
              \"wall_ms\": {wall_ms},\n  \"requests_per_s\": {rps},\n  \
+             \"exec_p99_us\": {exec_p99_us},\n  \
              \"failures\": {failures},\n  \"cache_hits\": {},\n  \
              \"cache_misses\": {},\n  \"cache_evictions\": {},\n  \
-             \"prediction_samples\": {},\n  \"geo_mean_error\": {}\n}}\n",
+             \"prediction_samples\": {},\n  \"geo_mean_error\": {}",
             stats.hits,
             stats.misses,
             stats.evictions,
             prediction.total_count(),
             prediction.overall_geo_mean_error(),
         );
+        if let Some((base_rps, base_p99)) = baseline {
+            let throughput_ratio = if base_rps > 0.0 { rps / base_rps } else { 1.0 };
+            let p99_ratio = base_p99
+                .filter(|b| *b > 0.0 && exec_p99_us > 0.0)
+                .map(|b| exec_p99_us / b);
+            write!(
+                json,
+                ",\n  \"baseline_delta\": {{\n    \
+                 \"baseline_requests_per_s\": {base_rps},\n    \
+                 \"throughput_ratio\": {throughput_ratio},\n    \
+                 \"baseline_exec_p99_us\": {},\n    \
+                 \"p99_ratio\": {}\n  }}",
+                base_p99.map_or("null".to_string(), |b| b.to_string()),
+                p99_ratio.map_or("null".to_string(), |r| r.to_string()),
+            )
+            .unwrap();
+            writeln!(
+                baseline_note,
+                "baseline  : throughput x{throughput_ratio:.2}{} vs prior artifact",
+                p99_ratio.map_or(String::new(), |r| format!(", exec p99 x{r:.2}")),
+            )
+            .unwrap();
+            if throughput_ratio < 0.9 {
+                writeln!(
+                    baseline_note,
+                    "WARNING: throughput regressed {:.0}% vs baseline ({:.0} -> {:.0} req/s)",
+                    (1.0 - throughput_ratio) * 100.0,
+                    base_rps,
+                    rps
+                )
+                .unwrap();
+            }
+            if let Some(r) = p99_ratio {
+                if r > 1.1 {
+                    writeln!(
+                        baseline_note,
+                        "WARNING: exec p99 regressed {:.0}% vs baseline ({:.1} -> {:.1} us)",
+                        (r - 1.0) * 100.0,
+                        base_p99.unwrap_or(0.0),
+                        exec_p99_us
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        json.push_str("\n}\n");
         Some(write_artifact(json_out, "BENCH_serve.json", &json)?)
     } else {
         None
@@ -964,6 +1239,9 @@ fn cmd_bench_serve(rest: &[&String]) -> Result<String, CliError> {
         stats.hits, stats.misses, stats.evictions
     )
     .unwrap();
+    if !baseline_note.is_empty() {
+        s.push_str(&baseline_note);
+    }
     s.push('\n');
     s.push_str(&service.metrics_report());
     if let Some(path) = artifact {
@@ -1454,6 +1732,136 @@ mod tests {
     fn devices_command() {
         let out = run(&["devices"]).unwrap();
         assert!(out.contains("K40c"));
+    }
+
+    #[test]
+    fn serve_check_accepts_history_file() {
+        let dir = std::env::temp_dir().join("ttlg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve-check.history");
+        let _ = std::fs::remove_file(&path);
+        let out = run(&[
+            "serve",
+            "--addr=127.0.0.1:0",
+            "--check",
+            &format!("--history-file={}", path.display()),
+        ])
+        .unwrap();
+        assert!(out.contains("config OK"), "{out}");
+        assert!(out.contains("0 series restored"), "{out}");
+        // A corrupt history file is a hard error, not a silent reset.
+        std::fs::write(&path, "not a history file\n").unwrap();
+        let err = run(&[
+            "serve",
+            "--addr=127.0.0.1:0",
+            "--check",
+            &format!("--history-file={}", path.display()),
+        ]);
+        assert!(matches!(err, Err(CliError::Failed(_))), "{err:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// `ttlg top --once` renders one dashboard frame from a live serve
+    /// endpoint: every row resolves through /v1/query_range and the
+    /// alerts footer through /v1/alerts.
+    #[test]
+    fn top_once_renders_dashboard_frame() {
+        use ttlg_serve::{client::HttpClient, Gateway, GatewayConfig};
+        let gw = Gateway::start(
+            Arc::new(TransposeService::new_k40c()),
+            GatewayConfig::default(),
+        );
+        let mut server =
+            ttlg_serve::server::spawn(Arc::clone(&gw), "127.0.0.1:0").expect("bind loopback");
+        let mut client = HttpClient::connect(server.addr()).expect("connect");
+        for _ in 0..2 {
+            let r = client
+                .post_json("/v1/transpose", &[], r#"{"extents":[8,8],"perm":[1,0]}"#)
+                .expect("transpose");
+            assert_eq!(r.status, 200, "{}", r.body_text());
+            gw.service().scrape_history_once();
+        }
+        let out = run(&["top", "--once", &format!("--addr={}", server.addr())]).unwrap();
+        assert!(out.contains("ttlg top"), "{out}");
+        for row in ["throughput", "exec p99", "shed rate", "uptime", "alerts"] {
+            assert!(out.contains(row), "{row} missing from:\n{out}");
+        }
+        assert!(!out.contains('!'), "no row may error:\n{out}");
+        server.stop();
+        gw.stop();
+        // Flag validation.
+        assert!(matches!(run(&["top", "--bogus"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["top", "--interval=0", "--once"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["top", "--addr=not-an-addr", "--once"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn sparkline_scales_and_skips_nonfinite() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0, 1.0]), "▁▁", "flat series stays low");
+        let line = sparkline(&[0.0, f64::NAN, 7.0]);
+        assert_eq!(line, "▁█", "non-finite skipped, extremes span the bars");
+    }
+
+    /// A prior serve artifact at the destination becomes the regression
+    /// baseline: the new artifact carries a `baseline_delta` section
+    /// and the text output warns when throughput or p99 regress >10%.
+    #[test]
+    fn bench_serve_reports_baseline_delta_and_warns_on_regression() {
+        let dir = std::env::temp_dir().join("ttlg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve-baseline.json");
+        // An impossibly fast baseline: any real run regresses >10%.
+        std::fs::write(
+            &path,
+            "{\n  \"schema_version\": 1,\n  \"host_threads\": 8,\n  \
+             \"artifact\": \"serve\",\n  \"study\": \"serve\",\n  \
+             \"requests_per_s\": 1e12,\n  \"exec_p99_us\": 1e-6\n}\n",
+        )
+        .unwrap();
+        let out = run(&[
+            "bench-serve",
+            "--perms=4",
+            "--rounds=2",
+            "--extents=6,5,4",
+            &format!("--json-out={}", path.display()),
+        ])
+        .unwrap();
+        assert!(out.contains("baseline  : throughput x"), "{out}");
+        assert!(out.contains("WARNING: throughput regressed"), "{out}");
+        assert!(out.contains("WARNING: exec p99 regressed"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"exec_p99_us\""), "{json}");
+        assert!(json.contains("\"baseline_delta\""), "{json}");
+        assert!(json.contains("\"throughput_ratio\""), "{json}");
+        assert!(json.contains("\"p99_ratio\""), "{json}");
+        // A non-serve artifact at the destination is not a baseline.
+        let other = dir.join("serve-baseline-other.json");
+        std::fs::write(
+            &other,
+            "{\n  \"schema_version\": 1,\n  \"artifact\": \"cpu\",\n  \
+             \"requests_per_s\": 1e12\n}\n",
+        )
+        .unwrap();
+        let out = run(&[
+            "bench-serve",
+            "--perms=2",
+            "--rounds=1",
+            "--extents=6,5,4",
+            &format!("--json-out={}", other.display()),
+        ])
+        .unwrap();
+        assert!(!out.contains("baseline  :"), "{out}");
+        let json = std::fs::read_to_string(&other).unwrap();
+        assert!(!json.contains("baseline_delta"), "{json}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&other);
     }
 
     #[test]

@@ -15,6 +15,18 @@
 //!   per routed request. With no previous snapshot (or no denominator
 //!   growth) the signal abstains rather than breaching.
 //!
+//! A rule may additionally declare a history window (`window_ms > 0`).
+//! When the engine is given a [`TimeSeriesStore`]
+//! ([`AlertEngine::evaluate_with_history`]), such a rule evaluates over
+//! the window instead of the instant: `Level`/`Ratio` aggregate the
+//! retained samples in the window, and `DeltaRatio` becomes the ratio of
+//! counter *increases over the whole window* — so a burst split across
+//! three scrapes (numerator growing in one scrape, denominator in
+//! others) still breaches, where the two-scrape delta abstains or sees
+//! zero. With no store, or no retained data for the rule's families, the
+//! rule falls back to the instantaneous two-scrape path, which is also
+//! kept warm as the zero-history baseline.
+//!
 //! Each rule runs a firing/resolved state machine with hysteresis: a
 //! rule must breach `for_evals` consecutive evaluations to fire
 //! (`inactive → pending → firing`) and clear `resolve_evals`
@@ -26,6 +38,7 @@
 use std::sync::Mutex;
 
 use crate::snapshot::{MetricKind, MetricsSnapshot, Sample};
+use crate::tsdb::TimeSeriesStore;
 
 /// How to collapse a family's samples into one scalar.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +97,13 @@ pub struct AlertRule {
     pub resolve_evals: u32,
     /// Critical rules gate readiness while firing.
     pub critical: bool,
+    /// History window for the signal, in milliseconds. `0` means
+    /// instantaneous (the classic two-scrape behaviour). A positive
+    /// window takes effect only when a [`TimeSeriesStore`] is supplied
+    /// to [`AlertEngine::evaluate_with_history`] and has retained data
+    /// for the rule's families; otherwise the rule falls back to the
+    /// instantaneous path.
+    pub window_ms: u64,
 }
 
 /// Lifecycle state of one rule.
@@ -175,37 +195,73 @@ impl AlertEngine {
         self.state.lock().expect("alert state poisoned").evaluations
     }
 
+    /// Evaluate every rule against `snap` with no history store —
+    /// windowed rules fall back to their instantaneous path. See
+    /// [`Self::evaluate_with_history`].
+    pub fn evaluate(&self, snap: &MetricsSnapshot) -> Vec<AlertStatus> {
+        self.evaluate_with_history(snap, None)
+    }
+
     /// Evaluate every rule against `snap`, advancing the state
     /// machines, and return the post-evaluation status of each rule.
-    pub fn evaluate(&self, snap: &MetricsSnapshot) -> Vec<AlertStatus> {
+    ///
+    /// Rules with `window_ms > 0` evaluate over `history` when it has
+    /// retained data for their families (see the module docs for the
+    /// per-signal window semantics); every other case uses the
+    /// instantaneous snapshot. The two-scrape `DeltaRatio` baseline is
+    /// advanced either way, so losing the store mid-stream degrades
+    /// gracefully to the old behaviour.
+    pub fn evaluate_with_history(
+        &self,
+        snap: &MetricsSnapshot,
+        history: Option<&TimeSeriesStore>,
+    ) -> Vec<AlertStatus> {
         let mut st = self.state.lock().expect("alert state poisoned");
         st.evaluations += 1;
         let mut out = Vec::with_capacity(self.rules.len());
         for (i, rule) in self.rules.iter().enumerate() {
+            let windowed = if rule.window_ms > 0 { history } else { None };
             let value = match rule.signal {
-                Signal::Level { metric, agg } => metric_value(snap, metric, agg),
-                Signal::Ratio { num, den, agg } => {
-                    match (metric_value(snap, num, agg), metric_value(snap, den, agg)) {
-                        (Some(n), Some(d)) if d > 0.0 => Some(n / d),
-                        _ => None,
-                    }
-                }
+                Signal::Level { metric, agg } => windowed
+                    .and_then(|h| window_level(h, metric, agg, rule.window_ms))
+                    .or_else(|| metric_value(snap, metric, agg)),
+                Signal::Ratio { num, den, agg } => windowed
+                    .and_then(|h| {
+                        let n = window_level(h, num, agg, rule.window_ms)?;
+                        let d = window_level(h, den, agg, rule.window_ms)?;
+                        (d > 0.0).then_some(n / d)
+                    })
+                    .or_else(|| {
+                        match (metric_value(snap, num, agg), metric_value(snap, den, agg)) {
+                            (Some(n), Some(d)) if d > 0.0 => Some(n / d),
+                            _ => None,
+                        }
+                    }),
                 Signal::DeltaRatio { num, den } => {
+                    // Advance the two-scrape baseline unconditionally so
+                    // the fallback stays coherent while the windowed
+                    // path is active.
                     let now = (
                         metric_value(snap, num, Agg::Sum),
                         metric_value(snap, den, Agg::Sum),
                     );
                     let prev = st.prev_counters[i];
-                    let value = match (now, prev) {
+                    if let (Some(n), Some(d)) = now {
+                        st.prev_counters[i] = Some((n, d));
+                    }
+                    let two_scrape = || match (now, prev) {
                         ((Some(n), Some(d)), Some((pn, pd))) if d - pd > 0.0 => {
                             Some((n - pn).max(0.0) / (d - pd))
                         }
                         _ => None,
                     };
-                    if let (Some(n), Some(d)) = now {
-                        st.prev_counters[i] = Some((n, d));
+                    match windowed.map(|h| window_increase_ratio(h, num, den, rule.window_ms)) {
+                        Some(WindowRatio::Value(v)) => Some(v),
+                        // Denominator retained but flat over the window:
+                        // abstain, exactly like the two-scrape path.
+                        Some(WindowRatio::Abstain) => None,
+                        Some(WindowRatio::NoData) | None => two_scrape(),
                     }
-                    value
                 }
             };
             // `None` = the signal abstained: leave the state machine
@@ -256,6 +312,28 @@ impl AlertEngine {
             });
         }
         out
+    }
+
+    /// Seed the two-scrape `DeltaRatio` baselines from the history
+    /// store's last raw cumulative sums. Call this when an engine is
+    /// (re)created against a store that already holds history — e.g.
+    /// after `ttlg serve --history-file` restores state — so the first
+    /// evaluation computes a true small delta instead of abstaining (or,
+    /// worse, treating the whole retained history as one giant spike if
+    /// a caller pre-filled zeros). Baselines that are already set are
+    /// left alone.
+    pub fn seed_from_history(&self, history: &TimeSeriesStore) {
+        let mut st = self.state.lock().expect("alert state poisoned");
+        for (i, rule) in self.rules.iter().enumerate() {
+            if let Signal::DeltaRatio { num, den } = rule.signal {
+                if st.prev_counters[i].is_none() {
+                    if let Some(d) = history.last_raw_sum(den) {
+                        let n = history.last_raw_sum(num).unwrap_or(0.0);
+                        st.prev_counters[i] = Some((n, d));
+                    }
+                }
+            }
+        }
     }
 
     /// Current status without advancing the state machines.
@@ -340,8 +418,105 @@ fn metric_value(snap: &MetricsSnapshot, name: &str, agg: Agg) -> Option<f64> {
     }
 }
 
+/// Outcome of a windowed `DeltaRatio` evaluation.
+enum WindowRatio {
+    /// Denominator grew over the window; here's the ratio.
+    Value(f64),
+    /// Denominator retained but flat over the window — abstain.
+    Abstain,
+    /// No retained counter history for the denominator — fall back to
+    /// the two-scrape path.
+    NoData,
+}
+
+/// Ratio of counter-family increases over the trailing window.
+fn window_increase_ratio(
+    history: &TimeSeriesStore,
+    num: &str,
+    den: &str,
+    window_ms: u64,
+) -> WindowRatio {
+    let Some(end) = history.last_ingest_ms() else {
+        return WindowRatio::NoData;
+    };
+    let start = end.saturating_sub(window_ms);
+    let Some(d) = window_increase(history, den, start) else {
+        return WindowRatio::NoData;
+    };
+    if d <= 0.0 {
+        return WindowRatio::Abstain;
+    }
+    let n = window_increase(history, num, start).unwrap_or(0.0);
+    WindowRatio::Value((n / d).max(0.0))
+}
+
+/// Sum of a counter family's increments with timestamps `> start_ms`,
+/// across all its series; `None` when nothing is retained in range.
+fn window_increase(history: &TimeSeriesStore, name: &str, start_ms: u64) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut any = false;
+    for series in history.scalar_data(name) {
+        if series.kind != MetricKind::Counter {
+            continue;
+        }
+        for (t, v) in series.points {
+            if t > start_ms && v.is_finite() {
+                sum += v;
+                any = true;
+            }
+        }
+    }
+    any.then_some(sum)
+}
+
+/// Aggregate a family's retained samples over the trailing window:
+/// `Max` takes the worst sample anywhere in the window; `Sum` sums the
+/// per-series time averages (so a saturated gauge isn't multiplied by
+/// the scrape count).
+fn window_level(history: &TimeSeriesStore, name: &str, agg: Agg, window_ms: u64) -> Option<f64> {
+    let end = history.last_ingest_ms()?;
+    let start = end.saturating_sub(window_ms);
+    let data = history.scalar_data(name);
+    match agg {
+        Agg::Max => {
+            let mut best: Option<f64> = None;
+            for series in &data {
+                for &(t, v) in &series.points {
+                    if t > start && v.is_finite() {
+                        best = Some(best.map_or(v, |b| b.max(v)));
+                    }
+                }
+            }
+            best
+        }
+        Agg::Sum => {
+            let mut sum = 0.0;
+            let mut any = false;
+            for series in &data {
+                let mut s = 0.0;
+                let mut n = 0u64;
+                for &(t, v) in &series.points {
+                    if t > start && v.is_finite() {
+                        s += v;
+                        n += 1;
+                    }
+                }
+                if n > 0 {
+                    sum += s / n as f64;
+                    any = true;
+                }
+            }
+            any.then_some(sum)
+        }
+    }
+}
+
 /// The rules the gateway evaluates on every scrape: model drift, SLO
-/// burn, queue saturation, shed spikes, and trace-ring drops.
+/// burn, queue saturation, shed spikes, and trace-ring drops. The two
+/// burst-shaped `DeltaRatio` rules declare 30 s windows so a spike split
+/// across scrapes is still seen when history is available; the level
+/// rules stay instantaneous (their inputs — geo-mean error, burn rate —
+/// are already windowed by their producers).
 pub fn default_rules() -> Vec<AlertRule> {
     vec![
         AlertRule {
@@ -357,6 +532,7 @@ pub fn default_rules() -> Vec<AlertRule> {
             for_evals: 2,
             resolve_evals: 2,
             critical: false,
+            window_ms: 0,
         },
         AlertRule {
             name: "slo-burn",
@@ -371,6 +547,7 @@ pub fn default_rules() -> Vec<AlertRule> {
             for_evals: 2,
             resolve_evals: 2,
             critical: true,
+            window_ms: 0,
         },
         AlertRule {
             name: "queue-saturation",
@@ -386,6 +563,7 @@ pub fn default_rules() -> Vec<AlertRule> {
             for_evals: 2,
             resolve_evals: 2,
             critical: false,
+            window_ms: 0,
         },
         AlertRule {
             name: "shed-spike",
@@ -399,6 +577,7 @@ pub fn default_rules() -> Vec<AlertRule> {
             for_evals: 2,
             resolve_evals: 2,
             critical: false,
+            window_ms: 30_000,
         },
         AlertRule {
             name: "trace-drop",
@@ -413,6 +592,7 @@ pub fn default_rules() -> Vec<AlertRule> {
             for_evals: 2,
             resolve_evals: 2,
             critical: false,
+            window_ms: 30_000,
         },
     ]
 }
@@ -442,6 +622,7 @@ mod tests {
             for_evals,
             resolve_evals,
             critical,
+            window_ms: 0,
         }
     }
 
@@ -507,6 +688,7 @@ mod tests {
             for_evals: 1,
             resolve_evals: 1,
             critical: false,
+            window_ms: 0,
         };
         let eng = AlertEngine::new(vec![rule]);
         let s = eng.evaluate(&snap_with(&[("depth", 60.0), ("cap", 64.0)]));
@@ -531,6 +713,7 @@ mod tests {
             for_evals: 1,
             resolve_evals: 1,
             critical: false,
+            window_ms: 0,
         };
         let eng = AlertEngine::new(vec![rule]);
         // First evaluation: no baseline, abstain.
@@ -606,5 +789,165 @@ mod tests {
             .find(|s| s.labels[0].1 == "prediction-drift")
             .unwrap();
         assert_eq!(s.value, 1.0);
+    }
+
+    /// Cumulative-counter snapshot (the real exporter shape for the
+    /// windowed rules, unlike the gauge-based `snap_with`).
+    fn counters(values: &[(&str, f64)]) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        for (name, v) in values {
+            snap.push_metric(name, "", MetricKind::Counter, vec![Sample::plain(*v)]);
+        }
+        snap
+    }
+
+    fn shed_rule(window_ms: u64) -> AlertRule {
+        AlertRule {
+            name: "shed-spike",
+            help: "",
+            signal: Signal::DeltaRatio {
+                num: "shed",
+                den: "reqs",
+            },
+            op: Op::Gt,
+            threshold: 0.2,
+            for_evals: 2,
+            resolve_evals: 2,
+            critical: false,
+            window_ms,
+        }
+    }
+
+    /// The acceptance scenario: a shed burst lands in a scrape where the
+    /// request counter is flat, so the two-scrape delta abstains on that
+    /// evaluation and sees zero sheds on the next — it never breaches.
+    /// The 10 s window sees sheds and requests together and fires.
+    #[test]
+    fn burst_split_across_scrapes_fires_windowed_rule_but_not_two_scrape_delta() {
+        // Cumulative timeline: requests land in scrapes 1 and 3, the
+        // entire shed burst in scrape 2.
+        let timeline = [
+            (1_000u64, 0.0, 60.0),
+            (2_000, 20.0, 60.0),
+            (3_000, 20.0, 70.0),
+        ];
+
+        // Two-scrape path (no window): never breaches.
+        let plain = AlertEngine::new(vec![shed_rule(0)]);
+        for &(_, shed, reqs) in &timeline {
+            let s = plain.evaluate(&counters(&[("shed", shed), ("reqs", reqs)]));
+            assert_ne!(s[0].state, AlertState::Pending, "two-scrape path breached");
+            assert_ne!(s[0].state, AlertState::Firing, "two-scrape path breached");
+        }
+        // eval2: Δreqs = 0 → abstain; eval3: Δshed = 0 → ratio 0.
+        assert_eq!(plain.status()[0].value, Some(0.0));
+
+        // Windowed path over the same scrapes, fed by the store.
+        let store = TimeSeriesStore::default();
+        let windowed = AlertEngine::new(vec![shed_rule(10_000)]);
+        let mut states = Vec::new();
+        for &(t, shed, reqs) in &timeline {
+            let snap = counters(&[("shed", shed), ("reqs", reqs)]);
+            store.ingest(&snap, t);
+            states.push(windowed.evaluate_with_history(&snap, Some(&store))[0].state);
+        }
+        // eval1: 0/60 clear; eval2: 20/60 ≈ 0.33 pending; eval3: 20/70 ≈
+        // 0.29 — second consecutive breach fires.
+        assert_eq!(
+            states,
+            vec![
+                AlertState::Inactive,
+                AlertState::Pending,
+                AlertState::Firing
+            ]
+        );
+        let v = windowed.status()[0].value.unwrap();
+        assert!((v - 20.0 / 70.0).abs() < 1e-9, "window ratio was {v}");
+    }
+
+    #[test]
+    fn windowed_rule_falls_back_to_two_scrape_without_history() {
+        let eng = AlertEngine::new(vec![shed_rule(10_000)]);
+        // Empty store: no retained data → same semantics as evaluate().
+        let store = TimeSeriesStore::default();
+        let s =
+            eng.evaluate_with_history(&counters(&[("shed", 0.0), ("reqs", 100.0)]), Some(&store));
+        assert_eq!(s[0].value, None, "first evaluation abstains");
+        let s =
+            eng.evaluate_with_history(&counters(&[("shed", 30.0), ("reqs", 200.0)]), Some(&store));
+        assert_eq!(
+            s[0].value,
+            Some(0.3),
+            "two-scrape fallback computed the delta"
+        );
+    }
+
+    #[test]
+    fn engine_recreation_seeds_baselines_from_history_and_does_not_spuriously_fire() {
+        let store = TimeSeriesStore::default();
+        // History already holds a lifetime of traffic (raw sums 40/900).
+        store.ingest(&counters(&[("shed", 25.0), ("reqs", 500.0)]), 1_000);
+        store.ingest(&counters(&[("shed", 40.0), ("reqs", 900.0)]), 2_000);
+
+        // A recreated engine (e.g. after a gateway restart with
+        // --history-file) seeds its baselines from the store...
+        let eng = AlertEngine::new(vec![shed_rule(0)]);
+        eng.seed_from_history(&store);
+        // ...so the very first evaluation computes the true small delta
+        // (0 new sheds / 50 new requests) instead of abstaining — and
+        // certainly doesn't treat the 40 lifetime sheds as one spike.
+        let s = eng.evaluate(&counters(&[("shed", 40.0), ("reqs", 950.0)]));
+        assert_eq!(s[0].value, Some(0.0));
+        assert_eq!(s[0].state, AlertState::Inactive);
+
+        // Seeding is a no-op on baselines that are already live.
+        let s = eng.evaluate(&counters(&[("shed", 41.0), ("reqs", 960.0)]));
+        assert_eq!(s[0].value, Some(0.1));
+        eng.seed_from_history(&store);
+        let s = eng.evaluate(&counters(&[("shed", 41.0), ("reqs", 970.0)]));
+        assert_eq!(s[0].value, Some(0.0));
+    }
+
+    #[test]
+    fn windowed_level_uses_history_max_and_sum_of_averages() {
+        let store = TimeSeriesStore::default();
+        for (i, v) in [1.0f64, 8.0, 2.0].iter().enumerate() {
+            let mut snap = MetricsSnapshot::new();
+            snap.push_metric("burn", "", MetricKind::Gauge, vec![Sample::plain(*v)]);
+            store.ingest(&snap, (i as u64 + 1) * 1_000);
+        }
+        assert_eq!(window_level(&store, "burn", Agg::Max, 10_000), Some(8.0));
+        // One series: sum-of-averages is just the average.
+        let avg = window_level(&store, "burn", Agg::Sum, 10_000).unwrap();
+        assert!((avg - 11.0 / 3.0).abs() < 1e-9);
+        // A 1 ms window behind the last ingest sees nothing.
+        assert_eq!(window_level(&store, "missing", Agg::Max, 10_000), None);
+
+        // A windowed Level rule picks the in-window max even when the
+        // instantaneous snapshot has cooled off.
+        let rule = AlertRule {
+            name: "hot",
+            help: "",
+            signal: Signal::Level {
+                metric: "burn",
+                agg: Agg::Max,
+            },
+            op: Op::Gt,
+            threshold: 5.0,
+            for_evals: 1,
+            resolve_evals: 1,
+            critical: false,
+            window_ms: 10_000,
+        };
+        let eng = AlertEngine::new(vec![rule]);
+        let cooled = snap_with(&[("burn", 2.0)]);
+        let s = eng.evaluate_with_history(&cooled, Some(&store));
+        assert_eq!(s[0].value, Some(8.0));
+        assert_eq!(s[0].state, AlertState::Firing);
+        // Without history the same rule sees only the instant.
+        let eng2 = AlertEngine::new(vec![rule]);
+        let s = eng2.evaluate(&cooled);
+        assert_eq!(s[0].value, Some(2.0));
+        assert_eq!(s[0].state, AlertState::Inactive);
     }
 }

@@ -35,7 +35,14 @@
 //! * [`tracestore`] — request-scoped span trees ([`SpanNode`]) and the
 //!   bounded, sampling-aware [`TraceStore`] that retains them.
 //! * [`alerts`] — [`AlertEngine`]: declarative rules over a
-//!   [`MetricsSnapshot`] with firing/resolved hysteresis.
+//!   [`MetricsSnapshot`] with firing/resolved hysteresis, evaluated
+//!   either instantaneously or over a declared history window.
+//! * [`tsdb`] — [`TimeSeriesStore`]: a bounded delta-encoded metrics
+//!   history (fine + coarse retention rings with downsampling, counter
+//!   reset detection, text save/hydrate).
+//! * [`query`] — [`eval_range`]: `rate` / `increase` /
+//!   `avg|max_over_time` / `quantile_over_time` / `sum` range queries
+//!   over the store.
 //!
 //! The crate deliberately depends on nothing (not even the other ttlg
 //! crates): schemas and phases are plain string labels, so any layer can
@@ -48,18 +55,21 @@ pub mod prediction;
 pub mod profile;
 pub mod prom;
 pub mod quantile;
+pub mod query;
 pub mod ring;
 pub mod slo;
 pub mod snapshot;
 pub mod span;
 pub mod tracecontext;
 pub mod tracestore;
+pub mod tsdb;
 
 pub use alerts::{Agg, AlertEngine, AlertRule, AlertState, AlertStatus, Op, Signal};
 pub use exemplar::{Exemplar, ExemplarBuckets, ExemplarConfig, ExemplarStore};
 pub use prediction::{PredictionStats, PredictionTracker, RATIO_BUCKETS};
 pub use profile::{shape_class, PhaseProfile, PhaseShares, ProfileOptions};
 pub use quantile::log2_bucket_quantile_us;
+pub use query::{eval_range, QueryError, QueryResult, QuerySeries};
 pub use ring::TraceRing;
 pub use slo::{SloConfig, SloSnapshot, SloTracker};
 pub use snapshot::{Histogram, Metric, MetricKind, MetricsSnapshot, Sample};
@@ -68,6 +78,7 @@ pub use span::{
 };
 pub use tracecontext::{next_id, parse_trace_id, TraceContext};
 pub use tracestore::{SampleReason, SpanNode, StoredTrace, TraceStore, TraceStoreConfig};
+pub use tsdb::{HistPoints, ScalarPoints, TimeSeriesStore, TsdbConfig};
 
 /// One fully attributed request through the runtime service — the unit
 /// stored in the [`TraceRing`] and the post-hoc answer to "what happened

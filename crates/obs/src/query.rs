@@ -1,0 +1,646 @@
+//! Range queries over the [`crate::tsdb`] history store.
+//!
+//! A deliberately small PromQL-flavoured grammar:
+//!
+//! ```text
+//! expr     := func | selector
+//! func     := ("rate" | "increase" | "avg_over_time" | "max_over_time") "(" selector ")"
+//!           | "quantile_over_time" "(" number "," selector ")"
+//!           | "sum" "(" expr ")"
+//! selector := name [ "{" name "=" '"' value '"' { "," ... } "}" ]
+//! ```
+//!
+//! [`eval_range`] evaluates an expression over a step grid: the window
+//! `(end - window, end]` is cut into `window / step` intervals and each
+//! emitted point at timestamp `t` summarises the half-open interval
+//! `(t - step, t]`:
+//!
+//! * `rate(counter)` — increments in the interval / step seconds,
+//! * `increase(counter)` — increments in the interval (a bare counter
+//!   selector means the same thing),
+//! * `avg_over_time(gauge)` / `max_over_time(gauge)` — over samples in
+//!   the interval (intervals with no samples emit no point),
+//! * `quantile_over_time(q, hist)` — merges per-bucket deltas in the
+//!   interval and takes the log2-bucket quantile (empty intervals emit
+//!   no point),
+//! * `sum(expr)` — pointwise sum across the matched series, collapsing
+//!   labels.
+
+use crate::quantile::log2_bucket_quantile_us;
+use crate::snapshot::MetricKind;
+use crate::tsdb::TimeSeriesStore;
+
+/// Why a query failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The expression text didn't parse.
+    Parse(String),
+    /// The expression parsed but can't be evaluated (wrong metric kind,
+    /// unknown family, bad quantile, ...).
+    Eval(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(m) => write!(f, "parse error: {m}"),
+            QueryError::Eval(m) => write!(f, "eval error: {m}"),
+        }
+    }
+}
+
+/// One output series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySeries {
+    pub labels: Vec<(String, String)>,
+    /// `(timestamp_ms, value)`, one per emitted step, ascending.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// The result of [`eval_range`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    pub series: Vec<QuerySeries>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    Selector {
+        name: String,
+        matchers: Vec<(String, String)>,
+    },
+    Func {
+        func: Func,
+        arg: Box<Expr>,
+    },
+    Quantile {
+        q: f64,
+        arg: Box<Expr>,
+    },
+    Sum(Box<Expr>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Func {
+    Rate,
+    Increase,
+    AvgOverTime,
+    MaxOverTime,
+}
+
+/// Parse and evaluate `expr` over `(end_ms - window_ms, end_ms]` with the
+/// given step. See module docs for the grammar and point semantics.
+pub fn eval_range(
+    store: &TimeSeriesStore,
+    expr: &str,
+    end_ms: u64,
+    window_ms: u64,
+    step_ms: u64,
+) -> Result<QueryResult, QueryError> {
+    if step_ms == 0 {
+        return Err(QueryError::Eval("step must be positive".into()));
+    }
+    if window_ms < step_ms {
+        return Err(QueryError::Eval("window must be >= step".into()));
+    }
+    let ast = parse(expr)?;
+    let steps = (window_ms / step_ms).min(100_000);
+    let grid: Vec<u64> = (1..=steps)
+        .map(|i| end_ms.saturating_sub(window_ms) + i * step_ms)
+        .collect();
+    let series = eval(store, &ast, &grid, step_ms)?;
+    Ok(QueryResult { series })
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+fn parse(text: &str) -> Result<Expr, QueryError> {
+    let mut p = Parser { text, pos: 0 };
+    let expr = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.text.len() {
+        return Err(QueryError::Parse(format!(
+            "trailing input at byte {}: {:?}",
+            p.pos,
+            &p.text[p.pos..]
+        )));
+    }
+    Ok(expr)
+}
+
+impl<'a> Parser<'a> {
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: char) -> Result<(), QueryError> {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len_utf8();
+            Ok(())
+        } else {
+            Err(QueryError::Parse(format!(
+                "expected {token:?} at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, QueryError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(QueryError::Parse(format!(
+                "expected identifier at byte {}",
+                self.pos
+            )));
+        }
+        self.pos += end;
+        Ok(rest[..end].to_string())
+    }
+
+    fn number(&mut self) -> Result<f64, QueryError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        let value: f64 = rest[..end]
+            .parse()
+            .map_err(|_| QueryError::Parse(format!("expected number at byte {}", self.pos)))?;
+        self.pos += end;
+        Ok(value)
+    }
+
+    fn expr(&mut self) -> Result<Expr, QueryError> {
+        let name = self.ident()?;
+        self.skip_ws();
+        match name.as_str() {
+            "rate" | "increase" | "avg_over_time" | "max_over_time" => {
+                let func = match name.as_str() {
+                    "rate" => Func::Rate,
+                    "increase" => Func::Increase,
+                    "avg_over_time" => Func::AvgOverTime,
+                    _ => Func::MaxOverTime,
+                };
+                self.eat('(')?;
+                let arg = self.selector()?;
+                self.eat(')')?;
+                Ok(Expr::Func {
+                    func,
+                    arg: Box::new(arg),
+                })
+            }
+            "quantile_over_time" => {
+                self.eat('(')?;
+                let q = self.number()?;
+                self.eat(',')?;
+                let arg = self.selector()?;
+                self.eat(')')?;
+                Ok(Expr::Quantile {
+                    q,
+                    arg: Box::new(arg),
+                })
+            }
+            "sum" if self.rest().trim_start().starts_with('(') => {
+                self.eat('(')?;
+                let inner = self.expr()?;
+                self.eat(')')?;
+                Ok(Expr::Sum(Box::new(inner)))
+            }
+            _ => self.selector_tail(name),
+        }
+    }
+
+    fn selector(&mut self) -> Result<Expr, QueryError> {
+        let name = self.ident()?;
+        self.selector_tail(name)
+    }
+
+    fn selector_tail(&mut self, name: String) -> Result<Expr, QueryError> {
+        let mut matchers = Vec::new();
+        self.skip_ws();
+        if self.rest().starts_with('{') {
+            self.eat('{')?;
+            loop {
+                self.skip_ws();
+                if self.rest().starts_with('}') {
+                    break;
+                }
+                let key = self.ident()?;
+                self.eat('=')?;
+                matchers.push((key, self.quoted()?));
+                self.skip_ws();
+                if self.rest().starts_with(',') {
+                    self.eat(',')?;
+                } else {
+                    break;
+                }
+            }
+            self.eat('}')?;
+        }
+        Ok(Expr::Selector { name, matchers })
+    }
+
+    fn quoted(&mut self) -> Result<String, QueryError> {
+        self.eat('"')?;
+        let rest = self.rest();
+        let end = rest.find('"').ok_or_else(|| {
+            QueryError::Parse(format!("unterminated string at byte {}", self.pos))
+        })?;
+        let value = rest[..end].to_string();
+        self.pos += end;
+        self.eat('"')?;
+        Ok(value)
+    }
+}
+
+// ------------------------------------------------------------- evaluator
+
+fn eval(
+    store: &TimeSeriesStore,
+    expr: &Expr,
+    grid: &[u64],
+    step_ms: u64,
+) -> Result<Vec<QuerySeries>, QueryError> {
+    match expr {
+        Expr::Selector { name, matchers } => {
+            eval_scalar(store, name, matchers, grid, step_ms, Func::Increase)
+        }
+        Expr::Func { func, arg } => {
+            let Expr::Selector { name, matchers } = arg.as_ref() else {
+                return Err(QueryError::Eval(
+                    "function argument must be a selector".into(),
+                ));
+            };
+            eval_scalar(store, name, matchers, grid, step_ms, *func)
+        }
+        Expr::Quantile { q, arg } => {
+            let Expr::Selector { name, matchers } = arg.as_ref() else {
+                return Err(QueryError::Eval(
+                    "quantile argument must be a selector".into(),
+                ));
+            };
+            if !(0.0..=1.0).contains(q) {
+                return Err(QueryError::Eval(format!("quantile {q} outside [0, 1]")));
+            }
+            eval_quantile(store, name, matchers, *q, grid, step_ms)
+        }
+        Expr::Sum(inner) => {
+            let series = eval(store, inner, grid, step_ms)?;
+            Ok(vec![sum_series(&series)])
+        }
+    }
+}
+
+fn matches(labels: &[(String, String)], matchers: &[(String, String)]) -> bool {
+    matchers
+        .iter()
+        .all(|(k, v)| labels.iter().any(|(lk, lv)| lk == k && lv == v))
+}
+
+/// Index of the interval `(t - step, t]` a point timestamp falls in, if any.
+fn interval_of(grid: &[u64], step_ms: u64, t: u64) -> Option<usize> {
+    let first = grid.first()?;
+    let start = first.saturating_sub(step_ms);
+    if t <= start || t > *grid.last()? {
+        return None;
+    }
+    // Ceil division: the interval whose inclusive end is the first grid
+    // timestamp >= t.
+    let idx = (t - start).div_ceil(step_ms) as usize - 1;
+    (idx < grid.len()).then_some(idx)
+}
+
+fn eval_scalar(
+    store: &TimeSeriesStore,
+    name: &str,
+    matchers: &[(String, String)],
+    grid: &[u64],
+    step_ms: u64,
+    func: Func,
+) -> Result<Vec<QuerySeries>, QueryError> {
+    let data = store.scalar_data(name);
+    if data.is_empty() {
+        return Err(QueryError::Eval(format!("no history for series {name:?}")));
+    }
+    let mut out = Vec::new();
+    for series in data.iter().filter(|s| matches(&s.labels, matchers)) {
+        match (func, series.kind) {
+            (Func::Rate | Func::Increase, MetricKind::Gauge) => {
+                return Err(QueryError::Eval(format!(
+                    "{name} is a gauge; rate()/increase() need a counter"
+                )));
+            }
+            (Func::AvgOverTime | Func::MaxOverTime, MetricKind::Counter) => {
+                return Err(QueryError::Eval(format!(
+                    "{name} is a counter; use rate() or increase()"
+                )));
+            }
+            _ => {}
+        }
+        let mut sums = vec![0.0f64; grid.len()];
+        let mut maxes = vec![f64::NEG_INFINITY; grid.len()];
+        let mut counts = vec![0u64; grid.len()];
+        for &(t, v) in &series.points {
+            if let Some(i) = interval_of(grid, step_ms, t) {
+                sums[i] += v;
+                maxes[i] = maxes[i].max(v);
+                counts[i] += 1;
+            }
+        }
+        let coverage = coverage_bounds(&series.points, grid, step_ms);
+        let mut points = Vec::new();
+        for (i, &t) in grid.iter().enumerate() {
+            let value = match func {
+                // Counters: emit every interval inside the data coverage,
+                // zero when quiet.
+                Func::Increase => coverage
+                    .map(|(lo, hi)| (lo..=hi).contains(&i))
+                    .unwrap_or(false)
+                    .then_some(sums[i]),
+                Func::Rate => coverage
+                    .map(|(lo, hi)| (lo..=hi).contains(&i))
+                    .unwrap_or(false)
+                    .then_some(sums[i] / (step_ms as f64 / 1_000.0)),
+                // Gauges: only intervals that actually saw a sample.
+                Func::AvgOverTime => (counts[i] > 0).then(|| sums[i] / counts[i] as f64),
+                Func::MaxOverTime => (counts[i] > 0).then_some(maxes[i]),
+            };
+            if let Some(v) = value {
+                points.push((t, v));
+            }
+        }
+        out.push(QuerySeries {
+            labels: series.labels.clone(),
+            points,
+        });
+    }
+    if out.is_empty() {
+        return Err(QueryError::Eval(format!(
+            "no series of {name:?} match the label filters"
+        )));
+    }
+    Ok(out)
+}
+
+/// Grid-interval range `[lo, hi]` covered by the series' retained points.
+fn coverage_bounds(points: &[(u64, f64)], grid: &[u64], step_ms: u64) -> Option<(usize, usize)> {
+    let first_t = points.first()?.0;
+    let last_t = points.last()?.0;
+    let lo = interval_of(grid, step_ms, first_t).unwrap_or(0);
+    let hi = interval_of(grid, step_ms, last_t).unwrap_or(grid.len().saturating_sub(1));
+    let grid_start = grid.first()?.saturating_sub(step_ms);
+    if last_t <= grid_start || first_t > *grid.last()? {
+        return None;
+    }
+    Some((lo, hi))
+}
+
+fn eval_quantile(
+    store: &TimeSeriesStore,
+    name: &str,
+    matchers: &[(String, String)],
+    q: f64,
+    grid: &[u64],
+    step_ms: u64,
+) -> Result<Vec<QuerySeries>, QueryError> {
+    let data = store.hist_data(name);
+    if data.is_empty() {
+        return Err(QueryError::Eval(format!(
+            "no histogram history for {name:?}"
+        )));
+    }
+    let mut out = Vec::new();
+    for series in data.iter().filter(|s| matches(&s.labels, matchers)) {
+        let n_buckets = series.points.first().map(|(_, c)| c.len()).unwrap_or(0);
+        let mut merged: Vec<Vec<u64>> = vec![vec![0; n_buckets]; grid.len()];
+        for (t, counts) in &series.points {
+            if let Some(i) = interval_of(grid, step_ms, *t) {
+                for (acc, c) in merged[i].iter_mut().zip(counts) {
+                    *acc += c;
+                }
+            }
+        }
+        let mut points = Vec::new();
+        for (i, &t) in grid.iter().enumerate() {
+            let v = log2_bucket_quantile_us(&merged[i], q);
+            if v.is_finite() {
+                points.push((t, v));
+            }
+        }
+        out.push(QuerySeries {
+            labels: series.labels.clone(),
+            points,
+        });
+    }
+    if out.is_empty() {
+        return Err(QueryError::Eval(format!(
+            "no series of {name:?} match the label filters"
+        )));
+    }
+    Ok(out)
+}
+
+/// Pointwise sum across series; collapses labels to the empty set.
+fn sum_series(series: &[QuerySeries]) -> QuerySeries {
+    let mut acc: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    for s in series {
+        for &(t, v) in &s.points {
+            *acc.entry(t).or_insert(0.0) += v;
+        }
+    }
+    QuerySeries {
+        labels: Vec::new(),
+        points: acc.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{MetricsSnapshot, Sample};
+
+    fn store_with_counter() -> TimeSeriesStore {
+        let store = TimeSeriesStore::default();
+        // Cumulative counter: +2 per 1s scrape, two labelled series.
+        for i in 0..10u64 {
+            let mut snap = MetricsSnapshot::new();
+            snap.push_metric(
+                "ttlg_req_total",
+                "test",
+                MetricKind::Counter,
+                vec![
+                    Sample::labelled("schema", "a", (i * 2) as f64),
+                    Sample::labelled("schema", "b", i as f64),
+                ],
+            );
+            snap.push_metric(
+                "ttlg_depth",
+                "test",
+                MetricKind::Gauge,
+                vec![Sample::plain((i % 4) as f64)],
+            );
+            store.ingest(&snap, (i + 1) * 1_000);
+        }
+        store
+    }
+
+    #[test]
+    fn parses_and_rejects() {
+        assert!(parse("rate(ttlg_req_total)").is_ok());
+        assert!(parse("quantile_over_time(0.99, ttlg_exec_latency_us)").is_ok());
+        assert!(parse("sum(rate(ttlg_req_total{schema=\"a\"}))").is_ok());
+        assert!(parse("ttlg_req_total{schema=\"a\",tenant=\"t\"}").is_ok());
+        assert!(parse("rate(").is_err());
+        assert!(parse("rate(x) trailing").is_err());
+        assert!(parse("nope(x)").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("x{a=\"unterminated}").is_err());
+    }
+
+    #[test]
+    fn increase_and_rate_over_counter() {
+        let store = store_with_counter();
+        // Grid: 10 × 1s steps ending at the last scrape.
+        let r = eval_range(
+            &store,
+            "increase(ttlg_req_total{schema=\"a\"})",
+            10_000,
+            10_000,
+            1_000,
+        )
+        .unwrap();
+        assert_eq!(r.series.len(), 1);
+        let total: f64 = r.series[0].points.iter().map(|(_, v)| v).sum();
+        // First scrape contributes its raw value 0, then 9 × +2.
+        assert_eq!(total, 18.0);
+        assert!(r.series[0].points.iter().all(|(_, v)| *v >= 0.0));
+
+        let r = eval_range(
+            &store,
+            "rate(ttlg_req_total{schema=\"a\"})",
+            10_000,
+            10_000,
+            2_000,
+        )
+        .unwrap();
+        // Steady +2/s → every 2s-interval rate is 2.0 (interior steps).
+        let mid: Vec<f64> = r.series[0].points[1..].iter().map(|(_, v)| *v).collect();
+        assert!(mid.iter().all(|v| (*v - 2.0).abs() < 1e-9), "{mid:?}");
+    }
+
+    #[test]
+    fn sum_collapses_labels() {
+        let store = store_with_counter();
+        let r = eval_range(
+            &store,
+            "sum(increase(ttlg_req_total))",
+            10_000,
+            10_000,
+            1_000,
+        )
+        .unwrap();
+        assert_eq!(r.series.len(), 1);
+        assert!(r.series[0].labels.is_empty());
+        let total: f64 = r.series[0].points.iter().map(|(_, v)| v).sum();
+        // schema=a grows to 18, schema=b to 9.
+        assert_eq!(total, 27.0);
+    }
+
+    #[test]
+    fn gauge_funcs_and_kind_mismatch() {
+        let store = store_with_counter();
+        let r = eval_range(&store, "max_over_time(ttlg_depth)", 10_000, 10_000, 5_000).unwrap();
+        assert!(r.series[0].points.iter().all(|(_, v)| *v == 3.0));
+        let r = eval_range(&store, "avg_over_time(ttlg_depth)", 10_000, 10_000, 10_000).unwrap();
+        assert_eq!(r.series[0].points.len(), 1);
+
+        assert!(matches!(
+            eval_range(&store, "rate(ttlg_depth)", 10_000, 10_000, 1_000),
+            Err(QueryError::Eval(_))
+        ));
+        assert!(matches!(
+            eval_range(
+                &store,
+                "avg_over_time(ttlg_req_total)",
+                10_000,
+                10_000,
+                1_000
+            ),
+            Err(QueryError::Eval(_))
+        ));
+        assert!(matches!(
+            eval_range(&store, "rate(ttlg_missing_total)", 10_000, 10_000, 1_000),
+            Err(QueryError::Eval(_))
+        ));
+    }
+
+    #[test]
+    fn quantile_over_time_merges_buckets() {
+        let store = TimeSeriesStore::default();
+        for i in 0..6u64 {
+            let mut snap = MetricsSnapshot::new();
+            // log2 buckets: [1,2) [2,4) [4,8) +overflow; load shifts from
+            // bucket 0 to bucket 2 halfway through.
+            let counts = if i < 3 {
+                vec![10 * (i + 1), 0, 0, 0]
+            } else {
+                vec![30, 10 * (i - 2), 0, 0]
+            };
+            snap.push_histogram(
+                "ttlg_lat_us",
+                "test",
+                Vec::new(),
+                vec![2.0, 4.0, 8.0],
+                counts,
+                0.0,
+            );
+            store.ingest(&snap, (i + 1) * 1_000);
+        }
+        let r = eval_range(
+            &store,
+            "quantile_over_time(0.99, ttlg_lat_us)",
+            6_000,
+            6_000,
+            3_000,
+        )
+        .unwrap();
+        assert_eq!(r.series[0].points.len(), 2);
+        let (first, second) = (r.series[0].points[0].1, r.series[0].points[1].1);
+        // First half is all bucket-0 observations, second half bucket-1.
+        assert!(second > first, "p99 should shift up: {first} -> {second}");
+
+        assert!(matches!(
+            eval_range(
+                &store,
+                "quantile_over_time(1.5, ttlg_lat_us)",
+                6_000,
+                6_000,
+                1_000
+            ),
+            Err(QueryError::Eval(_))
+        ));
+    }
+
+    #[test]
+    fn bad_windows_rejected() {
+        let store = store_with_counter();
+        assert!(eval_range(&store, "ttlg_depth", 10_000, 10_000, 0).is_err());
+        assert!(eval_range(&store, "ttlg_depth", 10_000, 1_000, 2_000).is_err());
+    }
+}

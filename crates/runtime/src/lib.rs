@@ -82,15 +82,16 @@ pub use async_exec::{AsyncConfig, AsyncOutcome, AsyncStatsSnapshot, CompletionHo
 pub use autotune::{AutotuneConfig, AutotuneSnapshot, AutotunerHandle};
 pub use metrics::{LatencyHistogram, Metrics, RequestPhase, HIST_BUCKETS};
 pub use service::{
-    RuntimeConfig, ServeError, ServeResult, SpannedOutcome, TransposeRequest, TransposeResponse,
-    TransposeService,
+    HistoryConfig, RuntimeConfig, ServeError, ServeResult, SpannedOutcome, TransposeRequest,
+    TransposeResponse, TransposeService,
 };
 pub use ttlg::{CacheConfig, CacheStats, PlanKey, ShardedPlanCache};
 pub use ttlg_obs::{
-    shape_class, AlertEngine, AlertRule, AlertState, AlertStatus, CollectingSubscriber, Exemplar,
-    ExemplarBuckets, ExemplarConfig, ExemplarStore, MetricsSnapshot, NullSubscriber, PhaseProfile,
-    PhaseShares, PredictionStats, PredictionTracker, ProfileOptions, RequestTrace, SampleReason,
-    SloConfig, SloSnapshot, SloTracker, SpanNode, StoredTrace, Subscriber, TraceContext, TraceRing,
-    TraceStore, TraceStoreConfig,
+    eval_range, shape_class, AlertEngine, AlertRule, AlertState, AlertStatus, CollectingSubscriber,
+    Exemplar, ExemplarBuckets, ExemplarConfig, ExemplarStore, MetricsSnapshot, NullSubscriber,
+    PhaseProfile, PhaseShares, PredictionStats, PredictionTracker, ProfileOptions, QueryError,
+    QueryResult, QuerySeries, RequestTrace, SampleReason, SloConfig, SloSnapshot, SloTracker,
+    SpanNode, StoredTrace, Subscriber, TimeSeriesStore, TraceContext, TraceRing, TraceStore,
+    TraceStoreConfig, TsdbConfig,
 };
 pub use ttlg_perfmodel::MeasurementSink;

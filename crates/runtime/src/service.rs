@@ -27,18 +27,19 @@ use crate::autotune::{
 };
 use crate::metrics::{Metrics, RequestPhase};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use ttlg::{
-    CacheConfig, CacheStats, DecisionTrace, FetchTiming, Plan, PlanError, PlanKey, Schema,
+    Backend, CacheConfig, CacheStats, DecisionTrace, FetchTiming, Plan, PlanError, PlanKey, Schema,
     ShardedPlanCache, TransposeOptions, TransposeReport, Transposer,
 };
 use ttlg_obs::{
     clock_ns, profile, shape_class, AttrValue, Event, ExemplarBuckets, ExemplarConfig,
     ExemplarStore, MetricKind, MetricsSnapshot, NullSubscriber, PhaseProfile, ProfileOptions,
     RequestTrace, Sample, SloConfig, SloSnapshot, SloTracker, SpanNode, SpanRecord, Subscriber,
-    TraceRing,
+    TimeSeriesStore, TraceRing, TsdbConfig,
 };
 use ttlg_perfmodel::MeasurementSink;
 use ttlg_tensor::{parallel, DenseTensor, Element, Permutation};
@@ -69,6 +70,32 @@ pub struct RuntimeConfig {
     /// [`TransposeService::submit_async`] (worker count, queue bounds,
     /// coalescing switch).
     pub async_exec: AsyncConfig,
+    /// Metrics-history capture: scrape cadence and the retention rings
+    /// of the in-memory [`TimeSeriesStore`].
+    pub history: HistoryConfig,
+}
+
+/// Configuration of the background metrics-history scraper.
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryConfig {
+    /// Whether [`TransposeService::start_history_scraper`] starts a
+    /// scraper at all (manual [`TransposeService::scrape_history_once`]
+    /// always works). On by default.
+    pub enabled: bool,
+    /// Scrape cadence of the background scraper, in milliseconds.
+    pub scrape_interval_ms: u64,
+    /// Retention rings of the history store.
+    pub tsdb: TsdbConfig,
+}
+
+impl Default for HistoryConfig {
+    fn default() -> Self {
+        HistoryConfig {
+            enabled: true,
+            scrape_interval_ms: 1_000,
+            tsdb: TsdbConfig::default(),
+        }
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -84,6 +111,7 @@ impl Default for RuntimeConfig {
             exemplars: ExemplarConfig::default(),
             retain_decision_traces: true,
             async_exec: AsyncConfig::default(),
+            history: HistoryConfig::default(),
         }
     }
 }
@@ -283,6 +311,31 @@ pub struct TransposeService<E: Element> {
     /// The completion-queue executor, started on first `submit_async`.
     async_core: OnceLock<AsyncExecutor<E>>,
     async_cfg: AsyncConfig,
+    /// Metrics history: the delta-encoded time-series store fed by
+    /// [`Self::scrape_history_once`] / the background scraper.
+    history: TimeSeriesStore,
+    history_cfg: HistoryConfig,
+    /// Optional snapshot source for scrapes. The gateway installs one
+    /// that returns its *merged* snapshot (service + gateway + alert
+    /// families) so history covers everything an operator can scrape;
+    /// with no source, scrapes fall back to [`Self::metrics_snapshot`].
+    history_source: Mutex<Option<HistorySource>>,
+    /// Background scraper thread, if started.
+    scraper: Mutex<Option<ScraperHandle>>,
+    /// History persistence target (`ttlg serve --history-file`).
+    history_file: Mutex<Option<PathBuf>>,
+    /// Process start, for `ttlg_uptime_seconds`.
+    started: Instant,
+}
+
+/// Closure producing the snapshot a history scrape ingests. `None`
+/// means "skip this scrape" (e.g. the gateway is shutting down).
+type HistorySource = Arc<dyn Fn() -> Option<MetricsSnapshot> + Send + Sync>;
+
+/// Stop flag + join handle of the background history scraper.
+struct ScraperHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    join: std::thread::JoinHandle<()>,
 }
 
 impl<E: Element> TransposeService<E> {
@@ -314,6 +367,12 @@ impl<E: Element> TransposeService<E> {
             exemplars: ExemplarStore::new(cfg.exemplars),
             async_core: OnceLock::new(),
             async_cfg: cfg.async_exec,
+            history: TimeSeriesStore::new(cfg.history.tsdb),
+            history_cfg: cfg.history,
+            history_source: Mutex::new(None),
+            scraper: Mutex::new(None),
+            history_file: Mutex::new(None),
+            started: Instant::now(),
         }
     }
 
@@ -399,6 +458,28 @@ impl<E: Element> TransposeService<E> {
         );
         self.slo.export_into(&mut snap, clock_ns());
         profile::export_into(&mut snap, &self.phase_profiles());
+        snap.push_metric(
+            "ttlg_uptime_seconds",
+            "Seconds since this service was constructed — a process-restart \
+             marker for history consumers (a drop means counter resets follow).",
+            MetricKind::Gauge,
+            vec![Sample::plain(self.started.elapsed().as_secs_f64())],
+        );
+        let mut backends: Vec<&str> = Backend::ALL.iter().map(|b| b.label()).collect();
+        backends.sort_unstable();
+        snap.push_metric(
+            "ttlg_build_info",
+            "Constant 1 carrying the crate version and compiled backend set.",
+            MetricKind::Gauge,
+            vec![Sample {
+                labels: vec![
+                    ("version".to_string(), env!("CARGO_PKG_VERSION").to_string()),
+                    ("backend_set".to_string(), backends.join(",")),
+                ],
+                value: 1.0,
+            }],
+        );
+        self.history.export_into(&mut snap);
         snap
     }
 
@@ -1107,6 +1188,152 @@ impl<E: Element> TransposeService<E> {
             .spawn(move || run_worker(&flag, idle, || svc.autotune_once()))
             .expect("spawn autotuner thread");
         AutotunerHandle::new(stop, join)
+    }
+
+    // ------------------------------------------------- metrics history
+
+    /// The metrics-history store fed by [`Self::scrape_history_once`].
+    pub fn history(&self) -> &TimeSeriesStore {
+        &self.history
+    }
+
+    /// The history configuration this service was built with.
+    pub fn history_config(&self) -> HistoryConfig {
+        self.history_cfg
+    }
+
+    /// Install (or clear) the snapshot source history scrapes ingest.
+    /// The gateway installs one returning its merged snapshot so the
+    /// store also sees `ttlg_gateway_*` families; `None` falls back to
+    /// [`Self::metrics_snapshot`].
+    pub fn set_history_source(&self, source: Option<HistorySource>) {
+        *self.history_source.lock().expect("history source poisoned") = source;
+    }
+
+    /// Capture one snapshot and ingest it into the history store, then
+    /// persist the store if a history file is configured. Called by the
+    /// background scraper at the configured cadence; callers (tests,
+    /// studies) may also drive it manually for deterministic timelines.
+    pub fn scrape_history_once(&self) {
+        let source = self
+            .history_source
+            .lock()
+            .expect("history source poisoned")
+            .clone();
+        let snap = match source {
+            Some(f) => match f() {
+                Some(snap) => snap,
+                None => return,
+            },
+            None => self.metrics_snapshot(),
+        };
+        let now_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        self.history.ingest(&snap, now_ms);
+        self.persist_history();
+    }
+
+    /// Configure history persistence. If `path` already holds a saved
+    /// store, it is restored first (so a restarted `ttlg serve` keeps
+    /// its history); the store is then re-saved after every scrape.
+    /// Returns the number of series restored (0 for a fresh file).
+    pub fn set_history_file(&self, path: impl Into<PathBuf>) -> Result<usize, String> {
+        let path = path.into();
+        let restored = match std::fs::read_to_string(&path) {
+            Ok(text) => self
+                .history
+                .hydrate(&text)
+                .map_err(|e| format!("history file {}: {e}", path.display()))?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(format!("history file {}: {e}", path.display())),
+        };
+        *self.history_file.lock().expect("history file poisoned") = Some(path);
+        Ok(restored)
+    }
+
+    /// Best-effort save of the store to the configured history file
+    /// (write-to-temp + rename, so a crash never leaves a torn file).
+    fn persist_history(&self) {
+        let Some(path) = self
+            .history_file
+            .lock()
+            .expect("history file poisoned")
+            .clone()
+        else {
+            return;
+        };
+        let tmp = path.with_extension("tmp");
+        if std::fs::write(&tmp, self.history.save()).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
+    /// Start the background history scraper (idempotent; a no-op when
+    /// `history.enabled` is false or the interval is zero). The thread
+    /// holds only a [`Weak`] reference, so it never keeps the service
+    /// alive; it stops on [`Self::stop_history_scraper`] or drop.
+    pub fn start_history_scraper(self: &Arc<Self>) {
+        if !self.history_cfg.enabled || self.history_cfg.scrape_interval_ms == 0 {
+            return;
+        }
+        let mut slot = self.scraper.lock().expect("scraper poisoned");
+        if slot.is_some() {
+            return;
+        }
+        let stop: Arc<(Mutex<bool>, Condvar)> = Arc::new((Mutex::new(false), Condvar::new()));
+        let flag = Arc::clone(&stop);
+        let weak: Weak<Self> = Arc::downgrade(self);
+        let interval = Duration::from_millis(self.history_cfg.scrape_interval_ms);
+        let join = std::thread::Builder::new()
+            .name("ttlg-history".into())
+            .spawn(move || loop {
+                let (lock, cvar) = &*flag;
+                let mut stopped = lock.lock().expect("scraper stop poisoned");
+                let deadline = Instant::now() + interval;
+                while !*stopped {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    let (guard, _) = cvar
+                        .wait_timeout(stopped, left)
+                        .expect("scraper stop poisoned");
+                    stopped = guard;
+                }
+                let done = *stopped;
+                drop(stopped);
+                if done {
+                    return;
+                }
+                match weak.upgrade() {
+                    Some(svc) => svc.scrape_history_once(),
+                    None => return,
+                }
+            })
+            .expect("spawn history scraper thread");
+        *slot = Some(ScraperHandle { stop, join });
+    }
+
+    /// Stop and join the background history scraper, if running.
+    pub fn stop_history_scraper(&self) {
+        let handle = self.scraper.lock().expect("scraper poisoned").take();
+        if let Some(ScraperHandle { stop, join }) = handle {
+            *stop.0.lock().expect("scraper stop poisoned") = true;
+            stop.1.notify_all();
+            // If the scraper thread itself holds the last Arc, drop runs
+            // on that thread — joining would deadlock on self.
+            if join.thread().id() != std::thread::current().id() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl<E: Element> Drop for TransposeService<E> {
+    fn drop(&mut self) {
+        self.stop_history_scraper();
     }
 }
 
@@ -1995,5 +2222,107 @@ mod tests {
         assert!(json.contains("\"ttlg_slo_hit_ratio\""));
         assert!(json.contains("\"ttlg_profile_requests\""));
         assert!(json.contains("\"ttlg_trace_dropped_total\""));
+    }
+
+    #[test]
+    fn snapshot_carries_uptime_build_info_and_tsdb_health() {
+        let svc: TransposeService<u64> = TransposeService::new_k40c();
+        let snap = svc.metrics_snapshot();
+        let uptime = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "ttlg_uptime_seconds")
+            .expect("uptime exported");
+        assert!(uptime.samples[0].value >= 0.0);
+        let build = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "ttlg_build_info")
+            .expect("build info exported");
+        assert_eq!(build.samples[0].value, 1.0);
+        let labels = &build.samples[0].labels;
+        assert!(labels.iter().any(|(k, v)| k == "version" && !v.is_empty()));
+        assert!(labels
+            .iter()
+            .any(|(k, v)| k == "backend_set" && v.contains("gpu_sim") && v.contains("cpu")));
+        assert!(snap
+            .metrics
+            .iter()
+            .any(|m| m.name == "ttlg_tsdb_scrapes_total"));
+    }
+
+    #[test]
+    fn manual_history_scrapes_populate_the_store() {
+        let svc: TransposeService<u64> = TransposeService::new_k40c();
+        let input = Arc::new(DenseTensor::<u64>::iota(Shape::new(&[8, 8, 8]).unwrap()));
+        let req = TransposeRequest::new(Arc::clone(&input), Permutation::new(&[2, 1, 0]).unwrap());
+        svc.scrape_history_once();
+        svc.submit(&req).unwrap();
+        svc.submit(&req).unwrap();
+        svc.scrape_history_once();
+        assert_eq!(svc.history().scrapes(), 2);
+        let data = svc.history().scalar_data("ttlg_requests_total");
+        assert!(!data.is_empty(), "request counter retained");
+        let total: f64 = data
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(_, v)| *v))
+            .sum();
+        assert_eq!(total, 2.0, "two increments across the scrapes");
+    }
+
+    #[test]
+    fn history_file_restores_across_service_restarts() {
+        let dir = std::env::temp_dir().join("ttlg-runtime-history-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("hist-{}.ttlg", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let svc: TransposeService<u64> = TransposeService::new_k40c();
+        assert_eq!(svc.set_history_file(&path).unwrap(), 0, "fresh file");
+        let input = Arc::new(DenseTensor::<u64>::iota(Shape::new(&[8, 8, 8]).unwrap()));
+        let req = TransposeRequest::new(Arc::clone(&input), Permutation::new(&[2, 1, 0]).unwrap());
+        svc.submit(&req).unwrap();
+        svc.scrape_history_once();
+        let scrapes = svc.history().scrapes();
+        assert!(scrapes > 0);
+        drop(svc);
+
+        // A restarted service restores the retained series.
+        let svc2: TransposeService<u64> = TransposeService::new_k40c();
+        let restored = svc2.set_history_file(&path).unwrap();
+        assert!(restored > 0, "series restored from disk");
+        assert_eq!(svc2.history().scrapes(), scrapes);
+        assert!(!svc2.history().scalar_data("ttlg_requests_total").is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn background_scraper_starts_stops_and_drops_cleanly() {
+        let mut cfg = RuntimeConfig::default();
+        cfg.history.scrape_interval_ms = 5;
+        let svc: Arc<TransposeService<u64>> =
+            Arc::new(TransposeService::with_config(Transposer::new_k40c(), cfg));
+        svc.start_history_scraper();
+        svc.start_history_scraper(); // idempotent
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while svc.history().scrapes() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(svc.history().scrapes() >= 2, "scraper ingested snapshots");
+        svc.stop_history_scraper();
+        let after = svc.history().scrapes();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(svc.history().scrapes(), after, "no scrapes after stop");
+        // Drop with a previously running scraper is clean (Drop joins a
+        // second time harmlessly).
+        drop(svc);
+
+        // And dropping a service whose scraper is still running joins it.
+        let mut cfg = RuntimeConfig::default();
+        cfg.history.scrape_interval_ms = 5;
+        let svc: Arc<TransposeService<u64>> =
+            Arc::new(TransposeService::with_config(Transposer::new_k40c(), cfg));
+        svc.start_history_scraper();
+        drop(svc);
     }
 }

@@ -16,6 +16,7 @@
 //!                                            -> span tree -> trace store
 //!                                            -> complete slot
 //!     GET /v1/explain   -> planner decision trace
+//!     GET /v1/query_range -> range queries over the metrics history
 //!     GET /metrics      -> Prometheus text (service + gateway)
 //!     GET /healthz      -> liveness
 //! ```
@@ -29,12 +30,12 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use ttlg::TransposeOptions;
 use ttlg_obs::{
-    clock_ns, next_id, AlertEngine, AlertStatus, MetricKind, Sample, SampleReason, SpanNode,
-    StoredTrace, TraceContext, TraceStore, TraceStoreConfig,
+    clock_ns, eval_range, next_id, AlertEngine, AlertStatus, MetricKind, Sample, SampleReason,
+    SpanNode, StoredTrace, TraceContext, TraceStore, TraceStoreConfig,
 };
 use ttlg_runtime::{
     AsyncOutcome, LatencyHistogram, TransposeRequest, TransposeService, HIST_BUCKETS,
@@ -163,6 +164,7 @@ pub struct GatewayMetrics {
     explain_total: AtomicU64,
     traces_total: AtomicU64,
     alerts_total: AtomicU64,
+    query_total: AtomicU64,
     metrics_total: AtomicU64,
     healthz_total: AtomicU64,
     not_found_total: AtomicU64,
@@ -265,6 +267,11 @@ impl GatewayMetrics {
                     "endpoint",
                     "alerts",
                     self.alerts_total.load(Ordering::Relaxed) as f64,
+                ),
+                Sample::labelled(
+                    "endpoint",
+                    "query",
+                    self.query_total.load(Ordering::Relaxed) as f64,
                 ),
                 Sample::labelled(
                     "endpoint",
@@ -443,6 +450,19 @@ impl Gateway {
         let worker_gw = Arc::clone(&gw);
         let workers = scheduler.start_workers(move |job| worker_gw.execute_job(job));
         *gw.workers.lock().expect("workers poisoned") = Some(workers);
+        if gw.service.history_config().enabled {
+            // Scrape the *merged* snapshot (service + gateway + trace
+            // store) so the history covers the `ttlg_gateway_*`
+            // families too, and seed the alert baselines from whatever
+            // history survived a restart so the engine's first
+            // evaluation doesn't treat all-time totals as fresh deltas.
+            let scrape_gw = Arc::downgrade(&gw);
+            gw.service.set_history_source(Some(Arc::new(move || {
+                scrape_gw.upgrade().map(|gw| gw.merged_snapshot())
+            })));
+            gw.alerts.seed_from_history(gw.service.history());
+            gw.service.start_history_scraper();
+        }
         gw
     }
 
@@ -476,7 +496,8 @@ impl Gateway {
     /// per-rule statuses.
     pub fn evaluate_alerts(&self) -> Vec<AlertStatus> {
         let snap = self.merged_snapshot();
-        self.alerts.evaluate(&snap)
+        self.alerts
+            .evaluate_with_history(&snap, Some(self.service.history()))
     }
 
     fn merged_snapshot(&self) -> ttlg_runtime::MetricsSnapshot {
@@ -511,6 +532,8 @@ impl Gateway {
     /// Stop the scheduler, fail anything still queued with 503, and
     /// join the workers. Idempotent.
     pub fn stop(&self) {
+        self.service.stop_history_scraper();
+        self.service.set_history_source(None);
         for job in self.scheduler.stop() {
             job.slot
                 .complete(HttpResponse::error(503, "gateway shutting down"));
@@ -566,6 +589,10 @@ impl Gateway {
                 self.metrics.alerts_total.fetch_add(1, Ordering::Relaxed);
                 self.handle_alerts()
             }
+            ("GET", "/v1/query_range") => {
+                self.metrics.query_total.fetch_add(1, Ordering::Relaxed);
+                self.handle_query_range(req)
+            }
             ("GET", "/metrics") => {
                 self.metrics.metrics_total.fetch_add(1, Ordering::Relaxed);
                 HttpResponse::text(self.export_prometheus())
@@ -591,7 +618,8 @@ impl Gateway {
     /// `ttlg_alerts_firing` gauges are fresh at scrape cadence.
     pub fn export_prometheus(&self) -> String {
         let mut snap = self.merged_snapshot();
-        self.alerts.evaluate(&snap);
+        self.alerts
+            .evaluate_with_history(&snap, Some(self.service.history()));
         self.alerts.export_into(&mut snap);
         ttlg_obs::prom::render(&snap)
     }
@@ -977,6 +1005,89 @@ impl Gateway {
         )
     }
 
+    /// `GET /v1/query_range?series=EXPR&window=10m&step=10s` — evaluate
+    /// a range query (`rate` / `increase` / `avg|max_over_time` /
+    /// `quantile_over_time` / `sum`) over the service's retained
+    /// metrics history and return the per-series point grids as JSON.
+    fn handle_query_range(&self, req: &HttpRequest) -> HttpResponse {
+        let Some(raw) = req.query_param("series") else {
+            return HttpResponse::error(
+                400,
+                "query needs series=EXPR, e.g. series=rate(ttlg_requests_total)",
+            );
+        };
+        let expr = percent_decode(raw);
+        let window_ms = match req.query_param("window").map(parse_duration_ms) {
+            None => 600_000,
+            Some(Some(ms)) if ms > 0 => ms,
+            _ => return HttpResponse::error(400, "window must be a duration like 500ms, 90s, 10m"),
+        };
+        let step_ms = match req.query_param("step").map(parse_duration_ms) {
+            None => (window_ms / 60).max(1_000),
+            Some(Some(ms)) if ms > 0 => ms,
+            _ => return HttpResponse::error(400, "step must be a duration like 1s, 30s"),
+        };
+        if step_ms > window_ms {
+            return HttpResponse::error(400, "step must not exceed window");
+        }
+        if window_ms / step_ms > 5_000 {
+            return HttpResponse::error(400, "window/step asks for too many points (max 5000)");
+        }
+        let store = self.service.history();
+        // Anchor the grid to the last scrape so queries stay stable
+        // between scrapes; fall back to the wall clock before the first
+        // scrape lands (the result is just empty series then).
+        let end_ms = store.last_ingest_ms().unwrap_or_else(|| {
+            SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0)
+        });
+        match eval_range(store, &expr, end_ms, window_ms, step_ms) {
+            Ok(result) => {
+                let series: Vec<Json> = result
+                    .series
+                    .iter()
+                    .map(|s| {
+                        obj(vec![
+                            (
+                                "labels",
+                                Json::Obj(
+                                    s.labels
+                                        .iter()
+                                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "points",
+                                Json::Arr(
+                                    s.points
+                                        .iter()
+                                        .map(|&(t, v)| {
+                                            Json::Arr(vec![Json::Num(t as f64), Json::Num(v)])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect();
+                HttpResponse::json(
+                    obj(vec![
+                        ("query", Json::Str(expr)),
+                        ("end_ms", Json::Num(end_ms as f64)),
+                        ("window_ms", Json::Num(window_ms as f64)),
+                        ("step_ms", Json::Num(step_ms as f64)),
+                        ("series", Json::Arr(series)),
+                    ])
+                    .render(),
+                )
+            }
+            Err(e) => HttpResponse::error(400, format!("bad query: {e}")),
+        }
+    }
+
     fn handle_explain(&self, req: &HttpRequest) -> HttpResponse {
         let extents = match req.query_param("extents").map(parse_usize_list) {
             Some(Some(e)) if !e.is_empty() => e,
@@ -1086,6 +1197,59 @@ fn sanitize_tenant(raw: &str) -> String {
     } else {
         "invalid".to_string()
     }
+}
+
+/// Parse `"500ms"` / `"90s"` / `"10m"` / `"4h"` into milliseconds;
+/// bare numbers are seconds.
+fn parse_duration_ms(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, scale) = if let Some(n) = s.strip_suffix("ms") {
+        (n, 1u64)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000)
+    } else if let Some(n) = s.strip_suffix('m') {
+        (n, 60_000)
+    } else if let Some(n) = s.strip_suffix('h') {
+        (n, 3_600_000)
+    } else {
+        (s, 1_000)
+    };
+    let v: f64 = num.trim().parse().ok()?;
+    (v.is_finite() && v >= 0.0).then_some((v * scale as f64) as u64)
+}
+
+/// Minimal percent-decoding for query expressions (`%7B` → `{`, `+` →
+/// space); malformed escapes pass through literally.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| (b as char).to_digit(16);
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// Parse `"16,8,4"` into `[16, 8, 4]`.
@@ -1543,6 +1707,149 @@ mod tests {
         assert_eq!(sanitize_tenant("a b"), "invalid");
         assert_eq!(sanitize_tenant(&"x".repeat(65)), "invalid");
         assert_eq!(sanitize_tenant("evil\"} inject"), "invalid");
+    }
+
+    #[test]
+    fn duration_and_percent_decode_helpers() {
+        assert_eq!(parse_duration_ms("500ms"), Some(500));
+        assert_eq!(parse_duration_ms("90s"), Some(90_000));
+        assert_eq!(parse_duration_ms("10m"), Some(600_000));
+        assert_eq!(parse_duration_ms("4h"), Some(14_400_000));
+        assert_eq!(parse_duration_ms("2.5s"), Some(2_500));
+        assert_eq!(parse_duration_ms("30"), Some(30_000), "bare = seconds");
+        assert_eq!(parse_duration_ms("-1s"), None);
+        assert_eq!(parse_duration_ms("soon"), None);
+        assert_eq!(
+            percent_decode("rate(ttlg_requests_total%7Bschema%3D%22x%22%7D)"),
+            r#"rate(ttlg_requests_total{schema="x"})"#
+        );
+        assert_eq!(percent_decode("a+b%2"), "a b%2", "malformed escape kept");
+    }
+
+    /// End-to-end query_range: drive traffic, scrape the history twice,
+    /// and check `increase(ttlg_requests_total)` comes back as a
+    /// non-negative grid whose total matches the driven requests.
+    #[test]
+    fn query_range_serves_increase_over_scraped_history() {
+        let gw = gateway(GatewayConfig::default());
+        for _ in 0..3 {
+            let resp = gw.handle(&post_transpose(r#"{"extents":[8,8],"perm":[1,0]}"#, &[]), 0);
+            assert_eq!(resp.status, 200);
+        }
+        // Deterministic timeline: scrape manually rather than waiting
+        // out the background cadence.
+        gw.service().scrape_history_once();
+        for _ in 0..2 {
+            let resp = gw.handle(&post_transpose(r#"{"extents":[8,8],"perm":[1,0]}"#, &[]), 0);
+            assert_eq!(resp.status, 200);
+        }
+        gw.service().scrape_history_once();
+
+        let resp = gw.handle(
+            &get("/v1/query_range?series=sum(increase(ttlg_requests_total))&window=60s&step=1s"),
+            0,
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(&resp.body).unwrap();
+        assert_eq!(
+            doc.get("window_ms").and_then(|v| v.as_f64()),
+            Some(60_000.0)
+        );
+        let series = match doc.get("series") {
+            Some(Json::Arr(s)) => s,
+            other => panic!("series array expected, got {other:?}"),
+        };
+        assert_eq!(series.len(), 1, "sum() folds to one series");
+        let points = match series[0].get("points") {
+            Some(Json::Arr(p)) => p,
+            other => panic!("points array expected, got {other:?}"),
+        };
+        let total: f64 = points
+            .iter()
+            .map(|p| match p {
+                Json::Arr(tv) => tv[1].as_f64().unwrap(),
+                other => panic!("point pair expected, got {other:?}"),
+            })
+            .sum();
+        // A new series starts from zero, so the first scrape's
+        // cumulative value (3) counts as an increment, and the second
+        // scrape adds the 2 requests driven between them.
+        assert!(
+            (total - 5.0).abs() < 1e-9,
+            "increase total {total}, expected 5"
+        );
+        // The scraped history also carries the gateway's own families.
+        let resp = gw.handle(
+            &get("/v1/query_range?series=increase(ttlg_gateway_requests_total%7Bendpoint%3D%22transpose%22%7D)&window=60s"),
+            0,
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        gw.stop();
+    }
+
+    #[test]
+    fn query_range_rejects_bad_input_with_400() {
+        let gw = gateway(GatewayConfig::default());
+        gw.service().scrape_history_once();
+        for (path, needle) in [
+            ("/v1/query_range", "series="),
+            ("/v1/query_range?series=rate(x)&window=abc", "window"),
+            ("/v1/query_range?series=rate(x)&window=10s&step=30s", "step"),
+            (
+                "/v1/query_range?series=rate(x)&window=4h&step=1s",
+                "too many points",
+            ),
+            ("/v1/query_range?series=bogus(((", "bad query"),
+            (
+                "/v1/query_range?series=rate(ttlg_cache_pinned_plans)",
+                "bad query",
+            ),
+        ] {
+            let resp = gw.handle(&get(path), 0);
+            assert_eq!(resp.status, 400, "{path}");
+            let text = String::from_utf8_lossy(&resp.body).to_string();
+            assert!(text.contains(needle), "{path}: {text}");
+        }
+        let prom = gw.export_prometheus();
+        assert!(
+            prom.contains(r#"endpoint="query""#),
+            "query counter exported"
+        );
+        gw.stop();
+    }
+
+    /// The gateway wires the windowed alert engine to the service's
+    /// history store: a shed burst split across scrapes trips the
+    /// windowed shed-spike rule even though each adjacent scrape pair
+    /// stays under threshold.
+    #[test]
+    fn windowed_alerts_read_gateway_history() {
+        let gw = gateway(GatewayConfig {
+            quota: QuotaConfig {
+                rate_per_sec: 0.001,
+                burst: 4.0,
+                max_tenants: 8,
+            },
+            ..GatewayConfig::default()
+        });
+        // 4 admits, then everything sheds: shed ratio over any window
+        // spanning the burst far exceeds the 10% threshold.
+        for _ in 0..16 {
+            gw.handle(&post_transpose(r#"{"extents":[8,8],"perm":[1,0]}"#, &[]), 0);
+            gw.service().scrape_history_once();
+        }
+        let statuses = gw.evaluate_alerts();
+        let shed = statuses
+            .iter()
+            .find(|s| s.name == "shed-spike")
+            .expect("shed-spike rule present");
+        assert!(
+            shed.value.unwrap_or(0.0) > 0.1,
+            "windowed shed ratio {:?} over history of {} scrapes",
+            shed.value,
+            gw.service().history().scrapes()
+        );
+        gw.stop();
     }
 
     #[test]

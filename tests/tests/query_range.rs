@@ -1,0 +1,117 @@
+//! End-to-end coverage for the metrics-history query endpoint: a real
+//! gateway over loopback TCP, live traffic, history scrapes, and a
+//! `/v1/query_range` read whose `increase()` points are non-negative
+//! and account for every admitted request. Also covers the
+//! `--history-file` round trip at the service layer: a restarted
+//! service hydrates the prior run's series.
+
+use std::sync::Arc;
+use ttlg_runtime::TransposeService;
+use ttlg_serve::{client::HttpClient, json::Json, Gateway, GatewayConfig};
+
+const BODY: &str = r#"{"extents":[16,8,4],"perm":[2,0,1]}"#;
+
+#[test]
+fn query_range_reports_nonnegative_increase_matching_traffic() {
+    let gw = Gateway::start(
+        Arc::new(TransposeService::new_k40c()),
+        GatewayConfig::default(),
+    );
+    let mut server =
+        ttlg_serve::server::spawn(Arc::clone(&gw), "127.0.0.1:0").expect("bind loopback");
+    let mut c = HttpClient::connect(server.addr()).expect("connect");
+
+    // Two bursts with a history scrape after each, so the store holds
+    // at least two ingests for the window to span.
+    let mut admitted = 0u64;
+    for _ in 0..2 {
+        for _ in 0..4 {
+            let r = c
+                .post_json("/v1/transpose", &[("x-ttlg-tenant", "qr")], BODY)
+                .expect("post");
+            assert!(r.status == 200 || r.status == 429, "status {}", r.status);
+            if r.status == 200 {
+                admitted += 1;
+            }
+        }
+        gw.service().scrape_history_once();
+    }
+    assert!(admitted >= 1, "no request was admitted");
+
+    let resp = c
+        .get("/v1/query_range?series=sum(increase(ttlg_requests_total))&window=10m&step=1s")
+        .expect("query_range");
+    assert_eq!(resp.status, 200, "body: {}", resp.body_text());
+    let doc = ttlg_serve::json::parse(&resp.body).expect("valid json");
+
+    let Some(Json::Arr(series)) = doc.get("series") else {
+        panic!("response has no series array: {}", resp.body_text());
+    };
+    assert_eq!(series.len(), 1, "sum() must collapse to one series");
+    let Some(Json::Arr(points)) = series[0].get("points") else {
+        panic!("series has no points array");
+    };
+    assert!(!points.is_empty(), "query returned no points");
+
+    // increase() per step is never negative, and over the whole window
+    // the increments must account for (at least) every admitted
+    // request — the counter moved exactly when traffic did.
+    let mut total = 0.0f64;
+    let mut last_t = i64::MIN;
+    for p in points {
+        let Json::Arr(tv) = p else {
+            panic!("point is not a [t, v] pair")
+        };
+        let t = tv[0].as_f64().expect("timestamp") as i64;
+        let v = tv[1].as_f64().expect("value");
+        assert!(t > last_t, "timestamps must be strictly increasing");
+        assert!(v >= 0.0, "increase() went negative: {v}");
+        last_t = t;
+        total += v;
+    }
+    assert!(
+        total >= admitted as f64 - 1e-6,
+        "windowed increase {total} does not cover {admitted} admitted requests"
+    );
+
+    // A bad expression is a client error, not a 500 or an empty 200.
+    let bad = c
+        .get("/v1/query_range?series=rate(ttlg_uptime_seconds)")
+        .expect("bad query");
+    assert_eq!(bad.status, 400, "rate() over a gauge must be rejected");
+
+    server.stop();
+}
+
+#[test]
+fn history_file_round_trips_across_service_restart() {
+    let dir = std::env::temp_dir().join("ttlg-query-range-test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(format!("history-{}.tsdb", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // First life: fresh file, a couple of scrapes, persisted on each.
+    let first = TransposeService::<f64>::new_k40c();
+    let restored = first
+        .set_history_file(&path)
+        .expect("attach fresh history file");
+    assert_eq!(restored, 0, "fresh file must restore nothing");
+    first.scrape_history_once();
+    first.scrape_history_once();
+    let series_before = first.history().series_count();
+    assert!(series_before > 0, "scrapes ingested no series");
+    drop(first);
+
+    // Second life: the same file hydrates the prior run's series.
+    let second = TransposeService::<f64>::new_k40c();
+    let restored = second
+        .set_history_file(&path)
+        .expect("re-attach history file");
+    assert_eq!(
+        restored, series_before,
+        "restart must restore every persisted series"
+    );
+    assert!(second.history().scrapes() > 0, "scrape count not restored");
+
+    let _ = std::fs::remove_file(&path);
+}
